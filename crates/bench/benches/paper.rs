@@ -1,0 +1,112 @@
+//! One bench per table and figure of the paper's evaluation.
+//!
+//! Each bench regenerates its artifact from the shared quick-scale dataset
+//! (the data-dependent experiments) or by running the underlying pipeline
+//! (Fig. 2 and the Table 8/9 mechanism comparison). The point is twofold:
+//! the artifacts are reproduced under `cargo bench`, and regressions in the
+//! analysis pipeline's performance are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench_suite::quick_dataset;
+use experiments::{
+    ablation, fig1, fig11, fig2, fig3, fig6, fig7, mechanism, table1, table3, table4, table5,
+    table6, ComparisonScale, Dataset,
+};
+
+fn dataset_benches(c: &mut Criterion) {
+    // Building the dataset is the expensive step shared by most artifacts:
+    // benchmark it once, at a reduced scale.
+    let mut g = c.benchmark_group("dataset");
+    g.sample_size(10);
+    g.bench_function("synthesize_and_analyze_quick", |b| {
+        b.iter(|| {
+            let ds = Dataset::build(experiments::Scale {
+                flows_per_service: 10,
+                seed: 1,
+            });
+            std::hint::black_box(ds.services.len())
+        })
+    });
+    g.finish();
+
+    let ds = quick_dataset();
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(20);
+    g.bench_function("table1", |b| b.iter(|| table1::table1(&ds)));
+    g.bench_function("table3", |b| b.iter(|| table3::table3(&ds)));
+    g.bench_function("table4", |b| b.iter(|| table4::table4(&ds)));
+    g.bench_function("table5", |b| b.iter(|| table5::table5(&ds)));
+    g.bench_function("table6", |b| b.iter(|| table6::table6(&ds)));
+    g.bench_function("table7", |b| b.iter(|| table6::table7(&ds)));
+    g.finish();
+
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(20);
+    g.bench_function("fig1a", |b| b.iter(|| fig1::fig1a(&ds)));
+    g.bench_function("fig1b", |b| b.iter(|| fig1::fig1b(&ds)));
+    g.bench_function("fig3", |b| b.iter(|| fig3::fig3(&ds)));
+    g.bench_function("fig6", |b| b.iter(|| fig6::fig6(&ds)));
+    g.bench_function("fig7", |b| b.iter(|| fig7::fig7(&ds)));
+    g.bench_function("fig10", |b| b.iter(|| fig7::fig10(&ds)));
+    g.bench_function("fig11", |b| b.iter(|| fig11::fig11(&ds)));
+    g.bench_function("fig12", |b| b.iter(|| fig11::fig12(&ds)));
+    g.finish();
+
+    // Print the regenerated artifacts once so `cargo bench` leaves the
+    // paper's numbers in its log.
+    println!("{}", table1::table1(&ds).render());
+    println!("{}", table3::table3(&ds).render());
+    println!("{}", table5::table5(&ds).render());
+}
+
+fn scenario_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario");
+    g.sample_size(10);
+    g.bench_function("fig2_illustrative_flow", |b| {
+        b.iter(|| fig2::fig2_flow().1.stalls.len())
+    });
+    g.finish();
+}
+
+fn mechanism_benches(c: &mut Criterion) {
+    let scale = ComparisonScale {
+        web_flows: 20,
+        cloud_short_flows: 20,
+        cloud_flows: 10,
+        seed: 360,
+    };
+    let mut g = c.benchmark_group("mechanism");
+    g.sample_size(10);
+    g.bench_function("table8_table9_comparison", |b| {
+        b.iter(|| {
+            let cmp = mechanism::run_comparison(scale);
+            std::hint::black_box((mechanism::table8(&cmp), mechanism::table9(&cmp)))
+        })
+    });
+    g.finish();
+
+    let cmp = mechanism::run_comparison(ComparisonScale::quick());
+    println!("{}", mechanism::table8(&cmp).render());
+    println!("{}", mechanism::table9(&cmp).render());
+    println!("{}", mechanism::large_flow_throughput(&cmp).render());
+}
+
+fn ablation_benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("burstiness", |b| {
+        b.iter(|| ablation::burstiness_ablation(10, 99))
+    });
+    g.bench_function("srto_t2", |b| b.iter(|| ablation::srto_t2_ablation(15, 99)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    dataset_benches,
+    scenario_benches,
+    mechanism_benches,
+    ablation_benches
+);
+criterion_main!(benches);

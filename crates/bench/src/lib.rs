@@ -1,0 +1,21 @@
+//! # bench-suite — the paper's evaluation as benchmarks
+//!
+//! Two Criterion targets:
+//!
+//! * `paper` — regenerates each table and figure of the evaluation at the
+//!   quick scale and times the full pipeline behind it (synthesis →
+//!   simulation → TAPO → aggregation). Run with
+//!   `cargo bench -p bench-suite --bench paper`.
+//! * `micro` — microbenchmarks of the substrates: per-flow simulation,
+//!   trace analysis, pcap encode/decode and scoreboard operations.
+//!
+//! The library itself only hosts shared helpers for the two targets.
+
+#![forbid(unsafe_code)]
+
+use experiments::{Dataset, Scale};
+
+/// Build the shared quick-scale dataset once per bench process.
+pub fn quick_dataset() -> Dataset {
+    Dataset::build(Scale::quick())
+}

@@ -1,0 +1,278 @@
+//! `tapo` — the TCP stall diagnosis tool, as a command line.
+//!
+//! The offline workflow of the paper: point it at a classic-pcap capture
+//! from a server (header-only captures are fine) and get per-flow stall
+//! diagnoses and an aggregate breakdown.
+//!
+//! ```text
+//! tapo <capture.pcap>... [--flows] [--stalls] [--json] [--dump]
+//!                        [--min-stall MS] [--mss BYTES] [--dupthres N]
+//!
+//!   --flows         per-flow summary table, worst stalled first
+//!   --stalls        print every stall (time, duration, cause, context)
+//!   --json          machine-readable output (one JSON document)
+//!   --dump          print every packet, tcpdump-style
+//!   --min-stall MS  only report stalls at least this long
+//!   --mss BYTES     analyzer MSS assumption        (default 1448)
+//!   --dupthres N    analyzer dupack threshold      (default 3)
+//! ```
+
+use std::fs::File;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tapo::{analyze_flow, AnalyzerConfig, FlowAnalysis, StallBreakdown, StallCause};
+use tcp_trace::flow::FlowTrace;
+use tcp_trace::pcap::PcapReader;
+
+struct Options {
+    files: Vec<PathBuf>,
+    show_flows: bool,
+    show_stalls: bool,
+    json: bool,
+    dump: bool,
+    min_stall_ms: u64,
+    cfg: AnalyzerConfig,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        files: Vec::new(),
+        show_flows: false,
+        show_stalls: false,
+        json: false,
+        dump: false,
+        min_stall_ms: 0,
+        cfg: AnalyzerConfig::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--flows" => opts.show_flows = true,
+            "--stalls" => opts.show_stalls = true,
+            "--json" => opts.json = true,
+            "--dump" => opts.dump = true,
+            "--min-stall" => {
+                opts.min_stall_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--min-stall requires milliseconds")?;
+            }
+            "--mss" => {
+                opts.cfg.replay.mss = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--mss requires bytes")?;
+            }
+            "--dupthres" => {
+                opts.cfg.replay.dupthres = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--dupthres requires N")?;
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: tapo <capture.pcap>... [--flows] [--stalls] [--json] \
+                            [--dump] [--min-stall MS] [--mss BYTES] [--dupthres N]"
+                        .into(),
+                );
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other} (try --help)"));
+            }
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    if opts.files.is_empty() {
+        return Err("no capture file given (try --help)".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut flows: Vec<FlowTrace> = Vec::new();
+    for path in &opts.files {
+        let file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("tapo: cannot open {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match PcapReader::read_all(file) {
+            Ok(mut parsed) => flows.append(&mut parsed),
+            Err(e) => {
+                eprintln!("tapo: cannot parse {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let analyses: Vec<FlowAnalysis> = flows.iter().map(|t| analyze_flow(t, opts.cfg)).collect();
+
+    if opts.dump {
+        for (i, flow) in flows.iter().enumerate() {
+            println!("# flow #{i}");
+            print!("{}", tcp_trace::text::render_flow(flow));
+        }
+    }
+    if opts.json {
+        print_json(&flows, &analyses, &opts);
+    } else {
+        print_text(&flows, &analyses, &opts);
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_text(flows: &[FlowTrace], analyses: &[FlowAnalysis], opts: &Options) {
+    let mut breakdown = StallBreakdown::default();
+    let mut flows_with_stalls = 0usize;
+    let mut total_bytes = 0u64;
+    for a in analyses {
+        breakdown.add_flow(a);
+        if !a.stalls.is_empty() {
+            flows_with_stalls += 1;
+        }
+        total_bytes += a.metrics.goodput_bytes;
+    }
+
+    println!(
+        "{} flows, {:.1} MB served; {} flows ({:.0}%) stalled; {} stalls, {:.1}s stalled in total",
+        flows.len(),
+        total_bytes as f64 / 1e6,
+        flows_with_stalls,
+        100.0 * flows_with_stalls as f64 / flows.len().max(1) as f64,
+        breakdown.total_stalls,
+        breakdown.total_stalled.as_secs_f64(),
+    );
+
+    println!("\nstall causes (volume% / time%):");
+    for label in [
+        "data una.",
+        "rsrc cons.",
+        "client idle",
+        "zero wnd",
+        "pkt delay",
+        "retrans.",
+        "undeter.",
+    ] {
+        let share = breakdown.share(label);
+        if share.volume_pct > 0.0 {
+            println!(
+                "  {label:<12} {:>5.1}% / {:>5.1}%",
+                share.volume_pct, share.time_pct
+            );
+        }
+    }
+    let has_retrans = breakdown.by_retrans.values().any(|&(n, _)| n > 0);
+    if has_retrans {
+        println!("\ntimeout-retransmission breakdown (volume% / time% of retrans stalls):");
+        for label in [
+            "Double retr.",
+            "Tail retr.",
+            "Small cwnd",
+            "Small rwnd",
+            "Cont. loss",
+            "ACK delay/loss",
+            "Undeter.",
+        ] {
+            let share = breakdown.retrans_share(label);
+            if share.volume_pct > 0.0 {
+                println!(
+                    "  {label:<14} {:>5.1}% / {:>5.1}%",
+                    share.volume_pct, share.time_pct
+                );
+            }
+        }
+    }
+
+    if opts.show_flows {
+        println!("\nper-flow summary (worst stalled first):");
+        println!("{}", tapo::FlowSummary::header());
+        for row in tapo::summary::rank_by_stalled(analyses) {
+            println!("{}", row.row());
+        }
+    }
+
+    if opts.show_stalls {
+        println!("\nper-flow stall log:");
+        for (i, a) in analyses.iter().enumerate() {
+            let interesting: Vec<_> = a
+                .stalls
+                .iter()
+                .filter(|s| s.duration.as_millis() >= opts.min_stall_ms)
+                .collect();
+            if interesting.is_empty() {
+                continue;
+            }
+            println!(
+                "flow #{i}: {} bytes, {:.1}s, {:.0}% stalled{}",
+                a.metrics.goodput_bytes,
+                a.metrics.duration.as_secs_f64(),
+                a.stall_ratio() * 100.0,
+                a.init_rwnd
+                    .map(|w| format!(", init rwnd {w}B"))
+                    .unwrap_or_default(),
+            );
+            for s in interesting {
+                println!(
+                    "  {:>10} +{:>9}  {:<40} in_flight={} state={:?}",
+                    s.start.to_string(),
+                    s.duration.to_string(),
+                    cause_str(&s.cause),
+                    s.snapshot.in_flight,
+                    s.snapshot.ca_state,
+                );
+            }
+        }
+    }
+}
+
+fn cause_str(cause: &StallCause) -> String {
+    match cause {
+        StallCause::Retransmission(rc) => format!("retrans: {}", rc.label()),
+        other => other.label().to_string(),
+    }
+}
+
+fn print_json(flows: &[FlowTrace], analyses: &[FlowAnalysis], opts: &Options) {
+    let flows_json: Vec<serde_json::Value> = analyses
+        .iter()
+        .zip(flows)
+        .map(|(a, t)| {
+            serde_json::json!({
+                "key": t.key,
+                "packets": t.records.len(),
+                "bytes": a.metrics.goodput_bytes,
+                "duration_s": a.metrics.duration.as_secs_f64(),
+                "stall_ratio": a.stall_ratio(),
+                "mean_rtt_s": a.metrics.mean_rtt.map(|d| d.as_secs_f64()),
+                "mean_rto_s": a.metrics.mean_rto.map(|d| d.as_secs_f64()),
+                "retrans_pkts": a.metrics.retrans_pkts,
+                "init_rwnd": a.init_rwnd,
+                "stalls": a
+                    .stalls
+                    .iter()
+                    .filter(|s| s.duration.as_millis() >= opts.min_stall_ms)
+                    .collect::<Vec<_>>(),
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "tool": "tapo",
+        "config": opts.cfg,
+        "flows": flows_json,
+    });
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&doc).expect("serializable")
+    );
+}

@@ -1,0 +1,149 @@
+//! The stall-cause taxonomy of the paper (Fig. 5 and Tables 3 & 5).
+
+/// Root cause of one TCP stall, as inferred by the decision tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum StallCause {
+    /// Server-side: the stall spans the head of a response — the front-end
+    /// had no data to send (back-end fetch).
+    DataUnavailable,
+    /// Server-side: mid-transfer, window open, yet the server supplied no
+    /// data to TCP.
+    ResourceConstraint,
+    /// Client-side: the client issued no request for a while; the stall
+    /// ends with a new inbound request.
+    ClientIdle,
+    /// Client-side: the advertised receive window was zero.
+    ZeroWindow,
+    /// Network: packets or ACKs delayed; no retransmission was induced.
+    PacketDelay,
+    /// Network: a timeout retransmission ended the stall; see the subcause.
+    Retransmission(RetransCause),
+    /// No rule matched (4–8% of stalls in the paper).
+    Undetermined,
+}
+
+/// Breakdown of timeout-retransmission stalls (Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum RetransCause {
+    /// The retransmitted packet itself was dropped or delayed: a second
+    /// (or later) retransmission of the same segment ended the stall.
+    DoubleRetrans {
+        /// Whether the *first* retransmission was a fast retransmit
+        /// (f-double) rather than itself a timeout (t-double) — Table 6.
+        first_was_fast: bool,
+    },
+    /// Loss at the tail of a response: too few following segments to
+    /// generate `dupthres` dupacks.
+    TailRetrans {
+        /// Whether the sender was in the Open state when the stall began
+        /// (as opposed to Recovery) — Table 7.
+        open_state: bool,
+    },
+    /// Loss while the in-flight size was small (< 4) because of the
+    /// congestion window.
+    SmallCwnd,
+    /// Loss while the in-flight size was small (< 4) because of the
+    /// receiver's advertised window.
+    SmallRwnd,
+    /// Every outstanding packet in the window (≥ 4) was lost.
+    ContinuousLoss,
+    /// The data was not lost at all: the retransmission was spurious
+    /// (DSACKed) — the ACKs were delayed or dropped.
+    AckDelayLoss,
+    /// None of the rules matched.
+    Undetermined,
+}
+
+impl StallCause {
+    /// The paper's three top-level categories: server, client, network.
+    pub fn category(&self) -> StallCategory {
+        match self {
+            StallCause::DataUnavailable | StallCause::ResourceConstraint => StallCategory::Server,
+            StallCause::ClientIdle | StallCause::ZeroWindow => StallCategory::Client,
+            StallCause::PacketDelay | StallCause::Retransmission(_) => StallCategory::Network,
+            StallCause::Undetermined => StallCategory::Undetermined,
+        }
+    }
+
+    /// Row label matching the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StallCause::DataUnavailable => "data una.",
+            StallCause::ResourceConstraint => "rsrc cons.",
+            StallCause::ClientIdle => "client idle",
+            StallCause::ZeroWindow => "zero wnd",
+            StallCause::PacketDelay => "pkt delay",
+            StallCause::Retransmission(_) => "retrans.",
+            StallCause::Undetermined => "undeter.",
+        }
+    }
+}
+
+/// Top-level grouping used by Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum StallCategory {
+    /// Server-side causes.
+    Server,
+    /// Client-side causes.
+    Client,
+    /// Network causes.
+    Network,
+    /// Unclassified.
+    Undetermined,
+}
+
+impl RetransCause {
+    /// Row label matching Table 5.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RetransCause::DoubleRetrans { .. } => "Double retr.",
+            RetransCause::TailRetrans { .. } => "Tail retr.",
+            RetransCause::SmallCwnd => "Small cwnd",
+            RetransCause::SmallRwnd => "Small rwnd",
+            RetransCause::ContinuousLoss => "Cont. loss",
+            RetransCause::AckDelayLoss => "ACK delay/loss",
+            RetransCause::Undetermined => "Undeter.",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_match_table3_grouping() {
+        assert_eq!(
+            StallCause::DataUnavailable.category(),
+            StallCategory::Server
+        );
+        assert_eq!(
+            StallCause::ResourceConstraint.category(),
+            StallCategory::Server
+        );
+        assert_eq!(StallCause::ClientIdle.category(), StallCategory::Client);
+        assert_eq!(StallCause::ZeroWindow.category(), StallCategory::Client);
+        assert_eq!(StallCause::PacketDelay.category(), StallCategory::Network);
+        assert_eq!(
+            StallCause::Retransmission(RetransCause::SmallCwnd).category(),
+            StallCategory::Network
+        );
+        assert_eq!(
+            StallCause::Undetermined.category(),
+            StallCategory::Undetermined
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(StallCause::ZeroWindow.label(), "zero wnd");
+        assert_eq!(
+            RetransCause::DoubleRetrans {
+                first_was_fast: true
+            }
+            .label(),
+            "Double retr."
+        );
+        assert_eq!(RetransCause::AckDelayLoss.label(), "ACK delay/loss");
+    }
+}

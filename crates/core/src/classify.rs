@@ -1,0 +1,573 @@
+//! Stall detection and the decision-tree root-cause classifier (Fig. 5).
+//!
+//! A stall is an inter-packet gap at the server — either direction —
+//! exceeding `min(τ·SRTT, RTO)` with τ = 2 (§2.2 of the paper). Each stall
+//! is attributed to the packet that *ends* it (`cur_pkt`), walking the
+//! decision tree:
+//!
+//! ```text
+//! cur_pkt inbound?
+//! ├─ carries data (a request)            → client idle
+//! ├─ window was zero during the stall    → zero rwnd
+//! └─ otherwise (a late ACK, no retrans)  → packet delay
+//! cur_pkt outbound data?
+//! ├─ retransmission                      → timeout-retransmission subtree
+//! ├─ head of a response                  → data unavailable
+//! ├─ window was zero                     → zero rwnd
+//! └─ otherwise                           → resource constraint
+//! cur_pkt outbound pure ACK?
+//! ├─ window was zero (persist probe)     → zero rwnd
+//! └─ otherwise                           → undetermined
+//! ```
+//!
+//! The retransmission subtree applies the Table 5 rules **in the paper's
+//! priority order**: double retransmission → tail retransmission → small
+//! cwnd → small rwnd → continuous loss → ACK delay/loss → undetermined.
+
+use simnet::time::{SimDuration, SimTime};
+use tcp_trace::record::{Direction, TraceRecord};
+
+use crate::causes::{RetransCause, StallCause};
+use crate::replay::{EstCaState, Replay, Snapshot};
+
+/// Classifier thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ClassifyConfig {
+    /// "Small in-flight" bound: below this many packets fast retransmit is
+    /// considered infeasible (4 in the paper).
+    pub small_in_flight: u32,
+    /// Minimum outstanding packets for a continuous-loss verdict (4).
+    pub continuous_loss_min: u32,
+}
+
+impl Default for ClassifyConfig {
+    fn default() -> Self {
+        ClassifyConfig {
+            small_in_flight: 4,
+            continuous_loss_min: 4,
+        }
+    }
+}
+
+/// One detected and classified stall.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Stall {
+    /// Last packet before the gap.
+    pub start: SimTime,
+    /// The packet ending the stall.
+    pub end: SimTime,
+    /// `end − start`.
+    pub duration: SimDuration,
+    /// Index (into the flow trace) of the stall-ending packet.
+    pub end_record: usize,
+    /// The inferred root cause.
+    pub cause: StallCause,
+    /// Reconstructed sender state just before the stall-ending packet.
+    pub snapshot: Snapshot,
+    /// Relative position in the flow's byte stream where the stall-ending
+    /// packet sits, in `[0, 1]` (Figs. 7a and 10a).
+    pub rel_position: f64,
+}
+
+/// A stall candidate captured during replay, before causes are assigned.
+#[derive(Debug, Clone)]
+pub(crate) struct Candidate {
+    pub start: SimTime,
+    pub end: SimTime,
+    pub end_record: usize,
+    pub snapshot: Snapshot,
+}
+
+/// Classify one candidate using the completed replay.
+pub(crate) fn classify(
+    cand: &Candidate,
+    rec: &TraceRecord,
+    replay: &Replay,
+    cfg: &ClassifyConfig,
+) -> Stall {
+    let cause = decide(cand, rec, replay, cfg);
+    let denom = replay.snd_nxt().max(1) as f64;
+    let rel_position = if rec.dir == Direction::Out && rec.has_data() {
+        (rec.seq as f64 / denom).min(1.0)
+    } else {
+        (replay.snd_una() as f64 / denom).min(1.0)
+    };
+    Stall {
+        start: cand.start,
+        end: cand.end,
+        duration: cand.end.saturating_since(cand.start),
+        end_record: cand.end_record,
+        cause,
+        snapshot: cand.snapshot,
+        rel_position,
+    }
+}
+
+fn decide(
+    cand: &Candidate,
+    rec: &TraceRecord,
+    replay: &Replay,
+    cfg: &ClassifyConfig,
+) -> StallCause {
+    let snap = &cand.snapshot;
+    match rec.dir {
+        Direction::In => {
+            if rec.has_data() {
+                StallCause::ClientIdle
+            } else if snap.rwnd == 0 {
+                StallCause::ZeroWindow
+            } else if rec.flags.ack {
+                StallCause::PacketDelay
+            } else {
+                StallCause::Undetermined
+            }
+        }
+        Direction::Out => {
+            if rec.has_data() {
+                if let Some(ev) = replay
+                    .retrans_events
+                    .iter()
+                    .find(|e| e.idx == cand.end_record)
+                {
+                    return StallCause::Retransmission(retrans_cause(
+                        rec, ev.nth, snap, replay, cfg,
+                    ));
+                }
+                if replay.is_head(rec.seq) {
+                    StallCause::DataUnavailable
+                } else if snap.rwnd == 0 {
+                    StallCause::ZeroWindow
+                } else {
+                    StallCause::ResourceConstraint
+                }
+            } else if snap.rwnd == 0 {
+                // A persist (zero-window) probe ended the stall.
+                StallCause::ZeroWindow
+            } else {
+                StallCause::Undetermined
+            }
+        }
+    }
+}
+
+fn retrans_cause(
+    rec: &TraceRecord,
+    nth: u32,
+    snap: &Snapshot,
+    replay: &Replay,
+    cfg: &ClassifyConfig,
+) -> RetransCause {
+    let mss = replay.config().mss as u64;
+
+    // 1. Double retransmission: the segment had already been retransmitted.
+    if nth >= 2 {
+        let first_was_fast = replay
+            .hist
+            .get(&rec.seq)
+            .and_then(|h| h.first_retrans)
+            .map(|k| k == crate::replay::RetransKind::Fast)
+            .unwrap_or(false);
+        return RetransCause::DoubleRetrans { first_was_fast };
+    }
+
+    // The paper's rules use the trace's *real*, DSACK-corrected loss
+    // knowledge (§3.3): a retransmission later reported as a duplicate by
+    // DSACK means the data was never lost, so the loss-based rules below
+    // cannot apply — the stall was caused by delayed or dropped ACKs.
+    let dsacked = replay.hist.get(&rec.seq).is_some_and(|h| h.dsacked);
+
+    // 2. Tail retransmission: too few segments after it in its response to
+    // raise dupthres dupacks.
+    if !dsacked && replay.is_tail(rec.seq, rec.len) {
+        let open_state = matches!(snap.ca_state, EstCaState::Open | EstCaState::Disorder);
+        return RetransCause::TailRetrans { open_state };
+    }
+
+    // 3/4. Small in-flight: fast retransmit starved of dupacks. Attribute
+    // to whichever window was the limiter (Eq. 2).
+    if !dsacked && snap.in_flight < cfg.small_in_flight {
+        if snap.rwnd < cfg.small_in_flight as u64 * mss {
+            return RetransCause::SmallRwnd;
+        }
+        return RetransCause::SmallCwnd;
+    }
+
+    // 5. Continuous loss: a whole window (≥ 4) vanished without any
+    // feedback before the timeout.
+    if snap.packets_out >= cfg.continuous_loss_min
+        && snap.sacked_out == 0
+        && snap.dupacks == 0
+        && !dsacked
+    {
+        return RetransCause::ContinuousLoss;
+    }
+
+    // 6. ACK delay/loss: the data was delivered after all (DSACKed later).
+    if dsacked {
+        return RetransCause::AckDelayLoss;
+    }
+
+    RetransCause::Undetermined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_trace::record::{SackBlock, SegFlags};
+
+    const MSS: u32 = 1448;
+
+    fn out_data(t_ms: u64, seq: u64, len: u32) -> TraceRecord {
+        TraceRecord::data(
+            SimTime::from_millis(t_ms),
+            Direction::Out,
+            seq,
+            len,
+            0,
+            1 << 20,
+        )
+    }
+
+    fn in_ack(t_ms: u64, ack: u64) -> TraceRecord {
+        TraceRecord::pure_ack(SimTime::from_millis(t_ms), Direction::In, ack, 1 << 20)
+    }
+
+    fn in_req(t_ms: u64, seq: u64) -> TraceRecord {
+        TraceRecord::data(
+            SimTime::from_millis(t_ms),
+            Direction::In,
+            seq,
+            300,
+            0,
+            1 << 20,
+        )
+    }
+
+    /// Run the full pipeline on a hand-written trace.
+    fn analyze(recs: Vec<TraceRecord>) -> Vec<Stall> {
+        let trace = tcp_trace::flow::FlowTrace {
+            key: None,
+            records: recs,
+        };
+        crate::analyze_flow(&trace, crate::AnalyzerConfig::default()).stalls
+    }
+
+    #[test]
+    fn client_idle_stall() {
+        let m = MSS as u64;
+        let stalls = analyze(vec![
+            in_req(0, 0),
+            out_data(10, 0, MSS),
+            in_ack(110, m),
+            // 3 seconds of think time, then a new request.
+            in_req(3110, 300),
+            out_data(3120, m, MSS),
+            in_ack(3220, 2 * m),
+        ]);
+        assert_eq!(stalls.len(), 1);
+        assert_eq!(stalls[0].cause, StallCause::ClientIdle);
+        assert_eq!(stalls[0].duration, SimDuration::from_millis(3000));
+    }
+
+    #[test]
+    fn data_unavailable_stall_at_response_head() {
+        let m = MSS as u64;
+        let stalls = analyze(vec![
+            in_req(0, 0),
+            // Back-end fetch takes 1.5s before the first response byte.
+            out_data(1500, 0, MSS),
+            in_ack(1600, m),
+        ]);
+        assert_eq!(stalls.len(), 1);
+        assert_eq!(stalls[0].cause, StallCause::DataUnavailable);
+    }
+
+    #[test]
+    fn resource_constraint_stall_mid_response() {
+        let m = MSS as u64;
+        let stalls = analyze(vec![
+            in_req(0, 0),
+            out_data(10, 0, MSS),
+            in_ack(110, m),
+            // Server supplies nothing for 2s mid-transfer, window open.
+            out_data(2110, m, MSS),
+            in_ack(2210, 2 * m),
+        ]);
+        assert_eq!(stalls.len(), 1);
+        assert_eq!(stalls[0].cause, StallCause::ResourceConstraint);
+    }
+
+    #[test]
+    fn zero_window_stall_ended_by_window_update() {
+        let m = MSS as u64;
+        let mut zero = in_ack(110, m);
+        zero.rwnd = 0;
+        let mut update = in_ack(2110, m);
+        update.rwnd = 65535;
+        let stalls = analyze(vec![
+            in_req(0, 0),
+            out_data(10, 0, MSS),
+            zero,
+            update,
+            out_data(2111, m, MSS),
+            in_ack(2211, 2 * m),
+        ]);
+        assert_eq!(stalls.len(), 1);
+        assert_eq!(stalls[0].cause, StallCause::ZeroWindow);
+    }
+
+    #[test]
+    fn packet_delay_stall_ended_by_late_ack() {
+        let m = MSS as u64;
+        let stalls = analyze(vec![
+            in_req(0, 0),
+            out_data(10, 0, MSS),
+            in_ack(110, m),
+            out_data(111, m, MSS),
+            out_data(112, 2 * m, MSS),
+            // The ACK takes ~900ms (several RTTs) but nothing was lost and
+            // no retransmission happened (gap < RTO = 300ms? no: RTO after
+            // one 100ms sample is 300ms, so use a 250ms gap > 2·SRTT=200ms).
+            in_ack(362, 3 * m),
+        ]);
+        assert_eq!(stalls.len(), 1);
+        assert_eq!(stalls[0].cause, StallCause::PacketDelay);
+    }
+
+    #[test]
+    fn tail_retransmission_stall() {
+        let m = MSS as u64;
+        let stalls = analyze(vec![
+            in_req(0, 0),
+            out_data(10, 0, MSS),
+            in_ack(110, m),
+            // The final (tail) segment of the response is lost...
+            out_data(111, m, MSS),
+            // ...and repaired only by a timeout retransmission.
+            out_data(1111, m, MSS),
+            in_ack(1211, 2 * m),
+        ]);
+        assert_eq!(stalls.len(), 1);
+        match stalls[0].cause {
+            StallCause::Retransmission(RetransCause::TailRetrans { open_state }) => {
+                assert!(open_state);
+            }
+            other => panic!("expected tail retrans, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_retransmission_stall_f_double() {
+        let m = MSS as u64;
+        let mut recs = vec![in_req(0, 0)];
+        for i in 0..6 {
+            recs.push(out_data(10 + i, i * m, MSS));
+        }
+        // Establish RTT, then dupacks → fast retransmit of seg 0.
+        let mk = |t: u64, blocks: &[(u64, u64)]| {
+            let mut r = in_ack(t, 0);
+            r.sack = blocks.iter().map(|&(a, b)| SackBlock::new(a, b)).collect();
+            r
+        };
+        recs.push(mk(110, &[(m, 2 * m)]));
+        recs.push(mk(112, &[(m, 3 * m)]));
+        recs.push(mk(114, &[(m, 4 * m)]));
+        recs.push(out_data(115, 0, MSS)); // fast retransmit
+        recs.push(mk(116, &[(m, 5 * m)]));
+        recs.push(mk(118, &[(m, 6 * m)]));
+        // The retransmission is lost too; only the RTO (~1s later) repairs.
+        recs.push(out_data(1300, 0, MSS));
+        recs.push(in_ack(1400, 6 * m));
+        let stalls = analyze(recs);
+        assert_eq!(stalls.len(), 1, "stalls: {stalls:?}");
+        match stalls[0].cause {
+            StallCause::Retransmission(RetransCause::DoubleRetrans { first_was_fast }) => {
+                assert!(first_was_fast, "f-double");
+            }
+            other => panic!("expected double retrans, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn small_cwnd_retransmission_stall() {
+        let m = MSS as u64;
+        // Big rwnd, only 2 packets in flight mid-response (cwnd-limited),
+        // one lost → timeout.
+        let stalls = analyze(vec![
+            in_req(0, 0),
+            out_data(10, 0, MSS),
+            in_ack(110, m),
+            out_data(111, m, MSS),
+            out_data(112, 2 * m, MSS),
+            // more of the response exists later, so seg 1 is not the tail
+            out_data(113, 3 * m, MSS),
+            out_data(114, 4 * m, MSS),
+            out_data(115, 5 * m, MSS),
+            out_data(116, 6 * m, MSS),
+            in_ack(215, 2 * m),
+            in_ack(216, 5 * m),
+            in_ack(217, 7 * m),
+            // New mini-burst: 2 in flight; the first is lost.
+            out_data(300, 7 * m, MSS),
+            out_data(301, 8 * m, MSS),
+            {
+                let mut r = in_ack(400, 7 * m);
+                r.sack = vec![SackBlock::new(8 * m, 9 * m)];
+                r
+            },
+            // Stall, then timeout retransmission of seg 7m. More data
+            // follows later so it is not a tail segment.
+            out_data(1400, 7 * m, MSS),
+            in_ack(1500, 9 * m),
+            out_data(1501, 9 * m, MSS),
+            out_data(1502, 10 * m, MSS),
+            out_data(1503, 11 * m, MSS),
+            out_data(1504, 12 * m, MSS),
+            in_ack(1600, 13 * m),
+        ]);
+        let retrans_stalls: Vec<_> = stalls
+            .iter()
+            .filter(|s| matches!(s.cause, StallCause::Retransmission(_)))
+            .collect();
+        assert_eq!(retrans_stalls.len(), 1, "stalls: {stalls:?}");
+        assert_eq!(
+            retrans_stalls[0].cause,
+            StallCause::Retransmission(RetransCause::SmallCwnd)
+        );
+    }
+
+    #[test]
+    fn small_rwnd_retransmission_stall() {
+        let m = MSS as u64;
+        // The client advertises a 2-MSS window throughout.
+        let small = |t: u64, ack: u64| {
+            let mut r = in_ack(t, ack);
+            r.rwnd = 2 * m;
+            r
+        };
+        let mut req = in_req(0, 0);
+        req.rwnd = 2 * m;
+        let stalls = analyze(vec![
+            req,
+            out_data(10, 0, MSS),
+            small(110, m),
+            out_data(111, m, MSS),
+            out_data(112, 2 * m, MSS),
+            // Segment at m is lost; only one dupack possible; timeout.
+            small(212, m),
+            out_data(1211, m, MSS),
+            small(1311, 3 * m),
+            // The response continues (so the loss was not at the tail).
+            out_data(1312, 3 * m, MSS),
+            out_data(1313, 4 * m, MSS),
+            out_data(1314, 5 * m, MSS),
+            out_data(1315, 6 * m, MSS),
+            small(1415, 7 * m),
+        ]);
+        let retrans: Vec<_> = stalls
+            .iter()
+            .filter(|s| matches!(s.cause, StallCause::Retransmission(_)))
+            .collect();
+        assert_eq!(retrans.len(), 1, "stalls: {stalls:?}");
+        assert_eq!(
+            retrans[0].cause,
+            StallCause::Retransmission(RetransCause::SmallRwnd)
+        );
+    }
+
+    #[test]
+    fn continuous_loss_stall() {
+        let m = MSS as u64;
+        let mut recs = vec![in_req(0, 0)];
+        // Warm up RTT.
+        recs.push(out_data(10, 0, MSS));
+        recs.push(in_ack(110, m));
+        // A burst of 6, all lost: total silence, then timeout retransmit.
+        for i in 1..=6u64 {
+            recs.push(out_data(110 + i, i * m, MSS));
+        }
+        recs.push(out_data(1200, m, MSS)); // RTO retransmission of head
+        recs.push(in_ack(1300, 2 * m));
+        // Continue the response so the head is not a tail segment.
+        for i in 7..=10u64 {
+            recs.push(out_data(1301 + i, i * m, MSS));
+        }
+        recs.push(in_ack(1500, 11 * m));
+        let stalls = analyze(recs);
+        let retrans: Vec<_> = stalls
+            .iter()
+            .filter(|s| matches!(s.cause, StallCause::Retransmission(_)))
+            .collect();
+        assert_eq!(retrans.len(), 1, "stalls: {stalls:?}");
+        assert_eq!(
+            retrans[0].cause,
+            StallCause::Retransmission(RetransCause::ContinuousLoss)
+        );
+    }
+
+    #[test]
+    fn ack_delay_stall_detected_via_dsack() {
+        let m = MSS as u64;
+        // 5 packets in flight (not small), one ACK comes back late; the
+        // sender times out, retransmits, and the client DSACKs.
+        let mut recs = vec![in_req(0, 0)];
+        recs.push(out_data(10, 0, MSS));
+        recs.push(in_ack(110, m));
+        for i in 1..=5u64 {
+            recs.push(out_data(110 + i, i * m, MSS));
+        }
+        // One dupack-ish ACK so it's not "continuous loss" silence.
+        recs.push(in_ack(211, 2 * m));
+        // Timeout retransmission of seg at 2m.
+        recs.push(out_data(1300, 2 * m, MSS));
+        // The delayed ACK arrives along with a DSACK for the retransmission.
+        let mut d = in_ack(1400, 6 * m);
+        d.sack = vec![SackBlock::new(2 * m, 3 * m)];
+        d.dsack = true;
+        recs.push(d);
+        // Response continues.
+        for i in 6..=9u64 {
+            recs.push(out_data(1401 + i, i * m, MSS));
+        }
+        recs.push(in_ack(1600, 10 * m));
+        let stalls = analyze(recs);
+        let retrans: Vec<_> = stalls
+            .iter()
+            .filter(|s| matches!(s.cause, StallCause::Retransmission(_)))
+            .collect();
+        assert_eq!(retrans.len(), 1, "stalls: {stalls:?}");
+        assert_eq!(
+            retrans[0].cause,
+            StallCause::Retransmission(RetransCause::AckDelayLoss)
+        );
+    }
+
+    #[test]
+    fn no_stalls_in_smooth_transfer() {
+        let m = MSS as u64;
+        let mut recs = vec![in_req(0, 0)];
+        for i in 0..20u64 {
+            recs.push(out_data(10 + i * 50, i * m, MSS));
+            recs.push(in_ack(10 + i * 50 + 40, (i + 1) * m));
+        }
+        assert!(analyze(recs).is_empty());
+    }
+
+    #[test]
+    fn handshake_gaps_are_not_stalls() {
+        let m = MSS as u64;
+        let mut syn = TraceRecord::pure_ack(SimTime::ZERO, Direction::In, 0, 65535);
+        syn.flags = SegFlags::SYN;
+        let mut synack = TraceRecord::pure_ack(SimTime::from_millis(1), Direction::Out, 0, 1 << 20);
+        synack.flags = SegFlags::SYN_ACK;
+        // 5s between handshake and first request: not counted.
+        let stalls = analyze(vec![
+            syn,
+            synack,
+            in_req(5000, 0),
+            out_data(5010, 0, MSS),
+            in_ack(5110, m),
+        ]);
+        assert!(stalls.is_empty(), "{stalls:?}");
+    }
+}

@@ -1,0 +1,233 @@
+//! # tapo — TCP stall diagnosis from server-side packet traces
+//!
+//! The primary contribution of *"Demystifying and Mitigating TCP Stalls at
+//! the Server Side"* (Zhou et al., CoNEXT 2015): given a packet-level trace
+//! captured at a server, TAPO
+//!
+//! 1. **reconstructs** the sender's TCP state by mimicking the stack
+//!    against the observed packets ([`replay`] — every parameter of the
+//!    paper's Table 2),
+//! 2. **detects stalls** — inter-packet gaps exceeding
+//!    `min(2·SRTT, RTO)` ([`classify`]),
+//! 3. **classifies** each stall's root cause with the Fig. 5 decision tree,
+//!    breaking timeout-retransmission stalls down by the Table 5 rules
+//!    ([`causes`]), and
+//! 4. **aggregates** across flows into the paper's tables and figures
+//!    ([`report`]).
+//!
+//! ```
+//! use tapo::{analyze_flow, AnalyzerConfig};
+//! use tcp_trace::{FlowTrace, TraceRecord, Direction};
+//! use simnet::time::SimTime;
+//!
+//! let mut trace = FlowTrace::default();
+//! trace.push(TraceRecord::data(SimTime::from_millis(0), Direction::In, 0, 300, 0, 65535));
+//! trace.push(TraceRecord::data(SimTime::from_millis(1500), Direction::Out, 0, 1448, 300, 65535));
+//! trace.push(TraceRecord::pure_ack(SimTime::from_millis(1600), Direction::In, 1448, 65535));
+//! let analysis = analyze_flow(&trace, AnalyzerConfig::default());
+//! assert_eq!(analysis.stalls.len(), 1); // a data-unavailable stall
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod causes;
+pub mod classify;
+pub mod replay;
+pub mod report;
+pub mod stream;
+pub mod summary;
+
+pub use causes::{RetransCause, StallCategory, StallCause};
+pub use classify::{ClassifyConfig, Stall};
+pub use replay::{EstCaState, Replay, ReplayConfig, RetransKind, Snapshot};
+pub use report::{Cdf, Share, StallBreakdown};
+pub use stream::StreamAnalyzer;
+pub use summary::FlowSummary;
+
+use simnet::time::SimDuration;
+use tcp_trace::flow::FlowTrace;
+
+/// Analyzer configuration: replay assumptions plus classifier thresholds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AnalyzerConfig {
+    /// Trace-replay parameters (MSS, dupthres, RTO bounds).
+    pub replay: ReplayConfig,
+    /// Decision-tree thresholds.
+    pub classify: ClassifyConfig,
+}
+
+/// Flow-level metrics feeding Table 1 and Figures 1 & 3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FlowMetrics {
+    /// Trace span (first to last packet).
+    pub duration: SimDuration,
+    /// Sum of detected stall durations.
+    pub stalled_time: SimDuration,
+    /// Unique response bytes (highest outbound offset).
+    pub goodput_bytes: u64,
+    /// Outbound payload bytes on the wire (including retransmissions).
+    pub wire_bytes_out: u64,
+    /// Outbound data packets (including retransmissions).
+    pub data_pkts_out: u64,
+    /// Retransmitted outbound data packets.
+    pub retrans_pkts: u64,
+    /// Mean of the flow's RTT samples.
+    pub mean_rtt: Option<SimDuration>,
+    /// Mean RTO across the flow's timeout retransmissions.
+    pub mean_rto: Option<SimDuration>,
+    /// Goodput in bytes/second over the trace span.
+    pub avg_speed_bps: f64,
+}
+
+/// The result of analyzing one flow.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FlowAnalysis {
+    /// Detected and classified stalls, in time order.
+    pub stalls: Vec<Stall>,
+    /// Flow-level metrics.
+    pub metrics: FlowMetrics,
+    /// Raw RTT samples (never-retransmitted segments).
+    pub rtt_samples: Vec<SimDuration>,
+    /// RTO estimates recorded at each timeout retransmission.
+    pub rto_samples: Vec<SimDuration>,
+    /// `in_flight` recorded on each inbound ACK (Fig. 11).
+    pub in_flight_on_ack: Vec<u32>,
+    /// Initial receive window from the client's SYN.
+    pub init_rwnd: Option<u64>,
+    /// Whether any inbound ACK advertised a zero window.
+    pub zero_rwnd_seen: bool,
+}
+
+impl FlowAnalysis {
+    /// Ratio of stalled time to the flow's transmission time (Fig. 3).
+    pub fn stall_ratio(&self) -> f64 {
+        let d = self.metrics.duration.as_secs_f64();
+        if d <= 0.0 {
+            0.0
+        } else {
+            (self.metrics.stalled_time.as_secs_f64() / d).min(1.0)
+        }
+    }
+}
+
+/// Analyze one flow trace end to end: replay, detect stalls, classify.
+pub fn analyze_flow(trace: &FlowTrace, cfg: AnalyzerConfig) -> FlowAnalysis {
+    let mut replay = Replay::new(cfg.replay);
+    let mut candidates: Vec<classify::Candidate> = Vec::new();
+    let mut prev_t = None;
+    for (idx, rec) in trace.records.iter().enumerate() {
+        if let Some(pt) = prev_t {
+            if replay.established {
+                let gap = rec.t.saturating_since(pt);
+                if gap > replay.stall_threshold() {
+                    candidates.push(classify::Candidate {
+                        start: pt,
+                        end: rec.t,
+                        end_record: idx,
+                        snapshot: replay.snapshot(),
+                    });
+                }
+            }
+        }
+        replay.process(idx, rec);
+        prev_t = Some(rec.t);
+    }
+    replay.finish();
+
+    let stalls: Vec<Stall> = candidates
+        .iter()
+        .map(|c| classify::classify(c, &trace.records[c.end_record], &replay, &cfg.classify))
+        .collect();
+
+    let stalled_time = stalls
+        .iter()
+        .fold(SimDuration::ZERO, |acc, s| acc + s.duration);
+    let duration = trace.duration();
+    let goodput = replay.snd_nxt();
+    let (wire_out, _) = trace.wire_bytes();
+    let data_pkts_out = trace.out_data().count() as u64;
+    let retrans_pkts = replay.retrans_events.len() as u64;
+    let mean = |v: &[SimDuration]| {
+        if v.is_empty() {
+            None
+        } else {
+            Some(SimDuration::from_micros(
+                v.iter().map(|d| d.as_micros()).sum::<u64>() / v.len() as u64,
+            ))
+        }
+    };
+    let metrics = FlowMetrics {
+        duration,
+        stalled_time,
+        goodput_bytes: goodput,
+        wire_bytes_out: wire_out,
+        data_pkts_out,
+        retrans_pkts,
+        mean_rtt: mean(&replay.rtt_samples),
+        mean_rto: mean(&replay.rto_samples),
+        avg_speed_bps: if duration.is_zero() {
+            0.0
+        } else {
+            goodput as f64 / duration.as_secs_f64()
+        },
+    };
+
+    FlowAnalysis {
+        stalls,
+        metrics,
+        rtt_samples: std::mem::take(&mut replay.rtt_samples),
+        rto_samples: std::mem::take(&mut replay.rto_samples),
+        in_flight_on_ack: std::mem::take(&mut replay.in_flight_on_ack),
+        init_rwnd: replay.init_rwnd,
+        zero_rwnd_seen: replay.zero_rwnd_seen,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::time::SimTime;
+    use tcp_trace::record::{Direction, TraceRecord};
+
+    #[test]
+    fn metrics_account_stall_ratio_and_speed() {
+        let mut trace = FlowTrace::default();
+        trace.push(TraceRecord::data(
+            SimTime::from_millis(0),
+            Direction::In,
+            0,
+            300,
+            0,
+            65535,
+        ));
+        trace.push(TraceRecord::data(
+            SimTime::from_millis(2000),
+            Direction::Out,
+            0,
+            1448,
+            300,
+            65535,
+        ));
+        trace.push(TraceRecord::pure_ack(
+            SimTime::from_millis(2100),
+            Direction::In,
+            1448,
+            65535,
+        ));
+        let a = analyze_flow(&trace, AnalyzerConfig::default());
+        assert_eq!(a.stalls.len(), 1);
+        assert_eq!(a.metrics.stalled_time, SimDuration::from_millis(2000));
+        assert!((a.stall_ratio() - 2000.0 / 2100.0).abs() < 1e-9);
+        assert_eq!(a.metrics.goodput_bytes, 1448);
+        assert_eq!(a.metrics.data_pkts_out, 1);
+        assert_eq!(a.metrics.retrans_pkts, 0);
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let a = analyze_flow(&FlowTrace::default(), AnalyzerConfig::default());
+        assert!(a.stalls.is_empty());
+        assert_eq!(a.stall_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,877 @@
+//! Sender-state reconstruction from a server-side packet trace.
+//!
+//! TAPO never sees kernel state: everything in Table 2 of the paper —
+//! `ca_state`, `in_flight`, `sacked_out`, `lost_out`, `retran_out`,
+//! `snd_una`/`snd_nxt`, retransmission counts, spurious retransmissions,
+//! `rwnd`/`init_rwnd`, file position — is re-derived here by *mimicking the
+//! TCP stack* against the observed packets, exactly as the paper's tool
+//! does. The estimator deliberately lives in this crate (not `tcp-sim`) so
+//! the analyzer stays an independent observer that also works on real pcap
+//! captures.
+
+use std::collections::BTreeMap;
+
+use simnet::time::{SimDuration, SimTime};
+use tcp_trace::record::{Direction, TraceRecord};
+
+/// Estimated congestion state (mirrors the kernel's four states).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum EstCaState {
+    /// No dubious events outstanding.
+    Open,
+    /// Dupacks below the threshold.
+    Disorder,
+    /// Fast retransmit observed.
+    Recovery,
+    /// Timeout retransmission observed.
+    Loss,
+}
+
+/// Replay configuration (the analyzer's own, independent of the sender's).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReplayConfig {
+    /// Assumed MSS (for packet-count arithmetic on byte offsets).
+    pub mss: u32,
+    /// Assumed duplicate-ACK threshold.
+    pub dupthres: u32,
+    /// RTO floor (Linux: 200ms).
+    pub min_rto: SimDuration,
+    /// RTO ceiling.
+    pub max_rto: SimDuration,
+    /// RTO before the first RTT sample (RFC 6298: 1s).
+    pub initial_rto: SimDuration,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            mss: 1448,
+            dupthres: 3,
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(120),
+            initial_rto: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// RFC 6298 estimator (the analyzer's independent copy).
+#[derive(Debug, Clone)]
+struct MiniRtt {
+    cfg: ReplayConfig,
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+}
+
+impl MiniRtt {
+    fn new(cfg: ReplayConfig) -> Self {
+        MiniRtt {
+            cfg,
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+        }
+    }
+    fn observe(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let err = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = (self.rttvar * 3) / 4 + err / 4;
+                self.srtt = Some((srtt * 7) / 8 + rtt / 8);
+            }
+        }
+    }
+    fn rto(&self) -> SimDuration {
+        match self.srtt {
+            None => self.cfg.initial_rto,
+            Some(s) => (s + self.rttvar * 4).clamp(self.cfg.min_rto, self.cfg.max_rto),
+        }
+    }
+}
+
+/// How a retransmission was (estimated to be) triggered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum RetransKind {
+    /// Enough dupacks were outstanding: fast retransmit.
+    Fast,
+    /// Not enough dupacks: retransmission timer.
+    Timeout,
+}
+
+/// Lifetime history of one transmitted segment.
+#[derive(Debug, Clone)]
+pub struct SegHist {
+    /// Payload length.
+    pub len: u32,
+    /// Time of original transmission.
+    pub first_tx: SimTime,
+    /// Time of the most recent (re)transmission.
+    pub last_tx: SimTime,
+    /// Total transmissions (1 = never retransmitted).
+    pub tx_count: u32,
+    /// How the first retransmission was triggered, if any.
+    pub first_retrans: Option<RetransKind>,
+    /// A DSACK later reported this segment as received in duplicate.
+    pub dsacked: bool,
+}
+
+/// One observed retransmission event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RetransEvent {
+    /// Record index in the trace.
+    pub idx: usize,
+    /// Segment start offset.
+    pub seq: u64,
+    /// Which retransmission of the segment this is (1 = first).
+    pub nth: u32,
+    /// Estimated trigger.
+    pub kind: RetransKind,
+}
+
+/// Outstanding-segment marks (the analyzer's scoreboard).
+#[derive(Debug, Clone, Copy, Default)]
+struct OutSeg {
+    len: u32,
+    sacked: bool,
+    lost: bool,
+    retrans_out: bool,
+}
+
+/// A point-in-time view of the reconstructed sender state, captured just
+/// before a stall-ending packet is processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Snapshot {
+    /// Estimated congestion state.
+    pub ca_state: EstCaState,
+    /// Outstanding original transmissions (packets).
+    pub packets_out: u32,
+    /// SACKed segments.
+    pub sacked_out: u32,
+    /// Outstanding retransmissions.
+    pub retrans_out: u32,
+    /// Estimated lost segments.
+    pub lost_est: u32,
+    /// Unacked segments below the highest SACK (the paper's `holes`).
+    pub holes: u32,
+    /// Equation 1 of the paper.
+    pub in_flight: u32,
+    /// Last advertised peer window (bytes).
+    pub rwnd: u64,
+    /// Duplicate-ACK count since the last forward ACK.
+    pub dupacks: u32,
+}
+
+/// A response interval within the flow (one request/response exchange).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ResponseBound {
+    /// When the request (inbound data) arrived at the server.
+    pub request_at: SimTime,
+    /// First stream offset of the response.
+    pub start_seq: u64,
+    /// One past the last stream offset (filled after the trace ends).
+    pub end_seq: u64,
+}
+
+/// The full reconstruction of one flow.
+#[derive(Debug)]
+pub struct Replay {
+    cfg: ReplayConfig,
+    /// Per-segment lifetime history, by start offset.
+    pub hist: BTreeMap<u64, SegHist>,
+    outstanding: BTreeMap<u64, OutSeg>,
+    snd_una: u64,
+    snd_nxt: u64,
+    sacked_out: u32,
+    lost_est: u32,
+    retrans_out: u32,
+    high_sacked: u64,
+    dupacks: u32,
+    ca_state: EstCaState,
+    high_seq: u64,
+    rtt: MiniRtt,
+    last_rwnd: u64,
+    /// Initial receive window from the client's SYN, if captured.
+    pub init_rwnd: Option<u64>,
+    /// True once a non-SYN packet has been seen.
+    pub established: bool,
+    /// RTT samples (never-retransmitted segments only).
+    pub rtt_samples: Vec<SimDuration>,
+    /// The RTO estimate recorded at each timeout retransmission.
+    pub rto_samples: Vec<SimDuration>,
+    /// `in_flight` recorded on each inbound ACK (Fig. 11).
+    pub in_flight_on_ack: Vec<u32>,
+    /// All observed retransmissions.
+    pub retrans_events: Vec<RetransEvent>,
+    /// DSACK count (spurious retransmissions).
+    pub spurious: u32,
+    /// Response intervals, in order.
+    pub responses: Vec<ResponseBound>,
+    /// Whether any inbound ACK advertised a zero window.
+    pub zero_rwnd_seen: bool,
+    /// When the server's SYN-ACK was sent (to seed SRTT from the handshake,
+    /// as the kernel does).
+    synack_at: Option<SimTime>,
+}
+
+impl Replay {
+    /// A fresh reconstruction.
+    pub fn new(cfg: ReplayConfig) -> Self {
+        Replay {
+            cfg,
+            hist: BTreeMap::new(),
+            outstanding: BTreeMap::new(),
+            snd_una: 0,
+            snd_nxt: 0,
+            sacked_out: 0,
+            lost_est: 0,
+            retrans_out: 0,
+            high_sacked: 0,
+            dupacks: 0,
+            ca_state: EstCaState::Open,
+            high_seq: 0,
+            rtt: MiniRtt::new(cfg),
+            last_rwnd: 0,
+            init_rwnd: None,
+            established: false,
+            rtt_samples: Vec::new(),
+            rto_samples: Vec::new(),
+            in_flight_on_ack: Vec::new(),
+            retrans_events: Vec::new(),
+            spurious: 0,
+            responses: Vec::new(),
+            zero_rwnd_seen: false,
+            synack_at: None,
+        }
+    }
+
+    // ------------------------------------------------------- observation
+
+    /// Estimated congestion state.
+    pub fn ca_state(&self) -> EstCaState {
+        self.ca_state
+    }
+
+    /// Highest offset sent.
+    pub fn snd_nxt(&self) -> u64 {
+        self.snd_nxt
+    }
+
+    /// Highest cumulative ACK seen.
+    pub fn snd_una(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// Smoothed RTT estimate, if any sample exists.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.rtt.srtt
+    }
+
+    /// Current RTO estimate.
+    pub fn rto(&self) -> SimDuration {
+        self.rtt.rto()
+    }
+
+    /// The stall threshold `min(τ·SRTT, RTO)` with τ = 2 (the paper's
+    /// definition); just the RTO before the first sample.
+    pub fn stall_threshold(&self) -> SimDuration {
+        match self.rtt.srtt {
+            Some(s) => s.saturating_mul(2).min(self.rtt.rto()),
+            None => self.rtt.rto(),
+        }
+    }
+
+    /// Equation 1.
+    pub fn in_flight(&self) -> u32 {
+        (self.outstanding.len() as u32 + self.retrans_out)
+            .saturating_sub(self.sacked_out + self.lost_est)
+    }
+
+    /// Unacked segments wholly below the highest SACKed offset — the
+    /// paper's `holes` parameter (reordered or dropped packets).
+    pub fn holes(&self) -> u32 {
+        self.outstanding
+            .iter()
+            .filter(|(seq, seg)| !seg.sacked && **seq + seg.len as u64 <= self.high_sacked)
+            .count() as u32
+    }
+
+    /// Snapshot the current state (taken just before a stall-ending packet).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            ca_state: self.ca_state,
+            packets_out: self.outstanding.len() as u32,
+            sacked_out: self.sacked_out,
+            retrans_out: self.retrans_out,
+            lost_est: self.lost_est,
+            holes: self.holes(),
+            in_flight: self.in_flight(),
+            rwnd: self.last_rwnd,
+            dupacks: self.dupacks,
+        }
+    }
+
+    // --------------------------------------------------------- processing
+
+    /// Feed the next trace record (must be offered in time order).
+    pub fn process(&mut self, idx: usize, rec: &TraceRecord) {
+        if rec.flags.syn {
+            if rec.dir == Direction::In {
+                self.init_rwnd = Some(rec.rwnd);
+                self.last_rwnd = rec.rwnd;
+            } else {
+                self.synack_at = Some(rec.t);
+            }
+            return;
+        }
+        if !self.established {
+            // Seed SRTT from the handshake round trip (SYN-ACK → first ACK),
+            // as the kernel does.
+            if let (Direction::In, Some(sa)) = (rec.dir, self.synack_at.take()) {
+                let sample = rec.t.saturating_since(sa);
+                if !sample.is_zero() {
+                    self.rtt.observe(sample);
+                }
+            }
+            // The SYN's 16-bit window field is unscaled and clamps at 64KB;
+            // the true initial receive window is the (scaled) one on the
+            // handshake-completing ACK.
+            if rec.dir == Direction::In && rec.flags.ack {
+                self.init_rwnd = Some(rec.rwnd);
+            }
+        }
+        self.established = true;
+        match rec.dir {
+            Direction::Out => self.process_out(idx, rec),
+            Direction::In => self.process_in(idx, rec),
+        }
+    }
+
+    fn process_out(&mut self, idx: usize, rec: &TraceRecord) {
+        if !rec.has_data() {
+            return;
+        }
+        if rec.seq < self.snd_nxt {
+            self.observe_retransmission(idx, rec);
+            return;
+        }
+        // New data (tolerate a gap if the capture missed packets).
+        let hist = SegHist {
+            len: rec.len,
+            first_tx: rec.t,
+            last_tx: rec.t,
+            tx_count: 1,
+            first_retrans: None,
+            dsacked: false,
+        };
+        self.hist.insert(rec.seq, hist);
+        self.outstanding.insert(
+            rec.seq,
+            OutSeg {
+                len: rec.len,
+                sacked: false,
+                lost: false,
+                retrans_out: false,
+            },
+        );
+        self.snd_nxt = rec.seq_end();
+    }
+
+    fn observe_retransmission(&mut self, idx: usize, rec: &TraceRecord) {
+        let threshold = self.stall_threshold();
+        let waited = self
+            .hist
+            .get(&rec.seq)
+            .map(|h| rec.t.saturating_since(h.last_tx));
+        let silent_gap = waited.is_none_or(|w| w > threshold);
+
+        // Classify the trigger, mirroring the sender's decision logic:
+        //
+        // * enough dupacks, or an ongoing Recovery (partial-ACK
+        //   retransmissions) ⇒ fast retransmit;
+        // * an ongoing Loss state ⇒ timeout-driven (follow-up
+        //   retransmissions of the marked-lost queue do not constitute new
+        //   timeout *events* unless a fresh silent gap precedes them);
+        // * otherwise a retransmission after a silent gap is a timeout; a
+        //   quick one without dupacks is a probe (TLP / S-RTO), which
+        //   behaves like a fast retransmit (no window collapse).
+        let dup = self.dupacks.max(self.sacked_out);
+        // Only a retransmission of the *head* segment constitutes a new
+        // timeout event; Loss-state follow-up retransmissions of the
+        // marked-lost queue ride the same episode.
+        let is_head = rec.seq <= self.snd_una
+            || self
+                .outstanding
+                .keys()
+                .next()
+                .is_some_and(|&lo| rec.seq <= lo);
+        let (kind, fresh_timeout) = if self.ca_state == EstCaState::Loss {
+            (RetransKind::Timeout, silent_gap && is_head)
+        } else if dup >= self.cfg.dupthres || self.ca_state == EstCaState::Recovery {
+            (RetransKind::Fast, false)
+        } else if silent_gap && is_head {
+            (RetransKind::Timeout, true)
+        } else {
+            (RetransKind::Fast, false)
+        };
+
+        let nth;
+        if let Some(h) = self.hist.get_mut(&rec.seq) {
+            h.tx_count += 1;
+            nth = h.tx_count - 1;
+            if h.first_retrans.is_none() {
+                h.first_retrans = Some(kind);
+            }
+            h.last_tx = rec.t;
+        } else {
+            // Retransmission of a segment the capture never saw originally.
+            self.hist.insert(
+                rec.seq,
+                SegHist {
+                    len: rec.len,
+                    first_tx: rec.t,
+                    last_tx: rec.t,
+                    tx_count: 2,
+                    first_retrans: Some(kind),
+                    dsacked: false,
+                },
+            );
+            nth = 1;
+        }
+        self.retrans_events.push(RetransEvent {
+            idx,
+            seq: rec.seq,
+            nth,
+            kind,
+        });
+
+        match kind {
+            RetransKind::Timeout => {
+                if fresh_timeout {
+                    // The *observed* RTO: how long the sender actually
+                    // waited since this segment's previous transmission
+                    // (includes exponential backoff, as in Fig. 1).
+                    self.rto_samples
+                        .push(waited.unwrap_or_else(|| self.rtt.rto()));
+                    self.ca_state = EstCaState::Loss;
+                    self.high_seq = self.snd_nxt;
+                    self.dupacks = 0;
+                    // The sender marked everything outstanding lost.
+                    for (_, seg) in self.outstanding.iter_mut() {
+                        if seg.retrans_out {
+                            seg.retrans_out = false;
+                            self.retrans_out -= 1;
+                        }
+                        if !seg.sacked && !seg.lost {
+                            seg.lost = true;
+                            self.lost_est += 1;
+                        }
+                    }
+                }
+            }
+            RetransKind::Fast => {
+                if self.ca_state != EstCaState::Recovery {
+                    self.ca_state = EstCaState::Recovery;
+                    self.high_seq = self.snd_nxt;
+                }
+            }
+        }
+        if let Some(seg) = self.outstanding.get_mut(&rec.seq) {
+            if !seg.lost && !seg.sacked {
+                seg.lost = true;
+                self.lost_est += 1;
+            }
+            if !seg.retrans_out {
+                seg.retrans_out = true;
+                self.retrans_out += 1;
+            }
+        }
+    }
+
+    fn process_in(&mut self, idx: usize, rec: &TraceRecord) {
+        let _ = idx;
+        let old_rwnd = self.last_rwnd;
+        self.last_rwnd = rec.rwnd;
+        if rec.rwnd == 0 {
+            self.zero_rwnd_seen = true;
+        }
+
+        if rec.has_data() {
+            // A request: open a new response interval at the current
+            // outbound high-water mark.
+            self.responses.push(ResponseBound {
+                request_at: rec.t,
+                start_seq: self.snd_nxt,
+                end_seq: u64::MAX,
+            });
+        }
+
+        if !rec.flags.ack {
+            return;
+        }
+
+        // DSACK: spurious-retransmission evidence.
+        if rec.dsack {
+            self.spurious += 1;
+            if let Some(b) = rec.sack.first() {
+                if let Some((_, h)) = self.hist.range_mut(..=b.start).next_back() {
+                    h.dsacked = true;
+                }
+            }
+        }
+
+        // SACK marks.
+        let blocks = if rec.dsack && !rec.sack.is_empty() {
+            &rec.sack[1..]
+        } else {
+            &rec.sack[..]
+        };
+        let mut newly_sacked = 0u32;
+        for b in blocks {
+            self.high_sacked = self.high_sacked.max(b.end);
+            for (seq, seg) in self.outstanding.range_mut(b.start..) {
+                if seq + seg.len as u64 > b.end {
+                    break;
+                }
+                if seg.sacked {
+                    continue;
+                }
+                seg.sacked = true;
+                self.sacked_out += 1;
+                newly_sacked += 1;
+                if seg.lost {
+                    seg.lost = false;
+                    self.lost_est -= 1;
+                }
+                if seg.retrans_out {
+                    seg.retrans_out = false;
+                    self.retrans_out -= 1;
+                }
+            }
+        }
+
+        let advanced = rec.ack > self.snd_una;
+        if advanced {
+            // Remove fully acknowledged segments; sample RTT from the
+            // highest never-retransmitted one.
+            let acked: Vec<u64> = self
+                .outstanding
+                .range(..rec.ack)
+                .filter(|(seq, seg)| *seq + seg.len as u64 <= rec.ack)
+                .map(|(seq, _)| *seq)
+                .collect();
+            let mut rtt_sample = None;
+            for seq in acked {
+                let seg = self.outstanding.remove(&seq).expect("present");
+                if seg.sacked {
+                    self.sacked_out -= 1;
+                }
+                if seg.lost {
+                    self.lost_est -= 1;
+                }
+                if seg.retrans_out {
+                    self.retrans_out -= 1;
+                }
+                if let Some(h) = self.hist.get(&seq) {
+                    if h.tx_count == 1 {
+                        rtt_sample = Some(rec.t.saturating_since(h.first_tx));
+                    }
+                }
+            }
+            if let Some(s) = rtt_sample {
+                self.rtt.observe(s);
+                self.rtt_samples.push(s);
+            }
+            self.snd_una = rec.ack;
+            self.dupacks = 0;
+            // State exits.
+            if matches!(self.ca_state, EstCaState::Recovery | EstCaState::Loss)
+                && self.snd_una >= self.high_seq
+            {
+                self.ca_state = if self.sacked_out > 0 {
+                    EstCaState::Disorder
+                } else {
+                    EstCaState::Open
+                };
+            } else if self.ca_state == EstCaState::Disorder && self.sacked_out == 0 {
+                self.ca_state = EstCaState::Open;
+            }
+        } else {
+            let is_dup = !rec.has_data()
+                && rec.ack == self.snd_una
+                && !self.outstanding.is_empty()
+                && (newly_sacked > 0 || (rec.sack.is_empty() && rec.rwnd == old_rwnd));
+            if is_dup {
+                self.dupacks += 1;
+                if self.ca_state == EstCaState::Open {
+                    self.ca_state = EstCaState::Disorder;
+                }
+                // In Recovery, keep estimating losses FACK-style.
+                if self.ca_state == EstCaState::Recovery {
+                    self.mark_lost_fack();
+                }
+            }
+        }
+
+        if !self.outstanding.is_empty() {
+            self.in_flight_on_ack.push(self.in_flight());
+        }
+    }
+
+    fn mark_lost_fack(&mut self) {
+        let threshold = (self.cfg.dupthres.saturating_sub(1)) as u64 * self.cfg.mss as u64;
+        let high = self.high_sacked;
+        for (seq, seg) in self.outstanding.iter_mut() {
+            if seq + seg.len as u64 + threshold > high {
+                break;
+            }
+            if seg.sacked || seg.lost || seg.retrans_out {
+                continue;
+            }
+            seg.lost = true;
+            self.lost_est += 1;
+        }
+    }
+
+    /// Close the reconstruction: fill in response end offsets.
+    pub fn finish(&mut self) {
+        let n = self.responses.len();
+        for i in 0..n {
+            let end = if i + 1 < n {
+                self.responses[i + 1].start_seq
+            } else {
+                self.snd_nxt
+            };
+            self.responses[i].end_seq = end;
+        }
+    }
+
+    /// The response interval containing offset `seq`, if any.
+    pub fn response_of(&self, seq: u64) -> Option<&ResponseBound> {
+        self.responses
+            .iter()
+            .find(|r| seq >= r.start_seq && seq < r.end_seq.max(r.start_seq + 1))
+    }
+
+    /// Whether `seq` sits in the tail of its response: fewer than
+    /// `dupthres` full segments follow it.
+    pub fn is_tail(&self, seq: u64, len: u32) -> bool {
+        match self.response_of(seq) {
+            Some(r) => {
+                let end = seq + len as u64;
+                r.end_seq.saturating_sub(end) < self.cfg.dupthres as u64 * self.cfg.mss as u64
+            }
+            None => true,
+        }
+    }
+
+    /// Whether `seq` is the first segment of a response.
+    pub fn is_head(&self, seq: u64) -> bool {
+        self.responses.iter().any(|r| r.start_seq == seq)
+    }
+
+    /// The analyzer's config.
+    pub fn config(&self) -> ReplayConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_trace::record::{SackBlock, SegFlags};
+
+    const MSS: u32 = 1448;
+
+    fn out_data(t_ms: u64, seq: u64, len: u32) -> TraceRecord {
+        TraceRecord::data(
+            SimTime::from_millis(t_ms),
+            Direction::Out,
+            seq,
+            len,
+            0,
+            1 << 20,
+        )
+    }
+
+    fn in_ack(t_ms: u64, ack: u64) -> TraceRecord {
+        TraceRecord::pure_ack(SimTime::from_millis(t_ms), Direction::In, ack, 1 << 20)
+    }
+
+    fn in_sack(t_ms: u64, ack: u64, blocks: &[(u64, u64)]) -> TraceRecord {
+        let mut r = in_ack(t_ms, ack);
+        r.sack = blocks.iter().map(|&(a, b)| SackBlock::new(a, b)).collect();
+        r
+    }
+
+    fn replay(recs: &[TraceRecord]) -> Replay {
+        let mut rp = Replay::new(ReplayConfig::default());
+        for (i, r) in recs.iter().enumerate() {
+            rp.process(i, r);
+        }
+        rp.finish();
+        rp
+    }
+
+    #[test]
+    fn tracks_snd_nxt_una_and_rtt() {
+        let m = MSS as u64;
+        let rp = replay(&[out_data(0, 0, MSS), out_data(1, m, MSS), in_ack(100, 2 * m)]);
+        assert_eq!(rp.snd_nxt(), 2 * m);
+        assert_eq!(rp.snd_una(), 2 * m);
+        assert_eq!(rp.rtt_samples.len(), 1);
+        // Sample from the highest acked segment: 100 − 1 = 99ms.
+        assert_eq!(rp.rtt_samples[0], SimDuration::from_millis(99));
+        assert_eq!(rp.in_flight(), 0);
+    }
+
+    #[test]
+    fn dupacks_drive_disorder_then_fast_retransmission() {
+        let m = MSS as u64;
+        let mut recs = vec![];
+        for i in 0..5 {
+            recs.push(out_data(i, i * m, MSS));
+        }
+        // Three SACK dupacks for a hole at 0.
+        recs.push(in_sack(100, 0, &[(m, 2 * m)]));
+        recs.push(in_sack(101, 0, &[(m, 3 * m)]));
+        recs.push(in_sack(102, 0, &[(m, 4 * m)]));
+        // The fast retransmission of 0.
+        recs.push(out_data(103, 0, MSS));
+        let rp = replay(&recs);
+        assert_eq!(rp.ca_state(), EstCaState::Recovery);
+        assert_eq!(rp.retrans_events.len(), 1);
+        assert_eq!(rp.retrans_events[0].kind, RetransKind::Fast);
+        assert_eq!(
+            rp.hist.get(&0).unwrap().first_retrans,
+            Some(RetransKind::Fast)
+        );
+    }
+
+    #[test]
+    fn silent_retransmission_is_classified_timeout() {
+        let m = MSS as u64;
+        let rp = replay(&[
+            out_data(0, 0, MSS),
+            out_data(1, m, MSS),
+            // No ACKs at all; the sender retransmits after its RTO.
+            out_data(1200, 0, MSS),
+        ]);
+        assert_eq!(rp.retrans_events[0].kind, RetransKind::Timeout);
+        assert_eq!(rp.ca_state(), EstCaState::Loss);
+        assert_eq!(rp.rto_samples.len(), 1);
+        // All outstanding marked lost ⇒ in_flight counts only the retrans.
+        assert_eq!(rp.snapshot().lost_est, 2);
+        assert_eq!(rp.in_flight(), 1);
+    }
+
+    #[test]
+    fn recovery_exit_on_full_ack() {
+        let m = MSS as u64;
+        let mut recs = vec![];
+        for i in 0..5 {
+            recs.push(out_data(i, i * m, MSS));
+        }
+        recs.push(in_sack(100, 0, &[(m, 2 * m)]));
+        recs.push(in_sack(101, 0, &[(m, 3 * m)]));
+        recs.push(in_sack(102, 0, &[(m, 4 * m)]));
+        recs.push(out_data(103, 0, MSS));
+        recs.push(in_ack(200, 5 * m));
+        let rp = replay(&recs);
+        assert_eq!(rp.ca_state(), EstCaState::Open);
+        assert_eq!(rp.in_flight(), 0);
+    }
+
+    #[test]
+    fn dsack_marks_segment_spurious() {
+        let m = MSS as u64;
+        let mut recs = vec![
+            out_data(0, 0, MSS),
+            out_data(1, m, MSS),
+            out_data(400, 0, MSS), // timeout retransmission
+        ];
+        let mut d = in_ack(450, 2 * m);
+        d.sack = vec![SackBlock::new(0, m)];
+        d.dsack = true;
+        recs.push(d);
+        let rp = replay(&recs);
+        assert_eq!(rp.spurious, 1);
+        assert!(rp.hist.get(&0).unwrap().dsacked);
+    }
+
+    #[test]
+    fn responses_bound_head_and_tail() {
+        let m = MSS as u64;
+        let mut req1 =
+            TraceRecord::data(SimTime::from_millis(0), Direction::In, 0, 300, 0, 1 << 20);
+        req1.flags = SegFlags::ACK;
+        let mut req2 = TraceRecord::data(
+            SimTime::from_millis(500),
+            Direction::In,
+            300,
+            300,
+            4 * m,
+            1 << 20,
+        );
+        req2.flags = SegFlags::ACK;
+        let recs = vec![
+            req1,
+            out_data(10, 0, MSS),
+            out_data(11, m, MSS),
+            out_data(12, 2 * m, MSS),
+            out_data(13, 3 * m, MSS),
+            in_ack(110, 4 * m),
+            req2,
+            out_data(510, 4 * m, MSS),
+            out_data(511, 5 * m, MSS),
+        ];
+        let rp = replay(&recs);
+        assert_eq!(rp.responses.len(), 2);
+        assert_eq!(rp.responses[0].start_seq, 0);
+        assert_eq!(rp.responses[0].end_seq, 4 * m);
+        assert_eq!(rp.responses[1].start_seq, 4 * m);
+        assert!(rp.is_head(0));
+        assert!(rp.is_head(4 * m));
+        assert!(!rp.is_head(m));
+        // Tail: fewer than 3 MSS after the segment within its response.
+        assert!(rp.is_tail(3 * m, MSS));
+        assert!(rp.is_tail(2 * m, MSS)); // 1 seg after < 3
+        assert!(!rp.is_tail(0, MSS)); // 3 segs after
+    }
+
+    #[test]
+    fn init_rwnd_from_syn_and_zero_window_tracking() {
+        let mut syn = TraceRecord::pure_ack(SimTime::ZERO, Direction::In, 0, 4096);
+        syn.flags = SegFlags::SYN;
+        let mut zero = in_ack(100, 0);
+        zero.rwnd = 0;
+        let rp = replay(&[syn, out_data(10, 0, MSS), zero]);
+        assert_eq!(rp.init_rwnd, Some(4096));
+        assert!(rp.zero_rwnd_seen);
+    }
+
+    #[test]
+    fn stall_threshold_uses_min_of_2srtt_and_rto() {
+        let m = MSS as u64;
+        let mut rp = Replay::new(ReplayConfig::default());
+        assert_eq!(rp.stall_threshold(), SimDuration::from_secs(1));
+        rp.process(0, &out_data(0, 0, MSS));
+        rp.process(1, &in_ack(100, m));
+        // srtt = 100ms ⇒ 2·SRTT = 200ms < RTO = 300ms.
+        assert_eq!(rp.stall_threshold(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn in_flight_samples_collected_per_ack() {
+        let m = MSS as u64;
+        let rp = replay(&[
+            out_data(0, 0, MSS),
+            out_data(1, m, MSS),
+            out_data(2, 2 * m, MSS),
+            in_ack(100, m),
+            in_ack(101, 2 * m),
+        ]);
+        assert_eq!(rp.in_flight_on_ack, vec![2, 1]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Aggregation across flows: cause shares by count and stalled time
+//! (Tables 3 & 5), CDF construction (Figs. 1, 3, 6, 7, 10–12), and
+//! quantiles (Table 8).
+
+use std::collections::HashMap;
+
+use simnet::time::SimDuration;
+
+use crate::causes::{RetransCause, StallCause};
+use crate::FlowAnalysis;
+
+/// Share of a cause in stall volume (#) and stalled time (T), as percentages
+/// — the paper's table cells.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Share {
+    /// Percentage of stall count.
+    pub volume_pct: f64,
+    /// Percentage of stalled time.
+    pub time_pct: f64,
+}
+
+/// Aggregated stall statistics over a set of flows (one service).
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct StallBreakdown {
+    /// Total stalls observed.
+    pub total_stalls: u64,
+    /// Total stalled time.
+    pub total_stalled: SimDuration,
+    /// Per top-level cause: `(count, stalled time)`.
+    pub by_cause: HashMap<String, (u64, SimDuration)>,
+    /// Per retransmission subcause: `(count, stalled time)`.
+    pub by_retrans: HashMap<String, (u64, SimDuration)>,
+    /// Double-retransmission split: `(f-double time, t-double time)`.
+    pub double_split: (SimDuration, SimDuration),
+    /// Tail-retransmission split: `(Open-state time, Recovery-state time)`.
+    pub tail_split: (SimDuration, SimDuration),
+}
+
+impl StallBreakdown {
+    /// Accumulate one flow's stalls.
+    pub fn add_flow(&mut self, analysis: &FlowAnalysis) {
+        for stall in &analysis.stalls {
+            self.total_stalls += 1;
+            self.total_stalled += stall.duration;
+            let e = self
+                .by_cause
+                .entry(stall.cause.label().to_string())
+                .or_insert((0, SimDuration::ZERO));
+            e.0 += 1;
+            e.1 += stall.duration;
+            if let StallCause::Retransmission(rc) = stall.cause {
+                let e = self
+                    .by_retrans
+                    .entry(rc.label().to_string())
+                    .or_insert((0, SimDuration::ZERO));
+                e.0 += 1;
+                e.1 += stall.duration;
+                match rc {
+                    RetransCause::DoubleRetrans {
+                        first_was_fast: true,
+                    } => self.double_split.0 += stall.duration,
+                    RetransCause::DoubleRetrans {
+                        first_was_fast: false,
+                    } => self.double_split.1 += stall.duration,
+                    RetransCause::TailRetrans { open_state: true } => {
+                        self.tail_split.0 += stall.duration
+                    }
+                    RetransCause::TailRetrans { open_state: false } => {
+                        self.tail_split.1 += stall.duration
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// The `(volume %, time %)` share of a top-level cause label.
+    pub fn share(&self, label: &str) -> Share {
+        match self.by_cause.get(label) {
+            None => Share::default(),
+            Some(&(n, t)) => Share {
+                volume_pct: pct(n as f64, self.total_stalls as f64),
+                time_pct: pct(t.as_secs_f64(), self.total_stalled.as_secs_f64()),
+            },
+        }
+    }
+
+    /// The `(volume %, time %)` share of a retransmission subcause label,
+    /// relative to retransmission stalls only (Table 5's denominators).
+    pub fn retrans_share(&self, label: &str) -> Share {
+        let (tot_n, tot_t) = self
+            .by_retrans
+            .values()
+            .fold((0u64, SimDuration::ZERO), |(n, t), &(cn, ct)| {
+                (n + cn, t + ct)
+            });
+        match self.by_retrans.get(label) {
+            None => Share::default(),
+            Some(&(n, t)) => Share {
+                volume_pct: pct(n as f64, tot_n as f64),
+                time_pct: pct(t.as_secs_f64(), tot_t.as_secs_f64()),
+            },
+        }
+    }
+}
+
+fn pct(num: f64, den: f64) -> f64 {
+    if den <= 0.0 {
+        0.0
+    } else {
+        100.0 * num / den
+    }
+}
+
+/// An empirical CDF over `f64` samples.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from raw samples (NaNs are dropped).
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.retain(|x| x.is_finite());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples ≤ `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.sorted.len() as f64 * q).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        Some(self.sorted[idx])
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// `(x, F(x))` pairs at the given probe points — a plottable series.
+    pub fn series(&self, probes: &[f64]) -> Vec<(f64, f64)> {
+        probes.iter().map(|&x| (x, self.at(x))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::causes::{RetransCause, StallCause};
+    use crate::classify::Stall;
+    use crate::replay::{EstCaState, Snapshot};
+    use crate::{FlowAnalysis, FlowMetrics};
+    use simnet::time::SimTime;
+
+    fn stall(cause: StallCause, ms: u64) -> Stall {
+        Stall {
+            start: SimTime::ZERO,
+            end: SimTime::from_millis(ms),
+            duration: SimDuration::from_millis(ms),
+            end_record: 0,
+            cause,
+            snapshot: Snapshot {
+                ca_state: EstCaState::Open,
+                packets_out: 0,
+                sacked_out: 0,
+                retrans_out: 0,
+                lost_est: 0,
+                holes: 0,
+                in_flight: 0,
+                rwnd: 0,
+                dupacks: 0,
+            },
+            rel_position: 0.0,
+        }
+    }
+
+    fn analysis(stalls: Vec<Stall>) -> FlowAnalysis {
+        FlowAnalysis {
+            stalls,
+            metrics: FlowMetrics::default(),
+            rtt_samples: vec![],
+            rto_samples: vec![],
+            in_flight_on_ack: vec![],
+            init_rwnd: None,
+            zero_rwnd_seen: false,
+        }
+    }
+
+    #[test]
+    fn breakdown_shares_sum_to_hundred() {
+        let mut b = StallBreakdown::default();
+        b.add_flow(&analysis(vec![
+            stall(StallCause::ClientIdle, 100),
+            stall(
+                StallCause::Retransmission(RetransCause::TailRetrans { open_state: true }),
+                300,
+            ),
+            stall(StallCause::Retransmission(RetransCause::SmallCwnd), 600),
+        ]));
+        let idle = b.share("client idle");
+        let retr = b.share("retrans.");
+        assert!((idle.volume_pct - 33.333).abs() < 0.01);
+        assert!((retr.volume_pct - 66.667).abs() < 0.01);
+        assert!((idle.time_pct - 10.0).abs() < 0.01);
+        assert!((retr.time_pct - 90.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn retrans_shares_use_retrans_denominator() {
+        let mut b = StallBreakdown::default();
+        b.add_flow(&analysis(vec![
+            stall(StallCause::ClientIdle, 1000),
+            stall(
+                StallCause::Retransmission(RetransCause::DoubleRetrans {
+                    first_was_fast: true,
+                }),
+                300,
+            ),
+            stall(StallCause::Retransmission(RetransCause::SmallCwnd), 100),
+        ]));
+        let d = b.retrans_share("Double retr.");
+        assert!((d.volume_pct - 50.0).abs() < 1e-9);
+        assert!((d.time_pct - 75.0).abs() < 1e-9);
+        assert_eq!(b.double_split.0, SimDuration::from_millis(300));
+        assert_eq!(b.double_split.1, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn cdf_quantiles_and_at() {
+        let c = Cdf::from_samples(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(c.at(0.5), 0.0);
+        assert_eq!(c.at(3.0), 0.6);
+        assert_eq!(c.at(10.0), 1.0);
+        assert_eq!(c.quantile(0.5), Some(3.0));
+        assert_eq!(c.quantile(0.9), Some(5.0));
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        assert_eq!(c.mean(), Some(3.0));
+    }
+
+    #[test]
+    fn cdf_handles_empty_and_nan() {
+        let c = Cdf::from_samples(vec![f64::NAN]);
+        assert!(c.is_empty());
+        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.at(1.0), 0.0);
+    }
+
+    #[test]
+    fn cdf_series_is_monotone() {
+        let c = Cdf::from_samples((0..100).map(|i| i as f64).collect());
+        let s = c.series(&[10.0, 50.0, 90.0]);
+        assert!(s.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+}

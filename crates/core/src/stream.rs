@@ -1,0 +1,231 @@
+//! Online (streaming) stall analysis.
+//!
+//! The paper's TAPO ran integrated into Qihoo 360's TCP analysis platform
+//! for daily maintenance. [`StreamAnalyzer`] supports that deployment
+//! style: records are pushed one at a time as they are captured, stalls are
+//! surfaced the moment the packet ending them arrives (with a
+//! *provisional* cause based on the flow so far), and [`StreamAnalyzer::finish`]
+//! produces the exact same [`FlowAnalysis`] as the offline
+//! [`crate::analyze_flow`] — final causes can differ from provisional ones
+//! only where later evidence (a DSACK proving a retransmission spurious, a
+//! later request delimiting a response tail) changes the verdict.
+//!
+//! Memory: the analyzer keeps per-segment history (as the offline pass
+//! does) plus only the stall-ending records — not the whole trace.
+
+use simnet::time::{SimDuration, SimTime};
+use tcp_trace::record::{Direction, TraceRecord};
+
+use crate::classify::{self, Candidate, Stall};
+use crate::replay::Replay;
+use crate::{AnalyzerConfig, FlowAnalysis, FlowMetrics};
+
+/// Incremental TAPO: push records, get stalls as they end, finish for the
+/// full analysis.
+#[derive(Debug)]
+pub struct StreamAnalyzer {
+    cfg: AnalyzerConfig,
+    replay: Replay,
+    prev_t: Option<SimTime>,
+    idx: usize,
+    /// Stall candidates with their (owned) ending records.
+    pending: Vec<(Candidate, TraceRecord)>,
+    first_t: Option<SimTime>,
+    last_t: Option<SimTime>,
+    wire_bytes_out: u64,
+    data_pkts_out: u64,
+}
+
+impl StreamAnalyzer {
+    /// A fresh analyzer for one flow.
+    pub fn new(cfg: AnalyzerConfig) -> Self {
+        StreamAnalyzer {
+            cfg,
+            replay: Replay::new(cfg.replay),
+            prev_t: None,
+            idx: 0,
+            pending: Vec::new(),
+            first_t: None,
+            last_t: None,
+            wire_bytes_out: 0,
+            data_pkts_out: 0,
+        }
+    }
+
+    /// Feed the next captured record (must be in time order). If this
+    /// record ends a stall, the stall is returned immediately with a
+    /// provisional cause.
+    pub fn push(&mut self, rec: &TraceRecord) -> Option<Stall> {
+        let mut emitted = None;
+        if let Some(pt) = self.prev_t {
+            if self.replay.established {
+                let gap = rec.t.saturating_since(pt);
+                if gap > self.replay.stall_threshold() {
+                    let cand = Candidate {
+                        start: pt,
+                        end: rec.t,
+                        end_record: self.idx,
+                        snapshot: self.replay.snapshot(),
+                    };
+                    // Provisional classification against the flow so far.
+                    // (`finish` re-classifies with complete knowledge.)
+                    let stall = classify::classify(&cand, rec, &self.replay, &self.cfg.classify);
+                    self.pending.push((cand, rec.clone()));
+                    emitted = Some(stall);
+                }
+            }
+        }
+        self.replay.process(self.idx, rec);
+        if rec.dir == Direction::Out && rec.has_data() {
+            self.wire_bytes_out += rec.len as u64;
+            self.data_pkts_out += 1;
+        }
+        self.first_t.get_or_insert(rec.t);
+        self.last_t = Some(rec.t);
+        self.prev_t = Some(rec.t);
+        self.idx += 1;
+        emitted
+    }
+
+    /// Close the flow and produce the full (offline-equivalent) analysis.
+    pub fn finish(mut self) -> FlowAnalysis {
+        self.replay.finish();
+        let stalls: Vec<Stall> = self
+            .pending
+            .iter()
+            .map(|(cand, rec)| classify::classify(cand, rec, &self.replay, &self.cfg.classify))
+            .collect();
+        let stalled_time = stalls
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.duration);
+        let duration = match (self.first_t, self.last_t) {
+            (Some(a), Some(b)) => b.saturating_since(a),
+            _ => SimDuration::ZERO,
+        };
+        let goodput = self.replay.snd_nxt();
+        let mean = |v: &[SimDuration]| {
+            if v.is_empty() {
+                None
+            } else {
+                Some(SimDuration::from_micros(
+                    v.iter().map(|d| d.as_micros()).sum::<u64>() / v.len() as u64,
+                ))
+            }
+        };
+        let metrics = FlowMetrics {
+            duration,
+            stalled_time,
+            goodput_bytes: goodput,
+            wire_bytes_out: self.wire_bytes_out,
+            data_pkts_out: self.data_pkts_out,
+            retrans_pkts: self.replay.retrans_events.len() as u64,
+            mean_rtt: mean(&self.replay.rtt_samples),
+            mean_rto: mean(&self.replay.rto_samples),
+            avg_speed_bps: if duration.is_zero() {
+                0.0
+            } else {
+                goodput as f64 / duration.as_secs_f64()
+            },
+        };
+        FlowAnalysis {
+            stalls,
+            metrics,
+            rtt_samples: std::mem::take(&mut self.replay.rtt_samples),
+            rto_samples: std::mem::take(&mut self.replay.rto_samples),
+            in_flight_on_ack: std::mem::take(&mut self.replay.in_flight_on_ack),
+            init_rwnd: self.replay.init_rwnd,
+            zero_rwnd_seen: self.replay.zero_rwnd_seen,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze_flow;
+    use tcp_trace::flow::FlowTrace;
+
+    fn sample_trace() -> FlowTrace {
+        let mut t = FlowTrace::default();
+        t.push(TraceRecord::data(
+            SimTime::from_millis(0),
+            Direction::In,
+            0,
+            300,
+            0,
+            1 << 20,
+        ));
+        t.push(TraceRecord::data(
+            SimTime::from_millis(1500),
+            Direction::Out,
+            0,
+            1448,
+            300,
+            1 << 20,
+        ));
+        t.push(TraceRecord::pure_ack(
+            SimTime::from_millis(1600),
+            Direction::In,
+            1448,
+            1 << 20,
+        ));
+        // Tail loss repaired by a timeout.
+        t.push(TraceRecord::data(
+            SimTime::from_millis(1601),
+            Direction::Out,
+            1448,
+            1448,
+            300,
+            1 << 20,
+        ));
+        t.push(TraceRecord::data(
+            SimTime::from_millis(2400),
+            Direction::Out,
+            1448,
+            1448,
+            300,
+            1 << 20,
+        ));
+        t.push(TraceRecord::pure_ack(
+            SimTime::from_millis(2500),
+            Direction::In,
+            2896,
+            1 << 20,
+        ));
+        t
+    }
+
+    #[test]
+    fn streaming_emits_stalls_as_they_end() {
+        let trace = sample_trace();
+        let mut an = StreamAnalyzer::new(AnalyzerConfig::default());
+        let mut live = Vec::new();
+        for rec in &trace.records {
+            if let Some(stall) = an.push(rec) {
+                live.push(stall);
+            }
+        }
+        assert_eq!(
+            live.len(),
+            2,
+            "data-unavailable and tail stalls surface live"
+        );
+        let offline = an.finish();
+        assert_eq!(offline.stalls.len(), 2);
+    }
+
+    #[test]
+    fn finish_matches_offline_analysis() {
+        let trace = sample_trace();
+        let offline = analyze_flow(&trace, AnalyzerConfig::default());
+        let mut an = StreamAnalyzer::new(AnalyzerConfig::default());
+        for rec in &trace.records {
+            an.push(rec);
+        }
+        let streamed = an.finish();
+        assert_eq!(offline.stalls, streamed.stalls);
+        assert_eq!(offline.metrics, streamed.metrics);
+        assert_eq!(offline.init_rwnd, streamed.init_rwnd);
+        assert_eq!(offline.rtt_samples, streamed.rtt_samples);
+    }
+}

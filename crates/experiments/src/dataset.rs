@@ -1,0 +1,115 @@
+//! The shared measurement dataset: three per-service corpora simulated
+//! under the native (Linux 2.6.32) stack and analyzed by TAPO — the
+//! simulated counterpart of the paper's 7-day production capture that
+//! Sections 2–4 are computed from.
+
+use tapo::{analyze_flow, AnalyzerConfig, FlowAnalysis, StallBreakdown};
+use tcp_sim::recovery::RecoveryMechanism;
+use workloads::{synthesize_corpus, Corpus, Service};
+
+/// How large a dataset to synthesize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Scale {
+    /// Flows per service.
+    pub flows_per_service: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The default for the `repro` binary: large enough for stable shares.
+    pub fn standard() -> Self {
+        Scale {
+            flows_per_service: 400,
+            seed: 2015,
+        }
+    }
+
+    /// A fast scale for tests and benches.
+    pub fn quick() -> Self {
+        Scale {
+            flows_per_service: 60,
+            seed: 2015,
+        }
+    }
+}
+
+/// One service's corpus plus its TAPO analyses and aggregate breakdown.
+#[derive(Debug)]
+pub struct ServiceData {
+    /// The service.
+    pub service: Service,
+    /// Simulated flows (traces + ground truth).
+    pub corpus: Corpus,
+    /// TAPO's per-flow analysis.
+    pub analyses: Vec<FlowAnalysis>,
+    /// Aggregated stall breakdown.
+    pub breakdown: StallBreakdown,
+}
+
+impl ServiceData {
+    /// Build one service's data at the given scale.
+    pub fn build(service: Service, scale: Scale) -> Self {
+        let corpus = synthesize_corpus(
+            service,
+            scale.flows_per_service,
+            RecoveryMechanism::Native,
+            scale.seed,
+        );
+        let cfg = AnalyzerConfig::default();
+        let analyses: Vec<FlowAnalysis> = corpus
+            .flows
+            .iter()
+            .map(|f| analyze_flow(&f.trace, cfg))
+            .collect();
+        let mut breakdown = StallBreakdown::default();
+        for a in &analyses {
+            breakdown.add_flow(a);
+        }
+        ServiceData {
+            service,
+            corpus,
+            analyses,
+            breakdown,
+        }
+    }
+}
+
+/// The full three-service dataset.
+#[derive(Debug)]
+pub struct Dataset {
+    /// Per-service data, in the paper's table order.
+    pub services: Vec<ServiceData>,
+    /// The scale it was built at.
+    pub scale: Scale,
+}
+
+impl Dataset {
+    /// Synthesize and analyze all three services.
+    pub fn build(scale: Scale) -> Self {
+        let services = Service::ALL
+            .iter()
+            .map(|&s| ServiceData::build(s, scale))
+            .collect();
+        Dataset { services, scale }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_dataset_builds_and_detects_stalls() {
+        let data = ServiceData::build(
+            Service::WebSearch,
+            Scale {
+                flows_per_service: 20,
+                seed: 1,
+            },
+        );
+        assert_eq!(data.analyses.len(), 20);
+        // With 2% bursty loss and back-end delays, some stalls must exist.
+        assert!(data.breakdown.total_stalls > 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 1: distributions of per-flow RTT and RTO, and of their ratio.
+
+use tapo::Cdf;
+
+use crate::dataset::Dataset;
+use crate::output::{Figure, Series};
+
+/// Log-spaced probe points from `lo` to `hi` (inclusive-ish).
+pub fn log_probes(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    let (l, h) = (lo.ln(), hi.ln());
+    (0..n)
+        .map(|i| (l + (h - l) * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+/// Figure 1a: CDFs of per-flow mean RTT and mean RTO (ms, log x-axis).
+pub fn fig1a(ds: &Dataset) -> Figure {
+    let probes = log_probes(1.0, 100_000.0, 61);
+    let mut series = Vec::new();
+    for sd in &ds.services {
+        let rtt = Cdf::from_samples(
+            sd.analyses
+                .iter()
+                .filter_map(|a| a.metrics.mean_rtt.map(|d| d.as_secs_f64() * 1e3))
+                .collect(),
+        );
+        series.push(Series {
+            name: format!("{} RTT", sd.service.label()),
+            points: rtt.series(&probes),
+        });
+    }
+    for sd in &ds.services {
+        let rto = Cdf::from_samples(
+            sd.analyses
+                .iter()
+                .filter_map(|a| a.metrics.mean_rto.map(|d| d.as_secs_f64() * 1e3))
+                .collect(),
+        );
+        series.push(Series {
+            name: format!("{} RTO", sd.service.label()),
+            points: rto.series(&probes),
+        });
+    }
+    Figure {
+        id: "fig1a".into(),
+        title: "Per-flow RTT and RTO".into(),
+        x_label: "Time (ms)".into(),
+        y_label: "CDF".into(),
+        series,
+    }
+}
+
+/// Figure 1b: CDF of RTO normalized by RTT (log x-axis).
+pub fn fig1b(ds: &Dataset) -> Figure {
+    let probes = log_probes(1.0, 100.0, 41);
+    let mut series = Vec::new();
+    for sd in &ds.services {
+        let ratios: Vec<f64> = sd
+            .analyses
+            .iter()
+            .filter_map(|a| match (a.metrics.mean_rto, a.metrics.mean_rtt) {
+                (Some(rto), Some(rtt)) if rtt.as_micros() > 0 => {
+                    Some(rto.as_secs_f64() / rtt.as_secs_f64())
+                }
+                _ => None,
+            })
+            .collect();
+        series.push(Series {
+            name: sd.service.label().to_string(),
+            points: Cdf::from_samples(ratios).series(&probes),
+        });
+    }
+    Figure {
+        id: "fig1b".into(),
+        title: "RTO normalized by RTT".into(),
+        x_label: "RTO/RTT".into(),
+        y_label: "CDF".into(),
+        series,
+    }
+}

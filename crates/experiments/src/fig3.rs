@@ -1,0 +1,42 @@
+//! Figure 3: ratio of stalled time to flow transmission time.
+
+use tapo::Cdf;
+
+use crate::dataset::Dataset;
+use crate::output::{Figure, Series};
+
+/// Regenerate Figure 3: per-service CDF of `stalled_time / transmission
+/// time` over all flows (flows without stalls contribute 0).
+pub fn fig3(ds: &Dataset) -> Figure {
+    let probes: Vec<f64> = (0..=50).map(|i| i as f64 / 50.0).collect();
+    let series = ds
+        .services
+        .iter()
+        .map(|sd| Series {
+            name: sd.service.label().to_string(),
+            points: Cdf::from_samples(sd.analyses.iter().map(|a| a.stall_ratio()).collect())
+                .series(&probes),
+        })
+        .collect();
+    Figure {
+        id: "fig3".into(),
+        title: "Ratio of stalled time to transmission time".into(),
+        x_label: "Stalled time / transmission time".into(),
+        y_label: "CDF".into(),
+        series,
+    }
+}
+
+/// Headline statistics quoted in §2.2: the fraction of flows with at least
+/// one stall, and the fraction stalled for more than half their lifetime.
+pub fn stall_headline(ds: &Dataset) -> Vec<(String, f64, f64)> {
+    ds.services
+        .iter()
+        .map(|sd| {
+            let n = sd.analyses.len().max(1) as f64;
+            let any = sd.analyses.iter().filter(|a| !a.stalls.is_empty()).count() as f64 / n;
+            let half = sd.analyses.iter().filter(|a| a.stall_ratio() > 0.5).count() as f64 / n;
+            (sd.service.label().to_string(), any, half)
+        })
+        .collect()
+}

@@ -1,0 +1,37 @@
+//! Figure 6: distribution of initial receive windows.
+
+use tapo::Cdf;
+
+use crate::dataset::Dataset;
+use crate::output::{Figure, Series};
+
+/// The x-axis bucket edges the paper uses (MSS units).
+pub const RWND_BUCKETS_MSS: [f64; 9] = [2.0, 5.0, 11.0, 22.0, 45.0, 182.0, 364.0, 1297.0, 1456.0];
+
+/// Regenerate Figure 6: per-service CDF of the initial receive window
+/// advertised in the SYN, in MSS units.
+pub fn fig6(ds: &Dataset) -> Figure {
+    let mss = 1448.0;
+    let series = ds
+        .services
+        .iter()
+        .map(|sd| {
+            let samples: Vec<f64> = sd
+                .analyses
+                .iter()
+                .filter_map(|a| a.init_rwnd.map(|w| w as f64 / mss))
+                .collect();
+            Series {
+                name: sd.service.label().to_string(),
+                points: Cdf::from_samples(samples).series(&RWND_BUCKETS_MSS),
+            }
+        })
+        .collect();
+    Figure {
+        id: "fig6".into(),
+        title: "Distribution of initial receive windows".into(),
+        x_label: "Initial rwnd (MSS)".into(),
+        y_label: "CDF".into(),
+        series,
+    }
+}

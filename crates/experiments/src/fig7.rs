@@ -1,0 +1,86 @@
+//! Figures 7 and 10: the context (stream position, in-flight size) in which
+//! double-retransmission and tail-retransmission stalls happen.
+
+use tapo::{Cdf, RetransCause, StallCause};
+
+use crate::dataset::Dataset;
+use crate::output::{Figure, Series};
+
+fn context_figures(
+    ds: &Dataset,
+    want: impl Fn(&StallCause) -> bool,
+    id_pos: &str,
+    id_if: &str,
+    what: &str,
+) -> (Figure, Figure) {
+    let pos_probes: Vec<f64> = (0..=50).map(|i| i as f64 / 50.0).collect();
+    let if_probes: Vec<f64> = (0..=25).map(|i| i as f64).collect();
+    let mut pos_series = Vec::new();
+    let mut if_series = Vec::new();
+    for sd in &ds.services {
+        let stalls: Vec<_> = sd
+            .analyses
+            .iter()
+            .flat_map(|a| a.stalls.iter())
+            .filter(|s| want(&s.cause))
+            .collect();
+        pos_series.push(Series {
+            name: sd.service.label().to_string(),
+            points: Cdf::from_samples(stalls.iter().map(|s| s.rel_position).collect())
+                .series(&pos_probes),
+        });
+        if_series.push(Series {
+            name: sd.service.label().to_string(),
+            points: Cdf::from_samples(stalls.iter().map(|s| s.snapshot.in_flight as f64).collect())
+                .series(&if_probes),
+        });
+    }
+    (
+        Figure {
+            id: id_pos.into(),
+            title: format!("Relative position of {what} stalls"),
+            x_label: "Position".into(),
+            y_label: "CDF".into(),
+            series: pos_series,
+        },
+        Figure {
+            id: id_if.into(),
+            title: format!("In-flight size at {what} stalls"),
+            x_label: "#(in-flight packets)".into(),
+            y_label: "CDF".into(),
+            series: if_series,
+        },
+    )
+}
+
+/// Figures 7a/7b: context for double-retransmission stalls.
+pub fn fig7(ds: &Dataset) -> (Figure, Figure) {
+    context_figures(
+        ds,
+        |c| {
+            matches!(
+                c,
+                StallCause::Retransmission(RetransCause::DoubleRetrans { .. })
+            )
+        },
+        "fig7a",
+        "fig7b",
+        "double-retransmission",
+    )
+}
+
+/// Figures 10a/10b: context for tail-retransmission stalls.
+pub fn fig10(ds: &Dataset) -> (Figure, Figure) {
+    context_figures(
+        ds,
+        |c| {
+            matches!(
+                c,
+                StallCause::Retransmission(RetransCause::TailRetrans { .. })
+            )
+        },
+        "fig10a",
+        "fig10b",
+        "tail-retransmission",
+    )
+}

@@ -1,0 +1,92 @@
+//! Table 1: flow-level statistics of the dataset.
+
+use tapo::StallCause;
+
+use crate::dataset::Dataset;
+use crate::output::{bytes_cell, dur_cell, pct_cell, Table};
+
+/// Regenerate Table 1: per-service #flows, average speed, average flow
+/// size, packet loss, average RTT and average RTO. Speed is measured over
+/// transfer time (flow lifetime minus client-idle periods), matching how a
+/// provider reports delivery rate.
+pub fn table1(ds: &Dataset) -> Table {
+    let mut rows = Vec::new();
+    for sd in &ds.services {
+        let n = sd.analyses.len().max(1);
+        let mean_size = sd
+            .analyses
+            .iter()
+            .map(|a| a.metrics.goodput_bytes as f64)
+            .sum::<f64>()
+            / n as f64;
+        // Aggregate delivery rate: total bytes over total active (non
+        // client-idle) time — the provider's view of per-connection speed.
+        let (total_bytes, total_active) = sd.analyses.iter().fold((0.0, 0.0), |(b, t), a| {
+            let idle: f64 = a
+                .stalls
+                .iter()
+                .filter(|s| s.cause == StallCause::ClientIdle)
+                .map(|s| s.duration.as_secs_f64())
+                .sum();
+            (
+                b + a.metrics.goodput_bytes as f64,
+                t + (a.metrics.duration.as_secs_f64() - idle).max(0.0),
+            )
+        });
+        let mean_speed = if total_active > 0.0 {
+            total_bytes / total_active
+        } else {
+            0.0
+        };
+        // Flow-averaged retransmission rate (an unweighted mean keeps a few
+        // huge lossy flows from dominating the statistic).
+        let flow_rates: Vec<f64> = sd
+            .analyses
+            .iter()
+            .filter(|a| a.metrics.data_pkts_out > 0)
+            .map(|a| a.metrics.retrans_pkts as f64 / a.metrics.data_pkts_out as f64)
+            .collect();
+        let loss_pct = 100.0 * mean(&flow_rates);
+        let rtts: Vec<f64> = sd
+            .analyses
+            .iter()
+            .filter_map(|a| a.metrics.mean_rtt.map(|d| d.as_secs_f64()))
+            .collect();
+        let rtos: Vec<f64> = sd
+            .analyses
+            .iter()
+            .filter_map(|a| a.metrics.mean_rto.map(|d| d.as_secs_f64()))
+            .collect();
+        rows.push(vec![
+            sd.service.label().to_string(),
+            format!("{}", sd.analyses.len()),
+            bytes_cell(mean_speed),
+            bytes_cell(mean_size),
+            format!("{}%", pct_cell(loss_pct)),
+            dur_cell(mean(&rtts)),
+            dur_cell(mean(&rtos)),
+        ]);
+    }
+    Table::new(
+        "table1",
+        "Flow-level statistics of the dataset",
+        vec![
+            "service".into(),
+            "#flows".into(),
+            "avg.speed(B/s)".into(),
+            "avg.flow size".into(),
+            "pkt loss".into(),
+            "avg.RTT".into(),
+            "avg.RTO".into(),
+        ],
+        rows,
+    )
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}

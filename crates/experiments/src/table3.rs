@@ -1,0 +1,41 @@
+//! Table 3: stall shares by cause, in volume and time, per service.
+
+use crate::dataset::Dataset;
+use crate::output::{pct_cell, Table};
+
+/// The top-level cause rows, in the paper's order (plus "undeter.").
+pub const CAUSE_ROWS: [(&str, &str); 7] = [
+    ("server", "data una."),
+    ("server", "rsrc cons."),
+    ("client", "client idle"),
+    ("client", "zero wnd"),
+    ("net.", "pkt delay"),
+    ("net.", "retrans."),
+    ("", "undeter."),
+];
+
+/// Regenerate Table 3: percentage of stalls (volume and time) per cause
+/// and service.
+pub fn table3(ds: &Dataset) -> Table {
+    let mut header = vec!["category".to_string(), "stall type".to_string()];
+    for sd in &ds.services {
+        header.push(format!("{} #", sd.service.label()));
+        header.push(format!("{} T", sd.service.label()));
+    }
+    let mut rows = Vec::new();
+    for (cat, label) in CAUSE_ROWS {
+        let mut row = vec![cat.to_string(), label.to_string()];
+        for sd in &ds.services {
+            let share = sd.breakdown.share(label);
+            row.push(pct_cell(share.volume_pct));
+            row.push(pct_cell(share.time_pct));
+        }
+        rows.push(row);
+    }
+    Table::new(
+        "table3",
+        "Percentage of stalls (%) in volume (#) and time (T) per cause",
+        header,
+        rows,
+    )
+}

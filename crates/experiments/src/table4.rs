@@ -1,0 +1,58 @@
+//! Table 4: probability of suffering a zero receive window as a function of
+//! the initial receive window.
+
+use crate::dataset::Dataset;
+use crate::output::{pct_cell, Table};
+
+/// The initial-rwnd bucket centers the paper reports (MSS units).
+pub const INIT_RWND_COLS_MSS: [f64; 6] = [2.0, 11.0, 45.0, 182.0, 648.0, 1297.0];
+
+/// Regenerate Table 4: per service and init-rwnd bucket, the percentage of
+/// flows that experienced a zero-window advertisement. Cells with fewer
+/// than 3 flows print "–", like the paper's dashes.
+pub fn table4(ds: &Dataset) -> Table {
+    let mss = 1448.0;
+    let mut header = vec!["init rwnd (MSS)".to_string()];
+    for c in INIT_RWND_COLS_MSS {
+        header.push(format!("{c:.0}"));
+    }
+    let mut rows = Vec::new();
+    for sd in &ds.services {
+        let mut row = vec![sd.service.label().to_string()];
+        for c in INIT_RWND_COLS_MSS {
+            // Nearest-bucket assignment on a log scale.
+            let in_bucket: Vec<bool> = sd
+                .analyses
+                .iter()
+                .filter_map(|a| a.init_rwnd.map(|w| (w as f64 / mss, a.zero_rwnd_seen)))
+                .filter(|(w_mss, _)| {
+                    let lw = w_mss.max(0.1).ln();
+                    INIT_RWND_COLS_MSS
+                        .iter()
+                        .min_by(|a, b| {
+                            (a.ln() - lw)
+                                .abs()
+                                .partial_cmp(&(b.ln() - lw).abs())
+                                .unwrap()
+                        })
+                        .is_some_and(|&nearest| nearest == c)
+                })
+                .map(|(_, z)| z)
+                .collect();
+            if in_bucket.len() < 3 {
+                row.push("–".to_string());
+            } else {
+                let pct = 100.0 * in_bucket.iter().filter(|&&z| z).count() as f64
+                    / in_bucket.len() as f64;
+                row.push(pct_cell(pct));
+            }
+        }
+        rows.push(row);
+    }
+    Table::new(
+        "table4",
+        "Percentage of flows suffering zero rwnd vs initial rwnd (MSS)",
+        header,
+        rows,
+    )
+}

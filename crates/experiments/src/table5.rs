@@ -1,0 +1,41 @@
+//! Table 5: breakdown of timeout-retransmission stalls.
+
+use crate::dataset::Dataset;
+use crate::output::{pct_cell, Table};
+
+/// The subcause rows, in the paper's priority order.
+pub const RETRANS_ROWS: [&str; 7] = [
+    "Double retr.",
+    "Tail retr.",
+    "Small cwnd",
+    "Small rwnd",
+    "Cont. loss",
+    "ACK delay/loss",
+    "Undeter.",
+];
+
+/// Regenerate Table 5: percentage of retransmission stalls (volume and
+/// time) per subcause and service.
+pub fn table5(ds: &Dataset) -> Table {
+    let mut header = vec!["stall type".to_string()];
+    for sd in &ds.services {
+        header.push(format!("{} #", sd.service.label()));
+        header.push(format!("{} T", sd.service.label()));
+    }
+    let mut rows = Vec::new();
+    for label in RETRANS_ROWS {
+        let mut row = vec![label.to_string()];
+        for sd in &ds.services {
+            let share = sd.breakdown.retrans_share(label);
+            row.push(pct_cell(share.volume_pct));
+            row.push(pct_cell(share.time_pct));
+        }
+        rows.push(row);
+    }
+    Table::new(
+        "table5",
+        "Percentage of retransmission stalls (%) in volume (#) and time (T)",
+        header,
+        rows,
+    )
+}

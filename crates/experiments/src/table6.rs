@@ -1,0 +1,66 @@
+//! Tables 6 and 7: splits of double- and tail-retransmission stall time.
+
+use crate::dataset::Dataset;
+use crate::output::{pct_cell, Table};
+
+/// Table 6: share of double-retransmission stalled time that is f-double
+/// (first retransmission was a fast retransmit) vs t-double.
+pub fn table6(ds: &Dataset) -> Table {
+    let mut header = vec!["type".to_string()];
+    for sd in &ds.services {
+        header.push(sd.service.label().to_string());
+    }
+    let mut f_row = vec!["f-double stall".to_string()];
+    let mut t_row = vec!["t-double stall".to_string()];
+    for sd in &ds.services {
+        let (f, t) = sd.breakdown.double_split;
+        let total = (f + t).as_secs_f64();
+        let (fp, tp) = if total <= 0.0 {
+            (0.0, 0.0)
+        } else {
+            (
+                100.0 * f.as_secs_f64() / total,
+                100.0 * t.as_secs_f64() / total,
+            )
+        };
+        f_row.push(format!("{}%", pct_cell(fp)));
+        t_row.push(format!("{}%", pct_cell(tp)));
+    }
+    Table::new(
+        "table6",
+        "Share of double-retransmission stalled time by type",
+        header,
+        vec![f_row, t_row],
+    )
+}
+
+/// Table 7: share of tail-retransmission stalled time by the congestion
+/// state the sender was in (Open vs Recovery).
+pub fn table7(ds: &Dataset) -> Table {
+    let mut header = vec!["state".to_string()];
+    for sd in &ds.services {
+        header.push(sd.service.label().to_string());
+    }
+    let mut open_row = vec!["Open state".to_string()];
+    let mut rec_row = vec!["Recovery state".to_string()];
+    for sd in &ds.services {
+        let (o, r) = sd.breakdown.tail_split;
+        let total = (o + r).as_secs_f64();
+        let (op, rp) = if total <= 0.0 {
+            (0.0, 0.0)
+        } else {
+            (
+                100.0 * o.as_secs_f64() / total,
+                100.0 * r.as_secs_f64() / total,
+            )
+        };
+        open_row.push(format!("{}%", pct_cell(op)));
+        rec_row.push(format!("{}%", pct_cell(rp)));
+    }
+    Table::new(
+        "table7",
+        "Share of tail-retransmission stalled time by congestion state",
+        header,
+        vec![open_row, rec_row],
+    )
+}

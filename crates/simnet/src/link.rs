@@ -1,0 +1,414 @@
+//! Unidirectional link model.
+//!
+//! A [`Link`] models one direction of a network path as: a loss process →
+//! a drop-tail FIFO queue drained at the configured bandwidth → fixed
+//! propagation delay plus optional jitter → optional reordering (an extra
+//! delay applied to a randomly chosen packet, letting later packets overtake
+//! it).
+//!
+//! The link itself does not own an event queue; callers offer a packet and
+//! receive either a computed arrival time (to schedule on their
+//! [`crate::EventQueue`]) or a drop verdict. This keeps the link reusable by
+//! any driver loop, mirroring the "building blocks, not framework" approach
+//! of event-driven stacks like smoltcp.
+
+use std::collections::VecDeque;
+
+use crate::loss::{time_hash, LossModel, LossSpec};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Static description of one link direction.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LinkConfig {
+    /// Serialization rate in bits per second; `0` means infinitely fast
+    /// (no queueing delay, queue capacity ignored).
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub prop_delay: SimDuration,
+    /// Maximum uniform random extra delay added per packet (models delay
+    /// jitter; `ZERO` disables).
+    pub jitter: SimDuration,
+    /// Drop-tail queue capacity in packets; `0` means unbounded.
+    pub queue_pkts: usize,
+    /// The loss process applied to packets that were admitted to the queue.
+    pub loss: LossSpec,
+    /// Probability that a packet suffers a delay spike (held back so that
+    /// packets sent after it arrive first — reordering — or so that ACKs
+    /// arrive RTTs late — delay-variation stalls).
+    pub reorder_prob: f64,
+    /// Mean of the exponentially distributed extra delay applied to spiked
+    /// packets.
+    pub reorder_extra: SimDuration,
+    /// Rate (per second) at which path-wide *delay bursts* begin: episodes
+    /// of transient queue buildup during which **every** packet suffers
+    /// `delay_burst_extra` of additional latency. These are what produce
+    /// the paper's packet-delay and ACK-delay stalls, where the whole
+    /// feedback loop goes quiet for several RTTs. `0` disables.
+    pub delay_burst_hz: f64,
+    /// Mean delay-burst duration.
+    pub delay_burst_len: SimDuration,
+    /// Extra one-way delay while a burst is active.
+    pub delay_burst_extra: SimDuration,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            bandwidth_bps: 100_000_000, // 100 Mbit/s
+            prop_delay: SimDuration::from_millis(50),
+            jitter: SimDuration::ZERO,
+            queue_pkts: 256,
+            loss: LossSpec::None,
+            reorder_prob: 0.0,
+            reorder_extra: SimDuration::ZERO,
+            delay_burst_hz: 0.0,
+            delay_burst_len: SimDuration::from_millis(300),
+            delay_burst_extra: SimDuration::from_millis(400),
+        }
+    }
+}
+
+/// Why a packet offered to a link was not delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The loss process dropped it ("wire loss").
+    Loss,
+    /// The drop-tail queue was full.
+    QueueFull,
+}
+
+/// The verdict for one offered packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The packet arrives at the far end at the given time.
+    Arrive(SimTime),
+    /// The packet was dropped.
+    Drop(DropReason),
+}
+
+/// Counters describing what happened to traffic offered to the link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LinkStats {
+    /// Packets offered to the link.
+    pub offered: u64,
+    /// Packets dropped by the loss process.
+    pub dropped_loss: u64,
+    /// Packets dropped because the queue was full.
+    pub dropped_queue: u64,
+    /// Packets delivered to the far end.
+    pub delivered: u64,
+    /// Bytes delivered to the far end.
+    pub bytes_delivered: u64,
+}
+
+/// One direction of a simulated network path.
+#[derive(Debug)]
+pub struct Link {
+    cfg: LinkConfig,
+    loss: LossModel,
+    rng: SimRng,
+    /// Departure times of packets currently in (or scheduled through) the
+    /// serialization queue. Front entries at or before "now" have left.
+    departures: VecDeque<SimTime>,
+    /// Wall-clock delay-burst schedule: current/next burst interval.
+    burst_start: SimTime,
+    burst_end: SimTime,
+    /// Dedicated stream generating the burst schedule.
+    burst_rng: SimRng,
+    /// Keys for the time-hashed jitter and spike draws.
+    jitter_seed: u64,
+    spike_seed: u64,
+    /// Arrival time of the last in-order (non-spiked) packet: jittered
+    /// deliveries never overtake earlier ones, like a FIFO queue whose
+    /// depth varies.
+    last_arrival: SimTime,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Build a link from its config and a dedicated RNG stream.
+    pub fn new(cfg: LinkConfig, mut rng: SimRng) -> Self {
+        use rand::RngCore;
+        let loss = cfg.loss.build(&mut rng);
+        let burst_rng = rng.fork(0xb0b5);
+        let jitter_seed = rng.next_u64();
+        let spike_seed = rng.next_u64();
+        Link {
+            cfg,
+            loss,
+            rng,
+            departures: VecDeque::new(),
+            burst_start: SimTime::MAX,
+            burst_end: SimTime::ZERO,
+            burst_rng,
+            jitter_seed,
+            spike_seed,
+            last_arrival: SimTime::ZERO,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// The link's configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.cfg
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Current queue occupancy (packets not yet fully serialized) at `now`.
+    pub fn queue_len(&mut self, now: SimTime) -> usize {
+        while matches!(self.departures.front(), Some(&d) if d <= now) {
+            self.departures.pop_front();
+        }
+        self.departures.len()
+    }
+
+    /// Offer a packet of `bytes` to the link at time `now`; returns the
+    /// arrival time at the far end or a drop verdict.
+    pub fn offer(&mut self, now: SimTime, bytes: u32) -> Delivery {
+        self.stats.offered += 1;
+
+        // The loss process sees every offered packet so scripted drop
+        // indices are stable regardless of queue state.
+        if self.loss.should_drop(now, &mut self.rng) {
+            self.stats.dropped_loss += 1;
+            return Delivery::Drop(DropReason::Loss);
+        }
+
+        let departure = if self.cfg.bandwidth_bps == 0 {
+            now
+        } else {
+            if self.cfg.queue_pkts != 0 && self.queue_len(now) >= self.cfg.queue_pkts {
+                self.stats.dropped_queue += 1;
+                return Delivery::Drop(DropReason::QueueFull);
+            }
+            let tx_us = (bytes as u128 * 8 * 1_000_000 / self.cfg.bandwidth_bps as u128) as u64;
+            let start = self.departures.back().copied().unwrap_or(now).max(now);
+            let dep = start + SimDuration::from_micros(tx_us.max(1));
+            self.departures.push_back(dep);
+            dep
+        };
+
+        // All stochastic delay components are *time-hashed* (frozen fields
+        // over the wall clock), so paired simulations under different TCP
+        // mechanisms experience identical path conditions.
+        let mut arrival = departure + self.cfg.prop_delay;
+        if !self.cfg.jitter.is_zero() {
+            let u = time_hash(self.jitter_seed, now, 250);
+            arrival += SimDuration::from_secs_f64(u * self.cfg.jitter.as_secs_f64());
+        }
+        if self.in_delay_burst(now) {
+            arrival += self.cfg.delay_burst_extra;
+        }
+        let spiked = self.cfg.reorder_prob > 0.0
+            && time_hash(self.spike_seed, now, 250) < self.cfg.reorder_prob;
+        if spiked {
+            // An intentionally held-back packet: later packets may overtake.
+            let u = time_hash(self.spike_seed ^ 0xdead_beef, now, 250).max(1e-12);
+            arrival += SimDuration::from_secs_f64(-self.cfg.reorder_extra.as_secs_f64() * u.ln());
+        } else {
+            // FIFO: jitter and bursts vary the delay but never reorder.
+            arrival = arrival.max(self.last_arrival);
+            self.last_arrival = arrival;
+        }
+
+        self.stats.delivered += 1;
+        self.stats.bytes_delivered += bytes as u64;
+        Delivery::Arrive(arrival)
+    }
+}
+
+impl Link {
+    /// Evaluate the precomputed wall-clock delay-burst schedule at `now`.
+    fn in_delay_burst(&mut self, now: SimTime) -> bool {
+        if self.cfg.delay_burst_hz <= 0.0 {
+            return false;
+        }
+        if self.burst_start == SimTime::MAX && self.burst_end == SimTime::ZERO {
+            // First query: schedule the first burst.
+            let gap = self.burst_rng.exponential(1.0 / self.cfg.delay_burst_hz);
+            self.burst_start = SimTime::ZERO + SimDuration::from_secs_f64(gap);
+            let len = self
+                .burst_rng
+                .exponential(self.cfg.delay_burst_len.as_secs_f64());
+            self.burst_end =
+                self.burst_start + SimDuration::from_secs_f64(len).max(SimDuration::from_micros(1));
+        }
+        while now >= self.burst_end {
+            let gap = self.burst_rng.exponential(1.0 / self.cfg.delay_burst_hz);
+            self.burst_start =
+                self.burst_end + SimDuration::from_secs_f64(gap).max(SimDuration::from_micros(1));
+            let len = self
+                .burst_rng
+                .exponential(self.cfg.delay_burst_len.as_secs_f64());
+            self.burst_end =
+                self.burst_start + SimDuration::from_secs_f64(len).max(SimDuration::from_micros(1));
+        }
+        now >= self.burst_start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(cfg: LinkConfig) -> Link {
+        Link::new(cfg, SimRng::seed(42))
+    }
+
+    #[test]
+    fn infinite_bandwidth_is_pure_delay() {
+        let mut l = link(LinkConfig {
+            bandwidth_bps: 0,
+            prop_delay: SimDuration::from_millis(30),
+            ..LinkConfig::default()
+        });
+        let t = SimTime::from_millis(100);
+        match l.offer(t, 1500) {
+            Delivery::Arrive(at) => assert_eq!(at, t + SimDuration::from_millis(30)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serialization_delay_accumulates() {
+        // 12 Mbit/s ⇒ a 1500B packet takes 1ms to serialize.
+        let mut l = link(LinkConfig {
+            bandwidth_bps: 12_000_000,
+            prop_delay: SimDuration::ZERO,
+            queue_pkts: 0,
+            ..LinkConfig::default()
+        });
+        let t = SimTime::from_secs(1);
+        let a1 = match l.offer(t, 1500) {
+            Delivery::Arrive(at) => at,
+            _ => panic!(),
+        };
+        let a2 = match l.offer(t, 1500) {
+            Delivery::Arrive(at) => at,
+            _ => panic!(),
+        };
+        assert_eq!(a1, t + SimDuration::from_millis(1));
+        assert_eq!(a2, t + SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn drop_tail_queue_fills_and_drains() {
+        let mut l = link(LinkConfig {
+            bandwidth_bps: 12_000_000,
+            prop_delay: SimDuration::ZERO,
+            queue_pkts: 2,
+            ..LinkConfig::default()
+        });
+        let t = SimTime::from_secs(1);
+        assert!(matches!(l.offer(t, 1500), Delivery::Arrive(_)));
+        assert!(matches!(l.offer(t, 1500), Delivery::Arrive(_)));
+        assert_eq!(l.offer(t, 1500), Delivery::Drop(DropReason::QueueFull));
+        assert_eq!(l.stats().dropped_queue, 1);
+        // After both packets serialize (2ms) the queue is empty again.
+        let later = t + SimDuration::from_millis(3);
+        assert!(matches!(l.offer(later, 1500), Delivery::Arrive(_)));
+    }
+
+    #[test]
+    fn scripted_loss_drops_by_offer_index() {
+        let mut l = link(LinkConfig {
+            loss: LossSpec::Script { drops: vec![1] },
+            bandwidth_bps: 0,
+            ..LinkConfig::default()
+        });
+        let t = SimTime::from_secs(1);
+        assert!(matches!(l.offer(t, 100), Delivery::Arrive(_)));
+        assert_eq!(l.offer(t, 100), Delivery::Drop(DropReason::Loss));
+        assert!(matches!(l.offer(t, 100), Delivery::Arrive(_)));
+        assert_eq!(l.stats().dropped_loss, 1);
+        assert_eq!(l.stats().delivered, 2);
+    }
+
+    #[test]
+    fn reordering_delays_selected_packets() {
+        let mut l = link(LinkConfig {
+            bandwidth_bps: 0,
+            prop_delay: SimDuration::from_millis(10),
+            reorder_prob: 1.0,
+            reorder_extra: SimDuration::from_millis(25),
+            ..LinkConfig::default()
+        });
+        // Every packet gets an exponential extra delay beyond the base;
+        // the draws are keyed by time, so offer at distinct instants.
+        let mut total_extra = SimDuration::ZERO;
+        for i in 0..200u64 {
+            let t = SimTime::from_secs(2) + SimDuration::from_millis(i);
+            match l.offer(t, 100) {
+                Delivery::Arrive(at) => {
+                    assert!(at > t + SimDuration::from_millis(10));
+                    total_extra += at - (t + SimDuration::from_millis(10));
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let mean_ms = total_extra.as_secs_f64() * 1e3 / 200.0;
+        assert!((mean_ms - 25.0).abs() < 8.0, "mean extra {mean_ms}ms");
+    }
+
+    #[test]
+    fn delay_bursts_apply_to_all_packets_in_the_episode() {
+        let mut l = link(LinkConfig {
+            bandwidth_bps: 0,
+            prop_delay: SimDuration::from_millis(10),
+            delay_burst_hz: 10_000.0, // effectively always bursting
+            delay_burst_len: SimDuration::from_secs(100),
+            delay_burst_extra: SimDuration::from_millis(500),
+            ..LinkConfig::default()
+        });
+        // Prime the process with a non-zero elapsed interval.
+        let t = SimTime::from_millis(100);
+        match l.offer(t, 100) {
+            Delivery::Arrive(at) => {
+                assert_eq!(at, t + SimDuration::from_millis(510), "burst delay applied")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The next packet inside the burst is delayed too.
+        match l.offer(t + SimDuration::from_millis(1), 100) {
+            Delivery::Arrive(at) => {
+                assert_eq!(at, t + SimDuration::from_millis(511));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_bursts_when_disabled() {
+        let mut l = link(LinkConfig {
+            bandwidth_bps: 0,
+            prop_delay: SimDuration::from_millis(10),
+            delay_burst_hz: 0.0,
+            ..LinkConfig::default()
+        });
+        for i in 0..100 {
+            let t = SimTime::from_millis(100 + i * 10);
+            match l.offer(t, 100) {
+                Delivery::Arrive(at) => assert_eq!(at, t + SimDuration::from_millis(10)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        let mut l = link(LinkConfig {
+            bandwidth_bps: 0,
+            ..LinkConfig::default()
+        });
+        let t = SimTime::ZERO;
+        l.offer(t, 100);
+        l.offer(t, 200);
+        assert_eq!(l.stats().bytes_delivered, 300);
+        assert_eq!(l.stats().offered, 2);
+    }
+}

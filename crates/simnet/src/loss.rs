@@ -1,0 +1,370 @@
+//! Packet loss processes.
+//!
+//! The paper's stall taxonomy depends on the *correlation structure* of loss,
+//! not just its rate: double-retransmission stalls need the same segment (or
+//! its retransmission) dropped twice, and continuous-loss stalls need a whole
+//! window dropped in one burst. A memoryless Bernoulli process at the
+//! paper's 2–4% loss rates produces far too few of either, so the primary
+//! model is a **continuous-time** Gilbert–Elliott two-state chain: the
+//! bad ("burst") state persists for a configurable *duration*, matching how
+//! real loss episodes (queue overflows, link errors) span wall-clock time —
+//! a fast retransmission sent one RTT into a burst dies with the original,
+//! while an RTO retransmission seconds later usually survives. A
+//! packet-count-correlated chain would instead freeze in the bad state
+//! across idle periods and absurdly kill successive backed-off
+//! retransmissions.
+//!
+//! Scripted drop lists support deterministic packetdrill-style tests such as
+//! the Fig. 8/9 scenarios.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use rand::RngCore;
+
+/// A deterministic pseudo-random draw in `[0,1)` keyed by `(seed, time
+/// bucket)`. Using *time* rather than an advancing stream makes the loss
+/// field a frozen function of the wall clock: paired simulations of
+/// different mechanisms over the same seed face **identical network
+/// conditions** at identical times (common random numbers), instead of
+/// resampling the process whenever packet timings shift.
+pub(crate) fn time_hash(seed: u64, t: SimTime, bucket_us: u64) -> f64 {
+    let bucket = t.as_micros() / bucket_us.max(1);
+    let mut x = seed ^ bucket.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Declarative description of a loss process (serializable; becomes a
+/// stateful [`LossModel`] via [`LossSpec::build`]).
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub enum LossSpec {
+    /// No loss at all.
+    #[default]
+    None,
+    /// Independent loss with the given probability per packet.
+    Bernoulli {
+        /// Per-packet drop probability in `[0, 1]`.
+        p: f64,
+    },
+    /// Continuous-time Gilbert–Elliott bursty loss.
+    GilbertElliott {
+        /// Rate of good → bad transitions, per second.
+        enter_bad_hz: f64,
+        /// Rate of bad → good transitions, per second (1 / mean burst
+        /// duration).
+        exit_bad_hz: f64,
+        /// Drop probability while in the good state.
+        loss_good: f64,
+        /// Drop probability while in the bad state.
+        loss_bad: f64,
+    },
+    /// Drop exactly the packets whose 0-based index (per direction, in
+    /// arrival order at the link) appears in the list.
+    Script {
+        /// Sorted or unsorted list of packet indices to drop.
+        drops: Vec<u64>,
+    },
+}
+
+impl LossSpec {
+    /// Convenience constructor for [`LossSpec::Bernoulli`].
+    pub fn bernoulli(p: f64) -> Self {
+        LossSpec::Bernoulli { p }
+    }
+
+    /// A Gilbert–Elliott process calibrated to an approximate mean loss
+    /// rate, with bad states lasting `burst` on average and dropping 70% of
+    /// packets while active; the good state drops a small residue.
+    ///
+    /// Mean loss ≈ `π_bad·loss_bad + π_good·loss_good` where
+    /// `π_bad = enter/(enter+exit)`; we fix `loss_bad = 0.7`,
+    /// `loss_good = mean/10` and solve for the entry rate.
+    pub fn bursty(mean_loss: f64, burst: SimDuration) -> Self {
+        assert!((0.0..0.5).contains(&mean_loss), "mean_loss out of range");
+        assert!(!burst.is_zero());
+        let loss_bad = 0.7;
+        let loss_good = mean_loss / 10.0;
+        let exit_bad_hz = 1.0 / burst.as_secs_f64();
+        let pi_b = ((mean_loss - loss_good) / (loss_bad - loss_good)).clamp(0.0, 0.95);
+        let enter_bad_hz = if pi_b <= 0.0 {
+            0.0
+        } else {
+            pi_b * exit_bad_hz / (1.0 - pi_b)
+        };
+        LossSpec::GilbertElliott {
+            enter_bad_hz,
+            exit_bad_hz,
+            loss_good,
+            loss_bad,
+        }
+    }
+
+    /// Approximate long-run mean drop rate of the process (0 for scripts).
+    pub fn mean_loss(&self) -> f64 {
+        match self {
+            LossSpec::None | LossSpec::Script { .. } => 0.0,
+            LossSpec::Bernoulli { p } => *p,
+            LossSpec::GilbertElliott {
+                enter_bad_hz,
+                exit_bad_hz,
+                loss_good,
+                loss_bad,
+            } => {
+                let denom = enter_bad_hz + exit_bad_hz;
+                if denom <= 0.0 {
+                    *loss_good
+                } else {
+                    let pi_b = enter_bad_hz / denom;
+                    pi_b * loss_bad + (1.0 - pi_b) * loss_good
+                }
+            }
+        }
+    }
+
+    /// Instantiate the stateful model; `rng` seeds the burst schedule and
+    /// the per-packet hash key.
+    pub fn build(&self, rng: &mut SimRng) -> LossModel {
+        match self {
+            LossSpec::None => LossModel::None,
+            LossSpec::Bernoulli { p } => LossModel::Bernoulli {
+                p: p.clamp(0.0, 1.0),
+                hash_seed: rng.next_u64(),
+            },
+            LossSpec::GilbertElliott {
+                enter_bad_hz,
+                exit_bad_hz,
+                loss_good,
+                loss_bad,
+            } => LossModel::GilbertElliott {
+                enter_bad_hz: enter_bad_hz.max(f64::MIN_POSITIVE),
+                exit_bad_hz: exit_bad_hz.max(f64::MIN_POSITIVE),
+                loss_good: loss_good.clamp(0.0, 1.0),
+                loss_bad: loss_bad.clamp(0.0, 1.0),
+                in_bad: false,
+                next_toggle: SimTime::ZERO,
+                schedule_rng: rng.fork(0x6_c055),
+                hash_seed: rng.next_u64(),
+            },
+            LossSpec::Script { drops } => {
+                let mut sorted = drops.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                LossModel::Script {
+                    drops: sorted,
+                    next_index: 0,
+                    cursor: 0,
+                }
+            }
+        }
+    }
+}
+
+/// The stateful loss process; one instance per link direction.
+#[derive(Debug, Clone)]
+pub enum LossModel {
+    /// No loss.
+    None,
+    /// Independent loss (verdicts frozen per time bucket).
+    Bernoulli {
+        /// Per-packet drop probability.
+        p: f64,
+        /// Key for the time-hashed verdicts.
+        hash_seed: u64,
+    },
+    /// Continuous-time bursty two-state loss with a precomputed wall-clock
+    /// burst schedule.
+    GilbertElliott {
+        /// good → bad rate (per second).
+        enter_bad_hz: f64,
+        /// bad → good rate (per second).
+        exit_bad_hz: f64,
+        /// Drop probability in the good state.
+        loss_good: f64,
+        /// Drop probability in the bad state.
+        loss_bad: f64,
+        /// Current scheduled state.
+        in_bad: bool,
+        /// When the current state ends.
+        next_toggle: SimTime,
+        /// Dedicated stream generating the burst schedule (never perturbed
+        /// by packet arrivals).
+        schedule_rng: SimRng,
+        /// Key for the time-hashed in-state verdicts.
+        hash_seed: u64,
+    },
+    /// Scripted drops by packet index.
+    Script {
+        /// Sorted, deduplicated drop indices.
+        drops: Vec<u64>,
+        /// Index of the next packet to be offered.
+        next_index: u64,
+        /// Cursor into `drops`.
+        cursor: usize,
+    },
+}
+
+impl LossModel {
+    /// Decide whether a packet offered to the link at time `now` is
+    /// dropped. For the Gilbert–Elliott model the verdict is a pure
+    /// function of `now` and the build-time seed (the burst schedule is
+    /// precomputed in wall-clock time), so paired runs share conditions.
+    pub fn should_drop(&mut self, now: SimTime, _rng: &mut SimRng) -> bool {
+        match self {
+            LossModel::None => false,
+            LossModel::Bernoulli { p, hash_seed } => time_hash(*hash_seed, now, 400) < *p,
+            LossModel::GilbertElliott {
+                enter_bad_hz,
+                exit_bad_hz,
+                loss_good,
+                loss_bad,
+                in_bad,
+                next_toggle,
+                schedule_rng,
+                hash_seed,
+            } => {
+                // Lazily roll the wall-clock schedule forward to `now`:
+                // `next_toggle` is when the current state ends.
+                if *next_toggle == SimTime::ZERO {
+                    // First query: draw the initial good-state dwell.
+                    let dwell = schedule_rng.exponential(1.0 / *enter_bad_hz);
+                    *next_toggle = SimTime::ZERO
+                        + SimDuration::from_secs_f64(dwell).max(SimDuration::from_micros(1));
+                }
+                while now >= *next_toggle {
+                    *in_bad = !*in_bad;
+                    let rate = if *in_bad { *exit_bad_hz } else { *enter_bad_hz };
+                    let dwell = schedule_rng.exponential(1.0 / rate);
+                    *next_toggle +=
+                        SimDuration::from_secs_f64(dwell).max(SimDuration::from_micros(1));
+                }
+                let p = if *in_bad { *loss_bad } else { *loss_good };
+                time_hash(*hash_seed, now, 400) < p
+            }
+            LossModel::Script {
+                drops,
+                next_index,
+                cursor,
+            } => {
+                let idx = *next_index;
+                *next_index += 1;
+                if *cursor < drops.len() && drops[*cursor] == idx {
+                    *cursor += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Offer packets at a fixed spacing and return the drop rate.
+    fn drop_rate(spec: &LossSpec, n: usize, spacing: SimDuration, seed: u64) -> f64 {
+        let mut rng = SimRng::seed(seed);
+        let mut model = spec.build(&mut rng);
+        let mut t = SimTime::ZERO;
+        let mut drops = 0;
+        for _ in 0..n {
+            t += spacing;
+            if model.should_drop(t, &mut rng) {
+                drops += 1;
+            }
+        }
+        drops as f64 / n as f64
+    }
+
+    #[test]
+    fn none_never_drops() {
+        assert_eq!(
+            drop_rate(&LossSpec::None, 10_000, SimDuration::from_millis(1), 1),
+            0.0
+        );
+    }
+
+    #[test]
+    fn bernoulli_rate_close() {
+        let r = drop_rate(
+            &LossSpec::bernoulli(0.04),
+            100_000,
+            SimDuration::from_millis(1),
+            2,
+        );
+        assert!((r - 0.04).abs() < 0.005, "rate {r}");
+    }
+
+    #[test]
+    fn bursty_mean_rate_close() {
+        // Packets every 1ms, bursts of 100ms: plenty of chain mixing.
+        let spec = LossSpec::bursty(0.04, SimDuration::from_millis(100));
+        let r = drop_rate(&spec, 400_000, SimDuration::from_millis(1), 3);
+        assert!((r - 0.04).abs() < 0.012, "rate {r}");
+    }
+
+    #[test]
+    fn bursty_produces_back_to_back_drops() {
+        // At 4% mean loss a Bernoulli process yields ~0.16% adjacent-drop
+        // pairs; the bursty process must yield far more for packets spaced
+        // well inside the burst duration.
+        let spec = LossSpec::bursty(0.04, SimDuration::from_millis(100));
+        let mut rng = SimRng::seed(4);
+        let mut model = spec.build(&mut rng);
+        let mut t = SimTime::ZERO;
+        let outcomes: Vec<bool> = (0..200_000)
+            .map(|_| {
+                t += SimDuration::from_millis(1);
+                model.should_drop(t, &mut rng)
+            })
+            .collect();
+        let pairs = outcomes.windows(2).filter(|w| w[0] && w[1]).count();
+        let rate = pairs as f64 / outcomes.len() as f64;
+        assert!(rate > 0.005, "adjacent pair rate {rate}");
+    }
+
+    #[test]
+    fn bursts_decay_over_wall_clock_time() {
+        // A packet offered long after a burst must see the stationary
+        // distribution, not the frozen bad state: the conditional drop
+        // probability for widely spaced packets approaches the mean.
+        let spec = LossSpec::bursty(0.04, SimDuration::from_millis(100));
+        // Spacing of 10s ⇒ effectively independent draws at the mean rate.
+        let r = drop_rate(&spec, 60_000, SimDuration::from_secs(10), 5);
+        assert!((r - 0.04).abs() < 0.01, "rate {r}");
+        // In particular nothing like the in-burst 70%.
+        assert!(r < 0.1);
+    }
+
+    #[test]
+    fn script_drops_exact_indices() {
+        let spec = LossSpec::Script {
+            drops: vec![5, 2, 2, 9],
+        };
+        let mut rng = SimRng::seed(5);
+        let mut model = spec.build(&mut rng);
+        let positions: Vec<u64> = (0u64..12)
+            .filter(|_| model.should_drop(SimTime::ZERO, &mut rng))
+            .collect();
+        assert_eq!(positions, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn mean_loss_matches_construction() {
+        let spec = LossSpec::bursty(0.03, SimDuration::from_millis(150));
+        assert!((spec.mean_loss() - 0.03).abs() < 1e-9);
+        assert_eq!(LossSpec::bernoulli(0.05).mean_loss(), 0.05);
+        assert_eq!(LossSpec::None.mean_loss(), 0.0);
+    }
+
+    #[test]
+    fn spec_roundtrips_serde() {
+        let spec = LossSpec::bursty(0.03, SimDuration::from_millis(80));
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: LossSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

@@ -1,0 +1,264 @@
+//! Seeded randomness and the distribution toolbox used by workload models.
+//!
+//! All stochastic behaviour in the simulator flows through [`SimRng`], a thin
+//! wrapper over `rand::rngs::SmallRng` that can only be constructed from an
+//! explicit seed. Workload models additionally need a few heavy-tailed
+//! distributions (flow sizes in the paper span five orders of magnitude); the
+//! ones we need are implemented here directly so the dependency set stays at
+//! `rand` alone.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// Deterministic simulation RNG. Construct with [`SimRng::seed`]; derive
+/// stream-independent children with [`SimRng::fork`] so that adding a random
+/// draw in one component never perturbs another component's stream.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Create an RNG from a 64-bit seed.
+    pub fn seed(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child RNG identified by `stream`. Children with
+    /// distinct stream ids are decorrelated; the parent is not advanced.
+    pub fn fork(&self, stream: u64) -> Self {
+        // SplitMix64 over (initial-seed-derived state ⊕ stream id). We
+        // intentionally do not advance `self`: forks depend only on the
+        // parent's seed identity, captured here via a stable hash of a
+        // cloned-parent draw.
+        let mut probe = self.inner.clone();
+        let base = probe.next_u64();
+        SimRng::seed(splitmix64(
+            base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.f64() < p
+        }
+    }
+
+    /// Standard normal draw (Box–Muller; uses two uniforms per call).
+    pub fn std_normal(&mut self) -> f64 {
+        let u1 = self.f64().max(f64::MIN_POSITIVE);
+        let u2 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+    }
+
+    /// Lognormal draw with the given parameters of the underlying normal.
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.std_normal()).exp()
+    }
+
+    /// Exponential draw with the given mean.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = (1.0 - self.f64()).max(f64::MIN_POSITIVE);
+        -mean * u.ln()
+    }
+
+    /// Bounded Pareto draw on `[lo, hi]` with shape `alpha` — the classic
+    /// heavy-tailed flow-size model.
+    pub fn bounded_pareto(&mut self, alpha: f64, lo: f64, hi: f64) -> f64 {
+        assert!(alpha > 0.0 && lo > 0.0 && hi > lo);
+        let u = self.f64();
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        // Inverse CDF of the bounded Pareto.
+        (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+    }
+
+    /// A random duration drawn from a lognormal in **seconds** with the given
+    /// median and a multiplicative spread `sigma` (σ of the log).
+    pub fn lognormal_duration(&mut self, median: SimDuration, sigma: f64) -> SimDuration {
+        let secs = self.lognormal(median.as_secs_f64().max(1e-9).ln(), sigma);
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Draw an index `0..weights.len()` proportionally to `weights`.
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut x = self.f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An empirical distribution: samples uniformly among weighted buckets, then
+/// uniformly within the bucket's `[lo, hi)` value range. Used to reproduce
+/// published CDFs such as the initial-receive-window distribution (Fig. 6).
+#[derive(Debug, Clone)]
+pub struct EmpiricalDist {
+    buckets: Vec<(f64, f64, f64)>, // (weight, lo, hi)
+    total: f64,
+}
+
+impl EmpiricalDist {
+    /// Build from `(weight, lo, hi)` buckets. Weights need not be normalized.
+    /// Panics if empty, if any weight is negative, or if all weights are zero.
+    pub fn new(buckets: Vec<(f64, f64, f64)>) -> Self {
+        assert!(!buckets.is_empty());
+        let total: f64 = buckets.iter().map(|b| b.0).sum();
+        assert!(total > 0.0 && buckets.iter().all(|b| b.0 >= 0.0 && b.2 >= b.1));
+        EmpiricalDist { buckets, total }
+    }
+
+    /// Draw one value.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        let mut x = rng.f64() * self.total;
+        for &(w, lo, hi) in &self.buckets {
+            if x < w {
+                return if hi > lo {
+                    lo + rng.f64() * (hi - lo)
+                } else {
+                    lo
+                };
+            }
+            x -= w;
+        }
+        let &(_, lo, hi) = self.buckets.last().expect("non-empty");
+        if hi > lo {
+            lo + rng.f64() * (hi - lo)
+        } else {
+            lo
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed(7);
+        let mut b = SimRng::seed(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_decorrelated_and_deterministic() {
+        let parent = SimRng::seed(1);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let mut c1b = parent.fork(1);
+        assert_eq!(c1.next_u64(), c1b.next_u64());
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed(3);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(!rng.chance(-0.5));
+        assert!(rng.chance(1.5));
+    }
+
+    #[test]
+    fn lognormal_median_close() {
+        let mut rng = SimRng::seed(11);
+        let n = 20_000;
+        let mut v: Vec<f64> = (0..n).map(|_| rng.lognormal(100.0f64.ln(), 0.5)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[n / 2];
+        assert!((median - 100.0).abs() < 5.0, "median {median}");
+    }
+
+    #[test]
+    fn bounded_pareto_in_range() {
+        let mut rng = SimRng::seed(5);
+        for _ in 0..10_000 {
+            let x = rng.bounded_pareto(1.2, 10.0, 1e6);
+            assert!((10.0..=1e6).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut rng = SimRng::seed(9);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SimRng::seed(13);
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[rng.weighted_index(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn empirical_dist_samples_within_buckets() {
+        let d = EmpiricalDist::new(vec![(0.5, 2.0, 2.0), (0.5, 10.0, 20.0)]);
+        let mut rng = SimRng::seed(17);
+        for _ in 0..5_000 {
+            let x = d.sample(&mut rng);
+            assert!(x == 2.0 || (10.0..20.0).contains(&x), "{x}");
+        }
+    }
+}

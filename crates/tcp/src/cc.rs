@@ -1,0 +1,249 @@
+//! Congestion-avoidance window growth: Reno and CUBIC.
+//!
+//! The window *reduction* logic (rate-halving in Recovery, collapse to 1 MSS
+//! in Loss) lives in the sender's state machine, as in Linux; this module
+//! only answers "how does cwnd grow on this ACK?" and "what ssthresh does a
+//! congestion event set?". CUBIC is the 2.6.32 default and the paper's
+//! deployment; Reno is kept for tests and ablations.
+
+use simnet::time::SimTime;
+
+#[cfg(test)]
+use simnet::time::SimDuration;
+
+/// Which congestion-avoidance algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum CcKind {
+    /// Classic NewReno AIMD.
+    Reno,
+    /// CUBIC (Linux default since 2.6.19), β = 717/1024 ≈ 0.7, C = 0.4.
+    Cubic,
+}
+
+/// Congestion-avoidance state (one per connection).
+#[derive(Debug, Clone)]
+pub enum Cc {
+    /// Reno state.
+    Reno {
+        /// ACK-count accumulator for the +1/cwnd growth.
+        acked_cnt: u32,
+    },
+    /// CUBIC state.
+    Cubic {
+        /// Window size just before the last reduction (W_max), in packets.
+        last_max_cwnd: f64,
+        /// Start of the current growth epoch.
+        epoch_start: Option<SimTime>,
+        /// Origin point K (seconds into the epoch where W_max is regained).
+        k: f64,
+        /// cwnd at the start of the epoch.
+        origin_cwnd: f64,
+        /// ACK-count accumulator for sub-packet growth.
+        acked_cnt: u32,
+        /// Current per-ACK growth target (packets per cwnd of ACKs).
+        cnt: u32,
+    },
+}
+
+const CUBIC_BETA: f64 = 717.0 / 1024.0;
+const CUBIC_C: f64 = 0.4;
+
+impl Cc {
+    /// Fresh state for the chosen algorithm.
+    pub fn new(kind: CcKind) -> Self {
+        match kind {
+            CcKind::Reno => Cc::Reno { acked_cnt: 0 },
+            CcKind::Cubic => Cc::Cubic {
+                last_max_cwnd: 0.0,
+                epoch_start: None,
+                k: 0.0,
+                origin_cwnd: 0.0,
+                acked_cnt: 0,
+                cnt: 1,
+            },
+        }
+    }
+
+    /// The ssthresh a congestion event should set, given the current cwnd
+    /// in packets: `cwnd/2` for Reno, `0.7·cwnd` for CUBIC (min 2).
+    pub fn ssthresh(&self, cwnd: u32) -> u32 {
+        match self {
+            Cc::Reno { .. } => (cwnd / 2).max(2),
+            Cc::Cubic { .. } => ((cwnd as f64 * CUBIC_BETA) as u32).max(2),
+        }
+    }
+
+    /// Record a congestion event (entering Recovery or Loss): remembers
+    /// W_max and ends the growth epoch.
+    pub fn on_congestion_event(&mut self, cwnd: u32) {
+        if let Cc::Cubic {
+            last_max_cwnd,
+            epoch_start,
+            ..
+        } = self
+        {
+            // Fast convergence: if we lost before regaining the previous
+            // W_max, release bandwidth by remembering a reduced W_max.
+            *last_max_cwnd = if (cwnd as f64) < *last_max_cwnd {
+                cwnd as f64 * (1.0 + CUBIC_BETA) / 2.0
+            } else {
+                cwnd as f64
+            };
+            *epoch_start = None;
+        }
+    }
+
+    /// Grow `cwnd` (packets) in congestion avoidance for `acked` newly
+    /// acknowledged packets at time `now`; returns the new cwnd.
+    /// Slow-start growth (cwnd < ssthresh) is handled by the caller.
+    pub fn cong_avoid(&mut self, now: SimTime, cwnd: u32, acked: u32, cwnd_clamp: u32) -> u32 {
+        match self {
+            Cc::Reno { acked_cnt } => {
+                // cwnd += 1 for every cwnd ACKed packets.
+                *acked_cnt += acked;
+                let mut w = cwnd;
+                while *acked_cnt >= w {
+                    *acked_cnt -= w;
+                    w = (w + 1).min(cwnd_clamp);
+                }
+                w
+            }
+            Cc::Cubic {
+                last_max_cwnd,
+                epoch_start,
+                k,
+                origin_cwnd,
+                acked_cnt,
+                cnt,
+            } => {
+                // (Re)start the epoch on the first ACK after a reduction.
+                let t0 = match *epoch_start {
+                    Some(t) => t,
+                    None => {
+                        *epoch_start = Some(now);
+                        *origin_cwnd = cwnd as f64;
+                        *k = if *last_max_cwnd > cwnd as f64 {
+                            ((*last_max_cwnd - cwnd as f64) / CUBIC_C).cbrt()
+                        } else {
+                            0.0
+                        };
+                        now
+                    }
+                };
+                let t = (now - t0).as_secs_f64();
+                let w_max = if *last_max_cwnd > 0.0 {
+                    *last_max_cwnd
+                } else {
+                    cwnd as f64
+                };
+                let target = w_max + CUBIC_C * (t - *k).powi(3);
+                // Translate the cubic target into a per-ACK increment count,
+                // as the kernel does: grow by (target - cwnd) per RTT.
+                *cnt = if target > cwnd as f64 {
+                    (cwnd as f64 / (target - cwnd as f64)).max(2.0) as u32
+                } else {
+                    100 * cwnd // effectively hold
+                };
+                *acked_cnt += acked;
+                let mut w = cwnd;
+                while *acked_cnt >= (*cnt).max(1) {
+                    *acked_cnt -= (*cnt).max(1);
+                    w = (w + 1).min(cwnd_clamp);
+                }
+                w
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reno_ssthresh_halves() {
+        let cc = Cc::new(CcKind::Reno);
+        assert_eq!(cc.ssthresh(20), 10);
+        assert_eq!(cc.ssthresh(3), 2);
+        assert_eq!(cc.ssthresh(1), 2);
+    }
+
+    #[test]
+    fn cubic_ssthresh_is_beta() {
+        let cc = Cc::new(CcKind::Cubic);
+        assert_eq!(cc.ssthresh(100), 70);
+        assert_eq!(cc.ssthresh(2), 2);
+    }
+
+    #[test]
+    fn reno_grows_one_per_window() {
+        let mut cc = Cc::new(CcKind::Reno);
+        let now = SimTime::ZERO;
+        let mut cwnd = 10;
+        // 10 acked packets at cwnd 10 ⇒ exactly +1.
+        cwnd = cc.cong_avoid(now, cwnd, 10, 1000);
+        assert_eq!(cwnd, 11);
+        // 5 more: not enough for another increment.
+        cwnd = cc.cong_avoid(now, cwnd, 5, 1000);
+        assert_eq!(cwnd, 11);
+    }
+
+    #[test]
+    fn reno_respects_clamp() {
+        let mut cc = Cc::new(CcKind::Reno);
+        let cwnd = cc.cong_avoid(SimTime::ZERO, 10, 100, 12);
+        assert!(cwnd <= 12);
+    }
+
+    #[test]
+    fn cubic_recovers_toward_wmax_then_probes() {
+        let mut cc = Cc::new(CcKind::Cubic);
+        cc.on_congestion_event(100); // W_max = 100
+        let mut cwnd = 70; // post-β reduction
+        let mut now = SimTime::ZERO;
+        let rtt = SimDuration::from_millis(100);
+        for _ in 0..600 {
+            now += rtt;
+            cwnd = cc.cong_avoid(now, cwnd, cwnd, 10_000);
+        }
+        // After a minute of ACK clocking, cubic must have passed W_max and
+        // be probing beyond it.
+        assert!(cwnd > 100, "cwnd {cwnd}");
+    }
+
+    #[test]
+    fn cubic_fast_convergence_reduces_wmax() {
+        let mut cc = Cc::new(CcKind::Cubic);
+        cc.on_congestion_event(100);
+        // A second loss below the previous W_max shrinks the remembered max.
+        cc.on_congestion_event(50);
+        if let Cc::Cubic { last_max_cwnd, .. } = cc {
+            assert!(
+                last_max_cwnd < 50.0 * 1.71 && last_max_cwnd > 40.0,
+                "{last_max_cwnd}"
+            );
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn cubic_plateau_holds_near_wmax() {
+        let mut cc = Cc::new(CcKind::Cubic);
+        cc.on_congestion_event(100);
+        let mut cwnd = 70u32;
+        let mut now = SimTime::ZERO;
+        let rtt = SimDuration::from_millis(50);
+        let mut near_max_rounds = 0;
+        for _ in 0..400 {
+            now += rtt;
+            let prev = cwnd;
+            cwnd = cc.cong_avoid(now, cwnd, cwnd, 10_000);
+            if (95..=105).contains(&cwnd) && cwnd - prev <= 1 {
+                near_max_rounds += 1;
+            }
+        }
+        // The concave/convex plateau around W_max should persist for a while.
+        assert!(near_max_rounds > 5, "plateau rounds {near_max_rounds}");
+    }
+}

@@ -1,0 +1,284 @@
+//! A full-duplex TCP endpoint: one [`Sender`] for the outgoing byte stream
+//! and one [`Receiver`] for the incoming stream, with ACK piggybacking.
+//!
+//! Incoming segments are split: the data portion feeds the receiver, the
+//! acknowledgment fields feed the sender. Outgoing data always carries the
+//! receiver's current cumulative ACK / window / SACK state, clearing any
+//! pending delayed ACK — exactly the piggybacking a real stack performs.
+
+use simnet::time::SimTime;
+
+use crate::receiver::{Receiver, ReceiverConfig};
+use crate::seg::{SegFlags, Segment};
+use crate::sender::{SendOp, Sender, SenderConfig};
+
+/// One endpoint of a TCP connection.
+#[derive(Debug, Clone)]
+pub struct Host {
+    /// Sender for the outgoing byte stream.
+    pub tx: Sender,
+    /// Receiver for the incoming byte stream.
+    pub rx: Receiver,
+}
+
+impl Host {
+    /// Build an endpoint from sender and receiver configurations.
+    pub fn new(tx_cfg: SenderConfig, rx_cfg: ReceiverConfig) -> Self {
+        Host {
+            tx: Sender::new(tx_cfg),
+            rx: Receiver::new(rx_cfg),
+        }
+    }
+
+    /// Process an incoming (non-SYN) segment, emitting any segments the
+    /// endpoint sends in response (data, retransmissions, pure ACKs).
+    pub fn on_segment(&mut self, now: SimTime, seg: &Segment, out: &mut Vec<Segment>) {
+        let mut ack_needed = false;
+        if seg.has_data() || seg.flags.fin {
+            ack_needed = self.rx.on_data(now, seg);
+        }
+        if seg.probe {
+            // Window probes demand an immediate window report.
+            ack_needed = true;
+        }
+        let mut ops = Vec::new();
+        if seg.flags.ack {
+            self.tx.on_ack(now, seg, &mut ops);
+        }
+        self.emit(now, ops, ack_needed, out);
+    }
+
+    /// Fire any expired timers (retransmission, probe, persist, delack).
+    pub fn on_tick(&mut self, now: SimTime, out: &mut Vec<Segment>) {
+        let mut ops = Vec::new();
+        self.tx.on_tick(now, &mut ops);
+        self.rx.on_tick(now);
+        self.emit(now, ops, false, out);
+    }
+
+    /// Transmit whatever the windows currently allow (call after
+    /// `tx.app_write`) and flush any pending ACK.
+    pub fn poll(&mut self, now: SimTime, out: &mut Vec<Segment>) {
+        let mut ops = Vec::new();
+        self.tx.poll(now, &mut ops);
+        self.emit(now, ops, false, out);
+    }
+
+    /// The earliest pending timer deadline across sender and receiver.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        match (self.tx.next_deadline(), self.rx.next_deadline()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Let the application read from the receive buffer; flushes a window
+    /// update if one becomes due.
+    pub fn app_read(&mut self, now: SimTime, bytes: u64, out: &mut Vec<Segment>) {
+        self.rx.app_read(bytes);
+        self.emit(now, Vec::new(), false, out);
+    }
+
+    fn emit(&mut self, _now: SimTime, ops: Vec<SendOp>, ack_needed: bool, out: &mut Vec<Segment>) {
+        let mut carried_ack = false;
+        for op in ops {
+            match op {
+                SendOp::Data {
+                    seq,
+                    len,
+                    fin,
+                    retrans: _,
+                } => {
+                    let f = self.rx.take_ack_fields();
+                    out.push(Segment {
+                        seq,
+                        len,
+                        flags: SegFlags {
+                            syn: false,
+                            fin,
+                            rst: false,
+                            ack: true,
+                        },
+                        ack: f.ack,
+                        rwnd: f.rwnd,
+                        sack: f.sack,
+                        dsack: f.dsack,
+                        probe: false,
+                    });
+                    carried_ack = true;
+                }
+                SendOp::WindowProbe => {
+                    let f = self.rx.take_ack_fields();
+                    out.push(Segment {
+                        seq: 0,
+                        len: 0,
+                        flags: SegFlags::ACK,
+                        ack: f.ack,
+                        rwnd: f.rwnd,
+                        sack: f.sack,
+                        dsack: f.dsack,
+                        probe: true,
+                    });
+                    carried_ack = true;
+                }
+            }
+        }
+        if (ack_needed || self.rx.wants_ack_now()) && !carried_ack {
+            let f = self.rx.take_ack_fields();
+            let mut seg = Segment::pure_ack(f.ack, f.rwnd);
+            seg.sack = f.sack;
+            seg.dsack = f.dsack;
+            out.push(seg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seg::DEFAULT_MSS;
+    use simnet::time::SimDuration;
+
+    fn pair() -> (Host, Host) {
+        let mut server = Host::new(SenderConfig::default(), ReceiverConfig::default());
+        let mut client = Host::new(SenderConfig::default(), ReceiverConfig::default());
+        server.tx.set_peer_rwnd(client.rx.rwnd());
+        client.tx.set_peer_rwnd(server.rx.rwnd());
+        (server, client)
+    }
+
+    /// Run segments back and forth until both sides go quiet, with a fixed
+    /// one-way delay, firing timers when nothing is in flight.
+    fn converse(server: &mut Host, client: &mut Host, start: SimTime) -> SimTime {
+        let mut now = start;
+        let delay = SimDuration::from_millis(10);
+        let mut to_client: Vec<Segment> = Vec::new();
+        let mut to_server: Vec<Segment> = Vec::new();
+        server.poll(now, &mut to_client);
+        for _ in 0..10_000 {
+            if to_client.is_empty() && to_server.is_empty() {
+                let d = match (server.next_deadline(), client.next_deadline()) {
+                    (Some(a), Some(b)) => a.min(b),
+                    (Some(a), None) => a,
+                    (None, Some(b)) => b,
+                    (None, None) => break,
+                };
+                now = d;
+                server.on_tick(now, &mut to_client);
+                client.on_tick(now, &mut to_server);
+                continue;
+            }
+            now += delay;
+            for seg in std::mem::take(&mut to_client) {
+                client.on_segment(now, &seg, &mut to_server);
+                let buffered = client.rx.buffered();
+                client.app_read(now, buffered, &mut to_server);
+            }
+            for seg in std::mem::take(&mut to_server) {
+                server.on_segment(now, &seg, &mut to_client);
+            }
+            if server.tx.all_acked() && to_client.is_empty() && to_server.is_empty() {
+                break;
+            }
+        }
+        now
+    }
+
+    #[test]
+    fn lossless_transfer_completes_and_acks_piggyback() {
+        let (mut server, mut client) = pair();
+        server.tx.app_write(20 * DEFAULT_MSS as u64);
+        server.tx.app_close();
+        converse(&mut server, &mut client, SimTime::ZERO);
+        assert!(server.tx.all_acked());
+        assert_eq!(client.rx.stats().bytes_delivered, 20 * DEFAULT_MSS as u64);
+        assert!(client.rx.fin_received());
+        assert_eq!(server.tx.stats().retrans_segs, 0);
+        assert_eq!(server.tx.stats().rto_count, 0);
+    }
+
+    #[test]
+    fn request_response_piggybacks_acks_on_data() {
+        let (mut server, mut client) = pair();
+        // Client sends a request.
+        client.tx.app_write(300);
+        let mut to_server = Vec::new();
+        client.poll(SimTime::ZERO, &mut to_server);
+        assert_eq!(to_server.len(), 1);
+        // Server receives it and responds: the response data must carry the
+        // ACK of the request (no separate pure ACK needed).
+        let t = SimTime::from_millis(10);
+        let mut to_client = Vec::new();
+        server.on_segment(t, &to_server[0], &mut to_client);
+        server.tx.app_write(1000);
+        server.poll(t, &mut to_client);
+        let data: Vec<&Segment> = to_client.iter().filter(|s| s.has_data()).collect();
+        assert_eq!(data.len(), 1);
+        assert_eq!(data[0].ack, 300, "response piggybacks the request ACK");
+    }
+
+    #[test]
+    fn window_probe_elicits_immediate_window_report() {
+        let (_server, mut client) = pair();
+        let mut out = Vec::new();
+        let probe = Segment {
+            probe: true,
+            ..Segment::pure_ack(0, 1 << 20)
+        };
+        client.on_segment(SimTime::ZERO, &probe, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].has_data());
+        assert_eq!(out[0].rwnd, client.rx.rwnd());
+    }
+
+    #[test]
+    fn transfer_with_scripted_loss_recovers() {
+        // Drop the 3rd data segment once at the "link" (we emulate by
+        // skipping delivery); fast retransmit must repair it.
+        let (mut server, mut client) = pair();
+        server.tx.app_write(10 * DEFAULT_MSS as u64);
+        server.tx.app_close();
+        let mut now = SimTime::ZERO;
+        let delay = SimDuration::from_millis(10);
+        let mut to_client: Vec<Segment> = Vec::new();
+        let mut to_server: Vec<Segment> = Vec::new();
+        server.poll(now, &mut to_client);
+        let mut dropped = false;
+        for _ in 0..10_000 {
+            if to_client.is_empty() && to_server.is_empty() {
+                let d = match (server.next_deadline(), client.next_deadline()) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                let Some(d) = d else { break };
+                now = d;
+                server.on_tick(now, &mut to_client);
+                client.on_tick(now, &mut to_server);
+                continue;
+            }
+            now += delay;
+            for seg in std::mem::take(&mut to_client) {
+                if !dropped && seg.seq == 2 * DEFAULT_MSS as u64 && seg.has_data() {
+                    dropped = true;
+                    continue;
+                }
+                client.on_segment(now, &seg, &mut to_server);
+                let buffered = client.rx.buffered();
+                client.app_read(now, buffered, &mut to_server);
+            }
+            for seg in std::mem::take(&mut to_server) {
+                server.on_segment(now, &seg, &mut to_client);
+            }
+            if server.tx.all_acked() {
+                break;
+            }
+        }
+        assert!(dropped);
+        assert!(
+            server.tx.all_acked(),
+            "transfer must complete despite the loss"
+        );
+        assert!(server.tx.stats().retrans_segs >= 1);
+        assert_eq!(client.rx.stats().bytes_delivered, 10 * DEFAULT_MSS as u64);
+    }
+}

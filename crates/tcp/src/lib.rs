@@ -1,0 +1,58 @@
+//! # tcp-sim — a Linux-2.6.32-style TCP stack for discrete-event simulation
+//!
+//! This crate implements the TCP sender and receiver behaviour of the kernel
+//! studied in *"Demystifying and Mitigating TCP Stalls at the Server Side"*
+//! (CoNEXT 2015) — CentOS 6.2, Linux 2.6.32 — together with the paper's
+//! **S-RTO** mitigation and a **TLP** baseline, and a flow-level simulation
+//! driver that captures server-side packet traces for the TAPO analyzer.
+//!
+//! Modules:
+//!
+//! * [`seg`] — the wire segment (64-bit stream offsets, SACK/DSACK).
+//! * [`rtt`] — RFC 6298 SRTT/RTTVAR/RTO with the Linux 200ms floor.
+//! * [`cc`] — Reno and CUBIC congestion avoidance.
+//! * [`scoreboard`] — per-segment SACK/LOST/RETRANS marks and the Table 2
+//!   counters (`packets_out`, `sacked_out`, `lost_out`, `retrans_out`).
+//! * [`sender`] — the Open/Disorder/Recovery/Loss state machine (Fig. 4),
+//!   rate-halving recovery, RTO with exponential backoff, limited transmit,
+//!   DSACK undo, zero-window persist probing.
+//! * [`receiver`] — reassembly, SACK/DSACK generation, delayed ACKs,
+//!   finite receive buffer (small-init-rwnd clients).
+//! * [`recovery`] — Native / TLP / S-RTO mechanism selection.
+//! * [`conn`] — a full-duplex endpoint with ACK piggybacking.
+//! * [`sim`] — a scripted client↔server flow simulation over
+//!   [`simnet`] links with tcpdump-like capture at the server.
+//! * [`script`] — a packetdrill-style DSL for precise sender scenarios.
+//! * [`multi`] — N connections through one shared bottleneck, where
+//!   congestion and continuous-loss bursts emerge mechanistically.
+//!
+//! ## Fidelity and simplifications
+//!
+//! The behaviours the paper's stall taxonomy depends on are implemented
+//! faithfully (see each module's docs). Known simplifications, none of which
+//! affect the stall classes: no header prediction or ECN, no Nagle (the
+//! studied services send MSS-sized bursts), FIN piggybacks on the final data
+//! segment and bare FINs are not retransmitted, and TLP's probe-masked-loss
+//! detection (which only adjusts cwnd after the fact) is omitted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cc;
+pub mod conn;
+pub mod multi;
+pub mod receiver;
+pub mod recovery;
+pub mod rtt;
+pub mod scoreboard;
+pub mod script;
+pub mod seg;
+pub mod sender;
+pub mod sim;
+
+pub use conn::Host;
+pub use receiver::{Receiver, ReceiverConfig};
+pub use recovery::{RecoveryMechanism, SrtoConfig, TlpConfig};
+pub use seg::{Segment, DEFAULT_MSS};
+pub use sender::{CaState, Sender, SenderConfig, SenderStats};
+pub use sim::{FlowOutcome, FlowScript, FlowSim, FlowSimConfig, RequestSpec};

@@ -1,0 +1,419 @@
+//! Multiple concurrent connections through one shared bottleneck.
+//!
+//! The single-flow driver in [`crate::sim`] models cross traffic
+//! statistically (loss processes, delay bursts). This module simulates it
+//! *mechanistically*: N connections share a bottleneck link pair, so
+//! congestion, queueing delay and drop-tail overflow emerge from the flows'
+//! own interaction — the situation behind the paper's synchronized
+//! software-download load ("requests tend to be synchronized when new
+//! software or patches are available") and its continuous-loss stalls
+//! (bursts through routers with full buffers, §4.3).
+//!
+//! Topology:
+//!
+//! ```text
+//!  server ──┐                         ┌── client 1
+//!  server ──┤── shared bottleneck ────┤── client 2   (+ per-flow extra
+//!  server ──┘    (one Link per dir)   └── client 3    propagation delay)
+//! ```
+//!
+//! Each connection is one request/response exchange with its own receiver
+//! configuration and recovery mechanism; the server side captures one
+//! [`FlowTrace`] per connection, ready for TAPO.
+
+use simnet::event::EventQueue;
+use simnet::link::{Delivery, Link, LinkConfig};
+use simnet::rng::SimRng;
+use simnet::time::{SimDuration, SimTime};
+use tcp_trace::flow::{FlowKey, FlowTrace};
+use tcp_trace::record::{Direction, TraceRecord};
+
+use crate::conn::Host;
+use crate::receiver::ReceiverConfig;
+use crate::seg::{SegFlags, Segment};
+use crate::sender::{SenderConfig, SenderStats};
+
+/// One connection in the shared-bottleneck simulation.
+#[derive(Debug, Clone)]
+pub struct MultiFlowEntry {
+    /// When the client opens the connection.
+    pub start_at: SimTime,
+    /// Response size in bytes (single request).
+    pub response_bytes: u64,
+    /// Extra one-way propagation delay for this client (its access path).
+    pub extra_delay: SimDuration,
+    /// Server sender configuration (mechanism, cc…).
+    pub server_tx: SenderConfig,
+    /// Client receiver configuration (buffer = initial window).
+    pub client_rx: ReceiverConfig,
+}
+
+impl MultiFlowEntry {
+    /// A flow with default stack settings.
+    pub fn new(start_at: SimTime, response_bytes: u64) -> Self {
+        MultiFlowEntry {
+            start_at,
+            response_bytes,
+            extra_delay: SimDuration::ZERO,
+            server_tx: SenderConfig::default(),
+            client_rx: ReceiverConfig::default(),
+        }
+    }
+}
+
+/// Configuration of the shared-bottleneck simulation.
+#[derive(Debug, Clone)]
+pub struct MultiFlowSimConfig {
+    /// Server→clients bottleneck.
+    pub bottleneck_s2c: LinkConfig,
+    /// Clients→server bottleneck.
+    pub bottleneck_c2s: LinkConfig,
+    /// The connections.
+    pub flows: Vec<MultiFlowEntry>,
+    /// Simulation cut-off.
+    pub max_time: SimDuration,
+}
+
+impl Default for MultiFlowSimConfig {
+    fn default() -> Self {
+        MultiFlowSimConfig {
+            bottleneck_s2c: LinkConfig {
+                bandwidth_bps: 20_000_000,
+                prop_delay: SimDuration::from_millis(40),
+                queue_pkts: 100,
+                ..LinkConfig::default()
+            },
+            bottleneck_c2s: LinkConfig {
+                bandwidth_bps: 20_000_000,
+                prop_delay: SimDuration::from_millis(40),
+                queue_pkts: 100,
+                ..LinkConfig::default()
+            },
+            flows: Vec::new(),
+            max_time: SimDuration::from_secs(300),
+        }
+    }
+}
+
+/// Per-connection outcome.
+#[derive(Debug, Clone)]
+pub struct MultiFlowOutcome {
+    /// The server-side capture for this connection.
+    pub trace: FlowTrace,
+    /// Whether every response byte was acknowledged before the cut-off.
+    pub completed: bool,
+    /// Request-issued → all-acked latency (`None` if incomplete).
+    pub latency: Option<SimDuration>,
+    /// Server sender counters.
+    pub server_stats: SenderStats,
+}
+
+#[derive(Debug)]
+enum MEv {
+    ToServer(usize, Segment),
+    ToClient(usize, Segment),
+    TickServer(usize),
+    TickClient(usize),
+    Open(usize),
+    SynRetrans(usize, u32),
+}
+
+struct FlowState {
+    server: Host,
+    client: Host,
+    trace: FlowTrace,
+    established: bool,
+    issued_at: Option<SimTime>,
+    done_at: Option<SimTime>,
+    extra_delay: SimDuration,
+    response_bytes: u64,
+}
+
+/// The shared-bottleneck simulation.
+pub struct MultiFlowSim {
+    cfg: MultiFlowSimConfig,
+    q: EventQueue<MEv>,
+    s2c: Link,
+    c2s: Link,
+    flows: Vec<FlowState>,
+}
+
+impl MultiFlowSim {
+    /// Build the simulation; `seed` drives all stochastic link behaviour.
+    pub fn new(cfg: MultiFlowSimConfig, seed: u64) -> Self {
+        let rng = SimRng::seed(seed);
+        let s2c = Link::new(cfg.bottleneck_s2c.clone(), rng.fork(1));
+        let c2s = Link::new(cfg.bottleneck_c2s.clone(), rng.fork(2));
+        let flows = cfg
+            .flows
+            .iter()
+            .enumerate()
+            .map(|(i, entry)| FlowState {
+                server: Host::new(
+                    entry.server_tx.clone(),
+                    ReceiverConfig {
+                        buf_bytes: 1 << 20,
+                        ..ReceiverConfig::default()
+                    },
+                ),
+                client: Host::new(SenderConfig::default(), entry.client_rx.clone()),
+                trace: FlowTrace::new(FlowKey::synthetic(i as u32 + 1)),
+                established: false,
+                issued_at: None,
+                done_at: None,
+                extra_delay: entry.extra_delay,
+                response_bytes: entry.response_bytes,
+            })
+            .collect();
+        MultiFlowSim {
+            cfg,
+            q: EventQueue::new(),
+            s2c,
+            c2s,
+            flows,
+        }
+    }
+
+    /// Run to quiescence (or the cut-off); one outcome per connection.
+    pub fn run(mut self) -> Vec<MultiFlowOutcome> {
+        for (i, entry) in self.cfg.flows.iter().enumerate() {
+            self.q.push(entry.start_at, MEv::Open(i));
+        }
+        let deadline = SimTime::ZERO + self.cfg.max_time;
+        while let Some((t, ev)) = self.q.pop() {
+            if t > deadline {
+                break;
+            }
+            self.dispatch(t, ev);
+            if self.flows.iter().all(|f| f.done_at.is_some()) {
+                break;
+            }
+        }
+        self.flows
+            .into_iter()
+            .map(|f| MultiFlowOutcome {
+                completed: f.done_at.is_some(),
+                latency: match (f.issued_at, f.done_at) {
+                    (Some(a), Some(b)) => Some(b.saturating_since(a)),
+                    _ => None,
+                },
+                server_stats: f.server.tx.stats(),
+                trace: f.trace,
+            })
+            .collect()
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: MEv) {
+        match ev {
+            MEv::Open(i) => self.send_syn(now, i, 0),
+            MEv::SynRetrans(i, attempt) => {
+                if !self.flows[i].established && attempt < 6 {
+                    self.send_syn(now, i, attempt);
+                }
+            }
+            MEv::ToServer(i, seg) => self.server_receive(now, i, seg),
+            MEv::ToClient(i, seg) => self.client_receive(now, i, seg),
+            MEv::TickServer(i) => {
+                let mut out = Vec::new();
+                self.flows[i].server.on_tick(now, &mut out);
+                self.server_send(now, i, out);
+            }
+            MEv::TickClient(i) => {
+                let mut out = Vec::new();
+                self.flows[i].client.on_tick(now, &mut out);
+                self.client_send(now, i, out);
+            }
+        }
+    }
+
+    fn send_syn(&mut self, now: SimTime, i: usize, attempt: u32) {
+        let syn = Segment {
+            seq: 0,
+            len: 0,
+            flags: SegFlags::SYN,
+            ack: 0,
+            rwnd: self.flows[i].client.rx.rwnd(),
+            sack: Vec::new(),
+            dsack: false,
+            probe: false,
+        };
+        self.client_send(now, i, vec![syn]);
+        self.q.push(
+            now + SimDuration::from_secs(3 << attempt),
+            MEv::SynRetrans(i, attempt + 1),
+        );
+    }
+
+    fn server_send(&mut self, now: SimTime, i: usize, segs: Vec<Segment>) {
+        let extra = self.flows[i].extra_delay;
+        for seg in segs {
+            self.flows[i].trace.push(rec_of(now, Direction::Out, &seg));
+            if let Delivery::Arrive(at) = self.s2c.offer(now, seg.wire_len()) {
+                self.q.push(at + extra, MEv::ToClient(i, seg));
+            }
+        }
+        if let Some(d) = self.flows[i].server.next_deadline() {
+            self.q.push(d.max(now), MEv::TickServer(i));
+        }
+    }
+
+    fn client_send(&mut self, now: SimTime, i: usize, segs: Vec<Segment>) {
+        let extra = self.flows[i].extra_delay;
+        for seg in segs {
+            if let Delivery::Arrive(at) = self.c2s.offer(now, seg.wire_len()) {
+                self.q.push(at + extra, MEv::ToServer(i, seg));
+            }
+        }
+        if let Some(d) = self.flows[i].client.next_deadline() {
+            self.q.push(d.max(now), MEv::TickClient(i));
+        }
+    }
+
+    fn server_receive(&mut self, now: SimTime, i: usize, seg: Segment) {
+        self.flows[i].trace.push(rec_of(now, Direction::In, &seg));
+        if seg.flags.syn && !seg.flags.ack {
+            // SYN: reply SYN-ACK, start serving on the completing ACK.
+            self.flows[i].server.tx.set_peer_rwnd(seg.rwnd);
+            let synack = Segment {
+                seq: 0,
+                len: 0,
+                flags: SegFlags::SYN_ACK,
+                ack: 0,
+                rwnd: self.flows[i].server.rx.rwnd(),
+                sack: Vec::new(),
+                dsack: false,
+                probe: false,
+            };
+            self.server_send(now, i, vec![synack]);
+            return;
+        }
+        if !self.flows[i].established {
+            self.flows[i].established = true;
+            self.flows[i].issued_at = Some(now);
+            // Handshake RTT seeds the estimator; the response starts now.
+            let rtt = now.saturating_since(self.cfg.flows[i].start_at);
+            if !rtt.is_zero() {
+                self.flows[i].server.tx.seed_rtt(rtt);
+            }
+            let bytes = self.flows[i].response_bytes;
+            self.flows[i].server.tx.app_write(bytes);
+            self.flows[i].server.tx.app_close();
+        }
+        let mut out = Vec::new();
+        self.flows[i].server.on_segment(now, &seg, &mut out);
+        self.server_send(now, i, out);
+        if self.flows[i].done_at.is_none() && self.flows[i].server.tx.all_acked() {
+            self.flows[i].done_at = Some(now);
+        }
+    }
+
+    fn client_receive(&mut self, now: SimTime, i: usize, seg: Segment) {
+        if seg.flags.syn {
+            // SYN-ACK: complete the handshake.
+            if self.flows[i].issued_at.is_none() {
+                self.flows[i].client.tx.set_peer_rwnd(seg.rwnd);
+                let ack = Segment::pure_ack(0, self.flows[i].client.rx.rwnd());
+                self.client_send(now, i, vec![ack]);
+            }
+            return;
+        }
+        let mut out = Vec::new();
+        self.flows[i].client.on_segment(now, &seg, &mut out);
+        // Clients read immediately.
+        let buffered = self.flows[i].client.rx.buffered();
+        if buffered > 0 {
+            self.flows[i].client.app_read(now, buffered, &mut out);
+        }
+        self.client_send(now, i, out);
+    }
+}
+
+fn rec_of(t: SimTime, dir: Direction, seg: &Segment) -> TraceRecord {
+    TraceRecord {
+        t,
+        dir,
+        seq: seg.seq,
+        len: seg.len,
+        flags: seg.flags,
+        ack: seg.ack,
+        rwnd: seg.rwnd,
+        sack: seg.sack.clone(),
+        dsack: seg.dsack,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u64 = 1448;
+
+    fn synchronized(n: usize, bytes: u64) -> MultiFlowSimConfig {
+        MultiFlowSimConfig {
+            flows: (0..n)
+                .map(|_| MultiFlowEntry::new(SimTime::ZERO, bytes))
+                .collect(),
+            ..MultiFlowSimConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_flows_complete_and_share_the_pipe() {
+        let outcomes = MultiFlowSim::new(synchronized(8, 200 * MSS), 1).run();
+        assert_eq!(outcomes.len(), 8);
+        for o in &outcomes {
+            assert!(o.completed);
+            assert_eq!(o.trace.goodput_bytes_out(), 200 * MSS);
+        }
+        // Shared 20 Mbit/s: 8 × 290KB ≈ 2.3MB ⇒ at least ~0.9s of serialization.
+        let slowest = outcomes.iter().filter_map(|o| o.latency).max().unwrap();
+        assert!(
+            slowest >= SimDuration::from_millis(900),
+            "slowest {slowest}"
+        );
+    }
+
+    #[test]
+    fn contention_induces_losses_a_lone_flow_avoids() {
+        let lone = MultiFlowSim::new(synchronized(1, 400 * MSS), 3).run();
+        let contended = MultiFlowSim::new(synchronized(12, 400 * MSS), 3).run();
+        let lone_retrans = lone[0].server_stats.retrans_segs;
+        let total_retrans: u64 = contended.iter().map(|o| o.server_stats.retrans_segs).sum();
+        assert!(
+            total_retrans > lone_retrans * 4,
+            "contention must induce queue-overflow losses: lone {lone_retrans}, 12 flows {total_retrans}"
+        );
+        for o in &contended {
+            assert!(o.completed);
+        }
+    }
+
+    #[test]
+    fn per_flow_extra_delay_spreads_latencies() {
+        let mut cfg = synchronized(2, 100 * MSS);
+        cfg.flows[1].extra_delay = SimDuration::from_millis(150);
+        let outcomes = MultiFlowSim::new(cfg, 5).run();
+        assert!(outcomes[1].latency.unwrap() > outcomes[0].latency.unwrap());
+    }
+
+    #[test]
+    fn staggered_starts_are_honoured() {
+        let mut cfg = synchronized(2, 50 * MSS);
+        cfg.flows[1].start_at = SimTime::from_secs(2);
+        let outcomes = MultiFlowSim::new(cfg, 7).run();
+        let t0 = outcomes[0].trace.start().unwrap();
+        let t1 = outcomes[1].trace.start().unwrap();
+        assert!(
+            t1.saturating_since(t0) >= SimDuration::from_secs(2) - SimDuration::from_millis(200)
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = MultiFlowSim::new(synchronized(5, 100 * MSS), 11).run();
+        let b = MultiFlowSim::new(synchronized(5, 100 * MSS), 11).run();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.trace.records, y.trace.records);
+        }
+    }
+}

@@ -1,0 +1,537 @@
+//! The TCP receiver: reassembly, SACK/DSACK generation, delayed ACKs and a
+//! finite receive buffer.
+//!
+//! Client behaviours the paper traces back to receivers are modelled here:
+//!
+//! * **Small initial receive windows** — old client software advertising as
+//!   little as 2 MSS (4096 bytes) in the SYN (Fig. 6); modelled as a small
+//!   fixed receive buffer, so the advertised window is `buffer − buffered`.
+//! * **Zero-window stalls** — an application that drains the buffer slower
+//!   than the sender fills it (Table 4).
+//! * **Delayed ACKs** — one ACK per two full segments, or after the delack
+//!   timer (RFC 1122 allows up to 500ms); with a 2-MSS window the
+//!   interaction with the sender's 200ms RTO floor produces the paper's
+//!   *ACK delay/loss* timeout stalls (§4.3).
+//! * **DSACK** (RFC 2883) — duplicate segments are reported so the
+//!   sender (and TAPO offline) can recognize spurious retransmissions.
+
+use simnet::time::{SimDuration, SimTime};
+
+use crate::seg::{SackBlock, Segment};
+
+/// Receiver configuration.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReceiverConfig {
+    /// Maximum segment size (for delack full-segment counting).
+    pub mss: u32,
+    /// Receive buffer capacity in bytes; also the initial advertised window.
+    pub buf_bytes: u64,
+    /// Delayed-ACK timer (Linux: 40ms–200ms; RFC 1122 caps at 500ms).
+    pub delack_timeout: SimDuration,
+    /// ACK every n-th full-sized segment (2 per RFC 1122).
+    pub delack_segs: u32,
+    /// Disable delayed ACKs entirely (ack every segment immediately).
+    pub quickack: bool,
+}
+
+impl Default for ReceiverConfig {
+    fn default() -> Self {
+        ReceiverConfig {
+            mss: crate::seg::DEFAULT_MSS,
+            buf_bytes: 256 * 1024,
+            delack_timeout: SimDuration::from_millis(40),
+            delack_segs: 2,
+            quickack: false,
+        }
+    }
+}
+
+/// Receiver-side counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ReceiverStats {
+    /// In-order payload bytes delivered toward the application.
+    pub bytes_delivered: u64,
+    /// Data segments received (in or out of order).
+    pub data_segs: u64,
+    /// Fully or partially duplicate segments (spurious retransmissions seen).
+    pub dup_segs: u64,
+    /// Segments (or parts) discarded because the buffer was full.
+    pub dropped_for_window: u64,
+    /// Pure ACKs emitted.
+    pub acks_sent: u64,
+}
+
+/// The receiver for one direction of a connection.
+#[derive(Debug, Clone)]
+pub struct Receiver {
+    cfg: ReceiverConfig,
+    rcv_nxt: u64,
+    /// Out-of-order intervals `[start, end)`, disjoint, sorted. The `u64`
+    /// recency stamp orders SACK blocks most-recent-first.
+    ooo: Vec<(u64, u64, u64)>,
+    recency: u64,
+    /// In-order bytes delivered but not yet read by the application.
+    buffered: u64,
+    pending_dsack: Option<SackBlock>,
+    ack_now: bool,
+    delack_deadline: Option<SimTime>,
+    delack_pending_segs: u32,
+    fin_seen: bool,
+    stats: ReceiverStats,
+}
+
+impl Receiver {
+    /// A fresh receiver.
+    pub fn new(cfg: ReceiverConfig) -> Self {
+        Receiver {
+            cfg,
+            rcv_nxt: 0,
+            ooo: Vec::new(),
+            recency: 0,
+            buffered: 0,
+            pending_dsack: None,
+            ack_now: false,
+            delack_deadline: None,
+            delack_pending_segs: 0,
+            fin_seen: false,
+            stats: ReceiverStats::default(),
+        }
+    }
+
+    // ------------------------------------------------------- accessors
+
+    /// Next expected in-order stream offset (the cumulative ACK we send).
+    pub fn rcv_nxt(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    /// Raw free buffer space.
+    fn free_space(&self) -> u64 {
+        let ooo_bytes: u64 = self.ooo.iter().map(|(s, e, _)| e - s).sum();
+        self.cfg.buf_bytes.saturating_sub(self.buffered + ooo_bytes)
+    }
+
+    /// Current advertised window: free buffer space with receiver-side
+    /// silly-window avoidance (RFC 1122 §4.2.3.3) — a window smaller than
+    /// one MSS is advertised as **zero**, which is how the paper's
+    /// zero-receive-window stalls appear on the wire.
+    pub fn rwnd(&self) -> u64 {
+        let free = self.free_space();
+        if free < self.cfg.mss as u64 {
+            0
+        } else {
+            free
+        }
+    }
+
+    /// Whether the peer's FIN has been received in order.
+    pub fn fin_received(&self) -> bool {
+        self.fin_seen && self.ooo.is_empty()
+    }
+
+    /// In-order bytes awaiting application read.
+    pub fn buffered(&self) -> u64 {
+        self.buffered
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ReceiverStats {
+        self.stats
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ReceiverConfig {
+        &self.cfg
+    }
+
+    // ----------------------------------------------------- data handling
+
+    /// Process the data portion of an incoming segment. Returns `true` if
+    /// an ACK should be sent immediately (the caller then calls
+    /// [`Receiver::take_ack_fields`]); otherwise the delayed-ACK timer is
+    /// running.
+    pub fn on_data(&mut self, now: SimTime, seg: &Segment) -> bool {
+        if seg.flags.fin {
+            self.fin_seen = true;
+            self.ack_now = true;
+        }
+        if !seg.has_data() {
+            return self.ack_now;
+        }
+        self.stats.data_segs += 1;
+
+        let mut start = seg.seq;
+        let end = seg.seq_end();
+
+        // Fully duplicate segment: DSACK it, ACK immediately (RFC 2883/5961).
+        if end <= self.rcv_nxt {
+            self.stats.dup_segs += 1;
+            self.pending_dsack = Some(SackBlock::new(seg.seq, end));
+            self.ack_now = true;
+            return true;
+        }
+        // Partial overlap below rcv_nxt: note the duplicate part.
+        if start < self.rcv_nxt {
+            self.stats.dup_segs += 1;
+            self.pending_dsack = Some(SackBlock::new(start, self.rcv_nxt));
+            start = self.rcv_nxt;
+        }
+        // Duplicate of an out-of-order interval already held?
+        if self.ooo.iter().any(|&(s, e, _)| start >= s && end <= e) {
+            self.stats.dup_segs += 1;
+            self.pending_dsack = Some(SackBlock::new(start, end));
+            self.ack_now = true;
+            return true;
+        }
+
+        // Window check: a segment that does not fit entirely in the free
+        // buffer space is dropped whole (receivers under memory pressure do
+        // not deliver partial segments), keeping ACKs on segment boundaries.
+        let window_edge = self.rcv_nxt + self.free_space();
+        if end > window_edge {
+            self.stats.dropped_for_window += 1;
+            self.ack_now = true;
+            return true;
+        }
+
+        if start == self.rcv_nxt {
+            // In-order delivery; may bridge into out-of-order data.
+            self.rcv_nxt = end;
+            self.buffered += end - start;
+            let had_holes = !self.ooo.is_empty();
+            self.absorb_ooo();
+            if had_holes {
+                // Filling a hole: ACK immediately (RFC 5681).
+                self.ack_now = true;
+            } else if self.cfg.quickack {
+                self.ack_now = true;
+            } else {
+                self.delack_pending_segs += 1;
+                if self.delack_pending_segs >= self.cfg.delack_segs {
+                    self.ack_now = true;
+                } else if self.delack_deadline.is_none() {
+                    self.delack_deadline = Some(now + self.cfg.delack_timeout);
+                }
+            }
+        } else {
+            // Out of order: store and ACK immediately with SACK info.
+            self.recency += 1;
+            self.insert_ooo(start, end, self.recency);
+            self.ack_now = true;
+        }
+        self.ack_now
+    }
+
+    fn insert_ooo(&mut self, start: u64, end: u64, stamp: u64) {
+        let mut start = start;
+        let mut end = end;
+        // Merge with any overlapping/adjacent intervals.
+        self.ooo.retain(|&(s, e, _)| {
+            if e < start || s > end {
+                true
+            } else {
+                start = start.min(s);
+                end = end.max(e);
+                false
+            }
+        });
+        self.ooo.push((start, end, stamp));
+        self.ooo.sort_by_key(|&(s, _, _)| s);
+    }
+
+    fn absorb_ooo(&mut self) {
+        while let Some(pos) = self.ooo.iter().position(|&(s, _, _)| s <= self.rcv_nxt) {
+            let (s, e, _) = self.ooo.remove(pos);
+            if e > self.rcv_nxt {
+                self.buffered += e - self.rcv_nxt;
+                self.rcv_nxt = e;
+            }
+            let _ = s;
+        }
+    }
+
+    // ------------------------------------------------------ ACK emission
+
+    /// True if an immediate ACK is pending.
+    pub fn wants_ack_now(&self) -> bool {
+        self.ack_now
+    }
+
+    /// The delayed-ACK deadline, if armed.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.delack_deadline
+    }
+
+    /// Fire the delayed-ACK timer if expired.
+    pub fn on_tick(&mut self, now: SimTime) {
+        if let Some(d) = self.delack_deadline {
+            if now >= d {
+                self.delack_deadline = None;
+                if self.delack_pending_segs > 0 {
+                    self.ack_now = true;
+                }
+            }
+        }
+    }
+
+    /// Produce the ACK fields for an outgoing segment (pure ACK or
+    /// piggybacked on data), clearing all pending-ACK state.
+    pub fn take_ack_fields(&mut self) -> AckFields {
+        self.ack_now = false;
+        self.delack_deadline = None;
+        self.delack_pending_segs = 0;
+        let dsack = self.pending_dsack.take();
+        let mut sack: Vec<SackBlock> = Vec::new();
+        if let Some(d) = dsack {
+            sack.push(d);
+        }
+        // SACK blocks: most recently changed interval first, then others,
+        // up to 4 total including the DSACK.
+        let mut by_recency: Vec<&(u64, u64, u64)> = self.ooo.iter().collect();
+        by_recency.sort_by_key(|&&(_, _, stamp)| std::cmp::Reverse(stamp));
+        for &&(s, e, _) in by_recency.iter().take(4 - sack.len().min(4)) {
+            sack.push(SackBlock::new(s, e));
+        }
+        self.stats.acks_sent += 1;
+        AckFields {
+            ack: self.rcv_nxt,
+            rwnd: self.rwnd(),
+            dsack: dsack.is_some(),
+            sack,
+        }
+    }
+
+    // -------------------------------------------------- application side
+
+    /// The application reads up to `bytes` from the in-order buffer.
+    /// Returns `true` if the window opened enough that a window-update ACK
+    /// should be sent (the advertised window was below 1 MSS and at least
+    /// one MSS is now free).
+    pub fn app_read(&mut self, bytes: u64) -> bool {
+        let before = self.rwnd();
+        let take = bytes.min(self.buffered);
+        self.buffered -= take;
+        self.stats.bytes_delivered += take;
+        let after = self.rwnd();
+        let opened = before < self.cfg.mss as u64 && after >= self.cfg.mss as u64;
+        if opened {
+            self.ack_now = true;
+        }
+        opened
+    }
+}
+
+/// The acknowledgment-side fields of an outgoing segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AckFields {
+    /// Cumulative acknowledgment.
+    pub ack: u64,
+    /// Advertised window in bytes.
+    pub rwnd: u64,
+    /// SACK blocks (first is DSACK when `dsack`).
+    pub sack: Vec<SackBlock>,
+    /// Whether `sack[0]` is a DSACK.
+    pub dsack: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seg::SegFlags;
+
+    fn data_seg(seq: u64, len: u32) -> Segment {
+        Segment {
+            seq,
+            len,
+            flags: SegFlags::ACK,
+            ack: 0,
+            rwnd: 65535,
+            sack: Vec::new(),
+            dsack: false,
+            probe: false,
+        }
+    }
+
+    fn rx() -> Receiver {
+        Receiver::new(ReceiverConfig::default())
+    }
+
+    const MSS: u32 = crate::seg::DEFAULT_MSS;
+
+    #[test]
+    fn in_order_data_uses_delayed_ack() {
+        let mut r = rx();
+        let t = SimTime::from_millis(0);
+        assert!(
+            !r.on_data(t, &data_seg(0, MSS)),
+            "first segment: delack armed"
+        );
+        assert_eq!(r.next_deadline(), Some(t + SimDuration::from_millis(40)));
+        // Second full segment forces an immediate ACK.
+        assert!(r.on_data(t, &data_seg(MSS as u64, MSS)));
+        let f = r.take_ack_fields();
+        assert_eq!(f.ack, 2 * MSS as u64);
+        assert!(f.sack.is_empty());
+    }
+
+    #[test]
+    fn delack_timer_fires() {
+        let mut r = rx();
+        let t = SimTime::from_millis(0);
+        r.on_data(t, &data_seg(0, MSS));
+        let d = r.next_deadline().unwrap();
+        r.on_tick(d);
+        assert!(r.wants_ack_now());
+        assert_eq!(r.take_ack_fields().ack, MSS as u64);
+    }
+
+    #[test]
+    fn out_of_order_generates_immediate_sack() {
+        let mut r = rx();
+        let t = SimTime::ZERO;
+        // Segment 1 lost; 2 and 3 arrive.
+        assert!(r.on_data(t, &data_seg(MSS as u64, MSS)));
+        let f = r.take_ack_fields();
+        assert_eq!(f.ack, 0);
+        assert_eq!(f.sack, vec![SackBlock::new(MSS as u64, 2 * MSS as u64)]);
+        assert!(r.on_data(t, &data_seg(2 * MSS as u64, MSS)));
+        let f = r.take_ack_fields();
+        assert_eq!(f.sack, vec![SackBlock::new(MSS as u64, 3 * MSS as u64)]);
+    }
+
+    #[test]
+    fn hole_fill_delivers_and_acks_immediately() {
+        let mut r = rx();
+        let t = SimTime::ZERO;
+        r.on_data(t, &data_seg(MSS as u64, MSS));
+        r.take_ack_fields();
+        assert!(r.on_data(t, &data_seg(0, MSS)), "filling the hole acks now");
+        let f = r.take_ack_fields();
+        assert_eq!(f.ack, 2 * MSS as u64);
+        assert!(f.sack.is_empty());
+        assert_eq!(r.buffered(), 2 * MSS as u64);
+    }
+
+    #[test]
+    fn duplicate_segment_triggers_dsack() {
+        let mut r = rx();
+        let t = SimTime::ZERO;
+        r.on_data(t, &data_seg(0, MSS));
+        r.on_data(t, &data_seg(MSS as u64, MSS));
+        r.take_ack_fields();
+        // Segment 0 arrives again (spurious retransmission).
+        assert!(r.on_data(t, &data_seg(0, MSS)));
+        let f = r.take_ack_fields();
+        assert!(f.dsack);
+        assert_eq!(f.sack[0], SackBlock::new(0, MSS as u64));
+        assert_eq!(r.stats().dup_segs, 1);
+    }
+
+    #[test]
+    fn duplicate_of_ooo_interval_is_dsacked() {
+        let mut r = rx();
+        let t = SimTime::ZERO;
+        r.on_data(t, &data_seg(MSS as u64, MSS));
+        r.take_ack_fields();
+        assert!(r.on_data(t, &data_seg(MSS as u64, MSS)));
+        let f = r.take_ack_fields();
+        assert!(f.dsack);
+        assert_eq!(f.sack[0], SackBlock::new(MSS as u64, 2 * MSS as u64));
+        // The real SACK block follows the DSACK.
+        assert!(f.sack.contains(&SackBlock::new(MSS as u64, 2 * MSS as u64)));
+    }
+
+    #[test]
+    fn multiple_holes_report_most_recent_block_first() {
+        let mut r = rx();
+        let t = SimTime::ZERO;
+        r.on_data(t, &data_seg(MSS as u64, MSS)); // hole at 0
+        r.take_ack_fields();
+        r.on_data(t, &data_seg(3 * MSS as u64, MSS)); // hole at 2
+        let f = r.take_ack_fields();
+        assert_eq!(f.sack.len(), 2);
+        assert_eq!(f.sack[0], SackBlock::new(3 * MSS as u64, 4 * MSS as u64));
+        assert_eq!(f.sack[1], SackBlock::new(MSS as u64, 2 * MSS as u64));
+    }
+
+    #[test]
+    fn window_shrinks_with_unread_data_and_zero_windows() {
+        let mut r = Receiver::new(ReceiverConfig {
+            buf_bytes: 4 * MSS as u64,
+            ..ReceiverConfig::default()
+        });
+        let t = SimTime::ZERO;
+        for i in 0..4 {
+            r.on_data(t, &data_seg(i * MSS as u64, MSS));
+        }
+        assert_eq!(r.rwnd(), 0, "buffer full, zero window");
+        // A 5th segment must be discarded.
+        r.on_data(t, &data_seg(4 * MSS as u64, MSS));
+        assert_eq!(r.rcv_nxt(), 4 * MSS as u64);
+        assert_eq!(r.stats().dropped_for_window, 1);
+        // Application reads: window update requested.
+        assert!(r.app_read(2 * MSS as u64));
+        assert_eq!(r.rwnd(), 2 * MSS as u64);
+        assert!(r.wants_ack_now());
+    }
+
+    #[test]
+    fn app_read_below_mss_does_not_update_window() {
+        let mut r = Receiver::new(ReceiverConfig {
+            buf_bytes: 2 * MSS as u64,
+            ..ReceiverConfig::default()
+        });
+        let t = SimTime::ZERO;
+        r.on_data(t, &data_seg(0, MSS));
+        r.on_data(t, &data_seg(MSS as u64, MSS));
+        r.take_ack_fields();
+        // Reading less than an MSS keeps the window effectively shut
+        // (silly-window avoidance).
+        assert!(!r.app_read(100));
+    }
+
+    #[test]
+    fn fin_sets_flag_and_acks_immediately() {
+        let mut r = rx();
+        let t = SimTime::ZERO;
+        let mut seg = data_seg(0, MSS);
+        seg.flags.fin = true;
+        assert!(r.on_data(t, &seg));
+        assert!(r.fin_received());
+    }
+
+    #[test]
+    fn fin_with_outstanding_holes_is_not_complete() {
+        let mut r = rx();
+        let t = SimTime::ZERO;
+        let mut seg = data_seg(MSS as u64, MSS);
+        seg.flags.fin = true;
+        r.on_data(t, &seg);
+        assert!(!r.fin_received(), "hole before FIN");
+        r.on_data(t, &data_seg(0, MSS));
+        assert!(r.fin_received());
+    }
+
+    #[test]
+    fn quickack_acks_every_segment() {
+        let mut r = Receiver::new(ReceiverConfig {
+            quickack: true,
+            ..ReceiverConfig::default()
+        });
+        assert!(r.on_data(SimTime::ZERO, &data_seg(0, MSS)));
+    }
+
+    #[test]
+    fn overlap_below_rcv_nxt_delivers_tail_and_dsacks_head() {
+        let mut r = rx();
+        let t = SimTime::ZERO;
+        r.on_data(t, &data_seg(0, MSS));
+        r.take_ack_fields();
+        // Retransmission covering old + new bytes.
+        r.on_data(t, &data_seg(0, 2 * MSS));
+        let f = r.take_ack_fields();
+        assert_eq!(f.ack, 2 * MSS as u64);
+        assert!(f.dsack);
+        assert_eq!(f.sack[0], SackBlock::new(0, MSS as u64));
+    }
+}

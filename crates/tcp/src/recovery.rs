@@ -1,0 +1,140 @@
+//! Loss-recovery mechanism selection: native Linux 2.6.32 behaviour, the
+//! Tail Loss Probe baseline, or the paper's S-RTO.
+//!
+//! All three share the same fast-retransmit/RTO machinery in
+//! [`crate::sender::Sender`]; the mechanism only changes *what timer is
+//! armed while data is outstanding* and *what happens when that timer
+//! fires*:
+//!
+//! * **Native** — the RFC 6298 retransmission timer only. A lost
+//!   retransmission or a tail loss waits out the full RTO (hundreds of ms to
+//!   seconds; Fig. 1).
+//! * **TLP** (Flach et al., SIGCOMM'13) — in the `Open` state, a probe timer
+//!   `PTO = max(2·SRTT, 10ms)` (plus a delayed-ACK allowance when only one
+//!   packet is outstanding) transmits one probe (new data if available, else
+//!   the highest outstanding segment). Because TLP requires the Open state,
+//!   it cannot mitigate double-retransmission stalls (§4.1 of the paper).
+//! * **S-RTO** (this paper, Algorithm 1) — whenever the retransmission timer
+//!   would be armed and (a) the head segment has never been RTO-retransmitted
+//!   and (b) `packets_out < T1`, arm a probe at `2·RTT` instead. On firing:
+//!   retransmit the first unacknowledged segment, halve cwnd only if
+//!   `cwnd > T2` and not already in Recovery, enter Recovery, and fall back
+//!   to the native RTO. Active in *any* congestion state, which is what lets
+//!   it repair f-double stalls.
+
+use simnet::time::SimDuration;
+
+/// Tail Loss Probe parameters.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TlpConfig {
+    /// Lower bound on the probe timeout (10ms in the TLP draft).
+    pub min_pto: SimDuration,
+    /// Worst-case delayed-ACK allowance added when exactly one packet is
+    /// outstanding (200ms, matching the Linux implementation).
+    pub delack_allowance: SimDuration,
+}
+
+impl Default for TlpConfig {
+    fn default() -> Self {
+        TlpConfig {
+            min_pto: SimDuration::from_millis(10),
+            delack_allowance: SimDuration::from_millis(200),
+        }
+    }
+}
+
+/// S-RTO parameters (Algorithm 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SrtoConfig {
+    /// `T1`: the probe timer is armed only while `packets_out < T1`.
+    /// The paper deploys 5 for web search and 10 for cloud storage.
+    pub t1_packets: u32,
+    /// `T2`: cwnd is halved on probe firing only if `cwnd > T2` (5 in the
+    /// paper's deployment).
+    pub t2_cwnd: u32,
+    /// Probe delay as a multiple of the smoothed RTT (2.0 in the paper,
+    /// the same `2·RTT` threshold used to define a stall).
+    pub probe_rtt_mult: f64,
+}
+
+impl Default for SrtoConfig {
+    fn default() -> Self {
+        SrtoConfig {
+            t1_packets: 10,
+            t2_cwnd: 5,
+            probe_rtt_mult: 2.0,
+        }
+    }
+}
+
+impl SrtoConfig {
+    /// The deployment parameters the paper used for the web search service.
+    pub fn web_search() -> Self {
+        SrtoConfig {
+            t1_packets: 5,
+            ..Self::default()
+        }
+    }
+
+    /// The deployment parameters the paper used for the cloud storage
+    /// service.
+    pub fn cloud_storage() -> Self {
+        SrtoConfig {
+            t1_packets: 10,
+            ..Self::default()
+        }
+    }
+}
+
+/// Which recovery mechanism the sender runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub enum RecoveryMechanism {
+    /// Native Linux 2.6.32: RTO only.
+    #[default]
+    Native,
+    /// Tail Loss Probe.
+    Tlp(TlpConfig),
+    /// The paper's S-RTO.
+    Srto(SrtoConfig),
+}
+
+impl RecoveryMechanism {
+    /// TLP with default parameters.
+    pub fn tlp() -> Self {
+        RecoveryMechanism::Tlp(TlpConfig::default())
+    }
+
+    /// S-RTO with default parameters.
+    pub fn srto() -> Self {
+        RecoveryMechanism::Srto(SrtoConfig::default())
+    }
+
+    /// Short human-readable label for reports ("Linux", "TLP", "S-RTO").
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryMechanism::Native => "Linux",
+            RecoveryMechanism::Tlp(_) => "TLP",
+            RecoveryMechanism::Srto(_) => "S-RTO",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(RecoveryMechanism::Native.label(), "Linux");
+        assert_eq!(RecoveryMechanism::tlp().label(), "TLP");
+        assert_eq!(RecoveryMechanism::srto().label(), "S-RTO");
+    }
+
+    #[test]
+    fn paper_deployment_parameters() {
+        assert_eq!(SrtoConfig::web_search().t1_packets, 5);
+        assert_eq!(SrtoConfig::cloud_storage().t1_packets, 10);
+        assert_eq!(SrtoConfig::default().t2_cwnd, 5);
+        assert_eq!(SrtoConfig::default().probe_rtt_mult, 2.0);
+    }
+}

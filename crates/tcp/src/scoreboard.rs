@@ -1,0 +1,560 @@
+//! The sender's retransmission scoreboard.
+//!
+//! Tracks every transmitted-but-unacknowledged segment together with the
+//! per-segment marks Linux keeps in `TCP_SKB_CB` (`SACKED_ACKED`, `LOST`,
+//! `SACKED_RETRANS`) and maintains the aggregate counters of the paper's
+//! Table 2 incrementally: `packets_out`, `sacked_out`, `lost_out`,
+//! `retrans_out`, from which
+//!
+//! ```text
+//! in_flight = packets_out + retrans_out − (sacked_out + lost_out)   (Eq. 1)
+//! ```
+//!
+//! One behaviour is load-bearing for the paper's *f-double stall* finding
+//! and is preserved faithfully: a segment that has already been
+//! retransmitted (`retrans_out` set) is **never re-marked lost by SACK
+//! processing** — only an RTO clears the mark and allows another
+//! retransmission. This is exactly why a dropped retransmission stalls the
+//! flow until the timeout in the paper's kernel (Fig. 9), and why S-RTO's
+//! probe timer helps.
+
+use simnet::time::SimTime;
+
+/// Per-segment transmission state (one entry per transmitted MSS chunk).
+#[derive(Debug, Clone)]
+pub struct TxSeg {
+    /// Stream offset of the first byte.
+    pub seq: u64,
+    /// Payload length.
+    pub len: u32,
+    /// Peer reported this segment received via SACK.
+    pub sacked: bool,
+    /// Marked lost by the sender's loss estimation.
+    pub lost: bool,
+    /// Currently retransmitted and not yet (s)acked (`SACKED_RETRANS`).
+    pub retrans_out: bool,
+    /// Total number of retransmissions so far.
+    pub retrans_count: u32,
+    /// Whether any retransmission of this segment was RTO-driven.
+    pub ever_rto_retrans: bool,
+    /// How the *first* retransmission happened; `None` if never
+    /// retransmitted. Used as ground truth for f-double vs t-double stalls.
+    pub first_retrans_fast: Option<bool>,
+    /// Time of the original transmission.
+    pub first_tx: SimTime,
+    /// Time of the most recent (re)transmission.
+    pub last_tx: SimTime,
+}
+
+impl TxSeg {
+    /// Stream offset one past the last byte.
+    pub fn seq_end(&self) -> u64 {
+        self.seq + self.len as u64
+    }
+}
+
+/// Result of cumulative-ACK processing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AckResult {
+    /// Number of segments fully acknowledged by this ACK.
+    pub newly_acked: u32,
+    /// RTT sample from the highest acked never-retransmitted segment
+    /// (Karn's rule), if any.
+    pub rtt_sample: Option<simnet::time::SimDuration>,
+    /// Whether any acked segment had been retransmitted.
+    pub acked_retrans: bool,
+    /// Whether any acked segment carried a `lost` mark (it "returned from
+    /// the dead" — evidence of reordering / spurious marking).
+    pub acked_lost: bool,
+}
+
+/// Result of SACK-block processing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SackResult {
+    /// Segments newly marked SACKed.
+    pub newly_sacked: u32,
+    /// Whether any newly SACKed segment had been marked lost (reordering
+    /// evidence: it arrived after all).
+    pub sacked_was_lost: bool,
+}
+
+/// The scoreboard proper.
+#[derive(Debug, Clone)]
+pub struct Scoreboard {
+    segs: std::collections::VecDeque<TxSeg>,
+    snd_una: u64,
+    snd_nxt: u64,
+    sacked_out: u32,
+    lost_out: u32,
+    retrans_out: u32,
+    /// Highest stream offset covered by any SACK so far.
+    high_sacked: u64,
+}
+
+impl Scoreboard {
+    /// A scoreboard for a stream starting at offset 0.
+    pub fn new() -> Self {
+        Scoreboard {
+            segs: Default::default(),
+            snd_una: 0,
+            snd_nxt: 0,
+            sacked_out: 0,
+            lost_out: 0,
+            retrans_out: 0,
+            high_sacked: 0,
+        }
+    }
+
+    /// First unacknowledged byte.
+    pub fn snd_una(&self) -> u64 {
+        self.snd_una
+    }
+
+    /// Next byte to be sent for the first time.
+    pub fn snd_nxt(&self) -> u64 {
+        self.snd_nxt
+    }
+
+    /// Outstanding original transmissions, in packets (`packets_out`).
+    pub fn packets_out(&self) -> u32 {
+        self.segs.len() as u32
+    }
+
+    /// Segments SACKed by the peer (`sacked_out`).
+    pub fn sacked_out(&self) -> u32 {
+        self.sacked_out
+    }
+
+    /// Segments the sender believes lost (`lost_out`).
+    pub fn lost_out(&self) -> u32 {
+        self.lost_out
+    }
+
+    /// Outstanding retransmissions (`retrans_out`).
+    pub fn retrans_out(&self) -> u32 {
+        self.retrans_out
+    }
+
+    /// Equation 1 of the paper.
+    pub fn in_flight(&self) -> u32 {
+        (self.packets_out() + self.retrans_out).saturating_sub(self.sacked_out + self.lost_out)
+    }
+
+    /// Number of unacked "holes" between the cumulative ACK and the highest
+    /// SACK (the paper's `holes` parameter).
+    pub fn holes(&self) -> u32 {
+        self.segs
+            .iter()
+            .filter(|s| !s.sacked && s.seq_end() <= self.high_sacked)
+            .count() as u32
+    }
+
+    /// Highest SACKed offset seen.
+    pub fn high_sacked(&self) -> u64 {
+        self.high_sacked
+    }
+
+    /// True when nothing is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// The head (oldest outstanding) segment.
+    pub fn head(&self) -> Option<&TxSeg> {
+        self.segs.front()
+    }
+
+    /// Iterate over outstanding segments in sequence order.
+    pub fn iter(&self) -> impl Iterator<Item = &TxSeg> {
+        self.segs.iter()
+    }
+
+    /// Record the original transmission of a new segment of `len` bytes.
+    /// Returns its starting offset.
+    pub fn transmit_new(&mut self, now: SimTime, len: u32) -> u64 {
+        debug_assert!(len > 0);
+        let seq = self.snd_nxt;
+        self.segs.push_back(TxSeg {
+            seq,
+            len,
+            sacked: false,
+            lost: false,
+            retrans_out: false,
+            retrans_count: 0,
+            ever_rto_retrans: false,
+            first_retrans_fast: None,
+            first_tx: now,
+            last_tx: now,
+        });
+        self.snd_nxt += len as u64;
+        self.check_invariants();
+        seq
+    }
+
+    /// Process a cumulative acknowledgment up to `ack`.
+    pub fn ack_to(&mut self, now: SimTime, ack: u64) -> AckResult {
+        let mut res = AckResult::default();
+        if ack <= self.snd_una {
+            return res;
+        }
+        while let Some(head) = self.segs.front() {
+            if head.seq_end() > ack {
+                break;
+            }
+            let seg = self.segs.pop_front().expect("non-empty");
+            res.newly_acked += 1;
+            if seg.sacked {
+                self.sacked_out -= 1;
+            }
+            if seg.lost {
+                self.lost_out -= 1;
+                if !seg.sacked && seg.retrans_count == 0 {
+                    res.acked_lost = true;
+                }
+            }
+            if seg.retrans_out {
+                self.retrans_out -= 1;
+            }
+            if seg.retrans_count > 0 {
+                res.acked_retrans = true;
+            } else {
+                res.rtt_sample = Some(now.saturating_since(seg.first_tx));
+            }
+        }
+        self.snd_una = ack.max(self.snd_una);
+        debug_assert!(
+            self.segs.front().is_none_or(|s| s.seq >= self.snd_una),
+            "ACK {ack} not on a segment boundary"
+        );
+        self.check_invariants();
+        res
+    }
+
+    /// Apply the SACK blocks of an incoming ACK (peer-stream offsets).
+    pub fn apply_sack(&mut self, blocks: &[tcp_trace::record::SackBlock]) -> SackResult {
+        let mut res = SackResult::default();
+        for b in blocks {
+            self.high_sacked = self.high_sacked.max(b.end);
+            for seg in self.segs.iter_mut() {
+                if seg.sacked || seg.seq < b.start {
+                    continue;
+                }
+                if seg.seq_end() > b.end {
+                    break;
+                }
+                seg.sacked = true;
+                self.sacked_out += 1;
+                res.newly_sacked += 1;
+                if seg.lost {
+                    seg.lost = false;
+                    self.lost_out -= 1;
+                    if seg.retrans_count == 0 {
+                        res.sacked_was_lost = true;
+                    }
+                }
+                if seg.retrans_out {
+                    seg.retrans_out = false;
+                    self.retrans_out -= 1;
+                }
+            }
+        }
+        self.check_invariants();
+        res
+    }
+
+    /// Mark the head segment lost (fast-retransmit entry). Does nothing if
+    /// the head is already lost, SACKed, or — matching the paper's kernel —
+    /// already retransmitted.
+    pub fn mark_lost_head(&mut self) -> bool {
+        for seg in self.segs.iter_mut() {
+            if seg.sacked {
+                continue;
+            }
+            if seg.lost || seg.retrans_out {
+                return false;
+            }
+            seg.lost = true;
+            self.lost_out += 1;
+            self.check_invariants();
+            return true;
+        }
+        false
+    }
+
+    /// FACK-style loss marking: any unsacked, unlost, un-retransmitted
+    /// segment with at least `dupthres` MSS of SACKed data above it is lost.
+    /// Returns the number newly marked.
+    pub fn mark_lost_fack(&mut self, dupthres: u32, mss: u32) -> u32 {
+        let threshold = (dupthres.saturating_sub(1)) as u64 * mss as u64;
+        let mut marked = 0;
+        let high = self.high_sacked;
+        for seg in self.segs.iter_mut() {
+            if seg.seq_end() + threshold > high {
+                break;
+            }
+            if seg.sacked || seg.lost || seg.retrans_out {
+                continue;
+            }
+            seg.lost = true;
+            self.lost_out += 1;
+            marked += 1;
+        }
+        self.check_invariants();
+        marked
+    }
+
+    /// RTO entry (`tcp_enter_loss`): mark every outstanding non-SACKed
+    /// segment lost and clear all retransmission marks so the queue can be
+    /// retransmitted from the head.
+    pub fn mark_all_lost(&mut self) {
+        for seg in self.segs.iter_mut() {
+            if seg.retrans_out {
+                seg.retrans_out = false;
+                self.retrans_out -= 1;
+            }
+            if !seg.sacked && !seg.lost {
+                seg.lost = true;
+                self.lost_out += 1;
+            }
+        }
+        debug_assert_eq!(self.retrans_out, 0);
+        self.check_invariants();
+    }
+
+    /// Clear all `lost` marks (congestion-window undo after DSACK evidence).
+    pub fn unmark_all_lost(&mut self) {
+        for seg in self.segs.iter_mut() {
+            if seg.lost {
+                seg.lost = false;
+                self.lost_out -= 1;
+            }
+        }
+        self.check_invariants();
+    }
+
+    /// The next lost segment eligible for retransmission (lost, not SACKed,
+    /// not already retransmitted since the mark), lowest sequence first.
+    pub fn next_lost_seq(&self) -> Option<u64> {
+        self.segs
+            .iter()
+            .find(|s| s.lost && !s.sacked && !s.retrans_out)
+            .map(|s| s.seq)
+    }
+
+    /// Record a (re)transmission of the segment starting at `seq`.
+    /// `by_rto` marks RTO-driven retransmissions (feeds both Karn's rule and
+    /// S-RTO's activation condition); `fast` records whether the *first*
+    /// retransmission was a fast retransmit.
+    ///
+    /// Returns the segment length, or `None` if `seq` is not outstanding.
+    pub fn on_retransmit(
+        &mut self,
+        now: SimTime,
+        seq: u64,
+        by_rto: bool,
+        fast: bool,
+    ) -> Option<u32> {
+        let seg = self.segs.iter_mut().find(|s| s.seq == seq)?;
+        if !seg.retrans_out {
+            seg.retrans_out = true;
+            self.retrans_out += 1;
+        }
+        seg.retrans_count += 1;
+        seg.ever_rto_retrans |= by_rto;
+        if seg.first_retrans_fast.is_none() {
+            seg.first_retrans_fast = Some(fast);
+        }
+        seg.last_tx = now;
+        let len = seg.len;
+        self.check_invariants();
+        Some(len)
+    }
+
+    /// Borrow a segment by starting offset.
+    pub fn seg_at(&self, seq: u64) -> Option<&TxSeg> {
+        self.segs.iter().find(|s| s.seq == seq)
+    }
+
+    #[cfg(debug_assertions)]
+    fn check_invariants(&self) {
+        let sacked = self.segs.iter().filter(|s| s.sacked).count() as u32;
+        let lost = self.segs.iter().filter(|s| s.lost).count() as u32;
+        let retrans = self.segs.iter().filter(|s| s.retrans_out).count() as u32;
+        assert_eq!(sacked, self.sacked_out, "sacked_out drift");
+        assert_eq!(lost, self.lost_out, "lost_out drift");
+        assert_eq!(retrans, self.retrans_out, "retrans_out drift");
+        assert!(
+            self.segs.iter().all(|s| !(s.sacked && s.lost)),
+            "seg both sacked and lost"
+        );
+        let mut prev_end = self.snd_una;
+        for s in &self.segs {
+            assert_eq!(s.seq, prev_end, "scoreboard gap");
+            prev_end = s.seq_end();
+        }
+        assert_eq!(prev_end, self.snd_nxt, "snd_nxt drift");
+    }
+
+    #[cfg(not(debug_assertions))]
+    fn check_invariants(&self) {}
+}
+
+impl Default for Scoreboard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcp_trace::record::SackBlock;
+
+    const MSS: u32 = 1000;
+
+    fn board_with(n: u32) -> Scoreboard {
+        let mut sb = Scoreboard::new();
+        for _ in 0..n {
+            sb.transmit_new(SimTime::ZERO, MSS);
+        }
+        sb
+    }
+
+    #[test]
+    fn transmit_tracks_snd_nxt_and_packets_out() {
+        let sb = board_with(5);
+        assert_eq!(sb.snd_nxt(), 5000);
+        assert_eq!(sb.packets_out(), 5);
+        assert_eq!(sb.in_flight(), 5);
+    }
+
+    #[test]
+    fn cumulative_ack_removes_and_samples_rtt() {
+        let mut sb = Scoreboard::new();
+        sb.transmit_new(SimTime::from_millis(0), MSS);
+        sb.transmit_new(SimTime::from_millis(10), MSS);
+        let res = sb.ack_to(SimTime::from_millis(110), 2000);
+        assert_eq!(res.newly_acked, 2);
+        // RTT sample from the highest acked segment: 110 − 10 = 100ms.
+        assert_eq!(
+            res.rtt_sample,
+            Some(simnet::time::SimDuration::from_millis(100))
+        );
+        assert!(sb.is_empty());
+        assert_eq!(sb.snd_una(), 2000);
+    }
+
+    #[test]
+    fn karns_rule_skips_retransmitted_segments() {
+        let mut sb = board_with(1);
+        sb.on_retransmit(SimTime::from_millis(300), 0, true, false);
+        let res = sb.ack_to(SimTime::from_millis(400), 1000);
+        assert_eq!(res.rtt_sample, None);
+        assert!(res.acked_retrans);
+    }
+
+    #[test]
+    fn sack_marks_and_in_flight_follows_eq1() {
+        let mut sb = board_with(5);
+        let res = sb.apply_sack(&[SackBlock::new(2000, 4000)]);
+        assert_eq!(res.newly_sacked, 2);
+        assert_eq!(sb.sacked_out(), 2);
+        assert_eq!(sb.in_flight(), 3);
+        assert_eq!(sb.holes(), 2); // segs 0 and 1 below high_sacked
+                                   // Mark head lost, retransmit it: in_flight = 5 + 1 − (2 + 1) = 3.
+        assert!(sb.mark_lost_head());
+        sb.on_retransmit(SimTime::ZERO, 0, false, true);
+        assert_eq!(sb.in_flight(), 3);
+    }
+
+    #[test]
+    fn sack_does_not_mark_partial_coverage() {
+        let mut sb = board_with(3);
+        // Block covering only half of segment 1.
+        let res = sb.apply_sack(&[SackBlock::new(1000, 1500)]);
+        assert_eq!(res.newly_sacked, 0);
+        assert_eq!(sb.sacked_out(), 0);
+    }
+
+    #[test]
+    fn fack_marking_requires_dupthres_worth_of_sack_above() {
+        let mut sb = board_with(6);
+        sb.apply_sack(&[SackBlock::new(3000, 6000)]); // segs 3,4,5 sacked
+        let marked = sb.mark_lost_fack(3, MSS);
+        // seg0 end=1000: 1000+2000=3000 ≤ 6000 ⇒ lost. seg1 end 2000 ⇒ 4000 ≤ 6000 lost.
+        // seg2 end 3000 ⇒ 5000 ≤ 6000 lost.
+        assert_eq!(marked, 3);
+        assert_eq!(sb.lost_out(), 3);
+        assert_eq!(sb.in_flight(), 0);
+    }
+
+    #[test]
+    fn retransmitted_segment_is_not_remarked_lost_by_sack_rules() {
+        // This is the f-double stall mechanism: after fast retransmit, only
+        // an RTO may re-mark the segment.
+        let mut sb = board_with(5);
+        sb.apply_sack(&[SackBlock::new(1000, 5000)]);
+        assert!(sb.mark_lost_head());
+        assert_eq!(sb.next_lost_seq(), Some(0));
+        sb.on_retransmit(SimTime::ZERO, 0, false, true);
+        // More SACK-driven marking must not touch the retransmitted head.
+        assert_eq!(sb.mark_lost_fack(3, MSS), 0);
+        assert!(!sb.mark_lost_head());
+        assert_eq!(sb.next_lost_seq(), None);
+        // RTO clears the retransmission mark and re-marks everything.
+        sb.mark_all_lost();
+        assert_eq!(sb.next_lost_seq(), Some(0));
+        assert_eq!(sb.retrans_out(), 0);
+    }
+
+    #[test]
+    fn mark_all_lost_preserves_sacked() {
+        let mut sb = board_with(4);
+        sb.apply_sack(&[SackBlock::new(2000, 3000)]);
+        sb.mark_all_lost();
+        assert_eq!(sb.lost_out(), 3);
+        assert_eq!(sb.sacked_out(), 1);
+        assert_eq!(sb.in_flight(), 0);
+    }
+
+    #[test]
+    fn ack_of_lost_marked_segment_reports_reordering_evidence() {
+        let mut sb = board_with(2);
+        assert!(sb.mark_lost_head());
+        let res = sb.ack_to(SimTime::from_millis(50), 1000);
+        assert!(res.acked_lost);
+        assert_eq!(sb.lost_out(), 0);
+    }
+
+    #[test]
+    fn undo_clears_lost_marks() {
+        let mut sb = board_with(3);
+        sb.mark_all_lost();
+        assert_eq!(sb.lost_out(), 3);
+        sb.unmark_all_lost();
+        assert_eq!(sb.lost_out(), 0);
+        assert_eq!(sb.in_flight(), 3);
+    }
+
+    #[test]
+    fn duplicate_ack_is_ignored() {
+        let mut sb = board_with(2);
+        sb.ack_to(SimTime::ZERO, 1000);
+        let res = sb.ack_to(SimTime::ZERO, 1000);
+        assert_eq!(res.newly_acked, 0);
+        assert_eq!(sb.snd_una(), 1000);
+    }
+
+    #[test]
+    fn retrans_count_and_rto_history_accumulate() {
+        let mut sb = board_with(1);
+        sb.on_retransmit(SimTime::from_millis(1), 0, false, true);
+        // RTO clears retrans_out so the segment can be retransmitted again.
+        sb.mark_all_lost();
+        sb.on_retransmit(SimTime::from_millis(2), 0, true, false);
+        let seg = sb.seg_at(0).unwrap();
+        assert_eq!(seg.retrans_count, 2);
+        assert!(seg.ever_rto_retrans);
+        assert_eq!(seg.first_retrans_fast, Some(true));
+    }
+}

@@ -1,0 +1,766 @@
+//! A packetdrill-style scripting DSL for the sender.
+//!
+//! The paper cites packetdrill (Cardwell et al., USENIX ATC'13) as the way
+//! to test TCP stack behaviour against exact packet sequences. This module
+//! provides a miniature equivalent for [`crate::sender::Sender`]: a script
+//! injects acknowledgments at precise times and asserts exactly what the
+//! sender transmits and when, making kernel-style regression tests readable:
+//!
+//! ```text
+//! // Fast retransmit after three dupacks.
+//! 0.000 write 14480
+//! 0.000 > seq 0:1448
+//! 0.000 > seq 1448:2896
+//! 0.000 > seq 2896:4344
+//! 0.100 < ack 0 sack 1448:2896
+//! 0.110 < ack 0 sack 1448:4344
+//! 0.120 < ack 0 sack 1448:5792
+//! 0.120 > seq 0:1448 retrans
+//! ```
+//!
+//! Line grammar (one event per line, `//` or `#` comments):
+//!
+//! ```text
+//! option initcwnd <n> | cc reno|cubic | mechanism native|tlp|srto
+//! <time> write <bytes>                 app supplies bytes
+//! <time> close                         app closes the stream
+//! <time> rwnd <bytes>                  set the peer's advertised window
+//! <time> < ack <n> [win <n>] [sack a:b c:d ...] [dsack]
+//! <time> > seq <a>:<b> [retrans] [fin] inject/expect, in order
+//! <time> > probe                       expect a zero-window probe
+//! <time> > nothing                     assert nothing was transmitted
+//! ```
+//!
+//! `<time>` is absolute seconds (`0.120`) or relative to the previous event
+//! (`+0.020`). Expected transmissions must match in order, with a
+//! configurable time tolerance (default 10ms, covering the kernel timer
+//! granularity). Unconsumed transmissions at the end of the script are an
+//! error, exactly as in packetdrill.
+
+use simnet::time::{SimDuration, SimTime};
+
+use crate::cc::CcKind;
+use crate::recovery::RecoveryMechanism;
+use crate::seg::{SackBlock, Segment};
+use crate::sender::{SendOp, Sender, SenderConfig};
+
+/// A script parse or execution failure, with the 1-based script line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptError {
+    /// 1-based line in the script source (0 for end-of-script errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "script: {}", self.message)
+        } else {
+            write!(f, "script line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+fn err(line: usize, message: impl Into<String>) -> ScriptError {
+    ScriptError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// What an expected transmission must look like; `None` fields match
+/// anything.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExpectSeg {
+    /// Exact payload range `[start, end)`.
+    pub seq: Option<(u64, u64)>,
+    /// Whether it must (not) be a retransmission.
+    pub retrans: Option<bool>,
+    /// Whether it must (not) carry FIN.
+    pub fin: Option<bool>,
+}
+
+/// One scripted event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// The application writes `bytes`.
+    Write(u64),
+    /// The application closes the stream.
+    Close,
+    /// Set the peer's advertised receive window.
+    Rwnd(u64),
+    /// An incoming segment (acknowledgment fields only).
+    Inject(Segment),
+    /// Expect the next transmission to match.
+    Expect(ExpectSeg),
+    /// Expect the next transmission to be a zero-window probe.
+    ExpectProbe,
+    /// Expect no transmission to have happened by this time.
+    ExpectNothing,
+}
+
+/// Sender overrides declared by `option` lines at the top of a script.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ScriptOptions {
+    /// Override the initial congestion window.
+    pub init_cwnd: Option<u32>,
+    /// Override the congestion-avoidance algorithm.
+    pub cc: Option<CcKind>,
+    /// Override the recovery mechanism.
+    pub mechanism: Option<RecoveryMechanism>,
+}
+
+impl ScriptOptions {
+    /// Apply the overrides to a base configuration.
+    pub fn apply(&self, mut cfg: SenderConfig) -> SenderConfig {
+        if let Some(w) = self.init_cwnd {
+            cfg.init_cwnd = w;
+        }
+        if let Some(cc) = self.cc {
+            cfg.cc = cc;
+        }
+        if let Some(m) = self.mechanism {
+            cfg.recovery = m;
+        }
+        cfg
+    }
+}
+
+/// A parsed script: time-ordered events plus sender overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Script {
+    events: Vec<(SimTime, usize, Action)>,
+    /// `option` directives from the script header.
+    pub options: ScriptOptions,
+}
+
+/// Parse a script source.
+pub fn parse(src: &str) -> Result<Script, ScriptError> {
+    let mut events = Vec::new();
+    let mut options = ScriptOptions::default();
+    let mut prev_time = SimTime::ZERO;
+    for (lineno, raw) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split("//").next().unwrap_or("");
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let time_tok = tokens.next().expect("non-empty line");
+        if time_tok == "option" {
+            parse_option(lineno, &mut options, &mut tokens)?;
+            if tokens.next().is_some() {
+                return Err(err(lineno, "trailing tokens"));
+            }
+            continue;
+        }
+        let time = parse_time(time_tok, prev_time)
+            .ok_or_else(|| err(lineno, format!("bad time {time_tok:?}")))?;
+        if time < prev_time {
+            return Err(err(lineno, "time moves backwards"));
+        }
+        prev_time = time;
+        let action = parse_action(lineno, &mut tokens)?;
+        if tokens.next().is_some() {
+            return Err(err(lineno, "trailing tokens"));
+        }
+        events.push((time, lineno, action));
+    }
+    Ok(Script { events, options })
+}
+
+fn parse_option<'a>(
+    lineno: usize,
+    options: &mut ScriptOptions,
+    tokens: &mut impl Iterator<Item = &'a str>,
+) -> Result<(), ScriptError> {
+    match tokens.next() {
+        Some("initcwnd") => {
+            options.init_cwnd = Some(
+                tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(lineno, "initcwnd needs a packet count"))?,
+            );
+        }
+        Some("cc") => {
+            options.cc = Some(match tokens.next() {
+                Some("reno") => CcKind::Reno,
+                Some("cubic") => CcKind::Cubic,
+                other => return Err(err(lineno, format!("unknown cc {other:?}"))),
+            });
+        }
+        Some("mechanism") => {
+            options.mechanism = Some(match tokens.next() {
+                Some("native") => RecoveryMechanism::Native,
+                Some("tlp") => RecoveryMechanism::tlp(),
+                Some("srto") => RecoveryMechanism::srto(),
+                other => return Err(err(lineno, format!("unknown mechanism {other:?}"))),
+            });
+        }
+        other => return Err(err(lineno, format!("unknown option {other:?}"))),
+    }
+    Ok(())
+}
+
+fn parse_time(tok: &str, prev: SimTime) -> Option<SimTime> {
+    if let Some(rel) = tok.strip_prefix('+') {
+        let secs: f64 = rel.parse().ok()?;
+        Some(prev + SimDuration::from_secs_f64(secs))
+    } else {
+        let secs: f64 = tok.parse().ok()?;
+        if secs < 0.0 {
+            return None;
+        }
+        Some(SimTime::ZERO + SimDuration::from_secs_f64(secs))
+    }
+}
+
+fn parse_action<'a>(
+    lineno: usize,
+    tokens: &mut impl Iterator<Item = &'a str>,
+) -> Result<Action, ScriptError> {
+    match tokens.next() {
+        Some("write") => {
+            let bytes: u64 = tokens
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err(lineno, "write needs a byte count"))?;
+            Ok(Action::Write(bytes))
+        }
+        Some("close") => Ok(Action::Close),
+        Some("rwnd") => {
+            let bytes: u64 = tokens
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err(lineno, "rwnd needs a byte count"))?;
+            Ok(Action::Rwnd(bytes))
+        }
+        Some("<") => parse_inject(lineno, tokens),
+        Some(">") => parse_expect(lineno, tokens),
+        Some(other) => Err(err(lineno, format!("unknown action {other:?}"))),
+        None => Err(err(lineno, "missing action")),
+    }
+}
+
+fn parse_range(lineno: usize, tok: &str) -> Result<(u64, u64), ScriptError> {
+    let (a, b) = tok
+        .split_once(':')
+        .ok_or_else(|| err(lineno, format!("expected a:b range, got {tok:?}")))?;
+    let a: u64 = a
+        .parse()
+        .map_err(|_| err(lineno, format!("bad range start {a:?}")))?;
+    let b: u64 = b
+        .parse()
+        .map_err(|_| err(lineno, format!("bad range end {b:?}")))?;
+    if b < a {
+        return Err(err(lineno, "range end before start"));
+    }
+    Ok((a, b))
+}
+
+fn parse_inject<'a>(
+    lineno: usize,
+    tokens: &mut impl Iterator<Item = &'a str>,
+) -> Result<Action, ScriptError> {
+    let seg = Segment::pure_ack(0, u64::MAX);
+    match tokens.next() {
+        Some("ack") => parse_inject_rest(lineno, seg, tokens),
+        Some(other) => Err(err(
+            lineno,
+            format!("inject must start with ack, got {other:?}"),
+        )),
+        None => Err(err(lineno, "inject needs an ack field")),
+    }
+}
+
+fn parse_inject_rest<'a>(
+    lineno: usize,
+    mut seg: Segment,
+    tokens: &mut impl Iterator<Item = &'a str>,
+) -> Result<Action, ScriptError> {
+    let ack: u64 = tokens
+        .next()
+        .and_then(|t| t.parse().ok())
+        .ok_or_else(|| err(lineno, "ack needs a number"))?;
+    seg.ack = ack;
+    let mut pending: Vec<&str> = tokens.collect();
+    pending.reverse();
+    while let Some(tok) = pending.pop() {
+        match tok {
+            "win" => {
+                let w: u64 = pending
+                    .pop()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(lineno, "win needs a number"))?;
+                seg.rwnd = w;
+            }
+            "sack" => {
+                let mut any = false;
+                while let Some(next) = pending.last() {
+                    if next.contains(':') {
+                        let (a, b) = parse_range(lineno, pending.pop().expect("peeked"))?;
+                        seg.sack.push(SackBlock::new(a, b));
+                        any = true;
+                    } else {
+                        break;
+                    }
+                }
+                if !any {
+                    return Err(err(lineno, "sack needs at least one a:b block"));
+                }
+            }
+            "dsack" => {
+                seg.dsack = true;
+            }
+            other => return Err(err(lineno, format!("unknown inject field {other:?}"))),
+        }
+    }
+    if seg.dsack && seg.sack.is_empty() {
+        return Err(err(
+            lineno,
+            "dsack requires a sack block (the duplicate range first)",
+        ));
+    }
+    Ok(Action::Inject(seg))
+}
+
+fn parse_expect<'a>(
+    lineno: usize,
+    tokens: &mut impl Iterator<Item = &'a str>,
+) -> Result<Action, ScriptError> {
+    let first = tokens
+        .next()
+        .ok_or_else(|| err(lineno, "expectation needs fields"))?;
+    if first == "nothing" {
+        return Ok(Action::ExpectNothing);
+    }
+    if first == "probe" {
+        return Ok(Action::ExpectProbe);
+    }
+    if first != "seq" {
+        return Err(err(
+            lineno,
+            format!("expectation must start with seq or nothing, got {first:?}"),
+        ));
+    }
+    let range_tok = tokens.next().ok_or_else(|| err(lineno, "seq needs a:b"))?;
+    let range = parse_range(lineno, range_tok)?;
+    let mut exp = ExpectSeg {
+        seq: Some(range),
+        retrans: Some(false),
+        fin: Some(false),
+    };
+    for tok in tokens.by_ref() {
+        match tok {
+            "retrans" => exp.retrans = Some(true),
+            "fin" => exp.fin = Some(true),
+            "any" => {
+                exp.retrans = None;
+                exp.fin = None;
+            }
+            other => return Err(err(lineno, format!("unknown expect field {other:?}"))),
+        }
+    }
+    Ok(Action::Expect(exp))
+}
+
+/// One observed transmission during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Emitted {
+    /// When the sender transmitted it.
+    pub at: SimTime,
+    /// The operation.
+    pub op: SendOp,
+}
+
+/// The result of a successful run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Everything the sender transmitted, in order.
+    pub emitted: Vec<Emitted>,
+    /// The sender in its final state (for further assertions).
+    pub sender: Sender,
+}
+
+/// Execute a script against a fresh sender built from `cfg`.
+///
+/// Timers fire automatically between scripted events. Every transmission
+/// must be consumed by a matching `>` expectation (in order, within
+/// `tolerance` of the expected time); leftovers fail the run.
+pub fn run(
+    script: &Script,
+    cfg: SenderConfig,
+    tolerance: SimDuration,
+) -> Result<RunReport, ScriptError> {
+    let mut sender = Sender::new(script.options.apply(cfg));
+    // Matches the default window of injected segments, so that a bare
+    // `< ack N` counts as a pure duplicate (same window).
+    sender.set_peer_rwnd(u64::MAX);
+    let mut emitted: Vec<Emitted> = Vec::new();
+    let mut all: Vec<Emitted> = Vec::new();
+    let mut cursor = 0usize; // next unconsumed emission
+    let mut now = SimTime::ZERO;
+
+    let push_ops =
+        |at: SimTime, ops: Vec<SendOp>, emitted: &mut Vec<Emitted>, all: &mut Vec<Emitted>| {
+            for op in ops {
+                emitted.push(Emitted { at, op });
+                all.push(Emitted { at, op });
+            }
+        };
+
+    for (t, lineno, action) in &script.events {
+        // Fire timers up to (and including) the event time.
+        while let Some(d) = sender.next_deadline() {
+            if d > *t {
+                break;
+            }
+            now = d.max(now);
+            let mut ops = Vec::new();
+            sender.on_tick(now, &mut ops);
+            push_ops(now, ops, &mut emitted, &mut all);
+            if sender.next_deadline() == Some(d) {
+                break; // defensive: refuse to spin on a stuck deadline
+            }
+        }
+        now = (*t).max(now);
+
+        match action {
+            Action::Write(bytes) => {
+                sender.app_write(*bytes);
+                let mut ops = Vec::new();
+                sender.poll(now, &mut ops);
+                push_ops(now, ops, &mut emitted, &mut all);
+            }
+            Action::Close => {
+                sender.app_close();
+                let mut ops = Vec::new();
+                sender.poll(now, &mut ops);
+                push_ops(now, ops, &mut emitted, &mut all);
+            }
+            Action::Rwnd(bytes) => {
+                sender.set_peer_rwnd(*bytes);
+                let mut ops = Vec::new();
+                sender.poll(now, &mut ops);
+                push_ops(now, ops, &mut emitted, &mut all);
+            }
+            Action::Inject(seg) => {
+                let mut ops = Vec::new();
+                sender.on_ack(now, seg, &mut ops);
+                push_ops(now, ops, &mut emitted, &mut all);
+            }
+            Action::Expect(exp) => {
+                let Some(e) = emitted.get(cursor) else {
+                    return Err(err(
+                        *lineno,
+                        format!("expected {exp:?}, but nothing was sent"),
+                    ));
+                };
+                match_expect(*lineno, exp, e, *t, tolerance)?;
+                cursor += 1;
+            }
+            Action::ExpectProbe => {
+                let Some(e) = emitted.get(cursor) else {
+                    return Err(err(
+                        *lineno,
+                        "expected a window probe, but nothing was sent",
+                    ));
+                };
+                if !matches!(e.op, SendOp::WindowProbe) {
+                    return Err(err(*lineno, format!("expected a window probe, got {e:?}")));
+                }
+                cursor += 1;
+            }
+            Action::ExpectNothing => {
+                if let Some(e) = emitted.get(cursor) {
+                    return Err(err(
+                        *lineno,
+                        format!("expected nothing, but the sender transmitted {e:?}"),
+                    ));
+                }
+            }
+        }
+    }
+
+    if cursor < emitted.len() {
+        return Err(err(
+            0,
+            format!(
+                "{} unconsumed transmission(s) at end of script, first: {:?}",
+                emitted.len() - cursor,
+                emitted[cursor]
+            ),
+        ));
+    }
+    Ok(RunReport {
+        emitted: all,
+        sender,
+    })
+}
+
+fn match_expect(
+    lineno: usize,
+    exp: &ExpectSeg,
+    got: &Emitted,
+    want_time: SimTime,
+    tol: SimDuration,
+) -> Result<(), ScriptError> {
+    let SendOp::Data {
+        seq,
+        len,
+        retrans,
+        fin,
+    } = got.op
+    else {
+        return Err(err(
+            lineno,
+            format!("expected a data segment, got {:?}", got.op),
+        ));
+    };
+    if let Some((a, b)) = exp.seq {
+        if seq != a || seq + len as u64 != b {
+            return Err(err(
+                lineno,
+                format!("expected seq {a}:{b}, got {seq}:{}", seq + len as u64),
+            ));
+        }
+    }
+    if let Some(want) = exp.retrans {
+        if retrans != want {
+            return Err(err(
+                lineno,
+                format!("expected retrans={want}, got {retrans}"),
+            ));
+        }
+    }
+    if let Some(want) = exp.fin {
+        if fin != want {
+            return Err(err(lineno, format!("expected fin={want}, got {fin}")));
+        }
+    }
+    let diff = if got.at > want_time {
+        got.at.saturating_since(want_time)
+    } else {
+        want_time.saturating_since(got.at)
+    };
+    if diff > tol {
+        return Err(err(
+            lineno,
+            format!(
+                "timing off by {diff}: expected ~{want_time}, sent at {}",
+                got.at
+            ),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::CcKind;
+    use crate::recovery::RecoveryMechanism;
+
+    fn cfg() -> SenderConfig {
+        SenderConfig {
+            cc: CcKind::Reno,
+            init_cwnd: 10,
+            ..SenderConfig::default()
+        }
+    }
+
+    fn run_src(src: &str, cfg: SenderConfig) -> Result<RunReport, ScriptError> {
+        run(
+            &parse(src).expect("parse"),
+            cfg,
+            SimDuration::from_millis(10),
+        )
+    }
+
+    #[test]
+    fn initial_window_script() {
+        let src = "
+            0.0 write 14480
+            0.0 > seq 0:1448
+            0.0 > seq 1448:2896
+            0.0 > seq 2896:4344
+            0.0 > seq 4344:5792
+            0.0 > seq 5792:7240
+            0.0 > seq 7240:8688
+            0.0 > seq 8688:10136
+            0.0 > seq 10136:11584
+            0.0 > seq 11584:13032
+            0.0 > seq 13032:14480
+            0.1 > nothing
+        ";
+        run_src(src, cfg()).unwrap();
+    }
+
+    #[test]
+    fn fast_retransmit_script() {
+        let src = "
+            0.000 write 7240
+            0.000 > seq 0:1448
+            0.000 > seq 1448:2896
+            0.000 > seq 2896:4344
+            0.000 > seq 4344:5792
+            0.000 > seq 5792:7240
+            // segment 0 is lost; three SACK dupacks trigger fast retransmit
+            0.100 < ack 0 sack 1448:2896
+            0.102 < ack 0 sack 1448:4344
+            0.104 < ack 0 sack 1448:5792
+            0.104 > seq 0:1448 retrans
+            0.200 < ack 7240
+        ";
+        let report = run_src(src, cfg()).unwrap();
+        assert_eq!(report.sender.stats().fast_recovery_count, 1);
+        assert_eq!(report.sender.stats().rto_count, 0);
+        assert!(report.sender.all_acked());
+    }
+
+    #[test]
+    fn rto_script_with_timer_autofire() {
+        // Nothing comes back: the 1s initial RTO (+granularity) fires and
+        // retransmits the head.
+        let src = "
+            0.000 write 2896
+            0.000 > seq 0:1448
+            0.000 > seq 1448:2896
+            0.900 > nothing
+            1.010 > seq 0:1448 retrans
+        ";
+        let report = run_src(src, cfg()).unwrap();
+        assert_eq!(report.sender.stats().rto_count, 1);
+    }
+
+    #[test]
+    fn fin_rides_last_segment() {
+        // Close before the write so the (single) transmission already
+        // knows it is the end of the stream.
+        let src = "
+            0.0 close
+            0.0 write 1448
+            0.0 > seq 0:1448 fin
+        ";
+        run_src(src, cfg()).unwrap();
+    }
+
+    #[test]
+    fn limited_transmit_script() {
+        // cwnd-filling window; two pure dupacks release one new segment
+        // each via limited transmit.
+        let src = "
+            0.0 write 20000
+            0.0 > seq 0:1448
+            0.0 > seq 1448:2896
+            0.0 > seq 2896:4344
+            0.0 > seq 4344:5792
+            0.0 > seq 5792:7240
+            0.0 > seq 7240:8688
+            0.0 > seq 8688:10136
+            0.0 > seq 10136:11584
+            0.0 > seq 11584:13032
+            0.0 > seq 13032:14480
+            0.1 < ack 0
+            0.1 > seq 14480:15928
+            0.11 < ack 0
+            0.11 > seq 15928:17376
+        ";
+        run_src(src, cfg()).unwrap();
+    }
+
+    #[test]
+    fn srto_probe_script() {
+        // Tail loss with S-RTO: the probe fires at ~2·SRTT, not the RTO.
+        let src = "
+            0.000 write 1448
+            0.000 > seq 0:1448
+            0.100 < ack 1448
+            0.100 write 1448
+            0.100 > seq 1448:2896
+            // probe at ~100 + 2·100 = 300ms
+            0.300 > seq 1448:2896 retrans
+        ";
+        let report = run_src(
+            src,
+            SenderConfig {
+                recovery: RecoveryMechanism::srto(),
+                ..cfg()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.sender.stats().srto_probes, 1);
+        assert_eq!(report.sender.stats().rto_count, 0);
+    }
+
+    #[test]
+    fn unexpected_output_fails() {
+        let src = "
+            0.0 write 1448
+            0.1 > nothing
+        ";
+        let e = run_src(src, cfg()).unwrap_err();
+        assert!(e.message.contains("expected nothing"), "{e}");
+    }
+
+    #[test]
+    fn unconsumed_output_fails() {
+        let src = "0.0 write 1448";
+        let e = run_src(src, cfg()).unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.message.contains("unconsumed"), "{e}");
+    }
+
+    #[test]
+    fn wrong_seq_fails_with_line_number() {
+        let src = "
+            0.0 write 1448
+            0.0 > seq 0:1000
+        ";
+        let e = run_src(src, cfg()).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("expected seq 0:1000"), "{e}");
+    }
+
+    #[test]
+    fn parse_errors_have_line_numbers() {
+        assert_eq!(parse("0.0 frobnicate").unwrap_err().line, 1);
+        assert_eq!(parse("0.0 write ten").unwrap_err().line, 1);
+        assert_eq!(
+            parse("0.5 write 10\n0.2 write 10").unwrap_err().message,
+            "time moves backwards"
+        );
+        assert!(parse("0.0 < win 5").unwrap_err().message.contains("ack"));
+        assert!(parse("0.0 > seq 5:1")
+            .unwrap_err()
+            .message
+            .contains("range end"));
+    }
+
+    #[test]
+    fn relative_times_and_comments_parse() {
+        let s =
+            parse("# header comment\n0.1 write 10 // inline\n+0.2 close\n+0.0 rwnd 100").unwrap();
+        assert_eq!(s.events.len(), 3);
+        assert_eq!(s.events[1].0, SimTime::from_millis(300));
+        assert_eq!(s.events[2].0, SimTime::from_millis(300));
+    }
+
+    #[test]
+    fn dsack_injection_parses_and_runs() {
+        let src = "
+            0.0 write 1448
+            0.0 > seq 0:1448
+            1.010 > seq 0:1448 retrans
+            1.1 < ack 1448 sack 0:1448 dsack
+        ";
+        let report = run_src(src, cfg()).unwrap();
+        assert_eq!(report.sender.stats().spurious_retrans, 1);
+    }
+}

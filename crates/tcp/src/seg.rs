@@ -1,0 +1,101 @@
+//! The on-the-(simulated)-wire TCP segment.
+//!
+//! Sequence numbers are 64-bit stream offsets (no wraparound inside the
+//! simulator); the `tcp-trace` pcap layer maps them to 32-bit wire numbers.
+//! SYN/FIN do not consume sequence space here — they are pure flags, with
+//! FIN piggybacked on the final data segment by the sender.
+
+pub use tcp_trace::record::{SackBlock, SegFlags};
+
+/// Default maximum segment size (typical for a 1500-byte MTU path with
+/// timestamps enabled, matching the paper's traces).
+pub const DEFAULT_MSS: u32 = 1448;
+
+/// A TCP segment in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Stream offset of the first payload byte.
+    pub seq: u64,
+    /// Payload length in bytes (0 for pure ACKs and bare SYN/FIN).
+    pub len: u32,
+    /// Header flags.
+    pub flags: SegFlags,
+    /// Cumulative acknowledgment (peer stream offset expected next).
+    pub ack: u64,
+    /// Advertised receive window in bytes.
+    pub rwnd: u64,
+    /// SACK blocks over the peer's stream, most recent first.
+    pub sack: Vec<SackBlock>,
+    /// Whether `sack[0]` is a DSACK (RFC 2883).
+    pub dsack: bool,
+    /// Zero-window probe marker: behaviourally a 1-byte out-of-window
+    /// probe — the receiver must answer it immediately with its current
+    /// window (kept out of sequence space to keep the scoreboard clean).
+    pub probe: bool,
+}
+
+impl Segment {
+    /// A pure acknowledgment.
+    pub fn pure_ack(ack: u64, rwnd: u64) -> Self {
+        Segment {
+            seq: 0,
+            len: 0,
+            flags: SegFlags::ACK,
+            ack,
+            rwnd,
+            sack: Vec::new(),
+            dsack: false,
+            probe: false,
+        }
+    }
+
+    /// Stream offset one past the last payload byte.
+    pub fn seq_end(&self) -> u64 {
+        self.seq + self.len as u64
+    }
+
+    /// True if the segment carries payload.
+    pub fn has_data(&self) -> bool {
+        self.len > 0
+    }
+
+    /// Approximate wire size in bytes (Ethernet + IPv4 + TCP headers +
+    /// payload), used for link serialization timing.
+    pub fn wire_len(&self) -> u32 {
+        let opts = if self.sack.is_empty() {
+            12
+        } else {
+            12 + 4 + 8 * self.sack.len() as u32
+        };
+        54 + opts + self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_ack_has_no_data() {
+        let a = Segment::pure_ack(1000, 65535);
+        assert!(!a.has_data());
+        assert_eq!(a.ack, 1000);
+        assert!(a.flags.ack);
+    }
+
+    #[test]
+    fn wire_len_includes_sack_options() {
+        let mut s = Segment::pure_ack(0, 0);
+        let base = s.wire_len();
+        s.sack.push(SackBlock::new(10, 20));
+        assert_eq!(s.wire_len(), base + 12);
+    }
+
+    #[test]
+    fn seq_end_is_exclusive() {
+        let mut s = Segment::pure_ack(0, 0);
+        s.seq = 100;
+        s.len = 50;
+        assert_eq!(s.seq_end(), 150);
+    }
+}

@@ -1,0 +1,54 @@
+//! Run every packetdrill-style script in `tests/scripts/` against the
+//! sender. Each file documents one RFC behaviour; a failure names the file
+//! and line.
+
+use simnet::time::SimDuration;
+use tcp_sim::cc::CcKind;
+use tcp_sim::script::{parse, run};
+use tcp_sim::sender::SenderConfig;
+
+fn run_script_file(name: &str) {
+    let path = format!("{}/tests/scripts/{name}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let script = parse(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let cfg = SenderConfig {
+        cc: CcKind::Reno,
+        ..SenderConfig::default()
+    };
+    run(&script, cfg, SimDuration::from_millis(10)).unwrap_or_else(|e| panic!("{name}: {e}"));
+}
+
+#[test]
+fn slow_start() {
+    run_script_file("slow_start.txt");
+}
+
+#[test]
+fn rto_backoff() {
+    run_script_file("rto_backoff.txt");
+}
+
+#[test]
+fn karn_and_dupack() {
+    run_script_file("karn_and_dupack.txt");
+}
+
+#[test]
+fn zero_window_persist() {
+    run_script_file("zero_window_persist.txt");
+}
+
+#[test]
+fn partial_ack_recovery() {
+    run_script_file("partial_ack_recovery.txt");
+}
+
+#[test]
+fn tlp_tail_probe() {
+    run_script_file("tlp_tail_probe.txt");
+}
+
+#[test]
+fn srto_f_double() {
+    run_script_file("srto_f_double.txt");
+}

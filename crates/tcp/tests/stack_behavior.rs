@@ -1,0 +1,233 @@
+//! Behavioural integration tests of the TCP stack: timer interactions,
+//! receiver pathologies and recovery dynamics that span sender + receiver.
+
+use simnet::loss::LossSpec;
+use simnet::time::{SimDuration, SimTime};
+use tcp_sim::receiver::{Receiver, ReceiverConfig};
+use tcp_sim::recovery::{RecoveryMechanism, SrtoConfig};
+use tcp_sim::seg::{SegFlags, Segment, DEFAULT_MSS};
+use tcp_sim::sender::{CaState, Sender, SenderConfig};
+use tcp_sim::sim::{FlowScript, FlowSim, FlowSimConfig, RequestSpec};
+
+const MSS: u64 = DEFAULT_MSS as u64;
+
+fn ms(x: u64) -> SimTime {
+    SimTime::from_millis(x)
+}
+
+fn data_seg(seq: u64, len: u32) -> Segment {
+    Segment {
+        seq,
+        len,
+        flags: SegFlags::ACK,
+        ack: 0,
+        rwnd: 65535,
+        sack: Vec::new(),
+        dsack: false,
+        probe: false,
+    }
+}
+
+/// The delayed-ACK / RTO-floor race of §4.3: a 2-segment window where the
+/// odd tail segment's ACK is delayed beyond the sender's RTO produces a
+/// spurious timeout retransmission, which the receiver DSACKs.
+#[test]
+fn delack_races_the_rto_floor() {
+    // Sender with a converged, floor-level RTO.
+    let mut tx = Sender::new(SenderConfig {
+        cc: tcp_sim::cc::CcKind::Reno,
+        init_cwnd: 10,
+        ..SenderConfig::default()
+    });
+    tx.set_peer_rwnd(1 << 20);
+    // Converge SRTT to 50ms so RTO hits the 200ms floor.
+    let mut out = Vec::new();
+    let mut clock = 0u64;
+    for _ in 0..30 {
+        tx.app_write(MSS);
+        tx.poll(ms(clock), &mut out);
+        clock += 50;
+        let acked = tx.scoreboard().snd_nxt();
+        tx.on_ack(ms(clock), &Segment::pure_ack(acked, 1 << 20), &mut out);
+    }
+    assert_eq!(tx.rtt().rto(), SimDuration::from_millis(200));
+
+    // One final odd segment; the client delays its ACK 300ms (RFC 1122
+    // allows up to 500ms). The RTO fires first: a spurious retransmission.
+    tx.app_write(MSS);
+    out.clear();
+    tx.poll(ms(clock), &mut out);
+    assert_eq!(out.len(), 1);
+    let rto_at = tx.next_deadline().unwrap();
+    assert!(rto_at < ms(clock + 300), "RTO must precede the delayed ACK");
+    out.clear();
+    tx.on_tick(rto_at, &mut out);
+    assert_eq!(tx.stats().rto_count, 1);
+    assert!(out
+        .iter()
+        .any(|op| matches!(op, tcp_sim::sender::SendOp::Data { retrans: true, .. })));
+}
+
+/// The receiver's delayed-ACK timer only fires when something is pending.
+#[test]
+fn delack_timer_is_one_shot() {
+    let mut rx = Receiver::new(ReceiverConfig::default());
+    let t = ms(0);
+    rx.on_data(t, &data_seg(0, DEFAULT_MSS));
+    let d = rx.next_deadline().unwrap();
+    rx.on_tick(d);
+    assert!(rx.wants_ack_now());
+    rx.take_ack_fields();
+    assert_eq!(rx.next_deadline(), None);
+    // Ticking again is harmless.
+    rx.on_tick(d + SimDuration::from_secs(1));
+    assert!(!rx.wants_ack_now());
+}
+
+/// A receiver drowning in out-of-order data keeps its SACK blocks within
+/// the wire limit (4) and never advertises beyond its buffer.
+#[test]
+fn receiver_sack_block_budget() {
+    let mut rx = Receiver::new(ReceiverConfig {
+        buf_bytes: 1 << 20,
+        ..ReceiverConfig::default()
+    });
+    let t = ms(0);
+    // Six disjoint holes.
+    for i in 0..6u64 {
+        rx.on_data(t, &data_seg((2 * i + 1) * MSS, DEFAULT_MSS));
+        let f = rx.take_ack_fields();
+        assert!(f.sack.len() <= 4, "at most 4 SACK blocks on the wire");
+        assert!(f.rwnd <= 1 << 20);
+    }
+}
+
+/// S-RTO with T1 = 1 never arms its probe (packets_out < 1 is impossible
+/// while data is outstanding): it degenerates to native behaviour.
+#[test]
+fn srto_t1_one_degenerates_to_native() {
+    let cfg = FlowSimConfig {
+        server_tx: SenderConfig {
+            recovery: RecoveryMechanism::Srto(SrtoConfig {
+                t1_packets: 1,
+                ..SrtoConfig::default()
+            }),
+            ..SenderConfig::default()
+        },
+        script: FlowScript::single(40 * MSS),
+        s2c: simnet::link::LinkConfig {
+            loss: LossSpec::Script { drops: vec![20] },
+            prop_delay: SimDuration::from_millis(40),
+            bandwidth_bps: 0,
+            queue_pkts: 0,
+            ..simnet::link::LinkConfig::default()
+        },
+        c2s: simnet::link::LinkConfig {
+            prop_delay: SimDuration::from_millis(40),
+            bandwidth_bps: 0,
+            queue_pkts: 0,
+            ..simnet::link::LinkConfig::default()
+        },
+        ..FlowSimConfig::default()
+    };
+    let out = FlowSim::new(cfg, 3).run();
+    assert!(out.completed);
+    assert_eq!(out.server_stats.srto_probes, 0, "T1=1 must never probe");
+}
+
+/// Multi-request flows keep the congestion state across requests: a
+/// recovery at the end of one response leaves the next response starting
+/// from the reduced window (the paper's shared-connection effect).
+#[test]
+fn shared_connection_carries_state_across_requests() {
+    let cfg = FlowSimConfig {
+        script: FlowScript {
+            requests: vec![
+                RequestSpec::simple(30 * MSS),
+                RequestSpec {
+                    think_time: SimDuration::from_millis(50),
+                    ..RequestSpec::simple(30 * MSS)
+                },
+            ],
+        },
+        s2c: simnet::link::LinkConfig {
+            prop_delay: SimDuration::from_millis(40),
+            bandwidth_bps: 0,
+            queue_pkts: 0,
+            // Kill a whole stretch of the first response's tail.
+            loss: LossSpec::Script {
+                drops: vec![28, 29, 30, 31],
+            },
+            ..simnet::link::LinkConfig::default()
+        },
+        c2s: simnet::link::LinkConfig {
+            prop_delay: SimDuration::from_millis(40),
+            bandwidth_bps: 0,
+            queue_pkts: 0,
+            ..simnet::link::LinkConfig::default()
+        },
+        ..FlowSimConfig::default()
+    };
+    let out = FlowSim::new(cfg, 5).run();
+    assert!(out.completed);
+    assert_eq!(out.request_latencies.len(), 2);
+    assert!(out.server_stats.retrans_segs > 0);
+    assert_eq!(out.trace.goodput_bytes_out(), 60 * MSS);
+}
+
+/// cwnd never collapses below 1 and ssthresh never below 2, whatever the
+/// loss pattern throws at the sender.
+#[test]
+fn window_floors_hold_under_carnage() {
+    let cfg = FlowSimConfig {
+        script: FlowScript::single(60 * MSS),
+        s2c: simnet::link::LinkConfig {
+            prop_delay: SimDuration::from_millis(30),
+            loss: LossSpec::bernoulli(0.3),
+            bandwidth_bps: 0,
+            queue_pkts: 0,
+            ..simnet::link::LinkConfig::default()
+        },
+        c2s: simnet::link::LinkConfig {
+            prop_delay: SimDuration::from_millis(30),
+            loss: LossSpec::bernoulli(0.1),
+            bandwidth_bps: 0,
+            queue_pkts: 0,
+            ..simnet::link::LinkConfig::default()
+        },
+        max_time: SimDuration::from_secs(600),
+        ..FlowSimConfig::default()
+    };
+    let out = FlowSim::new(cfg, 9).run();
+    // 30% loss is brutal; the flow may or may not finish inside the cap,
+    // but the capture must show sane, loss-recovering behaviour throughout.
+    assert!(out.server_stats.rto_count > 0);
+    assert!(out.trace.goodput_bytes_out() > 0);
+    if out.completed {
+        assert_eq!(out.trace.goodput_bytes_out(), 60 * MSS);
+    }
+}
+
+/// Sender state machine: Disorder is left for Open once the holes fill
+/// without a retransmission (pure reordering).
+#[test]
+fn reordering_passes_through_disorder_without_recovery() {
+    let mut s = Sender::new(SenderConfig {
+        cc: tcp_sim::cc::CcKind::Reno,
+        init_cwnd: 10,
+        ..SenderConfig::default()
+    });
+    s.set_peer_rwnd(1 << 20);
+    s.app_write(4 * MSS);
+    let mut out = Vec::new();
+    s.poll(ms(0), &mut out);
+    // One dupack (reordered segment), then the cumulative ACK.
+    let mut dup = Segment::pure_ack(0, 1 << 20);
+    dup.sack = vec![tcp_sim::seg::SackBlock::new(MSS, 2 * MSS)];
+    s.on_ack(ms(100), &dup, &mut out);
+    assert_eq!(s.ca_state(), CaState::Disorder);
+    s.on_ack(ms(101), &Segment::pure_ack(4 * MSS, 1 << 20), &mut out);
+    assert_eq!(s.ca_state(), CaState::Open);
+    assert_eq!(s.stats().retrans_segs, 0);
+    assert_eq!(s.stats().fast_recovery_count, 0);
+}

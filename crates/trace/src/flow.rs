@@ -1,0 +1,231 @@
+//! Per-flow traces and multi-flow capture reassembly.
+
+use std::collections::HashMap;
+
+use crate::record::{Direction, TraceRecord};
+use simnet::time::{SimDuration, SimTime};
+
+/// The canonical 4-tuple identifying a flow, oriented so that the *server*
+/// is the source of [`Direction::Out`] packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct FlowKey {
+    /// Server IPv4 address.
+    pub server_ip: [u8; 4],
+    /// Server TCP port.
+    pub server_port: u16,
+    /// Client IPv4 address.
+    pub client_ip: [u8; 4],
+    /// Client TCP port.
+    pub client_port: u16,
+}
+
+impl FlowKey {
+    /// A synthetic key for simulator-generated flows, unique per flow id.
+    pub fn synthetic(flow_id: u32) -> Self {
+        FlowKey {
+            server_ip: [10, 0, 0, 1],
+            server_port: 80,
+            client_ip: [
+                192,
+                168,
+                ((flow_id >> 8) & 0xff) as u8,
+                (flow_id & 0xff) as u8,
+            ],
+            client_port: 10_000 + (flow_id >> 16) as u16,
+        }
+    }
+}
+
+/// The trace of one TCP flow as captured at the server, in time order.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FlowTrace {
+    /// Flow identity (synthetic for simulated flows).
+    pub key: Option<FlowKey>,
+    /// Time-ordered records, both directions.
+    pub records: Vec<TraceRecord>,
+}
+
+impl FlowTrace {
+    /// An empty trace with the given key.
+    pub fn new(key: FlowKey) -> Self {
+        FlowTrace {
+            key: Some(key),
+            records: Vec::new(),
+        }
+    }
+
+    /// Append a record; panics in debug builds if time order is violated.
+    pub fn push(&mut self, rec: TraceRecord) {
+        debug_assert!(
+            self.records.last().is_none_or(|p| p.t <= rec.t),
+            "trace records must be pushed in time order"
+        );
+        self.records.push(rec);
+    }
+
+    /// Capture timestamp of the first record.
+    pub fn start(&self) -> Option<SimTime> {
+        self.records.first().map(|r| r.t)
+    }
+
+    /// Capture timestamp of the last record.
+    pub fn end(&self) -> Option<SimTime> {
+        self.records.last().map(|r| r.t)
+    }
+
+    /// Wall-clock span of the trace.
+    pub fn duration(&self) -> SimDuration {
+        match (self.start(), self.end()) {
+            (Some(s), Some(e)) => e - s,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Total payload bytes seen per direction `(out, in)`, counting
+    /// retransmissions once per transmission (wire bytes, not goodput).
+    pub fn wire_bytes(&self) -> (u64, u64) {
+        let mut out = 0;
+        let mut inb = 0;
+        for r in &self.records {
+            match r.dir {
+                Direction::Out => out += r.len as u64,
+                Direction::In => inb += r.len as u64,
+            }
+        }
+        (out, inb)
+    }
+
+    /// Unique payload bytes in the server→client direction (goodput bytes):
+    /// the highest `seq_end` over outbound data records.
+    pub fn goodput_bytes_out(&self) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.dir == Direction::Out && r.has_data())
+            .map(|r| r.seq_end())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterate over outbound data records.
+    pub fn out_data(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.dir == Direction::Out && r.has_data())
+    }
+}
+
+/// Reassembles an interleaved multi-flow capture into per-flow traces.
+///
+/// Records must be offered in capture (time) order; flows are keyed by the
+/// 4-tuple.
+#[derive(Debug, Default)]
+pub struct FlowTable {
+    flows: HashMap<FlowKey, FlowTrace>,
+    order: Vec<FlowKey>,
+}
+
+impl FlowTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offer one record belonging to `key`.
+    pub fn push(&mut self, key: FlowKey, rec: TraceRecord) {
+        self.flows
+            .entry(key)
+            .or_insert_with(|| {
+                self.order.push(key);
+                FlowTrace::new(key)
+            })
+            .push(rec);
+    }
+
+    /// Number of distinct flows seen.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True if no flows were seen.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Consume the table, yielding traces in first-seen order.
+    pub fn into_traces(mut self) -> Vec<FlowTrace> {
+        self.order
+            .iter()
+            .filter_map(|k| self.flows.remove(k))
+            .collect()
+    }
+
+    /// Borrow a flow's trace by key.
+    pub fn get(&self, key: &FlowKey) -> Option<&FlowTrace> {
+        self.flows.get(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::SegFlags;
+
+    fn rec(t_ms: u64, dir: Direction, seq: u64, len: u32) -> TraceRecord {
+        TraceRecord {
+            t: SimTime::from_millis(t_ms),
+            dir,
+            seq,
+            len,
+            flags: SegFlags::ACK,
+            ack: 0,
+            rwnd: 65535,
+            sack: Vec::new(),
+            dsack: false,
+        }
+    }
+
+    #[test]
+    fn flow_trace_accumulates_metrics() {
+        let mut ft = FlowTrace::new(FlowKey::synthetic(1));
+        ft.push(rec(0, Direction::In, 0, 100)); // request
+        ft.push(rec(10, Direction::Out, 0, 1448));
+        ft.push(rec(12, Direction::Out, 1448, 1448));
+        ft.push(rec(40, Direction::Out, 0, 1448)); // retransmission
+        assert_eq!(ft.duration(), SimDuration::from_millis(40));
+        assert_eq!(ft.wire_bytes(), (1448 * 3, 100));
+        assert_eq!(ft.goodput_bytes_out(), 2896);
+        assert_eq!(ft.out_data().count(), 3);
+    }
+
+    #[test]
+    fn flow_table_demultiplexes_in_first_seen_order() {
+        let mut table = FlowTable::new();
+        let k1 = FlowKey::synthetic(1);
+        let k2 = FlowKey::synthetic(2);
+        table.push(k1, rec(0, Direction::Out, 0, 10));
+        table.push(k2, rec(1, Direction::Out, 0, 20));
+        table.push(k1, rec(2, Direction::Out, 10, 10));
+        assert_eq!(table.len(), 2);
+        let traces = table.into_traces();
+        assert_eq!(traces[0].records.len(), 2);
+        assert_eq!(traces[1].records.len(), 1);
+        assert_eq!(traces[0].key, Some(k1));
+    }
+
+    #[test]
+    fn synthetic_keys_are_unique() {
+        let a = FlowKey::synthetic(1);
+        let b = FlowKey::synthetic(2);
+        let c = FlowKey::synthetic(65536 + 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn empty_trace_metrics() {
+        let ft = FlowTrace::default();
+        assert_eq!(ft.duration(), SimDuration::ZERO);
+        assert_eq!(ft.goodput_bytes_out(), 0);
+        assert_eq!(ft.start(), None);
+    }
+}

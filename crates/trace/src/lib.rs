@@ -1,0 +1,25 @@
+//! # tcp-trace — packet traces as TAPO sees them
+//!
+//! The paper's TAPO tool consumes packet-level traces captured at the
+//! server's NIC (tcpdump). This crate defines the in-memory representation
+//! of such traces ([`TraceRecord`], [`FlowTrace`]), reassembles mixed
+//! multi-flow captures into per-flow traces ([`flow::FlowTable`]), and reads
+//! and writes the classic libpcap 2.4 file format with from-scratch
+//! Ethernet/IPv4/TCP encoding — including the TCP SACK and DSACK options
+//! that the stall classifier depends on ([`pcap`]).
+//!
+//! Records use **relative, unwrapped** 64-bit sequence numbers (stream
+//! offsets): `seq == 0` is the first payload byte of the direction's stream.
+//! The pcap layer maps these to and from 32-bit wire sequence numbers with
+//! per-direction ISNs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod pcap;
+pub mod record;
+pub mod text;
+
+pub use flow::{FlowKey, FlowTable, FlowTrace};
+pub use record::{Direction, SackBlock, SegFlags, TraceRecord};

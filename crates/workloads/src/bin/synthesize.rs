@@ -1,0 +1,112 @@
+//! `synthesize` — generate a calibrated trace corpus as a pcap file.
+//!
+//! The companion to the `tapo` CLI: it produces the kind of server-side
+//! capture the paper's front-ends recorded, from the calibrated service
+//! models, so the full offline workflow can be exercised without any
+//! production data.
+//!
+//! ```text
+//! synthesize <cloud|software|web> <out.pcap> [--flows N] [--seed S]
+//!            [--mechanism native|tlp|srto]
+//! ```
+
+use std::fs::File;
+use std::process::ExitCode;
+
+use tcp_sim::recovery::RecoveryMechanism;
+use tcp_trace::pcap::PcapWriter;
+use workloads::{synthesize_corpus, Service};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let usage = "usage: synthesize <cloud|software|web> <out.pcap> \
+                 [--flows N] [--seed S] [--mechanism native|tlp|srto]";
+    let service = match args.next().as_deref() {
+        Some("cloud") => Service::CloudStorage,
+        Some("software") => Service::SoftwareDownload,
+        Some("web") => Service::WebSearch,
+        _ => {
+            eprintln!("{usage}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(out_path) = args.next() else {
+        eprintln!("{usage}");
+        return ExitCode::from(2);
+    };
+    let mut flows = 100usize;
+    let mut seed = 2015u64;
+    let mut mechanism = RecoveryMechanism::Native;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--flows" => {
+                flows = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--flows requires a count");
+                    std::process::exit(2);
+                })
+            }
+            "--seed" => {
+                seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed requires an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--mechanism" => {
+                mechanism = match args.next().as_deref() {
+                    Some("native") => RecoveryMechanism::Native,
+                    Some("tlp") => RecoveryMechanism::tlp(),
+                    Some("srto") => RecoveryMechanism::Srto(service.srto_config()),
+                    _ => {
+                        eprintln!("--mechanism must be native, tlp or srto");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown option {other}\n{usage}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "synthesizing {flows} {} flows under {} (seed {seed})...",
+        service.label(),
+        mechanism.label()
+    );
+    let corpus = synthesize_corpus(service, flows, mechanism, seed);
+
+    let file = match File::create(&out_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut writer = match PcapWriter::new(file) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("cannot write {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut packets = 0usize;
+    for flow in &corpus.flows {
+        packets += flow.trace.records.len();
+        if let Err(e) = writer.write_flow(&flow.trace) {
+            eprintln!("write error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = writer.finish() {
+        eprintln!("write error: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "wrote {packets} packets from {} flows ({:.1} MB served, {:.0}% completed) to {out_path}",
+        corpus.flows.len(),
+        corpus.total_bytes() as f64 / 1e6,
+        corpus.completion_rate() * 100.0,
+    );
+    ExitCode::SUCCESS
+}

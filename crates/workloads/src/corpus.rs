@@ -1,0 +1,137 @@
+//! Corpus synthesis: the simulated stand-in for the paper's 7-day,
+//! 6.4M-flow production dataset.
+//!
+//! A corpus is a set of per-flow outcomes (server-side traces plus
+//! simulation ground truth) for one service. For mechanism comparisons
+//! (Tables 8 & 9) the same sampled flow population can be replayed under
+//! each recovery mechanism with identical per-flow seeds, giving a paired
+//! experiment that is *stronger* than the paper's round-robin A/B.
+
+use simnet::rng::SimRng;
+use tcp_sim::recovery::RecoveryMechanism;
+use tcp_sim::sim::FlowOutcome;
+
+use crate::service::{Service, ServiceModel};
+use crate::spec::{simulate_flow, FlowSpec, PathSpec};
+
+/// A synthesized set of flows for one service.
+#[derive(Debug)]
+pub struct Corpus {
+    /// The service modelled.
+    pub service: Service,
+    /// Per-flow outcomes, in generation order.
+    pub flows: Vec<FlowOutcome>,
+}
+
+/// Sample `n` flow populations (spec + path) for a service without running
+/// them — the raw material for paired mechanism comparisons.
+pub fn sample_population(service: Service, n: usize, seed: u64) -> Vec<(FlowSpec, PathSpec)> {
+    let model = ServiceModel::calibrated(service);
+    let mut rng = SimRng::seed(seed ^ 0x5eed_0000);
+    (0..n).map(|_| model.sample(&mut rng)).collect()
+}
+
+/// Run a previously sampled population under one recovery mechanism.
+/// Flow `i` always gets seed `base_seed + i`, so runs under different
+/// mechanisms are paired.
+pub fn run_population(
+    service: Service,
+    population: &[(FlowSpec, PathSpec)],
+    mechanism: RecoveryMechanism,
+    base_seed: u64,
+) -> Corpus {
+    let flows = population
+        .iter()
+        .enumerate()
+        .map(|(i, (spec, path))| simulate_flow(spec, path, mechanism, base_seed + i as u64))
+        .collect();
+    Corpus { service, flows }
+}
+
+/// Convenience: sample and run `n` flows under `mechanism`.
+pub fn synthesize_corpus(
+    service: Service,
+    n: usize,
+    mechanism: RecoveryMechanism,
+    seed: u64,
+) -> Corpus {
+    let population = sample_population(service, n, seed);
+    run_population(service, &population, mechanism, seed)
+}
+
+impl Corpus {
+    /// Total response bytes across all flows.
+    pub fn total_bytes(&self) -> u64 {
+        self.flows.iter().map(|f| f.response_bytes).sum()
+    }
+
+    /// Fraction of flows that completed before the cut-off.
+    pub fn completion_rate(&self) -> f64 {
+        if self.flows.is_empty() {
+            return 0.0;
+        }
+        self.flows.iter().filter(|f| f.completed).count() as f64 / self.flows.len() as f64
+    }
+
+    /// Overall retransmitted-to-sent data-packet ratio (Table 9).
+    pub fn retrans_ratio(&self) -> f64 {
+        let (retrans, sent) = self.flows.iter().fold((0u64, 0u64), |(r, s), f| {
+            (
+                r + f.server_stats.retrans_segs,
+                s + f.server_stats.data_segs_sent + f.server_stats.retrans_segs,
+            )
+        });
+        if sent == 0 {
+            0.0
+        } else {
+            retrans as f64 / sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = synthesize_corpus(Service::WebSearch, 10, RecoveryMechanism::Native, 1);
+        let b = synthesize_corpus(Service::WebSearch, 10, RecoveryMechanism::Native, 1);
+        assert_eq!(a.flows.len(), 10);
+        for (x, y) in a.flows.iter().zip(&b.flows) {
+            assert_eq!(x.trace.records, y.trace.records);
+        }
+    }
+
+    #[test]
+    fn corpus_mostly_completes() {
+        let c = synthesize_corpus(Service::WebSearch, 30, RecoveryMechanism::Native, 2);
+        assert!(
+            c.completion_rate() > 0.9,
+            "completion {}",
+            c.completion_rate()
+        );
+        assert!(c.total_bytes() > 0);
+    }
+
+    #[test]
+    fn paired_populations_share_specs() {
+        let pop = sample_population(Service::WebSearch, 5, 3);
+        let native = run_population(Service::WebSearch, &pop, RecoveryMechanism::Native, 3);
+        let srto = run_population(
+            Service::WebSearch,
+            &pop,
+            RecoveryMechanism::Srto(Service::WebSearch.srto_config()),
+            3,
+        );
+        assert_eq!(native.flows.len(), srto.flows.len());
+        // Same total offered bytes (the populations are identical).
+        assert_eq!(native.total_bytes(), srto.total_bytes());
+    }
+
+    #[test]
+    fn lossy_corpus_has_retransmissions() {
+        let c = synthesize_corpus(Service::SoftwareDownload, 20, RecoveryMechanism::Native, 4);
+        assert!(c.retrans_ratio() > 0.005, "ratio {}", c.retrans_ratio());
+    }
+}

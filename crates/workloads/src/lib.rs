@@ -1,0 +1,25 @@
+//! # workloads — the paper's three services, synthesized
+//!
+//! The paper analyzes production traces from Qihoo 360's **cloud storage**,
+//! **software download** and **web search** front-ends. Those traces are
+//! proprietary, so this crate substitutes generative models calibrated to
+//! every statistic the paper publishes: flow-size scales (Table 1), RTT
+//! distributions (Fig. 1), loss rates with bursty (Gilbert–Elliott)
+//! structure, the initial-receive-window population of Fig. 6, back-end
+//! fetch delays, chunked server supply, client think times and slow client
+//! drains.
+//!
+//! * [`service`] — the per-service models ([`ServiceModel::calibrated`]).
+//! * [`spec`] — [`FlowSpec`] / [`PathSpec`] and [`simulate_flow`].
+//! * [`corpus`] — corpus synthesis and paired mechanism replays.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod service;
+pub mod spec;
+
+pub use corpus::{run_population, sample_population, synthesize_corpus, Corpus};
+pub use service::{Service, ServiceModel};
+pub use spec::{simulate_flow, FlowSpec, PathSpec};

@@ -1,0 +1,81 @@
+//! Calibration guards: if a future change drifts the service models away
+//! from the paper's published statistics, these tests fail before the
+//! experiment tables silently change shape.
+
+use tapo::{analyze_flow, AnalyzerConfig};
+use tcp_sim::recovery::RecoveryMechanism;
+use workloads::{synthesize_corpus, Service};
+
+struct CorpusStats {
+    mean_size: f64,
+    mean_rtt_ms: f64,
+    retrans_ratio: f64,
+    completion: f64,
+    stalled_any: f64,
+}
+
+fn stats(service: Service, n: usize, seed: u64) -> CorpusStats {
+    let corpus = synthesize_corpus(service, n, RecoveryMechanism::Native, seed);
+    let cfg = AnalyzerConfig::default();
+    let mut size = 0.0;
+    let mut rtt = 0.0;
+    let mut rtt_n = 0.0f64;
+    let mut stalled = 0.0;
+    for f in &corpus.flows {
+        size += f.response_bytes as f64;
+        let a = analyze_flow(&f.trace, cfg);
+        if let Some(r) = a.metrics.mean_rtt {
+            rtt += r.as_secs_f64() * 1e3;
+            rtt_n += 1.0;
+        }
+        if !a.stalls.is_empty() {
+            stalled += 1.0;
+        }
+    }
+    CorpusStats {
+        mean_size: size / n as f64,
+        mean_rtt_ms: rtt / rtt_n.max(1.0),
+        retrans_ratio: corpus.retrans_ratio(),
+        completion: corpus.completion_rate(),
+        stalled_any: stalled / n as f64,
+    }
+}
+
+#[test]
+fn cloud_storage_calibration() {
+    let s = stats(Service::CloudStorage, 80, 2015);
+    // Paper targets: 1.7MB, 143ms, 3.9% loss.
+    assert!((0.6e6..3.0e6).contains(&s.mean_size), "size {}", s.mean_size);
+    assert!((100.0..260.0).contains(&s.mean_rtt_ms), "rtt {}", s.mean_rtt_ms);
+    assert!((0.015..0.10).contains(&s.retrans_ratio), "retrans {}", s.retrans_ratio);
+    assert!(s.completion > 0.9, "completion {}", s.completion);
+    assert!((0.25..0.85).contains(&s.stalled_any), "stalled share {}", s.stalled_any);
+}
+
+#[test]
+fn software_download_calibration() {
+    let s = stats(Service::SoftwareDownload, 120, 2015);
+    // Paper targets: 129KB, 147ms, 4.1% loss.
+    assert!((60e3..260e3).contains(&s.mean_size), "size {}", s.mean_size);
+    assert!((90.0..220.0).contains(&s.mean_rtt_ms), "rtt {}", s.mean_rtt_ms);
+    assert!((0.01..0.09).contains(&s.retrans_ratio), "retrans {}", s.retrans_ratio);
+    assert!(s.completion > 0.9, "completion {}", s.completion);
+}
+
+#[test]
+fn web_search_calibration() {
+    let s = stats(Service::WebSearch, 200, 2015);
+    // Paper targets: 14KB, 106ms, 2.1% loss.
+    assert!((6e3..30e3).contains(&s.mean_size), "size {}", s.mean_size);
+    assert!((60.0..160.0).contains(&s.mean_rtt_ms), "rtt {}", s.mean_rtt_ms);
+    assert!(s.retrans_ratio < 0.06, "retrans {}", s.retrans_ratio);
+    assert!(s.completion > 0.95, "completion {}", s.completion);
+}
+
+#[test]
+fn service_size_ordering_matches_table1() {
+    let cloud = stats(Service::CloudStorage, 50, 7).mean_size;
+    let soft = stats(Service::SoftwareDownload, 50, 7).mean_size;
+    let web = stats(Service::WebSearch, 50, 7).mean_size;
+    assert!(cloud > soft && soft > web, "cloud {cloud} > soft {soft} > web {web}");
+}

@@ -1,0 +1,77 @@
+//! Cloud-storage scenario: synthesize a corpus of shared-connection,
+//! multi-file flows (the paper's heaviest service), analyze every trace
+//! with TAPO and print the stall breakdown — a miniature of the paper's
+//! Tables 3 and 5.
+//!
+//! ```sh
+//! cargo run --release --example cloud_storage
+//! ```
+
+use tcpstall::prelude::*;
+use tcpstall::tapo::StallBreakdown;
+use tcpstall::tcp_sim::recovery::RecoveryMechanism as Mech;
+use tcpstall::workloads::synthesize_corpus;
+
+fn main() {
+    let n = 80;
+    println!("synthesizing {n} cloud-storage flows (native stack)...");
+    let corpus = synthesize_corpus(Service::CloudStorage, n, Mech::Native, 2015);
+
+    let mut breakdown = StallBreakdown::default();
+    let mut total_bytes = 0u64;
+    let mut stalled_half = 0;
+    for flow in &corpus.flows {
+        let analysis = analyze_flow(&flow.trace, AnalyzerConfig::default());
+        if analysis.stall_ratio() > 0.5 {
+            stalled_half += 1;
+        }
+        total_bytes += flow.response_bytes;
+        breakdown.add_flow(&analysis);
+    }
+
+    println!(
+        "corpus: {:.1} MB across {n} flows; {} stalls, {:.1}s stalled total",
+        total_bytes as f64 / 1e6,
+        breakdown.total_stalls,
+        breakdown.total_stalled.as_secs_f64()
+    );
+    println!("{stalled_half}/{n} flows spent more than half their lifetime stalled\n");
+
+    println!("stall causes (volume% / time%):");
+    for label in [
+        "data una.",
+        "rsrc cons.",
+        "client idle",
+        "zero wnd",
+        "pkt delay",
+        "retrans.",
+    ] {
+        let s = breakdown.share(label);
+        println!(
+            "  {label:<12} {:>5.1}% / {:>5.1}%",
+            s.volume_pct, s.time_pct
+        );
+    }
+    println!("\ntimeout-retransmission breakdown (volume% / time% of retrans stalls):");
+    for label in [
+        "Double retr.",
+        "Tail retr.",
+        "Small cwnd",
+        "Small rwnd",
+        "Cont. loss",
+        "ACK delay/loss",
+    ] {
+        let s = breakdown.retrans_share(label);
+        println!(
+            "  {label:<14} {:>5.1}% / {:>5.1}%",
+            s.volume_pct, s.time_pct
+        );
+    }
+    let (f, t) = breakdown.double_split;
+    let tot = (f + t).as_secs_f64().max(1e-9);
+    println!(
+        "\ndouble-retransmission split: {:.0}% f-double / {:.0}% t-double (by stalled time)",
+        100.0 * f.as_secs_f64() / tot,
+        100.0 * t.as_secs_f64() / tot
+    );
+}

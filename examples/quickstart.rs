@@ -1,0 +1,60 @@
+//! Quickstart: simulate one TCP flow over a lossy path, capture the
+//! server-side trace, and let TAPO diagnose its stalls.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use tcpstall::prelude::*;
+
+fn main() {
+    // A 300KB response over a 120ms path with 4% bursty loss.
+    let spec = FlowSpec::response_bytes(300_000);
+    let path = PathSpec {
+        rtt: SimDuration::from_millis(120),
+        loss: LossSpec::bursty(0.04, SimDuration::from_millis(150)),
+        ..PathSpec::default()
+    };
+
+    let out = simulate_flow(&spec, &path, RecoveryMechanism::Native, 7);
+    println!(
+        "flow completed: {} bytes in {:.2}s ({} packets captured at the server)",
+        out.response_bytes,
+        out.request_latencies[0].as_secs_f64(),
+        out.trace.records.len(),
+    );
+    println!(
+        "sender ground truth: {} data segs, {} retransmissions, {} RTOs",
+        out.server_stats.data_segs_sent, out.server_stats.retrans_segs, out.server_stats.rto_count
+    );
+
+    // TAPO sees only the packets, like tcpdump output.
+    let analysis = analyze_flow(&out.trace, AnalyzerConfig::default());
+    println!(
+        "\nTAPO: {} stalls, {:.2}s stalled of {:.2}s total ({:.0}% of lifetime)",
+        analysis.stalls.len(),
+        analysis.metrics.stalled_time.as_secs_f64(),
+        analysis.metrics.duration.as_secs_f64(),
+        analysis.stall_ratio() * 100.0
+    );
+    for stall in &analysis.stalls {
+        println!(
+            "  {} → {} ({:>9}): {:?}  [in_flight={}, state={:?}]",
+            stall.start,
+            stall.end,
+            stall.duration.to_string(),
+            stall.cause,
+            stall.snapshot.in_flight,
+            stall.snapshot.ca_state,
+        );
+    }
+
+    // The same flow under S-RTO, on identical loss (same seed).
+    let srto = simulate_flow(&spec, &path, RecoveryMechanism::srto(), 7);
+    println!(
+        "\nsame flow under S-RTO: {:.2}s (probes fired: {}), vs {:.2}s native",
+        srto.request_latencies[0].as_secs_f64(),
+        srto.server_stats.srto_probes,
+        out.request_latencies[0].as_secs_f64(),
+    );
+}

@@ -1,0 +1,166 @@
+//! The stall zoo: engineer one flow per stall class from the paper's
+//! taxonomy, diagnose each with TAPO, and print annotated timelines —
+//! a guided tour of Figure 5's decision tree.
+//!
+//! ```sh
+//! cargo run --release --example stall_zoo
+//! ```
+
+use tcpstall::prelude::*;
+use tcpstall::tcp_sim::receiver::ReceiverConfig;
+use tcpstall::tcp_sim::sim::{FlowScript, FlowSim, FlowSimConfig, RequestSpec, SupplyPauses};
+use tcpstall::tcp_trace::Direction;
+
+const MSS: u64 = 1448;
+
+fn clean_cfg(resp: u64) -> FlowSimConfig {
+    FlowSimConfig {
+        script: FlowScript::single(resp),
+        s2c: tcpstall::simnet::link::LinkConfig {
+            prop_delay: SimDuration::from_millis(40),
+            bandwidth_bps: 0,
+            queue_pkts: 0,
+            ..Default::default()
+        },
+        c2s: tcpstall::simnet::link::LinkConfig {
+            prop_delay: SimDuration::from_millis(40),
+            bandwidth_bps: 0,
+            queue_pkts: 0,
+            ..Default::default()
+        },
+        ..FlowSimConfig::default()
+    }
+}
+
+fn show(name: &str, cfg: FlowSimConfig, seed: u64) {
+    let out = FlowSim::new(cfg, seed).run();
+    let analysis = analyze_flow(&out.trace, AnalyzerConfig::default());
+    println!("━━ {name}");
+    println!(
+        "   {} bytes in {:.2}s, {} packets, {} retransmissions",
+        out.response_bytes,
+        analysis.metrics.duration.as_secs_f64(),
+        out.trace.records.len(),
+        out.server_stats.retrans_segs
+    );
+    if analysis.stalls.is_empty() {
+        println!("   (no stalls)");
+    }
+    for s in &analysis.stalls {
+        // A four-packet context window around the stall.
+        println!(
+            "   STALL {:?} — {} at {} (in_flight={}, state={:?})",
+            s.cause, s.duration, s.start, s.snapshot.in_flight, s.snapshot.ca_state
+        );
+        let from = s.end_record.saturating_sub(2);
+        let to = (s.end_record + 2).min(out.trace.records.len());
+        for rec in &out.trace.records[from..to] {
+            let marker = if rec.t == s.end {
+                "  ◀ ends the stall"
+            } else {
+                ""
+            };
+            println!(
+                "      {}{marker}",
+                tcpstall::tcp_trace::text::render_record(rec)
+            );
+        }
+    }
+    println!();
+}
+
+fn main() {
+    // 1. Data unavailable: the back end takes 1.2s to produce the response.
+    let mut cfg = clean_cfg(0);
+    cfg.script.requests = vec![RequestSpec {
+        backend_delay: SimDuration::from_millis(1200),
+        ..RequestSpec::simple(6 * MSS)
+    }];
+    show("data unavailable (back-end fetch)", cfg, 1);
+
+    // 2. Resource constraint: the server app supplies data in chunks.
+    let mut cfg = clean_cfg(0);
+    cfg.script.requests = vec![RequestSpec {
+        supply: Some(SupplyPauses {
+            chunk_bytes: 4 * MSS,
+            gap: SimDuration::from_millis(1500),
+        }),
+        ..RequestSpec::simple(12 * MSS)
+    }];
+    show("resource constraint (chunked supply)", cfg, 2);
+
+    // 3. Client idle: a 3s think time between two requests.
+    let mut cfg = clean_cfg(0);
+    cfg.script.requests = vec![
+        RequestSpec::simple(4 * MSS),
+        RequestSpec {
+            think_time: SimDuration::from_secs(3),
+            ..RequestSpec::simple(4 * MSS)
+        },
+    ];
+    show("client idle (think time)", cfg, 3);
+
+    // 4. Zero window: a 8-MSS buffer and a pausing reader.
+    let mut cfg = clean_cfg(60 * MSS);
+    cfg.client_rx = ReceiverConfig {
+        buf_bytes: 8 * MSS,
+        ..ReceiverConfig::default()
+    };
+    cfg.client_drain = Some(40_000);
+    cfg.client_pause_prob = 1.0;
+    cfg.client_pause = SimDuration::from_millis(1500);
+    cfg.max_time = SimDuration::from_secs(300);
+    show("zero receive window (stopped reader)", cfg, 4);
+
+    // 5. Tail retransmission: the last segment of the response is lost.
+    let mut cfg = clean_cfg(8 * MSS);
+    // Find the tail segment's link index by a dry run.
+    let dry = FlowSim::new(cfg.clone(), 5).run();
+    let tail_idx = dry
+        .trace
+        .records
+        .iter()
+        .filter(|r| r.dir == Direction::Out)
+        .position(|r| r.seq == 7 * MSS && r.has_data())
+        .expect("tail segment") as u64;
+    cfg.s2c.loss = LossSpec::Script {
+        drops: vec![tail_idx],
+    };
+    show("tail retransmission (last segment lost)", cfg, 5);
+
+    // 6. Double retransmission: a segment and its fast retransmission die.
+    let mut cfg = clean_cfg(12 * MSS);
+    let dry = FlowSim::new(cfg.clone(), 6).run();
+    let orig = dry
+        .trace
+        .records
+        .iter()
+        .filter(|r| r.dir == Direction::Out)
+        .position(|r| r.seq == 7 * MSS && r.has_data())
+        .expect("segment") as u64;
+    let mut probe_cfg = cfg.clone();
+    probe_cfg.s2c.loss = LossSpec::Script { drops: vec![orig] };
+    let pass1 = FlowSim::new(probe_cfg, 6).run();
+    let retrans_idx = pass1
+        .trace
+        .records
+        .iter()
+        .filter(|r| r.dir == Direction::Out)
+        .enumerate()
+        .filter(|(_, r)| r.seq == 7 * MSS && r.has_data())
+        .map(|(i, _)| i as u64)
+        .nth(1)
+        .expect("fast retransmission");
+    cfg.s2c.loss = LossSpec::Script {
+        drops: vec![orig, retrans_idx],
+    };
+    show("f-double retransmission (retransmission lost too)", cfg, 6);
+
+    println!("The same f-double flow under S-RTO:");
+    let mut cfg2 = clean_cfg(12 * MSS);
+    cfg2.s2c.loss = LossSpec::Script {
+        drops: vec![orig, retrans_idx],
+    };
+    cfg2.server_tx.recovery = RecoveryMechanism::srto();
+    show("  …repaired by the S-RTO probe", cfg2, 6);
+}

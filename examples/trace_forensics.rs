@@ -1,0 +1,70 @@
+//! Trace forensics: the offline-tool workflow of the paper. Simulated
+//! flows are written to a **real classic-pcap file** (header-only capture,
+//! like `tcpdump -s96` on the production front-ends), read back through the
+//! pcap parser, and diagnosed by TAPO — demonstrating that the analyzer
+//! works from on-disk captures, not simulator internals.
+//!
+//! ```sh
+//! cargo run --release --example trace_forensics
+//! ```
+
+use std::fs::File;
+
+use tcpstall::prelude::*;
+use tcpstall::tcp_sim::recovery::RecoveryMechanism as Mech;
+use tcpstall::tcp_trace::pcap::{PcapReader, PcapWriter};
+use tcpstall::workloads::synthesize_corpus;
+
+fn main() -> std::io::Result<()> {
+    let n = 25;
+    println!("synthesizing {n} software-download flows...");
+    let corpus = synthesize_corpus(Service::SoftwareDownload, n, Mech::Native, 99);
+
+    // Write every flow into one pcap, as a capture box would.
+    let path = std::env::temp_dir().join("tapo_demo.pcap");
+    let mut writer = PcapWriter::new(File::create(&path)?)?;
+    for flow in &corpus.flows {
+        writer.write_flow(&flow.trace)?;
+    }
+    writer.finish()?;
+    let size = std::fs::metadata(&path)?.len();
+    println!("wrote {} ({} bytes)", path.display(), size);
+
+    // Read it back cold and analyze, exactly like the offline tool.
+    let flows = PcapReader::read_all(File::open(&path)?).expect("valid capture");
+    println!("parsed {} flows back from the capture\n", flows.len());
+
+    let mut worst: Option<(usize, FlowAnalysis)> = None;
+    let mut total_stalls = 0;
+    for (i, trace) in flows.iter().enumerate() {
+        let analysis = analyze_flow(trace, AnalyzerConfig::default());
+        total_stalls += analysis.stalls.len();
+        if worst
+            .as_ref()
+            .is_none_or(|(_, w)| analysis.metrics.stalled_time > w.metrics.stalled_time)
+        {
+            worst = Some((i, analysis));
+        }
+    }
+    println!("{total_stalls} stalls across the capture");
+
+    if let Some((i, analysis)) = worst {
+        println!(
+            "\nworst flow (#{i}): {:.1}s stalled of {:.1}s — stall log:",
+            analysis.metrics.stalled_time.as_secs_f64(),
+            analysis.metrics.duration.as_secs_f64()
+        );
+        for stall in &analysis.stalls {
+            println!(
+                "  at {:>9} for {:>9}: {:?}",
+                stall.start.to_string(),
+                stall.duration.to_string(),
+                stall.cause
+            );
+        }
+        if let Some(w) = analysis.init_rwnd {
+            println!("  (client's initial receive window: {} bytes)", w);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! # tcpstall — TCP stall diagnosis and mitigation
+//!
+//! A full reproduction of *"Demystifying and Mitigating TCP Stalls at the
+//! Server Side"* (Zhou et al., CoNEXT 2015) as a Rust workspace. This facade
+//! crate re-exports the workspace members so examples and downstream users
+//! can depend on a single crate:
+//!
+//! * [`simnet`] — deterministic discrete-event network simulator (links,
+//!   drop-tail queues, Bernoulli / Gilbert–Elliott / scripted loss).
+//! * [`tcp_sim`] — a Linux-2.6.32-style TCP stack: the Open/Disorder/
+//!   Recovery/Loss congestion-state machine, SACK/DSACK scoreboard,
+//!   RFC 6298 RTO, delayed ACKs and finite receive buffers, plus the
+//!   paper's **S-RTO** mitigation and a TLP baseline.
+//! * [`tcp_trace`] — server-side packet trace records, flow reassembly and
+//!   classic-pcap I/O.
+//! * [`tapo`] — the paper's contribution: the TAPO stall detector and
+//!   decision-tree root-cause classifier.
+//! * [`workloads`] — models of the three studied services (cloud storage,
+//!   software download, web search) that synthesize trace corpora.
+//! * [`experiments`] — the harness regenerating every table and figure of
+//!   the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tcpstall::prelude::*;
+//!
+//! // Simulate one web-search-like flow over a lossy path and classify its stalls.
+//! let spec = FlowSpec::response_bytes(30_000);
+//! let path = PathSpec { rtt: SimDuration::from_millis(100), loss: LossSpec::bernoulli(0.02), ..PathSpec::default() };
+//! let out = simulate_flow(&spec, &path, RecoveryMechanism::Native, 42);
+//! let analysis = analyze_flow(&out.trace, AnalyzerConfig::default());
+//! println!("{} stalls over {:?}", analysis.stalls.len(), analysis.metrics.duration);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use experiments;
+pub use simnet;
+pub use tapo;
+pub use tcp_sim;
+pub use tcp_trace;
+pub use workloads;
+
+/// Convenience re-exports covering the common end-to-end path:
+/// build a workload → simulate → capture a trace → analyze stalls.
+pub mod prelude {
+    pub use simnet::{
+        loss::LossSpec,
+        time::{SimDuration, SimTime},
+    };
+    pub use tapo::{analyze_flow, AnalyzerConfig, FlowAnalysis, StallCause};
+    pub use tcp_sim::recovery::RecoveryMechanism;
+    pub use tcp_trace::{Direction, FlowTrace, TraceRecord};
+    pub use workloads::{simulate_flow, FlowSpec, PathSpec, Service};
+}

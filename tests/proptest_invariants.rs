@@ -1,0 +1,219 @@
+//! Property-based tests on the core invariants of the reproduction:
+//! the analyzer must never panic or produce inconsistent output on *any*
+//! trace; the simulated transfer must deliver exactly the bytes written
+//! under any loss pattern; the pcap codec must round-trip every encodable
+//! record; the scoreboard's Table 2 counters must always satisfy Eq. 1.
+
+use proptest::prelude::*;
+
+use simnet::loss::LossSpec;
+use simnet::time::{SimDuration, SimTime};
+use tapo::{analyze_flow, AnalyzerConfig};
+use tcp_sim::recovery::RecoveryMechanism;
+use tcp_sim::scoreboard::Scoreboard;
+use tcp_trace::flow::{FlowKey, FlowTrace};
+use tcp_trace::pcap::{PcapReader, PcapWriter};
+use tcp_trace::record::{Direction, SackBlock, SegFlags, TraceRecord};
+use workloads::{simulate_flow, FlowSpec, PathSpec};
+
+const MSS: u64 = 1448;
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (
+        2u64..10_000_000, // time µs
+        prop::bool::ANY,  // direction
+        0u64..64,         // seq in MSS units
+        prop::sample::select(vec![0u32, 300, 1448]),
+        0u64..64, // ack in MSS units
+        prop::sample::select(vec![0u64, 2896, 65535, 1 << 20]),
+        prop::collection::vec((0u64..64, 1u64..4), 0..3),
+    )
+        .prop_map(|(t, dir_in, seq, len, ack, rwnd, sacks)| TraceRecord {
+            t: SimTime::from_micros(t),
+            dir: if dir_in {
+                Direction::In
+            } else {
+                Direction::Out
+            },
+            seq: seq * MSS,
+            len,
+            flags: SegFlags::ACK,
+            ack: ack * MSS,
+            rwnd,
+            sack: sacks
+                .into_iter()
+                .map(|(s, l)| SackBlock::new(s * MSS, (s + l) * MSS))
+                .collect(),
+            dsack: false,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// TAPO must digest any garbage trace without panicking, and its
+    /// outputs must be internally consistent.
+    #[test]
+    fn analyzer_total_on_arbitrary_traces(mut records in prop::collection::vec(arb_record(), 0..120)) {
+        records.sort_by_key(|r| r.t);
+        let trace = FlowTrace { key: None, records };
+        let analysis = analyze_flow(&trace, AnalyzerConfig::default());
+        let ratio = analysis.stall_ratio();
+        prop_assert!((0.0..=1.0).contains(&ratio));
+        let stall_sum: u64 = analysis.stalls.iter().map(|s| s.duration.as_micros()).sum();
+        prop_assert_eq!(stall_sum, analysis.metrics.stalled_time.as_micros());
+        for s in &analysis.stalls {
+            prop_assert!(s.end >= s.start);
+            prop_assert!((0.0..=1.0).contains(&s.rel_position));
+        }
+    }
+
+    /// Under any scripted loss pattern the transfer completes (given
+    /// enough simulated time) and delivers exactly the response bytes.
+    #[test]
+    fn transfer_survives_any_drop_pattern(drops in prop::collection::btree_set(0u64..60, 0..25)) {
+        let spec = FlowSpec {
+            max_time: SimDuration::from_secs(600),
+            ..FlowSpec::response_bytes(20 * MSS)
+        };
+        let path = PathSpec {
+            rtt: SimDuration::from_millis(80),
+            jitter: SimDuration::ZERO,
+            loss: LossSpec::Script { drops: drops.into_iter().collect() },
+            ack_loss: Some(LossSpec::None),
+            bandwidth_bps: 10_000_000,
+            queue_pkts: 0,
+            ..PathSpec::default()
+        };
+        let out = simulate_flow(&spec, &path, RecoveryMechanism::Native, 5);
+        prop_assert!(out.completed, "flow must eventually complete");
+        prop_assert_eq!(out.trace.goodput_bytes_out(), 20 * MSS);
+        // The analyzer must handle the resulting trace too.
+        let _ = analyze_flow(&out.trace, AnalyzerConfig::default());
+    }
+
+    /// S-RTO and TLP also survive arbitrary drop patterns.
+    #[test]
+    fn mitigations_survive_any_drop_pattern(
+        drops in prop::collection::btree_set(0u64..40, 0..12),
+        srto in prop::bool::ANY,
+    ) {
+        let spec = FlowSpec::response_bytes(12 * MSS);
+        let path = PathSpec {
+            rtt: SimDuration::from_millis(80),
+            jitter: SimDuration::ZERO,
+            loss: LossSpec::Script { drops: drops.into_iter().collect() },
+            ack_loss: Some(LossSpec::None),
+            bandwidth_bps: 10_000_000,
+            queue_pkts: 0,
+            ..PathSpec::default()
+        };
+        let mech = if srto { RecoveryMechanism::srto() } else { RecoveryMechanism::tlp() };
+        let out = simulate_flow(&spec, &path, mech, 5);
+        prop_assert!(out.completed);
+        prop_assert_eq!(out.trace.goodput_bytes_out(), 12 * MSS);
+    }
+
+    /// Classic-pcap encode/decode round-trips every field the classifier
+    /// reads, for arbitrary well-formed flows. A handshake prefix anchors
+    /// the per-direction ISNs — without a captured SYN no pcap analyzer
+    /// can recover absolute stream offsets.
+    #[test]
+    fn pcap_roundtrip_arbitrary_flows(mut records in prop::collection::vec(arb_record(), 1..60)) {
+        records.sort_by_key(|r| r.t);
+        let syn = TraceRecord {
+            t: SimTime::from_micros(0),
+            dir: Direction::In,
+            seq: 0,
+            len: 0,
+            flags: SegFlags::SYN,
+            ack: 0,
+            rwnd: 8192,
+            sack: vec![],
+            dsack: false,
+        };
+        let synack = TraceRecord {
+            t: SimTime::from_micros(1),
+            dir: Direction::Out,
+            seq: 0,
+            len: 0,
+            flags: SegFlags::SYN_ACK,
+            ack: 0,
+            rwnd: 14480,
+            sack: vec![],
+            dsack: false,
+        };
+        let mut all = vec![syn, synack];
+        all.extend(records);
+        let trace = FlowTrace { key: Some(FlowKey::synthetic(3)), records: all };
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf).unwrap();
+        w.write_flow(&trace).unwrap();
+        w.finish().unwrap();
+        let parsed = PcapReader::read_all(&buf[..]).unwrap();
+        prop_assert_eq!(parsed.len(), 1);
+        prop_assert_eq!(parsed[0].records.len(), trace.records.len());
+        for (orig, got) in trace.records.iter().zip(&parsed[0].records) {
+            prop_assert_eq!(orig.t, got.t);
+            prop_assert_eq!(orig.dir, got.dir);
+            prop_assert_eq!(orig.seq, got.seq);
+            prop_assert_eq!(orig.len, got.len);
+            if orig.flags.ack {
+                prop_assert_eq!(orig.ack, got.ack);
+            }
+            prop_assert_eq!(&orig.sack, &got.sack);
+            // rwnd is quantized by the window scale (128-byte units); SYN
+            // windows are unscaled and clamp at 64KB.
+            if !orig.flags.syn {
+                prop_assert!(orig.rwnd - got.rwnd < 128);
+            }
+        }
+    }
+
+    /// The scoreboard always satisfies Equation 1 and never double-counts,
+    /// under arbitrary interleavings of transmit/sack/ack/mark/retransmit.
+    #[test]
+    fn scoreboard_counters_consistent(ops in prop::collection::vec((0u8..6, 0u64..30), 1..120)) {
+        let mut sb = Scoreboard::new();
+        let mss = 1000u32;
+        let mut now = SimTime::ZERO;
+        for (op, arg) in ops {
+            now += SimDuration::from_millis(1);
+            match op {
+                0 => {
+                    sb.transmit_new(now, mss);
+                }
+                1 => {
+                    let ack = (arg * mss as u64).min(sb.snd_nxt());
+                    // Cumulative ACKs land on segment boundaries.
+                    sb.ack_to(now, ack);
+                }
+                2 => {
+                    let s = arg * mss as u64;
+                    sb.apply_sack(&[SackBlock::new(s, s + mss as u64)]);
+                }
+                3 => {
+                    sb.mark_lost_head();
+                }
+                4 => {
+                    if let Some(seq) = sb.next_lost_seq() {
+                        sb.on_retransmit(now, seq, arg % 2 == 0, arg % 2 == 1);
+                    }
+                }
+                _ => {
+                    if arg % 7 == 0 {
+                        sb.mark_all_lost();
+                    } else if arg % 5 == 0 {
+                        sb.unmark_all_lost();
+                    } else {
+                        sb.mark_lost_fack(3, mss);
+                    }
+                }
+            }
+            // Eq. 1 must never underflow and the parts never exceed the whole.
+            prop_assert!(sb.sacked_out() + sb.lost_out() <= sb.packets_out() + sb.retrans_out());
+            prop_assert!(sb.in_flight() <= sb.packets_out() + sb.retrans_out());
+            prop_assert!(sb.snd_una() <= sb.snd_nxt());
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Scripted packetdrill-style scenarios reproducing the paper's Figures 8
+//! and 9: the transmission sequences that distinguish ordinary fast
+//! retransmission from f-double and t-double retransmission stalls, and the
+//! mechanisms' behaviour on each.
+//!
+//! Losses are injected by exact packet index on the server→client link
+//! (deterministic: these paths have no jitter or random loss), located by
+//! first running the scenario lossless and reading off the capture order.
+
+use simnet::loss::LossSpec;
+use simnet::time::SimDuration;
+use tapo::{analyze_flow, AnalyzerConfig, RetransCause, StallCause};
+use tcp_sim::recovery::RecoveryMechanism;
+use tcp_sim::sim::FlowOutcome;
+use tcp_trace::record::Direction;
+use workloads::{simulate_flow, FlowSpec, PathSpec};
+
+const MSS: u64 = 1448;
+
+fn clean_path() -> PathSpec {
+    // 60ms RTT: the 200ms RTO floor sits well above the 2·SRTT stall
+    // threshold, as in the paper's RTO ≫ RTT regime (Fig. 1b).
+    PathSpec {
+        rtt: SimDuration::from_millis(60),
+        jitter: SimDuration::ZERO,
+        loss: LossSpec::None,
+        ack_loss: Some(LossSpec::None),
+        bandwidth_bps: 0, // infinitely fast: pure delay
+        queue_pkts: 0,
+        reorder_prob: 0.0,
+        ..PathSpec::default()
+    }
+}
+
+fn run(spec: &FlowSpec, drops: Vec<u64>, mech: RecoveryMechanism) -> FlowOutcome {
+    let mut path = clean_path();
+    path.loss = LossSpec::Script { drops };
+    simulate_flow(spec, &path, mech, 1)
+}
+
+/// Index (in server→client link offer order) of the `nth` outbound packet
+/// matching `pred`. Outbound records appear in the trace in emission order,
+/// which is exactly the link offer order.
+fn out_index_where(
+    out: &FlowOutcome,
+    nth: usize,
+    pred: impl Fn(&tcp_trace::TraceRecord) -> bool,
+) -> u64 {
+    out.trace
+        .records
+        .iter()
+        .filter(|r| r.dir == Direction::Out)
+        .enumerate()
+        .filter(|(_, r)| pred(r))
+        .map(|(i, _)| i as u64)
+        .nth(nth)
+        .expect("matching outbound packet")
+}
+
+/// Fig. 9 (top): two *different* segments dropped in one window are both
+/// recovered by fast retransmit — no timeout, no stall.
+#[test]
+fn fig9_two_distinct_drops_recover_without_timeout() {
+    let spec = FlowSpec::response_bytes(12 * MSS);
+    let baseline = run(&spec, vec![], RecoveryMechanism::Native);
+    assert!(baseline.completed);
+    let d2 = out_index_where(&baseline, 0, |r| r.seq == 2 * MSS && r.has_data());
+    let d6 = out_index_where(&baseline, 0, |r| r.seq == 6 * MSS && r.has_data());
+
+    let out = run(&spec, vec![d2, d6], RecoveryMechanism::Native);
+    assert!(out.completed);
+    assert_eq!(
+        out.server_stats.rto_count, 0,
+        "both losses must be repaired by fast retransmit"
+    );
+    assert_eq!(out.server_stats.retrans_segs, 2);
+    let analysis = analyze_flow(&out.trace, AnalyzerConfig::default());
+    assert!(
+        !analysis
+            .stalls
+            .iter()
+            .any(|s| matches!(s.cause, StallCause::Retransmission(_))),
+        "no timeout stall expected: {:?}",
+        analysis.stalls
+    );
+}
+
+/// Fig. 9 (bottom) / Fig. 8(a): the same segment dropped twice — the fast
+/// retransmission is lost too. Native TCP can only repair it with a
+/// timeout; TAPO classifies the stall as an f-double retransmission.
+#[test]
+fn fig8a_f_double_stall_under_native() {
+    // Drop segment 7 of 12: four segments after it supply the dupacks for
+    // fast retransmit, and with no new data left to send the lost
+    // retransmission leaves a clean silent gap until the RTO.
+    let spec = FlowSpec::response_bytes(12 * MSS);
+    let baseline = run(&spec, vec![], RecoveryMechanism::Native);
+    let orig = out_index_where(&baseline, 0, |r| r.seq == 7 * MSS && r.has_data());
+
+    // Pass 1: drop only the original; find the fast retransmission's index.
+    let pass1 = run(&spec, vec![orig], RecoveryMechanism::Native);
+    assert_eq!(pass1.server_stats.rto_count, 0);
+    let retrans_idx = out_index_where(&pass1, 1, |r| r.seq == 7 * MSS && r.has_data());
+
+    // Pass 2: drop both the original and its fast retransmission.
+    let out = run(&spec, vec![orig, retrans_idx], RecoveryMechanism::Native);
+    assert!(out.completed);
+    assert_eq!(
+        out.server_stats.rto_count, 1,
+        "only the RTO repairs a lost retransmission"
+    );
+    let analysis = analyze_flow(&out.trace, AnalyzerConfig::default());
+    let doubles: Vec<_> = analysis
+        .stalls
+        .iter()
+        .filter_map(|s| match s.cause {
+            StallCause::Retransmission(RetransCause::DoubleRetrans { first_was_fast }) => {
+                Some(first_was_fast)
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        doubles,
+        vec![true],
+        "one f-double stall: {:?}",
+        analysis.stalls
+    );
+}
+
+/// The same f-double scenario under S-RTO: the probe repairs the lost
+/// retransmission after ~2·RTT instead of a full RTO, removing the stall.
+#[test]
+fn fig8a_f_double_repaired_by_srto() {
+    let spec = FlowSpec::response_bytes(12 * MSS);
+    let baseline = run(&spec, vec![], RecoveryMechanism::Native);
+    let orig = out_index_where(&baseline, 0, |r| r.seq == 7 * MSS && r.has_data());
+    let pass1 = run(&spec, vec![orig], RecoveryMechanism::srto());
+    let retrans_idx = out_index_where(&pass1, 1, |r| r.seq == 7 * MSS && r.has_data());
+
+    let native = run(&spec, vec![orig, retrans_idx], RecoveryMechanism::Native);
+    let srto = run(&spec, vec![orig, retrans_idx], RecoveryMechanism::srto());
+    assert!(srto.completed);
+    assert_eq!(
+        srto.server_stats.rto_count, 0,
+        "S-RTO's probe repairs the f-double"
+    );
+    assert!(srto.server_stats.srto_probes >= 1);
+    assert!(
+        srto.request_latencies[0] < native.request_latencies[0],
+        "S-RTO {:?} must beat native {:?}",
+        srto.request_latencies[0],
+        native.request_latencies[0]
+    );
+}
+
+/// Fig. 8(b): a t-double — the segment is dropped, the *timeout*
+/// retransmission is dropped as well; the flow pays two (backed-off)
+/// timeouts and TAPO classifies the second stall as t-double.
+#[test]
+fn fig8b_t_double_stall() {
+    // A 3-segment response whose tail is dropped twice: too few dupacks for
+    // fast retransmit, so the first repair attempt is already an RTO.
+    let spec = FlowSpec::response_bytes(3 * MSS);
+    let baseline = run(&spec, vec![], RecoveryMechanism::Native);
+    let tail = out_index_where(&baseline, 0, |r| r.seq == 2 * MSS && r.has_data());
+
+    let pass1 = run(&spec, vec![tail], RecoveryMechanism::Native);
+    assert_eq!(pass1.server_stats.rto_count, 1);
+    let rto_retrans = out_index_where(&pass1, 1, |r| r.seq == 2 * MSS && r.has_data());
+
+    let out = run(&spec, vec![tail, rto_retrans], RecoveryMechanism::Native);
+    assert!(out.completed);
+    assert_eq!(
+        out.server_stats.rto_count, 2,
+        "two timeouts for the t-double"
+    );
+    let analysis = analyze_flow(&out.trace, AnalyzerConfig::default());
+    assert!(
+        analysis.stalls.iter().any(|s| matches!(
+            s.cause,
+            StallCause::Retransmission(RetransCause::DoubleRetrans {
+                first_was_fast: false
+            })
+        )),
+        "expected a t-double stall: {:?}",
+        analysis.stalls
+    );
+    // The second stall is roughly twice the first (exponential backoff).
+    let retrans_stalls: Vec<_> = analysis
+        .stalls
+        .iter()
+        .filter(|s| matches!(s.cause, StallCause::Retransmission(_)))
+        .collect();
+    assert_eq!(retrans_stalls.len(), 2);
+    let (d1, d2) = (retrans_stalls[0].duration, retrans_stalls[1].duration);
+    assert!(
+        d2 > d1,
+        "backoff must lengthen the second stall ({d1} then {d2})"
+    );
+}
+
+/// A pure tail loss: the paper's tail-retransmission stall in the Open
+/// state, which both TLP and S-RTO mitigate.
+#[test]
+fn tail_loss_stall_and_mitigation() {
+    let spec = FlowSpec::response_bytes(8 * MSS);
+    let baseline = run(&spec, vec![], RecoveryMechanism::Native);
+    let tail = out_index_where(&baseline, 0, |r| r.seq == 7 * MSS && r.has_data());
+
+    let native = run(&spec, vec![tail], RecoveryMechanism::Native);
+    assert_eq!(native.server_stats.rto_count, 1);
+    let analysis = analyze_flow(&native.trace, AnalyzerConfig::default());
+    assert!(
+        analysis.stalls.iter().any(|s| matches!(
+            s.cause,
+            StallCause::Retransmission(RetransCause::TailRetrans { open_state: true })
+        )),
+        "expected an Open-state tail stall: {:?}",
+        analysis.stalls
+    );
+
+    for mech in [RecoveryMechanism::tlp(), RecoveryMechanism::srto()] {
+        let out = run(&spec, vec![tail], mech);
+        assert!(out.completed);
+        assert_eq!(
+            out.server_stats.rto_count,
+            0,
+            "{} must avoid the RTO",
+            mech.label()
+        );
+        assert!(
+            out.request_latencies[0] < native.request_latencies[0],
+            "{} {:?} must beat native {:?}",
+            mech.label(),
+            out.request_latencies[0],
+            native.request_latencies[0]
+        );
+    }
+}
+
+/// Head-of-response loss with a large window behind it: plain fast
+/// retransmit, classified as no stall at all (recovery within 2·SRTT).
+#[test]
+fn fast_retransmit_produces_no_stall() {
+    let spec = FlowSpec::response_bytes(20 * MSS);
+    let baseline = run(&spec, vec![], RecoveryMechanism::Native);
+    let head = out_index_where(&baseline, 0, |r| r.seq == 4 * MSS && r.has_data());
+    let out = run(&spec, vec![head], RecoveryMechanism::Native);
+    assert!(out.completed);
+    assert_eq!(out.server_stats.rto_count, 0);
+    assert_eq!(out.server_stats.retrans_segs, 1);
+    let analysis = analyze_flow(&out.trace, AnalyzerConfig::default());
+    assert!(
+        !analysis
+            .stalls
+            .iter()
+            .any(|s| matches!(s.cause, StallCause::Retransmission(_))),
+        "{:?}",
+        analysis.stalls
+    );
+}

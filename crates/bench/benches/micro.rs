@@ -2,8 +2,7 @@
 //! trace codec run — the numbers that bound how large a corpus the `repro`
 //! harness can synthesize per second.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
+use bench_suite::Harness;
 use simnet::loss::LossSpec;
 use simnet::rng::SimRng;
 use simnet::time::{SimDuration, SimTime};
@@ -14,32 +13,26 @@ use tcp_trace::pcap::{PcapReader, PcapWriter};
 use tcp_trace::record::SackBlock;
 use workloads::{simulate_flow, FlowSpec, PathSpec};
 
-fn flow_simulation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_flow");
+fn flow_simulation(h: &Harness) {
     let spec = FlowSpec::response_bytes(1_000_000);
     let path = PathSpec {
         rtt: SimDuration::from_millis(100),
         loss: LossSpec::bursty(0.03, SimDuration::from_millis(80)),
         ..PathSpec::default()
     };
-    g.throughput(Throughput::Bytes(1_000_000));
-    g.sample_size(20);
     for (name, mech) in [
-        ("native_1MB", RecoveryMechanism::Native),
-        ("srto_1MB", RecoveryMechanism::srto()),
+        ("simulate_flow/native_1MB", RecoveryMechanism::Native),
+        ("simulate_flow/srto_1MB", RecoveryMechanism::srto()),
     ] {
-        g.bench_function(name, |b| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                simulate_flow(&spec, &path, mech, seed).trace.records.len()
-            })
+        let mut seed = 0u64;
+        h.bench_bytes(name, 1_000_000, || {
+            seed += 1;
+            simulate_flow(&spec, &path, mech, seed).trace.records.len()
         });
     }
-    g.finish();
 }
 
-fn trace_analysis(c: &mut Criterion) {
+fn trace_analysis(h: &Harness) {
     let spec = FlowSpec::response_bytes(1_000_000);
     let path = PathSpec {
         rtt: SimDuration::from_millis(100),
@@ -47,82 +40,66 @@ fn trace_analysis(c: &mut Criterion) {
         ..PathSpec::default()
     };
     let out = simulate_flow(&spec, &path, RecoveryMechanism::Native, 7);
-    let mut g = c.benchmark_group("tapo");
-    g.throughput(Throughput::Elements(out.trace.records.len() as u64));
-    g.bench_function("analyze_1MB_flow", |b| {
-        b.iter(|| {
+    h.bench_elems(
+        "tapo/analyze_1MB_flow",
+        out.trace.records.len() as u64,
+        || {
             analyze_flow(&out.trace, AnalyzerConfig::default())
                 .stalls
                 .len()
-        })
-    });
-    g.finish();
+        },
+    );
 
-    let mut g = c.benchmark_group("pcap");
     let mut buf = Vec::new();
     let mut w = PcapWriter::new(&mut buf).unwrap();
     w.write_flow(&out.trace).unwrap();
     w.finish().unwrap();
-    g.throughput(Throughput::Bytes(buf.len() as u64));
-    g.bench_function("write_1MB_flow", |b| {
-        b.iter(|| {
-            let mut buf = Vec::new();
-            let mut w = PcapWriter::new(&mut buf).unwrap();
-            w.write_flow(&out.trace).unwrap();
-            w.finish().unwrap();
-            buf.len()
-        })
+    let pcap_bytes = buf.len() as u64;
+    h.bench_bytes("pcap/write_1MB_flow", pcap_bytes, || {
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf).unwrap();
+        w.write_flow(&out.trace).unwrap();
+        w.finish().unwrap();
+        buf.len()
     });
-    g.bench_function("read_1MB_flow", |b| {
-        b.iter(|| PcapReader::read_all(&buf[..]).unwrap().len())
+    h.bench_bytes("pcap/read_1MB_flow", pcap_bytes, || {
+        PcapReader::read_all(&buf[..]).unwrap().len()
     });
-    g.finish();
 }
 
-fn scoreboard_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scoreboard");
-    g.throughput(Throughput::Elements(1_000));
-    g.bench_function("transmit_sack_ack_1000", |b| {
-        b.iter(|| {
-            let mut sb = Scoreboard::new();
-            let mss = 1448u32;
-            for i in 0..1_000u64 {
-                sb.transmit_new(SimTime::from_micros(i), mss);
+fn scoreboard_ops(h: &Harness) {
+    h.bench_elems("scoreboard/transmit_sack_ack_1000", 1_000, || {
+        let mut sb = Scoreboard::new();
+        let mss = 1448u32;
+        for i in 0..1_000u64 {
+            sb.transmit_new(SimTime::from_micros(i), mss);
+        }
+        sb.apply_sack(&[SackBlock::new(500 * 1448, 900 * 1448)]);
+        sb.mark_lost_fack(3, mss);
+        sb.ack_to(SimTime::from_millis(100), 1_000 * 1448);
+        sb.packets_out()
+    });
+}
+
+fn loss_models(h: &Harness) {
+    let spec = LossSpec::bursty(0.04, SimDuration::from_millis(100));
+    h.bench_elems("loss_model/gilbert_elliott_10k", 10_000, || {
+        let mut rng = SimRng::seed(1);
+        let mut m = spec.build(&mut rng);
+        let mut drops = 0u32;
+        for i in 0..10_000u64 {
+            if m.should_drop(SimTime::from_micros(i * 300), &mut rng) {
+                drops += 1;
             }
-            sb.apply_sack(&[SackBlock::new(500 * 1448, 900 * 1448)]);
-            sb.mark_lost_fack(3, mss);
-            sb.ack_to(SimTime::from_millis(100), 1_000 * 1448);
-            sb.packets_out()
-        })
+        }
+        drops
     });
-    g.finish();
 }
 
-fn loss_models(c: &mut Criterion) {
-    let mut g = c.benchmark_group("loss_model");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("gilbert_elliott_10k", |b| {
-        let spec = LossSpec::bursty(0.04, SimDuration::from_millis(100));
-        b.iter(|| {
-            let mut rng = SimRng::seed(1);
-            let mut m = spec.build(&mut rng);
-            let mut drops = 0u32;
-            for i in 0..10_000u64 {
-                if m.should_drop(SimTime::from_micros(i * 300), &mut rng) {
-                    drops += 1;
-                }
-            }
-            drops
-        })
-    });
-    g.finish();
+fn main() {
+    let h = Harness::from_args();
+    flow_simulation(&h);
+    trace_analysis(&h);
+    scoreboard_ops(&h);
+    loss_models(&h);
 }
-
-criterion_group!(
-    micro,
-    flow_simulation,
-    trace_analysis,
-    scoreboard_ops,
-    loss_models
-);
-criterion_main!(micro);

@@ -4,54 +4,42 @@
 //! (the data-dependent experiments) or by running the underlying pipeline
 //! (Fig. 2 and the Table 8/9 mechanism comparison). The point is twofold:
 //! the artifacts are reproduced under `cargo bench`, and regressions in the
-//! analysis pipeline's performance are caught.
+//! analysis pipeline's performance are caught. A final section compares the
+//! serial engine against the parallel one on the same workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
-use bench_suite::quick_dataset;
+use bench_suite::{quick_dataset, Harness};
 use experiments::{
     ablation, fig1, fig11, fig2, fig3, fig6, fig7, mechanism, table1, table3, table4, table5,
-    table6, ComparisonScale, Dataset,
+    table6, ComparisonScale, Dataset, Engine,
 };
 
-fn dataset_benches(c: &mut Criterion) {
+fn dataset_benches(h: &Harness) {
     // Building the dataset is the expensive step shared by most artifacts:
     // benchmark it once, at a reduced scale.
-    let mut g = c.benchmark_group("dataset");
-    g.sample_size(10);
-    g.bench_function("synthesize_and_analyze_quick", |b| {
-        b.iter(|| {
-            let ds = Dataset::build(experiments::Scale {
-                flows_per_service: 10,
-                seed: 1,
-            });
-            std::hint::black_box(ds.services.len())
-        })
+    h.bench("dataset/synthesize_and_analyze_quick", || {
+        let ds = Dataset::build(experiments::Scale {
+            flows_per_service: 10,
+            seed: 1,
+        });
+        ds.services.len()
     });
-    g.finish();
 
     let ds = quick_dataset();
-    let mut g = c.benchmark_group("tables");
-    g.sample_size(20);
-    g.bench_function("table1", |b| b.iter(|| table1::table1(&ds)));
-    g.bench_function("table3", |b| b.iter(|| table3::table3(&ds)));
-    g.bench_function("table4", |b| b.iter(|| table4::table4(&ds)));
-    g.bench_function("table5", |b| b.iter(|| table5::table5(&ds)));
-    g.bench_function("table6", |b| b.iter(|| table6::table6(&ds)));
-    g.bench_function("table7", |b| b.iter(|| table6::table7(&ds)));
-    g.finish();
+    h.bench("tables/table1", || table1::table1(&ds));
+    h.bench("tables/table3", || table3::table3(&ds));
+    h.bench("tables/table4", || table4::table4(&ds));
+    h.bench("tables/table5", || table5::table5(&ds));
+    h.bench("tables/table6", || table6::table6(&ds));
+    h.bench("tables/table7", || table6::table7(&ds));
 
-    let mut g = c.benchmark_group("figures");
-    g.sample_size(20);
-    g.bench_function("fig1a", |b| b.iter(|| fig1::fig1a(&ds)));
-    g.bench_function("fig1b", |b| b.iter(|| fig1::fig1b(&ds)));
-    g.bench_function("fig3", |b| b.iter(|| fig3::fig3(&ds)));
-    g.bench_function("fig6", |b| b.iter(|| fig6::fig6(&ds)));
-    g.bench_function("fig7", |b| b.iter(|| fig7::fig7(&ds)));
-    g.bench_function("fig10", |b| b.iter(|| fig7::fig10(&ds)));
-    g.bench_function("fig11", |b| b.iter(|| fig11::fig11(&ds)));
-    g.bench_function("fig12", |b| b.iter(|| fig11::fig12(&ds)));
-    g.finish();
+    h.bench("figures/fig1a", || fig1::fig1a(&ds));
+    h.bench("figures/fig1b", || fig1::fig1b(&ds));
+    h.bench("figures/fig3", || fig3::fig3(&ds));
+    h.bench("figures/fig6", || fig6::fig6(&ds));
+    h.bench("figures/fig7", || fig7::fig7(&ds));
+    h.bench("figures/fig10", || fig7::fig10(&ds));
+    h.bench("figures/fig11", || fig11::fig11(&ds));
+    h.bench("figures/fig12", || fig11::fig12(&ds));
 
     // Print the regenerated artifacts once so `cargo bench` leaves the
     // paper's numbers in its log.
@@ -60,31 +48,23 @@ fn dataset_benches(c: &mut Criterion) {
     println!("{}", table5::table5(&ds).render());
 }
 
-fn scenario_benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("scenario");
-    g.sample_size(10);
-    g.bench_function("fig2_illustrative_flow", |b| {
-        b.iter(|| fig2::fig2_flow().1.stalls.len())
+fn scenario_benches(h: &Harness) {
+    h.bench("scenario/fig2_illustrative_flow", || {
+        fig2::fig2_flow().1.stalls.len()
     });
-    g.finish();
 }
 
-fn mechanism_benches(c: &mut Criterion) {
+fn mechanism_benches(h: &Harness) {
     let scale = ComparisonScale {
         web_flows: 20,
         cloud_short_flows: 20,
         cloud_flows: 10,
         seed: 360,
     };
-    let mut g = c.benchmark_group("mechanism");
-    g.sample_size(10);
-    g.bench_function("table8_table9_comparison", |b| {
-        b.iter(|| {
-            let cmp = mechanism::run_comparison(scale);
-            std::hint::black_box((mechanism::table8(&cmp), mechanism::table9(&cmp)))
-        })
+    h.bench("mechanism/table8_table9_comparison", || {
+        let cmp = mechanism::run_comparison(scale);
+        (mechanism::table8(&cmp), mechanism::table9(&cmp))
     });
-    g.finish();
 
     let cmp = mechanism::run_comparison(ComparisonScale::quick());
     println!("{}", mechanism::table8(&cmp).render());
@@ -92,21 +72,46 @@ fn mechanism_benches(c: &mut Criterion) {
     println!("{}", mechanism::large_flow_throughput(&cmp).render());
 }
 
-fn ablation_benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation");
-    g.sample_size(10);
-    g.bench_function("burstiness", |b| {
-        b.iter(|| ablation::burstiness_ablation(10, 99))
+fn ablation_benches(h: &Harness) {
+    let engine = Engine::serial();
+    h.bench("ablation/burstiness", || {
+        ablation::burstiness_ablation(10, 99, &engine)
     });
-    g.bench_function("srto_t2", |b| b.iter(|| ablation::srto_t2_ablation(15, 99)));
-    g.finish();
+    h.bench("ablation/srto_t2", || {
+        ablation::srto_t2_ablation(15, 99, &engine)
+    });
 }
 
-criterion_group!(
-    benches,
-    dataset_benches,
-    scenario_benches,
-    mechanism_benches,
-    ablation_benches
-);
-criterion_main!(benches);
+fn engine_benches(h: &Harness) {
+    // The tentpole comparison: the same dataset build, serial vs all cores.
+    // Parallel output is bit-identical; the ratio of these two numbers is
+    // the speedup on this machine.
+    let scale = experiments::Scale {
+        flows_per_service: 40,
+        seed: 2015,
+    };
+    let serial = h.bench("engine/dataset_serial", || {
+        Dataset::build_with(scale, &Engine::serial()).services.len()
+    });
+    let auto = Engine::auto();
+    let parallel = h.bench(
+        &format!("engine/dataset_{}_threads", auto.threads()),
+        || Dataset::build_with(scale, &auto).services.len(),
+    );
+    if let (Some(s), Some(p)) = (serial, parallel) {
+        println!(
+            "engine speedup: {:.2}x on {} threads",
+            s.as_secs_f64() / p.as_secs_f64().max(1e-12),
+            auto.threads()
+        );
+    }
+}
+
+fn main() {
+    let h = Harness::from_args();
+    dataset_benches(&h);
+    scenario_benches(&h);
+    mechanism_benches(&h);
+    ablation_benches(&h);
+    engine_benches(&h);
+}

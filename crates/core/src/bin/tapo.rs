@@ -7,6 +7,7 @@
 //! ```text
 //! tapo <capture.pcap>... [--flows] [--stalls] [--json] [--dump]
 //!                        [--min-stall MS] [--mss BYTES] [--dupthres N]
+//!                        [--threads N]
 //!
 //!   --flows         per-flow summary table, worst stalled first
 //!   --stalls        print every stall (time, duration, cause, context)
@@ -15,13 +16,19 @@
 //!   --min-stall MS  only report stalls at least this long
 //!   --mss BYTES     analyzer MSS assumption        (default 1448)
 //!   --dupthres N    analyzer dupack threshold      (default 3)
+//!   --threads N     analysis worker threads (default: all cores; the
+//!                   output is identical at any thread count)
 //! ```
 
 use std::fs::File;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use tapo::{analyze_flow, AnalyzerConfig, FlowAnalysis, StallBreakdown, StallCause};
+use tapo::json::Json;
+use tapo::{
+    analyze_flow, AnalyzerConfig, FlowAnalysis, RetransClass, Stall, StallBreakdown, StallCause,
+    StallClass,
+};
 use tcp_trace::flow::FlowTrace;
 use tcp_trace::pcap::PcapReader;
 
@@ -32,6 +39,7 @@ struct Options {
     json: bool,
     dump: bool,
     min_stall_ms: u64,
+    threads: usize,
     cfg: AnalyzerConfig,
 }
 
@@ -43,6 +51,7 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         dump: false,
         min_stall_ms: 0,
+        threads: 0,
         cfg: AnalyzerConfig::default(),
     };
     let mut args = std::env::args().skip(1);
@@ -70,10 +79,17 @@ fn parse_args() -> Result<Options, String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--dupthres requires N")?;
             }
+            "--threads" => {
+                opts.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threads requires N")?;
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: tapo <capture.pcap>... [--flows] [--stalls] [--json] \
-                            [--dump] [--min-stall MS] [--mss BYTES] [--dupthres N]"
+                            [--dump] [--min-stall MS] [--mss BYTES] [--dupthres N] \
+                            [--threads N]"
                         .into(),
                 );
             }
@@ -116,7 +132,15 @@ fn main() -> ExitCode {
         }
     }
 
-    let analyses: Vec<FlowAnalysis> = flows.iter().map(|t| analyze_flow(t, opts.cfg)).collect();
+    // Analysis is per-flow independent, so it shards cleanly; results stay
+    // in flow order, so output is identical at any thread count.
+    let threads = if opts.threads == 0 {
+        simnet::par::available_threads()
+    } else {
+        opts.threads
+    };
+    let analyses: Vec<FlowAnalysis> =
+        simnet::par::par_map(flows.len(), threads, |i| analyze_flow(&flows[i], opts.cfg));
 
     if opts.dump {
         for (i, flow) in flows.iter().enumerate() {
@@ -155,40 +179,27 @@ fn print_text(flows: &[FlowTrace], analyses: &[FlowAnalysis], opts: &Options) {
     );
 
     println!("\nstall causes (volume% / time%):");
-    for label in [
-        "data una.",
-        "rsrc cons.",
-        "client idle",
-        "zero wnd",
-        "pkt delay",
-        "retrans.",
-        "undeter.",
-    ] {
-        let share = breakdown.share(label);
+    for class in StallClass::ALL {
+        let share = breakdown.share(class);
         if share.volume_pct > 0.0 {
             println!(
-                "  {label:<12} {:>5.1}% / {:>5.1}%",
-                share.volume_pct, share.time_pct
+                "  {:<12} {:>5.1}% / {:>5.1}%",
+                class.label(),
+                share.volume_pct,
+                share.time_pct
             );
         }
     }
-    let has_retrans = breakdown.by_retrans.values().any(|&(n, _)| n > 0);
-    if has_retrans {
+    if breakdown.any_retrans() {
         println!("\ntimeout-retransmission breakdown (volume% / time% of retrans stalls):");
-        for label in [
-            "Double retr.",
-            "Tail retr.",
-            "Small cwnd",
-            "Small rwnd",
-            "Cont. loss",
-            "ACK delay/loss",
-            "Undeter.",
-        ] {
-            let share = breakdown.retrans_share(label);
+        for class in RetransClass::ALL {
+            let share = breakdown.retrans_share(class);
             if share.volume_pct > 0.0 {
                 println!(
-                    "  {label:<14} {:>5.1}% / {:>5.1}%",
-                    share.volume_pct, share.time_pct
+                    "  {:<14} {:>5.1}% / {:>5.1}%",
+                    class.label(),
+                    share.volume_pct,
+                    share.time_pct
                 );
             }
         }
@@ -243,36 +254,115 @@ fn cause_str(cause: &StallCause) -> String {
     }
 }
 
+fn ip_str(ip: [u8; 4]) -> String {
+    format!("{}.{}.{}.{}", ip[0], ip[1], ip[2], ip[3])
+}
+
+fn stall_json(s: &Stall) -> Json {
+    let retrans_cause = match s.cause {
+        StallCause::Retransmission(rc) => Json::from(rc.label()),
+        _ => Json::Null,
+    };
+    Json::obj([
+        ("start_s", Json::from(s.start.as_secs_f64())),
+        ("end_s", Json::from(s.end.as_secs_f64())),
+        ("duration_s", Json::from(s.duration.as_secs_f64())),
+        ("end_record", Json::from(s.end_record)),
+        ("cause", Json::from(s.cause.label())),
+        ("retrans_cause", retrans_cause),
+        ("rel_position", Json::from(s.rel_position)),
+        (
+            "snapshot",
+            Json::obj([
+                ("ca_state", Json::from(format!("{:?}", s.snapshot.ca_state))),
+                ("packets_out", Json::from(s.snapshot.packets_out)),
+                ("sacked_out", Json::from(s.snapshot.sacked_out)),
+                ("retrans_out", Json::from(s.snapshot.retrans_out)),
+                ("lost_est", Json::from(s.snapshot.lost_est)),
+                ("holes", Json::from(s.snapshot.holes)),
+                ("in_flight", Json::from(s.snapshot.in_flight)),
+                ("rwnd", Json::from(s.snapshot.rwnd)),
+                ("dupacks", Json::from(s.snapshot.dupacks)),
+            ]),
+        ),
+    ])
+}
+
 fn print_json(flows: &[FlowTrace], analyses: &[FlowAnalysis], opts: &Options) {
-    let flows_json: Vec<serde_json::Value> = analyses
+    let flows_json: Vec<Json> = analyses
         .iter()
         .zip(flows)
         .map(|(a, t)| {
-            serde_json::json!({
-                "key": t.key,
-                "packets": t.records.len(),
-                "bytes": a.metrics.goodput_bytes,
-                "duration_s": a.metrics.duration.as_secs_f64(),
-                "stall_ratio": a.stall_ratio(),
-                "mean_rtt_s": a.metrics.mean_rtt.map(|d| d.as_secs_f64()),
-                "mean_rto_s": a.metrics.mean_rto.map(|d| d.as_secs_f64()),
-                "retrans_pkts": a.metrics.retrans_pkts,
-                "init_rwnd": a.init_rwnd,
-                "stalls": a
-                    .stalls
-                    .iter()
-                    .filter(|s| s.duration.as_millis() >= opts.min_stall_ms)
-                    .collect::<Vec<_>>(),
-            })
+            Json::obj([
+                (
+                    "key",
+                    match t.key {
+                        Some(key) => Json::obj([
+                            ("server", Json::from(ip_str(key.server_ip))),
+                            ("server_port", Json::from(u64::from(key.server_port))),
+                            ("client", Json::from(ip_str(key.client_ip))),
+                            ("client_port", Json::from(u64::from(key.client_port))),
+                        ]),
+                        None => Json::Null,
+                    },
+                ),
+                ("packets", Json::from(t.records.len())),
+                ("bytes", Json::from(a.metrics.goodput_bytes)),
+                ("duration_s", Json::from(a.metrics.duration.as_secs_f64())),
+                ("stall_ratio", Json::from(a.stall_ratio())),
+                (
+                    "mean_rtt_s",
+                    Json::from(a.metrics.mean_rtt.map(|d| d.as_secs_f64())),
+                ),
+                (
+                    "mean_rto_s",
+                    Json::from(a.metrics.mean_rto.map(|d| d.as_secs_f64())),
+                ),
+                ("retrans_pkts", Json::from(a.metrics.retrans_pkts)),
+                ("init_rwnd", Json::from(a.init_rwnd)),
+                (
+                    "stalls",
+                    Json::Arr(
+                        a.stalls
+                            .iter()
+                            .filter(|s| s.duration.as_millis() >= opts.min_stall_ms)
+                            .map(stall_json)
+                            .collect(),
+                    ),
+                ),
+            ])
         })
         .collect();
-    let doc = serde_json::json!({
-        "tool": "tapo",
-        "config": opts.cfg,
-        "flows": flows_json,
-    });
-    println!(
-        "{}",
-        serde_json::to_string_pretty(&doc).expect("serializable")
-    );
+    let doc = Json::obj([
+        ("tool", Json::from("tapo")),
+        (
+            "config",
+            Json::obj([
+                ("mss", Json::from(opts.cfg.replay.mss)),
+                ("dupthres", Json::from(opts.cfg.replay.dupthres)),
+                (
+                    "min_rto_s",
+                    Json::from(opts.cfg.replay.min_rto.as_secs_f64()),
+                ),
+                (
+                    "max_rto_s",
+                    Json::from(opts.cfg.replay.max_rto.as_secs_f64()),
+                ),
+                (
+                    "initial_rto_s",
+                    Json::from(opts.cfg.replay.initial_rto.as_secs_f64()),
+                ),
+                (
+                    "small_in_flight",
+                    Json::from(opts.cfg.classify.small_in_flight),
+                ),
+                (
+                    "continuous_loss_min",
+                    Json::from(opts.cfg.classify.continuous_loss_min),
+                ),
+            ]),
+        ),
+        ("flows", Json::Arr(flows_json)),
+    ]);
+    println!("{}", doc.pretty());
 }

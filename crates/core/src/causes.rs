@@ -1,7 +1,7 @@
 //! The stall-cause taxonomy of the paper (Fig. 5 and Tables 3 & 5).
 
 /// Root cause of one TCP stall, as inferred by the decision tree.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StallCause {
     /// Server-side: the stall spans the head of a response — the front-end
     /// had no data to send (back-end fetch).
@@ -23,7 +23,7 @@ pub enum StallCause {
 }
 
 /// Breakdown of timeout-retransmission stalls (Table 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RetransCause {
     /// The retransmitted packet itself was dropped or delayed: a second
     /// (or later) retransmission of the same segment ended the stall.
@@ -65,22 +65,14 @@ impl StallCause {
         }
     }
 
-    /// Row label matching the paper's tables.
+    /// Row label matching the paper's tables (delegates to the class).
     pub fn label(&self) -> &'static str {
-        match self {
-            StallCause::DataUnavailable => "data una.",
-            StallCause::ResourceConstraint => "rsrc cons.",
-            StallCause::ClientIdle => "client idle",
-            StallCause::ZeroWindow => "zero wnd",
-            StallCause::PacketDelay => "pkt delay",
-            StallCause::Retransmission(_) => "retrans.",
-            StallCause::Undetermined => "undeter.",
-        }
+        self.class().label()
     }
 }
 
 /// Top-level grouping used by Table 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StallCategory {
     /// Server-side causes.
     Server,
@@ -92,18 +84,168 @@ pub enum StallCategory {
     Undetermined,
 }
 
-impl RetransCause {
-    /// Row label matching Table 5.
+impl StallCategory {
+    /// Column label used by Table 3 ("server", "client", "net.", "").
     pub fn label(&self) -> &'static str {
         match self {
-            RetransCause::DoubleRetrans { .. } => "Double retr.",
-            RetransCause::TailRetrans { .. } => "Tail retr.",
-            RetransCause::SmallCwnd => "Small cwnd",
-            RetransCause::SmallRwnd => "Small rwnd",
-            RetransCause::ContinuousLoss => "Cont. loss",
-            RetransCause::AckDelayLoss => "ACK delay/loss",
-            RetransCause::Undetermined => "Undeter.",
+            StallCategory::Server => "server",
+            StallCategory::Client => "client",
+            StallCategory::Network => "net.",
+            StallCategory::Undetermined => "",
         }
+    }
+}
+
+/// Payload-free aggregation key for top-level stall causes: one variant per
+/// row of Table 3. [`StallCause`] carries per-stall detail (which
+/// retransmission subcause, which DoubleRetrans flavor); `StallClass` is what
+/// breakdowns are keyed by, so callers iterate [`StallClass::ALL`] instead of
+/// hard-coding label lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallClass {
+    /// No data at the head of a response (server).
+    DataUnavailable,
+    /// Server supplied no data mid-transfer (server).
+    ResourceConstraint,
+    /// Client issued no request (client).
+    ClientIdle,
+    /// Zero advertised receive window (client).
+    ZeroWindow,
+    /// Packets or ACKs delayed without retransmission (network).
+    PacketDelay,
+    /// Ended by a timeout retransmission (network).
+    Retransmission,
+    /// No rule matched.
+    Undetermined,
+}
+
+impl StallClass {
+    /// Every class, in the paper's table order.
+    pub const ALL: [StallClass; 7] = [
+        StallClass::DataUnavailable,
+        StallClass::ResourceConstraint,
+        StallClass::ClientIdle,
+        StallClass::ZeroWindow,
+        StallClass::PacketDelay,
+        StallClass::Retransmission,
+        StallClass::Undetermined,
+    ];
+
+    /// Row label matching the paper's tables (rendering only).
+    pub fn label(&self) -> &'static str {
+        match self {
+            StallClass::DataUnavailable => "data una.",
+            StallClass::ResourceConstraint => "rsrc cons.",
+            StallClass::ClientIdle => "client idle",
+            StallClass::ZeroWindow => "zero wnd",
+            StallClass::PacketDelay => "pkt delay",
+            StallClass::Retransmission => "retrans.",
+            StallClass::Undetermined => "undeter.",
+        }
+    }
+
+    /// The paper's three top-level categories: server, client, network.
+    pub fn category(&self) -> StallCategory {
+        match self {
+            StallClass::DataUnavailable | StallClass::ResourceConstraint => StallCategory::Server,
+            StallClass::ClientIdle | StallClass::ZeroWindow => StallCategory::Client,
+            StallClass::PacketDelay | StallClass::Retransmission => StallCategory::Network,
+            StallClass::Undetermined => StallCategory::Undetermined,
+        }
+    }
+
+    /// Dense index for array-backed aggregation (`0..7`, table order).
+    pub fn index(&self) -> usize {
+        Self::ALL.iter().position(|c| c == self).expect("in ALL")
+    }
+}
+
+/// Payload-free aggregation key for retransmission subcauses: one variant per
+/// row of Table 5. The per-stall flags (`first_was_fast`, `open_state`) live
+/// on [`RetransCause`]; this type is the aggregation key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RetransClass {
+    /// The retransmission itself was retransmitted.
+    DoubleRetrans,
+    /// Loss at the tail of a response.
+    TailRetrans,
+    /// Small in-flight due to the congestion window.
+    SmallCwnd,
+    /// Small in-flight due to the receive window.
+    SmallRwnd,
+    /// Whole window lost.
+    ContinuousLoss,
+    /// Spurious retransmission; ACKs delayed or lost.
+    AckDelayLoss,
+    /// No rule matched.
+    Undetermined,
+}
+
+impl RetransClass {
+    /// Every subclass, in the paper's priority order.
+    pub const ALL: [RetransClass; 7] = [
+        RetransClass::DoubleRetrans,
+        RetransClass::TailRetrans,
+        RetransClass::SmallCwnd,
+        RetransClass::SmallRwnd,
+        RetransClass::ContinuousLoss,
+        RetransClass::AckDelayLoss,
+        RetransClass::Undetermined,
+    ];
+
+    /// Row label matching Table 5 (rendering only).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RetransClass::DoubleRetrans => "Double retr.",
+            RetransClass::TailRetrans => "Tail retr.",
+            RetransClass::SmallCwnd => "Small cwnd",
+            RetransClass::SmallRwnd => "Small rwnd",
+            RetransClass::ContinuousLoss => "Cont. loss",
+            RetransClass::AckDelayLoss => "ACK delay/loss",
+            RetransClass::Undetermined => "Undeter.",
+        }
+    }
+
+    /// Dense index for array-backed aggregation (`0..7`, table order).
+    pub fn index(&self) -> usize {
+        Self::ALL.iter().position(|c| c == self).expect("in ALL")
+    }
+}
+
+impl StallCause {
+    /// The aggregation class this cause falls under.
+    pub fn class(&self) -> StallClass {
+        match self {
+            StallCause::DataUnavailable => StallClass::DataUnavailable,
+            StallCause::ResourceConstraint => StallClass::ResourceConstraint,
+            StallCause::ClientIdle => StallClass::ClientIdle,
+            StallCause::ZeroWindow => StallClass::ZeroWindow,
+            StallCause::PacketDelay => StallClass::PacketDelay,
+            StallCause::Retransmission(_) => StallClass::Retransmission,
+            StallCause::Undetermined => StallClass::Undetermined,
+        }
+    }
+}
+
+impl RetransCause {
+    /// The aggregation class this subcause falls under.
+    pub fn class(&self) -> RetransClass {
+        match self {
+            RetransCause::DoubleRetrans { .. } => RetransClass::DoubleRetrans,
+            RetransCause::TailRetrans { .. } => RetransClass::TailRetrans,
+            RetransCause::SmallCwnd => RetransClass::SmallCwnd,
+            RetransCause::SmallRwnd => RetransClass::SmallRwnd,
+            RetransCause::ContinuousLoss => RetransClass::ContinuousLoss,
+            RetransCause::AckDelayLoss => RetransClass::AckDelayLoss,
+            RetransCause::Undetermined => RetransClass::Undetermined,
+        }
+    }
+}
+
+impl RetransCause {
+    /// Row label matching Table 5 (delegates to the class).
+    pub fn label(&self) -> &'static str {
+        self.class().label()
     }
 }
 

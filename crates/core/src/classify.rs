@@ -31,7 +31,7 @@ use crate::causes::{RetransCause, StallCause};
 use crate::replay::{EstCaState, Replay, Snapshot};
 
 /// Classifier thresholds.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClassifyConfig {
     /// "Small in-flight" bound: below this many packets fast retransmit is
     /// considered infeasible (4 in the paper).
@@ -50,7 +50,7 @@ impl Default for ClassifyConfig {
 }
 
 /// One detected and classified stall.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Stall {
     /// Last packet before the gap.
     pub start: SimTime,

@@ -33,15 +33,16 @@
 
 pub mod causes;
 pub mod classify;
+pub mod json;
 pub mod replay;
 pub mod report;
 pub mod stream;
 pub mod summary;
 
-pub use causes::{RetransCause, StallCategory, StallCause};
+pub use causes::{RetransCause, RetransClass, StallCategory, StallCause, StallClass};
 pub use classify::{ClassifyConfig, Stall};
 pub use replay::{EstCaState, Replay, ReplayConfig, RetransKind, Snapshot};
-pub use report::{Cdf, Share, StallBreakdown};
+pub use report::{CauseStats, Cdf, Share, StallBreakdown};
 pub use stream::StreamAnalyzer;
 pub use summary::FlowSummary;
 
@@ -49,7 +50,7 @@ use simnet::time::SimDuration;
 use tcp_trace::flow::FlowTrace;
 
 /// Analyzer configuration: replay assumptions plus classifier thresholds.
-#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct AnalyzerConfig {
     /// Trace-replay parameters (MSS, dupthres, RTO bounds).
     pub replay: ReplayConfig,
@@ -58,7 +59,7 @@ pub struct AnalyzerConfig {
 }
 
 /// Flow-level metrics feeding Table 1 and Figures 1 & 3.
-#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct FlowMetrics {
     /// Trace span (first to last packet).
     pub duration: SimDuration,
@@ -81,7 +82,7 @@ pub struct FlowMetrics {
 }
 
 /// The result of analyzing one flow.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FlowAnalysis {
     /// Detected and classified stalls, in time order.
     pub stalls: Vec<Stall>,
@@ -107,6 +108,56 @@ impl FlowAnalysis {
             0.0
         } else {
             (self.metrics.stalled_time.as_secs_f64() / d).min(1.0)
+        }
+    }
+
+    /// Assemble the analysis from classified stalls and a finished replay —
+    /// the single finalization path shared by the offline [`analyze_flow`]
+    /// and the streaming [`StreamAnalyzer::finish`], so offline and
+    /// streaming metrics cannot drift.
+    pub(crate) fn finalize(
+        stalls: Vec<Stall>,
+        duration: SimDuration,
+        wire_bytes_out: u64,
+        data_pkts_out: u64,
+        replay: &mut Replay,
+    ) -> FlowAnalysis {
+        let stalled_time = stalls
+            .iter()
+            .fold(SimDuration::ZERO, |acc, s| acc + s.duration);
+        let goodput = replay.snd_nxt();
+        let mean = |v: &[SimDuration]| {
+            if v.is_empty() {
+                None
+            } else {
+                Some(SimDuration::from_micros(
+                    v.iter().map(|d| d.as_micros()).sum::<u64>() / v.len() as u64,
+                ))
+            }
+        };
+        let metrics = FlowMetrics {
+            duration,
+            stalled_time,
+            goodput_bytes: goodput,
+            wire_bytes_out,
+            data_pkts_out,
+            retrans_pkts: replay.retrans_events.len() as u64,
+            mean_rtt: mean(&replay.rtt_samples),
+            mean_rto: mean(&replay.rto_samples),
+            avg_speed_bps: if duration.is_zero() {
+                0.0
+            } else {
+                goodput as f64 / duration.as_secs_f64()
+            },
+        };
+        FlowAnalysis {
+            stalls,
+            metrics,
+            rtt_samples: std::mem::take(&mut replay.rtt_samples),
+            rto_samples: std::mem::take(&mut replay.rto_samples),
+            in_flight_on_ack: std::mem::take(&mut replay.in_flight_on_ack),
+            init_rwnd: replay.init_rwnd,
+            zero_rwnd_seen: replay.zero_rwnd_seen,
         }
     }
 }
@@ -140,48 +191,14 @@ pub fn analyze_flow(trace: &FlowTrace, cfg: AnalyzerConfig) -> FlowAnalysis {
         .map(|c| classify::classify(c, &trace.records[c.end_record], &replay, &cfg.classify))
         .collect();
 
-    let stalled_time = stalls
-        .iter()
-        .fold(SimDuration::ZERO, |acc, s| acc + s.duration);
-    let duration = trace.duration();
-    let goodput = replay.snd_nxt();
     let (wire_out, _) = trace.wire_bytes();
-    let data_pkts_out = trace.out_data().count() as u64;
-    let retrans_pkts = replay.retrans_events.len() as u64;
-    let mean = |v: &[SimDuration]| {
-        if v.is_empty() {
-            None
-        } else {
-            Some(SimDuration::from_micros(
-                v.iter().map(|d| d.as_micros()).sum::<u64>() / v.len() as u64,
-            ))
-        }
-    };
-    let metrics = FlowMetrics {
-        duration,
-        stalled_time,
-        goodput_bytes: goodput,
-        wire_bytes_out: wire_out,
-        data_pkts_out,
-        retrans_pkts,
-        mean_rtt: mean(&replay.rtt_samples),
-        mean_rto: mean(&replay.rto_samples),
-        avg_speed_bps: if duration.is_zero() {
-            0.0
-        } else {
-            goodput as f64 / duration.as_secs_f64()
-        },
-    };
-
-    FlowAnalysis {
+    FlowAnalysis::finalize(
         stalls,
-        metrics,
-        rtt_samples: std::mem::take(&mut replay.rtt_samples),
-        rto_samples: std::mem::take(&mut replay.rto_samples),
-        in_flight_on_ack: std::mem::take(&mut replay.in_flight_on_ack),
-        init_rwnd: replay.init_rwnd,
-        zero_rwnd_seen: replay.zero_rwnd_seen,
-    }
+        trace.duration(),
+        wire_out,
+        trace.out_data().count() as u64,
+        &mut replay,
+    )
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@ use simnet::time::{SimDuration, SimTime};
 use tcp_trace::record::{Direction, TraceRecord};
 
 /// Estimated congestion state (mirrors the kernel's four states).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EstCaState {
     /// No dubious events outstanding.
     Open,
@@ -28,7 +28,7 @@ pub enum EstCaState {
 }
 
 /// Replay configuration (the analyzer's own, independent of the sender's).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReplayConfig {
     /// Assumed MSS (for packet-count arithmetic on byte offsets).
     pub mss: u32,
@@ -92,7 +92,7 @@ impl MiniRtt {
 }
 
 /// How a retransmission was (estimated to be) triggered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RetransKind {
     /// Enough dupacks were outstanding: fast retransmit.
     Fast,
@@ -118,7 +118,7 @@ pub struct SegHist {
 }
 
 /// One observed retransmission event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetransEvent {
     /// Record index in the trace.
     pub idx: usize,
@@ -141,7 +141,7 @@ struct OutSeg {
 
 /// A point-in-time view of the reconstructed sender state, captured just
 /// before a stall-ending packet is processed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Snapshot {
     /// Estimated congestion state.
     pub ca_state: EstCaState,
@@ -164,7 +164,7 @@ pub struct Snapshot {
 }
 
 /// A response interval within the flow (one request/response exchange).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResponseBound {
     /// When the request (inbound data) arrived at the server.
     pub request_at: SimTime,

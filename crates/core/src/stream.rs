@@ -18,7 +18,7 @@ use tcp_trace::record::{Direction, TraceRecord};
 
 use crate::classify::{self, Candidate, Stall};
 use crate::replay::Replay;
-use crate::{AnalyzerConfig, FlowAnalysis, FlowMetrics};
+use crate::{AnalyzerConfig, FlowAnalysis};
 
 /// Incremental TAPO: push records, get stalls as they end, finish for the
 /// full analysis.
@@ -95,47 +95,17 @@ impl StreamAnalyzer {
             .iter()
             .map(|(cand, rec)| classify::classify(cand, rec, &self.replay, &self.cfg.classify))
             .collect();
-        let stalled_time = stalls
-            .iter()
-            .fold(SimDuration::ZERO, |acc, s| acc + s.duration);
         let duration = match (self.first_t, self.last_t) {
             (Some(a), Some(b)) => b.saturating_since(a),
             _ => SimDuration::ZERO,
         };
-        let goodput = self.replay.snd_nxt();
-        let mean = |v: &[SimDuration]| {
-            if v.is_empty() {
-                None
-            } else {
-                Some(SimDuration::from_micros(
-                    v.iter().map(|d| d.as_micros()).sum::<u64>() / v.len() as u64,
-                ))
-            }
-        };
-        let metrics = FlowMetrics {
-            duration,
-            stalled_time,
-            goodput_bytes: goodput,
-            wire_bytes_out: self.wire_bytes_out,
-            data_pkts_out: self.data_pkts_out,
-            retrans_pkts: self.replay.retrans_events.len() as u64,
-            mean_rtt: mean(&self.replay.rtt_samples),
-            mean_rto: mean(&self.replay.rto_samples),
-            avg_speed_bps: if duration.is_zero() {
-                0.0
-            } else {
-                goodput as f64 / duration.as_secs_f64()
-            },
-        };
-        FlowAnalysis {
+        FlowAnalysis::finalize(
             stalls,
-            metrics,
-            rtt_samples: std::mem::take(&mut self.replay.rtt_samples),
-            rto_samples: std::mem::take(&mut self.replay.rto_samples),
-            in_flight_on_ack: std::mem::take(&mut self.replay.in_flight_on_ack),
-            init_rwnd: self.replay.init_rwnd,
-            zero_rwnd_seen: self.replay.zero_rwnd_seen,
-        }
+            duration,
+            self.wire_bytes_out,
+            self.data_pkts_out,
+            &mut self.replay,
+        )
     }
 }
 

@@ -10,7 +10,7 @@ use crate::causes::StallCause;
 use crate::FlowAnalysis;
 
 /// One flow's summary row.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowSummary {
     /// Index of the flow in the analyzed set.
     pub index: usize,
@@ -101,7 +101,7 @@ pub fn rank_by_stalled(analyses: &[FlowAnalysis]) -> Vec<FlowSummary> {
         .enumerate()
         .map(|(i, a)| FlowSummary::from_analysis(i, a))
         .collect();
-    rows.sort_by(|a, b| b.stalled.cmp(&a.stalled));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.stalled));
     rows
 }
 

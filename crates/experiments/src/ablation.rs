@@ -6,18 +6,24 @@
 //!   Bernoulli, and its effect on the double/continuous-loss stall mix.
 
 use simnet::time::SimDuration;
-use tapo::{analyze_flow, AnalyzerConfig, StallBreakdown};
+use tapo::{analyze_flow, AnalyzerConfig, RetransClass, StallBreakdown, StallClass};
 use tcp_sim::recovery::{RecoveryMechanism, SrtoConfig};
-use workloads::{run_population, sample_population, Service};
+use workloads::{Corpus, Service};
 
+use crate::engine::Engine;
 use crate::output::{pct_cell, Table};
 use tapo::Cdf;
 
+/// TAPO-analyze a corpus on the engine and fold into one breakdown.
+fn breakdown_of(engine: &Engine, corpus: &Corpus) -> StallBreakdown {
+    Engine::breakdown(&engine.analyze_corpus(corpus, AnalyzerConfig::default()))
+}
+
 /// Sweep S-RTO's probe-timer multiple and `T1` on a web-search population;
 /// report p90 latency change vs native and the retransmission ratio.
-pub fn srto_sweep(flows: usize, seed: u64) -> Table {
-    let pop = sample_population(Service::WebSearch, flows, seed);
-    let native = run_population(Service::WebSearch, &pop, RecoveryMechanism::Native, seed);
+pub fn srto_sweep(flows: usize, seed: u64, engine: &Engine) -> Table {
+    let pop = engine.sample_population(Service::WebSearch, flows, seed);
+    let native = engine.run_population(Service::WebSearch, &pop, RecoveryMechanism::Native, seed);
     let base_p90 = latency_cdf(&native).quantile(0.9);
 
     let mut rows = Vec::new();
@@ -28,7 +34,8 @@ pub fn srto_sweep(flows: usize, seed: u64) -> Table {
                 t2_cwnd: 5,
                 probe_rtt_mult: mult,
             };
-            let run = run_population(Service::WebSearch, &pop, RecoveryMechanism::Srto(cfg), seed);
+            let run =
+                engine.run_population(Service::WebSearch, &pop, RecoveryMechanism::Srto(cfg), seed);
             let p90 = latency_cdf(&run).quantile(0.9);
             let change = match (p90, base_p90) {
                 (Some(n), Some(b)) if b > 0.0 => format!("{}%", pct_cell(100.0 * (n - b) / b)),
@@ -57,9 +64,9 @@ pub fn srto_sweep(flows: usize, seed: u64) -> Table {
 
 /// Ablate the `T2` conditional-halving guard: never halve / conditional
 /// (paper) / always halve.
-pub fn srto_t2_ablation(flows: usize, seed: u64) -> Table {
-    let pop = sample_population(Service::WebSearch, flows, seed);
-    let native = run_population(Service::WebSearch, &pop, RecoveryMechanism::Native, seed);
+pub fn srto_t2_ablation(flows: usize, seed: u64, engine: &Engine) -> Table {
+    let pop = engine.sample_population(Service::WebSearch, flows, seed);
+    let native = engine.run_population(Service::WebSearch, &pop, RecoveryMechanism::Native, seed);
     let base = latency_cdf(&native);
     let mut rows = Vec::new();
     for (name, t2) in [
@@ -72,7 +79,8 @@ pub fn srto_t2_ablation(flows: usize, seed: u64) -> Table {
             t2_cwnd: t2,
             probe_rtt_mult: 2.0,
         };
-        let run = run_population(Service::WebSearch, &pop, RecoveryMechanism::Srto(cfg), seed);
+        let run =
+            engine.run_population(Service::WebSearch, &pop, RecoveryMechanism::Srto(cfg), seed);
         let cdf = latency_cdf(&run);
         let cell = |q: f64| match (cdf.quantile(q), base.quantile(q)) {
             (Some(n), Some(b)) if b > 0.0 => format!("{}%", pct_cell(100.0 * (n - b) / b)),
@@ -100,9 +108,9 @@ pub fn srto_t2_ablation(flows: usize, seed: u64) -> Table {
 
 /// Bursty vs memoryless loss at equal mean rate: the retransmission-stall
 /// mix shifts away from double/continuous losses under Bernoulli.
-pub fn burstiness_ablation(flows: usize, seed: u64) -> Table {
-    let mut pop = sample_population(Service::SoftwareDownload, flows, seed);
-    let bursty = run_population(
+pub fn burstiness_ablation(flows: usize, seed: u64, engine: &Engine) -> Table {
+    let mut pop = engine.sample_population(Service::SoftwareDownload, flows, seed);
+    let bursty = engine.run_population(
         Service::SoftwareDownload,
         &pop,
         RecoveryMechanism::Native,
@@ -114,28 +122,21 @@ pub fn burstiness_ablation(flows: usize, seed: u64) -> Table {
         path.loss = simnet::loss::LossSpec::bernoulli(mean);
         path.ack_loss = Some(simnet::loss::LossSpec::bernoulli(mean / 3.0));
     }
-    let memless = run_population(
+    let memless = engine.run_population(
         Service::SoftwareDownload,
         &pop,
         RecoveryMechanism::Native,
         seed,
     );
 
-    let breakdown = |corpus: &workloads::Corpus| {
-        let mut b = StallBreakdown::default();
-        for f in &corpus.flows {
-            b.add_flow(&analyze_flow(&f.trace, AnalyzerConfig::default()));
-        }
-        b
-    };
-    let bb = breakdown(&bursty);
-    let mb = breakdown(&memless);
+    let bb = breakdown_of(engine, &bursty);
+    let mb = breakdown_of(engine, &memless);
     let row = |name: &str, b: &StallBreakdown| {
         vec![
             name.to_string(),
-            pct_cell(b.retrans_share("Double retr.").time_pct),
-            pct_cell(b.retrans_share("Cont. loss").time_pct),
-            pct_cell(b.retrans_share("Tail retr.").time_pct),
+            pct_cell(b.retrans_share(RetransClass::DoubleRetrans).time_pct),
+            pct_cell(b.retrans_share(RetransClass::ContinuousLoss).time_pct),
+            pct_cell(b.retrans_share(RetransClass::TailRetrans).time_pct),
             format!("{}", b.total_stalls),
         ]
     };
@@ -156,37 +157,30 @@ pub fn burstiness_ablation(flows: usize, seed: u64) -> Table {
 /// Pacing ablation (the paper's §4.3 suggestion for continuous-loss
 /// stalls, citing Wei et al.): the same software-download population with
 /// and without sender pacing.
-pub fn pacing_ablation(flows: usize, seed: u64) -> Table {
-    let pop = sample_population(Service::SoftwareDownload, flows, seed);
+pub fn pacing_ablation(flows: usize, seed: u64, engine: &Engine) -> Table {
+    let pop = engine.sample_population(Service::SoftwareDownload, flows, seed);
     let mut paced_pop = pop.clone();
     for (spec, _) in paced_pop.iter_mut() {
         spec.pacing = true;
     }
-    let plain = run_population(
+    let plain = engine.run_population(
         Service::SoftwareDownload,
         &pop,
         RecoveryMechanism::Native,
         seed,
     );
-    let paced = run_population(
+    let paced = engine.run_population(
         Service::SoftwareDownload,
         &paced_pop,
         RecoveryMechanism::Native,
         seed,
     );
-    let breakdown = |corpus: &workloads::Corpus| {
-        let mut b = StallBreakdown::default();
-        for f in &corpus.flows {
-            b.add_flow(&analyze_flow(&f.trace, AnalyzerConfig::default()));
-        }
-        b
-    };
-    let (b0, b1) = (breakdown(&plain), breakdown(&paced));
-    let row = |name: &str, b: &StallBreakdown, c: &workloads::Corpus| {
+    let (b0, b1) = (breakdown_of(engine, &plain), breakdown_of(engine, &paced));
+    let row = |name: &str, b: &StallBreakdown, c: &Corpus| {
         vec![
             name.to_string(),
-            pct_cell(b.retrans_share("Cont. loss").time_pct),
-            pct_cell(b.retrans_share("Double retr.").time_pct),
+            pct_cell(b.retrans_share(RetransClass::ContinuousLoss).time_pct),
+            pct_cell(b.retrans_share(RetransClass::DoubleRetrans).time_pct),
             format!("{}", b.total_stalls),
             format!("{}%", pct_cell(100.0 * c.retrans_ratio())),
         ]
@@ -210,34 +204,30 @@ pub fn pacing_ablation(flows: usize, seed: u64) -> Table {
 
 /// Early-retransmit ablation (RFC 5827, §4.3's suggestion for small-cwnd
 /// stalls): cloud-storage population with and without ER.
-pub fn early_retransmit_ablation(flows: usize, seed: u64) -> Table {
-    let pop = sample_population(Service::CloudStorage, flows, seed);
+pub fn early_retransmit_ablation(flows: usize, seed: u64, engine: &Engine) -> Table {
+    let pop = engine.sample_population(Service::CloudStorage, flows, seed);
     let mut er_pop = pop.clone();
     for (spec, _) in er_pop.iter_mut() {
         spec.early_retransmit = true;
     }
-    let plain = run_population(Service::CloudStorage, &pop, RecoveryMechanism::Native, seed);
-    let er = run_population(
+    let plain = engine.run_population(Service::CloudStorage, &pop, RecoveryMechanism::Native, seed);
+    let er = engine.run_population(
         Service::CloudStorage,
         &er_pop,
         RecoveryMechanism::Native,
         seed,
     );
-    let breakdown = |corpus: &workloads::Corpus| {
-        let mut b = StallBreakdown::default();
-        let mut rtos = 0u64;
-        for f in &corpus.flows {
-            b.add_flow(&analyze_flow(&f.trace, AnalyzerConfig::default()));
-            rtos += f.server_stats.rto_count;
-        }
+    let breakdown = |corpus: &Corpus| {
+        let b = breakdown_of(engine, corpus);
+        let rtos = corpus.flows.iter().map(|f| f.server_stats.rto_count).sum();
         (b, rtos)
     };
     let ((b0, r0), (b1, r1)) = (breakdown(&plain), breakdown(&er));
     let row = |name: &str, b: &StallBreakdown, rtos: u64| {
         vec![
             name.to_string(),
-            pct_cell(b.retrans_share("Small cwnd").time_pct),
-            pct_cell(b.retrans_share("Tail retr.").time_pct),
+            pct_cell(b.retrans_share(RetransClass::SmallCwnd).time_pct),
+            pct_cell(b.retrans_share(RetransClass::TailRetrans).time_pct),
             format!("{rtos}"),
             format!("{}", b.total_stalls),
         ]
@@ -261,17 +251,17 @@ pub fn early_retransmit_ablation(flows: usize, seed: u64) -> Table {
 
 /// TAPO accuracy check (extra): compare TAPO's trace-only estimates with
 /// the simulator's ground truth for timeout and total retransmissions.
-pub fn tapo_accuracy(flows: usize, seed: u64) -> Table {
-    let pop = sample_population(Service::SoftwareDownload, flows, seed);
-    let corpus = run_population(
+pub fn tapo_accuracy(flows: usize, seed: u64, engine: &Engine) -> Table {
+    let pop = engine.sample_population(Service::SoftwareDownload, flows, seed);
+    let corpus = engine.run_population(
         Service::SoftwareDownload,
         &pop,
         RecoveryMechanism::Native,
         seed,
     );
+    let analyses = engine.analyze_corpus(&corpus, AnalyzerConfig::default());
     let (mut est_retr, mut true_retr, mut est_rto, mut true_rto) = (0u64, 0u64, 0u64, 0u64);
-    for f in &corpus.flows {
-        let a = analyze_flow(&f.trace, AnalyzerConfig::default());
+    for (f, a) in corpus.flows.iter().zip(&analyses) {
         est_retr += a.metrics.retrans_pkts;
         true_retr += f.server_stats.retrans_segs;
         est_rto += a.rto_samples.len() as u64;
@@ -310,7 +300,7 @@ pub fn tapo_accuracy(flows: usize, seed: u64) -> Table {
     )
 }
 
-fn latency_cdf(corpus: &workloads::Corpus) -> Cdf {
+fn latency_cdf(corpus: &Corpus) -> Cdf {
     Cdf::from_samples(
         corpus
             .flows
@@ -332,7 +322,7 @@ fn latency_cdf(corpus: &workloads::Corpus) -> Cdf {
 /// loss and double retransmissions emerge from drop-tail overflow alone —
 /// no statistical loss model at all — and grow with the degree of
 /// synchronization.
-pub fn crosstraffic_experiment(seed: u64) -> Table {
+pub fn crosstraffic_experiment(seed: u64, engine: &Engine) -> Table {
     use simnet::time::SimTime;
     use tcp_sim::multi::{MultiFlowEntry, MultiFlowSim, MultiFlowSimConfig};
     let mss = 1448u64;
@@ -349,13 +339,14 @@ pub fn crosstraffic_experiment(seed: u64) -> Table {
             ..MultiFlowSimConfig::default()
         };
         let outcomes = MultiFlowSim::new(cfg, seed).run();
-        let mut b = StallBreakdown::default();
+        let analyses = engine.map(outcomes.len(), |i| {
+            analyze_flow(&outcomes[i].trace, AnalyzerConfig::default())
+        });
+        let b = Engine::breakdown(&analyses);
         let mut retrans = 0u64;
         let mut sent = 0u64;
         let mut worst = 0.0f64;
         for o in &outcomes {
-            let a = analyze_flow(&o.trace, AnalyzerConfig::default());
-            b.add_flow(&a);
             retrans += o.server_stats.retrans_segs;
             sent += o.server_stats.data_segs_sent + o.server_stats.retrans_segs;
             if let Some(l) = o.latency {
@@ -366,8 +357,8 @@ pub fn crosstraffic_experiment(seed: u64) -> Table {
             format!("{n}"),
             format!("{}%", pct_cell(100.0 * retrans as f64 / sent.max(1) as f64)),
             format!("{}", b.total_stalls),
-            pct_cell(b.retrans_share("Cont. loss").volume_pct),
-            pct_cell(b.retrans_share("Double retr.").volume_pct),
+            pct_cell(b.retrans_share(RetransClass::ContinuousLoss).volume_pct),
+            pct_cell(b.retrans_share(RetransClass::DoubleRetrans).volume_pct),
             format!("{worst:.2}s"),
         ]);
     }
@@ -390,34 +381,32 @@ pub fn crosstraffic_experiment(seed: u64) -> Table {
 /// paper's closing observation that only network-side stalls are TCP's to
 /// fix. Included as a sanity table for the docs.
 pub fn actionability() -> Table {
-    let rows = vec![
-        vec![
-            "data una.".into(),
-            "server".into(),
-            "no (cache/backend)".into(),
-        ],
-        vec![
-            "rsrc cons.".into(),
-            "server".into(),
-            "no (provisioning)".into(),
-        ],
-        vec![
-            "client idle".into(),
-            "client".into(),
-            "no (user behaviour)".into(),
-        ],
-        vec![
-            "zero wnd".into(),
-            "client".into(),
-            "no (client software)".into(),
-        ],
-        vec!["pkt delay".into(), "network".into(), "partially".into()],
-        vec![
-            "retrans.".into(),
-            "network".into(),
-            "yes (S-RTO/TLP)".into(),
-        ],
-    ];
+    let verdict = |class: StallClass| match class {
+        StallClass::DataUnavailable => Some("no (cache/backend)"),
+        StallClass::ResourceConstraint => Some("no (provisioning)"),
+        StallClass::ClientIdle => Some("no (user behaviour)"),
+        StallClass::ZeroWindow => Some("no (client software)"),
+        StallClass::PacketDelay => Some("partially"),
+        StallClass::Retransmission => Some("yes (S-RTO/TLP)"),
+        StallClass::Undetermined => None,
+    };
+    let rows = StallClass::ALL
+        .iter()
+        .filter_map(|&class| {
+            verdict(class).map(|v| {
+                vec![
+                    class.label().to_string(),
+                    match class.category() {
+                        tapo::StallCategory::Server => "server".to_string(),
+                        tapo::StallCategory::Client => "client".to_string(),
+                        tapo::StallCategory::Network => "network".to_string(),
+                        tapo::StallCategory::Undetermined => String::new(),
+                    },
+                    v.to_string(),
+                ]
+            })
+        })
+        .collect();
     Table::new(
         "actionability",
         "Which stall causes TCP can address",

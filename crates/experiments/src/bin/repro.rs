@@ -1,14 +1,16 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--json] [--out DIR] [EXPERIMENT...]
+//! repro [--quick] [--json] [--out DIR] [--threads N] [EXPERIMENT...]
 //!
 //! EXPERIMENT: table1 table3 table4 table5 table6 table7 table8 table9
 //!             fig1 fig2 fig3 fig6 fig7 fig10 fig11 fig12
 //!             ablations accuracy all      (default: all)
 //! ```
 //!
-//! CSVs are written to `--out` (default `results/`).
+//! CSVs are written to `--out` (default `results/`). `--threads N` shards
+//! flow synthesis and analysis over N workers (default: all cores); the
+//! output is bit-identical at any thread count.
 
 use std::cell::RefCell;
 use std::collections::BTreeSet;
@@ -16,12 +18,14 @@ use std::path::PathBuf;
 
 use experiments::{
     ablation, dataset::Scale, fig1, fig11, fig2, fig3, fig6, fig7, mechanism, output::Figure,
-    output::Table, table1, table3, table4, table5, table6, ComparisonScale, Dataset,
+    output::Table, table1, table3, table4, table5, table6, ComparisonScale, Dataset, Engine,
 };
+use tapo::json::Json;
 
 fn main() {
     let mut quick = false;
     let mut json = false;
+    let mut threads = 0usize;
     let mut out_dir = PathBuf::from("results");
     let mut wanted: BTreeSet<String> = BTreeSet::new();
     let mut args = std::env::args().skip(1);
@@ -35,10 +39,17 @@ fn main() {
                     std::process::exit(2);
                 }))
             }
+            "--threads" => {
+                threads = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads requires N");
+                    std::process::exit(2);
+                })
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick] [--json] [--out DIR] [EXPERIMENT...]\n\
+                    "usage: repro [--quick] [--json] [--out DIR] [--threads N] [EXPERIMENT...]\n\
                      --json also writes results/summary.json\n\
+                     --threads N uses N workers (default all cores; output identical)\n\
                      experiments: table1 table3 table4 table5 table6 table7 table8 table9\n\
                      \x20            fig1 fig2 fig3 fig6 fig7 fig10 fig11 fig12 ablations accuracy all"
                 );
@@ -54,6 +65,8 @@ fn main() {
     }
     let all = wanted.contains("all");
     let want = |name: &str| all || wanted.contains(name);
+
+    let engine = Engine::new(threads);
 
     let ds_scale = if quick {
         Scale::quick()
@@ -73,32 +86,36 @@ fn main() {
     .iter()
     .any(|e| want(e));
 
-    let artifacts: RefCell<Vec<serde_json::Value>> = RefCell::new(Vec::new());
+    let artifacts: RefCell<Vec<Json>> = RefCell::new(Vec::new());
     let print_t = |t: Table| {
         let _ = t.write_csv(&out_dir);
         println!("{}", t.render());
         if json {
-            artifacts
-                .borrow_mut()
-                .push(serde_json::json!({"kind": "table", "table": t}));
+            artifacts.borrow_mut().push(Json::obj([
+                ("kind", Json::from("table")),
+                ("table", t.to_json()),
+            ]));
         }
     };
     let print_f = |f: Figure| {
         let _ = f.write_csv(&out_dir);
         println!("{}", f.render());
         if json {
-            artifacts
-                .borrow_mut()
-                .push(serde_json::json!({"kind": "figure", "figure": f}));
+            artifacts.borrow_mut().push(Json::obj([
+                ("kind", Json::from("figure")),
+                ("figure", f.to_json()),
+            ]));
         }
     };
 
     if needs_dataset {
         eprintln!(
-            "building dataset: {} flows/service (seed {})...",
-            ds_scale.flows_per_service, ds_scale.seed
+            "building dataset: {} flows/service (seed {}, {} threads)...",
+            ds_scale.flows_per_service,
+            ds_scale.seed,
+            engine.threads()
         );
-        let ds = Dataset::build(ds_scale);
+        let ds = Dataset::build_with(ds_scale, &engine);
         if want("table1") {
             print_t(table1::table1(&ds));
         }
@@ -163,7 +180,7 @@ fn main() {
             "running mechanism comparison: {} web + {} cloud flows × 3 mechanisms...",
             cmp_scale.web_flows, cmp_scale.cloud_flows
         );
-        let cmp = mechanism::run_comparison(cmp_scale);
+        let cmp = mechanism::run_comparison_with(cmp_scale, &engine);
         if want("table8") {
             print_t(mechanism::table8(&cmp));
             print_t(mechanism::large_flow_throughput(&cmp));
@@ -176,37 +193,50 @@ fn main() {
     if want("ablations") {
         eprintln!("running ablations...");
         let n = if quick { 60 } else { 200 };
-        print_t(ablation::srto_sweep(n, 99));
-        print_t(ablation::srto_t2_ablation(n, 99));
+        print_t(ablation::srto_sweep(n, 99, &engine));
+        print_t(ablation::srto_t2_ablation(n, 99, &engine));
         print_t(ablation::burstiness_ablation(
             if quick { 40 } else { 150 },
             99,
+            &engine,
         ));
-        print_t(ablation::pacing_ablation(if quick { 40 } else { 150 }, 99));
+        print_t(ablation::pacing_ablation(
+            if quick { 40 } else { 150 },
+            99,
+            &engine,
+        ));
         print_t(ablation::early_retransmit_ablation(
             if quick { 30 } else { 100 },
             99,
+            &engine,
         ));
-        print_t(ablation::crosstraffic_experiment(99));
+        print_t(ablation::crosstraffic_experiment(99, &engine));
         print_t(ablation::actionability());
     }
 
     if want("accuracy") {
         eprintln!("running TAPO accuracy check...");
-        print_t(ablation::tapo_accuracy(if quick { 40 } else { 150 }, 77));
+        print_t(ablation::tapo_accuracy(
+            if quick { 40 } else { 150 },
+            77,
+            &engine,
+        ));
     }
 
     if json {
-        let doc = serde_json::json!({
-            "paper": "Demystifying and Mitigating TCP Stalls at the Server Side (CoNEXT 2015)",
-            "quick": quick,
-            "artifacts": artifacts.into_inner(),
-        });
+        let doc = Json::obj([
+            (
+                "paper",
+                Json::from(
+                    "Demystifying and Mitigating TCP Stalls at the Server Side (CoNEXT 2015)",
+                ),
+            ),
+            ("quick", Json::from(quick)),
+            ("threads", Json::from(engine.threads())),
+            ("artifacts", Json::Arr(artifacts.into_inner())),
+        ]);
         let path = out_dir.join("summary.json");
-        match std::fs::write(
-            &path,
-            serde_json::to_vec_pretty(&doc).expect("serializable"),
-        ) {
+        match std::fs::write(&path, doc.pretty()) {
             Ok(()) => eprintln!("JSON summary written to {}", path.display()),
             Err(e) => eprintln!("cannot write {}: {e}", path.display()),
         }

@@ -3,12 +3,14 @@
 //! simulated counterpart of the paper's 7-day production capture that
 //! Sections 2–4 are computed from.
 
-use tapo::{analyze_flow, AnalyzerConfig, FlowAnalysis, StallBreakdown};
+use tapo::{AnalyzerConfig, FlowAnalysis, StallBreakdown};
 use tcp_sim::recovery::RecoveryMechanism;
-use workloads::{synthesize_corpus, Corpus, Service};
+use workloads::{Corpus, Service};
+
+use crate::engine::Engine;
 
 /// How large a dataset to synthesize.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scale {
     /// Flows per service.
     pub flows_per_service: usize,
@@ -48,24 +50,22 @@ pub struct ServiceData {
 }
 
 impl ServiceData {
-    /// Build one service's data at the given scale.
+    /// Build one service's data at the given scale, serially.
     pub fn build(service: Service, scale: Scale) -> Self {
-        let corpus = synthesize_corpus(
+        Self::build_with(service, scale, &Engine::serial())
+    }
+
+    /// Build one service's data on the given engine. Output is identical at
+    /// any thread count (see [`crate::engine`]).
+    pub fn build_with(service: Service, scale: Scale, engine: &Engine) -> Self {
+        let corpus = engine.synthesize_corpus(
             service,
             scale.flows_per_service,
             RecoveryMechanism::Native,
             scale.seed,
         );
-        let cfg = AnalyzerConfig::default();
-        let analyses: Vec<FlowAnalysis> = corpus
-            .flows
-            .iter()
-            .map(|f| analyze_flow(&f.trace, cfg))
-            .collect();
-        let mut breakdown = StallBreakdown::default();
-        for a in &analyses {
-            breakdown.add_flow(a);
-        }
+        let analyses: Vec<FlowAnalysis> = engine.analyze_corpus(&corpus, AnalyzerConfig::default());
+        let breakdown = Engine::breakdown(&analyses);
         ServiceData {
             service,
             corpus,
@@ -85,11 +85,17 @@ pub struct Dataset {
 }
 
 impl Dataset {
-    /// Synthesize and analyze all three services.
+    /// Synthesize and analyze all three services, serially.
     pub fn build(scale: Scale) -> Self {
+        Self::build_with(scale, &Engine::serial())
+    }
+
+    /// Synthesize and analyze all three services on the given engine.
+    /// Output is identical at any thread count (see [`crate::engine`]).
+    pub fn build_with(scale: Scale, engine: &Engine) -> Self {
         let services = Service::ALL
             .iter()
-            .map(|&s| ServiceData::build(s, scale))
+            .map(|&s| ServiceData::build_with(s, scale, engine))
             .collect();
         Dataset { services, scale }
     }

@@ -1,0 +1,166 @@
+//! The deterministic parallel flow engine.
+//!
+//! Every experiment in this crate boils down to the same per-flow pipeline:
+//! *sample* a flow from a service model, *simulate* it under a recovery
+//! mechanism, and *analyze* the resulting trace with TAPO. The paper ran
+//! this over 6.4M production flows; serially, `repro` at standard scale is
+//! bound to one core. [`Engine`] shards the pipeline across
+//! `std::thread::scope` workers (via [`simnet::par::par_map`]) while
+//! keeping output **bit-identical to the serial path at any thread count**:
+//!
+//! - Flow `i`'s sampling stream is seeded by
+//!   [`workloads::flow_seed`]`(master_seed, service, i)` — a pure function
+//!   of the flow's identity, never of which thread runs it or in what order.
+//! - Flow `i`'s simulation seed is `base_seed + i`, exactly as the serial
+//!   [`workloads::run_population`] has always assigned it, so mechanism
+//!   comparisons stay *paired* (same flow, same seeds, different mechanism).
+//! - Per-flow results are returned in index order, and cross-flow
+//!   aggregation ([`StallBreakdown`]) is a serial fold over that order.
+//!
+//! The engine owns no state beyond the thread count, so one instance can be
+//! threaded through a whole `repro` invocation.
+
+use tapo::{analyze_flow, AnalyzerConfig, FlowAnalysis, StallBreakdown};
+use tcp_sim::recovery::RecoveryMechanism;
+use workloads::{sample_flow, simulate_flow, Corpus, FlowSpec, PathSpec, Service, ServiceModel};
+
+/// A deterministic parallel executor for flow-level work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Engine {
+    /// An engine using `threads` workers. `0` means "use all available
+    /// parallelism" (like the `--threads` flag's default).
+    pub fn new(threads: usize) -> Self {
+        Engine {
+            threads: if threads == 0 {
+                simnet::par::available_threads()
+            } else {
+                threads
+            },
+        }
+    }
+
+    /// An engine using all available parallelism.
+    pub fn auto() -> Self {
+        Engine::new(0)
+    }
+
+    /// A single-threaded engine (the reference serial path).
+    pub fn serial() -> Self {
+        Engine { threads: 1 }
+    }
+
+    /// The worker count this engine was configured with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Deterministic parallel map over `0..n`: results are always in index
+    /// order regardless of thread count.
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        simnet::par::par_map(n, self.threads, f)
+    }
+
+    /// Sample a service population (the parallel equivalent of
+    /// [`workloads::sample_population`]).
+    pub fn sample_population(
+        &self,
+        service: Service,
+        n: usize,
+        seed: u64,
+    ) -> Vec<(FlowSpec, PathSpec)> {
+        let model = ServiceModel::calibrated(service);
+        self.map(n, |i| sample_flow(&model, seed, i))
+    }
+
+    /// Run a sampled population under one recovery mechanism (the parallel
+    /// equivalent of [`workloads::run_population`]; identical seeds, so runs
+    /// under different mechanisms stay paired).
+    pub fn run_population(
+        &self,
+        service: Service,
+        population: &[(FlowSpec, PathSpec)],
+        mechanism: RecoveryMechanism,
+        base_seed: u64,
+    ) -> Corpus {
+        let flows = self.map(population.len(), |i| {
+            let (spec, path) = &population[i];
+            simulate_flow(spec, path, mechanism, base_seed + i as u64)
+        });
+        Corpus { service, flows }
+    }
+
+    /// Sample and run `n` flows under `mechanism` (the parallel equivalent
+    /// of [`workloads::synthesize_corpus`]). Sampling and simulation of one
+    /// flow are fused into a single unit of work, so a heavy flow does not
+    /// hold up a shard twice.
+    pub fn synthesize_corpus(
+        &self,
+        service: Service,
+        n: usize,
+        mechanism: RecoveryMechanism,
+        seed: u64,
+    ) -> Corpus {
+        let model = ServiceModel::calibrated(service);
+        let flows = self.map(n, |i| {
+            let (spec, path) = sample_flow(&model, seed, i);
+            simulate_flow(&spec, &path, mechanism, seed + i as u64)
+        });
+        Corpus { service, flows }
+    }
+
+    /// TAPO-analyze every flow of a corpus, in flow order.
+    pub fn analyze_corpus(&self, corpus: &Corpus, cfg: AnalyzerConfig) -> Vec<FlowAnalysis> {
+        self.map(corpus.flows.len(), |i| {
+            analyze_flow(&corpus.flows[i].trace, cfg)
+        })
+    }
+
+    /// Aggregate per-flow analyses into a breakdown. A serial fold in index
+    /// order — aggregation is where nondeterminism would creep in, so it is
+    /// deliberately not sharded (it is O(#stalls), negligible next to
+    /// simulation).
+    pub fn breakdown(analyses: &[FlowAnalysis]) -> StallBreakdown {
+        let mut breakdown = StallBreakdown::default();
+        for a in analyses {
+            breakdown.add_flow(a);
+        }
+        breakdown
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::auto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_matches_serial_workloads_api() {
+        let serial =
+            workloads::synthesize_corpus(Service::WebSearch, 12, RecoveryMechanism::Native, 5);
+        let engine =
+            Engine::new(4).synthesize_corpus(Service::WebSearch, 12, RecoveryMechanism::Native, 5);
+        assert_eq!(serial.flows.len(), engine.flows.len());
+        for (a, b) in serial.flows.iter().zip(&engine.flows) {
+            assert_eq!(a.trace.records, b.trace.records);
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        assert_eq!(Engine::new(0).threads(), simnet::par::available_threads());
+        assert_eq!(Engine::serial().threads(), 1);
+    }
+}

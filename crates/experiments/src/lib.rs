@@ -30,6 +30,7 @@
 
 pub mod ablation;
 pub mod dataset;
+pub mod engine;
 pub mod fig1;
 pub mod fig11;
 pub mod fig2;
@@ -45,7 +46,8 @@ pub mod table5;
 pub mod table6;
 
 pub use dataset::{Dataset, Scale, ServiceData};
-pub use mechanism::{run_comparison, Comparison, ComparisonScale};
+pub use engine::Engine;
+pub use mechanism::{run_comparison, run_comparison_with, Comparison, ComparisonScale};
 pub use output::{Figure, Series, Table};
 
 use std::path::Path;

@@ -4,13 +4,14 @@
 
 use simnet::time::SimDuration;
 use tcp_sim::recovery::RecoveryMechanism;
-use workloads::{run_population, sample_population, Corpus, Service};
+use workloads::{Corpus, Service};
 
+use crate::engine::Engine;
 use crate::output::{pct_cell, Table};
 use tapo::Cdf;
 
 /// How many flows the comparison replays.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ComparisonScale {
     /// Web-search flows.
     pub web_flows: usize,
@@ -66,20 +67,27 @@ pub struct Comparison {
     pub runs: Vec<MechanismRun>,
 }
 
-/// Run the paired comparison: identical populations and per-flow seeds
-/// across the three mechanisms (S-RTO uses the paper's per-service `T1`).
+/// Run the paired comparison serially. See [`run_comparison_with`].
 pub fn run_comparison(scale: ComparisonScale) -> Comparison {
+    run_comparison_with(scale, &Engine::serial())
+}
+
+/// Run the paired comparison on the given engine: identical populations and
+/// per-flow seeds across the three mechanisms (S-RTO uses the paper's
+/// per-service `T1`). Output is identical at any thread count.
+pub fn run_comparison_with(scale: ComparisonScale, engine: &Engine) -> Comparison {
     // The paper's A/B ran on specific front-end servers, i.e. a relatively
     // homogeneous client population per server. Our synthesized populations
     // span 1–50 Mbit/s access links and wide RTTs, whose latency variance
     // would bury the mechanism effect at fixed quantiles, so the latency
     // populations are homogenized in bottleneck bandwidth (loss, bursts,
     // jitter and client behaviour keep their full variation).
-    let mut web_pop = sample_population(Service::WebSearch, scale.web_flows, scale.seed);
+    let mut web_pop = engine.sample_population(Service::WebSearch, scale.web_flows, scale.seed);
     for (_, path) in web_pop.iter_mut() {
         path.bandwidth_bps = 8_000_000;
     }
-    let cloud_pop = sample_population(Service::CloudStorage, scale.cloud_flows, scale.seed + 1);
+    let cloud_pop =
+        engine.sample_population(Service::CloudStorage, scale.cloud_flows, scale.seed + 1);
     // The short-flow population (the paper's "control flows"): a
     // *controlled* experiment — fixed 100KB transfers over a grid of
     // service-typical paths with 4% bursty loss. The production-mix
@@ -128,14 +136,14 @@ pub fn run_comparison(scale: ComparisonScale) -> Comparison {
         .into_iter()
         .map(|(label, web_mech, cloud_mech)| MechanismRun {
             label,
-            web: run_population(Service::WebSearch, &web_pop, web_mech, scale.seed),
-            cloud_short: run_population(
+            web: engine.run_population(Service::WebSearch, &web_pop, web_mech, scale.seed),
+            cloud_short: engine.run_population(
                 Service::CloudStorage,
                 &short_pop,
                 cloud_mech,
                 scale.seed + 2,
             ),
-            cloud: run_population(
+            cloud: engine.run_population(
                 Service::CloudStorage,
                 &cloud_pop,
                 cloud_mech,

@@ -5,8 +5,10 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
+use tapo::json::Json;
+
 /// A reproduced table.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     /// Identifier matching the paper ("table1", "table5"…).
     pub id: String,
@@ -89,10 +91,31 @@ impl Table {
         }
         std::fs::write(dir.join(format!("{}.csv", self.id)), s)
     }
+
+    /// The table as a JSON value (for `repro --json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::from(self.id.clone())),
+            ("title", Json::from(self.title.clone())),
+            (
+                "header",
+                Json::Arr(self.header.iter().map(|h| Json::from(h.clone())).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| Json::Arr(r.iter().map(|c| Json::from(c.clone())).collect()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
 }
 
 /// One series of a figure.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Legend label.
     pub name: String,
@@ -101,7 +124,7 @@ pub struct Series {
 }
 
 /// A reproduced figure (as plottable series).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure {
     /// Identifier matching the paper ("fig1a", "fig3"…).
     pub id: String,
@@ -150,6 +173,40 @@ impl Figure {
             }
         }
         std::fs::write(dir.join(format!("{}.csv", self.id)), s)
+    }
+
+    /// The figure as a JSON value (for `repro --json`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::from(self.id.clone())),
+            ("title", Json::from(self.title.clone())),
+            ("x_label", Json::from(self.x_label.clone())),
+            ("y_label", Json::from(self.y_label.clone())),
+            (
+                "series",
+                Json::Arr(
+                    self.series
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("name", Json::from(s.name.clone())),
+                                (
+                                    "points",
+                                    Json::Arr(
+                                        s.points
+                                            .iter()
+                                            .map(|&(x, y)| {
+                                                Json::Arr(vec![Json::from(x), Json::from(y)])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 

@@ -1,18 +1,13 @@
 //! Table 3: stall shares by cause, in volume and time, per service.
 
+use tapo::StallClass;
+
 use crate::dataset::Dataset;
 use crate::output::{pct_cell, Table};
 
-/// The top-level cause rows, in the paper's order (plus "undeter.").
-pub const CAUSE_ROWS: [(&str, &str); 7] = [
-    ("server", "data una."),
-    ("server", "rsrc cons."),
-    ("client", "client idle"),
-    ("client", "zero wnd"),
-    ("net.", "pkt delay"),
-    ("net.", "retrans."),
-    ("", "undeter."),
-];
+/// The top-level cause rows, in the paper's order (plus "undeter.") —
+/// [`StallClass::ALL`]; row labels come from the class itself.
+pub const CAUSE_ROWS: [StallClass; 7] = StallClass::ALL;
 
 /// Regenerate Table 3: percentage of stalls (volume and time) per cause
 /// and service.
@@ -23,10 +18,13 @@ pub fn table3(ds: &Dataset) -> Table {
         header.push(format!("{} T", sd.service.label()));
     }
     let mut rows = Vec::new();
-    for (cat, label) in CAUSE_ROWS {
-        let mut row = vec![cat.to_string(), label.to_string()];
+    for class in CAUSE_ROWS {
+        let mut row = vec![
+            class.category().label().to_string(),
+            class.label().to_string(),
+        ];
         for sd in &ds.services {
-            let share = sd.breakdown.share(label);
+            let share = sd.breakdown.share(class);
             row.push(pct_cell(share.volume_pct));
             row.push(pct_cell(share.time_pct));
         }

@@ -1,18 +1,13 @@
 //! Table 5: breakdown of timeout-retransmission stalls.
 
+use tapo::RetransClass;
+
 use crate::dataset::Dataset;
 use crate::output::{pct_cell, Table};
 
-/// The subcause rows, in the paper's priority order.
-pub const RETRANS_ROWS: [&str; 7] = [
-    "Double retr.",
-    "Tail retr.",
-    "Small cwnd",
-    "Small rwnd",
-    "Cont. loss",
-    "ACK delay/loss",
-    "Undeter.",
-];
+/// The subcause rows, in the paper's priority order —
+/// [`RetransClass::ALL`]; row labels come from the class itself.
+pub const RETRANS_ROWS: [RetransClass; 7] = RetransClass::ALL;
 
 /// Regenerate Table 5: percentage of retransmission stalls (volume and
 /// time) per subcause and service.
@@ -23,10 +18,10 @@ pub fn table5(ds: &Dataset) -> Table {
         header.push(format!("{} T", sd.service.label()));
     }
     let mut rows = Vec::new();
-    for label in RETRANS_ROWS {
-        let mut row = vec![label.to_string()];
+    for class in RETRANS_ROWS {
+        let mut row = vec![class.label().to_string()];
         for sd in &ds.services {
-            let share = sd.breakdown.retrans_share(label);
+            let share = sd.breakdown.retrans_share(class);
             row.push(pct_cell(share.volume_pct));
             row.push(pct_cell(share.time_pct));
         }

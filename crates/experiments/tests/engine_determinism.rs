@@ -1,0 +1,96 @@
+//! The engine's determinism contract: every experiment must produce
+//! bit-identical output at any thread count. Per-flow seeds depend only on
+//! `(master_seed, service, flow_index)` and results are collected in index
+//! order, so sharding is invisible in the output.
+
+use experiments::{mechanism, table3, table5, ComparisonScale, Dataset, Engine, Scale};
+
+const SCALE: Scale = Scale {
+    flows_per_service: 24,
+    seed: 2015,
+};
+
+#[test]
+fn dataset_is_identical_at_any_thread_count() {
+    let serial = Dataset::build_with(SCALE, &Engine::new(1));
+    for threads in [2, 8] {
+        let parallel = Dataset::build_with(SCALE, &Engine::new(threads));
+        for (s, p) in serial.services.iter().zip(&parallel.services) {
+            assert_eq!(s.service, p.service);
+            // The aggregate breakdown is bit-identical...
+            assert_eq!(
+                s.breakdown, p.breakdown,
+                "breakdown differs at {threads} threads"
+            );
+            // ...because every simulated trace and analysis is.
+            assert_eq!(s.corpus.flows.len(), p.corpus.flows.len());
+            for (sf, pf) in s.corpus.flows.iter().zip(&p.corpus.flows) {
+                assert_eq!(
+                    sf.trace.records, pf.trace.records,
+                    "trace differs at {threads} threads"
+                );
+                assert_eq!(sf.response_bytes, pf.response_bytes);
+                assert_eq!(sf.completed, pf.completed);
+            }
+            for (sa, pa) in s.analyses.iter().zip(&p.analyses) {
+                assert_eq!(sa.stalls.len(), pa.stalls.len());
+                assert_eq!(sa.metrics.stalled_time, pa.metrics.stalled_time);
+                assert_eq!(sa.metrics.goodput_bytes, pa.metrics.goodput_bytes);
+            }
+        }
+        // The rendered artifacts are therefore byte-identical too.
+        assert_eq!(
+            table3::table3(&serial).render(),
+            table3::table3(&parallel).render()
+        );
+        assert_eq!(
+            table5::table5(&serial).render(),
+            table5::table5(&parallel).render()
+        );
+    }
+}
+
+#[test]
+fn comparison_is_identical_at_any_thread_count() {
+    let scale = ComparisonScale {
+        web_flows: 16,
+        cloud_short_flows: 12,
+        cloud_flows: 8,
+        seed: 360,
+    };
+    let serial = mechanism::run_comparison_with(scale, &Engine::new(1));
+    let parallel = mechanism::run_comparison_with(scale, &Engine::new(8));
+    for (s, p) in serial.runs.iter().zip(&parallel.runs) {
+        assert_eq!(s.label, p.label);
+        for (sc, pc) in [
+            (&s.web, &p.web),
+            (&s.cloud_short, &p.cloud_short),
+            (&s.cloud, &p.cloud),
+        ] {
+            assert_eq!(sc.flows.len(), pc.flows.len());
+            for (sf, pf) in sc.flows.iter().zip(&pc.flows) {
+                assert_eq!(sf.trace.records, pf.trace.records);
+                assert_eq!(sf.request_latencies, pf.request_latencies);
+            }
+        }
+    }
+    assert_eq!(
+        mechanism::table8(&serial).render(),
+        mechanism::table8(&parallel).render()
+    );
+    assert_eq!(
+        mechanism::table9(&serial).render(),
+        mechanism::table9(&parallel).render()
+    );
+}
+
+#[test]
+fn engine_serial_equals_plain_build() {
+    // `Dataset::build` (the serial convenience) and an explicit parallel
+    // engine agree — the parallel path is a pure optimization.
+    let a = Dataset::build(SCALE);
+    let b = Dataset::build_with(SCALE, &Engine::auto());
+    for (s, p) in a.services.iter().zip(&b.services) {
+        assert_eq!(s.breakdown, p.breakdown);
+    }
+}

@@ -29,6 +29,7 @@
 pub mod event;
 pub mod link;
 pub mod loss;
+pub mod par;
 pub mod rng;
 pub mod time;
 

@@ -19,7 +19,7 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
 /// Static description of one link direction.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkConfig {
     /// Serialization rate in bits per second; `0` means infinitely fast
     /// (no queueing delay, queue capacity ignored).
@@ -88,7 +88,7 @@ pub enum Delivery {
 }
 
 /// Counters describing what happened to traffic offered to the link.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkStats {
     /// Packets offered to the link.
     pub offered: u64,
@@ -129,7 +129,6 @@ pub struct Link {
 impl Link {
     /// Build a link from its config and a dedicated RNG stream.
     pub fn new(cfg: LinkConfig, mut rng: SimRng) -> Self {
-        use rand::RngCore;
         let loss = cfg.loss.build(&mut rng);
         let burst_rng = rng.fork(0xb0b5);
         let jitter_seed = rng.next_u64();

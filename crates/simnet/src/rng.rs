@@ -1,31 +1,54 @@
 //! Seeded randomness and the distribution toolbox used by workload models.
 //!
-//! All stochastic behaviour in the simulator flows through [`SimRng`], a thin
-//! wrapper over `rand::rngs::SmallRng` that can only be constructed from an
-//! explicit seed. Workload models additionally need a few heavy-tailed
-//! distributions (flow sizes in the paper span five orders of magnitude); the
-//! ones we need are implemented here directly so the dependency set stays at
-//! `rand` alone.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! All stochastic behaviour in the simulator flows through [`SimRng`], a
+//! self-contained xoshiro256++ generator that can only be constructed from
+//! an explicit seed — the build must work without any crate registry, so no
+//! external RNG crate is used. Workload models additionally need a few
+//! heavy-tailed distributions (flow sizes in the paper span five orders of
+//! magnitude); those are implemented here directly.
 
 use crate::time::SimDuration;
 
-/// Deterministic simulation RNG. Construct with [`SimRng::seed`]; derive
-/// stream-independent children with [`SimRng::fork`] so that adding a random
-/// draw in one component never perturbs another component's stream.
+/// Deterministic simulation RNG (xoshiro256++ with SplitMix64 seeding).
+/// Construct with [`SimRng::seed`]; derive stream-independent children with
+/// [`SimRng::fork`] so that adding a random draw in one component never
+/// perturbs another component's stream.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
 }
 
 impl SimRng {
-    /// Create an RNG from a 64-bit seed.
+    /// Create an RNG from a 64-bit seed. The four words of xoshiro state
+    /// are successive SplitMix64 outputs, as the xoshiro authors recommend.
     pub fn seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            splitmix64_mix(sm)
+        };
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            s: [next(), next(), next(), next()],
         }
+    }
+
+    /// The raw 64-bit draw every other method is built on.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A 32-bit draw (upper half of a 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 
     /// Derive an independent child RNG identified by `stream`. Children with
@@ -35,22 +58,31 @@ impl SimRng {
         // intentionally do not advance `self`: forks depend only on the
         // parent's seed identity, captured here via a stable hash of a
         // cloned-parent draw.
-        let mut probe = self.inner.clone();
+        let mut probe = self.clone();
         let base = probe.next_u64();
         SimRng::seed(splitmix64(
             base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         ))
     }
 
-    /// Uniform draw in `[0, 1)`.
+    /// Uniform draw in `[0, 1)` using the top 53 bits of one draw.
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    /// Uniform integer in `[lo, hi)`, unbiased via 128-bit widening
+    /// multiplication with rejection (Lemire). Panics if the range is empty.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (span as u128);
+            // Accept unless the draw lands in the biased low fringe.
+            if (m as u64) >= span.wrapping_neg() % span {
+                return lo + (m >> 64) as u64;
+            }
+        }
     }
 
     /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
@@ -116,24 +148,14 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
+/// One SplitMix64 step: advance `x` by the golden-ratio increment and mix.
+/// Public so seed-derivation schemes elsewhere (the parallel flow engine's
+/// per-flow seeds) share one well-tested mixer.
+pub fn splitmix64(x: u64) -> u64 {
+    splitmix64_mix(x.wrapping_add(0x9E37_79B9_7F4A_7C15))
 }
 
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
+fn splitmix64_mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

@@ -12,7 +12,7 @@ use simnet::time::SimTime;
 use simnet::time::SimDuration;
 
 /// Which congestion-avoidance algorithm to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CcKind {
     /// Classic NewReno AIMD.
     Reno,

@@ -20,7 +20,7 @@ use simnet::time::{SimDuration, SimTime};
 use crate::seg::{SackBlock, Segment};
 
 /// Receiver configuration.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReceiverConfig {
     /// Maximum segment size (for delack full-segment counting).
     pub mss: u32,
@@ -47,7 +47,7 @@ impl Default for ReceiverConfig {
 }
 
 /// Receiver-side counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReceiverStats {
     /// In-order payload bytes delivered toward the application.
     pub bytes_delivered: u64,

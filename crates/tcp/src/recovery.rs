@@ -25,7 +25,7 @@
 use simnet::time::SimDuration;
 
 /// Tail Loss Probe parameters.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TlpConfig {
     /// Lower bound on the probe timeout (10ms in the TLP draft).
     pub min_pto: SimDuration,
@@ -44,7 +44,7 @@ impl Default for TlpConfig {
 }
 
 /// S-RTO parameters (Algorithm 1 of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SrtoConfig {
     /// `T1`: the probe timer is armed only while `packets_out < T1`.
     /// The paper deploys 5 for web search and 10 for cloud storage.
@@ -87,7 +87,7 @@ impl SrtoConfig {
 }
 
 /// Which recovery mechanism the sender runs.
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum RecoveryMechanism {
     /// Native Linux 2.6.32: RTO only.
     #[default]

@@ -13,7 +13,7 @@
 use simnet::time::SimDuration;
 
 /// Configuration for the estimator (Linux defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RttConfig {
     /// Lower bound on the RTO (`TCP_RTO_MIN`, 200ms in Linux).
     pub min_rto: SimDuration,

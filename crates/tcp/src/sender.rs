@@ -40,7 +40,7 @@ use crate::scoreboard::Scoreboard;
 use crate::seg::{SackBlock, Segment, DEFAULT_MSS};
 
 /// The Linux congestion-avoidance state machine states (Fig. 4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CaState {
     /// Default state: no outstanding dubious events.
     Open,
@@ -54,7 +54,7 @@ pub enum CaState {
 }
 
 /// Sender configuration.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SenderConfig {
     /// Maximum segment size in bytes.
     pub mss: u32,
@@ -137,7 +137,7 @@ pub enum SendOp {
 
 /// Counters describing the sender's lifetime behaviour; the raw material for
 /// Table 9 (retransmission ratios) and mechanism comparisons.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SenderStats {
     /// Original data segments transmitted.
     pub data_segs_sent: u64,

@@ -27,7 +27,7 @@ use crate::seg::{SegFlags, Segment};
 use crate::sender::{SenderConfig, SenderStats};
 
 /// One request/response exchange within a flow.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RequestSpec {
     /// Client think time before issuing this request (measured from
     /// connection establishment for the first request, from response
@@ -46,7 +46,7 @@ pub struct RequestSpec {
 }
 
 /// Chunked server-side data supply.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SupplyPauses {
     /// Bytes handed to TCP per chunk.
     pub chunk_bytes: u64,
@@ -69,7 +69,7 @@ impl RequestSpec {
 }
 
 /// The application script driving one flow.
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct FlowScript {
     /// The request sequence.
     pub requests: Vec<RequestSpec>,

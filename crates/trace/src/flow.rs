@@ -7,7 +7,7 @@ use simnet::time::{SimDuration, SimTime};
 
 /// The canonical 4-tuple identifying a flow, oriented so that the *server*
 /// is the source of [`Direction::Out`] packets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FlowKey {
     /// Server IPv4 address.
     pub server_ip: [u8; 4],
@@ -37,7 +37,7 @@ impl FlowKey {
 }
 
 /// The trace of one TCP flow as captured at the server, in time order.
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FlowTrace {
     /// Flow identity (synthetic for simulated flows).
     pub key: Option<FlowKey>,

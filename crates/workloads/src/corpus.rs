@@ -7,7 +7,7 @@
 //! each recovery mechanism with identical per-flow seeds, giving a paired
 //! experiment that is *stronger* than the paper's round-robin A/B.
 
-use simnet::rng::SimRng;
+use simnet::rng::{splitmix64, SimRng};
 use tcp_sim::recovery::RecoveryMechanism;
 use tcp_sim::sim::FlowOutcome;
 
@@ -23,12 +23,33 @@ pub struct Corpus {
     pub flows: Vec<FlowOutcome>,
 }
 
+/// Derive flow `index`'s sampling seed from `(master_seed, service, index)`.
+///
+/// A pure function of its three inputs, so *which thread* samples a flow —
+/// and in what order — cannot change any flow's draws. This is the
+/// determinism contract of the parallel flow engine: flow `i` of service `s`
+/// under master seed `m` always sees the same RNG stream.
+pub fn flow_seed(master_seed: u64, service: Service, index: usize) -> u64 {
+    let mut s = splitmix64(master_seed ^ 0x5eed_0000);
+    s = splitmix64(s ^ (service as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    splitmix64(s ^ index as u64)
+}
+
+/// Sample flow `index` of a service's population — the single-flow unit the
+/// parallel engine shards over. `model` must be
+/// [`ServiceModel::calibrated`] for the same service (passed in so callers
+/// can amortize its construction across flows).
+pub fn sample_flow(model: &ServiceModel, master_seed: u64, index: usize) -> (FlowSpec, PathSpec) {
+    let mut rng = SimRng::seed(flow_seed(master_seed, model.service, index));
+    model.sample(&mut rng)
+}
+
 /// Sample `n` flow populations (spec + path) for a service without running
-/// them — the raw material for paired mechanism comparisons.
+/// them — the raw material for paired mechanism comparisons. Each flow is
+/// drawn from its own [`flow_seed`]-derived stream.
 pub fn sample_population(service: Service, n: usize, seed: u64) -> Vec<(FlowSpec, PathSpec)> {
     let model = ServiceModel::calibrated(service);
-    let mut rng = SimRng::seed(seed ^ 0x5eed_0000);
-    (0..n).map(|_| model.sample(&mut rng)).collect()
+    (0..n).map(|i| sample_flow(&model, seed, i)).collect()
 }
 
 /// Run a previously sampled population under one recovery mechanism.

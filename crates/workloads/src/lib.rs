@@ -20,6 +20,8 @@ pub mod corpus;
 pub mod service;
 pub mod spec;
 
-pub use corpus::{run_population, sample_population, synthesize_corpus, Corpus};
+pub use corpus::{
+    flow_seed, run_population, sample_flow, sample_population, synthesize_corpus, Corpus,
+};
 pub use service::{Service, ServiceModel};
 pub use spec::{simulate_flow, FlowSpec, PathSpec};

@@ -21,7 +21,7 @@ use tcp_sim::sim::{FlowScript, RequestSpec, SupplyPauses};
 use crate::spec::{FlowSpec, PathSpec};
 
 /// One of the paper's three studied services.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Service {
     /// Qihoo 360 cloud storage download (shared connections, large files).
     CloudStorage,

@@ -11,7 +11,7 @@ use tcp_sim::sender::SenderConfig;
 use tcp_sim::sim::{FlowOutcome, FlowScript, FlowSim, FlowSimConfig};
 
 /// A network path between client and server.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PathSpec {
     /// Base round-trip propagation delay (split evenly between directions).
     pub rtt: SimDuration,
@@ -97,7 +97,7 @@ impl PathSpec {
 }
 
 /// Everything about one flow except the path and recovery mechanism.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowSpec {
     /// The application script (requests/responses).
     pub script: FlowScript,

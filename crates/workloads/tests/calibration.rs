@@ -45,11 +45,27 @@ fn stats(service: Service, n: usize, seed: u64) -> CorpusStats {
 fn cloud_storage_calibration() {
     let s = stats(Service::CloudStorage, 80, 2015);
     // Paper targets: 1.7MB, 143ms, 3.9% loss.
-    assert!((0.6e6..3.0e6).contains(&s.mean_size), "size {}", s.mean_size);
-    assert!((100.0..260.0).contains(&s.mean_rtt_ms), "rtt {}", s.mean_rtt_ms);
-    assert!((0.015..0.10).contains(&s.retrans_ratio), "retrans {}", s.retrans_ratio);
+    assert!(
+        (0.6e6..3.0e6).contains(&s.mean_size),
+        "size {}",
+        s.mean_size
+    );
+    assert!(
+        (100.0..260.0).contains(&s.mean_rtt_ms),
+        "rtt {}",
+        s.mean_rtt_ms
+    );
+    assert!(
+        (0.015..0.10).contains(&s.retrans_ratio),
+        "retrans {}",
+        s.retrans_ratio
+    );
     assert!(s.completion > 0.9, "completion {}", s.completion);
-    assert!((0.25..0.85).contains(&s.stalled_any), "stalled share {}", s.stalled_any);
+    assert!(
+        (0.25..0.85).contains(&s.stalled_any),
+        "stalled share {}",
+        s.stalled_any
+    );
 }
 
 #[test]
@@ -57,8 +73,16 @@ fn software_download_calibration() {
     let s = stats(Service::SoftwareDownload, 120, 2015);
     // Paper targets: 129KB, 147ms, 4.1% loss.
     assert!((60e3..260e3).contains(&s.mean_size), "size {}", s.mean_size);
-    assert!((90.0..220.0).contains(&s.mean_rtt_ms), "rtt {}", s.mean_rtt_ms);
-    assert!((0.01..0.09).contains(&s.retrans_ratio), "retrans {}", s.retrans_ratio);
+    assert!(
+        (90.0..220.0).contains(&s.mean_rtt_ms),
+        "rtt {}",
+        s.mean_rtt_ms
+    );
+    assert!(
+        (0.01..0.09).contains(&s.retrans_ratio),
+        "retrans {}",
+        s.retrans_ratio
+    );
     assert!(s.completion > 0.9, "completion {}", s.completion);
 }
 
@@ -67,7 +91,11 @@ fn web_search_calibration() {
     let s = stats(Service::WebSearch, 200, 2015);
     // Paper targets: 14KB, 106ms, 2.1% loss.
     assert!((6e3..30e3).contains(&s.mean_size), "size {}", s.mean_size);
-    assert!((60.0..160.0).contains(&s.mean_rtt_ms), "rtt {}", s.mean_rtt_ms);
+    assert!(
+        (60.0..160.0).contains(&s.mean_rtt_ms),
+        "rtt {}",
+        s.mean_rtt_ms
+    );
     assert!(s.retrans_ratio < 0.06, "retrans {}", s.retrans_ratio);
     assert!(s.completion > 0.95, "completion {}", s.completion);
 }
@@ -77,5 +105,8 @@ fn service_size_ordering_matches_table1() {
     let cloud = stats(Service::CloudStorage, 50, 7).mean_size;
     let soft = stats(Service::SoftwareDownload, 50, 7).mean_size;
     let web = stats(Service::WebSearch, 50, 7).mean_size;
-    assert!(cloud > soft && soft > web, "cloud {cloud} > soft {soft} > web {web}");
+    assert!(
+        cloud > soft && soft > web,
+        "cloud {cloud} > soft {soft} > web {web}"
+    );
 }

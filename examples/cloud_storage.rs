@@ -8,7 +8,7 @@
 //! ```
 
 use tcpstall::prelude::*;
-use tcpstall::tapo::StallBreakdown;
+use tcpstall::tapo::{RetransClass, StallBreakdown, StallClass};
 use tcpstall::tcp_sim::recovery::RecoveryMechanism as Mech;
 use tcpstall::workloads::synthesize_corpus;
 
@@ -38,33 +38,23 @@ fn main() {
     println!("{stalled_half}/{n} flows spent more than half their lifetime stalled\n");
 
     println!("stall causes (volume% / time%):");
-    for label in [
-        "data una.",
-        "rsrc cons.",
-        "client idle",
-        "zero wnd",
-        "pkt delay",
-        "retrans.",
-    ] {
-        let s = breakdown.share(label);
+    for class in StallClass::ALL {
+        let s = breakdown.share(class);
         println!(
-            "  {label:<12} {:>5.1}% / {:>5.1}%",
-            s.volume_pct, s.time_pct
+            "  {:<12} {:>5.1}% / {:>5.1}%",
+            class.label(),
+            s.volume_pct,
+            s.time_pct
         );
     }
     println!("\ntimeout-retransmission breakdown (volume% / time% of retrans stalls):");
-    for label in [
-        "Double retr.",
-        "Tail retr.",
-        "Small cwnd",
-        "Small rwnd",
-        "Cont. loss",
-        "ACK delay/loss",
-    ] {
-        let s = breakdown.retrans_share(label);
+    for class in RetransClass::ALL {
+        let s = breakdown.retrans_share(class);
         println!(
-            "  {label:<14} {:>5.1}% / {:>5.1}%",
-            s.volume_pct, s.time_pct
+            "  {:<14} {:>5.1}% / {:>5.1}%",
+            class.label(),
+            s.volume_pct,
+            s.time_pct
         );
     }
     let (f, t) = breakdown.double_split;

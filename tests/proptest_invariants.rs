@@ -3,10 +3,16 @@
 //! trace; the simulated transfer must deliver exactly the bytes written
 //! under any loss pattern; the pcap codec must round-trip every encodable
 //! record; the scoreboard's Table 2 counters must always satisfy Eq. 1.
+//!
+//! The cases are driven by the workspace's own seeded [`SimRng`] (no
+//! external property-testing framework — the workspace builds fully
+//! offline): each test runs a fixed number of independently-seeded random
+//! cases, so failures reproduce exactly by case number.
 
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 use simnet::loss::LossSpec;
+use simnet::rng::{splitmix64, SimRng};
 use simnet::time::{SimDuration, SimTime};
 use tapo::{analyze_flow, AnalyzerConfig};
 use tcp_sim::recovery::RecoveryMechanism;
@@ -18,60 +24,83 @@ use workloads::{simulate_flow, FlowSpec, PathSpec};
 
 const MSS: u64 = 1448;
 
-fn arb_record() -> impl Strategy<Value = TraceRecord> {
-    (
-        2u64..10_000_000, // time µs
-        prop::bool::ANY,  // direction
-        0u64..64,         // seq in MSS units
-        prop::sample::select(vec![0u32, 300, 1448]),
-        0u64..64, // ack in MSS units
-        prop::sample::select(vec![0u64, 2896, 65535, 1 << 20]),
-        prop::collection::vec((0u64..64, 1u64..4), 0..3),
-    )
-        .prop_map(|(t, dir_in, seq, len, ack, rwnd, sacks)| TraceRecord {
-            t: SimTime::from_micros(t),
-            dir: if dir_in {
-                Direction::In
-            } else {
-                Direction::Out
-            },
-            seq: seq * MSS,
-            len,
-            flags: SegFlags::ACK,
-            ack: ack * MSS,
-            rwnd,
-            sack: sacks
-                .into_iter()
-                .map(|(s, l)| SackBlock::new(s * MSS, (s + l) * MSS))
-                .collect(),
-            dsack: false,
-        })
+/// Per-case RNG: independent stream per (test, case) so adding cases to
+/// one test never perturbs another.
+fn case_rng(test: &str, case: u64) -> SimRng {
+    let name_hash = test
+        .bytes()
+        .fold(0xcafe_f00du64, |h, b| splitmix64(h ^ u64::from(b)));
+    SimRng::seed(splitmix64(name_hash ^ case))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn arb_record(rng: &mut SimRng) -> TraceRecord {
+    let n_sacks = rng.range_u64(0, 3);
+    TraceRecord {
+        t: SimTime::from_micros(rng.range_u64(2, 10_000_000)),
+        dir: if rng.chance(0.5) {
+            Direction::In
+        } else {
+            Direction::Out
+        },
+        seq: rng.range_u64(0, 64) * MSS,
+        len: [0u32, 300, 1448][rng.range_u64(0, 3) as usize],
+        flags: SegFlags::ACK,
+        ack: rng.range_u64(0, 64) * MSS,
+        rwnd: [0u64, 2896, 65535, 1 << 20][rng.range_u64(0, 4) as usize],
+        sack: (0..n_sacks)
+            .map(|_| {
+                let s = rng.range_u64(0, 64);
+                let l = rng.range_u64(1, 4);
+                SackBlock::new(s * MSS, (s + l) * MSS)
+            })
+            .collect(),
+        dsack: false,
+    }
+}
 
-    /// TAPO must digest any garbage trace without panicking, and its
-    /// outputs must be internally consistent.
-    #[test]
-    fn analyzer_total_on_arbitrary_traces(mut records in prop::collection::vec(arb_record(), 0..120)) {
-        records.sort_by_key(|r| r.t);
+fn arb_records(rng: &mut SimRng, lo: u64, hi: u64) -> Vec<TraceRecord> {
+    let n = rng.range_u64(lo, hi);
+    let mut records: Vec<TraceRecord> = (0..n).map(|_| arb_record(rng)).collect();
+    records.sort_by_key(|r| r.t);
+    records
+}
+
+fn arb_drop_set(rng: &mut SimRng, max_seq: u64, max_len: u64) -> BTreeSet<u64> {
+    let n = rng.range_u64(0, max_len);
+    (0..n).map(|_| rng.range_u64(0, max_seq)).collect()
+}
+
+/// TAPO must digest any garbage trace without panicking, and its
+/// outputs must be internally consistent.
+#[test]
+fn analyzer_total_on_arbitrary_traces() {
+    for case in 0..128 {
+        let mut rng = case_rng("analyzer_total", case);
+        let records = arb_records(&mut rng, 0, 120);
         let trace = FlowTrace { key: None, records };
         let analysis = analyze_flow(&trace, AnalyzerConfig::default());
         let ratio = analysis.stall_ratio();
-        prop_assert!((0.0..=1.0).contains(&ratio));
+        assert!((0.0..=1.0).contains(&ratio), "case {case}: ratio {ratio}");
         let stall_sum: u64 = analysis.stalls.iter().map(|s| s.duration.as_micros()).sum();
-        prop_assert_eq!(stall_sum, analysis.metrics.stalled_time.as_micros());
+        assert_eq!(
+            stall_sum,
+            analysis.metrics.stalled_time.as_micros(),
+            "case {case}"
+        );
         for s in &analysis.stalls {
-            prop_assert!(s.end >= s.start);
-            prop_assert!((0.0..=1.0).contains(&s.rel_position));
+            assert!(s.end >= s.start, "case {case}");
+            assert!((0.0..=1.0).contains(&s.rel_position), "case {case}");
         }
     }
+}
 
-    /// Under any scripted loss pattern the transfer completes (given
-    /// enough simulated time) and delivers exactly the response bytes.
-    #[test]
-    fn transfer_survives_any_drop_pattern(drops in prop::collection::btree_set(0u64..60, 0..25)) {
+/// Under any scripted loss pattern the transfer completes (given
+/// enough simulated time) and delivers exactly the response bytes.
+#[test]
+fn transfer_survives_any_drop_pattern() {
+    for case in 0..64 {
+        let mut rng = case_rng("transfer_survives", case);
+        let drops = arb_drop_set(&mut rng, 60, 25);
         let spec = FlowSpec {
             max_time: SimDuration::from_secs(600),
             ..FlowSpec::response_bytes(20 * MSS)
@@ -79,48 +108,61 @@ proptest! {
         let path = PathSpec {
             rtt: SimDuration::from_millis(80),
             jitter: SimDuration::ZERO,
-            loss: LossSpec::Script { drops: drops.into_iter().collect() },
+            loss: LossSpec::Script {
+                drops: drops.into_iter().collect(),
+            },
             ack_loss: Some(LossSpec::None),
             bandwidth_bps: 10_000_000,
             queue_pkts: 0,
             ..PathSpec::default()
         };
         let out = simulate_flow(&spec, &path, RecoveryMechanism::Native, 5);
-        prop_assert!(out.completed, "flow must eventually complete");
-        prop_assert_eq!(out.trace.goodput_bytes_out(), 20 * MSS);
+        assert!(out.completed, "case {case}: flow must eventually complete");
+        assert_eq!(out.trace.goodput_bytes_out(), 20 * MSS, "case {case}");
         // The analyzer must handle the resulting trace too.
         let _ = analyze_flow(&out.trace, AnalyzerConfig::default());
     }
+}
 
-    /// S-RTO and TLP also survive arbitrary drop patterns.
-    #[test]
-    fn mitigations_survive_any_drop_pattern(
-        drops in prop::collection::btree_set(0u64..40, 0..12),
-        srto in prop::bool::ANY,
-    ) {
+/// S-RTO and TLP also survive arbitrary drop patterns.
+#[test]
+fn mitigations_survive_any_drop_pattern() {
+    for case in 0..64 {
+        let mut rng = case_rng("mitigations_survive", case);
+        let drops = arb_drop_set(&mut rng, 40, 12);
+        let srto = rng.chance(0.5);
         let spec = FlowSpec::response_bytes(12 * MSS);
         let path = PathSpec {
             rtt: SimDuration::from_millis(80),
             jitter: SimDuration::ZERO,
-            loss: LossSpec::Script { drops: drops.into_iter().collect() },
+            loss: LossSpec::Script {
+                drops: drops.into_iter().collect(),
+            },
             ack_loss: Some(LossSpec::None),
             bandwidth_bps: 10_000_000,
             queue_pkts: 0,
             ..PathSpec::default()
         };
-        let mech = if srto { RecoveryMechanism::srto() } else { RecoveryMechanism::tlp() };
+        let mech = if srto {
+            RecoveryMechanism::srto()
+        } else {
+            RecoveryMechanism::tlp()
+        };
         let out = simulate_flow(&spec, &path, mech, 5);
-        prop_assert!(out.completed);
-        prop_assert_eq!(out.trace.goodput_bytes_out(), 12 * MSS);
+        assert!(out.completed, "case {case}");
+        assert_eq!(out.trace.goodput_bytes_out(), 12 * MSS, "case {case}");
     }
+}
 
-    /// Classic-pcap encode/decode round-trips every field the classifier
-    /// reads, for arbitrary well-formed flows. A handshake prefix anchors
-    /// the per-direction ISNs — without a captured SYN no pcap analyzer
-    /// can recover absolute stream offsets.
-    #[test]
-    fn pcap_roundtrip_arbitrary_flows(mut records in prop::collection::vec(arb_record(), 1..60)) {
-        records.sort_by_key(|r| r.t);
+/// Classic-pcap encode/decode round-trips every field the classifier
+/// reads, for arbitrary well-formed flows. A handshake prefix anchors
+/// the per-direction ISNs — without a captured SYN no pcap analyzer
+/// can recover absolute stream offsets.
+#[test]
+fn pcap_roundtrip_arbitrary_flows() {
+    for case in 0..128 {
+        let mut rng = case_rng("pcap_roundtrip", case);
+        let records = arb_records(&mut rng, 1, 60);
         let syn = TraceRecord {
             t: SimTime::from_micros(0),
             dir: Direction::In,
@@ -145,39 +187,48 @@ proptest! {
         };
         let mut all = vec![syn, synack];
         all.extend(records);
-        let trace = FlowTrace { key: Some(FlowKey::synthetic(3)), records: all };
+        let trace = FlowTrace {
+            key: Some(FlowKey::synthetic(3)),
+            records: all,
+        };
         let mut buf = Vec::new();
         let mut w = PcapWriter::new(&mut buf).unwrap();
         w.write_flow(&trace).unwrap();
         w.finish().unwrap();
         let parsed = PcapReader::read_all(&buf[..]).unwrap();
-        prop_assert_eq!(parsed.len(), 1);
-        prop_assert_eq!(parsed[0].records.len(), trace.records.len());
+        assert_eq!(parsed.len(), 1, "case {case}");
+        assert_eq!(parsed[0].records.len(), trace.records.len(), "case {case}");
         for (orig, got) in trace.records.iter().zip(&parsed[0].records) {
-            prop_assert_eq!(orig.t, got.t);
-            prop_assert_eq!(orig.dir, got.dir);
-            prop_assert_eq!(orig.seq, got.seq);
-            prop_assert_eq!(orig.len, got.len);
+            assert_eq!(orig.t, got.t, "case {case}");
+            assert_eq!(orig.dir, got.dir, "case {case}");
+            assert_eq!(orig.seq, got.seq, "case {case}");
+            assert_eq!(orig.len, got.len, "case {case}");
             if orig.flags.ack {
-                prop_assert_eq!(orig.ack, got.ack);
+                assert_eq!(orig.ack, got.ack, "case {case}");
             }
-            prop_assert_eq!(&orig.sack, &got.sack);
+            assert_eq!(&orig.sack, &got.sack, "case {case}");
             // rwnd is quantized by the window scale (128-byte units); SYN
             // windows are unscaled and clamp at 64KB.
             if !orig.flags.syn {
-                prop_assert!(orig.rwnd - got.rwnd < 128);
+                assert!(orig.rwnd - got.rwnd < 128, "case {case}");
             }
         }
     }
+}
 
-    /// The scoreboard always satisfies Equation 1 and never double-counts,
-    /// under arbitrary interleavings of transmit/sack/ack/mark/retransmit.
-    #[test]
-    fn scoreboard_counters_consistent(ops in prop::collection::vec((0u8..6, 0u64..30), 1..120)) {
+/// The scoreboard always satisfies Equation 1 and never double-counts,
+/// under arbitrary interleavings of transmit/sack/ack/mark/retransmit.
+#[test]
+fn scoreboard_counters_consistent() {
+    for case in 0..128 {
+        let mut rng = case_rng("scoreboard_counters", case);
+        let n_ops = rng.range_u64(1, 120);
         let mut sb = Scoreboard::new();
         let mss = 1000u32;
         let mut now = SimTime::ZERO;
-        for (op, arg) in ops {
+        for _ in 0..n_ops {
+            let op = rng.range_u64(0, 6) as u8;
+            let arg = rng.range_u64(0, 30);
             now += SimDuration::from_millis(1);
             match op {
                 0 => {
@@ -197,13 +248,13 @@ proptest! {
                 }
                 4 => {
                     if let Some(seq) = sb.next_lost_seq() {
-                        sb.on_retransmit(now, seq, arg % 2 == 0, arg % 2 == 1);
+                        sb.on_retransmit(now, seq, arg.is_multiple_of(2), !arg.is_multiple_of(2));
                     }
                 }
                 _ => {
-                    if arg % 7 == 0 {
+                    if arg.is_multiple_of(7) {
                         sb.mark_all_lost();
-                    } else if arg % 5 == 0 {
+                    } else if arg.is_multiple_of(5) {
                         sb.unmark_all_lost();
                     } else {
                         sb.mark_lost_fack(3, mss);
@@ -211,9 +262,15 @@ proptest! {
                 }
             }
             // Eq. 1 must never underflow and the parts never exceed the whole.
-            prop_assert!(sb.sacked_out() + sb.lost_out() <= sb.packets_out() + sb.retrans_out());
-            prop_assert!(sb.in_flight() <= sb.packets_out() + sb.retrans_out());
-            prop_assert!(sb.snd_una() <= sb.snd_nxt());
+            assert!(
+                sb.sacked_out() + sb.lost_out() <= sb.packets_out() + sb.retrans_out(),
+                "case {case}"
+            );
+            assert!(
+                sb.in_flight() <= sb.packets_out() + sb.retrans_out(),
+                "case {case}"
+            );
+            assert!(sb.snd_una() <= sb.snd_nxt(), "case {case}");
         }
     }
 }

@@ -1,0 +1,150 @@
+//! The engine micro-bench: end-to-end flows/sec through the full
+//! sample → simulate → analyze pipeline, at 1 thread and at all cores,
+//! emitted machine-readably as `BENCH_engine.json` so every PR has a
+//! perf trajectory to compare against.
+//!
+//! Run with `cargo bench -p bench-suite --bench engine`. Knobs:
+//!
+//! * `BENCH_ENGINE_FLOWS` — flows per service (default 40; CI uses a
+//!   smaller count). flows/sec is normalized, so counts are comparable.
+//! * `BENCH_ENGINE_OUT` — output path (default `BENCH_engine.json` at the
+//!   workspace root).
+//! * `-- --gate` — regression-gate mode: compare the fresh single-thread
+//!   flows/sec against `current.flows_per_sec_1t` in the *committed* JSON
+//!   and exit non-zero on a >20% regression.
+//!
+//! The emitted file keeps two sections: `baseline_pre_pr` (the tree before
+//! the hot-path overhaul, preserved verbatim from the existing file) and
+//! `current` (this run). The ratio of the two is the committed speedup.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bench_suite::{extract_json_number, peak_rss_bytes};
+use experiments::{Dataset, Engine, Scale};
+use tapo::json::Json;
+
+/// One measured configuration: flows/sec over `repeats` dataset builds
+/// (median), at the engine's thread count.
+///
+/// Measures the *streaming* build — records flow straight from the
+/// simulator into the analyzer, no per-flow trace materialization — which
+/// is the hot path the engine exposes for anything that does not need raw
+/// traces. Analyses and breakdowns are bit-identical to the materializing
+/// `Dataset::build_with` (asserted by `fused_pipeline_matches_two_pass_pipeline`).
+fn measure(engine: &Engine, scale: Scale, repeats: usize) -> f64 {
+    let total_flows = (scale.flows_per_service * workloads::Service::ALL.len()) as f64;
+    // Warm-up build: page in code, warm allocator arenas.
+    std::hint::black_box(Dataset::build_streaming(scale, engine));
+    let mut secs: Vec<f64> = (0..repeats)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(Dataset::build_streaming(scale, engine));
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    secs.sort_by(f64::total_cmp);
+    total_flows / secs[repeats / 2]
+}
+
+fn out_path() -> PathBuf {
+    std::env::var_os("BENCH_ENGINE_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_engine.json")
+        })
+}
+
+fn main() {
+    let gate = std::env::args().any(|a| a == "--gate");
+    let flows: usize = std::env::var("BENCH_ENGINE_FLOWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    let scale = Scale {
+        flows_per_service: flows,
+        seed: 2015,
+    };
+    let out = out_path();
+    let committed = std::fs::read_to_string(&out).unwrap_or_default();
+
+    let serial = Engine::serial();
+    let auto = Engine::auto();
+    let fps_1t = measure(&serial, scale, 5);
+    let fps_nt = measure(&auto, scale, 5);
+    let rss = peak_rss_bytes().unwrap_or(0);
+    println!(
+        "engine/flows_per_sec_1t              {fps_1t:>12.1} flows/s  ({flows} flows/service)"
+    );
+    println!(
+        "engine/flows_per_sec_{}t              {fps_nt:>12.1} flows/s  (speedup {:.2}x)",
+        auto.threads(),
+        fps_nt / fps_1t.max(1e-12)
+    );
+    println!(
+        "engine/peak_rss                      {:>12.1} MiB",
+        rss as f64 / (1024.0 * 1024.0)
+    );
+
+    if gate {
+        match extract_json_number(&committed, "flows_per_sec_1t") {
+            Some(baseline) if baseline > 0.0 => {
+                let floor = 0.8 * baseline;
+                if fps_1t < floor {
+                    eprintln!(
+                        "REGRESSION: {fps_1t:.1} flows/s single-thread is more than 20% below \
+                         the committed baseline {baseline:.1} flows/s (floor {floor:.1})"
+                    );
+                    std::process::exit(1);
+                }
+                println!("gate ok: {fps_1t:.1} flows/s >= 80% of committed {baseline:.1} flows/s");
+            }
+            _ => println!("gate skipped: no committed baseline at {}", out.display()),
+        }
+    }
+
+    // Preserve the pre-PR baseline section from the committed file; a
+    // first-ever run seeds it from this run so the speedup starts at 1.0.
+    let section = |f1: f64, fnt: f64, r: u64| {
+        Json::obj([
+            ("flows_per_sec_1t", Json::Num(f1)),
+            ("flows_per_sec_nt", Json::Num(fnt)),
+            ("peak_rss_bytes", Json::Int(r as i64)),
+        ])
+    };
+    let base_1t = baseline_field(&committed, "flows_per_sec_1t").unwrap_or(fps_1t);
+    let base_nt = baseline_field(&committed, "flows_per_sec_nt").unwrap_or(fps_nt);
+    let base_rss = baseline_field(&committed, "peak_rss_bytes").unwrap_or(rss as f64);
+    let doc = Json::obj([
+        ("schema", Json::Int(1)),
+        ("bench", Json::Str("engine".into())),
+        ("flows_per_service", Json::Int(flows as i64)),
+        ("services", Json::Int(workloads::Service::ALL.len() as i64)),
+        ("threads_parallel", Json::Int(auto.threads() as i64)),
+        (
+            "baseline_pre_pr",
+            section(base_1t, base_nt, base_rss as u64),
+        ),
+        ("current", section(fps_1t, fps_nt, rss)),
+        (
+            "speedup_1t_vs_pre_pr",
+            Json::Num(fps_1t / base_1t.max(1e-12)),
+        ),
+    ]);
+    let body = format!("{}\n", doc.pretty());
+    match std::fs::write(&out, body) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}
+
+/// Read a numeric field out of the `baseline_pre_pr` section specifically
+/// (the top-level scan in [`extract_json_number`] would find the first
+/// occurrence, which is the baseline section in the committed layout — but
+/// slice to the section so reordering the file cannot silently flip it).
+fn baseline_field(text: &str, key: &str) -> Option<f64> {
+    let at = text.find("\"baseline_pre_pr\"")?;
+    let section = &text[at..];
+    let end = section.find('}').unwrap_or(section.len());
+    extract_json_number(&section[..end], key)
+}

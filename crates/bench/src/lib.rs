@@ -126,6 +126,31 @@ impl Default for Harness {
     }
 }
 
+/// Extract the first number following `"key":` in a JSON text. The
+/// workspace's [`tapo::json::Json`] only *writes* JSON; the engine bench's
+/// regression gate needs to read two numbers back out of the committed
+/// `BENCH_engine.json`, and a field scan is all that takes. Returns `None`
+/// if the key is absent or not followed by a number.
+pub fn extract_json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Peak resident-set size of this process in bytes (the `VmHWM` high-water
+/// mark from `/proc/self/status`). Returns `None` off Linux — the bench
+/// reports it as a memory-footprint proxy, not a portable measurement.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 fn human_time(d: Duration) -> String {
     let ns = d.as_nanos();
     if ns >= 1_000_000_000 {
@@ -176,6 +201,22 @@ mod tests {
             budget: Duration::from_millis(5),
         };
         assert!(h.bench("other", || 1).is_none());
+    }
+
+    #[test]
+    fn extract_json_number_finds_nested_fields() {
+        let text = r#"{ "a": { "flows_per_sec_1t": 123.5 }, "b": -2e3 }"#;
+        assert_eq!(extract_json_number(text, "flows_per_sec_1t"), Some(123.5));
+        assert_eq!(extract_json_number(text, "b"), Some(-2000.0));
+        assert_eq!(extract_json_number(text, "missing"), None);
+        assert_eq!(extract_json_number(r#"{"a": "str"}"#, "a"), None);
+    }
+
+    #[test]
+    fn peak_rss_reports_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_bytes().unwrap() > 0);
+        }
     }
 
     #[test]

@@ -163,7 +163,7 @@ fn retrans_cause(
     if nth >= 2 {
         let first_was_fast = replay
             .hist
-            .get(&rec.seq)
+            .get(rec.seq)
             .and_then(|h| h.first_retrans)
             .map(|k| k == crate::replay::RetransKind::Fast)
             .unwrap_or(false);
@@ -174,7 +174,7 @@ fn retrans_cause(
     // knowledge (§3.3): a retransmission later reported as a duplicate by
     // DSACK means the data was never lost, so the loss-based rules below
     // cannot apply — the stall was caused by delayed or dropped ACKs.
-    let dsacked = replay.hist.get(&rec.seq).is_some_and(|h| h.dsacked);
+    let dsacked = replay.hist.get(rec.seq).is_some_and(|h| h.dsacked);
 
     // 2. Tail retransmission: too few segments after it in its response to
     // raise dupthres dupacks.
@@ -412,7 +412,7 @@ mod tests {
             out_data(301, 8 * m, MSS),
             {
                 let mut r = in_ack(400, 7 * m);
-                r.sack = vec![SackBlock::new(8 * m, 9 * m)];
+                r.sack = [SackBlock::new(8 * m, 9 * m)].into();
                 r
             },
             // Stall, then timeout retransmission of seg 7m. More data
@@ -522,7 +522,7 @@ mod tests {
         recs.push(out_data(1300, 2 * m, MSS));
         // The delayed ACK arrives along with a DSACK for the retransmission.
         let mut d = in_ack(1400, 6 * m);
-        d.sack = vec![SackBlock::new(2 * m, 3 * m)];
+        d.sack = [SackBlock::new(2 * m, 3 * m)].into();
         d.dsack = true;
         recs.push(d);
         // Response continues.

@@ -82,7 +82,7 @@ pub struct FlowMetrics {
 }
 
 /// The result of analyzing one flow.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowAnalysis {
     /// Detected and classified stalls, in time order.
     pub stalls: Vec<Stall>,

@@ -9,8 +9,6 @@
 //! the analyzer stays an independent observer that also works on real pcap
 //! captures.
 
-use std::collections::BTreeMap;
-
 use simnet::time::{SimDuration, SimTime};
 use tcp_trace::record::{Direction, TraceRecord};
 
@@ -139,6 +137,149 @@ struct OutSeg {
     retrans_out: bool,
 }
 
+/// Sorted flat map of per-segment histories, keyed by start offset.
+///
+/// New data arrives in sequence order, so inserts are almost always a
+/// `push`; lookups are binary searches. This replaces a `BTreeMap` on the
+/// replay hot path — same ordering semantics, a fraction of the cost.
+#[derive(Debug, Default)]
+pub struct SegHistMap {
+    v: Vec<(u64, SegHist)>,
+}
+
+impl SegHistMap {
+    fn idx(&self, seq: u64) -> Result<usize, usize> {
+        self.v.binary_search_by_key(&seq, |(s, _)| *s)
+    }
+
+    /// The history of the segment starting exactly at `seq`.
+    pub fn get(&self, seq: u64) -> Option<&SegHist> {
+        self.idx(seq).ok().map(|i| &self.v[i].1)
+    }
+
+    /// Mutable access to the history at `seq`.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut SegHist> {
+        match self.idx(seq) {
+            Ok(i) => Some(&mut self.v[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Insert or replace the history at `seq`.
+    pub fn insert(&mut self, seq: u64, h: SegHist) {
+        match self.v.last() {
+            Some((last, _)) if *last >= seq => match self.idx(seq) {
+                Ok(i) => self.v[i].1 = h,
+                Err(i) => self.v.insert(i, (seq, h)),
+            },
+            _ => self.v.push((seq, h)),
+        }
+    }
+
+    /// The entry with the greatest key ≤ `seq` (a `BTreeMap`'s
+    /// `range_mut(..=seq).next_back()`).
+    pub fn last_at_or_below_mut(&mut self, seq: u64) -> Option<&mut SegHist> {
+        let i = self.v.partition_point(|(s, _)| *s <= seq);
+        i.checked_sub(1).map(|i| &mut self.v[i].1)
+    }
+
+    /// Number of distinct segments seen.
+    pub fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    /// Whether no segment has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    /// Iterate `(start_offset, history)` in offset order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &SegHist)> {
+        self.v.iter().map(|(s, h)| (*s, h))
+    }
+}
+
+/// The analyzer's scoreboard: outstanding segments in ascending offset
+/// order. New data always enters at the tail and cumulative ACKs retire a
+/// prefix, so a flat Vec with a head index gives O(1) amortized
+/// insert/retire where a `BTreeMap` paid a tree rebalance per packet.
+#[derive(Debug, Default)]
+struct Outstanding {
+    v: Vec<(u64, OutSeg)>,
+    head: usize,
+}
+
+impl Outstanding {
+    fn len(&self) -> usize {
+        self.v.len() - self.head
+    }
+
+    fn is_empty(&self) -> bool {
+        self.v.len() == self.head
+    }
+
+    fn live(&self) -> &[(u64, OutSeg)] {
+        &self.v[self.head..]
+    }
+
+    fn live_mut(&mut self) -> &mut [(u64, OutSeg)] {
+        &mut self.v[self.head..]
+    }
+
+    /// Lowest outstanding start offset.
+    fn first_key(&self) -> Option<u64> {
+        self.v.get(self.head).map(|(s, _)| *s)
+    }
+
+    /// Append a segment; offsets only ever grow.
+    fn push(&mut self, seq: u64, seg: OutSeg) {
+        debug_assert!(self.v.last().is_none_or(|(s, _)| *s < seq));
+        self.v.push((seq, seg));
+    }
+
+    fn get_mut(&mut self, seq: u64) -> Option<&mut OutSeg> {
+        let live = &mut self.v[self.head..];
+        match live.binary_search_by_key(&seq, |(s, _)| *s) {
+            Ok(i) => Some(&mut live[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Mutable tail view: live entries with start offset ≥ `start`.
+    fn tail_mut(&mut self, start: u64) -> &mut [(u64, OutSeg)] {
+        let i = self.head + self.v[self.head..].partition_point(|(s, _)| *s < start);
+        &mut self.v[i..]
+    }
+
+    /// Retire every live segment wholly below `ack`, calling `f` on each in
+    /// ascending offset order. A partially-acked straggler (start below
+    /// `ack`, end above) is kept in place, exactly like the old
+    /// `range(..ack)` + filter on the `BTreeMap`.
+    fn retire_below(&mut self, ack: u64, mut f: impl FnMut(u64, OutSeg)) {
+        let end = self.head + self.v[self.head..].partition_point(|(s, _)| *s < ack);
+        let mut kept = 0usize;
+        for i in self.head..end {
+            let (seq, seg) = self.v[i];
+            if seq + seg.len as u64 <= ack {
+                f(seq, seg);
+            } else {
+                self.v[self.head + kept] = (seq, seg);
+                kept += 1;
+            }
+        }
+        // Slide the (rare) keepers up against the surviving suffix.
+        for j in (0..kept).rev() {
+            self.v[end - kept + j] = self.v[self.head + j];
+        }
+        self.head = end - kept;
+        // Amortized compaction of the retired prefix.
+        if self.head > 64 && self.head * 2 > self.v.len() {
+            self.v.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
 /// A point-in-time view of the reconstructed sender state, captured just
 /// before a stall-ending packet is processed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,8 +320,8 @@ pub struct ResponseBound {
 pub struct Replay {
     cfg: ReplayConfig,
     /// Per-segment lifetime history, by start offset.
-    pub hist: BTreeMap<u64, SegHist>,
-    outstanding: BTreeMap<u64, OutSeg>,
+    pub hist: SegHistMap,
+    outstanding: Outstanding,
     snd_una: u64,
     snd_nxt: u64,
     sacked_out: u32,
@@ -220,8 +361,8 @@ impl Replay {
     pub fn new(cfg: ReplayConfig) -> Self {
         Replay {
             cfg,
-            hist: BTreeMap::new(),
-            outstanding: BTreeMap::new(),
+            hist: SegHistMap::default(),
+            outstanding: Outstanding::default(),
             snd_una: 0,
             snd_nxt: 0,
             sacked_out: 0,
@@ -292,8 +433,9 @@ impl Replay {
     /// paper's `holes` parameter (reordered or dropped packets).
     pub fn holes(&self) -> u32 {
         self.outstanding
+            .live()
             .iter()
-            .filter(|(seq, seg)| !seg.sacked && **seq + seg.len as u64 <= self.high_sacked)
+            .filter(|(seq, seg)| !seg.sacked && *seq + seg.len as u64 <= self.high_sacked)
             .count() as u32
     }
 
@@ -366,7 +508,7 @@ impl Replay {
             dsacked: false,
         };
         self.hist.insert(rec.seq, hist);
-        self.outstanding.insert(
+        self.outstanding.push(
             rec.seq,
             OutSeg {
                 len: rec.len,
@@ -382,7 +524,7 @@ impl Replay {
         let threshold = self.stall_threshold();
         let waited = self
             .hist
-            .get(&rec.seq)
+            .get(rec.seq)
             .map(|h| rec.t.saturating_since(h.last_tx));
         let silent_gap = waited.is_none_or(|w| w > threshold);
 
@@ -400,12 +542,8 @@ impl Replay {
         // Only a retransmission of the *head* segment constitutes a new
         // timeout event; Loss-state follow-up retransmissions of the
         // marked-lost queue ride the same episode.
-        let is_head = rec.seq <= self.snd_una
-            || self
-                .outstanding
-                .keys()
-                .next()
-                .is_some_and(|&lo| rec.seq <= lo);
+        let is_head =
+            rec.seq <= self.snd_una || self.outstanding.first_key().is_some_and(|lo| rec.seq <= lo);
         let (kind, fresh_timeout) = if self.ca_state == EstCaState::Loss {
             (RetransKind::Timeout, silent_gap && is_head)
         } else if dup >= self.cfg.dupthres || self.ca_state == EstCaState::Recovery {
@@ -417,7 +555,7 @@ impl Replay {
         };
 
         let nth;
-        if let Some(h) = self.hist.get_mut(&rec.seq) {
+        if let Some(h) = self.hist.get_mut(rec.seq) {
             h.tx_count += 1;
             nth = h.tx_count - 1;
             if h.first_retrans.is_none() {
@@ -458,7 +596,7 @@ impl Replay {
                     self.high_seq = self.snd_nxt;
                     self.dupacks = 0;
                     // The sender marked everything outstanding lost.
-                    for (_, seg) in self.outstanding.iter_mut() {
+                    for (_, seg) in self.outstanding.live_mut() {
                         if seg.retrans_out {
                             seg.retrans_out = false;
                             self.retrans_out -= 1;
@@ -477,7 +615,7 @@ impl Replay {
                 }
             }
         }
-        if let Some(seg) = self.outstanding.get_mut(&rec.seq) {
+        if let Some(seg) = self.outstanding.get_mut(rec.seq) {
             if !seg.lost && !seg.sacked {
                 seg.lost = true;
                 self.lost_est += 1;
@@ -515,7 +653,7 @@ impl Replay {
         if rec.dsack {
             self.spurious += 1;
             if let Some(b) = rec.sack.first() {
-                if let Some((_, h)) = self.hist.range_mut(..=b.start).next_back() {
+                if let Some(h) = self.hist.last_at_or_below_mut(b.start) {
                     h.dsacked = true;
                 }
             }
@@ -530,8 +668,8 @@ impl Replay {
         let mut newly_sacked = 0u32;
         for b in blocks {
             self.high_sacked = self.high_sacked.max(b.end);
-            for (seq, seg) in self.outstanding.range_mut(b.start..) {
-                if seq + seg.len as u64 > b.end {
+            for (seq, seg) in self.outstanding.tail_mut(b.start).iter_mut() {
+                if *seq + seg.len as u64 > b.end {
                     break;
                 }
                 if seg.sacked {
@@ -553,32 +691,29 @@ impl Replay {
 
         let advanced = rec.ack > self.snd_una;
         if advanced {
-            // Remove fully acknowledged segments; sample RTT from the
+            // Retire fully acknowledged segments; sample RTT from the
             // highest never-retransmitted one.
-            let acked: Vec<u64> = self
-                .outstanding
-                .range(..rec.ack)
-                .filter(|(seq, seg)| *seq + seg.len as u64 <= rec.ack)
-                .map(|(seq, _)| *seq)
-                .collect();
             let mut rtt_sample = None;
-            for seq in acked {
-                let seg = self.outstanding.remove(&seq).expect("present");
+            let sacked_out = &mut self.sacked_out;
+            let lost_est = &mut self.lost_est;
+            let retrans_out = &mut self.retrans_out;
+            let hist = &self.hist;
+            self.outstanding.retire_below(rec.ack, |seq, seg| {
                 if seg.sacked {
-                    self.sacked_out -= 1;
+                    *sacked_out -= 1;
                 }
                 if seg.lost {
-                    self.lost_est -= 1;
+                    *lost_est -= 1;
                 }
                 if seg.retrans_out {
-                    self.retrans_out -= 1;
+                    *retrans_out -= 1;
                 }
-                if let Some(h) = self.hist.get(&seq) {
+                if let Some(h) = hist.get(seq) {
                     if h.tx_count == 1 {
                         rtt_sample = Some(rec.t.saturating_since(h.first_tx));
                     }
                 }
-            }
+            });
             if let Some(s) = rtt_sample {
                 self.rtt.observe(s);
                 self.rtt_samples.push(s);
@@ -622,8 +757,8 @@ impl Replay {
     fn mark_lost_fack(&mut self) {
         let threshold = (self.cfg.dupthres.saturating_sub(1)) as u64 * self.cfg.mss as u64;
         let high = self.high_sacked;
-        for (seq, seg) in self.outstanding.iter_mut() {
-            if seq + seg.len as u64 + threshold > high {
+        for (seq, seg) in self.outstanding.live_mut() {
+            if *seq + seg.len as u64 + threshold > high {
                 break;
             }
             if seg.sacked || seg.lost || seg.retrans_out {
@@ -744,7 +879,7 @@ mod tests {
         assert_eq!(rp.retrans_events.len(), 1);
         assert_eq!(rp.retrans_events[0].kind, RetransKind::Fast);
         assert_eq!(
-            rp.hist.get(&0).unwrap().first_retrans,
+            rp.hist.get(0).unwrap().first_retrans,
             Some(RetransKind::Fast)
         );
     }
@@ -792,12 +927,12 @@ mod tests {
             out_data(400, 0, MSS), // timeout retransmission
         ];
         let mut d = in_ack(450, 2 * m);
-        d.sack = vec![SackBlock::new(0, m)];
+        d.sack = [SackBlock::new(0, m)].into();
         d.dsack = true;
         recs.push(d);
         let rp = replay(&recs);
         assert_eq!(rp.spurious, 1);
-        assert!(rp.hist.get(&0).unwrap().dsacked);
+        assert!(rp.hist.get(0).unwrap().dsacked);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! does) plus only the stall-ending records — not the whole trace.
 
 use simnet::time::{SimDuration, SimTime};
-use tcp_trace::record::{Direction, TraceRecord};
+use tcp_trace::record::{Direction, RecordSink, TraceRecord};
 
 use crate::classify::{self, Candidate, Stall};
 use crate::replay::Replay;
@@ -70,7 +70,7 @@ impl StreamAnalyzer {
                     // Provisional classification against the flow so far.
                     // (`finish` re-classifies with complete knowledge.)
                     let stall = classify::classify(&cand, rec, &self.replay, &self.cfg.classify);
-                    self.pending.push((cand, rec.clone()));
+                    self.pending.push((cand, *rec));
                     emitted = Some(stall);
                 }
             }
@@ -106,6 +106,16 @@ impl StreamAnalyzer {
             self.data_pkts_out,
             &mut self.replay,
         )
+    }
+}
+
+/// Lets a flow simulator stream records straight into the analyzer,
+/// skipping trace materialization entirely. Provisional stalls surfaced
+/// mid-flow are dropped; call [`StreamAnalyzer::finish`] for the
+/// offline-equivalent analysis.
+impl RecordSink for StreamAnalyzer {
+    fn record(&mut self, rec: &TraceRecord) {
+        let _ = self.push(rec);
     }
 }
 

@@ -56,15 +56,39 @@ impl ServiceData {
     }
 
     /// Build one service's data on the given engine. Output is identical at
-    /// any thread count (see [`crate::engine`]).
+    /// any thread count (see [`crate::engine`]). Simulation and analysis
+    /// are fused: each flow's records are teed into the materialized trace
+    /// and a streaming analyzer in one pass.
     pub fn build_with(service: Service, scale: Scale, engine: &Engine) -> Self {
-        let corpus = engine.synthesize_corpus(
+        let (corpus, analyses) = engine.synthesize_and_analyze(
             service,
             scale.flows_per_service,
             RecoveryMechanism::Native,
             scale.seed,
+            AnalyzerConfig::default(),
         );
-        let analyses: Vec<FlowAnalysis> = engine.analyze_corpus(&corpus, AnalyzerConfig::default());
+        let breakdown = Engine::breakdown(&analyses);
+        ServiceData {
+            service,
+            corpus,
+            analyses,
+            breakdown,
+        }
+    }
+
+    /// Build one service's data without materializing any per-flow trace:
+    /// records stream straight into the analyzer. Analyses and breakdown
+    /// are identical to [`ServiceData::build_with`]; the corpus keeps its
+    /// aggregate per-flow counters but every `trace` is empty. Use this
+    /// when nothing downstream reads raw traces (benchmarks, large sweeps).
+    pub fn build_streaming(service: Service, scale: Scale, engine: &Engine) -> Self {
+        let (corpus, analyses) = engine.analyze_streaming(
+            service,
+            scale.flows_per_service,
+            RecoveryMechanism::Native,
+            scale.seed,
+            AnalyzerConfig::default(),
+        );
         let breakdown = Engine::breakdown(&analyses);
         ServiceData {
             service,
@@ -96,6 +120,16 @@ impl Dataset {
         let services = Service::ALL
             .iter()
             .map(|&s| ServiceData::build_with(s, scale, engine))
+            .collect();
+        Dataset { services, scale }
+    }
+
+    /// Synthesize and analyze all three services without materializing
+    /// per-flow traces (see [`ServiceData::build_streaming`]).
+    pub fn build_streaming(scale: Scale, engine: &Engine) -> Self {
+        let services = Service::ALL
+            .iter()
+            .map(|&s| ServiceData::build_streaming(s, scale, engine))
             .collect();
         Dataset { services, scale }
     }

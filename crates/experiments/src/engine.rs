@@ -20,9 +20,13 @@
 //! The engine owns no state beyond the thread count, so one instance can be
 //! threaded through a whole `repro` invocation.
 
-use tapo::{analyze_flow, AnalyzerConfig, FlowAnalysis, StallBreakdown};
+use tapo::{analyze_flow, AnalyzerConfig, FlowAnalysis, StallBreakdown, StreamAnalyzer};
 use tcp_sim::recovery::RecoveryMechanism;
-use workloads::{sample_flow, simulate_flow, Corpus, FlowSpec, PathSpec, Service, ServiceModel};
+use tcp_trace::flow::FlowTrace;
+use workloads::{
+    flow_key_for_seed, sample_flow, simulate_flow, simulate_flow_into, Corpus, FlowSpec, PathSpec,
+    Service, ServiceModel,
+};
 
 /// A deterministic parallel executor for flow-level work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +120,71 @@ impl Engine {
         Corpus { service, flows }
     }
 
+    /// Fused sample→simulate→analyze for one service: each flow's records
+    /// are teed into both a materialized trace and a [`StreamAnalyzer`], so
+    /// the corpus *and* its analyses come out of a single pass per flow —
+    /// no second walk over the trace. Results are identical to
+    /// [`Engine::synthesize_corpus`] followed by [`Engine::analyze_corpus`].
+    pub fn synthesize_and_analyze(
+        &self,
+        service: Service,
+        n: usize,
+        mechanism: RecoveryMechanism,
+        seed: u64,
+        cfg: AnalyzerConfig,
+    ) -> (Corpus, Vec<FlowAnalysis>) {
+        let model = ServiceModel::calibrated(service);
+        let pairs = self.map(n, |i| {
+            let (spec, path) = sample_flow(&model, seed, i);
+            let fseed = seed + i as u64;
+            let sink = (
+                FlowTrace::new(flow_key_for_seed(fseed)),
+                StreamAnalyzer::new(cfg),
+            );
+            let (mut out, (trace, analyzer)) =
+                simulate_flow_into(&spec, &path, mechanism, fseed, sink);
+            out.trace = trace;
+            (out, analyzer.finish())
+        });
+        let mut flows = Vec::with_capacity(pairs.len());
+        let mut analyses = Vec::with_capacity(pairs.len());
+        for (o, a) in pairs {
+            flows.push(o);
+            analyses.push(a);
+        }
+        (Corpus { service, flows }, analyses)
+    }
+
+    /// Trace-free fused pipeline: records stream straight into a
+    /// [`StreamAnalyzer`] and the per-flow trace is **never materialized**.
+    /// The returned outcomes keep their aggregate counters (latencies,
+    /// sender stats, link stats) but carry empty traces; the analyses are
+    /// identical to the materializing paths.
+    pub fn analyze_streaming(
+        &self,
+        service: Service,
+        n: usize,
+        mechanism: RecoveryMechanism,
+        seed: u64,
+        cfg: AnalyzerConfig,
+    ) -> (Corpus, Vec<FlowAnalysis>) {
+        let model = ServiceModel::calibrated(service);
+        let pairs = self.map(n, |i| {
+            let (spec, path) = sample_flow(&model, seed, i);
+            let fseed = seed + i as u64;
+            let (out, analyzer) =
+                simulate_flow_into(&spec, &path, mechanism, fseed, StreamAnalyzer::new(cfg));
+            (out, analyzer.finish())
+        });
+        let mut flows = Vec::with_capacity(pairs.len());
+        let mut analyses = Vec::with_capacity(pairs.len());
+        for (o, a) in pairs {
+            flows.push(o);
+            analyses.push(a);
+        }
+        (Corpus { service, flows }, analyses)
+    }
+
     /// TAPO-analyze every flow of a corpus, in flow order.
     pub fn analyze_corpus(&self, corpus: &Corpus, cfg: AnalyzerConfig) -> Vec<FlowAnalysis> {
         self.map(corpus.flows.len(), |i| {
@@ -156,6 +225,36 @@ mod tests {
         for (a, b) in serial.flows.iter().zip(&engine.flows) {
             assert_eq!(a.trace.records, b.trace.records);
         }
+    }
+
+    #[test]
+    fn fused_pipeline_matches_two_pass_pipeline() {
+        let engine = Engine::serial();
+        let (svc, n, mech, seed) = (Service::CloudStorage, 12, RecoveryMechanism::Native, 7);
+        let cfg = AnalyzerConfig::default();
+        // Reference: materialize, then analyze in a second pass.
+        let corpus = engine.synthesize_corpus(svc, n, mech, seed);
+        let offline = engine.analyze_corpus(&corpus, cfg);
+        // Fused tee: same corpus, same analyses, one pass.
+        let (fused_corpus, fused) = engine.synthesize_and_analyze(svc, n, mech, seed, cfg);
+        for (a, b) in corpus.flows.iter().zip(&fused_corpus.flows) {
+            assert_eq!(a.trace.key, b.trace.key);
+            assert_eq!(a.trace.records, b.trace.records);
+            assert_eq!(a.server_stats, b.server_stats);
+        }
+        assert_eq!(offline, fused);
+        // Trace-free streaming: identical analyses, empty traces.
+        let (lean_corpus, streamed) = engine.analyze_streaming(svc, n, mech, seed, cfg);
+        assert_eq!(offline, streamed);
+        for (a, b) in corpus.flows.iter().zip(&lean_corpus.flows) {
+            assert!(b.trace.records.is_empty(), "streaming must not keep traces");
+            assert_eq!(a.server_stats, b.server_stats);
+            assert_eq!(a.request_latencies, b.request_latencies);
+        }
+        assert_eq!(
+            Engine::breakdown(&offline).total_stalls,
+            Engine::breakdown(&streamed).total_stalls
+        );
     }
 
     #[test]

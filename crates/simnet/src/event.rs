@@ -1,46 +1,103 @@
 //! The deterministic event queue.
 //!
-//! A thin priority queue keyed by `(SimTime, insertion sequence)`. The
-//! secondary key makes pop order fully deterministic even when many events
-//! share a timestamp, which (together with seeded RNGs) guarantees bitwise
-//! reproducible simulations.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//! A bucketed **calendar queue** keyed by `(SimTime, insertion sequence)`.
+//! The secondary key makes pop order fully deterministic even when many
+//! events share a timestamp, which (together with seeded RNGs) guarantees
+//! bitwise reproducible simulations.
+//!
+//! ## Why a calendar queue
+//!
+//! The per-flow simulation pushes and pops an event per simulated packet;
+//! a `BinaryHeap` pays `O(log n)` sift comparisons on every operation. The
+//! calendar queue exploits the structure of simulation time instead:
+//! events cluster within an RTT of `now`, so hashing each event into a
+//! fixed ring of 1ms-wide time buckets makes push `O(1)` and pop `O(1)`
+//! amortized (the cursor sweeps each bucket once per window).
+//!
+//! ## Layout
+//!
+//! * `buckets` — a ring of `N_BUCKETS` slots, each `BUCKET_US` wide,
+//!   covering the *current year* `[year_base, year_base + N_BUCKETS)` in
+//!   absolute bucket numbers (`t >> BUCKET_BITS`).
+//! * `far` — events beyond the current year, held unsorted. Every far
+//!   event is strictly later than every bucketed event, so `far` is only
+//!   consulted when the whole ring drains; redistribution then re-bases
+//!   the year at the earliest far event (`O(|far|)`, amortized over the
+//!   window that just drained).
+//! * The cursor's bucket is kept sorted **descending** by `(at, seq)` so
+//!   the next event pops from the back in `O(1)`; other buckets stay
+//!   unsorted (append-only) and are sorted once when the cursor reaches
+//!   them. Same-bucket pushes during the drain binary-search their slot,
+//!   preserving exact FIFO order among simultaneous events.
+//! * Payloads live in a **slab** (`Vec<Option<E>>` plus a free list) and
+//!   the buckets hold only 24-byte `(at, seq, idx)` keys. Event payloads
+//!   in this codebase are fat (a queued `Segment` is >100 bytes), and
+//!   every bucket sort, mid-drain insert, and far-redistribution moves
+//!   entries around — moving 24-byte keys instead of whole payloads keeps
+//!   those memmoves cheap. A payload is written once on push and read
+//!   once on pop.
+//!
+//! Determinism is untouched: pop order is *exactly* ascending `(at, seq)`,
+//! the same total order the old heap produced — verified by a differential
+//! test against a reference `BinaryHeap` implementation below.
 
 use crate::time::SimTime;
 
-#[derive(Debug)]
-struct Entry<E> {
+/// log2 of the bucket width in microseconds (1024µs ≈ 1ms — finer than
+/// the delayed-ACK timer, coarser than per-packet serialization gaps).
+const BUCKET_BITS: u32 = 10;
+/// Ring size; with 1ms buckets the year spans ~262ms, longer than one
+/// RTT + typical RTO for the paper's paths, so redistribution is rare.
+const N_BUCKETS: usize = 256;
+
+/// A bucket entry: the ordering key plus the slab index of the payload.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
     at: SimTime,
     seq: u64,
-    event: E,
+    idx: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+impl Slot {
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
     }
 }
 
-/// A deterministic min-heap of timestamped events.
+fn bucket_of(at: SimTime) -> u64 {
+    at.as_micros() >> BUCKET_BITS
+}
+
+/// A deterministic calendar queue of timestamped events.
 ///
 /// Popping returns events in nondecreasing time order; ties are broken by
 /// insertion order (FIFO among simultaneous events).
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// The ring. Slot `b % N_BUCKETS` holds events of absolute bucket `b`
+    /// for `b` within the current year only.
+    buckets: Vec<Vec<Slot>>,
+    /// Payload storage; bucket entries index into it. `None` marks a hole
+    /// waiting on the free list.
+    slab: Vec<Option<E>>,
+    /// Indices of holes in `slab`, reused before the slab grows.
+    free: Vec<u32>,
+    /// Occupancy bitmap over ring slots: bit `s` of word `s / 64` is set
+    /// iff `buckets[s]` is non-empty. Events are sparse relative to the
+    /// ring (a handful in flight across a 100ms RTT ≈ 100 buckets), so
+    /// the cursor jumps empty spans with `trailing_zeros` instead of
+    /// probing each slot.
+    occupied: [u64; N_BUCKETS / 64],
+    /// Events at or beyond `year_base + N_BUCKETS` (strictly later than
+    /// everything in the ring).
+    far: Vec<Slot>,
+    /// Absolute bucket number where the current year begins.
+    year_base: u64,
+    /// Absolute bucket number the pop cursor is in (`>= year_base`).
+    cursor: u64,
+    /// Whether the cursor's slot has been drain-sorted (descending).
+    cursor_sorted: bool,
+    len: usize,
     next_seq: u64,
     now: SimTime,
 }
@@ -55,10 +112,50 @@ impl<E> EventQueue<E> {
     /// An empty queue with the clock at time zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets: (0..N_BUCKETS).map(|_| Vec::new()).collect(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            occupied: [0; N_BUCKETS / 64],
+            far: Vec::new(),
+            year_base: 0,
+            cursor: 0,
+            cursor_sorted: false,
+            len: 0,
             next_seq: 0,
             now: SimTime::ZERO,
         }
+    }
+
+    fn mark(&mut self, slot: usize) {
+        self.occupied[slot / 64] |= 1 << (slot % 64);
+    }
+
+    fn unmark(&mut self, slot: usize) {
+        self.occupied[slot / 64] &= !(1 << (slot % 64));
+    }
+
+    /// First occupied ring slot at or after `from_slot` in cursor order
+    /// (wrapping). Ring slots behind the cursor are drained (bits clear),
+    /// so every set bit belongs to the current year ahead of the cursor.
+    fn next_occupied(&self, from_slot: usize) -> Option<usize> {
+        const WORDS: usize = N_BUCKETS / 64;
+        let w0 = from_slot / 64;
+        let shift = from_slot % 64;
+        let first = self.occupied[w0] & (!0u64 << shift);
+        if first != 0 {
+            return Some(w0 * 64 + first.trailing_zeros() as usize);
+        }
+        for k in 1..WORDS {
+            let w = (w0 + k) % WORDS;
+            if self.occupied[w] != 0 {
+                return Some(w * 64 + self.occupied[w].trailing_zeros() as usize);
+            }
+        }
+        let wrapped = self.occupied[w0] & !(!0u64 << shift);
+        if wrapped != 0 {
+            return Some(w0 * 64 + wrapped.trailing_zeros() as usize);
+        }
+        None
     }
 
     /// The time of the most recently popped event (the simulation clock).
@@ -70,41 +167,192 @@ impl<E> EventQueue<E> {
     ///
     /// Panics in debug builds if `at` is in the past — a simulation that
     /// schedules into the past has a logic error that must not be masked.
+    /// The message reports how far behind the clock the event landed.
     pub fn push(&mut self, at: SimTime, event: E) {
         debug_assert!(
             at >= self.now,
-            "scheduling into the past: {at} < {}",
-            self.now
+            "scheduling into the past: {at} < {} (event is {} behind the clock)",
+            self.now,
+            self.now.saturating_since(at),
         );
+        let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry {
-            at: at.max(self.now),
-            seq,
-            event,
-        }));
+        self.len += 1;
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i as usize] = Some(event);
+                i
+            }
+            None => {
+                self.slab.push(Some(event));
+                (self.slab.len() - 1) as u32
+            }
+        };
+        let entry = Slot { at, seq, idx };
+        let b = bucket_of(at);
+        if b >= self.year_base + N_BUCKETS as u64 {
+            self.far.push(entry);
+            return;
+        }
+        let s = (b % N_BUCKETS as u64) as usize;
+        let slot = &mut self.buckets[s];
+        if b == self.cursor && self.cursor_sorted {
+            // The slot is mid-drain, sorted descending: keep it sorted.
+            // The new entry has the largest seq so far, so it lands
+            // *after* any equal-time entries in pop order (FIFO).
+            let key = (at, seq);
+            let pos = slot.partition_point(|e| e.key() > key);
+            slot.insert(pos, entry);
+        } else {
+            slot.push(entry);
+        }
+        self.mark(s);
     }
 
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Reverse(entry) = self.heap.pop()?;
-        self.now = entry.at;
-        Some((entry.at, entry.event))
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            let cur_slot = (self.cursor % N_BUCKETS as u64) as usize;
+            if let Some(s) = self.next_occupied(cur_slot) {
+                let delta = (s + N_BUCKETS - cur_slot) % N_BUCKETS;
+                if delta != 0 {
+                    self.cursor += delta as u64;
+                    self.cursor_sorted = false;
+                }
+                debug_assert!(self.cursor < self.year_base + N_BUCKETS as u64);
+                if !self.cursor_sorted {
+                    self.buckets[s].sort_by_key(|e| std::cmp::Reverse(e.key()));
+                    self.cursor_sorted = true;
+                }
+                let entry = self.buckets[s].pop().expect("non-empty slot");
+                if self.buckets[s].is_empty() {
+                    self.unmark(s);
+                }
+                self.len -= 1;
+                self.now = entry.at;
+                let event = self.slab[entry.idx as usize]
+                    .take()
+                    .expect("slab slot occupied");
+                self.free.push(entry.idx);
+                return Some((entry.at, event));
+            }
+            // Ring drained: re-base the year at the earliest far event and
+            // pull everything that now falls inside the ring back in.
+            debug_assert!(!self.far.is_empty(), "len > 0 but no events anywhere");
+            let new_base = self
+                .far
+                .iter()
+                .map(|e| bucket_of(e.at))
+                .min()
+                .expect("far is non-empty");
+            self.year_base = new_base;
+            self.cursor = new_base;
+            self.cursor_sorted = false;
+            let new_end = new_base + N_BUCKETS as u64;
+            let mut i = 0;
+            while i < self.far.len() {
+                if bucket_of(self.far[i].at) < new_end {
+                    let entry = self.far.swap_remove(i);
+                    let s = (bucket_of(entry.at) % N_BUCKETS as u64) as usize;
+                    self.buckets[s].push(entry);
+                    self.mark(s);
+                } else {
+                    i += 1;
+                }
+            }
+        }
     }
 
-    /// Timestamp of the next event without popping it.
+    /// Timestamp of the next event without popping it. `O(ring)` — kept
+    /// for inspection and tests; the simulation hot loop never calls it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.at)
+        if self.len == 0 {
+            return None;
+        }
+        let cur_slot = (self.cursor % N_BUCKETS as u64) as usize;
+        if let Some(s) = self.next_occupied(cur_slot) {
+            let slot = &self.buckets[s];
+            let t = if s == cur_slot && self.cursor_sorted {
+                slot.last().expect("non-empty").at
+            } else {
+                slot.iter().map(|e| e.key()).min().expect("non-empty").0
+            };
+            return Some(t);
+        }
+        self.far.iter().map(|e| e.at).min()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+}
+
+/// The pre-calendar-queue reference implementation: a plain binary heap on
+/// `Reverse<(at, seq)>`. Kept (test-only) as the oracle for the
+/// differential test — the calendar queue must reproduce its pop order
+/// exactly, ties included.
+#[cfg(test)]
+mod reference {
+    use super::SimTime;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    pub struct HeapQueue<E> {
+        heap: BinaryHeap<Reverse<(SimTime, u64, WrapNoOrd<E>)>>,
+        next_seq: u64,
+        now: SimTime,
+    }
+
+    /// Shields the event payload from participating in heap ordering.
+    pub struct WrapNoOrd<E>(pub E);
+    impl<E> PartialEq for WrapNoOrd<E> {
+        fn eq(&self, _: &Self) -> bool {
+            true
+        }
+    }
+    impl<E> Eq for WrapNoOrd<E> {}
+    impl<E> PartialOrd for WrapNoOrd<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<E> Ord for WrapNoOrd<E> {
+        fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+            std::cmp::Ordering::Equal
+        }
+    }
+
+    impl<E> HeapQueue<E> {
+        pub fn new() -> Self {
+            HeapQueue {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                now: SimTime::ZERO,
+            }
+        }
+
+        pub fn push(&mut self, at: SimTime, event: E) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap
+                .push(Reverse((at.max(self.now), seq, WrapNoOrd(event))));
+        }
+
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            let Reverse((at, _, WrapNoOrd(event))) = self.heap.pop()?;
+            self.now = at;
+            Some((at, event))
+        }
     }
 }
 
@@ -156,5 +404,103 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, 3);
         assert_eq!(q.pop().unwrap().1, 2);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn events_beyond_the_ring_pop_in_order() {
+        // Stress the far path: events many years apart, interleaved with
+        // near events, including exact ring-boundary times.
+        let mut q = EventQueue::new();
+        let year = SimDuration::from_micros((N_BUCKETS as u64) << BUCKET_BITS);
+        q.push(SimTime::ZERO + year + year, "far2");
+        q.push(SimTime::from_millis(1), "near");
+        q.push(SimTime::ZERO + year, "far1");
+        q.push(SimTime::ZERO + year, "far1b");
+        assert_eq!(q.pop().unwrap().1, "near");
+        assert_eq!(q.pop().unwrap().1, "far1");
+        assert_eq!(q.pop().unwrap().1, "far1b");
+        assert_eq!(q.pop().unwrap().1, "far2");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_sees_ring_and_far_events() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(10), "far");
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(10)));
+        q.push(SimTime::from_millis(3), "near");
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(3)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(10)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "event is 5.000ms behind the clock")]
+    fn push_into_the_past_reports_time_delta() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(10), ());
+        q.pop();
+        q.push(SimTime::from_millis(5), ());
+    }
+
+    /// Deterministic xorshift64* — good enough to generate adversarial
+    /// schedules without pulling in an RNG dependency.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    #[test]
+    fn differential_vs_binary_heap_reference() {
+        // Identical random push/pop schedules through the calendar queue
+        // and the old BinaryHeap must produce identical pop sequences —
+        // including FIFO order among same-time ties.
+        for seed in 1..=20u64 {
+            let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut cal = EventQueue::new();
+            let mut heap = reference::HeapQueue::new();
+            let mut popped = Vec::new();
+            let mut expected = Vec::new();
+            let mut next_id = 0u64;
+            for _ in 0..4000 {
+                let r = rng.next();
+                if r % 100 < 60 {
+                    // Push: delays drawn from a mix of scales — ties (0),
+                    // sub-bucket, intra-ring, and beyond-the-ring jumps.
+                    let delay = match r % 7 {
+                        0 => 0,
+                        1 => rng.next() % 3,
+                        2 => rng.next() % 1_000,
+                        3 => rng.next() % 100_000,
+                        4 => rng.next() % 300_000,
+                        5 => rng.next() % 2_000_000,
+                        _ => 500_000 + rng.next() % 10_000_000,
+                    };
+                    let at = cal.now() + SimDuration::from_micros(delay);
+                    cal.push(at, next_id);
+                    heap.push(at, next_id);
+                    next_id += 1;
+                } else {
+                    popped.extend(cal.pop());
+                    expected.extend(heap.pop());
+                }
+            }
+            while let Some(p) = cal.pop() {
+                popped.push(p);
+            }
+            while let Some(p) = heap.pop() {
+                expected.push(p);
+            }
+            assert_eq!(popped, expected, "divergence for seed {seed}");
+            assert!(cal.is_empty());
+        }
     }
 }

@@ -163,6 +163,11 @@ impl Link {
         while matches!(self.departures.front(), Some(&d) if d <= now) {
             self.departures.pop_front();
         }
+        // After a deep excursion (e.g. a long stall's retransmission burst),
+        // give the buffer back once the queue fully drains.
+        if self.departures.is_empty() && self.departures.capacity() > 1024 {
+            self.departures.shrink_to_fit();
+        }
         self.departures.len()
     }
 
@@ -181,7 +186,11 @@ impl Link {
         let departure = if self.cfg.bandwidth_bps == 0 {
             now
         } else {
-            if self.cfg.queue_pkts != 0 && self.queue_len(now) >= self.cfg.queue_pkts {
+            // Always drain already-departed entries, even when the queue is
+            // unbounded (`queue_pkts == 0`): otherwise `departures` grows by
+            // one entry per packet for the lifetime of the link.
+            let qlen = self.queue_len(now);
+            if self.cfg.queue_pkts != 0 && qlen >= self.cfg.queue_pkts {
                 self.stats.dropped_queue += 1;
                 return Delivery::Drop(DropReason::QueueFull);
             }
@@ -396,6 +405,26 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn unbounded_queue_does_not_accumulate_departures() {
+        // queue_pkts == 0 (unbounded) with finite bandwidth: the departure
+        // buffer must still drain as simulated time advances.
+        let mut l = link(LinkConfig {
+            bandwidth_bps: 12_000_000,
+            prop_delay: SimDuration::ZERO,
+            queue_pkts: 0,
+            ..LinkConfig::default()
+        });
+        for i in 0..10_000u64 {
+            // One packet every 10ms; each takes 1ms to serialize, so the
+            // queue is always empty when the next packet shows up.
+            let t = SimTime::from_millis(10 * i);
+            assert!(matches!(l.offer(t, 1500), Delivery::Arrive(_)));
+            assert!(l.departures.len() <= 1, "departures must drain");
+        }
+        assert!(l.departures.capacity() <= 1024);
     }
 
     #[test]

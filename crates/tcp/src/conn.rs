@@ -19,6 +19,9 @@ pub struct Host {
     pub tx: Sender,
     /// Receiver for the incoming byte stream.
     pub rx: Receiver,
+    /// Scratch buffer for sender operations, reused across events so the
+    /// per-segment hot path never allocates.
+    ops: Vec<SendOp>,
 }
 
 impl Host {
@@ -27,6 +30,7 @@ impl Host {
         Host {
             tx: Sender::new(tx_cfg),
             rx: Receiver::new(rx_cfg),
+            ops: Vec::new(),
         }
     }
 
@@ -41,27 +45,30 @@ impl Host {
             // Window probes demand an immediate window report.
             ack_needed = true;
         }
-        let mut ops = Vec::new();
+        let mut ops = std::mem::take(&mut self.ops);
         if seg.flags.ack {
             self.tx.on_ack(now, seg, &mut ops);
         }
-        self.emit(now, ops, ack_needed, out);
+        self.emit(now, &mut ops, ack_needed, out);
+        self.ops = ops;
     }
 
     /// Fire any expired timers (retransmission, probe, persist, delack).
     pub fn on_tick(&mut self, now: SimTime, out: &mut Vec<Segment>) {
-        let mut ops = Vec::new();
+        let mut ops = std::mem::take(&mut self.ops);
         self.tx.on_tick(now, &mut ops);
         self.rx.on_tick(now);
-        self.emit(now, ops, false, out);
+        self.emit(now, &mut ops, false, out);
+        self.ops = ops;
     }
 
     /// Transmit whatever the windows currently allow (call after
     /// `tx.app_write`) and flush any pending ACK.
     pub fn poll(&mut self, now: SimTime, out: &mut Vec<Segment>) {
-        let mut ops = Vec::new();
+        let mut ops = std::mem::take(&mut self.ops);
         self.tx.poll(now, &mut ops);
-        self.emit(now, ops, false, out);
+        self.emit(now, &mut ops, false, out);
+        self.ops = ops;
     }
 
     /// The earliest pending timer deadline across sender and receiver.
@@ -76,12 +83,20 @@ impl Host {
     /// update if one becomes due.
     pub fn app_read(&mut self, now: SimTime, bytes: u64, out: &mut Vec<Segment>) {
         self.rx.app_read(bytes);
-        self.emit(now, Vec::new(), false, out);
+        let mut ops = std::mem::take(&mut self.ops);
+        self.emit(now, &mut ops, false, out);
+        self.ops = ops;
     }
 
-    fn emit(&mut self, _now: SimTime, ops: Vec<SendOp>, ack_needed: bool, out: &mut Vec<Segment>) {
+    fn emit(
+        &mut self,
+        _now: SimTime,
+        ops: &mut Vec<SendOp>,
+        ack_needed: bool,
+        out: &mut Vec<Segment>,
+    ) {
         let mut carried_ack = false;
-        for op in ops {
+        for op in ops.drain(..) {
             match op {
                 SendOp::Data {
                     seq,

@@ -30,7 +30,7 @@ use tcp_trace::record::{Direction, TraceRecord};
 
 use crate::conn::Host;
 use crate::receiver::ReceiverConfig;
-use crate::seg::{SegFlags, Segment};
+use crate::seg::{SackList, SegFlags, Segment};
 use crate::sender::{SenderConfig, SenderStats};
 
 /// One connection in the shared-bottleneck simulation.
@@ -233,7 +233,7 @@ impl MultiFlowSim {
             flags: SegFlags::SYN,
             ack: 0,
             rwnd: self.flows[i].client.rx.rwnd(),
-            sack: Vec::new(),
+            sack: SackList::new(),
             dsack: false,
             probe: false,
         };
@@ -280,7 +280,7 @@ impl MultiFlowSim {
                 flags: SegFlags::SYN_ACK,
                 ack: 0,
                 rwnd: self.flows[i].server.rx.rwnd(),
-                sack: Vec::new(),
+                sack: SackList::new(),
                 dsack: false,
                 probe: false,
             };
@@ -337,7 +337,7 @@ fn rec_of(t: SimTime, dir: Direction, seg: &Segment) -> TraceRecord {
         flags: seg.flags,
         ack: seg.ack,
         rwnd: seg.rwnd,
-        sack: seg.sack.clone(),
+        sack: seg.sack,
         dsack: seg.dsack,
     }
 }

@@ -17,7 +17,7 @@
 
 use simnet::time::{SimDuration, SimTime};
 
-use crate::seg::{SackBlock, Segment};
+use crate::seg::{SackBlock, SackList, Segment, SACK_CAP};
 
 /// Receiver configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -281,15 +281,29 @@ impl Receiver {
         self.delack_deadline = None;
         self.delack_pending_segs = 0;
         let dsack = self.pending_dsack.take();
-        let mut sack: Vec<SackBlock> = Vec::new();
+        let mut sack = SackList::new();
         if let Some(d) = dsack {
             sack.push(d);
         }
         // SACK blocks: most recently changed interval first, then others,
-        // up to 4 total including the DSACK.
-        let mut by_recency: Vec<&(u64, u64, u64)> = self.ooo.iter().collect();
-        by_recency.sort_by_key(|&&(_, _, stamp)| std::cmp::Reverse(stamp));
-        for &&(s, e, _) in by_recency.iter().take(4 - sack.len().min(4)) {
+        // up to SACK_CAP total including the DSACK. The ooo list is tiny
+        // (a handful of holes), so selecting the top blocks by recency
+        // stamp in place beats materializing and sorting a scratch Vec.
+        let want = (SACK_CAP - sack.len()).min(self.ooo.len());
+        let mut picked = [usize::MAX; SACK_CAP];
+        for k in 0..want {
+            let mut best: Option<usize> = None;
+            for (i, &(_, _, stamp)) in self.ooo.iter().enumerate() {
+                if picked[..k].contains(&i) {
+                    continue;
+                }
+                if best.is_none_or(|b| stamp > self.ooo[b].2) {
+                    best = Some(i);
+                }
+            }
+            let Some(i) = best else { break };
+            picked[k] = i;
+            let (s, e, _) = self.ooo[i];
             sack.push(SackBlock::new(s, e));
         }
         self.stats.acks_sent += 1;
@@ -322,14 +336,14 @@ impl Receiver {
 }
 
 /// The acknowledgment-side fields of an outgoing segment.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AckFields {
     /// Cumulative acknowledgment.
     pub ack: u64,
     /// Advertised window in bytes.
     pub rwnd: u64,
-    /// SACK blocks (first is DSACK when `dsack`).
-    pub sack: Vec<SackBlock>,
+    /// SACK blocks (first is DSACK when `dsack`), stored inline.
+    pub sack: SackList,
     /// Whether `sack[0]` is a DSACK.
     pub dsack: bool,
 }
@@ -346,7 +360,7 @@ mod tests {
             flags: SegFlags::ACK,
             ack: 0,
             rwnd: 65535,
-            sack: Vec::new(),
+            sack: SackList::new(),
             dsack: false,
             probe: false,
         }

@@ -89,6 +89,11 @@ pub struct Scoreboard {
     retrans_out: u32,
     /// Highest stream offset covered by any SACK so far.
     high_sacked: u64,
+    /// Segments with `lost && !retrans_out` — i.e. eligible for
+    /// [`Scoreboard::next_lost_seq`]. Kept so the post-ACK transmit poll
+    /// (which runs on *every* ACK) answers "nothing to retransmit" in
+    /// `O(1)` instead of scanning the whole window.
+    lost_pending: u32,
 }
 
 impl Scoreboard {
@@ -102,7 +107,14 @@ impl Scoreboard {
             lost_out: 0,
             retrans_out: 0,
             high_sacked: 0,
+            lost_pending: 0,
         }
+    }
+
+    /// Index of the first outstanding segment with `seq >= target`, by
+    /// binary search — `segs` is contiguous and sorted by `seq`.
+    fn seek(&self, target: u64) -> usize {
+        self.segs.partition_point(|s| s.seq < target)
     }
 
     /// First unacknowledged byte.
@@ -208,6 +220,9 @@ impl Scoreboard {
             }
             if seg.lost {
                 self.lost_out -= 1;
+                if !seg.retrans_out {
+                    self.lost_pending -= 1;
+                }
                 if !seg.sacked && seg.retrans_count == 0 {
                     res.acked_lost = true;
                 }
@@ -235,12 +250,16 @@ impl Scoreboard {
         let mut res = SackResult::default();
         for b in blocks {
             self.high_sacked = self.high_sacked.max(b.end);
-            for seg in self.segs.iter_mut() {
-                if seg.sacked || seg.seq < b.start {
-                    continue;
-                }
+            let from = self.seek(b.start);
+            for seg in self.segs.range_mut(from..) {
                 if seg.seq_end() > b.end {
                     break;
+                }
+                if seg.sacked {
+                    continue;
+                }
+                if seg.lost && !seg.retrans_out {
+                    self.lost_pending -= 1;
                 }
                 seg.sacked = true;
                 self.sacked_out += 1;
@@ -275,6 +294,7 @@ impl Scoreboard {
             }
             seg.lost = true;
             self.lost_out += 1;
+            self.lost_pending += 1;
             self.check_invariants();
             return true;
         }
@@ -297,6 +317,7 @@ impl Scoreboard {
             }
             seg.lost = true;
             self.lost_out += 1;
+            self.lost_pending += 1;
             marked += 1;
         }
         self.check_invariants();
@@ -318,6 +339,9 @@ impl Scoreboard {
             }
         }
         debug_assert_eq!(self.retrans_out, 0);
+        // Every retransmission mark was just cleared, so every lost segment
+        // is now pending retransmission.
+        self.lost_pending = self.lost_out;
         self.check_invariants();
     }
 
@@ -329,12 +353,18 @@ impl Scoreboard {
                 self.lost_out -= 1;
             }
         }
+        self.lost_pending = 0;
         self.check_invariants();
     }
 
     /// The next lost segment eligible for retransmission (lost, not SACKed,
     /// not already retransmitted since the mark), lowest sequence first.
+    /// `O(1)` when nothing is pending — the common case, checked on every
+    /// ACK by the sender's transmit poll.
     pub fn next_lost_seq(&self) -> Option<u64> {
+        if self.lost_pending == 0 {
+            return None;
+        }
         self.segs
             .iter()
             .find(|s| s.lost && !s.sacked && !s.retrans_out)
@@ -354,8 +384,12 @@ impl Scoreboard {
         by_rto: bool,
         fast: bool,
     ) -> Option<u32> {
-        let seg = self.segs.iter_mut().find(|s| s.seq == seq)?;
+        let at = self.seek(seq);
+        let seg = self.segs.get_mut(at).filter(|s| s.seq == seq)?;
         if !seg.retrans_out {
+            if seg.lost && !seg.sacked {
+                self.lost_pending -= 1;
+            }
             seg.retrans_out = true;
             self.retrans_out += 1;
         }
@@ -372,7 +406,7 @@ impl Scoreboard {
 
     /// Borrow a segment by starting offset.
     pub fn seg_at(&self, seq: u64) -> Option<&TxSeg> {
-        self.segs.iter().find(|s| s.seq == seq)
+        self.segs.get(self.seek(seq)).filter(|s| s.seq == seq)
     }
 
     #[cfg(debug_assertions)]
@@ -383,6 +417,12 @@ impl Scoreboard {
         assert_eq!(sacked, self.sacked_out, "sacked_out drift");
         assert_eq!(lost, self.lost_out, "lost_out drift");
         assert_eq!(retrans, self.retrans_out, "retrans_out drift");
+        let pending = self
+            .segs
+            .iter()
+            .filter(|s| s.lost && !s.retrans_out)
+            .count() as u32;
+        assert_eq!(pending, self.lost_pending, "lost_pending drift");
         assert!(
             self.segs.iter().all(|s| !(s.sacked && s.lost)),
             "seg both sacked and lost"

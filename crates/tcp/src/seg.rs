@@ -5,14 +5,16 @@
 //! SYN/FIN do not consume sequence space here — they are pure flags, with
 //! FIN piggybacked on the final data segment by the sender.
 
-pub use tcp_trace::record::{SackBlock, SegFlags};
+pub use tcp_trace::record::{SackBlock, SackList, SegFlags, SACK_CAP};
 
 /// Default maximum segment size (typical for a 1500-byte MTU path with
 /// timestamps enabled, matching the paper's traces).
 pub const DEFAULT_MSS: u32 = 1448;
 
-/// A TCP segment in flight.
-#[derive(Debug, Clone, PartialEq)]
+/// A TCP segment in flight. `Copy` — the entire segment, SACK blocks
+/// included, lives inline, so handing one to a link or trace never
+/// allocates.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {
     /// Stream offset of the first payload byte.
     pub seq: u64,
@@ -24,8 +26,8 @@ pub struct Segment {
     pub ack: u64,
     /// Advertised receive window in bytes.
     pub rwnd: u64,
-    /// SACK blocks over the peer's stream, most recent first.
-    pub sack: Vec<SackBlock>,
+    /// SACK blocks over the peer's stream, most recent first (inline).
+    pub sack: SackList,
     /// Whether `sack[0]` is a DSACK (RFC 2883).
     pub dsack: bool,
     /// Zero-window probe marker: behaviourally a 1-byte out-of-window
@@ -43,7 +45,7 @@ impl Segment {
             flags: SegFlags::ACK,
             ack,
             rwnd,
-            sack: Vec::new(),
+            sack: SackList::new(),
             dsack: false,
             probe: false,
         }

@@ -1413,7 +1413,7 @@ mod tests {
         // The delayed cumulative ACK arrives with a DSACK for the
         // retransmitted head.
         let mut seg = ack(4 * mss, 1 << 20);
-        seg.sack = vec![SackBlock::new(mss, 2 * mss)];
+        seg.sack = [SackBlock::new(mss, 2 * mss)].into();
         seg.dsack = true;
         s.on_ack(d + SimDuration::from_millis(10), &seg, &mut out);
         assert_eq!(s.stats().undo_count, 1);
@@ -1464,7 +1464,7 @@ mod tests {
         let mut out = Vec::new();
         let before = s.dupthres();
         let mut seg = ack(mss, 1 << 20);
-        seg.sack = vec![SackBlock::new(0, mss)];
+        seg.sack = [SackBlock::new(0, mss)].into();
         seg.dsack = true;
         s.on_ack(ms(100), &seg, &mut out);
         assert_eq!(

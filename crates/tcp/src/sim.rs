@@ -19,15 +19,15 @@ use simnet::link::{Delivery, Link, LinkConfig};
 use simnet::rng::SimRng;
 use simnet::time::{SimDuration, SimTime};
 use tcp_trace::flow::{FlowKey, FlowTrace};
-use tcp_trace::record::{Direction, TraceRecord};
+use tcp_trace::record::{Direction, RecordSink, TraceRecord};
 
 use crate::conn::Host;
 use crate::receiver::ReceiverConfig;
-use crate::seg::{SegFlags, Segment};
+use crate::seg::{SackList, SegFlags, Segment};
 use crate::sender::{SenderConfig, SenderStats};
 
 /// One request/response exchange within a flow.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequestSpec {
     /// Client think time before issuing this request (measured from
     /// connection establishment for the first request, from response
@@ -183,14 +183,27 @@ enum Ev {
 }
 
 /// Discrete-event simulation of a single TCP flow.
-pub struct FlowSim {
-    cfg: FlowSimConfig,
+///
+/// Generic over the record sink `S`: the default `FlowTrace` materializes
+/// the server-side capture ([`FlowSim::run`]), while
+/// [`FlowSim::with_sink`] + [`FlowSim::run_streaming`] stream each record
+/// into an arbitrary consumer (e.g. a streaming analyzer) without ever
+/// building the per-flow trace.
+pub struct FlowSim<S: RecordSink = FlowTrace> {
+    // Application-level configuration (the network/stack configs are moved
+    // into the links and hosts at construction — no per-flow clones).
+    requests: Vec<RequestSpec>,
+    client_drain: Option<u64>,
+    client_pause_prob: f64,
+    client_pause: SimDuration,
+    max_time: SimDuration,
+    syn_timeout: SimDuration,
     q: EventQueue<Ev>,
     server: Host,
     client: Host,
     c2s: Link,
     s2c: Link,
-    trace: FlowTrace,
+    trace: S,
     established_client: bool,
     established_server: bool,
     established_at: Option<SimTime>,
@@ -205,37 +218,79 @@ pub struct FlowSim {
     app_rng: SimRng,
     synack_sent_at: Option<SimTime>,
     rtt_seeded: bool,
+    /// Scratch buffer of segments produced by the current event, reused so
+    /// the per-event hot path never allocates.
+    seg_buf: Vec<Segment>,
 }
 
-impl FlowSim {
-    /// Build a flow simulation; `seed` controls all stochastic behaviour.
+impl FlowSim<FlowTrace> {
+    /// Build a flow simulation that materializes the server-side trace;
+    /// `seed` controls all stochastic behaviour. The configuration is
+    /// consumed: links and hosts take ownership of their sub-configs rather
+    /// than cloning them.
     pub fn new(cfg: FlowSimConfig, seed: u64) -> Self {
+        let trace = FlowTrace::new(FlowKey::synthetic(cfg.flow_id));
+        FlowSim::with_sink(cfg, seed, trace)
+    }
+
+    /// Run to completion (or the configured cut-off) and return the outcome,
+    /// trace included.
+    pub fn run(self) -> FlowOutcome {
+        let (mut out, trace) = self.run_streaming();
+        out.trace = trace;
+        out
+    }
+}
+
+impl<S: RecordSink> FlowSim<S> {
+    /// Build a flow simulation that streams every server-side record into
+    /// `sink` instead of the default materialized [`FlowTrace`].
+    pub fn with_sink(cfg: FlowSimConfig, seed: u64, sink: S) -> Self {
+        let FlowSimConfig {
+            server_tx,
+            server_rx,
+            client_tx,
+            client_rx,
+            c2s,
+            s2c,
+            client_drain,
+            client_pause_prob,
+            client_pause,
+            script,
+            max_time,
+            syn_timeout,
+            flow_id: _,
+        } = cfg;
         let rng = SimRng::seed(seed);
-        let c2s = Link::new(cfg.c2s.clone(), rng.fork(1));
-        let s2c = Link::new(cfg.s2c.clone(), rng.fork(2));
+        let c2s = Link::new(c2s, rng.fork(1));
+        let s2c = Link::new(s2c, rng.fork(2));
         let app_rng = rng.fork(3);
-        let server = Host::new(cfg.server_tx.clone(), cfg.server_rx.clone());
-        let client = Host::new(cfg.client_tx.clone(), cfg.client_rx.clone());
+        let server = Host::new(server_tx, server_rx);
+        let client = Host::new(client_tx, client_rx);
         let mut req_edge = 0u64;
         let mut resp_edge = 0u64;
         let mut request_boundary_in = Vec::new();
         let mut response_boundary_out = Vec::new();
-        for r in &cfg.script.requests {
+        for r in &script.requests {
             req_edge += r.request_bytes as u64;
             resp_edge += r.response_bytes;
             request_boundary_in.push(req_edge);
             response_boundary_out.push(resp_edge);
         }
-        let n = cfg.script.requests.len();
-        let trace = FlowTrace::new(FlowKey::synthetic(cfg.flow_id));
+        let n = script.requests.len();
         FlowSim {
-            cfg,
+            requests: script.requests,
+            client_drain,
+            client_pause_prob,
+            client_pause,
+            max_time,
+            syn_timeout,
             q: EventQueue::new(),
             server,
             client,
             c2s,
             s2c,
-            trace,
+            trace: sink,
             established_client: false,
             established_server: false,
             established_at: None,
@@ -250,13 +305,16 @@ impl FlowSim {
             app_rng,
             synack_sent_at: None,
             rtt_seeded: false,
+            seg_buf: Vec::new(),
         }
     }
 
-    /// Run to completion (or the configured cut-off) and return the outcome.
-    pub fn run(mut self) -> FlowOutcome {
+    /// Run to completion (or the configured cut-off) and return the outcome
+    /// plus the sink that received every record. The outcome's `trace` field
+    /// is left empty — the records live in (or were consumed by) the sink.
+    pub fn run_streaming(mut self) -> (FlowOutcome, S) {
         self.send_syn(SimTime::ZERO, 0);
-        let deadline = SimTime::ZERO + self.cfg.max_time;
+        let deadline = SimTime::ZERO + self.max_time;
         let mut finished_at = SimTime::ZERO;
         while let Some((t, ev)) = self.q.pop() {
             if t > deadline {
@@ -272,7 +330,7 @@ impl FlowSim {
         let completed = self.done();
         let s2c_stats = self.s2c.stats();
         let c2s_stats = self.c2s.stats();
-        FlowOutcome {
+        let outcome = FlowOutcome {
             established: self.established_client,
             completed,
             request_latencies: self
@@ -287,8 +345,9 @@ impl FlowSim {
             final_srtt: self.server.tx.rtt().srtt(),
             s2c_stats,
             c2s_stats,
-            trace: self.trace,
-        }
+            trace: FlowTrace::default(),
+        };
+        (outcome, self.trace)
     }
 
     fn done(&self) -> bool {
@@ -302,14 +361,16 @@ impl FlowSim {
             Ev::ToServer(seg) => self.server_receive(now, seg),
             Ev::ToClient(seg) => self.client_receive(now, seg),
             Ev::TickServer => {
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.seg_buf);
                 self.server.on_tick(now, &mut out);
-                self.server_send(now, out);
+                self.server_send(now, &mut out);
+                self.seg_buf = out;
             }
             Ev::TickClient => {
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.seg_buf);
                 self.client.on_tick(now, &mut out);
-                self.client_send(now, out);
+                self.client_send(now, &mut out);
+                self.seg_buf = out;
             }
             Ev::SynRetrans(attempt) => {
                 if !self.established_client && attempt < 6 {
@@ -327,28 +388,27 @@ impl FlowSim {
                 if close {
                     self.server.tx.app_close();
                 }
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.seg_buf);
                 self.server.poll(now, &mut out);
-                self.server_send(now, out);
+                self.server_send(now, &mut out);
+                self.seg_buf = out;
                 self.supply_active = false;
                 self.pump_supply(now);
             }
             Ev::ClientRead => {
                 // One rate-limited read tick.
                 let chunk = self.client.rx.config().mss as u64;
-                let mut out = Vec::new();
+                let mut out = std::mem::take(&mut self.seg_buf);
                 self.client.app_read(now, chunk, &mut out);
-                self.client_send(now, out);
+                self.client_send(now, &mut out);
+                self.seg_buf = out;
                 if self.client.rx.buffered() > 0 {
-                    let rate = self.cfg.client_drain.unwrap_or(u64::MAX).max(1);
+                    let rate = self.client_drain.unwrap_or(u64::MAX).max(1);
                     let mut interval = SimDuration::from_secs_f64(chunk as f64 / rate as f64);
                     // Occasionally the client application goes quiet.
-                    if self.cfg.client_pause_prob > 0.0
-                        && self.app_rng.chance(self.cfg.client_pause_prob)
-                    {
+                    if self.client_pause_prob > 0.0 && self.app_rng.chance(self.client_pause_prob) {
                         interval += SimDuration::from_secs_f64(
-                            self.app_rng
-                                .exponential(self.cfg.client_pause.as_secs_f64()),
+                            self.app_rng.exponential(self.client_pause.as_secs_f64()),
                         );
                     }
                     self.q.push(now + interval, Ev::ClientRead);
@@ -369,13 +429,16 @@ impl FlowSim {
             flags: SegFlags::SYN,
             ack: 0,
             rwnd: self.client.rx.rwnd(),
-            sack: Vec::new(),
+            sack: SackList::new(),
             dsack: false,
             probe: false,
         };
-        self.client_send(now, vec![syn]);
+        let mut out = std::mem::take(&mut self.seg_buf);
+        out.push(syn);
+        self.client_send(now, &mut out);
+        self.seg_buf = out;
         self.q.push(
-            now + self.cfg.syn_timeout.saturating_mul(1 << attempt),
+            now + self.syn_timeout.saturating_mul(1 << attempt),
             Ev::SynRetrans(attempt + 1),
         );
     }
@@ -388,22 +451,25 @@ impl FlowSim {
             flags: SegFlags::SYN_ACK,
             ack: 0,
             rwnd: self.server.rx.rwnd(),
-            sack: Vec::new(),
+            sack: SackList::new(),
             dsack: false,
             probe: false,
         };
-        self.server_send(now, vec![synack]);
+        let mut out = std::mem::take(&mut self.seg_buf);
+        out.push(synack);
+        self.server_send(now, &mut out);
+        self.seg_buf = out;
         self.q.push(
-            now + self.cfg.syn_timeout.saturating_mul(1 << attempt),
+            now + self.syn_timeout.saturating_mul(1 << attempt),
             Ev::SynAckRetrans(attempt + 1),
         );
     }
 
     // ------------------------------------------------------ packet paths
 
-    fn server_send(&mut self, now: SimTime, segs: Vec<Segment>) {
-        for seg in segs {
-            self.trace.push(seg_to_record(now, Direction::Out, &seg));
+    fn server_send(&mut self, now: SimTime, segs: &mut Vec<Segment>) {
+        for seg in segs.drain(..) {
+            self.trace.record(&seg_to_record(now, Direction::Out, &seg));
             if let Delivery::Arrive(at) = self.s2c.offer(now, seg.wire_len()) {
                 self.q.push(at, Ev::ToClient(seg));
             }
@@ -411,8 +477,8 @@ impl FlowSim {
         self.resched_tick(now, /*server=*/ true);
     }
 
-    fn client_send(&mut self, now: SimTime, segs: Vec<Segment>) {
-        for seg in segs {
+    fn client_send(&mut self, now: SimTime, segs: &mut Vec<Segment>) {
+        for seg in segs.drain(..) {
             if let Delivery::Arrive(at) = self.c2s.offer(now, seg.wire_len()) {
                 self.q.push(at, Ev::ToServer(seg));
             }
@@ -421,7 +487,7 @@ impl FlowSim {
     }
 
     fn server_receive(&mut self, now: SimTime, seg: Segment) {
-        self.trace.push(seg_to_record(now, Direction::In, &seg));
+        self.trace.record(&seg_to_record(now, Direction::In, &seg));
         if seg.flags.syn && !seg.flags.ack {
             if !self.established_server {
                 self.server.tx.set_peer_rwnd(seg.rwnd);
@@ -443,14 +509,15 @@ impl FlowSim {
                 }
             }
         }
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.seg_buf);
         self.server.on_segment(now, &seg, &mut out);
         // The server application reads requests immediately.
         let buffered = self.server.rx.buffered();
         if buffered > 0 {
             self.server.app_read(now, buffered, &mut out);
         }
-        self.server_send(now, out);
+        self.server_send(now, &mut out);
+        self.seg_buf = out;
         self.check_new_requests(now);
         self.check_response_completion(now);
     }
@@ -463,16 +530,20 @@ impl FlowSim {
                 self.client.tx.set_peer_rwnd(seg.rwnd);
                 // Complete the handshake.
                 let ack = Segment::pure_ack(0, self.client.rx.rwnd());
-                self.client_send(now, vec![ack]);
-                if let Some(first) = self.cfg.script.requests.first() {
+                let mut out = std::mem::take(&mut self.seg_buf);
+                out.push(ack);
+                self.client_send(now, &mut out);
+                self.seg_buf = out;
+                if let Some(first) = self.requests.first() {
                     self.q.push(now + first.think_time, Ev::IssueRequest(0));
                 }
             }
             return;
         }
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.seg_buf);
         self.client.on_segment(now, &seg, &mut out);
-        self.client_send(now, out);
+        self.client_send(now, &mut out);
+        self.seg_buf = out;
         self.client_drain_tick(now);
         self.check_client_progress(now);
     }
@@ -480,12 +551,13 @@ impl FlowSim {
     // ------------------------------------------------------- application
 
     fn issue_request(&mut self, now: SimTime, i: usize) {
-        let spec = self.cfg.script.requests[i].clone();
+        let spec = self.requests[i];
         self.issue_times[i] = Some(now);
         self.client.tx.app_write(spec.request_bytes as u64);
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.seg_buf);
         self.client.poll(now, &mut out);
-        self.client_send(now, out);
+        self.client_send(now, &mut out);
+        self.seg_buf = out;
     }
 
     /// Queue server-side supply events once a request has fully arrived.
@@ -496,8 +568,8 @@ impl FlowSim {
         {
             let i = self.next_request_seen;
             self.next_request_seen += 1;
-            let spec = self.cfg.script.requests[i].clone();
-            let last_request = i + 1 == self.cfg.script.requests.len();
+            let spec = self.requests[i];
+            let last_request = i + 1 == self.requests.len();
             match spec.supply {
                 None => {
                     self.supplies.push_back((
@@ -554,13 +626,13 @@ impl FlowSim {
         for i in 0..self.response_boundary_out.len() {
             if got >= self.response_boundary_out[i] {
                 let next = i + 1;
-                if next < self.cfg.script.requests.len()
+                if next < self.requests.len()
                     && self.issue_times[next].is_none()
                     && self.issue_times[i].is_some()
                 {
                     // Mark as scheduled so we don't double-issue.
                     self.issue_times[next] = Some(SimTime::MAX);
-                    let think = self.cfg.script.requests[next].think_time;
+                    let think = self.requests[next].think_time;
                     self.q.push(now + think, Ev::IssueRequest(next));
                 }
             }
@@ -568,13 +640,14 @@ impl FlowSim {
     }
 
     fn client_drain_tick(&mut self, now: SimTime) {
-        match self.cfg.client_drain {
+        match self.client_drain {
             None => {
                 let buffered = self.client.rx.buffered();
                 if buffered > 0 {
-                    let mut out = Vec::new();
+                    let mut out = std::mem::take(&mut self.seg_buf);
                     self.client.app_read(now, buffered, &mut out);
-                    self.client_send(now, out);
+                    self.client_send(now, &mut out);
+                    self.seg_buf = out;
                 }
             }
             Some(rate) => {
@@ -622,7 +695,7 @@ fn seg_to_record(t: SimTime, dir: Direction, seg: &Segment) -> TraceRecord {
         flags: seg.flags,
         ack: seg.ack,
         rwnd: seg.rwnd,
-        sack: seg.sack.clone(),
+        sack: seg.sack,
         dsack: seg.dsack,
     }
 }
@@ -691,6 +764,19 @@ mod tests {
         let c = FlowSim::new(cfg.clone(), 42).run();
         let d = FlowSim::new(cfg, 42).run();
         assert_eq!(c.trace.records, d.trace.records);
+    }
+
+    #[test]
+    fn streaming_run_matches_materialized_trace() {
+        // The streaming path must feed the sink exactly the records the
+        // materializing path stores, and leave the outcome's trace empty.
+        let materialized = FlowSim::new(base_cfg(100_000), 11).run();
+        let (out, sink) =
+            FlowSim::with_sink(base_cfg(100_000), 11, FlowTrace::default()).run_streaming();
+        assert!(out.trace.records.is_empty());
+        assert_eq!(sink.records, materialized.trace.records);
+        assert_eq!(out.request_latencies, materialized.request_latencies);
+        assert_eq!(out.server_stats, materialized.server_stats);
     }
 
     #[test]

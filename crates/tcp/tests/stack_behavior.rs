@@ -5,7 +5,7 @@ use simnet::loss::LossSpec;
 use simnet::time::{SimDuration, SimTime};
 use tcp_sim::receiver::{Receiver, ReceiverConfig};
 use tcp_sim::recovery::{RecoveryMechanism, SrtoConfig};
-use tcp_sim::seg::{SegFlags, Segment, DEFAULT_MSS};
+use tcp_sim::seg::{SackList, SegFlags, Segment, DEFAULT_MSS};
 use tcp_sim::sender::{CaState, Sender, SenderConfig};
 use tcp_sim::sim::{FlowScript, FlowSim, FlowSimConfig, RequestSpec};
 
@@ -22,7 +22,7 @@ fn data_seg(seq: u64, len: u32) -> Segment {
         flags: SegFlags::ACK,
         ack: 0,
         rwnd: 65535,
-        sack: Vec::new(),
+        sack: SackList::new(),
         dsack: false,
         probe: false,
     }
@@ -223,7 +223,7 @@ fn reordering_passes_through_disorder_without_recovery() {
     s.poll(ms(0), &mut out);
     // One dupack (reordered segment), then the cumulative ACK.
     let mut dup = Segment::pure_ack(0, 1 << 20);
-    dup.sack = vec![tcp_sim::seg::SackBlock::new(MSS, 2 * MSS)];
+    dup.sack = [tcp_sim::seg::SackBlock::new(MSS, 2 * MSS)].into();
     s.on_ack(ms(100), &dup, &mut out);
     assert_eq!(s.ca_state(), CaState::Disorder);
     s.on_ack(ms(101), &Segment::pure_ack(4 * MSS, 1 << 20), &mut out);

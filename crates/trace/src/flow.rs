@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::record::{Direction, TraceRecord};
+use crate::record::{Direction, RecordSink, TraceRecord};
 use simnet::time::{SimDuration, SimTime};
 
 /// The canonical 4-tuple identifying a flow, oriented so that the *server*
@@ -114,6 +114,12 @@ impl FlowTrace {
     }
 }
 
+impl RecordSink for FlowTrace {
+    fn record(&mut self, rec: &TraceRecord) {
+        self.push(*rec);
+    }
+}
+
 /// Reassembles an interleaved multi-flow capture into per-flow traces.
 ///
 /// Records must be offered in capture (time) order; flows are keyed by the
@@ -168,7 +174,7 @@ impl FlowTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::SegFlags;
+    use crate::record::{SackList, SegFlags};
 
     fn rec(t_ms: u64, dir: Direction, seq: u64, len: u32) -> TraceRecord {
         TraceRecord {
@@ -179,7 +185,7 @@ mod tests {
             flags: SegFlags::ACK,
             ack: 0,
             rwnd: 65535,
-            sack: Vec::new(),
+            sack: SackList::new(),
             dsack: false,
         }
     }

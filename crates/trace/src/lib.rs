@@ -22,4 +22,4 @@ pub mod record;
 pub mod text;
 
 pub use flow::{FlowKey, FlowTable, FlowTrace};
-pub use record::{Direction, SackBlock, SegFlags, TraceRecord};
+pub use record::{Direction, RecordSink, SackBlock, SegFlags, TraceRecord};

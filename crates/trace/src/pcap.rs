@@ -540,7 +540,7 @@ fn finish_record(st: &mut FlowState, t: SimTime, raw: RawRecord) -> Option<Trace
         flags: raw.flags,
         ack,
         rwnd,
-        sack,
+        sack: sack.into(),
         dsack,
     })
 }
@@ -548,6 +548,7 @@ fn finish_record(st: &mut FlowState, t: SimTime, raw: RawRecord) -> Option<Trace
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::SackList;
     use simnet::time::SimTime;
 
     fn syn_exchange(key: FlowKey) -> Vec<TraceRecord> {
@@ -560,7 +561,7 @@ mod tests {
                 flags: SegFlags::SYN,
                 ack: 0,
                 rwnd: 8192,
-                sack: vec![],
+                sack: SackList::new(),
                 dsack: false,
             },
             TraceRecord {
@@ -571,7 +572,7 @@ mod tests {
                 flags: SegFlags::SYN_ACK,
                 ack: 0,
                 rwnd: 14480,
-                sack: vec![],
+                sack: SackList::new(),
                 dsack: false,
             },
             TraceRecord {
@@ -582,7 +583,7 @@ mod tests {
                 flags: SegFlags::ACK,
                 ack: 0,
                 rwnd: 8192,
-                sack: vec![],
+                sack: SackList::new(),
                 dsack: false,
             },
             TraceRecord::data(SimTime::from_micros(50_400), Direction::In, 0, 300, 0, 8192),
@@ -610,7 +611,7 @@ mod tests {
                 flags: SegFlags::ACK,
                 ack: 1448,
                 rwnd: 8192,
-                sack: vec![SackBlock::new(2896, 4344)],
+                sack: [SackBlock::new(2896, 4344)].into(),
                 dsack: false,
             },
             {
@@ -623,7 +624,7 @@ mod tests {
                     flags: SegFlags::ACK,
                     ack: 4344,
                     rwnd: 8192,
-                    sack: vec![SackBlock::new(0, 1448), SackBlock::new(0, 4344)],
+                    sack: [SackBlock::new(0, 1448), SackBlock::new(0, 4344)].into(),
                     dsack: true,
                 }
             },

@@ -95,7 +95,7 @@ mod tests {
     #[test]
     fn renders_sack_and_dsack_markers() {
         let mut rec = TraceRecord::pure_ack(SimTime::ZERO, Direction::In, 1448, 65535);
-        rec.sack = vec![SackBlock::new(2896, 4344), SackBlock::new(5792, 7240)];
+        rec.sack = [SackBlock::new(2896, 4344), SackBlock::new(5792, 7240)].into();
         let line = render_record(&rec);
         assert!(line.contains("sack {2896:4344 5792:7240}"), "{line}");
         rec.dsack = true;

@@ -24,4 +24,4 @@ pub use corpus::{
     flow_seed, run_population, sample_flow, sample_population, synthesize_corpus, Corpus,
 };
 pub use service::{Service, ServiceModel};
-pub use spec::{simulate_flow, FlowSpec, PathSpec};
+pub use spec::{flow_key_for_seed, simulate_flow, simulate_flow_into, FlowSpec, PathSpec};

@@ -9,6 +9,8 @@ use tcp_sim::receiver::ReceiverConfig;
 use tcp_sim::recovery::RecoveryMechanism;
 use tcp_sim::sender::SenderConfig;
 use tcp_sim::sim::{FlowOutcome, FlowScript, FlowSim, FlowSimConfig};
+use tcp_trace::flow::FlowKey;
+use tcp_trace::record::RecordSink;
 
 /// A network path between client and server.
 #[derive(Debug, Clone, PartialEq)]
@@ -161,8 +163,38 @@ pub fn simulate_flow(
     mechanism: RecoveryMechanism,
     seed: u64,
 ) -> FlowOutcome {
+    FlowSim::new(flow_sim_config(spec, path, mechanism, seed), seed).run()
+}
+
+/// The synthetic [`FlowKey`] that [`simulate_flow`] assigns to a flow run
+/// with `seed` — for callers that materialize a trace themselves (e.g. by
+/// teeing a [`RecordSink`]) and want keys consistent with the default path.
+pub fn flow_key_for_seed(seed: u64) -> FlowKey {
+    FlowKey::synthetic((seed & 0xffff_ffff) as u32)
+}
+
+/// Simulate one flow while streaming every server-side record into `sink`
+/// instead of materializing a trace: the returned outcome's `trace` is
+/// empty; the records were consumed by (and are returned inside) the sink.
+pub fn simulate_flow_into<S: RecordSink>(
+    spec: &FlowSpec,
+    path: &PathSpec,
+    mechanism: RecoveryMechanism,
+    seed: u64,
+    sink: S,
+) -> (FlowOutcome, S) {
+    FlowSim::with_sink(flow_sim_config(spec, path, mechanism, seed), seed, sink).run_streaming()
+}
+
+/// The [`FlowSimConfig`] both [`simulate_flow`] variants run under.
+fn flow_sim_config(
+    spec: &FlowSpec,
+    path: &PathSpec,
+    mechanism: RecoveryMechanism,
+    seed: u64,
+) -> FlowSimConfig {
     let (c2s, s2c) = path.links();
-    let cfg = FlowSimConfig {
+    FlowSimConfig {
         server_tx: SenderConfig {
             cc: spec.cc,
             recovery: mechanism,
@@ -189,8 +221,7 @@ pub fn simulate_flow(
         max_time: spec.max_time,
         syn_timeout: SimDuration::from_secs(3),
         flow_id: (seed & 0xffff_ffff) as u32,
-    };
-    FlowSim::new(cfg, seed).run()
+    }
 }
 
 #[cfg(test)]

@@ -171,7 +171,7 @@ fn pcap_roundtrip_arbitrary_flows() {
             flags: SegFlags::SYN,
             ack: 0,
             rwnd: 8192,
-            sack: vec![],
+            sack: Default::default(),
             dsack: false,
         };
         let synack = TraceRecord {
@@ -182,7 +182,7 @@ fn pcap_roundtrip_arbitrary_flows() {
             flags: SegFlags::SYN_ACK,
             ack: 0,
             rwnd: 14480,
-            sack: vec![],
+            sack: Default::default(),
             dsack: false,
         };
         let mut all = vec![syn, synack];

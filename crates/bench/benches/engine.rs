@@ -1,5 +1,5 @@
 //! The engine micro-bench: end-to-end flows/sec through the full
-//! sample → simulate → analyze pipeline, at 1 thread and at all cores,
+//! sample → simulate → analyze pipeline across a thread-scaling curve,
 //! emitted machine-readably as `BENCH_engine.json` so every PR has a
 //! perf trajectory to compare against.
 //!
@@ -7,20 +7,29 @@
 //!
 //! * `BENCH_ENGINE_FLOWS` — flows per service (default 40; CI uses a
 //!   smaller count). flows/sec is normalized, so counts are comparable.
+//! * `BENCH_ENGINE_THREADS` — cap on the scaling curve's thread counts.
+//!   The curve is `[1, 2, 4, all-cores]`, deduped and clipped to
+//!   `min(cap, cores_available)`; CI smoke runs with a cap of 2.
 //! * `BENCH_ENGINE_OUT` — output path (default `BENCH_engine.json` at the
 //!   workspace root).
-//! * `-- --gate` — regression-gate mode: compare the fresh single-thread
-//!   flows/sec against `current.flows_per_sec_1t` in the *committed* JSON
-//!   and exit non-zero on a >20% regression.
+//! * `-- --gate` — regression-gate mode, comparing this run against the
+//!   *committed* JSON's `current` section:
+//!   - single-thread flows/sec must be ≥ 80% of the committed value;
+//!   - peak RSS must be ≤ 120% of the committed value;
+//!   - on machines with ≥ 4 cores (and a curve reaching ≥ 4 threads),
+//!     all-thread flows/sec must exceed 1.5× single-thread. Scaling
+//!     gates are skipped — not failed — on smaller machines, so the
+//!     single-core CI runner still gates throughput and memory.
 //!
-//! The emitted file keeps two sections: `baseline_pre_pr` (the tree before
-//! the hot-path overhaul, preserved verbatim from the existing file) and
-//! `current` (this run). The ratio of the two is the committed speedup.
+//! The emitted file keeps two sections: `baseline_pre_pr` (the tree
+//! before the PR 2 hot-path overhaul, preserved verbatim from the
+//! committed file) and `current` (this run), plus the measured `scaling`
+//! curve. The ratio of the sections is the committed speedup.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
-use bench_suite::{extract_json_number, peak_rss_bytes};
+use bench_suite::{peak_rss_bytes, section_field};
 use experiments::{Dataset, Engine, Scale};
 use tapo::json::Json;
 
@@ -55,39 +64,65 @@ fn out_path() -> PathBuf {
         })
 }
 
+/// The thread counts to measure: `[1, 2, 4, all-cores]`, deduped, clipped
+/// to `cap`. Deliberately *not* clipped to the core count — on a small
+/// machine the oversubscribed points still exercise the parallel engine
+/// and record its threading overhead; only the scaling *gate* is
+/// conditional on real cores. Always contains 1 so the throughput gate
+/// can run.
+fn curve(cores: usize, cap: usize) -> Vec<usize> {
+    let cap = cap.max(1);
+    let mut counts: Vec<usize> = [1, 2, 4, cores].into_iter().filter(|&t| t <= cap).collect();
+    if counts.is_empty() {
+        counts.push(1);
+    }
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
 fn main() {
     let gate = std::env::args().any(|a| a == "--gate");
     let flows: usize = std::env::var("BENCH_ENGINE_FLOWS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(40);
+    let cap: usize = std::env::var("BENCH_ENGINE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(usize::MAX);
     let scale = Scale {
         flows_per_service: flows,
         seed: 2015,
     };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let out = out_path();
     let committed = std::fs::read_to_string(&out).unwrap_or_default();
 
-    let serial = Engine::serial();
-    let auto = Engine::auto();
-    let fps_1t = measure(&serial, scale, 5);
-    let fps_nt = measure(&auto, scale, 5);
+    let counts = curve(cores, cap);
+    let mut points: Vec<(usize, f64)> = Vec::new();
+    for &t in &counts {
+        let fps = measure(&Engine::new(t), scale, 5);
+        let label = format!("engine/flows_per_sec_{t}t");
+        let note = if t == 1 {
+            format!("({flows} flows/service)")
+        } else {
+            format!("(scaling {:.2}x vs 1t)", fps / points[0].1.max(1e-12))
+        };
+        println!("{label:<36} {fps:>12.1} flows/s  {note}");
+        points.push((t, fps));
+    }
+    let fps_1t = points[0].1;
+    let (threads_max, fps_nt) = *points.last().expect("curve is non-empty");
     let rss = peak_rss_bytes().unwrap_or(0);
     println!(
-        "engine/flows_per_sec_1t              {fps_1t:>12.1} flows/s  ({flows} flows/service)"
-    );
-    println!(
-        "engine/flows_per_sec_{}t              {fps_nt:>12.1} flows/s  (speedup {:.2}x)",
-        auto.threads(),
-        fps_nt / fps_1t.max(1e-12)
-    );
-    println!(
-        "engine/peak_rss                      {:>12.1} MiB",
+        "engine/peak_rss                      {:>12.1} MiB  ({cores} cores available)",
         rss as f64 / (1024.0 * 1024.0)
     );
 
     if gate {
-        match extract_json_number(&committed, "flows_per_sec_1t") {
+        let mut failed = false;
+        match section_field(&committed, "current", "flows_per_sec_1t") {
             Some(baseline) if baseline > 0.0 => {
                 let floor = 0.8 * baseline;
                 if fps_1t < floor {
@@ -95,11 +130,46 @@ fn main() {
                         "REGRESSION: {fps_1t:.1} flows/s single-thread is more than 20% below \
                          the committed baseline {baseline:.1} flows/s (floor {floor:.1})"
                     );
-                    std::process::exit(1);
+                    failed = true;
+                } else {
+                    println!(
+                        "gate ok: {fps_1t:.1} flows/s >= 80% of committed {baseline:.1} flows/s"
+                    );
                 }
-                println!("gate ok: {fps_1t:.1} flows/s >= 80% of committed {baseline:.1} flows/s");
             }
             _ => println!("gate skipped: no committed baseline at {}", out.display()),
+        }
+        match section_field(&committed, "current", "peak_rss_bytes") {
+            Some(base_rss) if base_rss > 0.0 && rss > 0 => {
+                let ceil = 1.2 * base_rss;
+                if rss as f64 > ceil {
+                    eprintln!(
+                        "REGRESSION: peak RSS {rss} bytes is more than 20% above the \
+                         committed {base_rss:.0} bytes (ceiling {ceil:.0})"
+                    );
+                    failed = true;
+                } else {
+                    println!("gate ok: peak RSS {rss} bytes <= 120% of committed {base_rss:.0}");
+                }
+            }
+            _ => println!("gate skipped: no committed peak RSS to compare against"),
+        }
+        if cores >= 4 && threads_max >= 4 {
+            let need = 1.5 * fps_1t;
+            if fps_nt <= need {
+                eprintln!(
+                    "REGRESSION: {fps_nt:.1} flows/s at {threads_max} threads does not \
+                     reach 1.5x single-thread ({need:.1})"
+                );
+                failed = true;
+            } else {
+                println!("gate ok: {threads_max}-thread {fps_nt:.1} flows/s > 1.5x single-thread");
+            }
+        } else {
+            println!("gate skipped: scaling gate needs >= 4 cores (have {cores})");
+        }
+        if failed {
+            std::process::exit(1);
         }
     }
 
@@ -112,20 +182,36 @@ fn main() {
             ("peak_rss_bytes", Json::Int(r as i64)),
         ])
     };
-    let base_1t = baseline_field(&committed, "flows_per_sec_1t").unwrap_or(fps_1t);
-    let base_nt = baseline_field(&committed, "flows_per_sec_nt").unwrap_or(fps_nt);
-    let base_rss = baseline_field(&committed, "peak_rss_bytes").unwrap_or(rss as f64);
+    let base_1t =
+        section_field(&committed, "baseline_pre_pr", "flows_per_sec_1t").unwrap_or(fps_1t);
+    let base_nt =
+        section_field(&committed, "baseline_pre_pr", "flows_per_sec_nt").unwrap_or(fps_nt);
+    let base_rss =
+        section_field(&committed, "baseline_pre_pr", "peak_rss_bytes").unwrap_or(rss as f64);
+    let scaling = Json::Arr(
+        points
+            .iter()
+            .map(|&(t, fps)| {
+                Json::obj([
+                    ("threads", Json::Int(t as i64)),
+                    ("flows_per_sec", Json::Num(fps)),
+                ])
+            })
+            .collect(),
+    );
     let doc = Json::obj([
-        ("schema", Json::Int(1)),
+        ("schema", Json::Int(2)),
         ("bench", Json::Str("engine".into())),
         ("flows_per_service", Json::Int(flows as i64)),
         ("services", Json::Int(workloads::Service::ALL.len() as i64)),
-        ("threads_parallel", Json::Int(auto.threads() as i64)),
+        ("cores_available", Json::Int(cores as i64)),
+        ("threads_parallel", Json::Int(threads_max as i64)),
         (
             "baseline_pre_pr",
             section(base_1t, base_nt, base_rss as u64),
         ),
         ("current", section(fps_1t, fps_nt, rss)),
+        ("scaling", scaling),
         (
             "speedup_1t_vs_pre_pr",
             Json::Num(fps_1t / base_1t.max(1e-12)),
@@ -136,15 +222,4 @@ fn main() {
         Ok(()) => println!("wrote {}", out.display()),
         Err(e) => eprintln!("could not write {}: {e}", out.display()),
     }
-}
-
-/// Read a numeric field out of the `baseline_pre_pr` section specifically
-/// (the top-level scan in [`extract_json_number`] would find the first
-/// occurrence, which is the baseline section in the committed layout — but
-/// slice to the section so reordering the file cannot silently flip it).
-fn baseline_field(text: &str, key: &str) -> Option<f64> {
-    let at = text.find("\"baseline_pre_pr\"")?;
-    let section = &text[at..];
-    let end = section.find('}').unwrap_or(section.len());
-    extract_json_number(&section[..end], key)
 }

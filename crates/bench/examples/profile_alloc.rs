@@ -1,0 +1,139 @@
+//! Throwaway profiling helper: counts heap allocations and times the
+//! pipeline phases of the engine bench workload. Not part of the suite.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+fn snap() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}
+
+fn main() {
+    use tapo::{AnalyzerConfig, StreamAnalyzer};
+    use tcp_sim::recovery::RecoveryMechanism;
+    use workloads::{
+        sample_flow, simulate_flow, simulate_flow_into, simulate_flow_into_scratch, FlowScratch,
+        Service, ServiceModel,
+    };
+
+    let n: usize = std::env::var("PROFILE_FLOWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120);
+    for svc in workloads::Service::ALL {
+        let model = ServiceModel::calibrated(svc);
+        // Phase 1: sampling.
+        let (a0, b0) = snap();
+        let t = Instant::now();
+        let pop: Vec<_> = (0..n).map(|i| sample_flow(&model, 2015, i)).collect();
+        let t_sample = t.elapsed();
+        let (a1, b1) = snap();
+        // Phase 2: simulate (materializing).
+        let t = Instant::now();
+        let mut outs = Vec::new();
+        for (i, (spec, path)) in pop.iter().enumerate() {
+            outs.push(simulate_flow(
+                spec,
+                path,
+                RecoveryMechanism::Native,
+                2015 + i as u64,
+            ));
+        }
+        let t_sim = t.elapsed();
+        let (a2, b2) = snap();
+        // Phase 3: streaming sim+analyze (the bench's hot path).
+        let t = Instant::now();
+        let mut stalls = 0usize;
+        for (i, (spec, path)) in pop.iter().enumerate() {
+            let (_out, an) = simulate_flow_into(
+                spec,
+                path,
+                RecoveryMechanism::Native,
+                2015 + i as u64,
+                StreamAnalyzer::new(AnalyzerConfig::default()),
+            );
+            stalls += an.finish().stalls.len();
+        }
+        let t_stream = t.elapsed();
+        let (a3, b3) = snap();
+        // Phase 4: streaming sim+analyze on recycled worker scratch.
+        // Repeated; min-of-reps reported to suppress scheduler noise.
+        let reps: usize = std::env::var("PROFILE_REPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        let mut scratch = FlowScratch::new();
+        let mut analyzer = StreamAnalyzer::new(AnalyzerConfig::default());
+        let mut stalls2 = 0usize;
+        let mut t_scratch = std::time::Duration::MAX;
+        for rep in 0..reps.max(1) {
+            let t = Instant::now();
+            let mut s2 = 0usize;
+            for (i, (spec, path)) in pop.iter().enumerate() {
+                let (_out, mut used) = simulate_flow_into_scratch(
+                    spec,
+                    path,
+                    RecoveryMechanism::Native,
+                    2015 + i as u64,
+                    analyzer,
+                    &mut scratch,
+                );
+                s2 += used.finish_reset().stalls.len();
+                analyzer = used;
+            }
+            t_scratch = t_scratch.min(t.elapsed());
+            if rep == 0 {
+                stalls2 = s2;
+            } else {
+                assert_eq!(stalls2, s2);
+            }
+        }
+        let (a4, b4) = snap();
+        assert_eq!(stalls, stalls2);
+        let per = |d: std::time::Duration| d.as_secs_f64() * 1e6 / n as f64;
+        println!(
+            "{svc:?}: sample {:.0}us/flow ({} allocs, {} KB)  sim {:.0}us/flow ({} allocs/flow, {} KB/flow)  sim+analyze {:.0}us/flow ({} allocs/flow, {} KB/flow)  scratch {:.0}us/flow ({} allocs/flow, {} KB/flow)  [{stalls} stalls]",
+            per(t_sample),
+            (a1 - a0) / n as u64,
+            (b1 - b0) / 1024 / n as u64,
+            per(t_sim),
+            (a2 - a1) / n as u64,
+            (b2 - b1) / 1024 / n as u64,
+            per(t_stream),
+            (a3 - a2) / n as u64,
+            (b3 - b2) / 1024 / n as u64,
+            per(t_scratch),
+            (a4 - a3) / n as u64,
+            (b4 - b3) / 1024 / n as u64,
+        );
+    }
+    let _ = Service::ALL;
+}

@@ -141,6 +141,22 @@ pub fn extract_json_number(text: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Extract `key` from inside the named top-level `section` object of a
+/// JSON text (e.g. `current.flows_per_sec_1t` in `BENCH_engine.json`).
+/// A bare [`extract_json_number`] scan finds the *first* occurrence of the
+/// key anywhere in the file — in the committed layout that is the
+/// `baseline_pre_pr` section, not the current run — so every gate read
+/// must be section-scoped. Only flat (non-nested) sections are supported,
+/// which is all the bench schema uses.
+pub fn section_field(text: &str, section: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{section}\"");
+    let at = text.find(&needle)?;
+    let body = &text[at..];
+    let open = body.find('{')?;
+    let end = body[open..].find('}').map(|e| open + e)?;
+    extract_json_number(&body[open..end], key)
+}
+
 /// Peak resident-set size of this process in bytes (the `VmHWM` high-water
 /// mark from `/proc/self/status`). Returns `None` off Linux — the bench
 /// reports it as a memory-footprint proxy, not a portable measurement.
@@ -210,6 +226,31 @@ mod tests {
         assert_eq!(extract_json_number(text, "b"), Some(-2000.0));
         assert_eq!(extract_json_number(text, "missing"), None);
         assert_eq!(extract_json_number(r#"{"a": "str"}"#, "a"), None);
+    }
+
+    #[test]
+    fn section_field_scopes_to_the_named_section() {
+        let text = r#"{
+            "baseline_pre_pr": { "flows_per_sec_1t": 910.5, "peak_rss_bytes": 111 },
+            "current": { "flows_per_sec_1t": 1496.8, "peak_rss_bytes": 222 }
+        }"#;
+        assert_eq!(
+            section_field(text, "current", "flows_per_sec_1t"),
+            Some(1496.8)
+        );
+        assert_eq!(
+            section_field(text, "current", "peak_rss_bytes"),
+            Some(222.0)
+        );
+        assert_eq!(
+            section_field(text, "baseline_pre_pr", "flows_per_sec_1t"),
+            Some(910.5)
+        );
+        assert_eq!(section_field(text, "current", "missing"), None);
+        assert_eq!(section_field(text, "absent", "flows_per_sec_1t"), None);
+        // The unscoped scan demonstrates the trap section_field exists for:
+        // it reads the baseline, not the current value.
+        assert_eq!(extract_json_number(text, "flows_per_sec_1t"), Some(910.5));
     }
 
     #[test]

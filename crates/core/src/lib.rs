@@ -162,10 +162,49 @@ impl FlowAnalysis {
     }
 }
 
+/// Recyclable offline-analysis arenas: the replay state and stall-candidate
+/// buffer [`analyze_flow_with`] rewinds and reuses across flows, so a
+/// worker analyzing a corpus stops paying a fresh allocation round per
+/// trace.
+#[derive(Debug)]
+pub struct AnalyzeScratch {
+    replay: Replay,
+    candidates: Vec<classify::Candidate>,
+}
+
+impl Default for AnalyzeScratch {
+    fn default() -> Self {
+        AnalyzeScratch {
+            replay: Replay::new(ReplayConfig::default()),
+            candidates: Vec::new(),
+        }
+    }
+}
+
+impl AnalyzeScratch {
+    /// Fresh arenas with no retained capacity yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Analyze one flow trace end to end: replay, detect stalls, classify.
 pub fn analyze_flow(trace: &FlowTrace, cfg: AnalyzerConfig) -> FlowAnalysis {
-    let mut replay = Replay::new(cfg.replay);
-    let mut candidates: Vec<classify::Candidate> = Vec::new();
+    analyze_flow_with(trace, cfg, &mut AnalyzeScratch::default())
+}
+
+/// [`analyze_flow`] against caller-provided arenas: `scratch` is fully
+/// rewound on entry (so results are bit-identical to the fresh-state path)
+/// and its storage is reused across calls.
+pub fn analyze_flow_with(
+    trace: &FlowTrace,
+    cfg: AnalyzerConfig,
+    scratch: &mut AnalyzeScratch,
+) -> FlowAnalysis {
+    scratch.replay.reset(cfg.replay);
+    scratch.candidates.clear();
+    let replay = &mut scratch.replay;
+    let candidates = &mut scratch.candidates;
     let mut prev_t = None;
     for (idx, rec) in trace.records.iter().enumerate() {
         if let Some(pt) = prev_t {
@@ -188,7 +227,7 @@ pub fn analyze_flow(trace: &FlowTrace, cfg: AnalyzerConfig) -> FlowAnalysis {
 
     let stalls: Vec<Stall> = candidates
         .iter()
-        .map(|c| classify::classify(c, &trace.records[c.end_record], &replay, &cfg.classify))
+        .map(|c| classify::classify(c, &trace.records[c.end_record], replay, &cfg.classify))
         .collect();
 
     let (wire_out, _) = trace.wire_bytes();
@@ -197,7 +236,7 @@ pub fn analyze_flow(trace: &FlowTrace, cfg: AnalyzerConfig) -> FlowAnalysis {
         trace.duration(),
         wire_out,
         trace.out_data().count() as u64,
-        &mut replay,
+        replay,
     )
 }
 

@@ -197,6 +197,11 @@ impl SegHistMap {
     pub fn iter(&self) -> impl Iterator<Item = (u64, &SegHist)> {
         self.v.iter().map(|(s, h)| (*s, h))
     }
+
+    /// Drop all histories, keeping the backing storage for reuse.
+    pub fn clear(&mut self) {
+        self.v.clear();
+    }
 }
 
 /// The analyzer's scoreboard: outstanding segments in ascending offset
@@ -210,6 +215,12 @@ struct Outstanding {
 }
 
 impl Outstanding {
+    /// Drop all segments (live and retired prefix), keeping the storage.
+    fn clear(&mut self) {
+        self.v.clear();
+        self.head = 0;
+    }
+
     fn len(&self) -> usize {
         self.v.len() - self.head
     }
@@ -385,6 +396,38 @@ impl Replay {
             zero_rwnd_seen: false,
             synack_at: None,
         }
+    }
+
+    /// Rewind to a fresh reconstruction under `cfg`, keeping the backing
+    /// storage of every per-flow collection (segment histories, scoreboard,
+    /// sample and event vectors) for reuse. A replay that is `reset` and
+    /// then fed a trace produces bit-identical state to a new replay fed
+    /// the same trace.
+    pub fn reset(&mut self, cfg: ReplayConfig) {
+        self.cfg = cfg;
+        self.hist.clear();
+        self.outstanding.clear();
+        self.snd_una = 0;
+        self.snd_nxt = 0;
+        self.sacked_out = 0;
+        self.lost_est = 0;
+        self.retrans_out = 0;
+        self.high_sacked = 0;
+        self.dupacks = 0;
+        self.ca_state = EstCaState::Open;
+        self.high_seq = 0;
+        self.rtt = MiniRtt::new(cfg);
+        self.last_rwnd = 0;
+        self.init_rwnd = None;
+        self.established = false;
+        self.rtt_samples.clear();
+        self.rto_samples.clear();
+        self.in_flight_on_ack.clear();
+        self.retrans_events.clear();
+        self.spurious = 0;
+        self.responses.clear();
+        self.zero_rwnd_seen = false;
+        self.synack_at = None;
     }
 
     // ------------------------------------------------------- observation

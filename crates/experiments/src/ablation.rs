@@ -14,16 +14,14 @@ use crate::engine::Engine;
 use crate::output::{pct_cell, Table};
 use tapo::Cdf;
 
-/// TAPO-analyze a corpus on the engine and fold into one breakdown.
-fn breakdown_of(engine: &Engine, corpus: &Corpus) -> StallBreakdown {
-    Engine::breakdown(&engine.analyze_corpus(corpus, AnalyzerConfig::default()))
-}
-
 /// Sweep S-RTO's probe-timer multiple and `T1` on a web-search population;
-/// report p90 latency change vs native and the retransmission ratio.
+/// report p90 latency change vs native and the retransmission ratio. Reads
+/// only latency CDFs and aggregate counters, so every run is trace-free
+/// ([`Engine::run_population_lean`]).
 pub fn srto_sweep(flows: usize, seed: u64, engine: &Engine) -> Table {
     let pop = engine.sample_population(Service::WebSearch, flows, seed);
-    let native = engine.run_population(Service::WebSearch, &pop, RecoveryMechanism::Native, seed);
+    let native =
+        engine.run_population_lean(Service::WebSearch, &pop, RecoveryMechanism::Native, seed);
     let base_p90 = latency_cdf(&native).quantile(0.9);
 
     let mut rows = Vec::new();
@@ -34,8 +32,12 @@ pub fn srto_sweep(flows: usize, seed: u64, engine: &Engine) -> Table {
                 t2_cwnd: 5,
                 probe_rtt_mult: mult,
             };
-            let run =
-                engine.run_population(Service::WebSearch, &pop, RecoveryMechanism::Srto(cfg), seed);
+            let run = engine.run_population_lean(
+                Service::WebSearch,
+                &pop,
+                RecoveryMechanism::Srto(cfg),
+                seed,
+            );
             let p90 = latency_cdf(&run).quantile(0.9);
             let change = match (p90, base_p90) {
                 (Some(n), Some(b)) if b > 0.0 => format!("{}%", pct_cell(100.0 * (n - b) / b)),
@@ -63,10 +65,11 @@ pub fn srto_sweep(flows: usize, seed: u64, engine: &Engine) -> Table {
 }
 
 /// Ablate the `T2` conditional-halving guard: never halve / conditional
-/// (paper) / always halve.
+/// (paper) / always halve. Trace-free like [`srto_sweep`].
 pub fn srto_t2_ablation(flows: usize, seed: u64, engine: &Engine) -> Table {
     let pop = engine.sample_population(Service::WebSearch, flows, seed);
-    let native = engine.run_population(Service::WebSearch, &pop, RecoveryMechanism::Native, seed);
+    let native =
+        engine.run_population_lean(Service::WebSearch, &pop, RecoveryMechanism::Native, seed);
     let base = latency_cdf(&native);
     let mut rows = Vec::new();
     for (name, t2) in [
@@ -79,8 +82,12 @@ pub fn srto_t2_ablation(flows: usize, seed: u64, engine: &Engine) -> Table {
             t2_cwnd: t2,
             probe_rtt_mult: 2.0,
         };
-        let run =
-            engine.run_population(Service::WebSearch, &pop, RecoveryMechanism::Srto(cfg), seed);
+        let run = engine.run_population_lean(
+            Service::WebSearch,
+            &pop,
+            RecoveryMechanism::Srto(cfg),
+            seed,
+        );
         let cdf = latency_cdf(&run);
         let cell = |q: f64| match (cdf.quantile(q), base.quantile(q)) {
             (Some(n), Some(b)) if b > 0.0 => format!("{}%", pct_cell(100.0 * (n - b) / b)),
@@ -107,14 +114,18 @@ pub fn srto_t2_ablation(flows: usize, seed: u64, engine: &Engine) -> Table {
 }
 
 /// Bursty vs memoryless loss at equal mean rate: the retransmission-stall
-/// mix shifts away from double/continuous losses under Bernoulli.
+/// mix shifts away from double/continuous losses under Bernoulli. Analyses
+/// stream out of the simulation pass — no trace is ever materialized
+/// ([`Engine::run_population_streaming`]).
 pub fn burstiness_ablation(flows: usize, seed: u64, engine: &Engine) -> Table {
+    let cfg = AnalyzerConfig::default();
     let mut pop = engine.sample_population(Service::SoftwareDownload, flows, seed);
-    let bursty = engine.run_population(
+    let (_, bursty_analyses) = engine.run_population_streaming(
         Service::SoftwareDownload,
         &pop,
         RecoveryMechanism::Native,
         seed,
+        cfg,
     );
     // Replace each path's loss process with a Bernoulli of the same mean.
     for (_, path) in pop.iter_mut() {
@@ -122,15 +133,16 @@ pub fn burstiness_ablation(flows: usize, seed: u64, engine: &Engine) -> Table {
         path.loss = simnet::loss::LossSpec::bernoulli(mean);
         path.ack_loss = Some(simnet::loss::LossSpec::bernoulli(mean / 3.0));
     }
-    let memless = engine.run_population(
+    let (_, memless_analyses) = engine.run_population_streaming(
         Service::SoftwareDownload,
         &pop,
         RecoveryMechanism::Native,
         seed,
+        cfg,
     );
 
-    let bb = breakdown_of(engine, &bursty);
-    let mb = breakdown_of(engine, &memless);
+    let bb = Engine::breakdown(&bursty_analyses);
+    let mb = Engine::breakdown(&memless_analyses);
     let row = |name: &str, b: &StallBreakdown| {
         vec![
             name.to_string(),
@@ -158,24 +170,30 @@ pub fn burstiness_ablation(flows: usize, seed: u64, engine: &Engine) -> Table {
 /// stalls, citing Wei et al.): the same software-download population with
 /// and without sender pacing.
 pub fn pacing_ablation(flows: usize, seed: u64, engine: &Engine) -> Table {
+    let cfg = AnalyzerConfig::default();
     let pop = engine.sample_population(Service::SoftwareDownload, flows, seed);
     let mut paced_pop = pop.clone();
     for (spec, _) in paced_pop.iter_mut() {
         spec.pacing = true;
     }
-    let plain = engine.run_population(
+    let (plain, plain_analyses) = engine.run_population_streaming(
         Service::SoftwareDownload,
         &pop,
         RecoveryMechanism::Native,
         seed,
+        cfg,
     );
-    let paced = engine.run_population(
+    let (paced, paced_analyses) = engine.run_population_streaming(
         Service::SoftwareDownload,
         &paced_pop,
         RecoveryMechanism::Native,
         seed,
+        cfg,
     );
-    let (b0, b1) = (breakdown_of(engine, &plain), breakdown_of(engine, &paced));
+    let (b0, b1) = (
+        Engine::breakdown(&plain_analyses),
+        Engine::breakdown(&paced_analyses),
+    );
     let row = |name: &str, b: &StallBreakdown, c: &Corpus| {
         vec![
             name.to_string(),
@@ -205,20 +223,28 @@ pub fn pacing_ablation(flows: usize, seed: u64, engine: &Engine) -> Table {
 /// Early-retransmit ablation (RFC 5827, §4.3's suggestion for small-cwnd
 /// stalls): cloud-storage population with and without ER.
 pub fn early_retransmit_ablation(flows: usize, seed: u64, engine: &Engine) -> Table {
+    let cfg = AnalyzerConfig::default();
     let pop = engine.sample_population(Service::CloudStorage, flows, seed);
     let mut er_pop = pop.clone();
     for (spec, _) in er_pop.iter_mut() {
         spec.early_retransmit = true;
     }
-    let plain = engine.run_population(Service::CloudStorage, &pop, RecoveryMechanism::Native, seed);
-    let er = engine.run_population(
+    let plain = engine.run_population_streaming(
+        Service::CloudStorage,
+        &pop,
+        RecoveryMechanism::Native,
+        seed,
+        cfg,
+    );
+    let er = engine.run_population_streaming(
         Service::CloudStorage,
         &er_pop,
         RecoveryMechanism::Native,
         seed,
+        cfg,
     );
-    let breakdown = |corpus: &Corpus| {
-        let b = breakdown_of(engine, corpus);
+    let breakdown = |(corpus, analyses): &(Corpus, Vec<tapo::FlowAnalysis>)| {
+        let b = Engine::breakdown(analyses);
         let rtos = corpus.flows.iter().map(|f| f.server_stats.rto_count).sum();
         (b, rtos)
     };
@@ -253,13 +279,13 @@ pub fn early_retransmit_ablation(flows: usize, seed: u64, engine: &Engine) -> Ta
 /// the simulator's ground truth for timeout and total retransmissions.
 pub fn tapo_accuracy(flows: usize, seed: u64, engine: &Engine) -> Table {
     let pop = engine.sample_population(Service::SoftwareDownload, flows, seed);
-    let corpus = engine.run_population(
+    let (corpus, analyses) = engine.run_population_streaming(
         Service::SoftwareDownload,
         &pop,
         RecoveryMechanism::Native,
         seed,
+        AnalyzerConfig::default(),
     );
-    let analyses = engine.analyze_corpus(&corpus, AnalyzerConfig::default());
     let (mut est_retr, mut true_retr, mut est_rto, mut true_rto) = (0u64, 0u64, 0u64, 0u64);
     for (f, a) in corpus.flows.iter().zip(&analyses) {
         est_retr += a.metrics.retrans_pkts;

@@ -5,7 +5,7 @@
 //! mechanism, and *analyze* the resulting trace with TAPO. The paper ran
 //! this over 6.4M production flows; serially, `repro` at standard scale is
 //! bound to one core. [`Engine`] shards the pipeline across
-//! `std::thread::scope` workers (via [`simnet::par::par_map`]) while
+//! `std::thread::scope` workers (via [`simnet::par::par_map_with`]) while
 //! keeping output **bit-identical to the serial path at any thread count**:
 //!
 //! - Flow `i`'s sampling stream is seeded by
@@ -17,16 +17,57 @@
 //! - Per-flow results are returned in index order, and cross-flow
 //!   aggregation ([`StallBreakdown`]) is a serial fold over that order.
 //!
+//! Each worker carries a private [`WorkerScratch`] — the event-queue slab,
+//! segment buffers and replay arenas — recycled from flow to flow, so steady
+//! state allocates per *worker*, not per *flow*. Every scratch entry point
+//! fully rewinds its state before reuse, so a recycled worker's results are
+//! bit-identical to fresh-state serial execution (the [`par_map_with`]
+//! contract; see DESIGN.md).
+//!
+//! [`par_map_with`]: simnet::par::par_map_with
+//!
 //! The engine owns no state beyond the thread count, so one instance can be
 //! threaded through a whole `repro` invocation.
 
-use tapo::{analyze_flow, AnalyzerConfig, FlowAnalysis, StallBreakdown, StreamAnalyzer};
+use tapo::{
+    analyze_flow_with, AnalyzeScratch, AnalyzerConfig, FlowAnalysis, StallBreakdown, StreamAnalyzer,
+};
 use tcp_sim::recovery::RecoveryMechanism;
 use tcp_trace::flow::FlowTrace;
 use workloads::{
-    flow_key_for_seed, sample_flow, simulate_flow, simulate_flow_into, Corpus, FlowSpec, PathSpec,
-    Service, ServiceModel,
+    flow_key_for_seed, sample_flow, simulate_flow_into_scratch, simulate_flow_scratch, Corpus,
+    FlowScratch, FlowSpec, PathSpec, Service, ServiceModel,
 };
+
+/// Per-worker recycled arenas for the fused sample→simulate→analyze
+/// pipeline: one simulator scratch (event slab, segment and boundary
+/// buffers) plus one streaming analyzer (replay state, candidate buffers).
+/// A worker threads one of these through every flow it claims.
+#[derive(Debug)]
+struct WorkerScratch {
+    sim: FlowScratch,
+    analyzer: StreamAnalyzer,
+}
+
+impl WorkerScratch {
+    fn new(cfg: AnalyzerConfig) -> Self {
+        WorkerScratch {
+            sim: FlowScratch::new(),
+            analyzer: StreamAnalyzer::new(cfg),
+        }
+    }
+
+    /// Lend out the recycled analyzer (sinks are taken by value); the
+    /// placeholder left behind is allocation-free. Pair with
+    /// [`WorkerScratch::restore_analyzer`] after the run.
+    fn take_analyzer(&mut self, cfg: AnalyzerConfig) -> StreamAnalyzer {
+        std::mem::replace(&mut self.analyzer, StreamAnalyzer::new(cfg))
+    }
+
+    fn restore_analyzer(&mut self, analyzer: StreamAnalyzer) {
+        self.analyzer = analyzer;
+    }
+}
 
 /// A deterministic parallel executor for flow-level work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +113,20 @@ impl Engine {
         simnet::par::par_map(n, self.threads, f)
     }
 
+    /// Deterministic parallel map with per-worker scratch: each worker calls
+    /// `init()` once and threads the result through every item it claims.
+    /// `f` must give the same answer for fresh and recycled scratch; under
+    /// that contract results are in index order and bit-identical at any
+    /// thread count (see [`simnet::par::par_map_with`]).
+    pub fn map_with<T, S, I, F>(&self, n: usize, init: I, f: F) -> Vec<T>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> T + Sync,
+    {
+        simnet::par::par_map_with(n, self.threads, init, f)
+    }
+
     /// Sample a service population (the parallel equivalent of
     /// [`workloads::sample_population`]).
     pub fn sample_population(
@@ -94,9 +149,73 @@ impl Engine {
         mechanism: RecoveryMechanism,
         base_seed: u64,
     ) -> Corpus {
-        let flows = self.map(population.len(), |i| {
+        let flows = self.map_with(population.len(), FlowScratch::new, |i, scratch| {
             let (spec, path) = &population[i];
-            simulate_flow(spec, path, mechanism, base_seed + i as u64)
+            simulate_flow_scratch(spec, path, mechanism, base_seed + i as u64, scratch)
+        });
+        Corpus { service, flows }
+    }
+
+    /// [`Engine::run_population`] + [`Engine::analyze_corpus`] fused into a
+    /// single trace-free pass: each flow's records stream straight into the
+    /// worker's recycled [`StreamAnalyzer`] and the per-flow trace is never
+    /// materialized. Outcomes keep their aggregate counters (latencies,
+    /// sender stats, link stats) but carry empty traces; analyses are
+    /// identical to the two-pass path.
+    pub fn run_population_streaming(
+        &self,
+        service: Service,
+        population: &[(FlowSpec, PathSpec)],
+        mechanism: RecoveryMechanism,
+        base_seed: u64,
+        cfg: AnalyzerConfig,
+    ) -> (Corpus, Vec<FlowAnalysis>) {
+        let pairs = self.map_with(
+            population.len(),
+            || WorkerScratch::new(cfg),
+            |i, ws| {
+                let (spec, path) = &population[i];
+                let analyzer = ws.take_analyzer(cfg);
+                let (out, mut analyzer) = simulate_flow_into_scratch(
+                    spec,
+                    path,
+                    mechanism,
+                    base_seed + i as u64,
+                    analyzer,
+                    &mut ws.sim,
+                );
+                let analysis = analyzer.finish_reset();
+                ws.restore_analyzer(analyzer);
+                (out, analysis)
+            },
+        );
+        let (flows, analyses) = split_pairs(pairs);
+        (Corpus { service, flows }, analyses)
+    }
+
+    /// [`Engine::run_population`] without traces *or* analyses: records are
+    /// discarded at the source (the null [`tcp_trace::record::RecordSink`]),
+    /// so only the aggregate outcome counters survive — all that sweeps
+    /// reading [`Corpus::retrans_ratio`] and latency CDFs ever touch. The
+    /// cheapest way to run a mechanism comparison.
+    pub fn run_population_lean(
+        &self,
+        service: Service,
+        population: &[(FlowSpec, PathSpec)],
+        mechanism: RecoveryMechanism,
+        base_seed: u64,
+    ) -> Corpus {
+        let flows = self.map_with(population.len(), FlowScratch::new, |i, scratch| {
+            let (spec, path) = &population[i];
+            let (out, ()) = simulate_flow_into_scratch(
+                spec,
+                path,
+                mechanism,
+                base_seed + i as u64,
+                (),
+                scratch,
+            );
+            out
         });
         Corpus { service, flows }
     }
@@ -113,9 +232,9 @@ impl Engine {
         seed: u64,
     ) -> Corpus {
         let model = ServiceModel::calibrated(service);
-        let flows = self.map(n, |i| {
+        let flows = self.map_with(n, FlowScratch::new, |i, scratch| {
             let (spec, path) = sample_flow(&model, seed, i);
-            simulate_flow(&spec, &path, mechanism, seed + i as u64)
+            simulate_flow_scratch(&spec, &path, mechanism, seed + i as u64, scratch)
         });
         Corpus { service, flows }
     }
@@ -134,24 +253,27 @@ impl Engine {
         cfg: AnalyzerConfig,
     ) -> (Corpus, Vec<FlowAnalysis>) {
         let model = ServiceModel::calibrated(service);
-        let pairs = self.map(n, |i| {
-            let (spec, path) = sample_flow(&model, seed, i);
-            let fseed = seed + i as u64;
-            let sink = (
-                FlowTrace::new(flow_key_for_seed(fseed)),
-                StreamAnalyzer::new(cfg),
-            );
-            let (mut out, (trace, analyzer)) =
-                simulate_flow_into(&spec, &path, mechanism, fseed, sink);
-            out.trace = trace;
-            (out, analyzer.finish())
-        });
-        let mut flows = Vec::with_capacity(pairs.len());
-        let mut analyses = Vec::with_capacity(pairs.len());
-        for (o, a) in pairs {
-            flows.push(o);
-            analyses.push(a);
-        }
+        let pairs = self.map_with(
+            n,
+            || WorkerScratch::new(cfg),
+            |i, ws| {
+                let (spec, path) = sample_flow(&model, seed, i);
+                let fseed = seed + i as u64;
+                // The trace escapes into the returned corpus, so its storage
+                // cannot be recycled — only the analyzer and sim arenas are.
+                let sink = (
+                    FlowTrace::new(flow_key_for_seed(fseed)),
+                    ws.take_analyzer(cfg),
+                );
+                let (mut out, (trace, mut analyzer)) =
+                    simulate_flow_into_scratch(&spec, &path, mechanism, fseed, sink, &mut ws.sim);
+                out.trace = trace;
+                let analysis = analyzer.finish_reset();
+                ws.restore_analyzer(analyzer);
+                (out, analysis)
+            },
+        );
+        let (flows, analyses) = split_pairs(pairs);
         (Corpus { service, flows }, analyses)
     }
 
@@ -169,26 +291,35 @@ impl Engine {
         cfg: AnalyzerConfig,
     ) -> (Corpus, Vec<FlowAnalysis>) {
         let model = ServiceModel::calibrated(service);
-        let pairs = self.map(n, |i| {
-            let (spec, path) = sample_flow(&model, seed, i);
-            let fseed = seed + i as u64;
-            let (out, analyzer) =
-                simulate_flow_into(&spec, &path, mechanism, fseed, StreamAnalyzer::new(cfg));
-            (out, analyzer.finish())
-        });
-        let mut flows = Vec::with_capacity(pairs.len());
-        let mut analyses = Vec::with_capacity(pairs.len());
-        for (o, a) in pairs {
-            flows.push(o);
-            analyses.push(a);
-        }
+        let pairs = self.map_with(
+            n,
+            || WorkerScratch::new(cfg),
+            |i, ws| {
+                let (spec, path) = sample_flow(&model, seed, i);
+                let fseed = seed + i as u64;
+                let analyzer = ws.take_analyzer(cfg);
+                let (out, mut analyzer) = simulate_flow_into_scratch(
+                    &spec,
+                    &path,
+                    mechanism,
+                    fseed,
+                    analyzer,
+                    &mut ws.sim,
+                );
+                let analysis = analyzer.finish_reset();
+                ws.restore_analyzer(analyzer);
+                (out, analysis)
+            },
+        );
+        let (flows, analyses) = split_pairs(pairs);
         (Corpus { service, flows }, analyses)
     }
 
-    /// TAPO-analyze every flow of a corpus, in flow order.
+    /// TAPO-analyze every flow of a corpus, in flow order. Workers recycle
+    /// their replay arenas across flows ([`tapo::analyze_flow_with`]).
     pub fn analyze_corpus(&self, corpus: &Corpus, cfg: AnalyzerConfig) -> Vec<FlowAnalysis> {
-        self.map(corpus.flows.len(), |i| {
-            analyze_flow(&corpus.flows[i].trace, cfg)
+        self.map_with(corpus.flows.len(), AnalyzeScratch::new, |i, scratch| {
+            analyze_flow_with(&corpus.flows[i].trace, cfg, scratch)
         })
     }
 
@@ -203,6 +334,19 @@ impl Engine {
         }
         breakdown
     }
+}
+
+/// Unzip per-flow `(outcome, analysis)` pairs preserving index order.
+fn split_pairs(
+    pairs: Vec<(tcp_sim::sim::FlowOutcome, FlowAnalysis)>,
+) -> (Vec<tcp_sim::sim::FlowOutcome>, Vec<FlowAnalysis>) {
+    let mut flows = Vec::with_capacity(pairs.len());
+    let mut analyses = Vec::with_capacity(pairs.len());
+    for (o, a) in pairs {
+        flows.push(o);
+        analyses.push(a);
+    }
+    (flows, analyses)
 }
 
 impl Default for Engine {
@@ -255,6 +399,38 @@ mod tests {
             Engine::breakdown(&offline).total_stalls,
             Engine::breakdown(&streamed).total_stalls
         );
+    }
+
+    #[test]
+    fn population_runs_agree_across_materialization_levels() {
+        let engine = Engine::new(3);
+        let (svc, mech, seed) = (Service::SoftwareDownload, RecoveryMechanism::srto(), 11);
+        let cfg = AnalyzerConfig::default();
+        let pop = engine.sample_population(svc, 10, seed);
+        // Reference: materialize traces, analyze in a second pass.
+        let corpus = engine.run_population(svc, &pop, mech, 100);
+        let offline = engine.analyze_corpus(&corpus, cfg);
+        // Fused trace-free streaming over the same population.
+        let (streamed_corpus, streamed) =
+            engine.run_population_streaming(svc, &pop, mech, 100, cfg);
+        assert_eq!(offline, streamed);
+        // Lean: aggregate outcome counters only.
+        let lean = engine.run_population_lean(svc, &pop, mech, 100);
+        assert_eq!(corpus.flows.len(), lean.flows.len());
+        for ((a, b), c) in corpus
+            .flows
+            .iter()
+            .zip(&streamed_corpus.flows)
+            .zip(&lean.flows)
+        {
+            assert!(b.trace.records.is_empty(), "streaming must not keep traces");
+            assert!(c.trace.records.is_empty(), "lean must not keep traces");
+            assert_eq!(a.server_stats, b.server_stats);
+            assert_eq!(a.server_stats, c.server_stats);
+            assert_eq!(a.request_latencies, c.request_latencies);
+            assert_eq!(a.completed, c.completed);
+        }
+        assert_eq!(corpus.retrans_ratio(), lean.retrans_ratio());
     }
 
     #[test]

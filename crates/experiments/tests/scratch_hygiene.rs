@@ -1,0 +1,172 @@
+//! Scratch-hygiene differentials: a worker that recycles its arenas across
+//! many flows must be indistinguishable from fresh-state serial execution.
+//!
+//! The engine's whole performance story rests on one contract — every
+//! scratch entry point (`FlowScratch`, `StreamAnalyzer::reset_for`,
+//! `AnalyzeScratch`) fully rewinds its state between flows, so a recycled
+//! worker's traces and analyses are bit-identical to what a brand-new
+//! worker would produce. These tests attack that contract directly with
+//! heterogeneous flows sharing one scratch, seed-randomized orderings, and
+//! a leak probe that reruns a sentinel flow after every other flow.
+
+use tapo::{AnalyzerConfig, StreamAnalyzer};
+use tcp_sim::recovery::RecoveryMechanism;
+use workloads::{
+    sample_flow, simulate_flow, simulate_flow_into, simulate_flow_into_scratch,
+    simulate_flow_scratch, FlowScratch, Service, ServiceModel,
+};
+
+/// A small cross-service pool of (spec, path, seed) cases — heterogeneous
+/// enough that consecutive flows differ in script shape, loss process,
+/// window sizes and mechanism-relevant options.
+fn case_pool() -> Vec<(workloads::FlowSpec, workloads::PathSpec, u64)> {
+    let mut cases = Vec::new();
+    for (svc, master) in [
+        (Service::CloudStorage, 41u64),
+        (Service::WebSearch, 42),
+        (Service::SoftwareDownload, 43),
+    ] {
+        let model = ServiceModel::calibrated(svc);
+        for i in 0..6 {
+            let (spec, path) = sample_flow(&model, master, i);
+            cases.push((spec, path, master * 1000 + i as u64));
+        }
+    }
+    cases
+}
+
+/// xorshift64* — deterministic shuffle driver, no external deps.
+fn rng_next(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+fn shuffled(n: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut s = seed | 1;
+    for i in (1..n).rev() {
+        let j = (rng_next(&mut s) % (i as u64 + 1)) as usize;
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// One worker recycling a single `FlowScratch` + `StreamAnalyzer` across
+/// every pooled flow, in several seed-randomized orders, must reproduce the
+/// fresh serial path bit for bit — traces, outcomes and analyses.
+#[test]
+fn recycled_worker_matches_fresh_serial_in_any_order() {
+    let cases = case_pool();
+    let cfg = AnalyzerConfig::default();
+    // Reference: fresh state for every flow.
+    let reference: Vec<_> = cases
+        .iter()
+        .map(|(spec, path, seed)| {
+            let out = simulate_flow(spec, path, RecoveryMechanism::Native, *seed);
+            let (_, analyzer) = simulate_flow_into(
+                spec,
+                path,
+                RecoveryMechanism::Native,
+                *seed,
+                StreamAnalyzer::new(cfg),
+            );
+            (out, analyzer.finish())
+        })
+        .collect();
+
+    for order_seed in [1u64, 7, 99] {
+        let mut scratch = FlowScratch::new();
+        let mut analyzer = StreamAnalyzer::new(cfg);
+        for &i in &shuffled(cases.len(), order_seed) {
+            let (spec, path, seed) = &cases[i];
+            let out =
+                simulate_flow_scratch(spec, path, RecoveryMechanism::Native, *seed, &mut scratch);
+            let (lean_out, mut used) = simulate_flow_into_scratch(
+                spec,
+                path,
+                RecoveryMechanism::Native,
+                *seed,
+                analyzer,
+                &mut scratch,
+            );
+            let analysis = used.finish_reset();
+            analyzer = used;
+            let (ref_out, ref_analysis) = &reference[i];
+            assert_eq!(out.trace.records, ref_out.trace.records, "case {i}");
+            assert_eq!(out.request_latencies, ref_out.request_latencies, "case {i}");
+            assert_eq!(out.server_stats, ref_out.server_stats, "case {i}");
+            assert_eq!(out.established_at, ref_out.established_at, "case {i}");
+            assert_eq!(out.finished_at, ref_out.finished_at, "case {i}");
+            assert_eq!(lean_out.server_stats, ref_out.server_stats, "case {i}");
+            assert_eq!(&analysis, ref_analysis, "case {i}");
+        }
+    }
+}
+
+/// Leak probe: run a fixed sentinel flow with fresh state once, then rerun
+/// it through the shared scratch after *every* pooled flow. Any state that
+/// survives a reset — a stale event, a dirty buffer, a carried-over replay
+/// field — shows up as a sentinel divergence right after the flow that
+/// leaked it.
+#[test]
+fn no_state_leaks_between_consecutive_flows_sharing_scratch() {
+    let cases = case_pool();
+    let cfg = AnalyzerConfig::default();
+    let (s_spec, s_path, s_seed) = &cases[0];
+    let sentinel = simulate_flow(s_spec, s_path, RecoveryMechanism::Native, *s_seed);
+    let (_, fresh_analyzer) = simulate_flow_into(
+        s_spec,
+        s_path,
+        RecoveryMechanism::Native,
+        *s_seed,
+        StreamAnalyzer::new(cfg),
+    );
+    let sentinel_analysis = fresh_analyzer.finish();
+
+    let mut scratch = FlowScratch::new();
+    let mut analyzer = StreamAnalyzer::new(cfg);
+    for (i, (spec, path, seed)) in cases.iter().enumerate() {
+        // Pollute the scratch with an arbitrary flow...
+        let (_, mut used) = simulate_flow_into_scratch(
+            spec,
+            path,
+            RecoveryMechanism::Native,
+            *seed,
+            analyzer,
+            &mut scratch,
+        );
+        used.finish_reset();
+        analyzer = used;
+        // ...then demand the sentinel still reproduces exactly.
+        let replayed = simulate_flow_scratch(
+            s_spec,
+            s_path,
+            RecoveryMechanism::Native,
+            *s_seed,
+            &mut scratch,
+        );
+        assert_eq!(
+            replayed.trace.records, sentinel.trace.records,
+            "scratch leaked state after case {i}"
+        );
+        assert_eq!(replayed.server_stats, sentinel.server_stats);
+        let (_, mut used) = simulate_flow_into_scratch(
+            s_spec,
+            s_path,
+            RecoveryMechanism::Native,
+            *s_seed,
+            analyzer,
+            &mut scratch,
+        );
+        let replayed_analysis = used.finish_reset();
+        analyzer = used;
+        assert_eq!(
+            replayed_analysis, sentinel_analysis,
+            "analyzer leaked state after case {i}"
+        );
+    }
+}

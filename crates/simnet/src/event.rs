@@ -45,10 +45,13 @@ use crate::time::SimTime;
 
 /// log2 of the bucket width in microseconds (1024µs ≈ 1ms — finer than
 /// the delayed-ACK timer, coarser than per-packet serialization gaps).
-const BUCKET_BITS: u32 = 10;
-/// Ring size; with 1ms buckets the year spans ~262ms, longer than one
-/// RTT + typical RTO for the paper's paths, so redistribution is rare.
-const N_BUCKETS: usize = 256;
+const BUCKET_BITS: u32 = 12;
+/// Ring size; with 1ms buckets the year spans ~1.05s. Timer re-arms (RTO
+/// deadlines 200ms–1s out) are the single biggest event class the flow
+/// simulation schedules, and they must land *inside* the ring: with the
+/// previous 256-bucket (~262ms) ring, two thirds of all pushes overflowed
+/// into `far` and paid redistribution churn on every ring drain.
+const N_BUCKETS: usize = 1024;
 
 /// A bucket entry: the ordering key plus the slab index of the payload.
 #[derive(Debug, Clone, Copy)]
@@ -89,8 +92,12 @@ pub struct EventQueue<E> {
     /// probing each slot.
     occupied: [u64; N_BUCKETS / 64],
     /// Events at or beyond `year_base + N_BUCKETS` (strictly later than
-    /// everything in the ring).
-    far: Vec<Slot>,
+    /// everything in the ring), as a min-heap on `(at, seq)`. The heap
+    /// keeps redistribution linear-ish: re-basing peeks the earliest far
+    /// event in `O(1)` and pops only the prefix that falls inside the new
+    /// year (`O(k log n)`), instead of scanning and compacting the whole
+    /// overflow vector on every ring drain.
+    far: std::collections::BinaryHeap<std::cmp::Reverse<(SimTime, u64, u32)>>,
     /// Absolute bucket number where the current year begins.
     year_base: u64,
     /// Absolute bucket number the pop cursor is in (`>= year_base`).
@@ -116,7 +123,7 @@ impl<E> EventQueue<E> {
             slab: Vec::new(),
             free: Vec::new(),
             occupied: [0; N_BUCKETS / 64],
-            far: Vec::new(),
+            far: std::collections::BinaryHeap::new(),
             year_base: 0,
             cursor: 0,
             cursor_sorted: false,
@@ -192,7 +199,7 @@ impl<E> EventQueue<E> {
         let entry = Slot { at, seq, idx };
         let b = bucket_of(at);
         if b >= self.year_base + N_BUCKETS as u64 {
-            self.far.push(entry);
+            self.far.push(std::cmp::Reverse((at, seq, idx)));
             return;
         }
         let s = (b % N_BUCKETS as u64) as usize;
@@ -241,28 +248,25 @@ impl<E> EventQueue<E> {
                 return Some((entry.at, event));
             }
             // Ring drained: re-base the year at the earliest far event and
-            // pull everything that now falls inside the ring back in.
+            // pull everything that now falls inside the ring back in. The
+            // in-window events form a prefix of the heap's `(at, seq)`
+            // order (`bucket_of` is monotone in `at`), so popping until
+            // the first out-of-window event moves exactly the right set.
             debug_assert!(!self.far.is_empty(), "len > 0 but no events anywhere");
-            let new_base = self
-                .far
-                .iter()
-                .map(|e| bucket_of(e.at))
-                .min()
-                .expect("far is non-empty");
+            let new_base = bucket_of(self.far.peek().expect("far is non-empty").0 .0);
             self.year_base = new_base;
             self.cursor = new_base;
             self.cursor_sorted = false;
             let new_end = new_base + N_BUCKETS as u64;
-            let mut i = 0;
-            while i < self.far.len() {
-                if bucket_of(self.far[i].at) < new_end {
-                    let entry = self.far.swap_remove(i);
-                    let s = (bucket_of(entry.at) % N_BUCKETS as u64) as usize;
-                    self.buckets[s].push(entry);
-                    self.mark(s);
-                } else {
-                    i += 1;
+            while let Some(&std::cmp::Reverse((at, seq, idx))) = self.far.peek() {
+                let b = bucket_of(at);
+                if b >= new_end {
+                    break;
                 }
+                self.far.pop();
+                let s = (b % N_BUCKETS as u64) as usize;
+                self.buckets[s].push(Slot { at, seq, idx });
+                self.mark(s);
             }
         }
     }
@@ -283,7 +287,31 @@ impl<E> EventQueue<E> {
             };
             return Some(t);
         }
-        self.far.iter().map(|e| e.at).min()
+        self.far.peek().map(|&std::cmp::Reverse((at, _, _))| at)
+    }
+
+    /// Rewind the queue to the fresh state of [`EventQueue::new`] — clock
+    /// at zero, sequence counter at zero, no pending events — while keeping
+    /// every allocation (the payload slab, free list, ring bucket vectors
+    /// and far overflow) for the next simulation. Behaviour after `reset()`
+    /// is indistinguishable from a brand-new queue: with the slab and free
+    /// list cleared, payload indices are handed out in the same order a
+    /// fresh queue would use, so pop order (and everything derived from it)
+    /// is bit-identical.
+    pub fn reset(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.slab.clear();
+        self.free.clear();
+        self.occupied = [0; N_BUCKETS / 64];
+        self.far.clear();
+        self.year_base = 0;
+        self.cursor = 0;
+        self.cursor_sorted = false;
+        self.len = 0;
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
     }
 
     /// Number of pending events.
@@ -455,6 +483,58 @@ mod tests {
             self.0 ^= self.0 >> 7;
             self.0 ^= self.0 << 17;
             self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    #[test]
+    fn reset_queue_is_indistinguishable_from_fresh() {
+        // Run a random schedule (leaving events pending), reset, then run a
+        // second random schedule through both the recycled queue and a
+        // brand-new one: pop sequences, clocks and lengths must match
+        // exactly — including seq-numbered tie-breaks and far-ring rebasing.
+        for seed in 1..=10u64 {
+            let mut recycled = EventQueue::new();
+            // Dirty the queue: pending near events, far events, popped holes.
+            let mut rng = Rng(seed);
+            for _ in 0..500 {
+                let r = rng.next();
+                if !r.is_multiple_of(3) {
+                    let delay = rng.next() % 3_000_000;
+                    let at = recycled.now() + SimDuration::from_micros(delay);
+                    recycled.push(at, r);
+                } else {
+                    recycled.pop();
+                }
+            }
+            assert!(!recycled.is_empty(), "dirtying left events pending");
+            recycled.reset();
+            assert!(recycled.is_empty());
+            assert_eq!(recycled.now(), SimTime::ZERO);
+            assert_eq!(recycled.peek_time(), None);
+
+            let mut fresh = EventQueue::new();
+            let mut rng_a = Rng(seed.wrapping_mul(77));
+            let mut rng_b = Rng(seed.wrapping_mul(77));
+            let drive = |q: &mut EventQueue<u64>, rng: &mut Rng| {
+                let mut popped = Vec::new();
+                for _ in 0..2000 {
+                    let r = rng.next();
+                    if r % 100 < 60 {
+                        let delay = rng.next() % 5_000_000;
+                        let at = q.now() + SimDuration::from_micros(delay);
+                        q.push(at, r);
+                    } else {
+                        popped.push(q.pop());
+                    }
+                }
+                while let Some(p) = q.pop() {
+                    popped.push(Some(p));
+                }
+                popped
+            };
+            let a = drive(&mut recycled, &mut rng_a);
+            let b = drive(&mut fresh, &mut rng_b);
+            assert_eq!(a, b, "reset-vs-fresh divergence for seed {seed}");
         }
     }
 

@@ -36,33 +36,82 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    par_map_with(n, threads, || (), |i, ()| f(i))
+}
+
+/// Indices claimed per atomic fetch in [`par_map_with`]: large enough to
+/// amortize the shared counter and the per-chunk lock (and to keep adjacent
+/// workers off adjacent slots — no false sharing on a hot slot array),
+/// small enough that a heavy-tailed item at the end of the range still
+/// load-balances across workers.
+const CHUNK: usize = 16;
+
+/// [`par_map`] with per-worker mutable scratch: every worker calls `init()`
+/// once and then sees `&mut scratch` on each item it claims, so expensive
+/// arenas (event slabs, replay maps) are recycled across the thousands of
+/// items a worker processes instead of being reallocated per item.
+///
+/// The bit-identical-at-any-thread-count guarantee of [`par_map`] is
+/// preserved **provided `f` leaves no observable state in the scratch** —
+/// i.e. `f(i, s)` returns the same value whether `s` is fresh from `init()`
+/// or recycled from any sequence of previous calls. Scratch users uphold
+/// this by fully resetting recycled state on entry (see
+/// `EventQueue::reset` and the scratch-hygiene differential tests); under
+/// that contract, which indices share a scratch (the thread schedule) can
+/// change timing but never results, and results always land in index order.
+///
+/// Work is claimed in chunks of [`CHUNK`] consecutive indices from the
+/// shared counter, cutting per-item atomic traffic by the chunk width; one
+/// result vector per chunk means one uncontended lock per chunk instead of
+/// one per item. With `threads <= 1` (or `n <= 1`) the whole range runs
+/// inline on the caller's thread against a single scratch — exactly what a
+/// one-worker schedule would do.
+///
+/// Panics in `f` are propagated to the caller after the scope unwinds.
+pub fn par_map_with<T, S, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
     let threads = threads.max(1).min(n.max(1));
     if threads == 1 {
-        return (0..n).map(f).collect();
+        let mut scratch = init();
+        return (0..n).map(|i| f(i, &mut scratch)).collect();
     }
 
-    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let n_chunks = n.div_ceil(CHUNK);
+    let slots: Vec<Mutex<Vec<T>>> = (0..n_chunks).map(|_| Mutex::new(Vec::new())).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let mut scratch = init();
+                loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let start = c * CHUNK;
+                    let end = (start + CHUNK).min(n);
+                    let mut buf = Vec::with_capacity(end - start);
+                    for i in start..end {
+                        buf.push(f(i, &mut scratch));
+                    }
+                    // Each chunk is claimed exactly once, so the slot is free.
+                    *slots[c].lock().expect("chunk lock") = buf;
                 }
-                // Each index is claimed exactly once, so the slot is free.
-                *slots[i].lock().expect("slot lock") = Some(f(i));
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("slot lock")
-                .expect("every index was claimed")
-        })
-        .collect()
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        let chunk = slot.into_inner().expect("chunk lock");
+        debug_assert!(!chunk.is_empty(), "every chunk was claimed");
+        out.extend(chunk);
+    }
+    debug_assert_eq!(out.len(), n);
+    out
 }
 
 #[cfg(test)]
@@ -100,5 +149,50 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn scratch_map_preserves_index_order_across_thread_counts() {
+        // A well-behaved f (resets its scratch on entry) must produce
+        // identical output at any thread count, chunk boundaries included.
+        let reference: Vec<u64> = (0..1000u64).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 33] {
+            let out = par_map_with(1000, threads, Vec::<u64>::new, |i, scratch| {
+                scratch.clear(); // full reset: no state leaks between items
+                scratch.extend([i as u64, i as u64 * 2]);
+                scratch.iter().sum::<u64>() + 1
+            });
+            assert_eq!(out, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_worker() {
+        // Serial path: one scratch across the whole range.
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let out = par_map_with(
+            10,
+            1,
+            || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                0usize
+            },
+            |i, seen| {
+                *seen += 1;
+                (i, *seen)
+            },
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "one scratch for the range");
+        // The scratch visibly accumulates across calls within the worker.
+        assert_eq!(out.last(), Some(&(9, 10)));
+    }
+
+    #[test]
+    fn scratch_map_handles_empty_tiny_and_chunk_edges() {
+        assert_eq!(par_map_with(0, 4, || (), |i, ()| i), Vec::<usize>::new());
+        for n in [1, CHUNK - 1, CHUNK, CHUNK + 1, 3 * CHUNK] {
+            let out = par_map_with(n, 4, || (), |i, ()| i);
+            assert_eq!(out, (0..n).collect::<Vec<_>>(), "n={n}");
+        }
     }
 }

@@ -169,6 +169,37 @@ pub struct FlowOutcome {
     pub c2s_stats: simnet::link::LinkStats,
 }
 
+/// Recyclable per-worker simulator arenas: the event queue (calendar ring,
+/// payload slab, overflow vector), the segment scratch buffer, and the
+/// per-request bookkeeping vectors of a [`FlowSim`].
+///
+/// A worker threads one `FlowScratch` through every flow it simulates:
+/// [`FlowSim::with_sink_scratch`] takes the arenas, the flow runs in them,
+/// and [`FlowSim::run_streaming_into`] hands them back reset — so the
+/// per-flow hot path stops paying a fresh round of heap allocations per
+/// flow. A flow run in recycled arenas is bit-identical to one run in fresh
+/// arenas: every arena is rewound to its `new()` state between flows (see
+/// [`simnet::event::EventQueue::reset`]); only the capacity is reused.
+#[derive(Debug, Default)]
+pub struct FlowScratch {
+    q: EventQueue<Ev>,
+    seg_buf: Vec<Segment>,
+    request_boundary_in: Vec<u64>,
+    response_boundary_out: Vec<u64>,
+    issue_times: Vec<Option<SimTime>>,
+    latencies: Vec<Option<SimDuration>>,
+    supplies: std::collections::VecDeque<(SimDuration, u64, bool)>,
+    server_ticks: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>>,
+    client_ticks: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>>,
+}
+
+impl FlowScratch {
+    /// Fresh arenas with no retained capacity yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 #[derive(Debug)]
 enum Ev {
     ToServer(Segment),
@@ -212,6 +243,15 @@ pub struct FlowSim<S: RecordSink = FlowTrace> {
     issue_times: Vec<Option<SimTime>>,
     latencies: Vec<Option<SimDuration>>,
     next_request_seen: usize,
+    /// First request whose latency is still unresolved — `snd_una` is
+    /// monotone and requests are issued in order, so completion checks
+    /// resume here instead of rescanning every request per ACK.
+    next_resp_done: usize,
+    /// First response the client-progress check hasn't fully processed;
+    /// `rcv_nxt` is monotone, so earlier entries never need revisiting.
+    next_progress: usize,
+    /// Latencies still unset; `done()` in O(1) on the per-event hot path.
+    pending_latencies: usize,
     read_pending: bool,
     supplies: std::collections::VecDeque<(SimDuration, u64, bool)>,
     supply_active: bool,
@@ -221,6 +261,16 @@ pub struct FlowSim<S: RecordSink = FlowTrace> {
     /// Scratch buffer of segments produced by the current event, reused so
     /// the per-event hot path never allocates.
     seg_buf: Vec<Segment>,
+    /// Pending tick times per host, earliest first. [`FlowSim::resched_tick`]
+    /// is called after every handler, and timer deadlines usually move
+    /// *later* (each ACK re-arms the RTO) — without suppression the queue
+    /// drowns in duplicate ticks (measured: ~10 stale ticks per packet).
+    /// A tick is only scheduled when it's strictly earlier than every tick
+    /// already pending for that host; a tick that fires before the current
+    /// deadline is harmless (`on_tick` past no expired timer is a no-op)
+    /// and re-arms the chain at the then-current deadline on pop.
+    server_ticks: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>>,
+    client_ticks: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>>,
 }
 
 impl FlowSim<FlowTrace> {
@@ -246,6 +296,24 @@ impl<S: RecordSink> FlowSim<S> {
     /// Build a flow simulation that streams every server-side record into
     /// `sink` instead of the default materialized [`FlowTrace`].
     pub fn with_sink(cfg: FlowSimConfig, seed: u64, sink: S) -> Self {
+        Self::assemble(cfg, seed, sink, FlowScratch::default())
+    }
+
+    /// Borrowed-scratch construction: like [`FlowSim::with_sink`], but the
+    /// simulator is assembled inside `scratch`'s recycled arenas (event
+    /// slab, segment buffer, bookkeeping vectors) instead of fresh
+    /// allocations. The scratch is left empty until
+    /// [`FlowSim::run_streaming_into`] returns the arenas to it.
+    pub fn with_sink_scratch(
+        cfg: FlowSimConfig,
+        seed: u64,
+        sink: S,
+        scratch: &mut FlowScratch,
+    ) -> Self {
+        Self::assemble(cfg, seed, sink, std::mem::take(scratch))
+    }
+
+    fn assemble(cfg: FlowSimConfig, seed: u64, sink: S, scratch: FlowScratch) -> Self {
         let FlowSimConfig {
             server_tx,
             server_rx,
@@ -267,10 +335,29 @@ impl<S: RecordSink> FlowSim<S> {
         let app_rng = rng.fork(3);
         let server = Host::new(server_tx, server_rx);
         let client = Host::new(client_tx, client_rx);
+        let FlowScratch {
+            q,
+            mut seg_buf,
+            mut request_boundary_in,
+            mut response_boundary_out,
+            mut issue_times,
+            mut latencies,
+            mut supplies,
+            mut server_ticks,
+            mut client_ticks,
+        } = scratch;
+        server_ticks.clear();
+        client_ticks.clear();
+        debug_assert!(
+            q.is_empty() && q.now() == SimTime::ZERO,
+            "scratch queue must be reset between flows"
+        );
+        seg_buf.clear();
+        request_boundary_in.clear();
+        response_boundary_out.clear();
+        supplies.clear();
         let mut req_edge = 0u64;
         let mut resp_edge = 0u64;
-        let mut request_boundary_in = Vec::new();
-        let mut response_boundary_out = Vec::new();
         for r in &script.requests {
             req_edge += r.request_bytes as u64;
             resp_edge += r.response_bytes;
@@ -278,6 +365,10 @@ impl<S: RecordSink> FlowSim<S> {
             response_boundary_out.push(resp_edge);
         }
         let n = script.requests.len();
+        issue_times.clear();
+        issue_times.resize(n, None);
+        latencies.clear();
+        latencies.resize(n, None);
         FlowSim {
             requests: script.requests,
             client_drain,
@@ -285,7 +376,7 @@ impl<S: RecordSink> FlowSim<S> {
             client_pause,
             max_time,
             syn_timeout,
-            q: EventQueue::new(),
+            q,
             server,
             client,
             c2s,
@@ -296,16 +387,21 @@ impl<S: RecordSink> FlowSim<S> {
             established_at: None,
             request_boundary_in,
             response_boundary_out,
-            issue_times: vec![None; n],
-            latencies: vec![None; n],
+            issue_times,
+            latencies,
             next_request_seen: 0,
+            next_resp_done: 0,
+            next_progress: 0,
+            pending_latencies: n,
             read_pending: false,
-            supplies: Default::default(),
+            supplies,
             supply_active: false,
             app_rng,
             synack_sent_at: None,
             rtt_seeded: false,
-            seg_buf: Vec::new(),
+            seg_buf,
+            server_ticks,
+            client_ticks,
         }
     }
 
@@ -313,6 +409,48 @@ impl<S: RecordSink> FlowSim<S> {
     /// plus the sink that received every record. The outcome's `trace` field
     /// is left empty — the records live in (or were consumed by) the sink.
     pub fn run_streaming(mut self) -> (FlowOutcome, S) {
+        let outcome = self.run_core();
+        (outcome, self.trace)
+    }
+
+    /// Run like [`FlowSim::run_streaming`], then return the recycled arenas
+    /// to `scratch` — reset and ready for the next
+    /// [`FlowSim::with_sink_scratch`] — instead of dropping them.
+    pub fn run_streaming_into(mut self, scratch: &mut FlowScratch) -> (FlowOutcome, S) {
+        let outcome = self.run_core();
+        let FlowSim {
+            mut q,
+            mut seg_buf,
+            request_boundary_in,
+            response_boundary_out,
+            issue_times,
+            latencies,
+            mut supplies,
+            mut server_ticks,
+            mut client_ticks,
+            trace,
+            ..
+        } = self;
+        q.reset();
+        seg_buf.clear();
+        supplies.clear();
+        server_ticks.clear();
+        client_ticks.clear();
+        *scratch = FlowScratch {
+            q,
+            seg_buf,
+            request_boundary_in,
+            response_boundary_out,
+            issue_times,
+            latencies,
+            supplies,
+            server_ticks,
+            client_ticks,
+        };
+        (outcome, trace)
+    }
+
+    fn run_core(&mut self) -> FlowOutcome {
         self.send_syn(SimTime::ZERO, 0);
         let deadline = SimTime::ZERO + self.max_time;
         let mut finished_at = SimTime::ZERO;
@@ -330,7 +468,7 @@ impl<S: RecordSink> FlowSim<S> {
         let completed = self.done();
         let s2c_stats = self.s2c.stats();
         let c2s_stats = self.c2s.stats();
-        let outcome = FlowOutcome {
+        FlowOutcome {
             established: self.established_client,
             completed,
             request_latencies: self
@@ -346,12 +484,11 @@ impl<S: RecordSink> FlowSim<S> {
             s2c_stats,
             c2s_stats,
             trace: FlowTrace::default(),
-        };
-        (outcome, self.trace)
+        }
     }
 
     fn done(&self) -> bool {
-        self.latencies.iter().all(|l| l.is_some())
+        self.pending_latencies == 0
     }
 
     // ------------------------------------------------------------ events
@@ -361,12 +498,16 @@ impl<S: RecordSink> FlowSim<S> {
             Ev::ToServer(seg) => self.server_receive(now, seg),
             Ev::ToClient(seg) => self.client_receive(now, seg),
             Ev::TickServer => {
+                let popped = self.server_ticks.pop();
+                debug_assert_eq!(popped, Some(std::cmp::Reverse(now)));
                 let mut out = std::mem::take(&mut self.seg_buf);
                 self.server.on_tick(now, &mut out);
                 self.server_send(now, &mut out);
                 self.seg_buf = out;
             }
             Ev::TickClient => {
+                let popped = self.client_ticks.pop();
+                debug_assert_eq!(popped, Some(std::cmp::Reverse(now)));
                 let mut out = std::mem::take(&mut self.seg_buf);
                 self.client.on_tick(now, &mut out);
                 self.client_send(now, &mut out);
@@ -607,36 +748,57 @@ impl<S: RecordSink> FlowSim<S> {
     }
 
     /// Latency bookkeeping: a request is complete when the server has seen
-    /// every response byte cumulatively ACKed.
+    /// every response byte cumulatively ACKed. Requests complete strictly
+    /// in order (boundaries and `snd_una` are monotone, and request `i+1`
+    /// is never issued before `i`), so the scan resumes at the first
+    /// unresolved request and stops at the first it can't resolve.
     fn check_response_completion(&mut self, now: SimTime) {
         let una = self.server.tx.scoreboard().snd_una();
-        for i in 0..self.latencies.len() {
-            if self.latencies[i].is_none() && una >= self.response_boundary_out[i] {
-                if let Some(t0) = self.issue_times[i] {
+        let mut i = self.next_resp_done;
+        while i < self.latencies.len() {
+            if self.latencies[i].is_some() {
+                i += 1;
+                continue;
+            }
+            if una < self.response_boundary_out[i] {
+                break;
+            }
+            match self.issue_times[i] {
+                Some(t0) => {
                     self.latencies[i] = Some(now.saturating_since(t0));
+                    self.pending_latencies -= 1;
+                    i += 1;
                 }
+                None => break,
             }
         }
+        self.next_resp_done = i;
     }
 
     /// Client-side progress: when a response has fully arrived, schedule the
-    /// next request after its think time.
+    /// next request after its think time. `rcv_nxt` is monotone and requests
+    /// are issued strictly in order, so a response index is fully handled
+    /// once its successor is scheduled — the scan resumes past it and stops
+    /// at the first index it can't yet act on.
     fn check_client_progress(&mut self, now: SimTime) {
         let got = self.client.rx.rcv_nxt();
-        for i in 0..self.response_boundary_out.len() {
-            if got >= self.response_boundary_out[i] {
-                let next = i + 1;
-                if next < self.requests.len()
-                    && self.issue_times[next].is_none()
-                    && self.issue_times[i].is_some()
-                {
-                    // Mark as scheduled so we don't double-issue.
-                    self.issue_times[next] = Some(SimTime::MAX);
-                    let think = self.requests[next].think_time;
-                    self.q.push(now + think, Ev::IssueRequest(next));
-                }
+        let mut i = self.next_progress;
+        while i < self.response_boundary_out.len() && got >= self.response_boundary_out[i] {
+            let next = i + 1;
+            if next >= self.requests.len() || self.issue_times[next].is_some() {
+                i = next;
+                continue;
             }
+            if self.issue_times[i].is_none() {
+                break;
+            }
+            // Mark as scheduled so we don't double-issue.
+            self.issue_times[next] = Some(SimTime::MAX);
+            let think = self.requests[next].think_time;
+            self.q.push(now + think, Ev::IssueRequest(next));
+            i = next;
         }
+        self.next_progress = i;
     }
 
     fn client_drain_tick(&mut self, now: SimTime) {
@@ -666,6 +828,12 @@ impl<S: RecordSink> FlowSim<S> {
 
     // ------------------------------------------------------------ timers
 
+    /// Re-arm the host's tick after a state change. Scheduling is
+    /// *suppressed* when a tick at or before the wanted time is already
+    /// pending for this host: that earlier tick will run `on_tick` (a no-op
+    /// if its deadline moved) and re-arm from there, so every armed
+    /// deadline is still reached — without flooding the queue with one
+    /// duplicate tick per ACK as deadlines slide forward.
     fn resched_tick(&mut self, now: SimTime, server: bool) {
         let deadline = if server {
             self.server.next_deadline()
@@ -674,6 +842,18 @@ impl<S: RecordSink> FlowSim<S> {
         };
         if let Some(d) = deadline {
             let at = d.max(now);
+            let ticks = if server {
+                &mut self.server_ticks
+            } else {
+                &mut self.client_ticks
+            };
+            if ticks
+                .peek()
+                .is_some_and(|&std::cmp::Reverse(pending)| pending <= at)
+            {
+                return;
+            }
+            ticks.push(std::cmp::Reverse(at));
             self.q.push(
                 at,
                 if server {
@@ -777,6 +957,46 @@ mod tests {
         assert_eq!(sink.records, materialized.trace.records);
         assert_eq!(out.request_latencies, materialized.request_latencies);
         assert_eq!(out.server_stats, materialized.server_stats);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_state() {
+        // One FlowScratch recycled across dissimilar flows (lossless, lossy,
+        // multi-request) must reproduce the fresh-construction path exactly:
+        // same traces, same latencies, same stats.
+        let mut lossy = base_cfg(200_000);
+        lossy.s2c.loss = LossSpec::bernoulli(0.06);
+        let mut multi = base_cfg(0);
+        multi.script = FlowScript {
+            requests: vec![
+                RequestSpec::simple(20_000),
+                RequestSpec {
+                    think_time: SimDuration::from_secs(1),
+                    ..RequestSpec::simple(40_000)
+                },
+            ],
+        };
+        let cases: Vec<(FlowSimConfig, u64)> = vec![
+            (base_cfg(50_000), 1),
+            (lossy, 7),
+            (multi, 3),
+            (base_cfg(1_000), 9),
+            (base_cfg(50_000), 1), // repeat: scratch sized by a previous flow
+        ];
+        let mut scratch = FlowScratch::new();
+        for (cfg, seed) in cases {
+            let fresh = FlowSim::new(cfg.clone(), seed).run();
+            let key = FlowKey::synthetic(cfg.flow_id);
+            let (mut out, trace) =
+                FlowSim::with_sink_scratch(cfg, seed, FlowTrace::new(key), &mut scratch)
+                    .run_streaming_into(&mut scratch);
+            out.trace = trace;
+            assert_eq!(out.trace.records, fresh.trace.records);
+            assert_eq!(out.request_latencies, fresh.request_latencies);
+            assert_eq!(out.server_stats, fresh.server_stats);
+            assert_eq!(out.established_at, fresh.established_at);
+            assert_eq!(out.finished_at, fresh.finished_at);
+        }
     }
 
     #[test]

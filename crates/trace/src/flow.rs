@@ -54,6 +54,15 @@ impl FlowTrace {
         }
     }
 
+    /// Re-key the trace for a new flow, dropping all records but keeping
+    /// the record vector's backing storage — the recycling counterpart of
+    /// [`FlowTrace::new`] for workers that materialize many traces whose
+    /// records do not outlive the per-flow processing.
+    pub fn reset_for(&mut self, key: FlowKey) {
+        self.key = Some(key);
+        self.records.clear();
+    }
+
     /// Append a record; panics in debug builds if time order is violated.
     pub fn push(&mut self, rec: TraceRecord) {
         debug_assert!(

@@ -278,6 +278,13 @@ impl<A: RecordSink, B: RecordSink> RecordSink for (A, B) {
     }
 }
 
+/// The null sink: discards every record. For runs that only need the
+/// simulator's aggregate outcome (latencies, sender/link stats) — sweeps
+/// where neither a trace nor an analysis is ever read.
+impl RecordSink for () {
+    fn record(&mut self, _rec: &TraceRecord) {}
+}
+
 impl TraceRecord {
     /// A minimal data segment record.
     pub fn data(t: SimTime, dir: Direction, seq: u64, len: u32, ack: u64, rwnd: u64) -> Self {

@@ -24,4 +24,8 @@ pub use corpus::{
     flow_seed, run_population, sample_flow, sample_population, synthesize_corpus, Corpus,
 };
 pub use service::{Service, ServiceModel};
-pub use spec::{flow_key_for_seed, simulate_flow, simulate_flow_into, FlowSpec, PathSpec};
+pub use spec::{
+    flow_key_for_seed, simulate_flow, simulate_flow_into, simulate_flow_into_scratch,
+    simulate_flow_scratch, FlowSpec, PathSpec,
+};
+pub use tcp_sim::sim::FlowScratch;

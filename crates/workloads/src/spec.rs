@@ -8,8 +8,8 @@ use tcp_sim::cc::CcKind;
 use tcp_sim::receiver::ReceiverConfig;
 use tcp_sim::recovery::RecoveryMechanism;
 use tcp_sim::sender::SenderConfig;
-use tcp_sim::sim::{FlowOutcome, FlowScript, FlowSim, FlowSimConfig};
-use tcp_trace::flow::FlowKey;
+use tcp_sim::sim::{FlowOutcome, FlowScratch, FlowScript, FlowSim, FlowSimConfig};
+use tcp_trace::flow::{FlowKey, FlowTrace};
 use tcp_trace::record::RecordSink;
 
 /// A network path between client and server.
@@ -184,6 +184,43 @@ pub fn simulate_flow_into<S: RecordSink>(
     sink: S,
 ) -> (FlowOutcome, S) {
     FlowSim::with_sink(flow_sim_config(spec, path, mechanism, seed), seed, sink).run_streaming()
+}
+
+/// [`simulate_flow`] against a worker's recycled simulator arenas: the flow
+/// runs inside `scratch`'s event slab and buffers, which are handed back
+/// reset afterwards. Output is bit-identical to [`simulate_flow`].
+pub fn simulate_flow_scratch(
+    spec: &FlowSpec,
+    path: &PathSpec,
+    mechanism: RecoveryMechanism,
+    seed: u64,
+    scratch: &mut FlowScratch,
+) -> FlowOutcome {
+    let cfg = flow_sim_config(spec, path, mechanism, seed);
+    let sink = FlowTrace::new(FlowKey::synthetic(cfg.flow_id));
+    let (mut out, trace) =
+        FlowSim::with_sink_scratch(cfg, seed, sink, scratch).run_streaming_into(scratch);
+    out.trace = trace;
+    out
+}
+
+/// [`simulate_flow_into`] against a worker's recycled simulator arenas.
+/// Output is bit-identical to [`simulate_flow_into`].
+pub fn simulate_flow_into_scratch<S: RecordSink>(
+    spec: &FlowSpec,
+    path: &PathSpec,
+    mechanism: RecoveryMechanism,
+    seed: u64,
+    sink: S,
+    scratch: &mut FlowScratch,
+) -> (FlowOutcome, S) {
+    FlowSim::with_sink_scratch(
+        flow_sim_config(spec, path, mechanism, seed),
+        seed,
+        sink,
+        scratch,
+    )
+    .run_streaming_into(scratch)
 }
 
 /// The [`FlowSimConfig`] both [`simulate_flow`] variants run under.

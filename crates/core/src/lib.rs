@@ -38,6 +38,7 @@ pub mod replay;
 pub mod report;
 pub mod stream;
 pub mod summary;
+pub mod validate;
 
 pub use causes::{RetransCause, RetransClass, StallCategory, StallCause, StallClass};
 pub use classify::{ClassifyConfig, Stall};
@@ -45,6 +46,7 @@ pub use replay::{EstCaState, Replay, ReplayConfig, RetransKind, Snapshot};
 pub use report::{CauseStats, Cdf, Share, StallBreakdown};
 pub use stream::StreamAnalyzer;
 pub use summary::FlowSummary;
+pub use validate::{Confusion, ValidationReport};
 
 use simnet::time::SimDuration;
 use tcp_trace::flow::FlowTrace;
@@ -98,6 +100,11 @@ pub struct FlowAnalysis {
     pub init_rwnd: Option<u64>,
     /// Whether any inbound ACK advertised a zero window.
     pub zero_rwnd_seen: bool,
+    /// Records rejected because their timestamp ran *backwards* relative
+    /// to the previous record. A capture is expected to be time-ordered;
+    /// regressed records are skipped (they would otherwise snapshot bogus
+    /// stall candidates) and counted here so callers can flag the capture.
+    pub time_regressions: u64,
 }
 
 impl FlowAnalysis {
@@ -120,6 +127,7 @@ impl FlowAnalysis {
         duration: SimDuration,
         wire_bytes_out: u64,
         data_pkts_out: u64,
+        time_regressions: u64,
         replay: &mut Replay,
     ) -> FlowAnalysis {
         let stalled_time = stalls
@@ -158,6 +166,7 @@ impl FlowAnalysis {
             in_flight_on_ack: std::mem::take(&mut replay.in_flight_on_ack),
             init_rwnd: replay.init_rwnd,
             zero_rwnd_seen: replay.zero_rwnd_seen,
+            time_regressions,
         }
     }
 }
@@ -206,8 +215,21 @@ pub fn analyze_flow_with(
     let replay = &mut scratch.replay;
     let candidates = &mut scratch.candidates;
     let mut prev_t = None;
+    let mut first_t = None;
+    let mut last_t = None;
+    let mut wire_bytes_out = 0u64;
+    let mut data_pkts_out = 0u64;
+    let mut time_regressions = 0u64;
     for (idx, rec) in trace.records.iter().enumerate() {
         if let Some(pt) = prev_t {
+            // A timestamp running backwards means the capture is not
+            // time-ordered; replaying it would corrupt the reconstructed
+            // state and the gap math. Skip and count (mirrors
+            // `StreamAnalyzer::push`).
+            if rec.t < pt {
+                time_regressions += 1;
+                continue;
+            }
             if replay.established {
                 let gap = rec.t.saturating_since(pt);
                 if gap > replay.stall_threshold() {
@@ -221,6 +243,12 @@ pub fn analyze_flow_with(
             }
         }
         replay.process(idx, rec);
+        if rec.dir == tcp_trace::record::Direction::Out && rec.has_data() {
+            wire_bytes_out += rec.len as u64;
+            data_pkts_out += 1;
+        }
+        first_t.get_or_insert(rec.t);
+        last_t = Some(rec.t);
         prev_t = Some(rec.t);
     }
     replay.finish();
@@ -230,12 +258,16 @@ pub fn analyze_flow_with(
         .map(|c| classify::classify(c, &trace.records[c.end_record], replay, &cfg.classify))
         .collect();
 
-    let (wire_out, _) = trace.wire_bytes();
+    let duration = match (first_t, last_t) {
+        (Some(a), Some(b)) => b.saturating_since(a),
+        _ => SimDuration::ZERO,
+    };
     FlowAnalysis::finalize(
         stalls,
-        trace.duration(),
-        wire_out,
-        trace.out_data().count() as u64,
+        duration,
+        wire_bytes_out,
+        data_pkts_out,
+        time_regressions,
         replay,
     )
 }

@@ -82,9 +82,11 @@ impl MiniRtt {
         }
     }
     fn rto(&self) -> SimDuration {
+        // Linux `__tcp_set_rto` semantics, mirroring the sender-side
+        // estimator: the floor applies to the 4·RTTVAR term, not the sum.
         match self.srtt {
             None => self.cfg.initial_rto,
-            Some(s) => (s + self.rttvar * 4).clamp(self.cfg.min_rto, self.cfg.max_rto),
+            Some(s) => (s + (self.rttvar * 4).max(self.cfg.min_rto)).min(self.cfg.max_rto),
         }
     }
 }

@@ -241,6 +241,7 @@ mod tests {
             in_flight_on_ack: vec![],
             init_rwnd: None,
             zero_rwnd_seen: false,
+            time_regressions: 0,
         }
     }
 

@@ -34,6 +34,7 @@ pub struct StreamAnalyzer {
     last_t: Option<SimTime>,
     wire_bytes_out: u64,
     data_pkts_out: u64,
+    time_regressions: u64,
 }
 
 impl StreamAnalyzer {
@@ -49,15 +50,27 @@ impl StreamAnalyzer {
             last_t: None,
             wire_bytes_out: 0,
             data_pkts_out: 0,
+            time_regressions: 0,
         }
     }
 
     /// Feed the next captured record (must be in time order). If this
     /// record ends a stall, the stall is returned immediately with a
     /// provisional cause.
+    ///
+    /// A record whose timestamp runs *backwards* relative to the previous
+    /// one is rejected: it is not replayed (a regressed timestamp would
+    /// corrupt the reconstructed sender state and could snapshot a bogus
+    /// stall candidate) and is instead counted in
+    /// [`FlowAnalysis::time_regressions`].
     pub fn push(&mut self, rec: &TraceRecord) -> Option<Stall> {
         let mut emitted = None;
         if let Some(pt) = self.prev_t {
+            if rec.t < pt {
+                self.time_regressions += 1;
+                self.idx += 1;
+                return None;
+            }
             if self.replay.established {
                 let gap = rec.t.saturating_since(pt);
                 if gap > self.replay.stall_threshold() {
@@ -101,6 +114,7 @@ impl StreamAnalyzer {
         self.last_t = None;
         self.wire_bytes_out = 0;
         self.data_pkts_out = 0;
+        self.time_regressions = 0;
     }
 
     /// Close the flow and produce the full (offline-equivalent) analysis.
@@ -127,6 +141,7 @@ impl StreamAnalyzer {
             duration,
             self.wire_bytes_out,
             self.data_pkts_out,
+            self.time_regressions,
             &mut self.replay,
         );
         self.reset_for(self.cfg);
@@ -243,6 +258,57 @@ mod tests {
             assert_eq!(a.init_rwnd, b.init_rwnd);
             assert_eq!(a.zero_rwnd_seen, b.zero_rwnd_seen);
         }
+    }
+
+    #[test]
+    fn out_of_order_records_are_skipped_and_flagged() {
+        // Inject a record whose timestamp runs backwards mid-trace. Before
+        // the guard, `saturating_since` silently turned the regression into
+        // a zero gap and the record perturbed the replayed state; now both
+        // paths skip it, flag it, and still agree with the clean trace.
+        let clean = sample_trace();
+        let mut dirty = FlowTrace::default();
+        for (i, rec) in clean.records.iter().enumerate() {
+            dirty.records.push(*rec);
+            if i == 3 {
+                // A stale duplicate of the first data record, 2.4s late.
+                let mut stale = clean.records[1];
+                stale.t = SimTime::from_millis(1);
+                dirty.records.push(stale);
+            }
+        }
+        let offline_clean = analyze_flow(&clean, AnalyzerConfig::default());
+        let offline_dirty = analyze_flow(&dirty, AnalyzerConfig::default());
+        assert_eq!(offline_dirty.time_regressions, 1);
+        // The skipped record still occupies a trace index, so `end_record`
+        // shifts by one past the injection point; every semantic field of
+        // every stall must be unchanged.
+        assert_eq!(offline_clean.stalls.len(), offline_dirty.stalls.len());
+        for (c, d) in offline_clean.stalls.iter().zip(&offline_dirty.stalls) {
+            assert_eq!((c.start, c.end, c.duration), (d.start, d.end, d.duration));
+            assert_eq!(c.cause, d.cause);
+            assert_eq!(c.snapshot, d.snapshot);
+        }
+        assert_eq!(
+            offline_clean.metrics.duration,
+            offline_dirty.metrics.duration
+        );
+        assert_eq!(
+            offline_clean.metrics.wire_bytes_out,
+            offline_dirty.metrics.wire_bytes_out
+        );
+
+        let mut an = StreamAnalyzer::new(AnalyzerConfig::default());
+        for rec in &dirty.records {
+            let live = an.push(rec);
+            if rec.t == SimTime::from_millis(1) {
+                assert!(live.is_none(), "a regressed record must not end a stall");
+            }
+        }
+        let streamed = an.finish();
+        assert_eq!(streamed.time_regressions, 1);
+        assert_eq!(streamed.stalls, offline_dirty.stalls);
+        assert_eq!(streamed.metrics, offline_dirty.metrics);
     }
 
     #[test]

@@ -155,9 +155,11 @@ fn clean_flow_has_no_stalls() {
 fn srto_trace_shows_fewer_retrans_stalls_than_native() {
     // Same heavy-tail-loss population under both mechanisms; TAPO run on
     // both traces must see less retransmission-stall *time* under S-RTO.
+    // The population needs to be reasonably large: individual seeds can go
+    // either way, the claim is about the aggregate.
     let mut total_native = 0.0;
     let mut total_srto = 0.0;
-    for seed in 0..30u64 {
+    for seed in 0..200u64 {
         let mut cfg = base_cfg(10 * MSS);
         cfg.s2c.loss = LossSpec::bursty(0.05, SimDuration::from_millis(60));
         let native = FlowSim::new(cfg.clone(), seed).run();

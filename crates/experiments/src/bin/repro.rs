@@ -5,7 +5,7 @@
 //!
 //! EXPERIMENT: table1 table3 table4 table5 table6 table7 table8 table9
 //!             fig1 fig2 fig3 fig6 fig7 fig10 fig11 fig12
-//!             ablations accuracy all      (default: all)
+//!             ablations accuracy validate all      (default: all)
 //! ```
 //!
 //! CSVs are written to `--out` (default `results/`). `--threads N` shards
@@ -18,7 +18,8 @@ use std::path::PathBuf;
 
 use experiments::{
     ablation, dataset::Scale, fig1, fig11, fig2, fig3, fig6, fig7, mechanism, output::Figure,
-    output::Table, table1, table3, table4, table5, table6, ComparisonScale, Dataset, Engine,
+    output::Table, table1, table3, table4, table5, table6, validate, ComparisonScale, Dataset,
+    Engine,
 };
 use tapo::json::Json;
 
@@ -51,7 +52,8 @@ fn main() {
                      --json also writes results/summary.json\n\
                      --threads N uses N workers (default all cores; output identical)\n\
                      experiments: table1 table3 table4 table5 table6 table7 table8 table9\n\
-                     \x20            fig1 fig2 fig3 fig6 fig7 fig10 fig11 fig12 ablations accuracy all"
+                     \x20            fig1 fig2 fig3 fig6 fig7 fig10 fig11 fig12 ablations accuracy\n\
+                     \x20            validate all"
                 );
                 return;
             }
@@ -221,6 +223,21 @@ fn main() {
             77,
             &engine,
         ));
+    }
+
+    if want("validate") {
+        eprintln!("running ground-truth validation gate...");
+        let report = validate::run_validation(ds_scale.flows_per_service, ds_scale.seed, &engine);
+        print_t(validate::validation_table(&report));
+        let violations = validate::floor_violations(&report);
+        if violations.is_empty() {
+            eprintln!("validation gate: PASS (all accuracy floors met)");
+        } else {
+            for v in &violations {
+                eprintln!("validation gate FAIL: {v}");
+            }
+            std::process::exit(1);
+        }
     }
 
     if json {

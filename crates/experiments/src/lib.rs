@@ -21,6 +21,7 @@
 //! | Fig. 11 / 12 | [`fig11::fig11`], [`fig11::fig12`] |
 //! | Table 8 / 9 | [`mechanism::table8`], [`mechanism::table9`] |
 //! | ablations | [`ablation`] |
+//! | validation | [`validate::run_validation`] (ground-truth gate) |
 //!
 //! (Figures 4, 5, 8 and 9 are explanatory diagrams; their *behaviour* is
 //! implemented and tested in `tcp-sim` and `tapo` — see EXPERIMENTS.md.)
@@ -44,6 +45,7 @@ pub mod table3;
 pub mod table4;
 pub mod table5;
 pub mod table6;
+pub mod validate;
 
 pub use dataset::{Dataset, Scale, ServiceData};
 pub use engine::Engine;

@@ -1,0 +1,248 @@
+//! The TAPO validation gate: score the classifier against the simulator's
+//! ground-truth oracle and fail on regression.
+//!
+//! Every flow is simulated with the oracle side-channel enabled
+//! ([`workloads::simulate_flow_oracle_into_scratch`]) while its records
+//! stream into TAPO; `tapo::validate` then aligns the ground-truth cause
+//! events with the detected stalls into confusion matrices at stall-class
+//! and Table-5 retransmission-subclass granularity. The `validation` table
+//! (written to `results/validation.csv` by `repro validate`) has a *fixed
+//! shape* — every cell of both 7×7 matrices is always emitted — so the CI
+//! byte-identity diff covers it, and [`floor_violations`] gates committed
+//! minimum scores so a classifier change that degrades agreement with
+//! ground truth fails CI even when every unit test still passes.
+
+use tapo::{AnalyzerConfig, RetransClass, StallClass, StreamAnalyzer, ValidationReport};
+use tcp_sim::recovery::RecoveryMechanism;
+use workloads::{
+    sample_flow, simulate_flow_oracle_into_scratch, FlowScratch, Service, ServiceModel,
+};
+
+use crate::engine::Engine;
+use crate::output::Table;
+
+/// Run the full validation pass: `flows` oracle-labelled flows per service
+/// (all three services, native recovery — the stack the paper measured),
+/// scored flow-by-flow and folded in index order. Deterministic and
+/// bit-identical at any engine thread count.
+pub fn run_validation(flows: usize, seed: u64, engine: &Engine) -> ValidationReport {
+    let cfg = AnalyzerConfig::default();
+    let mut total = ValidationReport::default();
+    for service in Service::ALL {
+        let model = ServiceModel::calibrated(service);
+        let per_flow = engine.map_with(
+            flows,
+            || (FlowScratch::new(), StreamAnalyzer::new(cfg)),
+            |i, (sim, slot)| {
+                let (spec, path) = sample_flow(&model, seed, i);
+                let fseed = seed + i as u64;
+                let analyzer = std::mem::replace(slot, StreamAnalyzer::new(cfg));
+                let (out, mut analyzer) = simulate_flow_oracle_into_scratch(
+                    &spec,
+                    &path,
+                    RecoveryMechanism::Native,
+                    fseed,
+                    analyzer,
+                    sim,
+                );
+                let analysis = analyzer.finish_reset();
+                *slot = analyzer;
+                let mut r = ValidationReport::default();
+                r.score_flow(&analysis.stalls, &out.oracle);
+                r
+            },
+        );
+        for r in &per_flow {
+            total.merge(r);
+        }
+    }
+    total
+}
+
+/// Render the report as the fixed-shape `validation` table: one row per
+/// cell of each confusion matrix (rows are ground truth, columns TAPO's
+/// prediction), with per-class precision and recall carried on the
+/// diagonal rows.
+pub fn validation_table(r: &ValidationReport) -> Table {
+    let score = |v: Option<f64>| match v {
+        Some(x) => format!("{x:.3}"),
+        None => "–".into(),
+    };
+    let mut rows = Vec::with_capacity(2 + 2 * 49);
+    rows.push(vec![
+        "summary".into(),
+        "flows".into(),
+        "scored".into(),
+        r.flows.to_string(),
+        String::new(),
+        String::new(),
+    ]);
+    rows.push(vec![
+        "summary".into(),
+        "stalls".into(),
+        "scored".into(),
+        r.stalls.to_string(),
+        score(r.stall_matrix.accuracy()),
+        score(r.retrans_matrix.accuracy()),
+    ]);
+    for truth in StallClass::ALL {
+        for pred in StallClass::ALL {
+            let diag = truth == pred;
+            rows.push(vec![
+                "stall".into(),
+                truth.label().into(),
+                pred.label().into(),
+                r.stall_matrix.cells[truth.index()][pred.index()].to_string(),
+                if diag {
+                    score(r.stall_matrix.precision(pred.index()))
+                } else {
+                    String::new()
+                },
+                if diag {
+                    score(r.stall_matrix.recall(truth.index()))
+                } else {
+                    String::new()
+                },
+            ]);
+        }
+    }
+    for truth in RetransClass::ALL {
+        for pred in RetransClass::ALL {
+            let diag = truth == pred;
+            rows.push(vec![
+                "retrans".into(),
+                truth.label().into(),
+                pred.label().into(),
+                r.retrans_matrix.cells[truth.index()][pred.index()].to_string(),
+                if diag {
+                    score(r.retrans_matrix.precision(pred.index()))
+                } else {
+                    String::new()
+                },
+                if diag {
+                    score(r.retrans_matrix.recall(truth.index()))
+                } else {
+                    String::new()
+                },
+            ]);
+        }
+    }
+    Table::new(
+        "validation",
+        "TAPO vs ground-truth oracle: confusion matrices (rows = truth, cols = predicted)",
+        vec![
+            "level".into(),
+            "truth".into(),
+            "predicted".into(),
+            "count".into(),
+            "precision".into(),
+            "recall".into(),
+        ],
+        rows,
+    )
+}
+
+/// Committed minimum scores, measured at quick scale (60 flows/service,
+/// seed 2015) with margin below the observed values so seed-level noise at
+/// other scales does not trip the gate, while a genuine classifier
+/// regression does.
+pub mod floors {
+    /// Minimum overall stall-class accuracy (observed 0.934 quick).
+    pub const STALL_ACCURACY: f64 = 0.80;
+    /// Minimum retransmission-subclass accuracy among stalls both sides
+    /// call retransmission (observed 0.695 quick).
+    pub const RETRANS_ACCURACY: f64 = 0.55;
+    /// Minimum recall of retransmission stalls (observed 0.943 quick).
+    pub const RETRANS_RECALL: f64 = 0.80;
+    /// Minimum recall of zero-window stalls (observed 0.988 quick).
+    pub const ZERO_WINDOW_RECALL: f64 = 0.85;
+    /// Minimum recall of client-idle stalls (observed 1.000 quick).
+    pub const CLIENT_IDLE_RECALL: f64 = 0.85;
+    /// Minimum recall of data-unavailable stalls (observed 0.889 quick).
+    pub const DATA_UNAVAILABLE_RECALL: f64 = 0.75;
+    /// Minimum number of scored stalls for the gate to be meaningful at
+    /// all (observed 243 quick).
+    pub const MIN_STALLS: u64 = 100;
+}
+
+/// Check the report against the committed [`floors`]; each violated floor
+/// yields one human-readable line. Empty means the gate passes.
+pub fn floor_violations(r: &ValidationReport) -> Vec<String> {
+    let mut v = Vec::new();
+    let mut need = |name: &str, got: Option<f64>, floor: f64| match got {
+        Some(x) if x >= floor => {}
+        Some(x) => v.push(format!("{name}: {x:.3} < floor {floor:.2}")),
+        None => v.push(format!("{name}: unscored (no samples) < floor {floor:.2}")),
+    };
+    need(
+        "stall-class accuracy",
+        r.stall_matrix.accuracy(),
+        floors::STALL_ACCURACY,
+    );
+    need(
+        "retrans-subclass accuracy",
+        r.retrans_matrix.accuracy(),
+        floors::RETRANS_ACCURACY,
+    );
+    need(
+        "retransmission recall",
+        r.stall_matrix.recall(StallClass::Retransmission.index()),
+        floors::RETRANS_RECALL,
+    );
+    need(
+        "zero-window recall",
+        r.stall_matrix.recall(StallClass::ZeroWindow.index()),
+        floors::ZERO_WINDOW_RECALL,
+    );
+    need(
+        "client-idle recall",
+        r.stall_matrix.recall(StallClass::ClientIdle.index()),
+        floors::CLIENT_IDLE_RECALL,
+    );
+    need(
+        "data-unavailable recall",
+        r.stall_matrix.recall(StallClass::DataUnavailable.index()),
+        floors::DATA_UNAVAILABLE_RECALL,
+    );
+    if r.stalls < floors::MIN_STALLS {
+        v.push(format!(
+            "scored stalls {} < minimum {}",
+            r.stalls,
+            floors::MIN_STALLS
+        ));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_is_deterministic_across_thread_counts() {
+        let a = run_validation(8, 2015, &Engine::serial());
+        let b = run_validation(8, 2015, &Engine::new(4));
+        assert_eq!(a, b);
+        assert_eq!(validation_table(&a), validation_table(&b));
+    }
+
+    #[test]
+    fn table_shape_is_fixed() {
+        let t = validation_table(&ValidationReport::default());
+        assert_eq!(t.id, "validation");
+        // 2 summary rows + two full 7×7 matrices.
+        assert_eq!(t.rows.len(), 2 + 49 + 49);
+        assert!(t.rows.iter().all(|row| row.len() == 6));
+    }
+
+    #[test]
+    fn small_run_scores_sanely() {
+        let r = run_validation(10, 2015, &Engine::serial());
+        assert!(r.flows == 30, "3 services × 10 flows");
+        assert!(r.stalls > 0, "stalls must be detected and scored");
+        assert_eq!(r.stall_matrix.total(), r.stalls);
+        // The classifier must agree with ground truth more often than not
+        // even on a tiny sample.
+        assert!(r.stall_matrix.accuracy().unwrap() > 0.5);
+    }
+}

@@ -228,6 +228,21 @@ impl Link {
         self.stats.bytes_delivered += bytes as u64;
         Delivery::Arrive(arrival)
     }
+
+    /// The delay-burst interval `[start, end)` the schedule currently
+    /// points at — the burst in progress, or the next one if none is
+    /// active. `None` until the schedule is first consulted (or when
+    /// bursts are disabled). Read-only: querying never advances the
+    /// schedule or consumes randomness, so it is safe to call from
+    /// observers (e.g. a ground-truth oracle) without perturbing the
+    /// simulation. Call right after [`Link::offer`] at time `now`: the
+    /// packet was burst-delayed iff `start <= now`.
+    pub fn current_burst(&self) -> Option<(SimTime, SimTime)> {
+        if self.cfg.delay_burst_hz <= 0.0 || self.burst_start == SimTime::MAX {
+            return None;
+        }
+        Some((self.burst_start, self.burst_end))
+    }
 }
 
 impl Link {

@@ -12,6 +12,13 @@
 
 use simnet::time::SimDuration;
 
+/// Maximum exponential-backoff shift applied to the RTO
+/// (`TCP_BACKOFF_MAX` in Linux is 15 doublings before the counter
+/// saturates). The sender's `rto_backoff` / `persist_backoff` counters
+/// saturate at this value and [`RttEstimator::rto_backed_off`] caps its
+/// shift at the same constant, so the two can never drift apart.
+pub const MAX_RTO_BACKOFF: u32 = 15;
+
 /// Configuration for the estimator (Linux defaults).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RttConfig {
@@ -82,18 +89,24 @@ impl RttEstimator {
         self.last_sample
     }
 
-    /// Current base RTO (before exponential backoff): clamped
-    /// `SRTT + max(G, 4·RTTVAR)` with Linux's 200ms floor.
+    /// Current base RTO (before exponential backoff): Linux
+    /// `__tcp_set_rto` semantics, `SRTT + max(4·RTTVAR, TCP_RTO_MIN)`,
+    /// capped at the ceiling. The 200ms floor applies to the *variance
+    /// term*, not the final sum — so the base RTO always sits at least
+    /// one full `min_rto` above SRTT (which is why production RTOs run
+    /// an order of magnitude above the RTT; Fig. 1b).
     pub fn rto(&self) -> SimDuration {
         match self.srtt {
             None => self.cfg.initial_rto,
-            Some(srtt) => (srtt + self.rttvar * 4).clamp(self.cfg.min_rto, self.cfg.max_rto),
+            Some(srtt) => (srtt + (self.rttvar * 4).max(self.cfg.min_rto)).min(self.cfg.max_rto),
         }
     }
 
-    /// RTO after `backoff` doublings, capped at the ceiling.
+    /// RTO after `backoff` doublings, capped at the ceiling. The shift is
+    /// capped at [`MAX_RTO_BACKOFF`], matching where the sender's backoff
+    /// counters saturate.
     pub fn rto_backed_off(&self, backoff: u32) -> SimDuration {
-        let shift = backoff.min(16);
+        let shift = backoff.min(MAX_RTO_BACKOFF);
         self.rto()
             .saturating_mul(1u64 << shift)
             .min(self.cfg.max_rto)
@@ -135,8 +148,11 @@ mod tests {
         for _ in 0..100 {
             e.observe(ms(50));
         }
-        // RTTVAR decays toward 0 so RTO hits the 200ms floor.
-        assert_eq!(e.rto(), ms(200));
+        // RTTVAR decays toward 0 so the floored variance term dominates:
+        // RTO = SRTT + max(4·RTTVAR, 200ms) = 50 + 200 = 250ms. (Linux
+        // floors the variance term, not the sum — the RTO never collapses
+        // onto the floor itself while SRTT > 0.)
+        assert_eq!(e.rto(), ms(250));
         let srtt = e.srtt().unwrap();
         assert!(srtt >= ms(49) && srtt <= ms(51), "srtt {srtt}");
     }
@@ -159,17 +175,38 @@ mod tests {
         for _ in 0..100 {
             e.observe(ms(50));
         }
-        assert_eq!(e.rto_backed_off(0), ms(200));
-        assert_eq!(e.rto_backed_off(1), ms(400));
-        assert_eq!(e.rto_backed_off(3), ms(1600));
+        assert_eq!(e.rto_backed_off(0), ms(250));
+        assert_eq!(e.rto_backed_off(1), ms(500));
+        assert_eq!(e.rto_backed_off(3), ms(2000));
         assert_eq!(e.rto_backed_off(30), SimDuration::from_secs(120));
     }
 
     #[test]
+    fn backoff_shift_caps_at_max_rto_backoff() {
+        // Use a ceiling high enough that the shift cap — not max_rto — is
+        // what limits the result, so drift in the cap is observable.
+        let mut e = RttEstimator::new(RttConfig {
+            max_rto: SimDuration::from_secs(u64::MAX / 2_000_000),
+            ..RttConfig::default()
+        });
+        e.observe(ms(50)); // base RTO = 50 + max(100, 200) = 250ms
+        let base = e.rto();
+        assert_eq!(base, ms(250));
+        let at_cap = base.saturating_mul(1u64 << MAX_RTO_BACKOFF);
+        assert_eq!(e.rto_backed_off(MAX_RTO_BACKOFF), at_cap);
+        // Beyond the cap the shift saturates: 16 and 17 behave like 15.
+        assert_eq!(e.rto_backed_off(MAX_RTO_BACKOFF + 1), at_cap);
+        assert_eq!(e.rto_backed_off(MAX_RTO_BACKOFF + 2), at_cap);
+    }
+
+    #[test]
     fn rto_never_below_floor_or_above_ceiling() {
+        // A microsecond-scale RTT still yields RTO ≥ min_rto: the floored
+        // variance term guarantees SRTT + 200ms, here 300µs + 200ms.
         let mut e = RttEstimator::new(RttConfig::default());
         e.observe(SimDuration::from_micros(300));
-        assert_eq!(e.rto(), ms(200));
+        assert_eq!(e.rto(), SimDuration::from_micros(200_300));
+        assert!(e.rto() >= e.config().min_rto);
         let mut e2 = RttEstimator::new(RttConfig::default());
         e2.observe(SimDuration::from_secs(300));
         assert_eq!(e2.rto(), SimDuration::from_secs(120));

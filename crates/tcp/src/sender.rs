@@ -35,7 +35,7 @@ use simnet::time::SimDuration;
 
 use crate::cc::{Cc, CcKind};
 use crate::recovery::RecoveryMechanism;
-use crate::rtt::{RttConfig, RttEstimator};
+use crate::rtt::{RttConfig, RttEstimator, MAX_RTO_BACKOFF};
 use crate::scoreboard::Scoreboard;
 use crate::seg::{SackBlock, Segment, DEFAULT_MSS};
 
@@ -812,7 +812,7 @@ impl Sender {
                 {
                     out.push(SendOp::WindowProbe);
                     self.stats.window_probes += 1;
-                    self.persist_backoff = (self.persist_backoff + 1).min(15);
+                    self.persist_backoff = (self.persist_backoff + 1).min(MAX_RTO_BACKOFF);
                     self.persist_deadline =
                         Some(now + self.rtt.rto_backed_off(self.persist_backoff));
                 }
@@ -941,7 +941,7 @@ impl Sender {
         self.dupacks = 0;
         self.tlp_probe_out = false;
         self.sb.mark_all_lost();
-        self.rto_backoff = (self.rto_backoff + 1).min(15);
+        self.rto_backoff = (self.rto_backoff + 1).min(MAX_RTO_BACKOFF);
         self.poll(now, out);
         self.rto_deadline = Some(self.rto_deadline_from(now));
         self.probe_deadline = None;

@@ -19,6 +19,7 @@ use simnet::link::{Delivery, Link, LinkConfig};
 use simnet::rng::SimRng;
 use simnet::time::{SimDuration, SimTime};
 use tcp_trace::flow::{FlowKey, FlowTrace};
+use tcp_trace::oracle::{CauseEvent, CauseKind, RtoContext};
 use tcp_trace::record::{Direction, RecordSink, TraceRecord};
 
 use crate::conn::Host;
@@ -167,6 +168,29 @@ pub struct FlowOutcome {
     pub s2c_stats: simnet::link::LinkStats,
     /// Client→server link counters.
     pub c2s_stats: simnet::link::LinkStats,
+    /// Ground-truth cause events, in emission (time) order. Empty unless
+    /// the simulation ran with [`FlowSim::with_oracle`]. The oracle is a
+    /// pure side-channel: enabling it never changes the trace or any other
+    /// outcome field (it observes decisions already made; it draws no
+    /// randomness and alters no timing).
+    pub oracle: Vec<CauseEvent>,
+}
+
+/// Ground-truth recorder: allocated only when the oracle is enabled.
+#[derive(Debug, Default)]
+struct OracleState {
+    events: Vec<CauseEvent>,
+    /// Data segments the s2c link dropped: (drop time, seq, len).
+    dropped_data: Vec<(SimTime, u64, u64)>,
+    /// Total response bytes the application has supplied to the server's
+    /// TCP so far (stream offset of the supply edge).
+    supplied: u64,
+    /// Dedupe keys: start of the last recorded delay burst per link.
+    last_burst_s2c: Option<SimTime>,
+    last_burst_c2s: Option<SimTime>,
+    /// Index of the open zero-window interval event, if the client's last
+    /// advertisement was a zero window.
+    zero_rwnd_event: Option<usize>,
 }
 
 /// Recyclable per-worker simulator arenas: the event queue (calendar ring,
@@ -188,9 +212,21 @@ pub struct FlowScratch {
     response_boundary_out: Vec<u64>,
     issue_times: Vec<Option<SimTime>>,
     latencies: Vec<Option<SimDuration>>,
-    supplies: std::collections::VecDeque<(SimDuration, u64, bool)>,
+    supplies: std::collections::VecDeque<Supply>,
     server_ticks: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>>,
     client_ticks: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>>,
+}
+
+/// One pending application-supply step: after `delay`, hand `bytes` to the
+/// server's TCP (and close if this is the final step). `first` marks the
+/// head of a response (the delay is a backend fetch, not an inter-chunk
+/// gap) — consumed only by the ground-truth oracle.
+#[derive(Debug, Clone, Copy)]
+struct Supply {
+    delay: SimDuration,
+    bytes: u64,
+    close: bool,
+    first: bool,
 }
 
 impl FlowScratch {
@@ -253,7 +289,7 @@ pub struct FlowSim<S: RecordSink = FlowTrace> {
     /// Latencies still unset; `done()` in O(1) on the per-event hot path.
     pending_latencies: usize,
     read_pending: bool,
-    supplies: std::collections::VecDeque<(SimDuration, u64, bool)>,
+    supplies: std::collections::VecDeque<Supply>,
     supply_active: bool,
     app_rng: SimRng,
     synack_sent_at: Option<SimTime>,
@@ -271,6 +307,8 @@ pub struct FlowSim<S: RecordSink = FlowTrace> {
     /// and re-arms the chain at the then-current deadline on pop.
     server_ticks: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>>,
     client_ticks: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>>,
+    /// Ground-truth recorder; `None` (the default) means no oracle.
+    oracle: Option<Box<OracleState>>,
 }
 
 impl FlowSim<FlowTrace> {
@@ -402,7 +440,20 @@ impl<S: RecordSink> FlowSim<S> {
             seg_buf,
             server_ticks,
             client_ticks,
+            oracle: None,
         }
+    }
+
+    /// Enable the ground-truth oracle: the run will label every simulated
+    /// cause event (link drops, delay bursts, zero windows, client idle
+    /// intervals, app-supply gaps, timer firings) with flow-time stamps,
+    /// returned in [`FlowOutcome::oracle`]. The oracle rides outside the
+    /// packet stream and cannot perturb packet-visible output: it consumes
+    /// no randomness and changes no timing, so the trace is byte-identical
+    /// with and without it.
+    pub fn with_oracle(mut self) -> Self {
+        self.oracle = Some(Box::default());
+        self
     }
 
     /// Run to completion (or the configured cut-off) and return the outcome
@@ -483,6 +534,7 @@ impl<S: RecordSink> FlowSim<S> {
             final_srtt: self.server.tx.rtt().srtt(),
             s2c_stats,
             c2s_stats,
+            oracle: self.oracle.take().map(|o| o.events).unwrap_or_default(),
             trace: FlowTrace::default(),
         }
     }
@@ -500,8 +552,33 @@ impl<S: RecordSink> FlowSim<S> {
             Ev::TickServer => {
                 let popped = self.server_ticks.pop();
                 debug_assert_eq!(popped, Some(std::cmp::Reverse(now)));
+                // Snapshot the sender *before* the tick: if a timer fires
+                // inside `on_tick`, the pre-tick scoreboard head is the
+                // segment the timer is repairing (afterwards it may already
+                // be marked retransmitted).
+                let pre = self
+                    .oracle
+                    .as_ref()
+                    .map(|_| (self.server.tx.stats(), self.server_rto_context()));
                 let mut out = std::mem::take(&mut self.seg_buf);
                 self.server.on_tick(now, &mut out);
+                if let Some((pre_stats, ctx)) = pre {
+                    let post = self.server.tx.stats();
+                    let o = self.oracle.as_mut().expect("oracle checked above");
+                    if post.rto_count > pre_stats.rto_count {
+                        if let Some(ctx) = ctx {
+                            o.events.push(CauseEvent::at(now, CauseKind::RtoFired(ctx)));
+                        }
+                    }
+                    if post.tlp_probes + post.srto_probes
+                        > pre_stats.tlp_probes + pre_stats.srto_probes
+                    {
+                        o.events.push(CauseEvent::at(now, CauseKind::ProbeFired));
+                    }
+                    if post.window_probes > pre_stats.window_probes {
+                        o.events.push(CauseEvent::at(now, CauseKind::WindowProbe));
+                    }
+                }
                 self.server_send(now, &mut out);
                 self.seg_buf = out;
             }
@@ -525,6 +602,9 @@ impl<S: RecordSink> FlowSim<S> {
             }
             Ev::IssueRequest(i) => self.issue_request(now, i),
             Ev::Supply { bytes, close } => {
+                if let Some(o) = &mut self.oracle {
+                    o.supplied += bytes;
+                }
                 self.server.tx.app_write(bytes);
                 if close {
                     self.server.tx.app_close();
@@ -611,8 +691,30 @@ impl<S: RecordSink> FlowSim<S> {
     fn server_send(&mut self, now: SimTime, segs: &mut Vec<Segment>) {
         for seg in segs.drain(..) {
             self.trace.record(&seg_to_record(now, Direction::Out, &seg));
-            if let Delivery::Arrive(at) = self.s2c.offer(now, seg.wire_len()) {
-                self.q.push(at, Ev::ToClient(seg));
+            match self.s2c.offer(now, seg.wire_len()) {
+                Delivery::Arrive(at) => self.q.push(at, Ev::ToClient(seg)),
+                Delivery::Drop(_) => {
+                    if let Some(o) = &mut self.oracle {
+                        if seg.len > 0 {
+                            o.events.push(CauseEvent::at(
+                                now,
+                                CauseKind::LinkDropData {
+                                    seq: seg.seq,
+                                    len: seg.len as u64,
+                                },
+                            ));
+                            o.dropped_data.push((now, seg.seq, seg.len as u64));
+                        } else {
+                            // A dropped server-side pure ACK / SYN-ACK still
+                            // delays the peer the same way a lost client ACK
+                            // does.
+                            o.events.push(CauseEvent::at(now, CauseKind::LinkDropAck));
+                        }
+                    }
+                }
+            }
+            if let Some(o) = &mut self.oracle {
+                note_burst(&mut o.events, &mut o.last_burst_s2c, &self.s2c, now);
             }
         }
         self.resched_tick(now, /*server=*/ true);
@@ -620,8 +722,35 @@ impl<S: RecordSink> FlowSim<S> {
 
     fn client_send(&mut self, now: SimTime, segs: &mut Vec<Segment>) {
         for seg in segs.drain(..) {
-            if let Delivery::Arrive(at) = self.c2s.offer(now, seg.wire_len()) {
-                self.q.push(at, Ev::ToServer(seg));
+            if let Some(o) = &mut self.oracle {
+                // Zero-window tracking: the client's advertised window is
+                // carried on every non-SYN segment it sends. A zero
+                // advertisement opens (or extends) a ZeroWindow interval; the
+                // first nonzero advertisement closes it.
+                if !seg.flags.syn {
+                    if seg.rwnd == 0 {
+                        match o.zero_rwnd_event {
+                            Some(i) => o.events[i].end = now,
+                            None => {
+                                o.events.push(CauseEvent::at(now, CauseKind::ZeroWindow));
+                                o.zero_rwnd_event = Some(o.events.len() - 1);
+                            }
+                        }
+                    } else if let Some(i) = o.zero_rwnd_event.take() {
+                        o.events[i].end = now;
+                    }
+                }
+            }
+            match self.c2s.offer(now, seg.wire_len()) {
+                Delivery::Arrive(at) => self.q.push(at, Ev::ToServer(seg)),
+                Delivery::Drop(_) => {
+                    if let Some(o) = &mut self.oracle {
+                        o.events.push(CauseEvent::at(now, CauseKind::LinkDropAck));
+                    }
+                }
+            }
+            if let Some(o) = &mut self.oracle {
+                note_burst(&mut o.events, &mut o.last_burst_c2s, &self.c2s, now);
             }
         }
         self.resched_tick(now, /*server=*/ false);
@@ -676,6 +805,15 @@ impl<S: RecordSink> FlowSim<S> {
                 self.client_send(now, &mut out);
                 self.seg_buf = out;
                 if let Some(first) = self.requests.first() {
+                    if let Some(o) = &mut self.oracle {
+                        if !first.think_time.is_zero() {
+                            o.events.push(CauseEvent::span(
+                                now,
+                                now + first.think_time,
+                                CauseKind::ClientIdle,
+                            ));
+                        }
+                    }
                     self.q.push(now + first.think_time, Ev::IssueRequest(0));
                 }
             }
@@ -713,11 +851,12 @@ impl<S: RecordSink> FlowSim<S> {
             let last_request = i + 1 == self.requests.len();
             match spec.supply {
                 None => {
-                    self.supplies.push_back((
-                        spec.backend_delay,
-                        spec.response_bytes,
-                        last_request,
-                    ));
+                    self.supplies.push_back(Supply {
+                        delay: spec.backend_delay,
+                        bytes: spec.response_bytes,
+                        close: last_request,
+                        first: true,
+                    });
                 }
                 Some(p) => {
                     let chunk = p.chunk_bytes.max(1);
@@ -727,9 +866,13 @@ impl<S: RecordSink> FlowSim<S> {
                         let b = remaining.min(chunk);
                         remaining -= b;
                         let delay = if first { spec.backend_delay } else { p.gap };
+                        self.supplies.push_back(Supply {
+                            delay,
+                            bytes: b,
+                            close: last_request && remaining == 0,
+                            first,
+                        });
                         first = false;
-                        self.supplies
-                            .push_back((delay, b, last_request && remaining == 0));
                     }
                 }
             }
@@ -741,8 +884,27 @@ impl<S: RecordSink> FlowSim<S> {
         if self.supply_active {
             return;
         }
-        if let Some((delay, bytes, close)) = self.supplies.pop_front() {
+        if let Some(Supply {
+            delay,
+            bytes,
+            close,
+            first,
+        }) = self.supplies.pop_front()
+        {
             self.supply_active = true;
+            if let Some(o) = &mut self.oracle {
+                if !delay.is_zero() {
+                    // The server application cannot produce data during
+                    // [now, now+delay]: a backend fetch before a response's
+                    // first byte, or a rate-limit gap between chunks.
+                    let kind = if first {
+                        CauseKind::DataUnavailable
+                    } else {
+                        CauseKind::ResourceConstraint
+                    };
+                    o.events.push(CauseEvent::span(now, now + delay, kind));
+                }
+            }
             self.q.push(now + delay, Ev::Supply { bytes, close });
         }
     }
@@ -795,6 +957,12 @@ impl<S: RecordSink> FlowSim<S> {
             // Mark as scheduled so we don't double-issue.
             self.issue_times[next] = Some(SimTime::MAX);
             let think = self.requests[next].think_time;
+            if let Some(o) = &mut self.oracle {
+                if !think.is_zero() {
+                    o.events
+                        .push(CauseEvent::span(now, now + think, CauseKind::ClientIdle));
+                }
+            }
             self.q.push(now + think, Ev::IssueRequest(next));
             i = next;
         }
@@ -824,6 +992,36 @@ impl<S: RecordSink> FlowSim<S> {
                 self.q.push(now + interval, Ev::ClientRead);
             }
         }
+    }
+
+    // ------------------------------------------------------------- oracle
+
+    /// Capture the server sender's state the instant before a tick, as the
+    /// ground truth behind a possible RTO firing — everything the Table-5
+    /// retransmission subclassification needs. Pure observation: reads the
+    /// scoreboard and the oracle's own bookkeeping, mutates nothing.
+    fn server_rto_context(&self) -> Option<RtoContext> {
+        let o = self.oracle.as_ref()?;
+        let tx = &self.server.tx;
+        let sb = tx.scoreboard();
+        let head = sb.head()?;
+        let head_end = head.seq_end();
+        // Dropped-by-the-link check: any recorded data drop at or after the
+        // head's (re)transmission that overlaps the head's byte range.
+        let head_dropped = o
+            .dropped_data
+            .iter()
+            .any(|&(t, seq, len)| t >= head.first_tx && seq < head_end && seq + len > head.seq);
+        Some(RtoContext {
+            head_seq: head.seq,
+            head_len: head.len as u64,
+            head_retransmitted: head.retrans_count >= 1,
+            first_retrans_fast: head.first_retrans_fast == Some(true),
+            head_is_tail: sb.snd_nxt() >= o.supplied,
+            packets_out: sb.packets_out() as u64,
+            rwnd_limited: sb.snd_nxt().saturating_sub(sb.snd_una()) >= tx.peer_rwnd(),
+            head_dropped,
+        })
     }
 
     // ------------------------------------------------------------ timers
@@ -862,6 +1060,19 @@ impl<S: RecordSink> FlowSim<S> {
                     Ev::TickClient
                 },
             );
+        }
+    }
+}
+
+/// Record the link's currently active delay burst as a [`CauseKind::DelayBurst`]
+/// interval event, once per burst (deduped by burst start). Read-only with
+/// respect to the link: [`Link::current_burst`] never advances the burst
+/// schedule or consumes randomness.
+fn note_burst(events: &mut Vec<CauseEvent>, last: &mut Option<SimTime>, link: &Link, now: SimTime) {
+    if let Some((start, end)) = link.current_burst() {
+        if start <= now && now <= end && *last != Some(start) {
+            *last = Some(start);
+            events.push(CauseEvent::span(start, end, CauseKind::DelayBurst));
         }
     }
 }
@@ -1071,6 +1282,111 @@ mod tests {
         assert!(out.established);
         assert!(out.completed);
         assert!(out.established_at.unwrap() >= SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn oracle_is_a_pure_side_channel() {
+        // The ground-truth oracle must not perturb packet-visible output:
+        // same config, same seed, with and without the oracle → identical
+        // traces and outcomes, on a config exercising loss, delay bursts,
+        // think time, backend delay, chunked supply and slow client drain.
+        let mut cfg = base_cfg(0);
+        cfg.script = FlowScript {
+            requests: vec![
+                RequestSpec {
+                    backend_delay: SimDuration::from_millis(600),
+                    ..RequestSpec::simple(60_000)
+                },
+                RequestSpec {
+                    think_time: SimDuration::from_secs(1),
+                    supply: Some(SupplyPauses {
+                        chunk_bytes: 20_000,
+                        gap: SimDuration::from_millis(400),
+                    }),
+                    ..RequestSpec::simple(60_000)
+                },
+            ],
+        };
+        cfg.s2c.loss = LossSpec::bernoulli(0.04);
+        cfg.c2s.loss = LossSpec::bernoulli(0.02);
+        cfg.s2c.delay_burst_hz = 0.5;
+        cfg.s2c.delay_burst_len = SimDuration::from_millis(400);
+        cfg.s2c.delay_burst_extra = SimDuration::from_millis(300);
+        cfg.client_drain = Some(400_000);
+        for seed in [3u64, 17, 90] {
+            let plain = FlowSim::new(cfg.clone(), seed).run();
+            let traced = FlowSim::new(cfg.clone(), seed).with_oracle().run();
+            assert_eq!(plain.trace.records, traced.trace.records);
+            assert_eq!(plain.request_latencies, traced.request_latencies);
+            assert_eq!(plain.server_stats, traced.server_stats);
+            assert_eq!(plain.finished_at, traced.finished_at);
+            assert_eq!(plain.s2c_stats, traced.s2c_stats);
+            assert!(plain.oracle.is_empty(), "oracle off ⇒ no events");
+            assert!(!traced.oracle.is_empty(), "oracle on ⇒ labelled events");
+            // Events are well-formed intervals.
+            for ev in &traced.oracle {
+                assert!(ev.start <= ev.end, "bad interval {ev:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_labels_match_scripted_causes() {
+        // Each scripted behaviour must surface as its cause kind.
+        let mut cfg = base_cfg(0);
+        cfg.script = FlowScript {
+            requests: vec![
+                RequestSpec {
+                    backend_delay: SimDuration::from_millis(800),
+                    ..RequestSpec::simple(20_000)
+                },
+                RequestSpec {
+                    think_time: SimDuration::from_secs(2),
+                    supply: Some(SupplyPauses {
+                        chunk_bytes: 10_000,
+                        gap: SimDuration::from_millis(500),
+                    }),
+                    ..RequestSpec::simple(30_000)
+                },
+            ],
+        };
+        let out = FlowSim::new(cfg, 4).with_oracle().run();
+        assert!(out.completed);
+        let has = |pred: &dyn Fn(&CauseKind) -> bool| out.oracle.iter().any(|e| pred(&e.kind));
+        assert!(has(&|k| matches!(k, CauseKind::DataUnavailable)));
+        assert!(has(&|k| matches!(k, CauseKind::ResourceConstraint)));
+        assert!(has(&|k| matches!(k, CauseKind::ClientIdle)));
+        // Lossless script ⇒ no drop or timer events.
+        assert!(!has(&|k| matches!(
+            k,
+            CauseKind::LinkDropData { .. } | CauseKind::LinkDropAck | CauseKind::RtoFired(_)
+        )));
+
+        // Zero-window behaviour from a tiny client buffer + slow drain.
+        let mut zcfg = base_cfg(100_000);
+        zcfg.client_rx.buf_bytes = 4096;
+        zcfg.client_drain = Some(20_000);
+        let zout = FlowSim::new(zcfg, 5).with_oracle().run();
+        assert!(zout
+            .oracle
+            .iter()
+            .any(|e| matches!(e.kind, CauseKind::ZeroWindow)));
+
+        // Heavy data-direction loss ⇒ drop labels, and RTO firings carry a
+        // context whose head really was dropped at least once.
+        let mut lcfg = base_cfg(200_000);
+        lcfg.s2c.loss = LossSpec::bernoulli(0.08);
+        let lout = FlowSim::new(lcfg, 7).with_oracle().run();
+        assert!(lout
+            .oracle
+            .iter()
+            .any(|e| matches!(e.kind, CauseKind::LinkDropData { .. })));
+        if lout.server_stats.rto_count > 0 {
+            assert!(lout
+                .oracle
+                .iter()
+                .any(|e| matches!(e.kind, CauseKind::RtoFired(_))));
+        }
     }
 
     #[test]

@@ -40,7 +40,8 @@ fn delack_races_the_rto_floor() {
         ..SenderConfig::default()
     });
     tx.set_peer_rwnd(1 << 20);
-    // Converge SRTT to 50ms so RTO hits the 200ms floor.
+    // Converge SRTT to 50ms so the floored variance term dominates:
+    // RTO = SRTT + max(4·RTTVAR, 200ms) = 250ms.
     let mut out = Vec::new();
     let mut clock = 0u64;
     for _ in 0..30 {
@@ -50,7 +51,7 @@ fn delack_races_the_rto_floor() {
         let acked = tx.scoreboard().snd_nxt();
         tx.on_ack(ms(clock), &Segment::pure_ack(acked, 1 << 20), &mut out);
     }
-    assert_eq!(tx.rtt().rto(), SimDuration::from_millis(200));
+    assert_eq!(tx.rtt().rto(), SimDuration::from_millis(250));
 
     // One final odd segment; the client delays its ACK 300ms (RFC 1122
     // allows up to 500ms). The RTO fires first: a spurious retransmission.

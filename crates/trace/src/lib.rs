@@ -17,9 +17,11 @@
 #![warn(missing_docs)]
 
 pub mod flow;
+pub mod oracle;
 pub mod pcap;
 pub mod record;
 pub mod text;
 
 pub use flow::{FlowKey, FlowTable, FlowTrace};
+pub use oracle::{CauseEvent, CauseKind, RtoContext};
 pub use record::{Direction, RecordSink, SackBlock, SegFlags, TraceRecord};

@@ -1,0 +1,124 @@
+//! Ground-truth cause events: the simulator's authoritative side-channel.
+//!
+//! TAPO works from the packet trace alone; the simulator, by contrast,
+//! *knows* why every inter-packet gap happened — it executed the drop, the
+//! delay burst, the zero-window backpressure, the client think time, the
+//! backend fetch, the timer firing. This module defines the label stream a
+//! simulator can emit **alongside** (never inside) the [`crate::TraceRecord`]
+//! stream, so that a validation pass can align the labels with the stalls
+//! TAPO detects and score the classifier against ground truth.
+//!
+//! The side-channel contract: producing these events must not change any
+//! packet-visible output. Events are derived purely by observing decisions
+//! the simulator already made (no extra RNG draws, no timing changes), so a
+//! run with the oracle enabled yields a byte-identical trace to a run
+//! without it.
+
+use simnet::time::SimTime;
+
+/// Context captured when a retransmission timer fires, from the sender's
+/// *actual* state — everything the Table-5 subclassification needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtoContext {
+    /// Stream offset of the scoreboard head (the segment being repaired).
+    pub head_seq: u64,
+    /// Payload length of the head segment.
+    pub head_len: u64,
+    /// The head had already been retransmitted before this firing.
+    pub head_retransmitted: bool,
+    /// The head's first retransmission (if any) was a fast retransmit.
+    pub first_retrans_fast: bool,
+    /// The head is in the tail of a response (no later data had been sent).
+    pub head_is_tail: bool,
+    /// Packets outstanding when the timer fired.
+    pub packets_out: u64,
+    /// The flight was limited by the peer's receive window (else by cwnd)
+    /// at firing time. Only meaningful when `packets_out` is small.
+    pub rwnd_limited: bool,
+    /// The head segment was actually dropped by the link (as opposed to a
+    /// spurious timeout where the data or its ACK was merely late).
+    pub head_dropped: bool,
+}
+
+/// What actually happened, per the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CauseKind {
+    /// The data-direction link dropped a data segment (loss or queue drop).
+    LinkDropData {
+        /// Stream offset of the dropped segment.
+        seq: u64,
+        /// Payload length of the dropped segment.
+        len: u64,
+    },
+    /// The ACK-direction link dropped a client segment.
+    LinkDropAck,
+    /// A path-wide delay burst was active (interval event).
+    DelayBurst,
+    /// The client advertised a zero receive window.
+    ZeroWindow,
+    /// The client application was idle between requests (interval event).
+    ClientIdle,
+    /// The server application had no data yet: backend fetch in progress
+    /// before a response's first byte (interval event).
+    DataUnavailable,
+    /// The server application was supplying data in rate-limited chunks:
+    /// an inter-chunk gap (interval event).
+    ResourceConstraint,
+    /// The retransmission timer fired at the server.
+    RtoFired(RtoContext),
+    /// A probe timer (TLP or S-RTO) fired at the server.
+    ProbeFired,
+    /// The persist timer fired at the server (zero-window probe).
+    WindowProbe,
+}
+
+/// One ground-truth event, stamped with the flow-time interval it covers.
+/// Point events (drops, timer firings) have `start == end`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CauseEvent {
+    /// When the condition began.
+    pub start: SimTime,
+    /// When the condition ended (== `start` for point events).
+    pub end: SimTime,
+    /// What happened.
+    pub kind: CauseKind,
+}
+
+impl CauseEvent {
+    /// A point event at `t`.
+    pub fn at(t: SimTime, kind: CauseKind) -> Self {
+        CauseEvent {
+            start: t,
+            end: t,
+            kind,
+        }
+    }
+
+    /// An interval event covering `[start, end]`.
+    pub fn span(start: SimTime, end: SimTime, kind: CauseKind) -> Self {
+        CauseEvent { start, end, kind }
+    }
+
+    /// Whether this event's interval intersects `[from, to]` (inclusive).
+    pub fn overlaps(&self, from: SimTime, to: SimTime) -> bool {
+        self.start <= to && self.end >= from
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_and_span_overlap_semantics() {
+        let t = |ms| SimTime::from_millis(ms);
+        let p = CauseEvent::at(t(100), CauseKind::LinkDropAck);
+        assert!(p.overlaps(t(100), t(200)));
+        assert!(p.overlaps(t(50), t(100)));
+        assert!(!p.overlaps(t(101), t(200)));
+        let s = CauseEvent::span(t(100), t(300), CauseKind::ClientIdle);
+        assert!(s.overlaps(t(250), t(400)));
+        assert!(s.overlaps(t(0), t(100)));
+        assert!(!s.overlaps(t(301), t(400)));
+    }
+}

@@ -204,6 +204,29 @@ pub fn simulate_flow_scratch(
     out
 }
 
+/// [`simulate_flow_into_scratch`] with the ground-truth oracle enabled: the
+/// returned outcome's `oracle` field carries every simulated cause event
+/// (see [`tcp_sim::sim::FlowSim::with_oracle`]). The oracle is a pure
+/// side-channel — the sink receives records byte-identical to
+/// [`simulate_flow_into_scratch`]'s for the same inputs.
+pub fn simulate_flow_oracle_into_scratch<S: RecordSink>(
+    spec: &FlowSpec,
+    path: &PathSpec,
+    mechanism: RecoveryMechanism,
+    seed: u64,
+    sink: S,
+    scratch: &mut FlowScratch,
+) -> (FlowOutcome, S) {
+    FlowSim::with_sink_scratch(
+        flow_sim_config(spec, path, mechanism, seed),
+        seed,
+        sink,
+        scratch,
+    )
+    .with_oracle()
+    .run_streaming_into(scratch)
+}
+
 /// [`simulate_flow_into`] against a worker's recycled simulator arenas.
 /// Output is bit-identical to [`simulate_flow_into`].
 pub fn simulate_flow_into_scratch<S: RecordSink>(

@@ -12,10 +12,17 @@
 //!   `min(cap, cores_available)`; CI smoke runs with a cap of 2.
 //! * `BENCH_ENGINE_OUT` — output path (default `BENCH_engine.json` at the
 //!   workspace root).
+//! * `BENCH_LIVE_FLOWS` — flows per service for the live-path phase
+//!   (default 3334, i.e. ≥ 10k flows total; CI smoke uses a small count).
 //! * `-- --gate` — regression-gate mode, comparing this run against the
 //!   *committed* JSON's `current` section:
 //!   - single-thread flows/sec must be ≥ 80% of the committed value;
-//!   - peak RSS must be ≤ 120% of the committed value;
+//!   - live-path packets/sec must be ≥ 80% of the committed `live` value;
+//!   - peak RSS must be ≤ 120% of the committed value (the live phase
+//!     streams its capture from disk under a hard flow cap, so a
+//!     memory-unbounded live pipeline trips this ceiling);
+//!   - when the capture holds more flows than the cap, the cap must have
+//!     actually shed flows and the high-water mark must respect it;
 //!   - on machines with ≥ 4 cores (and a curve reaching ≥ 4 threads),
 //!     all-thread flows/sec must exceed 1.5× single-thread. Scaling
 //!     gates are skipped — not failed — on smaller machines, so the
@@ -24,14 +31,20 @@
 //! The emitted file keeps two sections: `baseline_pre_pr` (the tree
 //! before the PR 2 hot-path overhaul, preserved verbatim from the
 //! committed file) and `current` (this run), plus the measured `scaling`
-//! curve. The ratio of the sections is the committed speedup.
+//! curve and the `live` streaming-path phase. The ratio of the sections
+//! is the committed speedup.
 
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
 use std::time::Instant;
 
 use bench_suite::{peak_rss_bytes, section_field};
 use experiments::{Dataset, Engine, Scale};
+use simnet::time::SimDuration;
 use tapo::json::Json;
+use tapo::live::{self, LiveConfig};
+use workloads::{generate_interleaved, LiveGenSpec};
 
 /// One measured configuration: flows/sec over `repeats` dataset builds
 /// (median), at the engine's thread count.
@@ -81,6 +94,53 @@ fn curve(cores: usize, cap: usize) -> Vec<usize> {
     counts
 }
 
+/// What the live-path phase measured, for the report and the gate.
+struct LiveRun {
+    flows: u64,
+    packets: u64,
+    packets_per_sec: f64,
+    flows_shed: u64,
+    max_active_flows: u64,
+    cap: usize,
+}
+
+/// The live streaming-path phase: synthesize an interleaved multi-service
+/// capture to a temp file, then stream it through `tapo::live::run` under
+/// a hard flow cap — the daemon deployment shape (bounded memory, file
+/// input). Generation is *not* timed; only the live pipeline is.
+fn measure_live(flows_per_service: usize) -> std::io::Result<LiveRun> {
+    // At a 5 ms mean gap the 10k-flow capture peaks just under 1000
+    // concurrent flows; a cap of 512 keeps LRU shedding on the measured
+    // path without starving most flows of their packets.
+    const CAP: usize = 512;
+    let spec = LiveGenSpec {
+        flows_per_service,
+        seed: 2015,
+        mean_gap: SimDuration::from_millis(5),
+        ..Default::default()
+    };
+    let path = std::env::temp_dir().join(format!("tapo_live_bench_{}.pcap", std::process::id()));
+    generate_interleaved(BufWriter::new(File::create(&path)?), &spec)?;
+
+    let cfg = LiveConfig {
+        max_flows: CAP,
+        ..Default::default()
+    };
+    let t = Instant::now();
+    let result = live::run(BufReader::new(File::open(&path)?), &cfg, |_| {});
+    let secs = t.elapsed().as_secs_f64();
+    let _ = std::fs::remove_file(&path);
+    let summary = result.map_err(|e| std::io::Error::other(e.to_string()))?;
+    Ok(LiveRun {
+        flows: summary.flows_seen,
+        packets: summary.packets,
+        packets_per_sec: summary.packets as f64 / secs.max(1e-12),
+        flows_shed: summary.flows_shed,
+        max_active_flows: summary.max_active_flows,
+        cap: CAP,
+    })
+}
+
 fn main() {
     let gate = std::env::args().any(|a| a == "--gate");
     let flows: usize = std::env::var("BENCH_ENGINE_FLOWS")
@@ -114,6 +174,23 @@ fn main() {
     }
     let fps_1t = points[0].1;
     let (threads_max, fps_nt) = *points.last().expect("curve is non-empty");
+
+    let live_flows: usize = std::env::var("BENCH_LIVE_FLOWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3334); // 3 services × 3334 ≥ 10k flows
+    let live = match measure_live(live_flows) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("live phase failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "live/packets_per_sec                 {:>12.1} pkts/s  ({} flows, {} pkts, cap {}, shed {})",
+        live.packets_per_sec, live.flows, live.packets, live.cap, live.flows_shed
+    );
+
     let rss = peak_rss_bytes().unwrap_or(0);
     println!(
         "engine/peak_rss                      {:>12.1} MiB  ({cores} cores available)",
@@ -138,6 +215,50 @@ fn main() {
                 }
             }
             _ => println!("gate skipped: no committed baseline at {}", out.display()),
+        }
+        match section_field(&committed, "live", "packets_per_sec") {
+            Some(baseline) if baseline > 0.0 => {
+                let floor = 0.8 * baseline;
+                if live.packets_per_sec < floor {
+                    eprintln!(
+                        "REGRESSION: live path {:.1} pkts/s is more than 20% below the \
+                         committed baseline {baseline:.1} pkts/s (floor {floor:.1})",
+                        live.packets_per_sec
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "gate ok: live {:.1} pkts/s >= 80% of committed {baseline:.1} pkts/s",
+                        live.packets_per_sec
+                    );
+                }
+            }
+            _ => println!("gate skipped: no committed live baseline to compare against"),
+        }
+        if live.flows > live.cap as u64 {
+            if live.flows_shed == 0 {
+                eprintln!(
+                    "REGRESSION: {} flows exceeded the cap of {} but none were shed",
+                    live.flows, live.cap
+                );
+                failed = true;
+            } else if live.max_active_flows > live.cap as u64 {
+                eprintln!(
+                    "REGRESSION: live high-water mark {} flows breaks the cap of {}",
+                    live.max_active_flows, live.cap
+                );
+                failed = true;
+            } else {
+                println!(
+                    "gate ok: live flow cap held ({} shed, high-water {} <= {})",
+                    live.flows_shed, live.max_active_flows, live.cap
+                );
+            }
+        } else {
+            println!(
+                "gate skipped: {} flows never reached the cap of {}",
+                live.flows, live.cap
+            );
         }
         match section_field(&committed, "current", "peak_rss_bytes") {
             Some(base_rss) if base_rss > 0.0 && rss > 0 => {
@@ -212,6 +333,17 @@ fn main() {
         ),
         ("current", section(fps_1t, fps_nt, rss)),
         ("scaling", scaling),
+        (
+            "live",
+            Json::obj([
+                ("flows", Json::Int(live.flows as i64)),
+                ("packets", Json::Int(live.packets as i64)),
+                ("packets_per_sec", Json::Num(live.packets_per_sec)),
+                ("flows_shed", Json::Int(live.flows_shed as i64)),
+                ("max_active_flows", Json::Int(live.max_active_flows as i64)),
+                ("max_flows_cap", Json::Int(live.cap as i64)),
+            ]),
+        ),
         (
             "speedup_1t_vs_pre_pr",
             Json::Num(fps_1t / base_1t.max(1e-12)),

@@ -19,18 +19,41 @@
 //!   --threads N     analysis worker threads (default: all cores; the
 //!                   output is identical at any thread count)
 //! ```
+//!
+//! The live (daemon) mode streams a capture — file, FIFO, or `-` for stdin
+//! — through the sharded bounded-memory pipeline, emitting one report line
+//! per interval and a final summary:
+//!
+//! ```text
+//! tapo live <capture.pcap|-> [--shards N] [--interval MS] [--idle MS]
+//!           [--linger MS] [--max-flows N] [--per-shard] [--csv] [--pace X]
+//!           [--mss BYTES] [--dupthres N]
+//!
+//!   --shards N      worker shards (default 1; output is byte-identical
+//!                   at any shard count)
+//!   --interval MS   reporting interval in capture time   (default 1000)
+//!   --idle MS       idle-flow eviction timeout, 0 = off  (default 60000)
+//!   --linger MS     FIN/RST linger before finalize, 0 = off (default 1000)
+//!   --max-flows N   hard cap on tracked flows, 0 = unbounded (default 0)
+//!   --per-shard     include per-shard occupancy in reports
+//!   --csv           CSV reports instead of JSON-lines (summary → stderr)
+//!   --pace X        replay at X× capture time (1.0 = real time)
+//! ```
 
 use std::fs::File;
+use std::io::BufReader;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use simnet::time::SimDuration;
 use tapo::json::Json;
+use tapo::live::{self, LiveConfig};
 use tapo::{
     analyze_flow, AnalyzerConfig, FlowAnalysis, RetransClass, Stall, StallBreakdown, StallCause,
     StallClass,
 };
 use tcp_trace::flow::FlowTrace;
-use tcp_trace::pcap::PcapReader;
+use tcp_trace::pcap::{PcapReader, PcapStats};
 
 struct Options {
     files: Vec<PathBuf>,
@@ -43,7 +66,7 @@ struct Options {
     cfg: AnalyzerConfig,
 }
 
-fn parse_args() -> Result<Options, String> {
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut opts = Options {
         files: Vec::new(),
         show_flows: false,
@@ -54,7 +77,6 @@ fn parse_args() -> Result<Options, String> {
         threads: 0,
         cfg: AnalyzerConfig::default(),
     };
-    let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--flows" => opts.show_flows = true,
@@ -106,7 +128,12 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn main() -> ExitCode {
-    let opts = match parse_args() {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("live") {
+        args.next();
+        return run_live(args);
+    }
+    let opts = match parse_args(args) {
         Ok(o) => o,
         Err(msg) => {
             eprintln!("{msg}");
@@ -115,6 +142,7 @@ fn main() -> ExitCode {
     };
 
     let mut flows: Vec<FlowTrace> = Vec::new();
+    let mut stats = PcapStats::default();
     for path in &opts.files {
         let file = match File::open(path) {
             Ok(f) => f,
@@ -123,8 +151,13 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        match PcapReader::read_all(file) {
-            Ok(mut parsed) => flows.append(&mut parsed),
+        match PcapReader::read_all_stats(file) {
+            Ok((mut parsed, s)) => {
+                flows.append(&mut parsed);
+                stats.packets += s.packets;
+                stats.packets_skipped += s.packets_skipped;
+                stats.records_truncated += s.records_truncated;
+            }
             Err(e) => {
                 eprintln!("tapo: cannot parse {}: {e}", path.display());
                 return ExitCode::FAILURE;
@@ -149,14 +182,118 @@ fn main() -> ExitCode {
         }
     }
     if opts.json {
-        print_json(&flows, &analyses, &opts);
+        print_json(&flows, &analyses, &opts, &stats);
     } else {
-        print_text(&flows, &analyses, &opts);
+        print_text(&flows, &analyses, &opts, &stats);
     }
     ExitCode::SUCCESS
 }
 
-fn print_text(flows: &[FlowTrace], analyses: &[FlowAnalysis], opts: &Options) {
+fn run_live(mut args: impl Iterator<Item = String>) -> ExitCode {
+    const USAGE: &str = "usage: tapo live <capture.pcap|-> [--shards N] [--interval MS] \
+         [--idle MS] [--linger MS] [--max-flows N] [--per-shard] [--csv] \
+         [--pace X] [--mss BYTES] [--dupthres N]";
+    let mut input: Option<String> = None;
+    let mut cfg = LiveConfig::default();
+    let mut csv = false;
+    let fail = |msg: &str| -> ExitCode {
+        eprintln!("{msg}");
+        ExitCode::from(2)
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => cfg.shards = n,
+                _ => return fail("--shards requires N >= 1"),
+            },
+            "--interval" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) if ms > 0 => cfg.interval = SimDuration::from_millis(ms),
+                _ => return fail("--interval requires milliseconds >= 1"),
+            },
+            "--idle" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(0) => cfg.idle_timeout = None,
+                Some(ms) => cfg.idle_timeout = Some(SimDuration::from_millis(ms)),
+                None => return fail("--idle requires milliseconds (0 disables)"),
+            },
+            "--linger" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(0) => cfg.fin_linger = None,
+                Some(ms) => cfg.fin_linger = Some(SimDuration::from_millis(ms)),
+                None => return fail("--linger requires milliseconds (0 disables)"),
+            },
+            "--max-flows" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.max_flows = n,
+                None => return fail("--max-flows requires N (0 = unbounded)"),
+            },
+            "--per-shard" => cfg.per_shard_occupancy = true,
+            "--csv" => csv = true,
+            "--pace" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(x) if x > 0.0 && x.is_finite() => cfg.pace = Some(x),
+                _ => return fail("--pace requires a positive factor"),
+            },
+            "--mss" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(m) => cfg.analyzer.replay.mss = m,
+                None => return fail("--mss requires bytes"),
+            },
+            "--dupthres" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.analyzer.replay.dupthres = n,
+                None => return fail("--dupthres requires N"),
+            },
+            "--help" | "-h" => return fail(USAGE),
+            other if other.starts_with('-') && other != "-" => {
+                return fail(&format!("unknown option {other} (try --help)"));
+            }
+            file => {
+                if input.replace(file.to_string()).is_some() {
+                    return fail("live mode takes exactly one capture (or '-')");
+                }
+            }
+        }
+    }
+    let Some(input) = input else {
+        return fail("no capture given: tapo live <capture.pcap|-> (try --help)");
+    };
+
+    if csv {
+        println!("{}", live::IntervalReport::csv_header());
+    }
+    let mut emit = |r: &live::IntervalReport| {
+        if csv {
+            println!("{}", r.to_csv_row());
+        } else {
+            println!("{}", r.to_json().compact());
+        }
+    };
+    let result = if input == "-" {
+        live::run(std::io::stdin().lock(), &cfg, &mut emit)
+    } else {
+        match File::open(&input) {
+            Ok(f) => live::run(BufReader::new(f), &cfg, &mut emit),
+            Err(e) => {
+                eprintln!("tapo live: cannot open {input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    match result {
+        Ok(summary) => {
+            let line = summary.to_json().compact();
+            // In CSV mode stdout is a clean spreadsheet; the JSON summary
+            // goes to stderr instead.
+            if csv {
+                eprintln!("{line}");
+            } else {
+                println!("{line}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tapo live: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_text(flows: &[FlowTrace], analyses: &[FlowAnalysis], opts: &Options, stats: &PcapStats) {
     let mut breakdown = StallBreakdown::default();
     let mut flows_with_stalls = 0usize;
     let mut total_bytes = 0u64;
@@ -176,6 +313,10 @@ fn print_text(flows: &[FlowTrace], analyses: &[FlowAnalysis], opts: &Options) {
         100.0 * flows_with_stalls as f64 / flows.len().max(1) as f64,
         breakdown.total_stalls,
         breakdown.total_stalled.as_secs_f64(),
+    );
+    println!(
+        "{} packets decoded, {} skipped (non-IPv4/TCP or malformed), {} truncated record(s)",
+        stats.packets, stats.packets_skipped, stats.records_truncated,
     );
 
     println!("\nstall causes (volume% / time%):");
@@ -288,7 +429,7 @@ fn stall_json(s: &Stall) -> Json {
     ])
 }
 
-fn print_json(flows: &[FlowTrace], analyses: &[FlowAnalysis], opts: &Options) {
+fn print_json(flows: &[FlowTrace], analyses: &[FlowAnalysis], opts: &Options, stats: &PcapStats) {
     let flows_json: Vec<Json> = analyses
         .iter()
         .zip(flows)
@@ -335,6 +476,9 @@ fn print_json(flows: &[FlowTrace], analyses: &[FlowAnalysis], opts: &Options) {
         .collect();
     let doc = Json::obj([
         ("tool", Json::from("tapo")),
+        ("packets", Json::from(stats.packets)),
+        ("packets_skipped", Json::from(stats.packets_skipped)),
+        ("records_truncated", Json::from(stats.records_truncated)),
         (
             "config",
             Json::obj([

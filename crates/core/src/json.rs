@@ -40,6 +40,54 @@ impl Json {
         out
     }
 
+    /// Render on a single line with no whitespace — the JSON-lines form
+    /// used for the live reporter's per-interval records.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Num(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -194,6 +242,16 @@ mod tests {
         assert!(s.contains("\"xs\": [\n"));
         assert!(s.contains("\"ok\": true"));
         assert!(s.contains("\"nothing\": null"));
+    }
+
+    #[test]
+    fn compact_is_single_line() {
+        let doc = Json::obj([
+            ("a", Json::from(1u64)),
+            ("b", Json::from(vec![1i64, 2])),
+            ("c", Json::obj([("d", Json::Null)])),
+        ]);
+        assert_eq!(doc.compact(), r#"{"a":1,"b":[1,2],"c":{"d":null}}"#);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 pub mod causes;
 pub mod classify;
 pub mod json;
+pub mod live;
 pub mod replay;
 pub mod report;
 pub mod stream;
@@ -42,6 +43,7 @@ pub mod validate;
 
 pub use causes::{RetransCause, RetransClass, StallCategory, StallCause, StallClass};
 pub use classify::{ClassifyConfig, Stall};
+pub use live::{IntervalReport, LiveConfig, LiveSummary};
 pub use replay::{EstCaState, Replay, ReplayConfig, RetransKind, Snapshot};
 pub use report::{CauseStats, Cdf, Share, StallBreakdown};
 pub use stream::StreamAnalyzer;

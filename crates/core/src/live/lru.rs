@@ -1,0 +1,152 @@
+//! Intrusive O(1) LRU list over driver slot indices.
+//!
+//! The live driver tracks at most `max_flows` concurrent flows; when the
+//! cap is hit the least-recently-active flow is shed. Flows live in a slab
+//! (`Vec` of slots), so recency is tracked by an intrusive doubly-linked
+//! list over slot indices — no allocation per touch, no hashing, and
+//! `touch`/`remove`/`pop_front` are all O(1).
+
+const NIL: u32 = u32::MAX;
+
+/// Doubly-linked recency list over slab slot indices. Front = least
+/// recently used, back = most recently used.
+#[derive(Debug, Default)]
+pub struct LruList {
+    /// Per-slot `(prev, next)` links, `NIL`-terminated.
+    links: Vec<(u32, u32)>,
+    /// Per-slot membership flag (guards against double insert/remove).
+    linked: Vec<bool>,
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+impl LruList {
+    /// An empty list.
+    pub fn new() -> Self {
+        LruList {
+            links: Vec::new(),
+            linked: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of linked slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no slot is linked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn ensure(&mut self, slot: u32) {
+        let need = slot as usize + 1;
+        if self.links.len() < need {
+            self.links.resize(need, (NIL, NIL));
+            self.linked.resize(need, false);
+        }
+    }
+
+    /// Link `slot` at the most-recently-used end. Panics in debug builds if
+    /// the slot is already linked.
+    pub fn push_back(&mut self, slot: u32) {
+        self.ensure(slot);
+        debug_assert!(!self.linked[slot as usize], "slot already linked");
+        self.links[slot as usize] = (self.tail, NIL);
+        if self.tail != NIL {
+            self.links[self.tail as usize].1 = slot;
+        } else {
+            self.head = slot;
+        }
+        self.tail = slot;
+        self.linked[slot as usize] = true;
+        self.len += 1;
+    }
+
+    /// Unlink `slot` wherever it is. No-op if the slot is not linked.
+    pub fn remove(&mut self, slot: u32) {
+        if slot as usize >= self.linked.len() || !self.linked[slot as usize] {
+            return;
+        }
+        let (prev, next) = self.links[slot as usize];
+        if prev != NIL {
+            self.links[prev as usize].1 = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.links[next as usize].0 = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.links[slot as usize] = (NIL, NIL);
+        self.linked[slot as usize] = false;
+        self.len -= 1;
+    }
+
+    /// Move `slot` to the most-recently-used end.
+    pub fn touch(&mut self, slot: u32) {
+        self.remove(slot);
+        self.push_back(slot);
+    }
+
+    /// Unlink and return the least-recently-used slot.
+    pub fn pop_front(&mut self) -> Option<u32> {
+        if self.head == NIL {
+            return None;
+        }
+        let slot = self.head;
+        self.remove(slot);
+        Some(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_in_recency_order() {
+        let mut lru = LruList::new();
+        for s in 0..4 {
+            lru.push_back(s);
+        }
+        lru.touch(0); // order now 1, 2, 3, 0
+        assert_eq!(lru.pop_front(), Some(1));
+        lru.touch(2); // order now 3, 0, 2
+        assert_eq!(lru.pop_front(), Some(3));
+        assert_eq!(lru.pop_front(), Some(0));
+        assert_eq!(lru.pop_front(), Some(2));
+        assert_eq!(lru.pop_front(), None);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn remove_mid_list_and_reinsert() {
+        let mut lru = LruList::new();
+        for s in 0..3 {
+            lru.push_back(s);
+        }
+        lru.remove(1);
+        assert_eq!(lru.len(), 2);
+        lru.remove(1); // double remove is a no-op
+        assert_eq!(lru.len(), 2);
+        lru.push_back(1);
+        assert_eq!(lru.pop_front(), Some(0));
+        assert_eq!(lru.pop_front(), Some(2));
+        assert_eq!(lru.pop_front(), Some(1));
+    }
+
+    #[test]
+    fn sparse_slots_grow_lazily() {
+        let mut lru = LruList::new();
+        lru.push_back(100);
+        lru.push_back(3);
+        assert_eq!(lru.pop_front(), Some(100));
+        assert_eq!(lru.pop_front(), Some(3));
+    }
+}

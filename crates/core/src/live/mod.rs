@@ -1,0 +1,803 @@
+//! The live diagnosis pipeline: daemon-grade TAPO.
+//!
+//! The paper deploys TAPO on production servers for daily maintenance — an
+//! *online* tool watching live traffic, not a batch job over finished pcap
+//! files. This module is that deployment shape: a bounded-memory, sharded,
+//! continuously-reporting pipeline over an incremental packet stream
+//! ([`tcp_trace::pcap::PcapStream`] — file, FIFO, or stdin).
+//!
+//! # Architecture
+//!
+//! One **serial driver** reads packets in capture order and makes *every*
+//! lifecycle decision: flow admission, 4-tuple reuse (a bare SYN on a
+//! closed flow finalizes the old generation and opens a fresh one, matching
+//! the offline [`tcp_trace::flow::FlowTable`]), FIN/RST teardown with a
+//! linger window, idle-timeout eviction through a lazy timer wheel
+//! ([`TimerWheel`]), and LRU shedding ([`LruList`]) at a hard flow-table
+//! cap. The driver also owns per-flow sequence translation
+//! ([`tcp_trace::pcap::SeqTracker`]), then hashes each flow's key to one of
+//! N **worker shards** which run the per-flow [`crate::StreamAnalyzer`]s.
+//!
+//! # Determinism
+//!
+//! Aggregate output is byte-identical at any shard count:
+//! * lifecycle decisions are made serially by the driver, independent of
+//!   shard placement;
+//! * each flow's analysis depends only on its own records (analyzers are
+//!   recycled through exact resets);
+//! * per-interval shard deltas are commutative integer merges
+//!   ([`crate::report::StallBreakdown::merge`]), collected at a cut barrier
+//!   before each report is rendered.
+//!
+//! Only the opt-in `per_shard_occupancy` field depends on the shard count.
+//!
+//! # Memory bound
+//!
+//! With a cap of `max_flows`, driver + shards hold at most that many flow
+//! states (plus recycled free pools); everything else is O(shards) or
+//! O(interval). The load generator in the `workloads` crate feeds the
+//! 10k-flow capture the bench gate uses to assert the bound.
+
+mod lru;
+mod report;
+mod shard;
+mod wheel;
+
+pub use lru::LruList;
+pub use report::{class_slug, retrans_slug, IntervalReport, LiveSummary};
+pub use shard::{shard_worker, Directive, IntervalDelta, ShardMsg};
+pub use wheel::{TimerEntry, TimerWheel};
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Read;
+use std::sync::mpsc;
+
+use simnet::time::SimDuration;
+use tcp_trace::flow::FlowKey;
+use tcp_trace::pcap::{PcapError, PcapPacket, PcapStats, PcapStream, SeqTracker};
+
+use crate::AnalyzerConfig;
+
+/// How the live pipeline runs: sharding, lifecycle timeouts, reporting
+/// cadence, memory cap.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveConfig {
+    /// Per-flow analyzer parameters.
+    pub analyzer: AnalyzerConfig,
+    /// Worker shards (0 is treated as 1). Output is identical at any count.
+    pub shards: usize,
+    /// Reporting interval (capture time, aligned to multiples of itself).
+    pub interval: SimDuration,
+    /// Evict flows idle this long; `None` disables idle eviction.
+    pub idle_timeout: Option<SimDuration>,
+    /// Finalize a FIN/RST-closed flow after this linger (stragglers until
+    /// then still reach the analyzer); `None` keeps closed flows until
+    /// idle timeout / EOF, matching the offline reader.
+    pub fin_linger: Option<SimDuration>,
+    /// Hard cap on concurrently tracked flows; 0 = unbounded. At the cap,
+    /// the least-recently-active flow is finalized early ("shed").
+    pub max_flows: usize,
+    /// Keep every finalized [`crate::FlowAnalysis`] in the summary —
+    /// unbounded memory, for tests and offline comparison only.
+    pub collect_flows: bool,
+    /// Include per-shard occupancy in reports (shard-count-dependent, so
+    /// off by default to keep output byte-identical across shard counts).
+    pub per_shard_occupancy: bool,
+    /// Replay pacing: sleep so capture time advances at `pace` × real time
+    /// (1.0 = original timing). `None` = as fast as possible.
+    pub pace: Option<f64>,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            analyzer: AnalyzerConfig::default(),
+            shards: 1,
+            interval: SimDuration::from_secs(1),
+            idle_timeout: Some(SimDuration::from_secs(60)),
+            fin_linger: Some(SimDuration::from_secs(1)),
+            max_flows: 0,
+            collect_flows: false,
+            per_shard_occupancy: false,
+            pace: None,
+        }
+    }
+}
+
+/// Why the driver finalized a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reason {
+    /// FIN/RST seen: linger expired, or a reopening SYN displaced it.
+    Teardown,
+    /// Idle timeout.
+    Idle,
+    /// LRU-shed at the flow-table cap.
+    Shed,
+    /// Capture ended while the flow was open.
+    Eof,
+}
+
+/// Stragglers on an evicted key are dropped (and counted) for this long
+/// before the key is forgotten and a new packet may reopen it as a flow.
+const DEAD_TTL_US: u64 = 60_000_000;
+/// Directives per channel send (amortizes channel synchronization).
+const BATCH: usize = 256;
+/// Bounded directive-channel depth (backpressure toward the driver).
+const CHANNEL_DEPTH: usize = 8;
+
+struct DriverFlow {
+    key: FlowKey,
+    uid: u64,
+    shard: usize,
+    tracker: SeqTracker,
+    closed: bool,
+    /// Authoritative eviction deadline; `u64::MAX` = none.
+    deadline_us: u64,
+    /// Earliest outstanding wheel entry (lazy-timer bookkeeping).
+    wheel_deadline_us: u64,
+}
+
+/// Per-interval driver-side counters (shard counters arrive in deltas).
+#[derive(Debug, Default, Clone, Copy)]
+struct Accum {
+    packets: u64,
+    packets_late: u64,
+    flows_opened: u64,
+    flows_closed: u64,
+    flows_evicted_idle: u64,
+    flows_shed: u64,
+}
+
+struct Driver {
+    shards_n: usize,
+    max_flows: usize,
+    collect: bool,
+    per_shard: bool,
+    idle_us: Option<u64>,
+    linger_us: Option<u64>,
+    interval_us: u64,
+
+    slots: Vec<Option<DriverFlow>>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    map: HashMap<FlowKey, u32>,
+    lru: LruList,
+    wheel: TimerWheel,
+    expired: Vec<TimerEntry>,
+    dead: HashMap<FlowKey, u64>,
+    dead_q: VecDeque<(u64, FlowKey)>,
+    tracker_pool: Vec<SeqTracker>,
+    next_uid: u64,
+    /// uid → key, kept only under `collect` (grows with the stream).
+    uid_keys: Vec<FlowKey>,
+
+    dir_txs: Vec<mpsc::SyncSender<Vec<Directive>>>,
+    batches: Vec<Vec<Directive>>,
+
+    accum: Accum,
+    summary: LiveSummary,
+    prev_skipped: u64,
+    cut_seq: u64,
+}
+
+impl Driver {
+    fn timers_enabled(&self) -> bool {
+        self.idle_us.is_some() || self.linger_us.is_some()
+    }
+
+    fn deadline_for(&self, closed: bool, now_us: u64) -> u64 {
+        let d = if closed {
+            self.linger_us.or(self.idle_us)
+        } else {
+            self.idle_us
+        };
+        match d {
+            Some(x) => now_us.saturating_add(x),
+            None => u64::MAX,
+        }
+    }
+
+    fn send(&mut self, shard: usize, d: Directive) {
+        self.batches[shard].push(d);
+        if self.batches[shard].len() >= BATCH {
+            self.flush(shard);
+        }
+    }
+
+    fn flush(&mut self, shard: usize) {
+        if self.batches[shard].is_empty() {
+            return;
+        }
+        let batch = std::mem::replace(&mut self.batches[shard], Vec::with_capacity(BATCH));
+        self.dir_txs[shard].send(batch).expect("shard alive");
+    }
+
+    /// Set the slot's deadline, scheduling a wheel entry if it moved
+    /// earlier than the earliest outstanding one (lazy timers: pushes to a
+    /// *later* deadline are resolved when the stale entry fires).
+    fn arm(&mut self, slot: u32, deadline_us: u64) {
+        let flow = self.slots[slot as usize].as_mut().expect("occupied");
+        flow.deadline_us = deadline_us;
+        if deadline_us != u64::MAX && deadline_us < flow.wheel_deadline_us {
+            flow.wheel_deadline_us = deadline_us;
+            self.wheel
+                .schedule((deadline_us, slot, self.gens[slot as usize]));
+        }
+    }
+
+    fn admit(&mut self, pkt: &PcapPacket, t_us: u64) {
+        if self.max_flows > 0 && self.map.len() >= self.max_flows {
+            let victim = self.lru.pop_front().expect("cap > 0 implies tracked flows");
+            self.finalize(victim, t_us, Reason::Shed);
+        }
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(None);
+                self.gens.push(0);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.gens[slot as usize] = self.gens[slot as usize].wrapping_add(1);
+        let uid = self.next_uid;
+        self.next_uid += 1;
+        if self.collect {
+            self.uid_keys.push(pkt.key);
+        }
+        let shard = shard_of(&pkt.key, self.shards_n);
+        let mut tracker = self.tracker_pool.pop().unwrap_or_default();
+        tracker.reset();
+        self.slots[slot as usize] = Some(DriverFlow {
+            key: pkt.key,
+            uid,
+            shard,
+            tracker,
+            closed: false,
+            deadline_us: u64::MAX,
+            wheel_deadline_us: u64::MAX,
+        });
+        self.map.insert(pkt.key, slot);
+        self.lru.push_back(slot);
+        self.accum.flows_opened += 1;
+        self.summary.max_active_flows = self.summary.max_active_flows.max(self.map.len() as u64);
+        self.send(shard, Directive::Open { uid });
+        self.deliver(slot, pkt, t_us);
+    }
+
+    fn deliver(&mut self, slot: u32, pkt: &PcapPacket, t_us: u64) {
+        let flow = self.slots[slot as usize].as_mut().expect("occupied");
+        let uid = flow.uid;
+        let shard = flow.shard;
+        let rec = flow.tracker.translate(pkt.t, &pkt.raw);
+        if pkt.raw.flags.fin || pkt.raw.flags.rst {
+            flow.closed = true;
+        }
+        let closed = flow.closed;
+        if let Some(rec) = rec {
+            self.send(shard, Directive::Rec { uid, rec });
+        }
+        let deadline = self.deadline_for(closed, t_us);
+        self.arm(slot, deadline);
+        self.lru.touch(slot);
+    }
+
+    fn finalize(&mut self, slot: u32, t_us: u64, reason: Reason) {
+        let mut flow = self.slots[slot as usize].take().expect("occupied");
+        self.map.remove(&flow.key);
+        self.lru.remove(slot);
+        self.free.push(slot);
+        self.send(flow.shard, Directive::Close { uid: flow.uid });
+        flow.tracker.reset();
+        self.tracker_pool.push(flow.tracker);
+        match reason {
+            Reason::Teardown => self.accum.flows_closed += 1,
+            Reason::Idle => self.accum.flows_evicted_idle += 1,
+            Reason::Shed => self.accum.flows_shed += 1,
+            Reason::Eof => self.summary.flows_eof += 1,
+        }
+        // Remember evicted keys so stragglers don't churn phantom flows.
+        // Not needed at EOF (no more packets) or on reopen (the key is
+        // immediately re-admitted by the displacing SYN).
+        if matches!(reason, Reason::Idle | Reason::Shed | Reason::Teardown) {
+            let expiry = t_us.saturating_add(DEAD_TTL_US);
+            self.dead.insert(flow.key, expiry);
+            self.dead_q.push_back((expiry, flow.key));
+        }
+    }
+
+    fn purge_dead(&mut self, now_us: u64) {
+        while let Some(&(expiry, key)) = self.dead_q.front() {
+            if expiry > now_us {
+                break;
+            }
+            self.dead_q.pop_front();
+            // The key may have been re-added with a later expiry.
+            if self.dead.get(&key) == Some(&expiry) {
+                self.dead.remove(&key);
+            }
+        }
+    }
+
+    fn run_timers(&mut self, now_us: u64) {
+        if !self.timers_enabled() || self.wheel.is_empty() {
+            return;
+        }
+        let mut expired = std::mem::take(&mut self.expired);
+        self.wheel.advance_into(now_us, &mut expired);
+        for (entry_deadline, slot, gen) in expired.drain(..) {
+            let Some(flow) = self.slots[slot as usize].as_mut() else {
+                continue; // slot freed since scheduling
+            };
+            if self.gens[slot as usize] != gen || flow.wheel_deadline_us != entry_deadline {
+                continue; // a different generation, or a superseded entry
+            }
+            flow.wheel_deadline_us = u64::MAX;
+            if flow.deadline_us > now_us {
+                // Activity pushed the true deadline out; re-arm lazily.
+                let d = flow.deadline_us;
+                if d != u64::MAX {
+                    flow.wheel_deadline_us = d;
+                    self.wheel.schedule((d, slot, gen));
+                }
+            } else {
+                let reason = if flow.closed {
+                    Reason::Teardown
+                } else {
+                    Reason::Idle
+                };
+                self.finalize(slot, now_us, reason);
+            }
+        }
+        self.expired = expired;
+        self.purge_dead(now_us);
+    }
+
+    fn process(&mut self, pkt: &PcapPacket, t_us: u64) {
+        self.accum.packets += 1;
+        let bare_syn = pkt.raw.flags.syn && !pkt.raw.flags.ack;
+        match self.map.get(&pkt.key).copied() {
+            Some(slot) => {
+                let closed = self.slots[slot as usize].as_ref().expect("occupied").closed;
+                if closed && bare_syn {
+                    // 4-tuple reuse: finalize the dead generation, start
+                    // fresh (mirrors the offline FlowTable rotation).
+                    self.finalize(slot, t_us, Reason::Teardown);
+                    self.admit(pkt, t_us);
+                } else {
+                    self.deliver(slot, pkt, t_us);
+                }
+            }
+            None => match self.dead.get(&pkt.key).copied() {
+                Some(expiry) if expiry > t_us && !bare_syn => {
+                    // Straggler on an evicted flow: drop, count.
+                    self.accum.packets_late += 1;
+                }
+                _ => {
+                    self.dead.remove(&pkt.key);
+                    self.admit(pkt, t_us);
+                }
+            },
+        }
+    }
+
+    /// Interval barrier: flush everything, cut every shard, merge their
+    /// deltas, fold the interval into the summary, and build the report.
+    fn cut(
+        &mut self,
+        iv: u64,
+        stats: PcapStats,
+        report_rx: &mpsc::Receiver<ShardMsg>,
+    ) -> IntervalReport {
+        let seq = self.cut_seq;
+        self.cut_seq += 1;
+        for shard in 0..self.shards_n {
+            self.batches[shard].push(Directive::Cut { seq });
+            self.flush(shard);
+        }
+        let mut delta = IntervalDelta::default();
+        let mut occupancy = vec![0usize; self.shards_n];
+        for _ in 0..self.shards_n {
+            let msg = report_rx.recv().expect("shard alive");
+            debug_assert_eq!(msg.seq, seq, "cut barrier out of sync");
+            occupancy[msg.shard] = msg.occupancy;
+            delta.merge(&msg.delta);
+        }
+        let skipped = stats.packets_skipped - self.prev_skipped;
+        self.prev_skipped = stats.packets_skipped;
+        let accum = std::mem::take(&mut self.accum);
+
+        self.summary.flows_seen += accum.flows_opened;
+        self.summary.flows_closed += accum.flows_closed;
+        self.summary.flows_evicted_idle += accum.flows_evicted_idle;
+        self.summary.flows_shed += accum.flows_shed;
+        self.summary.flows_finalized += delta.flows_finalized;
+        self.summary.packets += accum.packets;
+        self.summary.packets_late += accum.packets_late;
+        self.summary.live_stalls += delta.live_stalls;
+        self.summary.breakdown.merge(&delta.breakdown);
+
+        IntervalReport {
+            interval: iv,
+            start_us: iv * self.interval_us,
+            end_us: (iv + 1) * self.interval_us,
+            packets: accum.packets,
+            packets_skipped: skipped,
+            packets_late: accum.packets_late,
+            flows_opened: accum.flows_opened,
+            flows_finalized: delta.flows_finalized,
+            flows_closed: accum.flows_closed,
+            flows_evicted_idle: accum.flows_evicted_idle,
+            flows_shed: accum.flows_shed,
+            active_flows: self.map.len() as u64,
+            live_stalls: delta.live_stalls,
+            breakdown: delta.breakdown,
+            shard_occupancy: self.per_shard.then_some(occupancy),
+        }
+    }
+}
+
+/// Stable (hasher-independent) shard placement: FNV-1a over the key bytes.
+fn shard_of(key: &FlowKey, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let eat = |h: u64, b: u8| (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    for b in key.server_ip {
+        h = eat(h, b);
+    }
+    for b in key.server_port.to_be_bytes() {
+        h = eat(h, b);
+    }
+    for b in key.client_ip {
+        h = eat(h, b);
+    }
+    for b in key.client_port.to_be_bytes() {
+        h = eat(h, b);
+    }
+    (h % shards as u64) as usize
+}
+
+/// Run the live pipeline over a packet stream until EOF, invoking
+/// `on_report` (on the caller's thread) for each interval report, and
+/// returning the whole-run summary.
+pub fn run<R: Read>(
+    input: R,
+    cfg: &LiveConfig,
+    mut on_report: impl FnMut(&IntervalReport),
+) -> Result<LiveSummary, PcapError> {
+    let shards_n = cfg.shards.max(1);
+    let mut stream = PcapStream::new(input)?;
+    let interval_us = cfg.interval.as_micros().max(1);
+
+    std::thread::scope(|scope| -> Result<LiveSummary, PcapError> {
+        let (report_tx, report_rx) = mpsc::channel::<ShardMsg>();
+        let mut dir_txs = Vec::with_capacity(shards_n);
+        let mut handles = Vec::with_capacity(shards_n);
+        for shard in 0..shards_n {
+            let (tx, rx) = mpsc::sync_channel::<Vec<Directive>>(CHANNEL_DEPTH);
+            dir_txs.push(tx);
+            let rtx = report_tx.clone();
+            let analyzer = cfg.analyzer;
+            let collect = cfg.collect_flows;
+            handles.push(scope.spawn(move || shard_worker(shard, analyzer, collect, rx, rtx)));
+        }
+        drop(report_tx);
+
+        let mut drv = Driver {
+            shards_n,
+            max_flows: cfg.max_flows,
+            collect: cfg.collect_flows,
+            per_shard: cfg.per_shard_occupancy,
+            idle_us: cfg.idle_timeout.map(|d| d.as_micros()),
+            linger_us: cfg.fin_linger.map(|d| d.as_micros()),
+            interval_us,
+            slots: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            map: HashMap::new(),
+            lru: LruList::new(),
+            wheel: TimerWheel::with_default_geometry(),
+            expired: Vec::new(),
+            dead: HashMap::new(),
+            dead_q: VecDeque::new(),
+            tracker_pool: Vec::new(),
+            next_uid: 0,
+            uid_keys: Vec::new(),
+            dir_txs,
+            batches: (0..shards_n).map(|_| Vec::with_capacity(BATCH)).collect(),
+            accum: Accum::default(),
+            summary: LiveSummary::default(),
+            prev_skipped: 0,
+            cut_seq: 0,
+        };
+
+        let mut cur_iv: Option<u64> = None;
+        let mut last_t_us = 0u64;
+        let mut pace_origin: Option<(std::time::Instant, u64)> = None;
+        while let Some(pkt) = stream.next_packet()? {
+            let t_us = pkt.t.as_micros();
+            last_t_us = t_us;
+            if let Some(p) = cfg.pace.filter(|&p| p > 0.0) {
+                let (wall0, t0) = *pace_origin.get_or_insert((std::time::Instant::now(), t_us));
+                let target =
+                    std::time::Duration::from_secs_f64((t_us.saturating_sub(t0)) as f64 / 1e6 / p);
+                let elapsed = wall0.elapsed();
+                if target > elapsed {
+                    std::thread::sleep(target - elapsed);
+                }
+            }
+            // Expire deadlines up to this packet *before* cutting, so an
+            // eviction due in the previous interval lands in its report.
+            drv.run_timers(t_us);
+            let iv = t_us / interval_us;
+            match cur_iv {
+                Some(ci) if iv > ci => {
+                    let r = drv.cut(ci, stream.stats(), &report_rx);
+                    drv.summary.intervals += 1;
+                    on_report(&r);
+                    cur_iv = Some(iv);
+                }
+                None => cur_iv = Some(iv),
+                _ => {}
+            }
+            drv.process(&pkt, t_us);
+        }
+
+        // EOF: finalize everything still tracked, oldest flow first.
+        let mut open: Vec<(u64, u32)> = drv
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|f| (f.uid, i as u32)))
+            .collect();
+        open.sort_unstable();
+        for (_, slot) in open {
+            drv.finalize(slot, last_t_us, Reason::Eof);
+        }
+        let final_report = drv.cut(cur_iv.unwrap_or(0), stream.stats(), &report_rx);
+        if cur_iv.is_some() {
+            drv.summary.intervals += 1;
+            on_report(&final_report);
+        }
+
+        // Shut shards down and collect per-flow analyses (if any).
+        drv.dir_txs.clear();
+        let mut flows: Vec<(u64, crate::FlowAnalysis)> = Vec::new();
+        for h in handles {
+            flows.extend(h.join().expect("shard panicked"));
+        }
+        flows.sort_by_key(|&(uid, _)| uid);
+        let mut summary = drv.summary;
+        summary.flows = flows
+            .into_iter()
+            .map(|(uid, a)| (drv.uid_keys[uid as usize], a))
+            .collect();
+        let stats = stream.stats();
+        summary.packets_skipped = stats.packets_skipped;
+        summary.records_truncated = stats.records_truncated;
+        summary.stalled = summary.breakdown.total_stalled;
+        Ok(summary)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::time::SimTime;
+    use tcp_trace::flow::FlowTrace;
+    use tcp_trace::pcap::PcapWriter;
+    use tcp_trace::record::{Direction, SackList, SegFlags, TraceRecord};
+
+    fn rec(
+        t_ms: u64,
+        dir: Direction,
+        seq: u64,
+        len: u32,
+        ack: u64,
+        flags: SegFlags,
+    ) -> TraceRecord {
+        TraceRecord {
+            t: SimTime::from_millis(t_ms),
+            dir,
+            seq,
+            len,
+            flags,
+            ack,
+            rwnd: 1 << 20,
+            sack: SackList::new(),
+            dsack: false,
+        }
+    }
+
+    /// A minimal complete flow: SYN, SYN-ACK, request, response, FIN.
+    fn flow_trace(key: FlowKey, t0_ms: u64) -> FlowTrace {
+        let mut f = FlowTrace::new(key);
+        f.push(rec(t0_ms, Direction::In, 0, 0, 0, SegFlags::SYN));
+        f.push(rec(t0_ms + 1, Direction::Out, 0, 0, 0, SegFlags::SYN_ACK));
+        f.push(rec(t0_ms + 2, Direction::In, 0, 300, 0, SegFlags::ACK));
+        f.push(rec(t0_ms + 10, Direction::Out, 0, 1448, 300, SegFlags::ACK));
+        f.push(rec(t0_ms + 20, Direction::In, 0, 0, 1448, SegFlags::ACK));
+        let fin = SegFlags {
+            fin: true,
+            ack: true,
+            ..Default::default()
+        };
+        f.push(rec(t0_ms + 21, Direction::Out, 1448, 0, 300, fin));
+        f
+    }
+
+    fn capture(traces: &[FlowTrace]) -> Vec<u8> {
+        // Interleave by timestamp (stable by flow order).
+        let mut buf = Vec::new();
+        let mut w = PcapWriter::new(&mut buf).unwrap();
+        let mut cursor: Vec<usize> = vec![0; traces.len()];
+        loop {
+            let mut best: Option<(u64, usize)> = None;
+            for (i, tr) in traces.iter().enumerate() {
+                if let Some(r) = tr.records.get(cursor[i]) {
+                    let t = r.t.as_micros();
+                    if best.is_none_or(|(bt, _)| t < bt) {
+                        best = Some((t, i));
+                    }
+                }
+            }
+            let Some((_, i)) = best else { break };
+            w.write_record(&traces[i].key.unwrap(), &traces[i].records[cursor[i]])
+                .unwrap();
+            cursor[i] += 1;
+        }
+        w.finish().unwrap();
+        buf
+    }
+
+    #[test]
+    fn reports_are_identical_across_shard_counts() {
+        let traces: Vec<FlowTrace> = (0..20)
+            .map(|i| flow_trace(FlowKey::synthetic(i), (i as u64) * 700))
+            .collect();
+        let buf = capture(&traces);
+        let render = |shards: usize| {
+            let cfg = LiveConfig {
+                shards,
+                interval: SimDuration::from_secs(2),
+                ..Default::default()
+            };
+            let mut out = String::new();
+            let summary = run(&buf[..], &cfg, |r| {
+                out.push_str(&r.to_json().compact());
+                out.push('\n');
+            })
+            .unwrap();
+            out.push_str(&summary.to_json().compact());
+            out
+        };
+        let one = render(1);
+        assert_eq!(one, render(2));
+        assert_eq!(one, render(4));
+        assert!(one.contains("\"kind\":\"summary\""));
+    }
+
+    #[test]
+    fn cap_sheds_lru_flows_and_counts_them() {
+        // 8 overlapping flows, cap of 3: at least 5 finalizations must be
+        // sheds, and the active count never exceeds the cap.
+        let traces: Vec<FlowTrace> = (0..8)
+            .map(|i| flow_trace(FlowKey::synthetic(i), (i as u64) * 5))
+            .collect();
+        let buf = capture(&traces);
+        let cfg = LiveConfig {
+            max_flows: 3,
+            fin_linger: None,
+            idle_timeout: None,
+            ..Default::default()
+        };
+        let mut max_active = 0;
+        let summary = run(&buf[..], &cfg, |r| {
+            max_active = max_active.max(r.active_flows);
+        })
+        .unwrap();
+        assert_eq!(summary.flows_seen, 8);
+        assert_eq!(summary.flows_finalized, 8);
+        assert_eq!(summary.flows_shed, 5);
+        assert!(summary.max_active_flows <= 3);
+        assert!(max_active <= 3);
+    }
+
+    #[test]
+    fn idle_flows_are_evicted_and_stragglers_dropped() {
+        let k_idle = FlowKey::synthetic(1);
+        let k_busy = FlowKey::synthetic(2);
+        let mut idle = FlowTrace::new(k_idle);
+        idle.push(rec(0, Direction::In, 0, 0, 0, SegFlags::SYN));
+        idle.push(rec(1, Direction::Out, 0, 0, 0, SegFlags::SYN_ACK));
+        // ... then silence; a straggler arrives long after eviction.
+        idle.push(rec(30_000, Direction::In, 0, 0, 0, SegFlags::ACK));
+        let mut busy = FlowTrace::new(k_busy);
+        busy.push(rec(0, Direction::In, 0, 0, 0, SegFlags::SYN));
+        for i in 0..40u64 {
+            busy.push(rec(
+                500 + i * 800,
+                Direction::Out,
+                i * 100,
+                100,
+                0,
+                SegFlags::ACK,
+            ));
+        }
+        let buf = capture(&[idle, busy]);
+        let cfg = LiveConfig {
+            idle_timeout: Some(SimDuration::from_secs(5)),
+            fin_linger: None,
+            ..Default::default()
+        };
+        let summary = run(&buf[..], &cfg, |_| {}).unwrap();
+        assert_eq!(summary.flows_seen, 2);
+        assert_eq!(summary.flows_evicted_idle, 1, "idle flow evicted");
+        assert_eq!(summary.packets_late, 1, "straggler dropped, not re-opened");
+        assert_eq!(summary.flows_eof, 1, "busy flow survives to EOF");
+    }
+
+    #[test]
+    fn fin_linger_finalizes_closed_flows() {
+        let traces = vec![flow_trace(FlowKey::synthetic(1), 0)];
+        let mut long = FlowTrace::new(FlowKey::synthetic(2));
+        long.push(rec(0, Direction::In, 0, 0, 0, SegFlags::SYN));
+        long.push(rec(10_000, Direction::Out, 0, 100, 0, SegFlags::ACK));
+        let buf = capture(&[traces.into_iter().next().unwrap(), long]);
+        let cfg = LiveConfig {
+            fin_linger: Some(SimDuration::from_millis(100)),
+            idle_timeout: None,
+            ..Default::default()
+        };
+        let summary = run(&buf[..], &cfg, |_| {}).unwrap();
+        assert_eq!(summary.flows_closed, 1, "FIN flow finalized by linger");
+        assert_eq!(summary.flows_eof, 1);
+    }
+
+    #[test]
+    fn key_reuse_opens_a_fresh_generation() {
+        let k = FlowKey::synthetic(7);
+        let mut gen1 = flow_trace(k, 0);
+        // Reuse the 4-tuple 100 ms later.
+        let gen2 = flow_trace(k, 100);
+        gen1.records.extend(gen2.records.iter().copied());
+        let buf = capture(&[gen1]);
+        let cfg = LiveConfig {
+            collect_flows: true,
+            fin_linger: None,
+            idle_timeout: None,
+            ..Default::default()
+        };
+        let summary = run(&buf[..], &cfg, |_| {}).unwrap();
+        assert_eq!(summary.flows_seen, 2, "SYN on closed key rotates");
+        assert_eq!(summary.flows_closed, 1, "old generation finalized");
+        assert_eq!(summary.flows.len(), 2);
+        assert_eq!(summary.flows[0].0, k);
+        assert_eq!(summary.flows[1].0, k);
+    }
+
+    #[test]
+    fn empty_capture_yields_empty_summary() {
+        let buf = capture(&[]);
+        let mut reports = 0;
+        let summary = run(&buf[..], &LiveConfig::default(), |_| reports += 1).unwrap();
+        assert_eq!(reports, 0);
+        assert_eq!(summary.flows_seen, 0);
+        assert_eq!(summary.packets, 0);
+        assert_eq!(summary.intervals, 0);
+    }
+
+    #[test]
+    fn shard_placement_is_stable() {
+        let k = FlowKey::synthetic(123);
+        assert_eq!(shard_of(&k, 4), shard_of(&k, 4));
+        assert_eq!(shard_of(&k, 1), 0);
+        // Distribution sanity: 256 keys over 4 shards leaves none empty.
+        let mut counts = [0usize; 4];
+        for i in 0..256 {
+            counts[shard_of(&FlowKey::synthetic(i), 4)] += 1;
+        }
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "degenerate spread: {counts:?}"
+        );
+    }
+}

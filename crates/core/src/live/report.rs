@@ -1,0 +1,319 @@
+//! Fixed-shape periodic reports and the end-of-run summary.
+//!
+//! Every interval the driver emits one [`IntervalReport`] — a snapshot a
+//! monitoring pipeline can ingest as JSON-lines or CSV without schema
+//! discovery: every field and every cause-class column is always present,
+//! zero when idle. All values are derived from integer counters (durations
+//! in integer microseconds, rates from integer division inputs), so the
+//! rendered bytes are identical at any shard count.
+
+use simnet::time::SimDuration;
+use tcp_trace::flow::FlowKey;
+
+use crate::causes::{RetransClass, StallClass};
+use crate::json::Json;
+use crate::report::StallBreakdown;
+use crate::FlowAnalysis;
+
+/// Machine-friendly column/key slug for a stall class (labels carry dots
+/// and spaces; slugs are stable identifiers).
+pub fn class_slug(class: StallClass) -> &'static str {
+    match class {
+        StallClass::DataUnavailable => "data_unavailable",
+        StallClass::ResourceConstraint => "resource_constraint",
+        StallClass::ClientIdle => "client_idle",
+        StallClass::ZeroWindow => "zero_window",
+        StallClass::PacketDelay => "packet_delay",
+        StallClass::Retransmission => "retransmission",
+        StallClass::Undetermined => "undetermined",
+    }
+}
+
+/// Machine-friendly slug for a retransmission subclass.
+pub fn retrans_slug(class: RetransClass) -> &'static str {
+    match class {
+        RetransClass::DoubleRetrans => "double_retrans",
+        RetransClass::TailRetrans => "tail_retrans",
+        RetransClass::SmallCwnd => "small_cwnd",
+        RetransClass::SmallRwnd => "small_rwnd",
+        RetransClass::ContinuousLoss => "continuous_loss",
+        RetransClass::AckDelayLoss => "ack_delay_loss",
+        RetransClass::Undetermined => "undetermined",
+    }
+}
+
+fn breakdown_json(b: &StallBreakdown) -> Json {
+    let by_cause = Json::Obj(
+        StallClass::ALL
+            .into_iter()
+            .map(|c| {
+                let (n, t) = b.cause_stats(c);
+                (
+                    class_slug(c).to_string(),
+                    Json::obj([("n", Json::from(n)), ("us", Json::from(t.as_micros()))]),
+                )
+            })
+            .collect(),
+    );
+    let by_retrans = Json::Obj(
+        RetransClass::ALL
+            .into_iter()
+            .map(|c| {
+                let (n, t) = b.retrans_stats(c);
+                (
+                    retrans_slug(c).to_string(),
+                    Json::obj([("n", Json::from(n)), ("us", Json::from(t.as_micros()))]),
+                )
+            })
+            .collect(),
+    );
+    Json::obj([
+        ("stalls", Json::from(b.total_stalls)),
+        ("stalled_us", Json::from(b.total_stalled.as_micros())),
+        ("by_cause", by_cause),
+        ("by_retrans", by_retrans),
+    ])
+}
+
+/// One interval's snapshot of the live pipeline.
+#[derive(Debug, Clone)]
+pub struct IntervalReport {
+    /// Interval index: `start_us / interval_us` (gaps mean idle intervals,
+    /// which are skipped rather than emitted empty).
+    pub interval: u64,
+    /// Interval start (inclusive), capture time in microseconds.
+    pub start_us: u64,
+    /// Interval end (exclusive), capture time in microseconds.
+    pub end_us: u64,
+    /// Packets processed in this interval.
+    pub packets: u64,
+    /// Malformed / non-IPv4-TCP packets skipped by the reader.
+    pub packets_skipped: u64,
+    /// Packets dropped because their flow was already evicted or shed.
+    pub packets_late: u64,
+    /// Flows opened.
+    pub flows_opened: u64,
+    /// Flows finalized for any reason (FIN/RST linger, idle, shed, reopen).
+    pub flows_finalized: u64,
+    /// Finalized after FIN/RST (teardown or a reopening SYN).
+    pub flows_closed: u64,
+    /// Finalized by idle timeout.
+    pub flows_evicted_idle: u64,
+    /// Finalized by LRU shedding at the flow-table cap.
+    pub flows_shed: u64,
+    /// Flows tracked at the end of the interval.
+    pub active_flows: u64,
+    /// Provisional stalls surfaced live by `StreamAnalyzer::push`.
+    pub live_stalls: u64,
+    /// Stall breakdown over the flows finalized in this interval.
+    pub breakdown: StallBreakdown,
+    /// Per-shard tracked-flow counts — only with `per_shard_occupancy`
+    /// (shard-count-dependent, so off by default to keep reports
+    /// byte-identical across `--shards`).
+    pub shard_occupancy: Option<Vec<usize>>,
+}
+
+impl IntervalReport {
+    /// Packets per second over the interval (from integer inputs, so the
+    /// rendering is deterministic).
+    pub fn pkts_per_sec(&self) -> f64 {
+        let span_us = self.end_us.saturating_sub(self.start_us);
+        if span_us == 0 {
+            0.0
+        } else {
+            self.packets as f64 * 1e6 / span_us as f64
+        }
+    }
+
+    /// The report as a JSON object (render with [`Json::compact`] for
+    /// JSON-lines output).
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("kind", Json::from("interval")),
+            ("interval", Json::from(self.interval)),
+            ("start_us", Json::from(self.start_us)),
+            ("end_us", Json::from(self.end_us)),
+            ("packets", Json::from(self.packets)),
+            ("pkts_per_sec", Json::from(self.pkts_per_sec())),
+            ("packets_skipped", Json::from(self.packets_skipped)),
+            ("packets_late", Json::from(self.packets_late)),
+            ("flows_opened", Json::from(self.flows_opened)),
+            ("flows_finalized", Json::from(self.flows_finalized)),
+            ("flows_closed", Json::from(self.flows_closed)),
+            ("flows_evicted_idle", Json::from(self.flows_evicted_idle)),
+            ("flows_shed", Json::from(self.flows_shed)),
+            ("active_flows", Json::from(self.active_flows)),
+            ("live_stalls", Json::from(self.live_stalls)),
+            ("breakdown", breakdown_json(&self.breakdown)),
+        ];
+        if let Some(occ) = &self.shard_occupancy {
+            pairs.push(("shard_occupancy", Json::from(occ.clone())));
+        }
+        Json::obj(pairs)
+    }
+
+    /// The fixed CSV header matching [`IntervalReport::to_csv_row`].
+    pub fn csv_header() -> String {
+        let mut h = String::from(
+            "interval,start_us,end_us,packets,pkts_per_sec,packets_skipped,\
+             packets_late,flows_opened,flows_finalized,flows_closed,\
+             flows_evicted_idle,flows_shed,active_flows,live_stalls,\
+             stalls,stalled_us",
+        );
+        for c in StallClass::ALL {
+            h.push_str(&format!(",{0}_n,{0}_us", class_slug(c)));
+        }
+        h
+    }
+
+    /// One CSV row (shard occupancy is JSON-only; CSV keeps a fixed width).
+    pub fn to_csv_row(&self) -> String {
+        let mut row = format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.interval,
+            self.start_us,
+            self.end_us,
+            self.packets,
+            self.pkts_per_sec(),
+            self.packets_skipped,
+            self.packets_late,
+            self.flows_opened,
+            self.flows_finalized,
+            self.flows_closed,
+            self.flows_evicted_idle,
+            self.flows_shed,
+            self.active_flows,
+            self.live_stalls,
+            self.breakdown.total_stalls,
+            self.breakdown.total_stalled.as_micros(),
+        );
+        for c in StallClass::ALL {
+            let (n, t) = self.breakdown.cause_stats(c);
+            row.push_str(&format!(",{},{}", n, t.as_micros()));
+        }
+        row
+    }
+}
+
+/// Whole-run totals, produced when the capture ends.
+#[derive(Debug, Clone, Default)]
+pub struct LiveSummary {
+    /// Distinct flows opened (key reuse counts each generation).
+    pub flows_seen: u64,
+    /// Flows finalized (always equals `flows_seen` at EOF).
+    pub flows_finalized: u64,
+    /// Finalized after FIN/RST.
+    pub flows_closed: u64,
+    /// Finalized by idle timeout.
+    pub flows_evicted_idle: u64,
+    /// Finalized by LRU shedding.
+    pub flows_shed: u64,
+    /// Still open at EOF (finalized with partial data).
+    pub flows_eof: u64,
+    /// Packets processed.
+    pub packets: u64,
+    /// Malformed / non-IPv4-TCP packets skipped.
+    pub packets_skipped: u64,
+    /// Packets dropped on evicted/shed flows.
+    pub packets_late: u64,
+    /// Truncated trailing pcap records.
+    pub records_truncated: u64,
+    /// Interval reports emitted.
+    pub intervals: u64,
+    /// Provisional stalls surfaced live.
+    pub live_stalls: u64,
+    /// High-water mark of concurrently tracked flows.
+    pub max_active_flows: u64,
+    /// Aggregate stall breakdown over every finalized flow.
+    pub breakdown: StallBreakdown,
+    /// Per-flow analyses in open order — populated only under
+    /// `collect_flows` (unbounded memory; tests and offline comparison).
+    pub flows: Vec<(FlowKey, FlowAnalysis)>,
+    /// Total stalled time convenience mirror of the breakdown.
+    pub stalled: SimDuration,
+}
+
+impl LiveSummary {
+    /// The summary as a JSON object. Collected per-flow analyses are *not*
+    /// serialized; the summary stays shard-count-independent and small.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", Json::from("summary")),
+            ("flows_seen", Json::from(self.flows_seen)),
+            ("flows_finalized", Json::from(self.flows_finalized)),
+            ("flows_closed", Json::from(self.flows_closed)),
+            ("flows_evicted_idle", Json::from(self.flows_evicted_idle)),
+            ("flows_shed", Json::from(self.flows_shed)),
+            ("flows_eof", Json::from(self.flows_eof)),
+            ("packets", Json::from(self.packets)),
+            ("packets_skipped", Json::from(self.packets_skipped)),
+            ("packets_late", Json::from(self.packets_late)),
+            ("records_truncated", Json::from(self.records_truncated)),
+            ("intervals", Json::from(self.intervals)),
+            ("live_stalls", Json::from(self.live_stalls)),
+            ("max_active_flows", Json::from(self.max_active_flows)),
+            ("breakdown", breakdown_json(&self.breakdown)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_report() -> IntervalReport {
+        IntervalReport {
+            interval: 3,
+            start_us: 3_000_000,
+            end_us: 4_000_000,
+            packets: 500,
+            packets_skipped: 0,
+            packets_late: 0,
+            flows_opened: 2,
+            flows_finalized: 1,
+            flows_closed: 1,
+            flows_evicted_idle: 0,
+            flows_shed: 0,
+            active_flows: 7,
+            live_stalls: 4,
+            breakdown: StallBreakdown::default(),
+            shard_occupancy: None,
+        }
+    }
+
+    #[test]
+    fn csv_row_matches_header_width() {
+        let header = IntervalReport::csv_header();
+        let row = empty_report().to_csv_row();
+        assert_eq!(
+            header.split(',').count(),
+            row.split(',').count(),
+            "row and header column counts must match"
+        );
+        assert!(header.starts_with("interval,start_us"));
+    }
+
+    #[test]
+    fn json_shape_is_fixed_and_single_line() {
+        let line = empty_report().to_json().compact();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"kind\":\"interval\""));
+        assert!(line.contains("\"pkts_per_sec\":500"));
+        for c in StallClass::ALL {
+            assert!(line.contains(class_slug(c)), "missing {c:?}");
+        }
+        // Occupancy is absent unless explicitly requested.
+        assert!(!line.contains("shard_occupancy"));
+    }
+
+    #[test]
+    fn summary_json_omits_collected_flows() {
+        let s = LiveSummary {
+            flows: vec![],
+            ..Default::default()
+        };
+        let line = s.to_json().compact();
+        assert!(line.contains("\"kind\":\"summary\""));
+        assert!(!line.contains("\"flows\":["));
+    }
+}

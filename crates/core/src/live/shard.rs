@@ -1,0 +1,151 @@
+//! Worker shards: per-flow streaming analysis off the driver thread.
+//!
+//! A shard owns the [`StreamAnalyzer`]s of the flows hashed to it. It never
+//! makes lifecycle decisions — the serial driver decides every open, close
+//! and eviction and streams [`Directive`]s down a per-shard channel, so the
+//! *set* of analyses produced per interval is independent of the shard
+//! count. Analyzers are recycled through a free pool
+//! ([`StreamAnalyzer::finish_reset`]), so a long-running shard reaches a
+//! steady state with zero per-flow allocation.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+
+use tcp_trace::record::TraceRecord;
+
+use crate::report::StallBreakdown;
+use crate::{AnalyzerConfig, FlowAnalysis};
+
+/// One unit of work for a shard, issued by the driver in stream order.
+#[derive(Debug, Clone)]
+pub enum Directive {
+    /// Start tracking a flow under a driver-assigned unique id.
+    Open {
+        /// Global flow id (monotone across the whole run).
+        uid: u64,
+    },
+    /// Feed one translated record to a tracked flow.
+    Rec {
+        /// Target flow.
+        uid: u64,
+        /// The ISN-relative record.
+        rec: TraceRecord,
+    },
+    /// Finalize a flow: fold its analysis into the current interval delta.
+    Close {
+        /// Target flow.
+        uid: u64,
+    },
+    /// Interval barrier: report the accumulated delta for sequence `seq`.
+    Cut {
+        /// Interval sequence number (matched by the driver).
+        seq: u64,
+    },
+}
+
+/// What a shard accumulated since the previous cut. All fields merge
+/// commutatively, so summing deltas across shards yields the same aggregate
+/// at any shard count.
+#[derive(Debug, Default, Clone)]
+pub struct IntervalDelta {
+    /// Stall breakdown over the flows *finalized* in this interval.
+    pub breakdown: StallBreakdown,
+    /// Flows finalized in this interval.
+    pub flows_finalized: u64,
+    /// Provisional stalls surfaced by `StreamAnalyzer::push` (live early
+    /// warning — final causes may differ once flows complete).
+    pub live_stalls: u64,
+}
+
+impl IntervalDelta {
+    /// Fold another delta in (order-insensitive).
+    pub fn merge(&mut self, other: &IntervalDelta) {
+        self.breakdown.merge(&other.breakdown);
+        self.flows_finalized += other.flows_finalized;
+        self.live_stalls += other.live_stalls;
+    }
+}
+
+/// A shard's answer to a [`Directive::Cut`].
+#[derive(Debug)]
+pub struct ShardMsg {
+    /// Which shard sent this.
+    pub shard: usize,
+    /// Echo of the cut's sequence number.
+    pub seq: u64,
+    /// Everything accumulated since the previous cut.
+    pub delta: IntervalDelta,
+    /// Flows currently tracked by this shard (for `--per-shard` occupancy).
+    pub occupancy: usize,
+}
+
+/// Run one shard to completion: consume directive batches until the driver
+/// drops the channel, answering every cut. Returns the finalized per-flow
+/// analyses (empty unless `collect` — collection is unbounded memory, for
+/// tests and offline-equivalence checks only).
+pub fn shard_worker(
+    shard: usize,
+    cfg: AnalyzerConfig,
+    collect: bool,
+    rx: Receiver<Vec<Directive>>,
+    tx: Sender<ShardMsg>,
+) -> Vec<(u64, FlowAnalysis)> {
+    let mut flows: HashMap<u64, usize> = HashMap::new();
+    let mut pool: Vec<crate::StreamAnalyzer> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut delta = IntervalDelta::default();
+    let mut collected = Vec::new();
+
+    while let Ok(batch) = rx.recv() {
+        for d in batch {
+            match d {
+                Directive::Open { uid } => {
+                    let idx = match free.pop() {
+                        Some(i) => {
+                            pool[i].reset_for(cfg);
+                            i
+                        }
+                        None => {
+                            pool.push(crate::StreamAnalyzer::new(cfg));
+                            pool.len() - 1
+                        }
+                    };
+                    let prev = flows.insert(uid, idx);
+                    debug_assert!(prev.is_none(), "uid reused while open");
+                }
+                Directive::Rec { uid, rec } => {
+                    if let Some(&idx) = flows.get(&uid) {
+                        if pool[idx].push(&rec).is_some() {
+                            delta.live_stalls += 1;
+                        }
+                    }
+                }
+                Directive::Close { uid } => {
+                    if let Some(idx) = flows.remove(&uid) {
+                        let analysis = pool[idx].finish_reset();
+                        delta.breakdown.add_flow(&analysis);
+                        delta.flows_finalized += 1;
+                        if collect {
+                            collected.push((uid, analysis));
+                        }
+                        free.push(idx);
+                    }
+                }
+                Directive::Cut { seq } => {
+                    let msg = ShardMsg {
+                        shard,
+                        seq,
+                        delta: std::mem::take(&mut delta),
+                        occupancy: flows.len(),
+                    };
+                    if tx.send(msg).is_err() {
+                        return collected; // driver gone; shut down
+                    }
+                }
+            }
+        }
+    }
+    // The driver closes every flow before dropping the channel; anything
+    // still open here means an aborted run — drop it silently.
+    collected
+}

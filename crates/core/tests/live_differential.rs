@@ -1,0 +1,122 @@
+//! Differential test: the live sharded pipeline over an interleaved
+//! multi-flow capture must reproduce the offline analyzer exactly.
+//!
+//! The live driver is configured for offline-equivalence (no idle
+//! eviction, no FIN linger, no cap — every flow sees all of its packets),
+//! so each collected per-flow [`FlowAnalysis`] must be *equal* to running
+//! [`analyze_flow`] on the offline-demultiplexed trace of the same key, at
+//! 1 shard and at 4 shards alike. A second scenario turns the knobs back
+//! on (cap + shedding) and checks the rendered report lines byte-for-byte
+//! across shard counts.
+
+use std::collections::HashMap;
+
+use simnet::time::SimDuration;
+use tapo::live::{self, LiveConfig};
+use tapo::{analyze_flow, AnalyzerConfig, FlowAnalysis};
+use tcp_trace::flow::FlowKey;
+use tcp_trace::pcap::PcapReader;
+use workloads::{generate_interleaved, LiveGenSpec};
+
+fn interleaved_capture() -> Vec<u8> {
+    let spec = LiveGenSpec {
+        flows_per_service: 5, // 15 flows total
+        seed: 0xd1ff,
+        mean_gap: SimDuration::from_millis(10),
+        threads: 1,
+        ..Default::default()
+    };
+    let mut buf = Vec::new();
+    generate_interleaved(&mut buf, &spec).expect("in-memory generation cannot fail");
+    buf
+}
+
+/// Offline ground truth: demultiplex with the batch reader and analyze
+/// each flow independently.
+fn offline_analyses(capture: &[u8], cfg: AnalyzerConfig) -> HashMap<FlowKey, FlowAnalysis> {
+    let (flows, stats) = PcapReader::read_all_stats(capture).expect("valid capture");
+    assert_eq!(stats.packets_skipped, 0);
+    flows
+        .iter()
+        .map(|t| {
+            (
+                t.key.expect("synthetic flows are keyed"),
+                analyze_flow(t, cfg),
+            )
+        })
+        .collect()
+}
+
+fn equivalence_config(shards: usize) -> LiveConfig {
+    LiveConfig {
+        shards,
+        // Offline reads the whole capture before analyzing, so nothing is
+        // ever evicted early: disable every live-only lifecycle policy.
+        idle_timeout: None,
+        fin_linger: None,
+        max_flows: 0,
+        collect_flows: true,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn live_matches_offline_per_flow_at_1_and_4_shards() {
+    let capture = interleaved_capture();
+    let cfg = AnalyzerConfig::default();
+    let offline = offline_analyses(&capture, cfg);
+    assert_eq!(offline.len(), 15, "every flow has a unique synthetic key");
+
+    for shards in [1usize, 4] {
+        let summary = live::run(&capture[..], &equivalence_config(shards), |_| {})
+            .expect("live run succeeds");
+        assert_eq!(
+            summary.flows.len(),
+            offline.len(),
+            "{shards} shards: live tracked a different flow set"
+        );
+        for (key, live_analysis) in &summary.flows {
+            let expected = offline
+                .get(key)
+                .unwrap_or_else(|| panic!("{shards} shards: live invented flow {key:?}"));
+            assert_eq!(
+                live_analysis, expected,
+                "{shards} shards: flow {key:?} diverged from offline analysis"
+            );
+        }
+        // The aggregate mirrors the per-flow equality.
+        let mut offline_breakdown = tapo::StallBreakdown::default();
+        for a in offline.values() {
+            offline_breakdown.add_flow(a);
+        }
+        assert_eq!(summary.breakdown, offline_breakdown);
+        assert_eq!(summary.flows_eof + summary.flows_closed, 15);
+    }
+}
+
+#[test]
+fn reports_are_byte_identical_across_shards_even_when_shedding() {
+    let capture = interleaved_capture();
+    let mut rendered: Vec<String> = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let cfg = LiveConfig {
+            shards,
+            interval: SimDuration::from_millis(500),
+            idle_timeout: Some(SimDuration::from_secs(5)),
+            fin_linger: Some(SimDuration::from_millis(200)),
+            max_flows: 6, // force LRU shedding under ~15 concurrent flows
+            ..Default::default()
+        };
+        let mut lines = String::new();
+        let summary = live::run(&capture[..], &cfg, |r| {
+            lines.push_str(&r.to_json().compact());
+            lines.push('\n');
+        })
+        .expect("live run succeeds");
+        assert!(summary.flows_shed > 0, "cap of 6 must shed some flows");
+        lines.push_str(&summary.to_json().compact());
+        rendered.push(lines);
+    }
+    assert_eq!(rendered[0], rendered[1], "1 vs 2 shards");
+    assert_eq!(rendered[0], rendered[2], "1 vs 4 shards");
+}

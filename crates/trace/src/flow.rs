@@ -31,7 +31,10 @@ impl FlowKey {
                 ((flow_id >> 8) & 0xff) as u8,
                 (flow_id & 0xff) as u8,
             ],
-            client_port: 10_000 + (flow_id >> 16) as u16,
+            // Wrapping keeps the id→key map bijective (adding a constant
+            // mod 2^16 permutes the port space) without overflowing for
+            // ids above 0xd8f0_0000.
+            client_port: 10_000u16.wrapping_add((flow_id >> 16) as u16),
         }
     }
 }
@@ -132,11 +135,19 @@ impl RecordSink for FlowTrace {
 /// Reassembles an interleaved multi-flow capture into per-flow traces.
 ///
 /// Records must be offered in capture (time) order; flows are keyed by the
-/// 4-tuple.
+/// 4-tuple. A 4-tuple is *reusable*: once a flow has closed (a FIN or RST
+/// was seen), a later bare SYN on the same key starts a fresh flow instead
+/// of merging into the dead one — ephemeral client ports recycle quickly on
+/// busy servers. Post-close stragglers that are not SYNs (retransmitted
+/// FINs, final ACKs) still append to the closed flow.
 #[derive(Debug, Default)]
 pub struct FlowTable {
-    flows: HashMap<FlowKey, FlowTrace>,
-    order: Vec<FlowKey>,
+    /// Key → index of the *current* generation in `traces`.
+    current: HashMap<FlowKey, usize>,
+    /// All generations, in first-seen order.
+    traces: Vec<FlowTrace>,
+    /// Whether a FIN or RST has been seen, parallel to `traces`.
+    closed: Vec<bool>,
 }
 
 impl FlowTable {
@@ -147,36 +158,55 @@ impl FlowTable {
 
     /// Offer one record belonging to `key`.
     pub fn push(&mut self, key: FlowKey, rec: TraceRecord) {
-        self.flows
-            .entry(key)
-            .or_insert_with(|| {
-                self.order.push(key);
-                FlowTrace::new(key)
-            })
-            .push(rec);
+        let idx = match self.current.get(&key) {
+            Some(&i) if self.closed[i] && rec.flags.syn && !rec.flags.ack => {
+                // Key reuse: the previous flow on this 4-tuple is closed and
+                // a new connection attempt arrived — rotate to a fresh flow.
+                let fresh = self.traces.len();
+                self.traces.push(FlowTrace::new(key));
+                self.closed.push(false);
+                self.current.insert(key, fresh);
+                fresh
+            }
+            Some(&i) => i,
+            None => {
+                let fresh = self.traces.len();
+                self.traces.push(FlowTrace::new(key));
+                self.closed.push(false);
+                self.current.insert(key, fresh);
+                fresh
+            }
+        };
+        if rec.flags.fin || rec.flags.rst {
+            self.closed[idx] = true;
+        }
+        self.traces[idx].push(rec);
     }
 
-    /// Number of distinct flows seen.
+    /// True if the current flow on `key` has seen a FIN or RST (a bare SYN
+    /// arriving next would start a new flow). False for unknown keys.
+    pub fn is_closed(&self, key: &FlowKey) -> bool {
+        self.current.get(key).is_some_and(|&i| self.closed[i])
+    }
+
+    /// Number of distinct flows seen (key reuse counts each generation).
     pub fn len(&self) -> usize {
-        self.flows.len()
+        self.traces.len()
     }
 
     /// True if no flows were seen.
     pub fn is_empty(&self) -> bool {
-        self.flows.is_empty()
+        self.traces.is_empty()
     }
 
     /// Consume the table, yielding traces in first-seen order.
-    pub fn into_traces(mut self) -> Vec<FlowTrace> {
-        self.order
-            .iter()
-            .filter_map(|k| self.flows.remove(k))
-            .collect()
+    pub fn into_traces(self) -> Vec<FlowTrace> {
+        self.traces
     }
 
-    /// Borrow a flow's trace by key.
+    /// Borrow the current generation of a flow by key.
     pub fn get(&self, key: &FlowKey) -> Option<&FlowTrace> {
-        self.flows.get(key)
+        self.current.get(key).map(|&i| &self.traces[i])
     }
 }
 
@@ -225,6 +255,77 @@ mod tests {
         assert_eq!(traces[0].records.len(), 2);
         assert_eq!(traces[1].records.len(), 1);
         assert_eq!(traces[0].key, Some(k1));
+    }
+
+    #[test]
+    fn key_reuse_after_close_starts_fresh_flow() {
+        // A closed flow's 4-tuple gets reused by a new connection: the bare
+        // SYN must open a second generation, not merge into the dead flow.
+        let mut table = FlowTable::new();
+        let k = FlowKey::synthetic(9);
+        let syn = |t_ms| TraceRecord {
+            flags: SegFlags {
+                syn: true,
+                ack: false,
+                ..Default::default()
+            },
+            ..rec(t_ms, Direction::In, 0, 0)
+        };
+        let fin = |t_ms| TraceRecord {
+            flags: SegFlags {
+                fin: true,
+                ack: true,
+                ..Default::default()
+            },
+            ..rec(t_ms, Direction::Out, 10, 0)
+        };
+        table.push(k, syn(0));
+        table.push(k, rec(1, Direction::Out, 0, 10));
+        assert!(!table.is_closed(&k));
+        table.push(k, fin(2));
+        assert!(table.is_closed(&k));
+        // A straggling final ACK still lands on the closed generation.
+        table.push(k, rec(3, Direction::In, 0, 0));
+        // ... but a fresh SYN rotates.
+        table.push(k, syn(10));
+        assert!(!table.is_closed(&k));
+        table.push(k, rec(11, Direction::Out, 0, 20));
+        assert_eq!(table.len(), 2);
+        let traces = table.into_traces();
+        assert_eq!(traces[0].records.len(), 4);
+        assert_eq!(traces[1].records.len(), 2);
+        assert_eq!(traces[0].key, Some(k));
+        assert_eq!(traces[1].key, Some(k));
+    }
+
+    #[test]
+    fn rst_also_closes_for_reuse() {
+        let mut table = FlowTable::new();
+        let k = FlowKey::synthetic(3);
+        let mut rst = rec(0, Direction::Out, 0, 0);
+        rst.flags.rst = true;
+        table.push(k, rst);
+        assert!(table.is_closed(&k));
+        let mut syn = rec(5, Direction::In, 0, 0);
+        syn.flags = SegFlags::SYN;
+        table.push(k, syn);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn non_syn_after_close_does_not_rotate() {
+        let mut table = FlowTable::new();
+        let k = FlowKey::synthetic(4);
+        let mut fin = rec(0, Direction::Out, 0, 0);
+        fin.flags.fin = true;
+        table.push(k, fin);
+        table.push(k, rec(1, Direction::In, 0, 0));
+        // A SYN-ACK is not a connection attempt from the client either.
+        let mut synack = rec(2, Direction::Out, 0, 0);
+        synack.flags = SegFlags::SYN_ACK;
+        table.push(k, synack);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.get(&k).unwrap().records.len(), 3);
     }
 
     #[test]

@@ -8,20 +8,34 @@
 //! ```text
 //! synthesize <cloud|software|web> <out.pcap> [--flows N] [--seed S]
 //!            [--mechanism native|tlp|srto]
+//! synthesize mixed <out.pcap> [--flows N] [--seed S] [--mean-gap-ms MS]
+//!            [--mechanism native|tlp|srto] [--threads N]
 //! ```
+//!
+//! The `mixed` mode interleaves flows from **all three** services into one
+//! time-ordered capture with Poisson flow arrivals — the input shape the
+//! `tapo live` pipeline is built for (`--flows` is the *total* across
+//! services, rounded up to a multiple of three).
 
 use std::fs::File;
+use std::io::BufWriter;
 use std::process::ExitCode;
 
+use simnet::time::SimDuration;
 use tcp_sim::recovery::RecoveryMechanism;
 use tcp_trace::pcap::PcapWriter;
-use workloads::{synthesize_corpus, Service};
+use workloads::{generate_interleaved, synthesize_corpus, LiveGenSpec, LiveMechanism, Service};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
-    let usage = "usage: synthesize <cloud|software|web> <out.pcap> \
-                 [--flows N] [--seed S] [--mechanism native|tlp|srto]";
-    let service = match args.next().as_deref() {
+    let usage = "usage: synthesize <cloud|software|web|mixed> <out.pcap> \
+                 [--flows N] [--seed S] [--mechanism native|tlp|srto] \
+                 [--mean-gap-ms MS] [--threads N]";
+    let first = args.next();
+    if first.as_deref() == Some("mixed") {
+        return run_mixed(args, usage);
+    }
+    let service = match first.as_deref() {
         Some("cloud") => Service::CloudStorage,
         Some("software") => Service::SoftwareDownload,
         Some("web") => Service::WebSearch,
@@ -109,4 +123,88 @@ fn main() -> ExitCode {
         corpus.completion_rate() * 100.0,
     );
     ExitCode::SUCCESS
+}
+
+fn run_mixed(mut args: impl Iterator<Item = String>, usage: &str) -> ExitCode {
+    let Some(out_path) = args.next() else {
+        eprintln!("{usage}");
+        return ExitCode::from(2);
+    };
+    let mut spec = LiveGenSpec::default();
+    let mut total_flows = 300usize;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--flows" => {
+                total_flows = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--flows requires a count");
+                    std::process::exit(2);
+                })
+            }
+            "--seed" => {
+                spec.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed requires an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--mean-gap-ms" => {
+                let ms: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--mean-gap-ms requires milliseconds");
+                    std::process::exit(2);
+                });
+                spec.mean_gap = SimDuration::from_millis(ms);
+            }
+            "--threads" => {
+                spec.threads = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threads requires a count");
+                    std::process::exit(2);
+                })
+            }
+            "--mechanism" => {
+                spec.mechanism = match args.next().as_deref() {
+                    Some("native") => LiveMechanism::Native,
+                    Some("tlp") => LiveMechanism::Tlp,
+                    Some("srto") => LiveMechanism::Srto,
+                    _ => {
+                        eprintln!("--mechanism must be native, tlp or srto");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown option {other}\n{usage}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    spec.flows_per_service = total_flows.div_ceil(3);
+
+    eprintln!(
+        "synthesizing {} interleaved flows across 3 services (seed {}, mean gap {:.0} ms)...",
+        spec.flows_per_service * 3,
+        spec.seed,
+        spec.mean_gap.as_secs_f64() * 1e3,
+    );
+    let file = match File::create(&out_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match generate_interleaved(BufWriter::new(file), &spec) {
+        Ok(stats) => {
+            eprintln!(
+                "wrote {} packets from {} flows ({:.1} MB served, {:.1} s span) to {out_path}",
+                stats.packets,
+                stats.flows,
+                stats.bytes as f64 / 1e6,
+                stats.span.as_secs_f64(),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("write error: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

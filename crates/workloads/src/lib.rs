@@ -12,17 +12,20 @@
 //! * [`service`] — the per-service models ([`ServiceModel::calibrated`]).
 //! * [`spec`] — [`FlowSpec`] / [`PathSpec`] and [`simulate_flow`].
 //! * [`corpus`] — corpus synthesis and paired mechanism replays.
+//! * [`livegen`] — interleaved multi-service captures for the live pipeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod livegen;
 pub mod service;
 pub mod spec;
 
 pub use corpus::{
     flow_seed, run_population, sample_flow, sample_population, synthesize_corpus, Corpus,
 };
+pub use livegen::{generate_interleaved, LiveGenSpec, LiveGenStats, LiveMechanism};
 pub use service::{Service, ServiceModel};
 pub use spec::{
     flow_key_for_seed, simulate_flow, simulate_flow_into, simulate_flow_into_scratch,

@@ -107,8 +107,10 @@ impl Default for LiveConfig {
 /// Why the driver finalized a flow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Reason {
-    /// FIN/RST seen: linger expired, or a reopening SYN displaced it.
+    /// FIN/RST seen and the linger expired.
     Teardown,
+    /// FIN/RST seen, then a reopening SYN displaced it (4-tuple reuse).
+    Displaced,
     /// Idle timeout.
     Idle,
     /// LRU-shed at the flow-table cap.
@@ -181,6 +183,37 @@ struct Driver {
 }
 
 impl Driver {
+    fn new(cfg: &LiveConfig, dir_txs: Vec<mpsc::SyncSender<Vec<Directive>>>) -> Driver {
+        let shards_n = dir_txs.len();
+        Driver {
+            shards_n,
+            max_flows: cfg.max_flows,
+            collect: cfg.collect_flows,
+            per_shard: cfg.per_shard_occupancy,
+            idle_us: cfg.idle_timeout.map(|d| d.as_micros()),
+            linger_us: cfg.fin_linger.map(|d| d.as_micros()),
+            interval_us: cfg.interval.as_micros().max(1),
+            slots: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            map: HashMap::new(),
+            lru: LruList::new(),
+            wheel: TimerWheel::with_default_geometry(),
+            expired: Vec::new(),
+            dead: HashMap::new(),
+            dead_q: VecDeque::new(),
+            tracker_pool: Vec::new(),
+            next_uid: 0,
+            uid_keys: Vec::new(),
+            dir_txs,
+            batches: (0..shards_n).map(|_| Vec::with_capacity(BATCH)).collect(),
+            accum: Accum::default(),
+            summary: LiveSummary::default(),
+            prev_skipped: 0,
+            cut_seq: 0,
+        }
+    }
+
     fn timers_enabled(&self) -> bool {
         self.idle_us.is_some() || self.linger_us.is_some()
     }
@@ -290,14 +323,14 @@ impl Driver {
         flow.tracker.reset();
         self.tracker_pool.push(flow.tracker);
         match reason {
-            Reason::Teardown => self.accum.flows_closed += 1,
+            Reason::Teardown | Reason::Displaced => self.accum.flows_closed += 1,
             Reason::Idle => self.accum.flows_evicted_idle += 1,
             Reason::Shed => self.accum.flows_shed += 1,
             Reason::Eof => self.summary.flows_eof += 1,
         }
         // Remember evicted keys so stragglers don't churn phantom flows.
-        // Not needed at EOF (no more packets) or on reopen (the key is
-        // immediately re-admitted by the displacing SYN).
+        // Not needed at EOF (no more packets) or on displacement (the key
+        // is immediately re-admitted by the reopening SYN).
         if matches!(reason, Reason::Idle | Reason::Shed | Reason::Teardown) {
             let expiry = t_us.saturating_add(DEAD_TTL_US);
             self.dead.insert(flow.key, expiry);
@@ -349,10 +382,13 @@ impl Driver {
             }
         }
         self.expired = expired;
-        self.purge_dead(now_us);
     }
 
     fn process(&mut self, pkt: &PcapPacket, t_us: u64) {
+        // Unconditional (not just when timers fire): sheds and teardowns
+        // insert dead-map entries even with idle/linger timers disabled,
+        // and the bounded-memory guarantee includes the dead map.
+        self.purge_dead(t_us);
         self.accum.packets += 1;
         let bare_syn = pkt.raw.flags.syn && !pkt.raw.flags.ack;
         match self.map.get(&pkt.key).copied() {
@@ -361,7 +397,7 @@ impl Driver {
                 if closed && bare_syn {
                     // 4-tuple reuse: finalize the dead generation, start
                     // fresh (mirrors the offline FlowTable rotation).
-                    self.finalize(slot, t_us, Reason::Teardown);
+                    self.finalize(slot, t_us, Reason::Displaced);
                     self.admit(pkt, t_us);
                 } else {
                     self.deliver(slot, pkt, t_us);
@@ -481,33 +517,7 @@ pub fn run<R: Read>(
         }
         drop(report_tx);
 
-        let mut drv = Driver {
-            shards_n,
-            max_flows: cfg.max_flows,
-            collect: cfg.collect_flows,
-            per_shard: cfg.per_shard_occupancy,
-            idle_us: cfg.idle_timeout.map(|d| d.as_micros()),
-            linger_us: cfg.fin_linger.map(|d| d.as_micros()),
-            interval_us,
-            slots: Vec::new(),
-            gens: Vec::new(),
-            free: Vec::new(),
-            map: HashMap::new(),
-            lru: LruList::new(),
-            wheel: TimerWheel::with_default_geometry(),
-            expired: Vec::new(),
-            dead: HashMap::new(),
-            dead_q: VecDeque::new(),
-            tracker_pool: Vec::new(),
-            next_uid: 0,
-            uid_keys: Vec::new(),
-            dir_txs,
-            batches: (0..shards_n).map(|_| Vec::with_capacity(BATCH)).collect(),
-            accum: Accum::default(),
-            summary: LiveSummary::default(),
-            prev_skipped: 0,
-            cut_seq: 0,
-        };
+        let mut drv = Driver::new(cfg, dir_txs);
 
         let mut cur_iv: Option<u64> = None;
         let mut last_t_us = 0u64;
@@ -774,6 +784,63 @@ mod tests {
         assert_eq!(summary.flows[1].0, k);
     }
 
+    fn pkt(key: FlowKey, t_us: u64, flags: SegFlags) -> PcapPacket {
+        PcapPacket {
+            t: SimTime::from_micros(t_us),
+            key,
+            raw: tcp_trace::pcap::RawRecord::new(Direction::In, 0, 0, flags, 1024, 0),
+        }
+    }
+
+    #[test]
+    fn dead_map_is_purged_even_without_timers() {
+        // Sheds insert dead-map entries; with idle/linger disabled the
+        // timer path never runs, so the purge must happen on the packet
+        // path or a long-running daemon leaks one entry per shed key.
+        let (tx, _rx) = mpsc::sync_channel::<Vec<Directive>>(64);
+        let cfg = LiveConfig {
+            idle_timeout: None,
+            fin_linger: None,
+            max_flows: 1,
+            ..Default::default()
+        };
+        let mut drv = Driver::new(&cfg, vec![tx]);
+        assert!(!drv.timers_enabled());
+        for i in 0..5u32 {
+            let t = (i as u64) * 1_000;
+            drv.process(&pkt(FlowKey::synthetic(i), t, SegFlags::SYN), t);
+        }
+        assert_eq!(drv.accum.flows_shed, 4);
+        assert_eq!(drv.dead.len(), 4, "shed keys parked in the dead map");
+        // A packet past the TTL drains every expired entry.
+        let late = 4_000 + DEAD_TTL_US + 1;
+        drv.process(&pkt(FlowKey::synthetic(99), late, SegFlags::SYN), late);
+        assert!(drv.dead.len() <= 1, "expired dead entries purged");
+        assert!(drv.dead_q.len() <= 1);
+    }
+
+    #[test]
+    fn displacing_syn_leaves_no_dead_entry() {
+        // 4-tuple reuse finalizes the old generation, but the key is
+        // immediately re-admitted — it must not be parked in the dead map.
+        let (tx, _rx) = mpsc::sync_channel::<Vec<Directive>>(64);
+        let cfg = LiveConfig::default();
+        let mut drv = Driver::new(&cfg, vec![tx]);
+        let k = FlowKey::synthetic(7);
+        let fin = SegFlags {
+            fin: true,
+            ack: true,
+            ..Default::default()
+        };
+        drv.process(&pkt(k, 0, SegFlags::SYN), 0);
+        drv.process(&pkt(k, 10, fin), 10);
+        drv.process(&pkt(k, 20, SegFlags::SYN), 20); // reuse
+        assert_eq!(drv.accum.flows_opened, 2);
+        assert_eq!(drv.accum.flows_closed, 1);
+        assert!(drv.dead.is_empty(), "displaced key must not be parked");
+        assert!(drv.dead_q.is_empty());
+    }
+
     #[test]
     fn empty_capture_yields_empty_summary() {
         let buf = capture(&[]);
@@ -783,6 +850,27 @@ mod tests {
         assert_eq!(summary.flows_seen, 0);
         assert_eq!(summary.packets, 0);
         assert_eq!(summary.intervals, 0);
+    }
+
+    #[test]
+    fn epoch_timestamped_capture_runs_quickly() {
+        // Real tcpdump output carries wall-clock epoch timestamps; the
+        // pipeline (and in particular the timer wheel, whose base starts
+        // at 0) must not degrade on the jump to ~1.75e15 us.
+        let epoch_ms = 1_754_000_000_000u64;
+        let traces: Vec<FlowTrace> = (0..5)
+            .map(|i| flow_trace(FlowKey::synthetic(i), epoch_ms + (i as u64) * 700))
+            .collect();
+        let buf = capture(&traces);
+        let t0 = std::time::Instant::now();
+        let summary = run(&buf[..], &LiveConfig::default(), |_| {}).unwrap();
+        assert_eq!(summary.flows_seen, 5);
+        assert_eq!(summary.packets, 30);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "epoch-timestamped capture stalled: {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

@@ -106,6 +106,23 @@ impl TimerWheel {
         }
         // Whole buckets whose window has fully passed.
         while self.base_us + self.width_us <= now_us {
+            // Every ring bucket empty (all pending entries are in `far`):
+            // fast-forward in O(1) instead of walking buckets one by one.
+            // Without this, the first advance on a capture with epoch
+            // timestamps would step through ~10^10 empty 65 ms windows.
+            if self.len == self.far.len() {
+                let target = match self.far.peek() {
+                    Some(&Reverse(e)) => now_us.min(e.0),
+                    None => now_us,
+                };
+                let skip = (target - self.base_us) / self.width_us;
+                self.base_us += skip * self.width_us;
+                self.refill_from_far();
+                if self.len == self.far.len() {
+                    break; // still nothing within the ring span
+                }
+                continue;
+            }
             let mut bucket = std::mem::take(&mut self.buckets[self.cursor]);
             self.len -= bucket.len();
             out.append(&mut bucket);
@@ -187,6 +204,50 @@ mod tests {
         w.schedule((10, 1, 0)); // already past
         w.advance_into(5_000, &mut out);
         assert_eq!(out, vec![(10, 1, 0)]);
+    }
+
+    #[test]
+    fn epoch_timestamps_advance_in_constant_time() {
+        // Real tcpdump captures carry epoch timestamps (~1.75e15 us in
+        // 2025). The first advance from base 0 must fast-forward over the
+        // ~10^10 empty buckets, not walk them one by one.
+        let mut w = TimerWheel::with_default_geometry();
+        let epoch = 1_754_000_000_000_000u64;
+        w.schedule((epoch + 60_000_000, 1, 0));
+        let mut out = Vec::new();
+        let t0 = std::time::Instant::now();
+        w.advance_into(epoch, &mut out);
+        assert!(out.is_empty(), "not due yet");
+        w.advance_into(epoch + 60_000_000, &mut out);
+        assert_eq!(out, vec![(epoch + 60_000_000, 1, 0)]);
+        assert!(w.is_empty());
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(1),
+            "advance over empty span must be O(1), took {:?}",
+            t0.elapsed()
+        );
+        // And scheduling keeps working at the new base.
+        w.schedule((epoch + 60_010_000, 2, 0));
+        w.advance_into(epoch + 60_020_000, &mut out);
+        assert_eq!(out.last(), Some(&(epoch + 60_010_000, 2, 0)));
+    }
+
+    #[test]
+    fn fast_forward_over_gap_between_entries() {
+        // Two entries separated by a gap far larger than the ring span:
+        // after the first fires, the walk to the second must also jump.
+        let mut w = TimerWheel::new(100, 4); // span = 400
+        w.schedule((50, 1, 0));
+        w.schedule((10_000_000_000, 2, 0));
+        let mut out = Vec::new();
+        w.advance_into(60, &mut out);
+        assert_eq!(out, vec![(50, 1, 0)]);
+        out.clear();
+        w.advance_into(9_999_999_999, &mut out);
+        assert!(out.is_empty(), "second entry not due");
+        w.advance_into(10_000_000_001, &mut out);
+        assert_eq!(out, vec![(10_000_000_000, 2, 0)]);
+        assert!(w.is_empty());
     }
 
     #[test]

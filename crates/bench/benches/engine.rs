@@ -12,15 +12,19 @@
 //!   `min(cap, cores_available)`; CI smoke runs with a cap of 2.
 //! * `BENCH_ENGINE_OUT` — output path (default `BENCH_engine.json` at the
 //!   workspace root).
-//! * `BENCH_LIVE_FLOWS` — flows per service for the live-path phase
+//! * `BENCH_LIVE_FLOWS` — flows per service for the live-path phases
 //!   (default 3334, i.e. ≥ 10k flows total; CI smoke uses a small count).
 //! * `-- --gate` — regression-gate mode, comparing this run against the
 //!   *committed* JSON's `current` section:
 //!   - single-thread flows/sec must be ≥ 80% of the committed value;
 //!   - live-path packets/sec must be ≥ 80% of the committed `live` value;
-//!   - peak RSS must be ≤ 120% of the committed value (the live phase
-//!     streams its capture from disk under a hard flow cap, so a
-//!     memory-unbounded live pipeline trips this ceiling);
+//!   - the million-flow two-tier phase must shed **zero** flows, and its
+//!     packets/sec (≥ 80%) and peak RSS (≤ 120%) gate against the
+//!     committed `live_1m` section;
+//!   - peak RSS must be ≤ 120% of the committed value; each phase runs in
+//!     a child process, so this gate sees only the engine curve and the
+//!     per-phase gates see only their own pipeline — capture generation
+//!     can no longer mask a pipeline memory regression;
 //!   - when the capture holds more flows than the cap, the cap must have
 //!     actually shed flows and the high-water mark must respect it;
 //!   - on machines with ≥ 4 cores (and a curve reaching ≥ 4 threads),
@@ -31,19 +35,26 @@
 //! The emitted file keeps two sections: `baseline_pre_pr` (the tree
 //! before the PR 2 hot-path overhaul, preserved verbatim from the
 //! committed file) and `current` (this run), plus the measured `scaling`
-//! curve and the `live` streaming-path phase. The ratio of the sections
-//! is the committed speedup.
+//! curve and the `live` / `live_1m` streaming-path phases. The ratio of
+//! the sections is the committed speedup.
+//!
+//! Phase isolation: `peak_rss_bytes` reads `VmHWM`, which is process-wide
+//! and monotone, so phases that must report *their own* memory (the live
+//! pipelines) re-execute this binary with `BENCH_ENGINE_PHASE` set and
+//! report one JSON line on stdout. The capture is generated once (in a
+//! child too, so its merge window never counts against anyone) and shared
+//! by both live phases.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use bench_suite::{peak_rss_bytes, section_field};
+use bench_suite::{extract_json_number, peak_rss_bytes, section_field};
 use experiments::{Dataset, Engine, Scale};
 use simnet::time::SimDuration;
 use tapo::json::Json;
-use tapo::live::{self, LiveConfig};
+use tapo::live::{self, LiveConfig, TierConfig};
 use workloads::{generate_interleaved, LiveGenSpec};
 
 /// One measured configuration: flows/sec over `repeats` dataset builds
@@ -94,54 +105,157 @@ fn curve(cores: usize, cap: usize) -> Vec<usize> {
     counts
 }
 
-/// What the live-path phase measured, for the report and the gate.
+/// At a 5 ms mean gap the 10k-flow capture peaks just under 1000
+/// concurrent flows; a cap of 512 keeps LRU shedding on the measured
+/// path without starving most flows of their packets.
+const LIVE_CAP: usize = 512;
+
+/// The two-tier phase's admission ceiling — the paper-scale "million
+/// concurrent flows" deployment shape. Nothing should ever be shed.
+const LIVE_1M_CAP: usize = 1_000_000;
+
+/// What one live-path child phase measured, parsed back from its single
+/// JSON stdout line. Tier fields are zero for the heavy-only phase.
 struct LiveRun {
     flows: u64,
     packets: u64,
     packets_per_sec: f64,
     flows_shed: u64,
     max_active_flows: u64,
+    promotions: u64,
+    demotions: u64,
+    max_heavy_flows: u64,
+    peak_rss_bytes: u64,
     cap: usize,
 }
 
-/// The live streaming-path phase: synthesize an interleaved multi-service
-/// capture to a temp file, then stream it through `tapo::live::run` under
-/// a hard flow cap — the daemon deployment shape (bounded memory, file
-/// input). Generation is *not* timed; only the live pipeline is.
-fn measure_live(flows_per_service: usize) -> std::io::Result<LiveRun> {
-    // At a 5 ms mean gap the 10k-flow capture peaks just under 1000
-    // concurrent flows; a cap of 512 keeps LRU shedding on the measured
-    // path without starving most flows of their packets.
-    const CAP: usize = 512;
-    let spec = LiveGenSpec {
-        flows_per_service,
-        seed: 2015,
-        mean_gap: SimDuration::from_millis(5),
-        ..Default::default()
-    };
-    let path = std::env::temp_dir().join(format!("tapo_live_bench_{}.pcap", std::process::id()));
-    generate_interleaved(BufWriter::new(File::create(&path)?), &spec)?;
-
-    let cfg = LiveConfig {
-        max_flows: CAP,
-        ..Default::default()
-    };
+/// Stream the capture at `path` through `tapo::live::run` under `cfg` and
+/// print the phase result as one JSON line (the parent parses it back with
+/// [`extract_json_number`]). Runs inside a child process so
+/// `peak_rss_bytes` sees *only* this pipeline's memory.
+fn live_phase(path: &Path, cfg: &LiveConfig, cap: usize) -> std::io::Result<()> {
     let t = Instant::now();
-    let result = live::run(BufReader::new(File::open(&path)?), &cfg, |_| {});
+    let result = live::run(BufReader::new(File::open(path)?), cfg, |_| {});
     let secs = t.elapsed().as_secs_f64();
-    let _ = std::fs::remove_file(&path);
     let summary = result.map_err(|e| std::io::Error::other(e.to_string()))?;
-    Ok(LiveRun {
-        flows: summary.flows_seen,
-        packets: summary.packets,
-        packets_per_sec: summary.packets as f64 / secs.max(1e-12),
-        flows_shed: summary.flows_shed,
-        max_active_flows: summary.max_active_flows,
-        cap: CAP,
-    })
+    let doc = Json::obj([
+        ("flows", Json::Int(summary.flows_seen as i64)),
+        ("packets", Json::Int(summary.packets as i64)),
+        (
+            "packets_per_sec",
+            Json::Num(summary.packets as f64 / secs.max(1e-12)),
+        ),
+        ("flows_shed", Json::Int(summary.flows_shed as i64)),
+        (
+            "max_active_flows",
+            Json::Int(summary.max_active_flows as i64),
+        ),
+        ("promotions", Json::Int(summary.promotions as i64)),
+        ("demotions", Json::Int(summary.demotions as i64)),
+        ("max_heavy_flows", Json::Int(summary.max_heavy_flows as i64)),
+        (
+            "peak_rss_bytes",
+            Json::Int(peak_rss_bytes().unwrap_or(0) as i64),
+        ),
+        ("max_flows_cap", Json::Int(cap as i64)),
+    ]);
+    println!("{}", doc.compact());
+    Ok(())
+}
+
+/// Child-phase dispatch: generate the shared capture or run one live
+/// pipeline over it, then exit. The capture path always arrives via the
+/// `BENCH_LIVE_CAPTURE` env var set by the parent.
+fn run_child_phase(phase: &str) -> std::io::Result<()> {
+    let path = PathBuf::from(
+        std::env::var_os("BENCH_LIVE_CAPTURE")
+            .ok_or_else(|| std::io::Error::other("BENCH_LIVE_CAPTURE not set"))?,
+    );
+    match phase {
+        "gen" => {
+            let flows_per_service: usize = std::env::var("BENCH_LIVE_FLOWS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(3334);
+            let spec = LiveGenSpec {
+                flows_per_service,
+                seed: 2015,
+                mean_gap: SimDuration::from_millis(5),
+                ..Default::default()
+            };
+            let stats = generate_interleaved(BufWriter::new(File::create(&path)?), &spec)?;
+            let doc = Json::obj([
+                ("flows", Json::Int(stats.flows as i64)),
+                ("packets", Json::Int(stats.packets as i64)),
+            ]);
+            println!("{}", doc.compact());
+            Ok(())
+        }
+        "live" => {
+            let cfg = LiveConfig {
+                max_flows: LIVE_CAP,
+                ..Default::default()
+            };
+            live_phase(&path, &cfg, LIVE_CAP)
+        }
+        "live_1m" => {
+            let cfg = LiveConfig {
+                max_flows: LIVE_1M_CAP,
+                tier: Some(TierConfig::default()),
+                ..Default::default()
+            };
+            live_phase(&path, &cfg, LIVE_1M_CAP)
+        }
+        other => Err(std::io::Error::other(format!(
+            "unknown BENCH_ENGINE_PHASE {other:?}"
+        ))),
+    }
+}
+
+/// Re-execute this bench binary as a one-phase child and return its JSON
+/// stdout line. Exits the whole bench on child failure — a phase that
+/// cannot run is a broken bench, not a skippable gate.
+fn spawn_phase(phase: &str, capture: &Path) -> String {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = std::process::Command::new(exe)
+        .arg("--bench") // libtest harness arg, ignored by our main
+        .env("BENCH_ENGINE_PHASE", phase)
+        .env("BENCH_LIVE_CAPTURE", capture)
+        .output()
+        .expect("spawn bench child phase");
+    if !out.status.success() {
+        eprintln!("child phase {phase} failed:");
+        eprintln!("{}", String::from_utf8_lossy(&out.stderr));
+        std::process::exit(1);
+    }
+    String::from_utf8(out.stdout).expect("child phase stdout is UTF-8")
+}
+
+/// Parse one live child's JSON line into a [`LiveRun`].
+fn parse_live(text: &str, cap: usize) -> LiveRun {
+    let field = |key: &str| extract_json_number(text, key).unwrap_or(0.0);
+    LiveRun {
+        flows: field("flows") as u64,
+        packets: field("packets") as u64,
+        packets_per_sec: field("packets_per_sec"),
+        flows_shed: field("flows_shed") as u64,
+        max_active_flows: field("max_active_flows") as u64,
+        promotions: field("promotions") as u64,
+        demotions: field("demotions") as u64,
+        max_heavy_flows: field("max_heavy_flows") as u64,
+        peak_rss_bytes: field("peak_rss_bytes") as u64,
+        cap,
+    }
 }
 
 fn main() {
+    if let Ok(phase) = std::env::var("BENCH_ENGINE_PHASE") {
+        if let Err(e) = run_child_phase(&phase) {
+            eprintln!("phase {phase} failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let gate = std::env::args().any(|a| a == "--gate");
     let flows: usize = std::env::var("BENCH_ENGINE_FLOWS")
         .ok()
@@ -175,20 +289,34 @@ fn main() {
     let fps_1t = points[0].1;
     let (threads_max, fps_nt) = *points.last().expect("curve is non-empty");
 
-    let live_flows: usize = std::env::var("BENCH_LIVE_FLOWS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3334); // 3 services × 3334 ≥ 10k flows
-    let live = match measure_live(live_flows) {
-        Ok(l) => l,
-        Err(e) => {
-            eprintln!("live phase failed: {e}");
-            std::process::exit(1);
-        }
-    };
+    // Live phases, each in its own child process: generate the interleaved
+    // capture once (`BENCH_LIVE_FLOWS` is inherited by the gen child), then
+    // stream it through the heavy-only capped pipeline and the two-tier
+    // million-flow pipeline. The capture file is shared, the address spaces
+    // are not — each phase reports its own peak RSS.
+    let capture = std::env::temp_dir().join(format!("tapo_live_bench_{}.pcap", std::process::id()));
+    spawn_phase("gen", &capture);
+    let live = parse_live(&spawn_phase("live", &capture), LIVE_CAP);
+    let live_1m = parse_live(&spawn_phase("live_1m", &capture), LIVE_1M_CAP);
+    let _ = std::fs::remove_file(&capture);
     println!(
-        "live/packets_per_sec                 {:>12.1} pkts/s  ({} flows, {} pkts, cap {}, shed {})",
-        live.packets_per_sec, live.flows, live.packets, live.cap, live.flows_shed
+        "live/packets_per_sec                 {:>12.1} pkts/s  ({} flows, {} pkts, cap {}, shed {}, rss {:.1} MiB)",
+        live.packets_per_sec,
+        live.flows,
+        live.packets,
+        live.cap,
+        live.flows_shed,
+        live.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "live_1m/packets_per_sec              {:>12.1} pkts/s  ({} flows, shed {}, heavy peak {}, promoted {}, demoted {}, rss {:.1} MiB)",
+        live_1m.packets_per_sec,
+        live_1m.flows,
+        live_1m.flows_shed,
+        live_1m.max_heavy_flows,
+        live_1m.promotions,
+        live_1m.demotions,
+        live_1m.peak_rss_bytes as f64 / (1024.0 * 1024.0)
     );
 
     let rss = peak_rss_bytes().unwrap_or(0);
@@ -259,6 +387,63 @@ fn main() {
                 "gate skipped: {} flows never reached the cap of {}",
                 live.flows, live.cap
             );
+        }
+        // The two-tier phase's whole point is admitting every flow: any
+        // shed at a 1M cap is a regression, no baseline needed.
+        if live_1m.flows_shed != 0 {
+            eprintln!(
+                "REGRESSION: two-tier phase shed {} flows under a {} cap",
+                live_1m.flows_shed, live_1m.cap
+            );
+            failed = true;
+        } else {
+            println!(
+                "gate ok: live_1m shed 0 flows ({} admitted, heavy peak {})",
+                live_1m.flows, live_1m.max_heavy_flows
+            );
+        }
+        match section_field(&committed, "live_1m", "packets_per_sec") {
+            Some(baseline) if baseline > 0.0 => {
+                let floor = 0.8 * baseline;
+                if live_1m.packets_per_sec < floor {
+                    eprintln!(
+                        "REGRESSION: two-tier path {:.1} pkts/s is more than 20% below the \
+                         committed baseline {baseline:.1} pkts/s (floor {floor:.1})",
+                        live_1m.packets_per_sec
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "gate ok: live_1m {:.1} pkts/s >= 80% of committed {baseline:.1} pkts/s",
+                        live_1m.packets_per_sec
+                    );
+                }
+            }
+            _ => println!("gate skipped: no committed live_1m baseline to compare against"),
+        }
+        // Per-phase memory ceilings: each child reported its own VmHWM, so
+        // these gates cannot be masked by capture generation or by each
+        // other.
+        for (name, run) in [("live", &live), ("live_1m", &live_1m)] {
+            match section_field(&committed, name, "peak_rss_bytes") {
+                Some(base) if base > 0.0 && run.peak_rss_bytes > 0 => {
+                    let ceil = 1.2 * base;
+                    if run.peak_rss_bytes as f64 > ceil {
+                        eprintln!(
+                            "REGRESSION: {name} peak RSS {} bytes is more than 20% above \
+                             the committed {base:.0} bytes (ceiling {ceil:.0})",
+                            run.peak_rss_bytes
+                        );
+                        failed = true;
+                    } else {
+                        println!(
+                            "gate ok: {name} peak RSS {} bytes <= 120% of committed {base:.0}",
+                            run.peak_rss_bytes
+                        );
+                    }
+                }
+                _ => println!("gate skipped: no committed {name} peak RSS to compare against"),
+            }
         }
         match section_field(&committed, "current", "peak_rss_bytes") {
             Some(base_rss) if base_rss > 0.0 && rss > 0 => {
@@ -342,6 +527,25 @@ fn main() {
                 ("flows_shed", Json::Int(live.flows_shed as i64)),
                 ("max_active_flows", Json::Int(live.max_active_flows as i64)),
                 ("max_flows_cap", Json::Int(live.cap as i64)),
+                ("peak_rss_bytes", Json::Int(live.peak_rss_bytes as i64)),
+            ]),
+        ),
+        (
+            "live_1m",
+            Json::obj([
+                ("flows", Json::Int(live_1m.flows as i64)),
+                ("packets", Json::Int(live_1m.packets as i64)),
+                ("packets_per_sec", Json::Num(live_1m.packets_per_sec)),
+                ("flows_shed", Json::Int(live_1m.flows_shed as i64)),
+                (
+                    "max_active_flows",
+                    Json::Int(live_1m.max_active_flows as i64),
+                ),
+                ("max_flows_cap", Json::Int(live_1m.cap as i64)),
+                ("promotions", Json::Int(live_1m.promotions as i64)),
+                ("demotions", Json::Int(live_1m.demotions as i64)),
+                ("max_heavy_flows", Json::Int(live_1m.max_heavy_flows as i64)),
+                ("peak_rss_bytes", Json::Int(live_1m.peak_rss_bytes as i64)),
             ]),
         ),
         (

@@ -26,7 +26,8 @@
 //!
 //! ```text
 //! tapo live <capture.pcap|-> [--shards N] [--interval MS] [--idle MS]
-//!           [--linger MS] [--max-flows N] [--per-shard] [--csv] [--pace X]
+//!           [--linger MS] [--max-flows N] [--promote N] [--demote N]
+//!           [--heavy-max N] [--per-shard] [--csv] [--pace X]
 //!           [--mss BYTES] [--dupthres N]
 //!
 //!   --shards N      worker shards (default 1; output is byte-identical
@@ -35,6 +36,14 @@
 //!   --idle MS       idle-flow eviction timeout, 0 = off  (default 60000)
 //!   --linger MS     FIN/RST linger before finalize, 0 = off (default 1000)
 //!   --max-flows N   hard cap on tracked flows, 0 = unbounded (default 0)
+//!   --promote N     two-tier mode: track every flow in a compact light
+//!                   tier, promote to a full analyzer after N dup-ACKs
+//!                   (or a retransmission burst / RTO-scale ACK silence /
+//!                   zero window); off by default = every flow heavy
+//!   --demote N      demote a heavy flow after N consecutive calm packets
+//!                   (0 = never; default 256; requires --promote)
+//!   --heavy-max N   global cap on concurrently heavy flows, 0 = unbounded
+//!                   (default 4096; requires --promote)
 //!   --per-shard     include per-shard occupancy in reports
 //!   --csv           CSV reports instead of JSON-lines (summary → stderr)
 //!   --pace X        replay at X× capture time (1.0 = real time)
@@ -45,9 +54,9 @@ use std::io::BufReader;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use simnet::time::SimDuration;
 use tapo::json::Json;
 use tapo::live::{self, LiveConfig};
+use tapo::sink::{CsvSink, JsonLinesSink, ReportSink};
 use tapo::{
     analyze_flow, AnalyzerConfig, FlowAnalysis, RetransClass, Stall, StallBreakdown, StallCause,
     StallClass,
@@ -191,10 +200,10 @@ fn main() -> ExitCode {
 
 fn run_live(mut args: impl Iterator<Item = String>) -> ExitCode {
     const USAGE: &str = "usage: tapo live <capture.pcap|-> [--shards N] [--interval MS] \
-         [--idle MS] [--linger MS] [--max-flows N] [--per-shard] [--csv] \
-         [--pace X] [--mss BYTES] [--dupthres N]";
+         [--idle MS] [--linger MS] [--max-flows N] [--promote N] [--demote N] \
+         [--heavy-max N] [--per-shard] [--csv] [--pace X] [--mss BYTES] [--dupthres N]";
     let mut input: Option<String> = None;
-    let mut cfg = LiveConfig::default();
+    let mut b = LiveConfig::builder();
     let mut csv = false;
     let fail = |msg: &str| -> ExitCode {
         eprintln!("{msg}");
@@ -203,39 +212,49 @@ fn run_live(mut args: impl Iterator<Item = String>) -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--shards" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) if n > 0 => cfg.shards = n,
-                _ => return fail("--shards requires N >= 1"),
+                Some(n) => b = b.shards(n),
+                None => return fail("--shards requires N"),
             },
-            "--interval" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
-                Some(ms) if ms > 0 => cfg.interval = SimDuration::from_millis(ms),
-                _ => return fail("--interval requires milliseconds >= 1"),
+            "--interval" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => b = b.interval_ms(ms),
+                None => return fail("--interval requires milliseconds"),
             },
-            "--idle" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
-                Some(0) => cfg.idle_timeout = None,
-                Some(ms) => cfg.idle_timeout = Some(SimDuration::from_millis(ms)),
+            "--idle" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => b = b.idle_ms(ms),
                 None => return fail("--idle requires milliseconds (0 disables)"),
             },
-            "--linger" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
-                Some(0) => cfg.fin_linger = None,
-                Some(ms) => cfg.fin_linger = Some(SimDuration::from_millis(ms)),
+            "--linger" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => b = b.linger_ms(ms),
                 None => return fail("--linger requires milliseconds (0 disables)"),
             },
             "--max-flows" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) => cfg.max_flows = n,
+                Some(n) => b = b.max_flows(n),
                 None => return fail("--max-flows requires N (0 = unbounded)"),
             },
-            "--per-shard" => cfg.per_shard_occupancy = true,
+            "--promote" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => b = b.promote(n),
+                None => return fail("--promote requires a dup-ACK count"),
+            },
+            "--demote" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => b = b.demote(n),
+                None => return fail("--demote requires a calm-packet streak (0 = never)"),
+            },
+            "--heavy-max" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => b = b.heavy_max(n),
+                None => return fail("--heavy-max requires N (0 = unbounded)"),
+            },
+            "--per-shard" => b = b.per_shard_occupancy(true),
             "--csv" => csv = true,
             "--pace" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
-                Some(x) if x > 0.0 && x.is_finite() => cfg.pace = Some(x),
-                _ => return fail("--pace requires a positive factor"),
+                Some(x) => b = b.pace(Some(x)),
+                None => return fail("--pace requires a factor"),
             },
             "--mss" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(m) => cfg.analyzer.replay.mss = m,
+                Some(m) => b = b.mss(m),
                 None => return fail("--mss requires bytes"),
             },
             "--dupthres" => match args.next().and_then(|v| v.parse().ok()) {
-                Some(n) => cfg.analyzer.replay.dupthres = n,
+                Some(n) => b = b.dupthres(n),
                 None => return fail("--dupthres requires N"),
             },
             "--help" | "-h" => return fail(USAGE),
@@ -252,16 +271,26 @@ fn run_live(mut args: impl Iterator<Item = String>) -> ExitCode {
     let Some(input) = input else {
         return fail("no capture given: tapo live <capture.pcap|-> (try --help)");
     };
+    let cfg = match b.build() {
+        Ok(cfg) => cfg,
+        Err(e) => return fail(&format!("tapo live: {e}")),
+    };
 
-    if csv {
-        println!("{}", live::IntervalReport::csv_header());
-    }
-    let mut emit = |r: &live::IntervalReport| {
-        if csv {
-            println!("{}", r.to_csv_row());
-        } else {
-            println!("{}", r.to_json().compact());
+    // Interval reports stream to stdout through one fixed-shape sink; in
+    // CSV mode stdout stays a clean spreadsheet (header up front, even if
+    // no interval ever completes) and the JSON summary goes to stderr.
+    let stdout = std::io::stdout();
+    let mut sink: Box<dyn ReportSink> = if csv {
+        let mut s = CsvSink::new(stdout.lock());
+        if s.write_header(&live::IntervalReport::csv_header()).is_err() {
+            return ExitCode::FAILURE;
         }
+        Box::new(s)
+    } else {
+        Box::new(JsonLinesSink::new(stdout.lock()))
+    };
+    let mut emit = |r: &live::IntervalReport| {
+        sink.emit(r).expect("write report to stdout");
     };
     let result = if input == "-" {
         live::run(std::io::stdin().lock(), &cfg, &mut emit)
@@ -276,15 +305,19 @@ fn run_live(mut args: impl Iterator<Item = String>) -> ExitCode {
     };
     match result {
         Ok(summary) => {
-            let line = summary.to_json().compact();
-            // In CSV mode stdout is a clean spreadsheet; the JSON summary
-            // goes to stderr instead.
-            if csv {
-                eprintln!("{line}");
+            let ok = if csv {
+                sink.finish().is_ok()
+                    && JsonLinesSink::new(std::io::stderr().lock())
+                        .emit(&summary)
+                        .is_ok()
             } else {
-                println!("{line}");
+                sink.emit(&summary).is_ok() && sink.finish().is_ok()
+            };
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
             }
-            ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("tapo live: {e}");

@@ -37,15 +37,20 @@ pub mod json;
 pub mod live;
 pub mod replay;
 pub mod report;
+pub mod sink;
 pub mod stream;
 pub mod summary;
 pub mod validate;
 
 pub use causes::{RetransCause, RetransClass, StallCategory, StallCause, StallClass};
 pub use classify::{ClassifyConfig, Stall};
-pub use live::{IntervalReport, LiveConfig, LiveSummary};
+pub use live::{
+    FlowMonitor, IntervalReport, LiveConfig, LiveConfigBuilder, LiveConfigError, LiveSummary,
+    MonitorSeed, TierConfig,
+};
 pub use replay::{EstCaState, Replay, ReplayConfig, RetransKind, Snapshot};
 pub use report::{CauseStats, Cdf, Share, StallBreakdown};
+pub use sink::{csv_escape, CsvSink, JsonLinesSink, Record, ReportSink};
 pub use stream::StreamAnalyzer;
 pub use summary::FlowSummary;
 pub use validate::{Confusion, ValidationReport};

@@ -1,0 +1,330 @@
+//! Validated construction of [`LiveConfig`].
+//!
+//! The `tapo live` CLI and library embedders share this one path: raw
+//! values go in through setters, [`LiveConfigBuilder::build`] either
+//! returns a coherent [`LiveConfig`] or a [`LiveConfigError`] naming the
+//! offending knob — no panics, no half-validated structs, and the
+//! cross-field rules (tier thresholds require a promotion threshold) live
+//! in exactly one place.
+
+use std::fmt;
+
+use simnet::time::SimDuration;
+
+use super::{LiveConfig, TierConfig};
+
+/// A rejected [`LiveConfigBuilder`] knob, carrying the offending value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LiveConfigError {
+    /// `shards` was 0.
+    ZeroShards,
+    /// `interval_ms` was 0 (reports need a positive cadence).
+    ZeroInterval,
+    /// `pace` was not a positive finite factor.
+    BadPace(f64),
+    /// `mss` was 0.
+    ZeroMss,
+    /// `dupthres` was 0 (a zero threshold would flag every pure ACK).
+    ZeroDupthres,
+    /// A promotion knob (`promote`) was 0.
+    ZeroPromote,
+    /// `demote`/`heavy_max` given without enabling promotion.
+    TierKnobWithoutPromote(&'static str),
+}
+
+impl fmt::Display for LiveConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiveConfigError::ZeroShards => write!(f, "--shards must be at least 1"),
+            LiveConfigError::ZeroInterval => write!(f, "--interval must be at least 1 ms"),
+            LiveConfigError::BadPace(p) => {
+                write!(f, "--pace must be a positive finite factor, got {p}")
+            }
+            LiveConfigError::ZeroMss => write!(f, "--mss must be at least 1 byte"),
+            LiveConfigError::ZeroDupthres => write!(f, "--dupthres must be at least 1"),
+            LiveConfigError::ZeroPromote => write!(f, "--promote must be at least 1 dup-ACK"),
+            LiveConfigError::TierKnobWithoutPromote(knob) => {
+                write!(f, "--{knob} requires --promote (two-tier mode is off)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LiveConfigError {}
+
+/// Builder for [`LiveConfig`]: setters take raw CLI-shaped values
+/// (milliseconds, `0` meaning "off" where documented), [`Self::build`]
+/// validates the whole set at once.
+#[derive(Debug, Clone)]
+pub struct LiveConfigBuilder {
+    shards: usize,
+    interval_ms: u64,
+    /// 0 = idle eviction off.
+    idle_ms: u64,
+    /// 0 = linger off (closed flows wait for idle timeout / EOF).
+    linger_ms: u64,
+    max_flows: usize,
+    per_shard: bool,
+    collect: bool,
+    pace: Option<f64>,
+    mss: u32,
+    dupthres: u32,
+    /// `Some` enables two-tier monitoring at this dup-ACK threshold.
+    promote: Option<u32>,
+    demote: Option<u32>,
+    heavy_max: Option<usize>,
+}
+
+impl Default for LiveConfigBuilder {
+    fn default() -> Self {
+        let d = LiveConfig::default();
+        LiveConfigBuilder {
+            shards: d.shards,
+            interval_ms: d.interval.as_micros() / 1_000,
+            idle_ms: d.idle_timeout.map_or(0, |t| t.as_micros() / 1_000),
+            linger_ms: d.fin_linger.map_or(0, |t| t.as_micros() / 1_000),
+            max_flows: d.max_flows,
+            per_shard: d.per_shard_occupancy,
+            collect: d.collect_flows,
+            pace: d.pace,
+            mss: d.analyzer.replay.mss,
+            dupthres: d.analyzer.replay.dupthres,
+            promote: None,
+            demote: None,
+            heavy_max: None,
+        }
+    }
+}
+
+impl LiveConfigBuilder {
+    /// A builder preloaded with [`LiveConfig::default`]'s values.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Worker shard count (must be ≥ 1).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
+    /// Reporting interval in milliseconds (must be ≥ 1).
+    pub fn interval_ms(mut self, ms: u64) -> Self {
+        self.interval_ms = ms;
+        self
+    }
+
+    /// Idle-eviction timeout in milliseconds; 0 disables idle eviction.
+    pub fn idle_ms(mut self, ms: u64) -> Self {
+        self.idle_ms = ms;
+        self
+    }
+
+    /// FIN/RST linger in milliseconds; 0 keeps closed flows until idle
+    /// timeout or EOF.
+    pub fn linger_ms(mut self, ms: u64) -> Self {
+        self.linger_ms = ms;
+        self
+    }
+
+    /// Hard cap on concurrently tracked flows; 0 = unbounded.
+    pub fn max_flows(mut self, n: usize) -> Self {
+        self.max_flows = n;
+        self
+    }
+
+    /// Include per-shard occupancy in reports (shard-count-dependent).
+    pub fn per_shard_occupancy(mut self, on: bool) -> Self {
+        self.per_shard = on;
+        self
+    }
+
+    /// Keep every finalized analysis in the summary (unbounded memory).
+    pub fn collect_flows(mut self, on: bool) -> Self {
+        self.collect = on;
+        self
+    }
+
+    /// Replay pacing factor (must be positive and finite when set).
+    pub fn pace(mut self, factor: Option<f64>) -> Self {
+        self.pace = factor;
+        self
+    }
+
+    /// Analyzer MSS assumption in bytes (must be ≥ 1).
+    pub fn mss(mut self, bytes: u32) -> Self {
+        self.mss = bytes;
+        self
+    }
+
+    /// Analyzer duplicate-ACK threshold (must be ≥ 1).
+    pub fn dupthres(mut self, n: u32) -> Self {
+        self.dupthres = n;
+        self
+    }
+
+    /// Enable two-tier monitoring, promoting a flow to a full analyzer
+    /// after `dupacks` duplicate ACKs (the other promotion triggers —
+    /// retransmissions, ACK-silence stalls, zero window — scale from
+    /// [`TierConfig::default`]). Must be ≥ 1.
+    pub fn promote(mut self, dupacks: u32) -> Self {
+        self.promote = Some(dupacks);
+        self
+    }
+
+    /// Demote a heavy flow after this many consecutive calm packets;
+    /// 0 = never demote. Requires [`Self::promote`].
+    pub fn demote(mut self, streak: u32) -> Self {
+        self.demote = Some(streak);
+        self
+    }
+
+    /// Global cap on concurrently heavy flows; 0 = unbounded. Requires
+    /// [`Self::promote`].
+    pub fn heavy_max(mut self, n: usize) -> Self {
+        self.heavy_max = Some(n);
+        self
+    }
+
+    /// Validate every knob and the cross-field rules; on success the
+    /// returned [`LiveConfig`] is coherent by construction.
+    pub fn build(self) -> Result<LiveConfig, LiveConfigError> {
+        if self.shards == 0 {
+            return Err(LiveConfigError::ZeroShards);
+        }
+        if self.interval_ms == 0 {
+            return Err(LiveConfigError::ZeroInterval);
+        }
+        if let Some(p) = self.pace {
+            if !(p.is_finite() && p > 0.0) {
+                return Err(LiveConfigError::BadPace(p));
+            }
+        }
+        if self.mss == 0 {
+            return Err(LiveConfigError::ZeroMss);
+        }
+        if self.dupthres == 0 {
+            return Err(LiveConfigError::ZeroDupthres);
+        }
+        let tier = match self.promote {
+            Some(0) => return Err(LiveConfigError::ZeroPromote),
+            Some(dupacks) => {
+                let mut t = TierConfig {
+                    promote_dupacks: dupacks,
+                    ..TierConfig::default()
+                };
+                if let Some(streak) = self.demote {
+                    t.demote_streak = streak;
+                }
+                if let Some(cap) = self.heavy_max {
+                    t.heavy_max = cap;
+                }
+                Some(t)
+            }
+            None => {
+                if self.demote.is_some() {
+                    return Err(LiveConfigError::TierKnobWithoutPromote("demote"));
+                }
+                if self.heavy_max.is_some() {
+                    return Err(LiveConfigError::TierKnobWithoutPromote("heavy-max"));
+                }
+                None
+            }
+        };
+        let mut cfg = LiveConfig {
+            shards: self.shards,
+            interval: SimDuration::from_millis(self.interval_ms),
+            idle_timeout: (self.idle_ms > 0).then(|| SimDuration::from_millis(self.idle_ms)),
+            fin_linger: (self.linger_ms > 0).then(|| SimDuration::from_millis(self.linger_ms)),
+            max_flows: self.max_flows,
+            collect_flows: self.collect,
+            per_shard_occupancy: self.per_shard,
+            pace: self.pace,
+            tier,
+            ..LiveConfig::default()
+        };
+        cfg.analyzer.replay.mss = self.mss;
+        cfg.analyzer.replay.dupthres = self.dupthres;
+        Ok(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_round_trip_to_the_default_config() {
+        let built = LiveConfigBuilder::new().build().unwrap();
+        let d = LiveConfig::default();
+        assert_eq!(built.shards, d.shards);
+        assert_eq!(built.interval, d.interval);
+        assert_eq!(built.idle_timeout, d.idle_timeout);
+        assert_eq!(built.fin_linger, d.fin_linger);
+        assert_eq!(built.max_flows, d.max_flows);
+        assert!(built.tier.is_none());
+    }
+
+    #[test]
+    fn zero_knobs_are_rejected_with_names() {
+        assert_eq!(
+            LiveConfigBuilder::new().shards(0).build().unwrap_err(),
+            LiveConfigError::ZeroShards
+        );
+        assert_eq!(
+            LiveConfigBuilder::new().interval_ms(0).build().unwrap_err(),
+            LiveConfigError::ZeroInterval
+        );
+        assert_eq!(
+            LiveConfigBuilder::new().mss(0).build().unwrap_err(),
+            LiveConfigError::ZeroMss
+        );
+        assert_eq!(
+            LiveConfigBuilder::new().dupthres(0).build().unwrap_err(),
+            LiveConfigError::ZeroDupthres
+        );
+        let err = LiveConfigBuilder::new()
+            .pace(Some(-1.0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, LiveConfigError::BadPace(_)));
+        assert!(err.to_string().contains("--pace"));
+    }
+
+    #[test]
+    fn zero_ms_means_disabled_for_idle_and_linger() {
+        let cfg = LiveConfigBuilder::new()
+            .idle_ms(0)
+            .linger_ms(0)
+            .build()
+            .unwrap();
+        assert!(cfg.idle_timeout.is_none());
+        assert!(cfg.fin_linger.is_none());
+    }
+
+    #[test]
+    fn tier_knobs_require_promote() {
+        assert_eq!(
+            LiveConfigBuilder::new().demote(64).build().unwrap_err(),
+            LiveConfigError::TierKnobWithoutPromote("demote")
+        );
+        assert_eq!(
+            LiveConfigBuilder::new().heavy_max(100).build().unwrap_err(),
+            LiveConfigError::TierKnobWithoutPromote("heavy-max")
+        );
+        assert_eq!(
+            LiveConfigBuilder::new().promote(0).build().unwrap_err(),
+            LiveConfigError::ZeroPromote
+        );
+        let cfg = LiveConfigBuilder::new()
+            .promote(3)
+            .demote(64)
+            .heavy_max(1000)
+            .build()
+            .unwrap();
+        let tier = cfg.tier.unwrap();
+        assert_eq!(tier.promote_dupacks, 3);
+        assert_eq!(tier.demote_streak, 64);
+        assert_eq!(tier.heavy_max, 1000);
+    }
+}

@@ -38,12 +38,16 @@
 //! O(interval). The load generator in the `workloads` crate feeds the
 //! 10k-flow capture the bench gate uses to assert the bound.
 
+mod config;
 mod lru;
+mod monitor;
 mod report;
 mod shard;
 mod wheel;
 
+pub use config::{LiveConfigBuilder, LiveConfigError};
 pub use lru::LruList;
+pub use monitor::{FlowMonitor, LightTable, MonitorSeed, TierConfig, Verdict};
 pub use report::{class_slug, retrans_slug, IntervalReport, LiveSummary};
 pub use shard::{shard_worker, Directive, IntervalDelta, ShardMsg};
 pub use wheel::{TimerEntry, TimerWheel};
@@ -86,6 +90,11 @@ pub struct LiveConfig {
     /// Replay pacing: sleep so capture time advances at `pace` × real time
     /// (1.0 = original timing). `None` = as fast as possible.
     pub pace: Option<f64>,
+    /// Two-tier monitoring: `Some` keeps every flow in a compact light
+    /// tier ([`LightTable`]) and promotes to a full [`crate::StreamAnalyzer`]
+    /// only on suspicion; `None` (the default) analyzes every flow heavy
+    /// from the first packet, as before.
+    pub tier: Option<TierConfig>,
 }
 
 impl Default for LiveConfig {
@@ -100,7 +109,16 @@ impl Default for LiveConfig {
             collect_flows: false,
             per_shard_occupancy: false,
             pace: None,
+            tier: None,
         }
+    }
+}
+
+impl LiveConfig {
+    /// Start a validated [`LiveConfigBuilder`] — the construction path the
+    /// CLI and library users share.
+    pub fn builder() -> LiveConfigBuilder {
+        LiveConfigBuilder::new()
     }
 }
 
@@ -133,6 +151,8 @@ struct DriverFlow {
     shard: usize,
     tracker: SeqTracker,
     closed: bool,
+    /// Which tier this flow currently occupies.
+    monitor: FlowMonitor,
     /// Authoritative eviction deadline; `u64::MAX` = none.
     deadline_us: u64,
     /// Earliest outstanding wheel entry (lazy-timer bookkeeping).
@@ -145,9 +165,12 @@ struct Accum {
     packets: u64,
     packets_late: u64,
     flows_opened: u64,
+    flows_finalized: u64,
     flows_closed: u64,
     flows_evicted_idle: u64,
     flows_shed: u64,
+    promotions: u64,
+    demotions: u64,
 }
 
 struct Driver {
@@ -158,6 +181,14 @@ struct Driver {
     idle_us: Option<u64>,
     linger_us: Option<u64>,
     interval_us: u64,
+    /// `Some` enables two-tier monitoring with these thresholds.
+    tier: Option<TierConfig>,
+    /// Compact per-flow state for every tracked flow (rows indexed by
+    /// slot; only touched when `tier` is on).
+    light: LightTable,
+    /// Flows currently holding a heavy-tier analyzer — a *global* count,
+    /// so the promotion cap is shard-count-independent.
+    heavy_active: usize,
 
     slots: Vec<Option<DriverFlow>>,
     gens: Vec<u32>,
@@ -193,6 +224,9 @@ impl Driver {
             idle_us: cfg.idle_timeout.map(|d| d.as_micros()),
             linger_us: cfg.fin_linger.map(|d| d.as_micros()),
             interval_us: cfg.interval.as_micros().max(1),
+            tier: cfg.tier,
+            light: LightTable::new(cfg.analyzer.replay),
+            heavy_active: 0,
             slots: Vec::new(),
             gens: Vec::new(),
             free: Vec::new(),
@@ -280,12 +314,21 @@ impl Driver {
         let shard = shard_of(&pkt.key, self.shards_n);
         let mut tracker = self.tracker_pool.pop().unwrap_or_default();
         tracker.reset();
+        // Two-tier: every flow starts light (no analyzer, no directive);
+        // always-heavy: open the analyzer at the first packet, as before.
+        let monitor = if self.tier.is_some() {
+            self.light.init(slot);
+            FlowMonitor::Light
+        } else {
+            FlowMonitor::Heavy
+        };
         self.slots[slot as usize] = Some(DriverFlow {
             key: pkt.key,
             uid,
             shard,
             tracker,
             closed: false,
+            monitor,
             deadline_us: u64::MAX,
             wheel_deadline_us: u64::MAX,
         });
@@ -293,7 +336,12 @@ impl Driver {
         self.lru.push_back(slot);
         self.accum.flows_opened += 1;
         self.summary.max_active_flows = self.summary.max_active_flows.max(self.map.len() as u64);
-        self.send(shard, Directive::Open { uid });
+        if monitor.is_heavy() {
+            self.heavy_active += 1;
+            self.summary.max_heavy_flows =
+                self.summary.max_heavy_flows.max(self.heavy_active as u64);
+            self.send(shard, Directive::Open { uid, seed: None });
+        }
         self.deliver(slot, pkt, t_us);
     }
 
@@ -306,12 +354,79 @@ impl Driver {
             flow.closed = true;
         }
         let closed = flow.closed;
+        let heavy = flow.monitor.is_heavy();
         if let Some(rec) = rec {
-            self.send(shard, Directive::Rec { uid, rec });
+            match self.tier {
+                // Always-heavy: the legacy path, zero light-tier overhead.
+                None => self.send(shard, Directive::Rec { uid, rec }),
+                Some(tier) => {
+                    // The light row tracks every flow — heavy ones too, so
+                    // the calm-streak hysteresis has something to read.
+                    let verdict = self.light.update(slot, &rec, t_us, &tier);
+                    if heavy {
+                        self.send(shard, Directive::Rec { uid, rec });
+                        if tier.demote_streak > 0
+                            && !closed
+                            && !verdict.suspicious
+                            && verdict.calm_streak >= tier.demote_streak
+                        {
+                            self.demote(slot, uid, shard);
+                        }
+                    } else if verdict.suspicious && !closed {
+                        self.promote(slot, uid, shard, &tier);
+                    }
+                }
+            }
         }
         let deadline = self.deadline_for(closed, t_us);
         self.arm(slot, deadline);
         self.lru.touch(slot);
+    }
+
+    /// Escalate a light flow: snapshot the light row (which already
+    /// reflects the triggering record) and open a seeded analyzer. The
+    /// triggering record is *not* forwarded — its effect lives in the
+    /// seed, and forwarding it too would double-apply it (e.g. new data
+    /// misread as a retransmission against the seeded `snd_nxt`).
+    ///
+    /// Denied when the global heavy cap is full; the heuristics are
+    /// level-triggered, so a still-suspicious flow simply retries on its
+    /// next packet.
+    fn promote(&mut self, slot: u32, uid: u64, shard: usize, tier: &TierConfig) {
+        if tier.heavy_max > 0 && self.heavy_active >= tier.heavy_max {
+            self.summary.promotions_denied += 1;
+            return;
+        }
+        let seed = self.light.seed(slot);
+        self.slots[slot as usize]
+            .as_mut()
+            .expect("occupied")
+            .monitor = FlowMonitor::Heavy;
+        self.heavy_active += 1;
+        self.accum.promotions += 1;
+        self.summary.max_heavy_flows = self.summary.max_heavy_flows.max(self.heavy_active as u64);
+        self.send(
+            shard,
+            Directive::Open {
+                uid,
+                seed: Some(seed),
+            },
+        );
+    }
+
+    /// Hysteresis demotion: the flow stayed calm for the configured
+    /// streak, so recycle its analyzer and fall back to the light row
+    /// (whose counters are re-armed so the next promotion needs fresh
+    /// evidence, not leftovers from the previous episode).
+    fn demote(&mut self, slot: u32, uid: u64, shard: usize) {
+        self.slots[slot as usize]
+            .as_mut()
+            .expect("occupied")
+            .monitor = FlowMonitor::Light;
+        self.heavy_active -= 1;
+        self.accum.demotions += 1;
+        self.light.rearm(slot);
+        self.send(shard, Directive::Demote { uid });
     }
 
     fn finalize(&mut self, slot: u32, t_us: u64, reason: Reason) {
@@ -319,9 +434,16 @@ impl Driver {
         self.map.remove(&flow.key);
         self.lru.remove(slot);
         self.free.push(slot);
-        self.send(flow.shard, Directive::Close { uid: flow.uid });
+        // Only heavy flows have an analyzer to close; a light finalize is
+        // driver-local (its flow contributes nothing to the breakdown —
+        // undiagnosed by design, that is the whole saving).
+        if flow.monitor.is_heavy() {
+            self.heavy_active -= 1;
+            self.send(flow.shard, Directive::Close { uid: flow.uid });
+        }
         flow.tracker.reset();
         self.tracker_pool.push(flow.tracker);
+        self.accum.flows_finalized += 1;
         match reason {
             Reason::Teardown | Reason::Displaced => self.accum.flows_closed += 1,
             Reason::Idle => self.accum.flows_evicted_idle += 1,
@@ -446,9 +568,11 @@ impl Driver {
         self.summary.flows_closed += accum.flows_closed;
         self.summary.flows_evicted_idle += accum.flows_evicted_idle;
         self.summary.flows_shed += accum.flows_shed;
-        self.summary.flows_finalized += delta.flows_finalized;
+        self.summary.flows_finalized += accum.flows_finalized;
         self.summary.packets += accum.packets;
         self.summary.packets_late += accum.packets_late;
+        self.summary.promotions += accum.promotions;
+        self.summary.demotions += accum.demotions;
         self.summary.live_stalls += delta.live_stalls;
         self.summary.breakdown.merge(&delta.breakdown);
 
@@ -460,11 +584,15 @@ impl Driver {
             packets_skipped: skipped,
             packets_late: accum.packets_late,
             flows_opened: accum.flows_opened,
-            flows_finalized: delta.flows_finalized,
+            flows_finalized: accum.flows_finalized,
             flows_closed: accum.flows_closed,
             flows_evicted_idle: accum.flows_evicted_idle,
             flows_shed: accum.flows_shed,
             active_flows: self.map.len() as u64,
+            flows_light: (self.map.len() - self.heavy_active) as u64,
+            flows_heavy: self.heavy_active as u64,
+            promotions: accum.promotions,
+            demotions: accum.demotions,
             live_stalls: delta.live_stalls,
             breakdown: delta.breakdown,
             shard_occupancy: self.per_shard.then_some(occupancy),

@@ -1,0 +1,536 @@
+//! The light tier of two-phase flow monitoring: a struct-of-arrays flow
+//! table holding tens of bytes per flow, updated allocation-free on every
+//! packet.
+//!
+//! The paper's deployment target is a busy front-end with millions of
+//! concurrent connections; holding a full [`crate::StreamAnalyzer`] (segment
+//! histories, scoreboards, sample vectors) per flow does not scale there.
+//! Dapper-style two-phase monitoring does: every flow gets a compact
+//! always-on state block ([`LightTable`]) that tracks just enough TCP state
+//! to *suspect* trouble — an RFC 6298-style SRTT/RTO estimate from a single
+//! timing probe, last sequence/ack offsets, in-flight bytes, duplicate-ACK /
+//! retransmission / ACK-silence counters — and only suspicious flows are
+//! **promoted** to the heavy tier (a recycled full analyzer on a worker
+//! shard), carrying the light-tier estimates forward as a [`MonitorSeed`].
+//! Flows that go quiet again are **demoted** back with hysteresis.
+//!
+//! All decisions here are pure functions of the flow's own packet stream,
+//! so promotion and demotion are driver-serial and the live pipeline's
+//! reports stay byte-identical at any shard count.
+
+use tcp_trace::record::{Direction, TraceRecord};
+
+use crate::replay::ReplayConfig;
+
+/// Promotion/demotion thresholds for two-tier monitoring.
+///
+/// Present on [`crate::live::LiveConfig`] as `tier: Option<TierConfig>`;
+/// `None` keeps every flow heavy from admission (the offline-equivalent
+/// mode the differential tests rely on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierConfig {
+    /// Promote when this many duplicate ACKs accumulate with data
+    /// outstanding (a fast-retransmit-scale loss signal).
+    pub promote_dupacks: u32,
+    /// Promote on the Nth retransmission observed while light.
+    pub promote_retrans: u32,
+    /// Promote on the Nth ACK silence longer than the light-tier stall
+    /// threshold (`min(2·SRTT, RTO)`) with data outstanding.
+    pub promote_stalls: u32,
+    /// Demote a heavy flow after this many consecutive event-free packets
+    /// (hysteresis against pool thrash); `0` never demotes.
+    pub demote_streak: u32,
+    /// Hard cap on concurrently promoted (heavy) flows across all shards;
+    /// `0` is unbounded. Denied promotions retry on the next suspicious
+    /// packet, so a drained pool degrades coverage, not correctness.
+    pub heavy_max: usize,
+}
+
+impl Default for TierConfig {
+    fn default() -> Self {
+        TierConfig {
+            promote_dupacks: 3,
+            promote_retrans: 2,
+            promote_stalls: 1,
+            demote_streak: 256,
+            heavy_max: 4096,
+        }
+    }
+}
+
+/// Which tier a flow currently occupies — the per-flow monitoring state
+/// machine. Every tracked flow always has a light row; `Heavy` means a
+/// full [`crate::StreamAnalyzer`] is additionally live on a shard.
+///
+/// Transitions (driver-serial, so identical at any shard count):
+/// `Light → Heavy` when a [`LightTable`] heuristic flags suspicion (and the
+/// heavy pool has room), seeding the analyzer with a [`MonitorSeed`];
+/// `Heavy → Light` after [`TierConfig::demote_streak`] event-free packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowMonitor {
+    /// Compact always-on state only; no analyzer allocated.
+    Light,
+    /// Escalated: a recycled heavy analyzer tracks the flow on its shard.
+    Heavy,
+}
+
+impl FlowMonitor {
+    /// True in the heavy (escalated) state.
+    pub fn is_heavy(self) -> bool {
+        matches!(self, FlowMonitor::Heavy)
+    }
+}
+
+/// Light-tier estimates carried into a promoted analyzer so mid-flow
+/// escalation starts from the flow's actual state instead of a cold boot:
+/// the RTT estimate keeps the stall threshold meaningful from the first
+/// post-promotion gap, and the stream offsets let re-sent pre-promotion
+/// segments classify as retransmissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorSeed {
+    /// Smoothed RTT in microseconds; meaningful only when `has_rtt`.
+    pub srtt_us: u32,
+    /// RTT variance in microseconds; meaningful only when `has_rtt`.
+    pub rttvar_us: u32,
+    /// Whether the single-probe estimator has produced a sample yet.
+    pub has_rtt: bool,
+    /// Highest cumulative ACK seen from the client.
+    pub snd_una: u64,
+    /// Highest stream offset sent by the server.
+    pub snd_nxt: u64,
+    /// Last advertised receive window.
+    pub last_rwnd: u64,
+    /// Receive window from the client's first packet, if seen.
+    pub init_rwnd: Option<u64>,
+    /// Whether a non-SYN packet has been seen (the replay's `established`).
+    pub established: bool,
+    /// Whether any inbound ACK advertised a zero window.
+    pub zero_rwnd_seen: bool,
+}
+
+/// What the light tier concluded from one packet.
+#[derive(Debug, Clone, Copy)]
+pub struct Verdict {
+    /// A promotion heuristic crossed its threshold on this packet.
+    pub suspicious: bool,
+    /// Consecutive event-free packets ending here (hysteresis input; an
+    /// "event" is any dup-ACK, retransmission, over-threshold silence or
+    /// zero-window, even below its promotion threshold).
+    pub calm_streak: u32,
+}
+
+/// Packed per-flow event flags (one byte per flow).
+mod flag {
+    pub const ESTABLISHED: u8 = 1 << 0;
+    pub const HAS_RTT: u8 = 1 << 1;
+    pub const PROBE_ARMED: u8 = 1 << 2;
+    pub const INIT_RWND: u8 = 1 << 3;
+    pub const ZERO_WND: u8 = 1 << 4;
+    pub const HAS_LAST_T: u8 = 1 << 5;
+}
+
+/// The light tier itself: a struct-of-arrays table indexed by the driver's
+/// slot number, so rows recycle exactly like driver slots and the per-flow
+/// cost is [`LightTable::BYTES_PER_FLOW`] regardless of flow history.
+///
+/// Every update is allocation-free (the arrays grow only when the driver
+/// grows its slot table, i.e. at the concurrent-flow high-water mark).
+#[derive(Debug, Default)]
+pub struct LightTable {
+    min_rto_us: u32,
+    max_rto_us: u32,
+    initial_rto_us: u32,
+
+    snd_una: Vec<u64>,
+    snd_nxt: Vec<u64>,
+    probe_end: Vec<u64>,
+    probe_t_us: Vec<u64>,
+    last_t_us: Vec<u64>,
+    srtt_us: Vec<u32>,
+    rttvar_us: Vec<u32>,
+    last_rwnd: Vec<u32>,
+    init_rwnd: Vec<u32>,
+    dupacks: Vec<u16>,
+    retrans: Vec<u16>,
+    stall_strikes: Vec<u16>,
+    calm_streak: Vec<u32>,
+    flags: Vec<u8>,
+}
+
+impl LightTable {
+    /// Bytes of column storage per flow row (the light tier's memory cost;
+    /// asserted small by the unit tests — "tens of bytes per flow").
+    pub const BYTES_PER_FLOW: usize = 5 * 8 + 4 * 4 + 3 * 2 + 4 + 1;
+
+    /// A table deriving its RTO clamps from the analyzer's replay config,
+    /// so the light stall threshold approximates the heavy one.
+    pub fn new(cfg: ReplayConfig) -> Self {
+        let us = |d: simnet::time::SimDuration| d.as_micros().min(u32::MAX as u64) as u32;
+        LightTable {
+            min_rto_us: us(cfg.min_rto),
+            max_rto_us: us(cfg.max_rto),
+            initial_rto_us: us(cfg.initial_rto),
+            ..Default::default()
+        }
+    }
+
+    /// Reset slot `slot` for a newly admitted flow, growing the columns if
+    /// the driver grew its slot table.
+    pub fn init(&mut self, slot: u32) {
+        let i = slot as usize;
+        if i >= self.flags.len() {
+            let n = i + 1;
+            self.snd_una.resize(n, 0);
+            self.snd_nxt.resize(n, 0);
+            self.probe_end.resize(n, 0);
+            self.probe_t_us.resize(n, 0);
+            self.last_t_us.resize(n, 0);
+            self.srtt_us.resize(n, 0);
+            self.rttvar_us.resize(n, 0);
+            self.last_rwnd.resize(n, 0);
+            self.init_rwnd.resize(n, 0);
+            self.dupacks.resize(n, 0);
+            self.retrans.resize(n, 0);
+            self.stall_strikes.resize(n, 0);
+            self.calm_streak.resize(n, 0);
+            self.flags.resize(n, 0);
+        } else {
+            self.snd_una[i] = 0;
+            self.snd_nxt[i] = 0;
+            self.probe_end[i] = 0;
+            self.probe_t_us[i] = 0;
+            self.last_t_us[i] = 0;
+            self.srtt_us[i] = 0;
+            self.rttvar_us[i] = 0;
+            self.last_rwnd[i] = 0;
+            self.init_rwnd[i] = 0;
+            self.dupacks[i] = 0;
+            self.retrans[i] = 0;
+            self.stall_strikes[i] = 0;
+            self.calm_streak[i] = 0;
+            self.flags[i] = 0;
+        }
+    }
+
+    /// Clear the sticky suspicion counters after a demotion, so the flow
+    /// must accumulate *fresh* evidence before it is promoted again —
+    /// without this, one historical retransmission burst would re-promote
+    /// on the very next packet and thrash the heavy pool.
+    pub fn rearm(&mut self, slot: u32) {
+        let i = slot as usize;
+        self.dupacks[i] = 0;
+        self.retrans[i] = 0;
+        self.stall_strikes[i] = 0;
+        self.calm_streak[i] = 0;
+        self.flags[i] &= !flag::ZERO_WND;
+    }
+
+    fn rto_us(&self, i: usize) -> u32 {
+        if self.flags[i] & flag::HAS_RTT == 0 {
+            return self.initial_rto_us;
+        }
+        let var4 = self.rttvar_us[i].saturating_mul(4).max(self.min_rto_us);
+        self.srtt_us[i].saturating_add(var4).min(self.max_rto_us)
+    }
+
+    /// The light stall threshold, mirroring `Replay::stall_threshold`:
+    /// `min(2·SRTT, RTO)`, or the initial RTO before any RTT sample.
+    fn stall_threshold_us(&self, i: usize) -> u64 {
+        if self.flags[i] & flag::HAS_RTT == 0 {
+            return self.initial_rto_us as u64;
+        }
+        let twice = self.srtt_us[i].saturating_mul(2);
+        twice.min(self.rto_us(i)) as u64
+    }
+
+    /// Fold one translated record into slot `slot`'s row and report whether
+    /// a promotion heuristic fired. `t_us` is the capture timestamp.
+    pub fn update(
+        &mut self,
+        slot: u32,
+        rec: &TraceRecord,
+        t_us: u64,
+        tier: &TierConfig,
+    ) -> Verdict {
+        let i = slot as usize;
+        let mut event = false;
+        let mut suspicious = false;
+
+        // RTO-scale ACK silence: the previous packet left data in flight
+        // and this one arrives after more than the light stall threshold.
+        if self.flags[i] & (flag::ESTABLISHED | flag::HAS_LAST_T)
+            == (flag::ESTABLISHED | flag::HAS_LAST_T)
+            && self.snd_nxt[i] > self.snd_una[i]
+        {
+            let gap = t_us.saturating_sub(self.last_t_us[i]);
+            if gap > self.stall_threshold_us(i) {
+                self.stall_strikes[i] = self.stall_strikes[i].saturating_add(1);
+                event = true;
+                if u32::from(self.stall_strikes[i]) >= tier.promote_stalls {
+                    suspicious = true;
+                }
+            }
+        }
+
+        match rec.dir {
+            Direction::Out if rec.has_data() => {
+                if rec.seq < self.snd_nxt[i] {
+                    // Retransmission (mirrors the replay's test). Karn:
+                    // an armed probe can no longer yield a clean sample.
+                    self.retrans[i] = self.retrans[i].saturating_add(1);
+                    self.flags[i] &= !flag::PROBE_ARMED;
+                    event = true;
+                    if u32::from(self.retrans[i]) >= tier.promote_retrans {
+                        suspicious = true;
+                    }
+                } else {
+                    if self.flags[i] & flag::PROBE_ARMED == 0 {
+                        self.flags[i] |= flag::PROBE_ARMED;
+                        self.probe_end[i] = rec.seq_end();
+                        self.probe_t_us[i] = t_us;
+                    }
+                    self.snd_nxt[i] = rec.seq_end();
+                }
+            }
+            Direction::In => {
+                if self.flags[i] & flag::INIT_RWND == 0 {
+                    self.flags[i] |= flag::INIT_RWND;
+                    self.init_rwnd[i] = rec.rwnd.min(u32::MAX as u64) as u32;
+                }
+                self.last_rwnd[i] = rec.rwnd.min(u32::MAX as u64) as u32;
+                if rec.ack > self.snd_una[i] {
+                    self.snd_una[i] = rec.ack;
+                    self.dupacks[i] = 0;
+                    if self.flags[i] & flag::PROBE_ARMED != 0 && rec.ack >= self.probe_end[i] {
+                        self.flags[i] &= !flag::PROBE_ARMED;
+                        self.observe_rtt(i, t_us.saturating_sub(self.probe_t_us[i]));
+                    }
+                } else if rec.ack == self.snd_una[i]
+                    && !rec.has_data()
+                    && !rec.flags.syn
+                    && !rec.flags.fin
+                    && !rec.flags.rst
+                    && self.snd_nxt[i] > self.snd_una[i]
+                {
+                    self.dupacks[i] = self.dupacks[i].saturating_add(1);
+                    event = true;
+                    if u32::from(self.dupacks[i]) >= tier.promote_dupacks {
+                        suspicious = true;
+                    }
+                }
+                if rec.rwnd == 0 && !rec.flags.rst {
+                    // Zero-window advertisements promote unconditionally.
+                    self.flags[i] |= flag::ZERO_WND;
+                    event = true;
+                    suspicious = true;
+                }
+            }
+            _ => {}
+        }
+
+        if !rec.flags.syn {
+            self.flags[i] |= flag::ESTABLISHED;
+        }
+        self.last_t_us[i] = t_us;
+        self.flags[i] |= flag::HAS_LAST_T;
+        self.calm_streak[i] = if event {
+            0
+        } else {
+            self.calm_streak[i].saturating_add(1)
+        };
+        Verdict {
+            suspicious,
+            calm_streak: self.calm_streak[i],
+        }
+    }
+
+    fn observe_rtt(&mut self, i: usize, rtt_us: u64) {
+        let rtt = rtt_us.min(u32::MAX as u64) as u32;
+        if self.flags[i] & flag::HAS_RTT == 0 {
+            self.flags[i] |= flag::HAS_RTT;
+            self.srtt_us[i] = rtt;
+            self.rttvar_us[i] = rtt / 2;
+        } else {
+            let srtt = self.srtt_us[i];
+            let err = srtt.abs_diff(rtt);
+            self.rttvar_us[i] = (self.rttvar_us[i] / 4).saturating_mul(3) + err / 4;
+            self.srtt_us[i] = (srtt / 8).saturating_mul(7) + rtt / 8;
+        }
+    }
+
+    /// Snapshot slot `slot`'s estimates for seeding a promoted analyzer.
+    /// Taken *after* the triggering record updated the row, which is why
+    /// the driver does not replay that record into the fresh analyzer.
+    pub fn seed(&self, slot: u32) -> MonitorSeed {
+        let i = slot as usize;
+        MonitorSeed {
+            srtt_us: self.srtt_us[i],
+            rttvar_us: self.rttvar_us[i],
+            has_rtt: self.flags[i] & flag::HAS_RTT != 0,
+            snd_una: self.snd_una[i],
+            snd_nxt: self.snd_nxt[i],
+            last_rwnd: self.last_rwnd[i] as u64,
+            init_rwnd: (self.flags[i] & flag::INIT_RWND != 0).then_some(self.init_rwnd[i] as u64),
+            established: self.flags[i] & flag::ESTABLISHED != 0,
+            zero_rwnd_seen: self.flags[i] & flag::ZERO_WND != 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::time::SimTime;
+    use tcp_trace::record::{SegFlags, TraceRecord};
+
+    fn table() -> LightTable {
+        let mut t = LightTable::new(ReplayConfig::default());
+        t.init(0);
+        t
+    }
+
+    fn out_data(t_ms: u64, seq: u64, len: u32) -> TraceRecord {
+        TraceRecord::data(
+            SimTime::from_millis(t_ms),
+            Direction::Out,
+            seq,
+            len,
+            0,
+            1 << 20,
+        )
+    }
+
+    fn in_ack(t_ms: u64, ack: u64) -> TraceRecord {
+        TraceRecord::pure_ack(SimTime::from_millis(t_ms), Direction::In, ack, 1 << 20)
+    }
+
+    fn upd(t: &mut LightTable, rec: &TraceRecord, cfg: &TierConfig) -> Verdict {
+        t.update(0, rec, rec.t.as_micros(), cfg)
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn row_fits_in_tens_of_bytes() {
+        assert!(
+            LightTable::BYTES_PER_FLOW <= 96,
+            "light row grew to {} bytes",
+            LightTable::BYTES_PER_FLOW
+        );
+    }
+
+    #[test]
+    fn probe_rtt_feeds_the_stall_threshold() {
+        let mut t = table();
+        let cfg = TierConfig::default();
+        upd(&mut t, &out_data(0, 0, 1000), &cfg);
+        upd(&mut t, &in_ack(50, 1000), &cfg); // 50 ms sample
+        let seed = t.seed(0);
+        assert!(seed.has_rtt);
+        assert_eq!(seed.srtt_us, 50_000);
+        assert_eq!(seed.rttvar_us, 25_000);
+        // Threshold = min(2·srtt, srtt + max(4·var, min_rto)) = 100 ms.
+        assert_eq!(t.stall_threshold_us(0), 100_000);
+    }
+
+    #[test]
+    fn dupack_burst_turns_suspicious_at_threshold() {
+        let mut t = table();
+        let cfg = TierConfig::default();
+        upd(&mut t, &out_data(0, 0, 3000), &cfg);
+        assert!(!upd(&mut t, &in_ack(10, 1000), &cfg).suspicious);
+        assert!(!upd(&mut t, &in_ack(11, 1000), &cfg).suspicious);
+        assert!(!upd(&mut t, &in_ack(12, 1000), &cfg).suspicious);
+        // Third duplicate of ack=1000 (dupacks reaches 3).
+        assert!(upd(&mut t, &in_ack(13, 1000), &cfg).suspicious);
+        // An advancing ACK clears the count.
+        assert!(!upd(&mut t, &in_ack(14, 3000), &cfg).suspicious);
+        assert_eq!(t.dupacks[0], 0);
+    }
+
+    #[test]
+    fn retransmission_and_zero_window_flag_suspicion() {
+        let mut t = table();
+        let cfg = TierConfig::default();
+        upd(&mut t, &out_data(0, 0, 1000), &cfg);
+        upd(&mut t, &out_data(1, 1000, 1000), &cfg);
+        // First re-send of old data: event, below the burst threshold.
+        assert!(!upd(&mut t, &out_data(2, 0, 1000), &cfg).suspicious);
+        assert!(upd(&mut t, &out_data(3, 0, 1000), &cfg).suspicious);
+        // Zero window promotes on sight.
+        let mut zw = in_ack(4, 1000);
+        zw.rwnd = 0;
+        let v = upd(&mut t, &zw, &cfg);
+        assert!(v.suspicious);
+        assert!(t.seed(0).zero_rwnd_seen);
+    }
+
+    #[test]
+    fn ack_silence_with_data_outstanding_strikes() {
+        let mut t = table();
+        let cfg = TierConfig::default();
+        upd(&mut t, &out_data(0, 0, 1000), &cfg);
+        upd(&mut t, &in_ack(50, 1000), &cfg); // srtt = 50 ms
+        upd(&mut t, &out_data(60, 1000, 1000), &cfg);
+        // 500 ms of silence with 1000 B in flight >> 100 ms threshold.
+        let v = upd(&mut t, &in_ack(560, 2000), &cfg);
+        assert!(v.suspicious, "promote_stalls defaults to 1");
+        // With nothing in flight, silence is idleness, not a stall.
+        let v = upd(&mut t, &out_data(5_000, 2000, 500), &cfg);
+        assert!(!v.suspicious);
+    }
+
+    #[test]
+    fn calm_streak_resets_on_events_and_rearm_clears_history() {
+        let mut t = table();
+        let cfg = TierConfig::default();
+        upd(&mut t, &out_data(0, 0, 2000), &cfg);
+        for n in 1..=5u64 {
+            let v = upd(&mut t, &in_ack(n, 1000), &cfg);
+            // First ack advances (streak continues); the rest are dups.
+            if n >= 2 {
+                assert_eq!(v.calm_streak, 0, "dupack is an event");
+            }
+        }
+        assert!(t.dupacks[0] >= 3);
+        t.rearm(0);
+        assert_eq!(t.dupacks[0], 0);
+        assert_eq!(t.stall_strikes[0], 0);
+        // Fresh evidence is required again after rearm.
+        assert!(!upd(&mut t, &in_ack(10, 1000), &cfg).suspicious);
+    }
+
+    #[test]
+    fn seed_reflects_offsets_after_the_trigger_record() {
+        let mut t = table();
+        let cfg = TierConfig::default();
+        let syn = TraceRecord {
+            flags: SegFlags::SYN,
+            ..in_ack(0, 0)
+        };
+        upd(&mut t, &syn, &cfg);
+        assert!(!t.seed(0).established, "SYN does not establish");
+        upd(&mut t, &out_data(10, 0, 1000), &cfg);
+        upd(&mut t, &out_data(11, 1000, 1000), &cfg);
+        upd(&mut t, &in_ack(60, 1000), &cfg);
+        let seed = t.seed(0);
+        assert!(seed.established);
+        assert_eq!(seed.snd_nxt, 2000);
+        assert_eq!(seed.snd_una, 1000);
+        assert_eq!(seed.init_rwnd, Some(1 << 20));
+        assert_eq!(seed.last_rwnd, 1 << 20);
+    }
+
+    #[test]
+    fn slot_rows_recycle_cleanly() {
+        let mut t = table();
+        let cfg = TierConfig::default();
+        upd(&mut t, &out_data(0, 0, 1000), &cfg);
+        upd(&mut t, &in_ack(50, 1000), &cfg);
+        t.init(0); // driver reuses the slot for a new flow
+        let seed = t.seed(0);
+        assert!(!seed.has_rtt);
+        assert_eq!(seed.snd_nxt, 0);
+        assert!(!seed.established);
+        assert_eq!(t.calm_streak[0], 0);
+    }
+}

@@ -103,6 +103,15 @@ pub struct IntervalReport {
     pub flows_shed: u64,
     /// Flows tracked at the end of the interval.
     pub active_flows: u64,
+    /// Of the active flows, those in the compact light tier (equals
+    /// `active_flows` minus `flows_heavy`; under always-heavy mode, 0).
+    pub flows_light: u64,
+    /// Of the active flows, those holding a full analyzer.
+    pub flows_heavy: u64,
+    /// Light→heavy escalations this interval.
+    pub promotions: u64,
+    /// Heavy→light hysteresis demotions this interval.
+    pub demotions: u64,
     /// Provisional stalls surfaced live by `StreamAnalyzer::push`.
     pub live_stalls: u64,
     /// Stall breakdown over the flows finalized in this interval.
@@ -143,6 +152,10 @@ impl IntervalReport {
             ("flows_evicted_idle", Json::from(self.flows_evicted_idle)),
             ("flows_shed", Json::from(self.flows_shed)),
             ("active_flows", Json::from(self.active_flows)),
+            ("flows_light", Json::from(self.flows_light)),
+            ("flows_heavy", Json::from(self.flows_heavy)),
+            ("promotions", Json::from(self.promotions)),
+            ("demotions", Json::from(self.demotions)),
             ("live_stalls", Json::from(self.live_stalls)),
             ("breakdown", breakdown_json(&self.breakdown)),
         ];
@@ -157,7 +170,8 @@ impl IntervalReport {
         let mut h = String::from(
             "interval,start_us,end_us,packets,pkts_per_sec,packets_skipped,\
              packets_late,flows_opened,flows_finalized,flows_closed,\
-             flows_evicted_idle,flows_shed,active_flows,live_stalls,\
+             flows_evicted_idle,flows_shed,active_flows,flows_light,\
+             flows_heavy,promotions,demotions,live_stalls,\
              stalls,stalled_us",
         );
         for c in StallClass::ALL {
@@ -169,7 +183,7 @@ impl IntervalReport {
     /// One CSV row (shard occupancy is JSON-only; CSV keeps a fixed width).
     pub fn to_csv_row(&self) -> String {
         let mut row = format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.interval,
             self.start_us,
             self.end_us,
@@ -183,6 +197,10 @@ impl IntervalReport {
             self.flows_evicted_idle,
             self.flows_shed,
             self.active_flows,
+            self.flows_light,
+            self.flows_heavy,
+            self.promotions,
+            self.demotions,
             self.live_stalls,
             self.breakdown.total_stalls,
             self.breakdown.total_stalled.as_micros(),
@@ -224,6 +242,16 @@ pub struct LiveSummary {
     pub live_stalls: u64,
     /// High-water mark of concurrently tracked flows.
     pub max_active_flows: u64,
+    /// Light→heavy escalations over the whole run.
+    pub promotions: u64,
+    /// Heavy→light hysteresis demotions over the whole run.
+    pub demotions: u64,
+    /// Suspicious flows left light because the heavy pool was at its cap
+    /// (they retry on their next suspicious packet).
+    pub promotions_denied: u64,
+    /// High-water mark of concurrently heavy flows (bounds analyzer-pool
+    /// memory; equals `max_active_flows` under always-heavy mode).
+    pub max_heavy_flows: u64,
     /// Aggregate stall breakdown over every finalized flow.
     pub breakdown: StallBreakdown,
     /// Per-flow analyses in open order — populated only under
@@ -252,8 +280,83 @@ impl LiveSummary {
             ("intervals", Json::from(self.intervals)),
             ("live_stalls", Json::from(self.live_stalls)),
             ("max_active_flows", Json::from(self.max_active_flows)),
+            ("promotions", Json::from(self.promotions)),
+            ("demotions", Json::from(self.demotions)),
+            ("promotions_denied", Json::from(self.promotions_denied)),
+            ("max_heavy_flows", Json::from(self.max_heavy_flows)),
             ("breakdown", breakdown_json(&self.breakdown)),
         ])
+    }
+
+    /// The fixed CSV header matching [`LiveSummary::to_csv_row`].
+    pub fn csv_header() -> String {
+        let mut h = String::from(
+            "flows_seen,flows_finalized,flows_closed,flows_evicted_idle,\
+             flows_shed,flows_eof,packets,packets_skipped,packets_late,\
+             records_truncated,intervals,live_stalls,max_active_flows,\
+             promotions,demotions,promotions_denied,max_heavy_flows,\
+             stalls,stalled_us",
+        );
+        for c in StallClass::ALL {
+            h.push_str(&format!(",{0}_n,{0}_us", class_slug(c)));
+        }
+        h
+    }
+
+    /// One CSV row (collected per-flow analyses are not serialized, as in
+    /// [`LiveSummary::to_json`]).
+    pub fn to_csv_row(&self) -> String {
+        let mut row = format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.flows_seen,
+            self.flows_finalized,
+            self.flows_closed,
+            self.flows_evicted_idle,
+            self.flows_shed,
+            self.flows_eof,
+            self.packets,
+            self.packets_skipped,
+            self.packets_late,
+            self.records_truncated,
+            self.intervals,
+            self.live_stalls,
+            self.max_active_flows,
+            self.promotions,
+            self.demotions,
+            self.promotions_denied,
+            self.max_heavy_flows,
+            self.breakdown.total_stalls,
+            self.breakdown.total_stalled.as_micros(),
+        );
+        for c in StallClass::ALL {
+            let (n, t) = self.breakdown.cause_stats(c);
+            row.push_str(&format!(",{},{}", n, t.as_micros()));
+        }
+        row
+    }
+}
+
+impl crate::sink::Record for IntervalReport {
+    fn header(&self) -> String {
+        IntervalReport::csv_header()
+    }
+    fn csv(&self) -> String {
+        self.to_csv_row()
+    }
+    fn json(&self) -> Json {
+        self.to_json()
+    }
+}
+
+impl crate::sink::Record for LiveSummary {
+    fn header(&self) -> String {
+        LiveSummary::csv_header()
+    }
+    fn csv(&self) -> String {
+        self.to_csv_row()
+    }
+    fn json(&self) -> Json {
+        self.to_json()
     }
 }
 
@@ -275,6 +378,10 @@ mod tests {
             flows_evicted_idle: 0,
             flows_shed: 0,
             active_flows: 7,
+            flows_light: 5,
+            flows_heavy: 2,
+            promotions: 1,
+            demotions: 0,
             live_stalls: 4,
             breakdown: StallBreakdown::default(),
             shard_occupancy: None,
@@ -314,6 +421,15 @@ mod tests {
         };
         let line = s.to_json().compact();
         assert!(line.contains("\"kind\":\"summary\""));
+        assert!(line.contains("\"max_heavy_flows\":0"));
         assert!(!line.contains("\"flows\":["));
+    }
+
+    #[test]
+    fn summary_csv_row_matches_header_width() {
+        let header = LiveSummary::csv_header();
+        let row = LiveSummary::default().to_csv_row();
+        assert_eq!(header.split(',').count(), row.split(',').count());
+        assert!(header.starts_with("flows_seen,flows_finalized"));
     }
 }

@@ -13,6 +13,7 @@ use std::sync::mpsc::{Receiver, Sender};
 
 use tcp_trace::record::TraceRecord;
 
+use crate::live::MonitorSeed;
 use crate::report::StallBreakdown;
 use crate::{AnalyzerConfig, FlowAnalysis};
 
@@ -23,6 +24,10 @@ pub enum Directive {
     Open {
         /// Global flow id (monotone across the whole run).
         uid: u64,
+        /// Light-tier estimates to adopt as the starting state — `Some`
+        /// when this open is a *promotion* partway through the flow,
+        /// `None` for an always-heavy open at the first packet.
+        seed: Option<MonitorSeed>,
     },
     /// Feed one translated record to a tracked flow.
     Rec {
@@ -33,6 +38,13 @@ pub enum Directive {
     },
     /// Finalize a flow: fold its analysis into the current interval delta.
     Close {
+        /// Target flow.
+        uid: u64,
+    },
+    /// Demote a flow back to the light tier: fold what the analyzer saw
+    /// into the breakdown and recycle it, but do *not* count a
+    /// finalization — the flow is still live, just cheaply monitored.
+    Demote {
         /// Target flow.
         uid: u64,
     },
@@ -48,10 +60,10 @@ pub enum Directive {
 /// at any shard count.
 #[derive(Debug, Default, Clone)]
 pub struct IntervalDelta {
-    /// Stall breakdown over the flows *finalized* in this interval.
+    /// Stall breakdown over the flows finalized *or demoted* in this
+    /// interval (finalization counts themselves live in the driver, which
+    /// sees every finalize whether the flow was light or heavy).
     pub breakdown: StallBreakdown,
-    /// Flows finalized in this interval.
-    pub flows_finalized: u64,
     /// Provisional stalls surfaced by `StreamAnalyzer::push` (live early
     /// warning — final causes may differ once flows complete).
     pub live_stalls: u64,
@@ -61,7 +73,6 @@ impl IntervalDelta {
     /// Fold another delta in (order-insensitive).
     pub fn merge(&mut self, other: &IntervalDelta) {
         self.breakdown.merge(&other.breakdown);
-        self.flows_finalized += other.flows_finalized;
         self.live_stalls += other.live_stalls;
     }
 }
@@ -99,17 +110,18 @@ pub fn shard_worker(
     while let Ok(batch) = rx.recv() {
         for d in batch {
             match d {
-                Directive::Open { uid } => {
+                Directive::Open { uid, seed } => {
                     let idx = match free.pop() {
-                        Some(i) => {
-                            pool[i].reset_for(cfg);
-                            i
-                        }
+                        Some(i) => i,
                         None => {
                             pool.push(crate::StreamAnalyzer::new(cfg));
                             pool.len() - 1
                         }
                     };
+                    match seed {
+                        Some(s) => pool[idx].reset_seeded(cfg, &s),
+                        None => pool[idx].reset_for(cfg),
+                    }
                     let prev = flows.insert(uid, idx);
                     debug_assert!(prev.is_none(), "uid reused while open");
                 }
@@ -124,10 +136,21 @@ pub fn shard_worker(
                     if let Some(idx) = flows.remove(&uid) {
                         let analysis = pool[idx].finish_reset();
                         delta.breakdown.add_flow(&analysis);
-                        delta.flows_finalized += 1;
                         if collect {
                             collected.push((uid, analysis));
                         }
+                        free.push(idx);
+                    }
+                }
+                Directive::Demote { uid } => {
+                    if let Some(idx) = flows.remove(&uid) {
+                        // The heavy-tier episode's stalls are real and
+                        // already reported live; fold them so demotion
+                        // never loses diagnosed intervals. The flow itself
+                        // stays open (driver-side, light tier), so this is
+                        // not a finalization and is never collected.
+                        let analysis = pool[idx].finish_reset();
+                        delta.breakdown.add_flow(&analysis);
                         free.push(idx);
                     }
                 }

@@ -89,6 +89,10 @@ impl MiniRtt {
             Some(s) => (s + (self.rttvar * 4).max(self.cfg.min_rto)).min(self.cfg.max_rto),
         }
     }
+    fn seed(&mut self, srtt: SimDuration, rttvar: SimDuration) {
+        self.srtt = Some(srtt);
+        self.rttvar = rttvar;
+    }
 }
 
 /// How a retransmission was (estimated to be) triggered.
@@ -430,6 +434,31 @@ impl Replay {
         self.responses.clear();
         self.zero_rwnd_seen = false;
         self.synack_at = None;
+    }
+
+    /// Adopt light-tier estimates as the starting point of a freshly reset
+    /// reconstruction — the mid-flow promotion path of two-tier monitoring.
+    ///
+    /// The stream offsets, RTT estimate and window state carry over, so the
+    /// stall threshold is meaningful from the first post-promotion gap and
+    /// a re-sent pre-promotion segment (below the seeded `snd_nxt`) counts
+    /// as a retransmission through the existing history-miss path.
+    /// Per-segment history and the scoreboard start empty: segments that
+    /// were in flight at promotion retire silently as their ACKs arrive.
+    pub fn seed(&mut self, seed: &crate::live::MonitorSeed) {
+        self.snd_una = seed.snd_una;
+        self.snd_nxt = seed.snd_nxt;
+        self.high_seq = seed.snd_nxt;
+        self.last_rwnd = seed.last_rwnd;
+        self.init_rwnd = seed.init_rwnd;
+        self.established = seed.established;
+        self.zero_rwnd_seen = seed.zero_rwnd_seen;
+        if seed.has_rtt {
+            self.rtt.seed(
+                SimDuration::from_micros(seed.srtt_us as u64),
+                SimDuration::from_micros(seed.rttvar_us as u64),
+            );
+        }
     }
 
     // ------------------------------------------------------- observation

@@ -1,0 +1,163 @@
+//! Fixed-shape report emission: one sink API over the JSON-lines and CSV
+//! renderings every TAPO pipeline emits.
+//!
+//! The live daemon's interval reports, its end-of-run summary, and the
+//! offline `repro`/`validate` tables all share the same contract: a stable
+//! header, rows that always carry the full column set (zero when idle),
+//! and a one-object-per-line JSON alternative — so downstream tooling
+//! ingests them without schema discovery and CI can diff them bytewise.
+//! [`ReportSink`] is that contract as a trait; [`JsonLinesSink`] and
+//! [`CsvSink`] are the two concrete writers, replacing the parallel ad-hoc
+//! `println!`/`write!` paths that used to live in each binary.
+
+use std::io::{self, Write};
+
+use crate::json::Json;
+
+/// One fixed-shape record: a stable CSV header, one rendered CSV row, and
+/// the same data as a single JSON object.
+///
+/// Implementations must keep all three shapes *fixed*: the header never
+/// depends on the record's values, and every column/key is always present.
+pub trait Record {
+    /// The stable column header for this record type.
+    fn header(&self) -> String;
+    /// This record as one CSV row matching [`Record::header`]. Cells
+    /// needing quoting must already be escaped (see [`csv_escape`]).
+    fn csv(&self) -> String;
+    /// This record as one JSON object.
+    fn json(&self) -> Json;
+}
+
+/// Where fixed-shape records go. Implementations decide the rendering;
+/// callers just [`ReportSink::emit`] each record as it is produced.
+pub trait ReportSink {
+    /// Emit one record.
+    fn emit(&mut self, rec: &dyn Record) -> io::Result<()>;
+    /// Flush any buffered output (call once after the last record).
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// JSON-lines: each record rendered as one compact JSON object per line.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// A sink writing JSON-lines to `out`.
+    pub fn new(out: W) -> Self {
+        JsonLinesSink { out }
+    }
+}
+
+impl<W: Write> ReportSink for JsonLinesSink<W> {
+    fn emit(&mut self, rec: &dyn Record) -> io::Result<()> {
+        writeln!(self.out, "{}", rec.json().compact())
+    }
+    fn finish(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// CSV: the header once (from the first record), then one row per record.
+#[derive(Debug)]
+pub struct CsvSink<W: Write> {
+    out: W,
+    header_written: bool,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// A sink writing CSV to `out`; the header is taken from the first
+    /// emitted record.
+    pub fn new(out: W) -> Self {
+        CsvSink {
+            out,
+            header_written: false,
+        }
+    }
+
+    /// Write `header` now instead of waiting for the first record — for
+    /// streaming consumers that want the schema even if no record ever
+    /// arrives (e.g. an idle capture).
+    pub fn write_header(&mut self, header: &str) -> io::Result<()> {
+        self.header_written = true;
+        writeln!(self.out, "{header}")
+    }
+}
+
+impl<W: Write> ReportSink for CsvSink<W> {
+    fn emit(&mut self, rec: &dyn Record) -> io::Result<()> {
+        if !self.header_written {
+            self.header_written = true;
+            writeln!(self.out, "{}", rec.header())?;
+        }
+        writeln!(self.out, "{}", rec.csv())
+    }
+    fn finish(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Quote a CSV cell if (and only if) it needs it — commas or quotes inside
+/// the value. Numeric counter rows never need this; free-text table cells
+/// (the `repro` tables) do.
+pub fn csv_escape(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Row(u64);
+    impl Record for Row {
+        fn header(&self) -> String {
+            "a,b".into()
+        }
+        fn csv(&self) -> String {
+            format!("{},{}", self.0, self.0 * 2)
+        }
+        fn json(&self) -> Json {
+            Json::obj([("a", Json::from(self.0)), ("b", Json::from(self.0 * 2))])
+        }
+    }
+
+    #[test]
+    fn csv_sink_writes_header_once() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = CsvSink::new(&mut buf);
+            sink.emit(&Row(1)).unwrap();
+            sink.emit(&Row(2)).unwrap();
+            sink.finish().unwrap();
+        }
+        assert_eq!(String::from_utf8(buf).unwrap(), "a,b\n1,2\n2,4\n");
+    }
+
+    #[test]
+    fn json_lines_sink_writes_one_object_per_line() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = JsonLinesSink::new(&mut buf);
+            sink.emit(&Row(1)).unwrap();
+            sink.emit(&Row(2)).unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.starts_with("{\"a\":1,\"b\":2}\n"));
+    }
+
+    #[test]
+    fn escape_quotes_only_when_needed() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

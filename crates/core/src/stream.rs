@@ -117,6 +117,18 @@ impl StreamAnalyzer {
         self.time_regressions = 0;
     }
 
+    /// Rewind like [`StreamAnalyzer::reset_for`], then adopt light-tier
+    /// estimates ([`crate::live::MonitorSeed`]) as the starting state — the
+    /// promotion path of two-tier monitoring. The seeded SRTT keeps the
+    /// stall threshold meaningful from the first post-promotion gap
+    /// (instead of falling back to the initial RTO), and the seeded stream
+    /// offsets make re-sent pre-promotion segments classify as
+    /// retransmissions.
+    pub fn reset_seeded(&mut self, cfg: AnalyzerConfig, seed: &crate::live::MonitorSeed) {
+        self.reset_for(cfg);
+        self.replay.seed(seed);
+    }
+
     /// Close the flow and produce the full (offline-equivalent) analysis.
     pub fn finish(mut self) -> FlowAnalysis {
         self.finish_reset()
@@ -309,6 +321,65 @@ mod tests {
         assert_eq!(streamed.time_regressions, 1);
         assert_eq!(streamed.stalls, offline_dirty.stalls);
         assert_eq!(streamed.metrics, offline_dirty.metrics);
+    }
+
+    #[test]
+    fn seeded_analyzer_keeps_the_light_tiers_stall_threshold() {
+        // A promoted flow's first post-promotion gap must be judged by the
+        // light tier's RTT estimate, not the initial RTO. Seed 50 ms SRTT:
+        // threshold = min(2·SRTT, RTO) = 100 ms, so a 150 ms ACK silence
+        // with data in flight is a stall. A cold (unseeded) analyzer has
+        // no sample yet and falls back to the 1 s initial RTO — the same
+        // gap passes unnoticed there.
+        let seed = crate::live::MonitorSeed {
+            srtt_us: 50_000,
+            rttvar_us: 25_000,
+            has_rtt: true,
+            snd_una: 1000,
+            snd_nxt: 2000,
+            last_rwnd: 1 << 20,
+            init_rwnd: Some(1 << 20),
+            established: true,
+            zero_rwnd_seen: true,
+        };
+        let post = [
+            TraceRecord::data(
+                SimTime::from_millis(0),
+                Direction::Out,
+                2000,
+                1000,
+                0,
+                1 << 20,
+            ),
+            TraceRecord::pure_ack(SimTime::from_millis(150), Direction::In, 3000, 1 << 20),
+        ];
+
+        let mut seeded = StreamAnalyzer::new(AnalyzerConfig::default());
+        seeded.reset_seeded(AnalyzerConfig::default(), &seed);
+        let mut live = Vec::new();
+        for rec in &post {
+            if let Some(s) = seeded.push(rec) {
+                live.push(s);
+            }
+        }
+        assert_eq!(live.len(), 1, "the seeded threshold must flag the gap");
+        assert_eq!(live[0].duration, SimDuration::from_millis(150));
+        let analysis = seeded.finish();
+        assert_eq!(analysis.stalls.len(), 1);
+        assert!(
+            analysis.zero_rwnd_seen,
+            "light-tier zero-window history survives promotion"
+        );
+        assert_eq!(analysis.init_rwnd, Some(1 << 20));
+
+        let mut cold = StreamAnalyzer::new(AnalyzerConfig::default());
+        for rec in &post {
+            assert!(
+                cold.push(rec).is_none(),
+                "the initial-RTO threshold must not flag a 150 ms gap"
+            );
+        }
+        assert_eq!(cold.finish().stalls.len(), 0);
     }
 
     #[test]

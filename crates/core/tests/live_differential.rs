@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use simnet::time::SimDuration;
-use tapo::live::{self, LiveConfig};
+use tapo::live::{self, LiveConfig, TierConfig};
 use tapo::{analyze_flow, AnalyzerConfig, FlowAnalysis};
 use tcp_trace::flow::FlowKey;
 use tcp_trace::pcap::PcapReader;
@@ -119,4 +119,43 @@ fn reports_are_byte_identical_across_shards_even_when_shedding() {
     }
     assert_eq!(rendered[0], rendered[1], "1 vs 2 shards");
     assert_eq!(rendered[0], rendered[2], "1 vs 4 shards");
+}
+
+/// Two-tier mode must keep the byte-identity invariant: promotion and
+/// demotion decisions live in the serial driver, so the report stream —
+/// including the new `flows_light`/`flows_heavy`/`promotions`/`demotions`
+/// fields — cannot depend on the shard count.
+#[test]
+fn two_tier_reports_are_byte_identical_across_shards() {
+    let capture = interleaved_capture();
+    let mut rendered: Vec<String> = Vec::new();
+    let mut promotions = 0;
+    for shards in [1usize, 2, 4] {
+        let cfg = LiveConfig {
+            shards,
+            interval: SimDuration::from_millis(500),
+            tier: Some(TierConfig {
+                demote_streak: 32, // short capture: make demotion reachable
+                ..TierConfig::default()
+            }),
+            ..Default::default()
+        };
+        let mut lines = String::new();
+        let summary = live::run(&capture[..], &cfg, |r| {
+            lines.push_str(&r.to_json().compact());
+            lines.push('\n');
+            lines.push_str(&r.to_csv_row());
+            lines.push('\n');
+        })
+        .expect("live run succeeds");
+        promotions = summary.promotions;
+        lines.push_str(&summary.to_json().compact());
+        rendered.push(lines);
+    }
+    assert!(
+        promotions > 0,
+        "capture must exercise promotion for the invariant to mean anything"
+    );
+    assert_eq!(rendered[0], rendered[1], "two-tier 1 vs 2 shards");
+    assert_eq!(rendered[0], rendered[2], "two-tier 1 vs 4 shards");
 }

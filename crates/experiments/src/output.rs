@@ -6,6 +6,40 @@ use std::io;
 use std::path::Path;
 
 use tapo::json::Json;
+use tapo::sink::{csv_escape, CsvSink, Record, ReportSink};
+
+/// One table row as a fixed-shape [`Record`], so tables flow through the
+/// same [`ReportSink`] API as the live daemon's interval reports.
+struct TableRow<'a> {
+    header: &'a [String],
+    cells: &'a [String],
+}
+
+impl Record for TableRow<'_> {
+    fn header(&self) -> String {
+        self.header
+            .iter()
+            .map(|c| csv_escape(c))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+    fn csv(&self) -> String {
+        self.cells
+            .iter()
+            .map(|c| csv_escape(c))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+    fn json(&self) -> Json {
+        Json::Obj(
+            self.header
+                .iter()
+                .zip(self.cells)
+                .map(|(h, c)| (h.clone(), Json::from(c.clone())))
+                .collect(),
+        )
+    }
+}
 
 /// A reproduced table.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,34 +96,26 @@ impl Table {
         out
     }
 
-    /// Write as CSV to `dir/<id>.csv`.
+    /// Write as CSV to `dir/<id>.csv`, through the shared
+    /// [`tapo::sink::ReportSink`] API (the same path the live daemon's
+    /// reports take, so escaping and shape rules cannot drift).
     pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        let mut s = String::new();
-        let esc = |c: &str| {
-            if c.contains(',') || c.contains('"') {
-                format!("\"{}\"", c.replace('"', "\"\""))
-            } else {
-                c.to_string()
-            }
+        let file = std::fs::File::create(dir.join(format!("{}.csv", self.id)))?;
+        let mut sink = CsvSink::new(io::BufWriter::new(file));
+        let schema = TableRow {
+            header: &self.header,
+            cells: &self.header,
         };
-        let _ = writeln!(
-            s,
-            "{}",
-            self.header
-                .iter()
-                .map(|c| esc(c))
-                .collect::<Vec<_>>()
-                .join(",")
-        );
+        // Eager header: an empty table still documents its schema.
+        sink.write_header(&Record::header(&schema))?;
         for row in &self.rows {
-            let _ = writeln!(
-                s,
-                "{}",
-                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
-            );
+            sink.emit(&TableRow {
+                header: &self.header,
+                cells: row,
+            })?;
         }
-        std::fs::write(dir.join(format!("{}.csv", self.id)), s)
+        sink.finish()
     }
 
     /// The table as a JSON value (for `repro --json`).

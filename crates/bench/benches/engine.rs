@@ -127,6 +127,8 @@ struct LiveRun {
     max_heavy_flows: u64,
     peak_rss_bytes: u64,
     cap: usize,
+    batch_size: u64,
+    wall_secs: f64,
 }
 
 /// Stream the capture at `path` through `tapo::live::run` under `cfg` and
@@ -158,6 +160,8 @@ fn live_phase(path: &Path, cfg: &LiveConfig, cap: usize) -> std::io::Result<()> 
             Json::Int(peak_rss_bytes().unwrap_or(0) as i64),
         ),
         ("max_flows_cap", Json::Int(cap as i64)),
+        ("batch_size", Json::Int(cfg.batch as i64)),
+        ("wall_secs", Json::Num(secs)),
     ]);
     println!("{}", doc.compact());
     Ok(())
@@ -245,6 +249,8 @@ fn parse_live(text: &str, cap: usize) -> LiveRun {
         max_heavy_flows: field("max_heavy_flows") as u64,
         peak_rss_bytes: field("peak_rss_bytes") as u64,
         cap,
+        batch_size: field("batch_size") as u64,
+        wall_secs: field("wall_secs"),
     }
 }
 
@@ -527,6 +533,8 @@ fn main() {
                 ("flows_shed", Json::Int(live.flows_shed as i64)),
                 ("max_active_flows", Json::Int(live.max_active_flows as i64)),
                 ("max_flows_cap", Json::Int(live.cap as i64)),
+                ("batch_size", Json::Int(live.batch_size as i64)),
+                ("wall_secs", Json::Num(live.wall_secs)),
                 ("peak_rss_bytes", Json::Int(live.peak_rss_bytes as i64)),
             ]),
         ),
@@ -545,6 +553,8 @@ fn main() {
                 ("promotions", Json::Int(live_1m.promotions as i64)),
                 ("demotions", Json::Int(live_1m.demotions as i64)),
                 ("max_heavy_flows", Json::Int(live_1m.max_heavy_flows as i64)),
+                ("batch_size", Json::Int(live_1m.batch_size as i64)),
+                ("wall_secs", Json::Num(live_1m.wall_secs)),
                 ("peak_rss_bytes", Json::Int(live_1m.peak_rss_bytes as i64)),
             ]),
         ),

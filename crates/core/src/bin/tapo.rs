@@ -25,13 +25,16 @@
 //! per interval and a final summary:
 //!
 //! ```text
-//! tapo live <capture.pcap|-> [--shards N] [--interval MS] [--idle MS]
-//!           [--linger MS] [--max-flows N] [--promote N] [--demote N]
-//!           [--heavy-max N] [--per-shard] [--csv] [--pace X]
-//!           [--mss BYTES] [--dupthres N]
+//! tapo live <capture.pcap|-> [--shards N] [--batch N] [--ring N]
+//!           [--interval MS] [--idle MS] [--linger MS] [--max-flows N]
+//!           [--promote N] [--demote N] [--heavy-max N] [--per-shard]
+//!           [--csv] [--pace X] [--mss BYTES] [--dupthres N]
 //!
 //!   --shards N      worker shards (default 1; output is byte-identical
 //!                   at any shard count)
+//!   --batch N       ingestion batch size in packets (default 256; output
+//!                   is byte-identical at any batch size)
+//!   --ring N        driver→shard ring depth in batch buffers (default 8)
 //!   --interval MS   reporting interval in capture time   (default 1000)
 //!   --idle MS       idle-flow eviction timeout, 0 = off  (default 60000)
 //!   --linger MS     FIN/RST linger before finalize, 0 = off (default 1000)
@@ -199,8 +202,8 @@ fn main() -> ExitCode {
 }
 
 fn run_live(mut args: impl Iterator<Item = String>) -> ExitCode {
-    const USAGE: &str = "usage: tapo live <capture.pcap|-> [--shards N] [--interval MS] \
-         [--idle MS] [--linger MS] [--max-flows N] [--promote N] [--demote N] \
+    const USAGE: &str = "usage: tapo live <capture.pcap|-> [--shards N] [--batch N] [--ring N] \
+         [--interval MS] [--idle MS] [--linger MS] [--max-flows N] [--promote N] [--demote N] \
          [--heavy-max N] [--per-shard] [--csv] [--pace X] [--mss BYTES] [--dupthres N]";
     let mut input: Option<String> = None;
     let mut b = LiveConfig::builder();
@@ -214,6 +217,14 @@ fn run_live(mut args: impl Iterator<Item = String>) -> ExitCode {
             "--shards" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => b = b.shards(n),
                 None => return fail("--shards requires N"),
+            },
+            "--batch" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => b = b.batch(n),
+                None => return fail("--batch requires a packet count"),
+            },
+            "--ring" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => b = b.ring_depth(n),
+                None => return fail("--ring requires a buffer count"),
             },
             "--interval" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(ms) => b = b.interval_ms(ms),

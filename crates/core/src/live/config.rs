@@ -30,7 +30,21 @@ pub enum LiveConfigError {
     ZeroPromote,
     /// `demote`/`heavy_max` given without enabling promotion.
     TierKnobWithoutPromote(&'static str),
+    /// `batch` was 0 or above [`MAX_BATCH`] (carries the bad value).
+    BadBatch(usize),
+    /// `ring_depth` was 0 or above [`MAX_RING_DEPTH`] (carries the bad
+    /// value).
+    BadRingDepth(usize),
 }
+
+/// Upper bound on `--batch`: beyond this the staging arrays stop fitting
+/// in cache and interval cuts grow needlessly latent, so treat it as a
+/// typo rather than a tuning choice.
+pub const MAX_BATCH: usize = 1 << 16;
+
+/// Upper bound on `--ring`: each slot pins a recycled directive buffer of
+/// up to `batch` entries per shard, so absurd depths are a memory typo.
+pub const MAX_RING_DEPTH: usize = 1 << 12;
 
 impl fmt::Display for LiveConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -45,6 +59,12 @@ impl fmt::Display for LiveConfigError {
             LiveConfigError::ZeroPromote => write!(f, "--promote must be at least 1 dup-ACK"),
             LiveConfigError::TierKnobWithoutPromote(knob) => {
                 write!(f, "--{knob} requires --promote (two-tier mode is off)")
+            }
+            LiveConfigError::BadBatch(n) => {
+                write!(f, "--batch must be between 1 and {MAX_BATCH}, got {n}")
+            }
+            LiveConfigError::BadRingDepth(n) => {
+                write!(f, "--ring must be between 1 and {MAX_RING_DEPTH}, got {n}")
             }
         }
     }
@@ -73,6 +93,8 @@ pub struct LiveConfigBuilder {
     promote: Option<u32>,
     demote: Option<u32>,
     heavy_max: Option<usize>,
+    batch: usize,
+    ring_depth: usize,
 }
 
 impl Default for LiveConfigBuilder {
@@ -92,6 +114,8 @@ impl Default for LiveConfigBuilder {
             promote: None,
             demote: None,
             heavy_max: None,
+            batch: d.batch,
+            ring_depth: d.ring_depth,
         }
     }
 }
@@ -186,6 +210,21 @@ impl LiveConfigBuilder {
         self
     }
 
+    /// Ingestion batch size in packets (1..=[`MAX_BATCH`]). Batch size 1
+    /// degenerates to per-packet handoff; reports are byte-identical at
+    /// any batch size either way.
+    pub fn batch(mut self, n: usize) -> Self {
+        self.batch = n;
+        self
+    }
+
+    /// Depth of each driver→shard directive ring in batch buffers
+    /// (1..=[`MAX_RING_DEPTH`]).
+    pub fn ring_depth(mut self, n: usize) -> Self {
+        self.ring_depth = n;
+        self
+    }
+
     /// Validate every knob and the cross-field rules; on success the
     /// returned [`LiveConfig`] is coherent by construction.
     pub fn build(self) -> Result<LiveConfig, LiveConfigError> {
@@ -205,6 +244,12 @@ impl LiveConfigBuilder {
         }
         if self.dupthres == 0 {
             return Err(LiveConfigError::ZeroDupthres);
+        }
+        if self.batch == 0 || self.batch > MAX_BATCH {
+            return Err(LiveConfigError::BadBatch(self.batch));
+        }
+        if self.ring_depth == 0 || self.ring_depth > MAX_RING_DEPTH {
+            return Err(LiveConfigError::BadRingDepth(self.ring_depth));
         }
         let tier = match self.promote {
             Some(0) => return Err(LiveConfigError::ZeroPromote),
@@ -241,6 +286,8 @@ impl LiveConfigBuilder {
             per_shard_occupancy: self.per_shard,
             pace: self.pace,
             tier,
+            batch: self.batch,
+            ring_depth: self.ring_depth,
             ..LiveConfig::default()
         };
         cfg.analyzer.replay.mss = self.mss;
@@ -300,6 +347,52 @@ mod tests {
             .unwrap();
         assert!(cfg.idle_timeout.is_none());
         assert!(cfg.fin_linger.is_none());
+    }
+
+    #[test]
+    fn batch_and_ring_bounds_are_enforced() {
+        assert_eq!(
+            LiveConfigBuilder::new().batch(0).build().unwrap_err(),
+            LiveConfigError::BadBatch(0)
+        );
+        assert_eq!(
+            LiveConfigBuilder::new()
+                .batch(MAX_BATCH + 1)
+                .build()
+                .unwrap_err(),
+            LiveConfigError::BadBatch(MAX_BATCH + 1)
+        );
+        assert_eq!(
+            LiveConfigBuilder::new().ring_depth(0).build().unwrap_err(),
+            LiveConfigError::BadRingDepth(0)
+        );
+        assert_eq!(
+            LiveConfigBuilder::new()
+                .ring_depth(MAX_RING_DEPTH + 1)
+                .build()
+                .unwrap_err(),
+            LiveConfigError::BadRingDepth(MAX_RING_DEPTH + 1)
+        );
+        // Zero shards is caught before the batch knobs, even when both
+        // are bad — the shard error names the first offending flag.
+        assert_eq!(
+            LiveConfigBuilder::new()
+                .shards(0)
+                .batch(0)
+                .build()
+                .unwrap_err(),
+            LiveConfigError::ZeroShards
+        );
+        let cfg = LiveConfigBuilder::new()
+            .batch(1)
+            .ring_depth(MAX_RING_DEPTH)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.batch, 1);
+        assert_eq!(cfg.ring_depth, MAX_RING_DEPTH);
+        let d = LiveConfigBuilder::new().build().unwrap();
+        assert_eq!(d.batch, crate::live::DEFAULT_BATCH);
+        assert_eq!(d.ring_depth, crate::live::DEFAULT_RING_DEPTH);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! FNV-1a hashing for the driver's hot per-packet maps.
+//!
+//! Every packet costs at least one flow-map probe (two on the miss path:
+//! flow map, then dead map), and `std`'s default SipHash is designed for
+//! HashDoS resistance the live pipeline does not need — the keys are
+//! 4-tuples from a capture the operator already controls, and the map is
+//! bounded by `max_flows` anyway. FNV-1a folds the 12 key bytes in a few
+//! cycles, the same function the sharder ([`super::shard_of`]) already
+//! uses for placement.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a, byte-at-a-time (the keys hashed here are ≤ 16 bytes).
+#[derive(Debug, Clone, Copy)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(FNV_OFFSET)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+}
+
+/// `BuildHasher` plugging [`FnvHasher`] into `std` maps:
+/// `HashMap<K, V, FnvState>`.
+pub type FnvState = BuildHasherDefault<FnvHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn known_fnv1a_vectors() {
+        let hash = |bytes: &[u8]| {
+            let mut h = FnvHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        // Reference vectors from the FNV specification.
+        assert_eq!(hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn usable_as_map_hasher() {
+        let mut m: HashMap<u64, u32, FnvState> = HashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i as u32);
+        }
+        assert_eq!(m.get(&977), Some(&977));
+        assert_eq!(m.len(), 1000);
+    }
+}

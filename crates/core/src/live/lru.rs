@@ -6,16 +6,20 @@
 //! list over slot indices — no allocation per touch, no hashing, and
 //! `touch`/`remove`/`pop_front` are all O(1).
 
-const NIL: u32 = u32::MAX;
+const NIL: u32 = u32::MAX - 1;
+
+/// Marks a slot as not on the list at all (its `prev` link). Kept distinct
+/// from `NIL` so membership needs no separate flag array — `touch` on the
+/// per-packet path stays within the one `links` cache line per slot.
+const UNLINKED: u32 = u32::MAX;
 
 /// Doubly-linked recency list over slab slot indices. Front = least
 /// recently used, back = most recently used.
 #[derive(Debug, Default)]
 pub struct LruList {
-    /// Per-slot `(prev, next)` links, `NIL`-terminated.
+    /// Per-slot `(prev, next)` links, `NIL`-terminated; `prev == UNLINKED`
+    /// means the slot is not on the list.
     links: Vec<(u32, u32)>,
-    /// Per-slot membership flag (guards against double insert/remove).
-    linked: Vec<bool>,
     head: u32,
     tail: u32,
     len: usize,
@@ -26,7 +30,6 @@ impl LruList {
     pub fn new() -> Self {
         LruList {
             links: Vec::new(),
-            linked: Vec::new(),
             head: NIL,
             tail: NIL,
             len: 0,
@@ -46,8 +49,7 @@ impl LruList {
     fn ensure(&mut self, slot: u32) {
         let need = slot as usize + 1;
         if self.links.len() < need {
-            self.links.resize(need, (NIL, NIL));
-            self.linked.resize(need, false);
+            self.links.resize(need, (UNLINKED, UNLINKED));
         }
     }
 
@@ -55,7 +57,10 @@ impl LruList {
     /// the slot is already linked.
     pub fn push_back(&mut self, slot: u32) {
         self.ensure(slot);
-        debug_assert!(!self.linked[slot as usize], "slot already linked");
+        debug_assert!(
+            self.links[slot as usize].0 == UNLINKED,
+            "slot already linked"
+        );
         self.links[slot as usize] = (self.tail, NIL);
         if self.tail != NIL {
             self.links[self.tail as usize].1 = slot;
@@ -63,13 +68,12 @@ impl LruList {
             self.head = slot;
         }
         self.tail = slot;
-        self.linked[slot as usize] = true;
         self.len += 1;
     }
 
     /// Unlink `slot` wherever it is. No-op if the slot is not linked.
     pub fn remove(&mut self, slot: u32) {
-        if slot as usize >= self.linked.len() || !self.linked[slot as usize] {
+        if slot as usize >= self.links.len() || self.links[slot as usize].0 == UNLINKED {
             return;
         }
         let (prev, next) = self.links[slot as usize];
@@ -83,13 +87,15 @@ impl LruList {
         } else {
             self.tail = prev;
         }
-        self.links[slot as usize] = (NIL, NIL);
-        self.linked[slot as usize] = false;
+        self.links[slot as usize] = (UNLINKED, UNLINKED);
         self.len -= 1;
     }
 
     /// Move `slot` to the most-recently-used end.
     pub fn touch(&mut self, slot: u32) {
+        if self.tail == slot {
+            return; // already most recent
+        }
         self.remove(slot);
         self.push_back(slot);
     }

@@ -8,26 +8,37 @@
 //!
 //! # Architecture
 //!
-//! One **serial driver** reads packets in capture order and makes *every*
-//! lifecycle decision: flow admission, 4-tuple reuse (a bare SYN on a
-//! closed flow finalizes the old generation and opens a fresh one, matching
-//! the offline [`tcp_trace::flow::FlowTable`]), FIN/RST teardown with a
-//! linger window, idle-timeout eviction through a lazy timer wheel
+//! The packet path is *batched end-to-end*. The segmented zero-copy reader
+//! ([`tcp_trace::pcap::PcapStream::fill_batch`]) decodes up to `batch`
+//! packets per refill into a reusable [`PacketBatch`]; one **serial
+//! driver** walks each batch in capture order and makes *every* lifecycle
+//! decision: flow admission, 4-tuple reuse (a bare SYN on a closed flow
+//! finalizes the old generation and opens a fresh one, matching the
+//! offline [`tcp_trace::flow::FlowTable`]), FIN/RST teardown with a linger
+//! window, idle-timeout eviction through a lazy timer wheel
 //! ([`TimerWheel`]), and LRU shedding ([`LruList`]) at a hard flow-table
 //! cap. The driver also owns per-flow sequence translation
-//! ([`tcp_trace::pcap::SeqTracker`]), then hashes each flow's key to one of
-//! N **worker shards** which run the per-flow [`crate::StreamAnalyzer`]s.
+//! ([`tcp_trace::pcap::SeqTracker`]) and the FNV-keyed flow maps, then
+//! groups directives by each flow's key hash into per-shard staging
+//! buffers, flushed as one handoff per shard per batch down bounded SPSC
+//! rings ([`ring`]) whose batch buffers the shards recycle back — the
+//! steady state allocates nothing. N **worker shards** run the per-flow
+//! [`crate::StreamAnalyzer`]s, addressed by dense driver slot indices.
 //!
 //! # Determinism
 //!
-//! Aggregate output is byte-identical at any shard count:
+//! Aggregate output is byte-identical at any shard count *and any batch
+//! size*:
 //! * lifecycle decisions are made serially by the driver, independent of
-//!   shard placement;
+//!   shard placement and of how many packets a batch happened to carry;
 //! * each flow's analysis depends only on its own records (analyzers are
 //!   recycled through exact resets);
 //! * per-interval shard deltas are commutative integer merges
 //!   ([`crate::report::StallBreakdown::merge`]), collected at a cut barrier
-//!   before each report is rendered.
+//!   before each report is rendered;
+//! * reader skip counts are recorded per decoded packet
+//!   ([`PacketBatch::skipped_before`]), so interval attribution does not
+//!   shift when the reader decodes ahead of processing.
 //!
 //! Only the opt-in `per_shard_occupancy` field depends on the shard count.
 //!
@@ -39,17 +50,20 @@
 //! 10k-flow capture the bench gate uses to assert the bound.
 
 mod config;
+mod fnv;
 mod lru;
 mod monitor;
 mod report;
+pub mod ring;
 mod shard;
 mod wheel;
 
-pub use config::{LiveConfigBuilder, LiveConfigError};
+pub use config::{LiveConfigBuilder, LiveConfigError, MAX_BATCH, MAX_RING_DEPTH};
+pub use fnv::{FnvHasher, FnvState};
 pub use lru::LruList;
 pub use monitor::{FlowMonitor, LightTable, MonitorSeed, TierConfig, Verdict};
 pub use report::{class_slug, retrans_slug, IntervalReport, LiveSummary};
-pub use shard::{shard_worker, Directive, IntervalDelta, ShardMsg};
+pub use shard::{shard_worker, Directive, IntervalDelta, ShardMsg, ShardState};
 pub use wheel::{TimerEntry, TimerWheel};
 
 use std::collections::{HashMap, VecDeque};
@@ -58,9 +72,10 @@ use std::sync::mpsc;
 
 use simnet::time::SimDuration;
 use tcp_trace::flow::FlowKey;
-use tcp_trace::pcap::{PcapError, PcapPacket, PcapStats, PcapStream, SeqTracker};
+use tcp_trace::pcap::{PacketBatch, PcapError, PcapPacket, PcapStream, SeqTracker};
 
 use crate::AnalyzerConfig;
+use ring::{RingConsumer, RingProducer};
 
 /// How the live pipeline runs: sharding, lifecycle timeouts, reporting
 /// cadence, memory cap.
@@ -95,7 +110,18 @@ pub struct LiveConfig {
     /// only on suspicion; `None` (the default) analyzes every flow heavy
     /// from the first packet, as before.
     pub tier: Option<TierConfig>,
+    /// Packets decoded (and directives staged) per batch; 0 is treated
+    /// as 1. Output is identical at any batch size.
+    pub batch: usize,
+    /// Directive-ring depth in batch buffers (backpressure toward the
+    /// driver); 0 is treated as 1.
+    pub ring_depth: usize,
 }
+
+/// Default packets per batch (one handoff per shard per batch).
+pub const DEFAULT_BATCH: usize = 256;
+/// Default directive-ring depth in batch buffers.
+pub const DEFAULT_RING_DEPTH: usize = 8;
 
 impl Default for LiveConfig {
     fn default() -> Self {
@@ -110,6 +136,8 @@ impl Default for LiveConfig {
             per_shard_occupancy: false,
             pace: None,
             tier: None,
+            batch: DEFAULT_BATCH,
+            ring_depth: DEFAULT_RING_DEPTH,
         }
     }
 }
@@ -140,10 +168,6 @@ enum Reason {
 /// Stragglers on an evicted key are dropped (and counted) for this long
 /// before the key is forgotten and a new packet may reopen it as a flow.
 const DEAD_TTL_US: u64 = 60_000_000;
-/// Directives per channel send (amortizes channel synchronization).
-const BATCH: usize = 256;
-/// Bounded directive-channel depth (backpressure toward the driver).
-const CHANNEL_DEPTH: usize = 8;
 
 struct DriverFlow {
     key: FlowKey,
@@ -193,19 +217,34 @@ struct Driver {
     slots: Vec<Option<DriverFlow>>,
     gens: Vec<u32>,
     free: Vec<u32>,
-    map: HashMap<FlowKey, u32>,
+    map: HashMap<FlowKey, u32, FnvState>,
     lru: LruList,
     wheel: TimerWheel,
     expired: Vec<TimerEntry>,
-    dead: HashMap<FlowKey, u64>,
+    dead: HashMap<FlowKey, u64, FnvState>,
     dead_q: VecDeque<(u64, FlowKey)>,
+    /// Expiry of `dead_q`'s front entry (`u64::MAX` when empty): the
+    /// per-packet purge check is a register compare, not a deque probe.
+    dead_next_us: u64,
     tracker_pool: Vec<SeqTracker>,
     next_uid: u64,
     /// uid → key, kept only under `collect` (grows with the stream).
     uid_keys: Vec<FlowKey>,
 
-    dir_txs: Vec<mpsc::SyncSender<Vec<Directive>>>,
-    batches: Vec<Vec<Directive>>,
+    dir_txs: Vec<RingProducer<Vec<Directive>>>,
+    /// Emptied batch buffers coming back from each shard for reuse.
+    spare_rxs: Vec<RingConsumer<Vec<Directive>>>,
+    /// Per-shard staging buffers, flushed once per packet batch (or when
+    /// a staging buffer reaches `batch_cap` mid-batch).
+    staging: Vec<Vec<Directive>>,
+    batch_cap: usize,
+    /// With a single shard there is no one to hand off to: the shard state
+    /// machine runs inline on the driver thread and every directive is
+    /// applied immediately. The directive sequence is identical either
+    /// way, so reports stay byte-identical — but the inline path skips the
+    /// staging copy, the ring traffic and (on small machines) the context
+    /// switches of a worker thread.
+    inline_state: Option<ShardState>,
 
     accum: Accum,
     summary: LiveSummary,
@@ -214,8 +253,17 @@ struct Driver {
 }
 
 impl Driver {
-    fn new(cfg: &LiveConfig, dir_txs: Vec<mpsc::SyncSender<Vec<Directive>>>) -> Driver {
-        let shards_n = dir_txs.len();
+    fn new(
+        cfg: &LiveConfig,
+        dir_txs: Vec<RingProducer<Vec<Directive>>>,
+        spare_rxs: Vec<RingConsumer<Vec<Directive>>>,
+    ) -> Driver {
+        let shards_n = dir_txs.len().max(1);
+        let batch_cap = cfg.batch.max(1);
+        let inline_state = dir_txs
+            .is_empty()
+            .then(|| ShardState::new(cfg.analyzer, cfg.collect_flows));
+        let staging_n = dir_txs.len();
         Driver {
             shards_n,
             max_flows: cfg.max_flows,
@@ -230,17 +278,23 @@ impl Driver {
             slots: Vec::new(),
             gens: Vec::new(),
             free: Vec::new(),
-            map: HashMap::new(),
+            map: HashMap::default(),
             lru: LruList::new(),
             wheel: TimerWheel::with_default_geometry(),
             expired: Vec::new(),
-            dead: HashMap::new(),
+            dead: HashMap::default(),
             dead_q: VecDeque::new(),
+            dead_next_us: u64::MAX,
             tracker_pool: Vec::new(),
             next_uid: 0,
             uid_keys: Vec::new(),
             dir_txs,
-            batches: (0..shards_n).map(|_| Vec::with_capacity(BATCH)).collect(),
+            spare_rxs,
+            staging: (0..staging_n)
+                .map(|_| Vec::with_capacity(batch_cap))
+                .collect(),
+            batch_cap,
+            inline_state,
             accum: Accum::default(),
             summary: LiveSummary::default(),
             prev_skipped: 0,
@@ -265,18 +319,55 @@ impl Driver {
     }
 
     fn send(&mut self, shard: usize, d: Directive) {
-        self.batches[shard].push(d);
-        if self.batches[shard].len() >= BATCH {
+        if let Some(st) = self.inline_state.as_mut() {
+            st.apply(d);
+            return;
+        }
+        self.staging[shard].push(d);
+        if self.staging[shard].len() >= self.batch_cap {
             self.flush(shard);
         }
     }
 
-    fn flush(&mut self, shard: usize) {
-        if self.batches[shard].is_empty() {
+    /// Per-packet record handoff; inline mode feeds the shard state by
+    /// reference instead of building (and copying the record into) a
+    /// [`Directive`].
+    fn send_rec(&mut self, shard: usize, slot: u32, rec: tcp_trace::record::TraceRecord) {
+        if let Some(st) = self.inline_state.as_mut() {
+            st.apply_rec(slot, &rec);
             return;
         }
-        let batch = std::mem::replace(&mut self.batches[shard], Vec::with_capacity(BATCH));
-        self.dir_txs[shard].send(batch).expect("shard alive");
+        self.send(shard, Directive::Rec { slot, rec });
+    }
+
+    /// Hand the shard's staging buffer down its ring, replacing it with a
+    /// recycled buffer from the shard's spare ring (or, before the pool
+    /// has warmed up, a fresh allocation — counted, so tests can assert
+    /// the steady state recycles).
+    fn flush(&mut self, shard: usize) {
+        if self.staging[shard].is_empty() {
+            return;
+        }
+        let replacement = match self.spare_rxs[shard].try_pop() {
+            Some(mut buf) => {
+                self.summary.ring_recycled_buffers += 1;
+                buf.clear();
+                buf
+            }
+            None => {
+                self.summary.ring_fresh_buffers += 1;
+                Vec::with_capacity(self.batch_cap)
+            }
+        };
+        let full = std::mem::replace(&mut self.staging[shard], replacement);
+        self.dir_txs[shard].push(full).expect("shard alive");
+    }
+
+    /// One handoff per shard per packet batch (no-op when inline).
+    fn flush_all(&mut self) {
+        for shard in 0..self.staging.len() {
+            self.flush(shard);
+        }
     }
 
     /// Set the slot's deadline, scheduling a wheel entry if it moved
@@ -340,7 +431,14 @@ impl Driver {
             self.heavy_active += 1;
             self.summary.max_heavy_flows =
                 self.summary.max_heavy_flows.max(self.heavy_active as u64);
-            self.send(shard, Directive::Open { uid, seed: None });
+            self.send(
+                shard,
+                Directive::Open {
+                    slot,
+                    uid,
+                    seed: None,
+                },
+            );
         }
         self.deliver(slot, pkt, t_us);
     }
@@ -358,19 +456,19 @@ impl Driver {
         if let Some(rec) = rec {
             match self.tier {
                 // Always-heavy: the legacy path, zero light-tier overhead.
-                None => self.send(shard, Directive::Rec { uid, rec }),
+                None => self.send_rec(shard, slot, rec),
                 Some(tier) => {
                     // The light row tracks every flow — heavy ones too, so
                     // the calm-streak hysteresis has something to read.
                     let verdict = self.light.update(slot, &rec, t_us, &tier);
                     if heavy {
-                        self.send(shard, Directive::Rec { uid, rec });
+                        self.send_rec(shard, slot, rec);
                         if tier.demote_streak > 0
                             && !closed
                             && !verdict.suspicious
                             && verdict.calm_streak >= tier.demote_streak
                         {
-                            self.demote(slot, uid, shard);
+                            self.demote(slot, shard);
                         }
                     } else if verdict.suspicious && !closed {
                         self.promote(slot, uid, shard, &tier);
@@ -408,6 +506,7 @@ impl Driver {
         self.send(
             shard,
             Directive::Open {
+                slot,
                 uid,
                 seed: Some(seed),
             },
@@ -418,7 +517,7 @@ impl Driver {
     /// streak, so recycle its analyzer and fall back to the light row
     /// (whose counters are re-armed so the next promotion needs fresh
     /// evidence, not leftovers from the previous episode).
-    fn demote(&mut self, slot: u32, uid: u64, shard: usize) {
+    fn demote(&mut self, slot: u32, shard: usize) {
         self.slots[slot as usize]
             .as_mut()
             .expect("occupied")
@@ -426,7 +525,7 @@ impl Driver {
         self.heavy_active -= 1;
         self.accum.demotions += 1;
         self.light.rearm(slot);
-        self.send(shard, Directive::Demote { uid });
+        self.send(shard, Directive::Demote { slot });
     }
 
     fn finalize(&mut self, slot: u32, t_us: u64, reason: Reason) {
@@ -439,7 +538,7 @@ impl Driver {
         // undiagnosed by design, that is the whole saving).
         if flow.monitor.is_heavy() {
             self.heavy_active -= 1;
-            self.send(flow.shard, Directive::Close { uid: flow.uid });
+            self.send(flow.shard, Directive::Close { slot });
         }
         flow.tracker.reset();
         self.tracker_pool.push(flow.tracker);
@@ -457,13 +556,22 @@ impl Driver {
             let expiry = t_us.saturating_add(DEAD_TTL_US);
             self.dead.insert(flow.key, expiry);
             self.dead_q.push_back((expiry, flow.key));
+            // Expiries enqueue in nondecreasing order, so the front only
+            // changes when the queue was empty.
+            if self.dead_q.len() == 1 {
+                self.dead_next_us = expiry;
+            }
         }
     }
 
     fn purge_dead(&mut self, now_us: u64) {
+        if now_us < self.dead_next_us {
+            return;
+        }
         while let Some(&(expiry, key)) = self.dead_q.front() {
             if expiry > now_us {
-                break;
+                self.dead_next_us = expiry;
+                return;
             }
             self.dead_q.pop_front();
             // The key may have been re-added with a later expiry.
@@ -471,6 +579,7 @@ impl Driver {
                 self.dead.remove(&key);
             }
         }
+        self.dead_next_us = u64::MAX;
     }
 
     fn run_timers(&mut self, now_us: u64) {
@@ -540,28 +649,37 @@ impl Driver {
 
     /// Interval barrier: flush everything, cut every shard, merge their
     /// deltas, fold the interval into the summary, and build the report.
+    /// `skipped_cum` is the reader's cumulative skip count *as of the
+    /// packet that triggered this cut* (recorded per packet by the batched
+    /// reader), so attribution is identical at any batch size.
     fn cut(
         &mut self,
         iv: u64,
-        stats: PcapStats,
+        skipped_cum: u64,
         report_rx: &mpsc::Receiver<ShardMsg>,
     ) -> IntervalReport {
         let seq = self.cut_seq;
         self.cut_seq += 1;
-        for shard in 0..self.shards_n {
-            self.batches[shard].push(Directive::Cut { seq });
-            self.flush(shard);
-        }
         let mut delta = IntervalDelta::default();
         let mut occupancy = vec![0usize; self.shards_n];
-        for _ in 0..self.shards_n {
-            let msg = report_rx.recv().expect("shard alive");
-            debug_assert_eq!(msg.seq, seq, "cut barrier out of sync");
-            occupancy[msg.shard] = msg.occupancy;
-            delta.merge(&msg.delta);
+        if let Some(st) = self.inline_state.as_mut() {
+            let (d, occ) = st.cut();
+            delta = d;
+            occupancy[0] = occ;
+        } else {
+            for shard in 0..self.staging.len() {
+                self.staging[shard].push(Directive::Cut { seq });
+                self.flush(shard);
+            }
+            for _ in 0..self.shards_n {
+                let msg = report_rx.recv().expect("shard alive");
+                debug_assert_eq!(msg.seq, seq, "cut barrier out of sync");
+                occupancy[msg.shard] = msg.occupancy;
+                delta.merge(&msg.delta);
+            }
         }
-        let skipped = stats.packets_skipped - self.prev_skipped;
-        self.prev_skipped = stats.packets_skipped;
+        let skipped = skipped_cum - self.prev_skipped;
+        self.prev_skipped = skipped_cum;
         let accum = std::mem::take(&mut self.accum);
 
         self.summary.flows_seen += accum.flows_opened;
@@ -628,55 +746,83 @@ pub fn run<R: Read>(
     mut on_report: impl FnMut(&IntervalReport),
 ) -> Result<LiveSummary, PcapError> {
     let shards_n = cfg.shards.max(1);
+    let batch_cap = cfg.batch.max(1);
+    let ring_depth = cfg.ring_depth.max(1);
     let mut stream = PcapStream::new(input)?;
     let interval_us = cfg.interval.as_micros().max(1);
 
     std::thread::scope(|scope| -> Result<LiveSummary, PcapError> {
         let (report_tx, report_rx) = mpsc::channel::<ShardMsg>();
         let mut dir_txs = Vec::with_capacity(shards_n);
+        let mut spare_rxs = Vec::with_capacity(shards_n);
         let mut handles = Vec::with_capacity(shards_n);
-        for shard in 0..shards_n {
-            let (tx, rx) = mpsc::sync_channel::<Vec<Directive>>(CHANNEL_DEPTH);
-            dir_txs.push(tx);
-            let rtx = report_tx.clone();
-            let analyzer = cfg.analyzer;
-            let collect = cfg.collect_flows;
-            handles.push(scope.spawn(move || shard_worker(shard, analyzer, collect, rx, rtx)));
+        // A single shard runs inline on the driver thread (no handoff);
+        // worker threads and rings exist only when there is real
+        // parallelism to exploit.
+        if shards_n > 1 {
+            for shard in 0..shards_n {
+                let (dir_tx, dir_rx) = ring::ring::<Vec<Directive>>(ring_depth);
+                // The spare ring is slightly deeper than the forward ring
+                // so a shard can always return a buffer even when every
+                // forward slot is full and the driver holds a staging
+                // buffer.
+                let (spare_tx, spare_rx) = ring::ring::<Vec<Directive>>(ring_depth + 2);
+                dir_txs.push(dir_tx);
+                spare_rxs.push(spare_rx);
+                let rtx = report_tx.clone();
+                let analyzer = cfg.analyzer;
+                let collect = cfg.collect_flows;
+                handles.push(
+                    scope.spawn(move || {
+                        shard_worker(shard, analyzer, collect, dir_rx, spare_tx, rtx)
+                    }),
+                );
+            }
         }
         drop(report_tx);
 
-        let mut drv = Driver::new(cfg, dir_txs);
+        let mut drv = Driver::new(cfg, dir_txs, spare_rxs);
 
+        let mut batch = PacketBatch::new();
         let mut cur_iv: Option<u64> = None;
+        let mut next_cut_us = 0u64;
         let mut last_t_us = 0u64;
+        let pace = cfg.pace.filter(|&p| p > 0.0);
         let mut pace_origin: Option<(std::time::Instant, u64)> = None;
-        while let Some(pkt) = stream.next_packet()? {
-            let t_us = pkt.t.as_micros();
-            last_t_us = t_us;
-            if let Some(p) = cfg.pace.filter(|&p| p > 0.0) {
-                let (wall0, t0) = *pace_origin.get_or_insert((std::time::Instant::now(), t_us));
-                let target =
-                    std::time::Duration::from_secs_f64((t_us.saturating_sub(t0)) as f64 / 1e6 / p);
-                let elapsed = wall0.elapsed();
-                if target > elapsed {
-                    std::thread::sleep(target - elapsed);
+        while stream.fill_batch(&mut batch, batch_cap)? > 0 {
+            for j in 0..batch.len() {
+                let pkt = &batch.pkts()[j];
+                let t_us = pkt.t.as_micros();
+                last_t_us = t_us;
+                if let Some(p) = pace {
+                    let (wall0, t0) = *pace_origin.get_or_insert((std::time::Instant::now(), t_us));
+                    let target = std::time::Duration::from_secs_f64(
+                        (t_us.saturating_sub(t0)) as f64 / 1e6 / p,
+                    );
+                    let elapsed = wall0.elapsed();
+                    if target > elapsed {
+                        std::thread::sleep(target - elapsed);
+                    }
                 }
-            }
-            // Expire deadlines up to this packet *before* cutting, so an
-            // eviction due in the previous interval lands in its report.
-            drv.run_timers(t_us);
-            let iv = t_us / interval_us;
-            match cur_iv {
-                Some(ci) if iv > ci => {
-                    let r = drv.cut(ci, stream.stats(), &report_rx);
-                    drv.summary.intervals += 1;
-                    on_report(&r);
+                // Expire deadlines up to this packet *before* cutting, so
+                // an eviction due in the previous interval lands in its
+                // report.
+                drv.run_timers(t_us);
+                // Dividing only at interval boundaries keeps a 64-bit div
+                // off the per-packet path.
+                if t_us >= next_cut_us {
+                    let iv = t_us / interval_us;
+                    if let Some(ci) = cur_iv {
+                        let r = drv.cut(ci, batch.skipped_before(j), &report_rx);
+                        drv.summary.intervals += 1;
+                        on_report(&r);
+                    }
                     cur_iv = Some(iv);
+                    next_cut_us = (iv + 1).saturating_mul(interval_us);
                 }
-                None => cur_iv = Some(iv),
-                _ => {}
+                drv.process(pkt, t_us);
             }
-            drv.process(&pkt, t_us);
+            drv.flush_all();
         }
 
         // EOF: finalize everything still tracked, oldest flow first.
@@ -690,7 +836,11 @@ pub fn run<R: Read>(
         for (_, slot) in open {
             drv.finalize(slot, last_t_us, Reason::Eof);
         }
-        let final_report = drv.cut(cur_iv.unwrap_or(0), stream.stats(), &report_rx);
+        let final_report = drv.cut(
+            cur_iv.unwrap_or(0),
+            stream.stats().packets_skipped,
+            &report_rx,
+        );
         if cur_iv.is_some() {
             drv.summary.intervals += 1;
             on_report(&final_report);
@@ -699,6 +849,9 @@ pub fn run<R: Read>(
         // Shut shards down and collect per-flow analyses (if any).
         drv.dir_txs.clear();
         let mut flows: Vec<(u64, crate::FlowAnalysis)> = Vec::new();
+        if let Some(st) = drv.inline_state.take() {
+            flows.extend(st.into_collected());
+        }
         for h in handles {
             flows.extend(h.join().expect("shard panicked"));
         }
@@ -925,14 +1078,15 @@ mod tests {
         // Sheds insert dead-map entries; with idle/linger disabled the
         // timer path never runs, so the purge must happen on the packet
         // path or a long-running daemon leaks one entry per shed key.
-        let (tx, _rx) = mpsc::sync_channel::<Vec<Directive>>(64);
+        let (tx, _rx) = ring::ring::<Vec<Directive>>(64);
+        let (_stx, srx) = ring::ring::<Vec<Directive>>(64);
         let cfg = LiveConfig {
             idle_timeout: None,
             fin_linger: None,
             max_flows: 1,
             ..Default::default()
         };
-        let mut drv = Driver::new(&cfg, vec![tx]);
+        let mut drv = Driver::new(&cfg, vec![tx], vec![srx]);
         assert!(!drv.timers_enabled());
         for i in 0..5u32 {
             let t = (i as u64) * 1_000;
@@ -951,9 +1105,10 @@ mod tests {
     fn displacing_syn_leaves_no_dead_entry() {
         // 4-tuple reuse finalizes the old generation, but the key is
         // immediately re-admitted — it must not be parked in the dead map.
-        let (tx, _rx) = mpsc::sync_channel::<Vec<Directive>>(64);
+        let (tx, _rx) = ring::ring::<Vec<Directive>>(64);
+        let (_stx, srx) = ring::ring::<Vec<Directive>>(64);
         let cfg = LiveConfig::default();
-        let mut drv = Driver::new(&cfg, vec![tx]);
+        let mut drv = Driver::new(&cfg, vec![tx], vec![srx]);
         let k = FlowKey::synthetic(7);
         let fin = SegFlags {
             fin: true,

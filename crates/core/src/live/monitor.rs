@@ -129,86 +129,110 @@ mod flag {
     pub const HAS_LAST_T: u8 = 1 << 5;
 }
 
-/// The light tier itself: a struct-of-arrays table indexed by the driver's
-/// slot number, so rows recycle exactly like driver slots and the per-flow
-/// cost is [`LightTable::BYTES_PER_FLOW`] regardless of flow history.
+/// RTO clamps shared by every row (copied out of the replay config once).
+#[derive(Debug, Clone, Copy, Default)]
+struct RtoClamps {
+    min_us: u32,
+    max_us: u32,
+    initial_us: u32,
+}
+
+/// One flow's complete light-tier state, packed into a single small struct
+/// so an update touches one or two cache lines. (The table was originally
+/// struct-of-arrays, but `update` reads or writes nearly every field of
+/// exactly one row per packet — fourteen parallel columns meant up to
+/// fourteen cache-line touches where the row layout needs two.)
+#[derive(Debug, Clone, Copy, Default)]
+struct LightRow {
+    snd_una: u64,
+    snd_nxt: u64,
+    probe_end: u64,
+    probe_t_us: u64,
+    last_t_us: u64,
+    srtt_us: u32,
+    rttvar_us: u32,
+    last_rwnd: u32,
+    init_rwnd: u32,
+    calm_streak: u32,
+    dupacks: u16,
+    retrans: u16,
+    stall_strikes: u16,
+    flags: u8,
+}
+
+impl LightRow {
+    fn rto_us(&self, c: RtoClamps) -> u32 {
+        if self.flags & flag::HAS_RTT == 0 {
+            return c.initial_us;
+        }
+        let var4 = self.rttvar_us.saturating_mul(4).max(c.min_us);
+        self.srtt_us.saturating_add(var4).min(c.max_us)
+    }
+
+    /// The light stall threshold, mirroring `Replay::stall_threshold`:
+    /// `min(2·SRTT, RTO)`, or the initial RTO before any RTT sample.
+    fn stall_threshold_us(&self, c: RtoClamps) -> u64 {
+        if self.flags & flag::HAS_RTT == 0 {
+            return c.initial_us as u64;
+        }
+        let twice = self.srtt_us.saturating_mul(2);
+        twice.min(self.rto_us(c)) as u64
+    }
+
+    fn observe_rtt(&mut self, rtt_us: u64) {
+        let rtt = rtt_us.min(u32::MAX as u64) as u32;
+        if self.flags & flag::HAS_RTT == 0 {
+            self.flags |= flag::HAS_RTT;
+            self.srtt_us = rtt;
+            self.rttvar_us = rtt / 2;
+        } else {
+            let srtt = self.srtt_us;
+            let err = srtt.abs_diff(rtt);
+            self.rttvar_us = (self.rttvar_us / 4).saturating_mul(3) + err / 4;
+            self.srtt_us = (srtt / 8).saturating_mul(7) + rtt / 8;
+        }
+    }
+}
+
+/// The light tier itself: a flat row table indexed by the driver's slot
+/// number, so rows recycle exactly like driver slots and the per-flow cost
+/// is [`LightTable::BYTES_PER_FLOW`] regardless of flow history.
 ///
-/// Every update is allocation-free (the arrays grow only when the driver
+/// Every update is allocation-free (the table grows only when the driver
 /// grows its slot table, i.e. at the concurrent-flow high-water mark).
 #[derive(Debug, Default)]
 pub struct LightTable {
-    min_rto_us: u32,
-    max_rto_us: u32,
-    initial_rto_us: u32,
-
-    snd_una: Vec<u64>,
-    snd_nxt: Vec<u64>,
-    probe_end: Vec<u64>,
-    probe_t_us: Vec<u64>,
-    last_t_us: Vec<u64>,
-    srtt_us: Vec<u32>,
-    rttvar_us: Vec<u32>,
-    last_rwnd: Vec<u32>,
-    init_rwnd: Vec<u32>,
-    dupacks: Vec<u16>,
-    retrans: Vec<u16>,
-    stall_strikes: Vec<u16>,
-    calm_streak: Vec<u32>,
-    flags: Vec<u8>,
+    clamps: RtoClamps,
+    rows: Vec<LightRow>,
 }
 
 impl LightTable {
-    /// Bytes of column storage per flow row (the light tier's memory cost;
+    /// Bytes of row storage per flow (the light tier's memory cost;
     /// asserted small by the unit tests — "tens of bytes per flow").
-    pub const BYTES_PER_FLOW: usize = 5 * 8 + 4 * 4 + 3 * 2 + 4 + 1;
+    pub const BYTES_PER_FLOW: usize = std::mem::size_of::<LightRow>();
 
     /// A table deriving its RTO clamps from the analyzer's replay config,
     /// so the light stall threshold approximates the heavy one.
     pub fn new(cfg: ReplayConfig) -> Self {
         let us = |d: simnet::time::SimDuration| d.as_micros().min(u32::MAX as u64) as u32;
         LightTable {
-            min_rto_us: us(cfg.min_rto),
-            max_rto_us: us(cfg.max_rto),
-            initial_rto_us: us(cfg.initial_rto),
-            ..Default::default()
+            clamps: RtoClamps {
+                min_us: us(cfg.min_rto),
+                max_us: us(cfg.max_rto),
+                initial_us: us(cfg.initial_rto),
+            },
+            rows: Vec::new(),
         }
     }
 
-    /// Reset slot `slot` for a newly admitted flow, growing the columns if
+    /// Reset slot `slot` for a newly admitted flow, growing the table if
     /// the driver grew its slot table.
     pub fn init(&mut self, slot: u32) {
         let i = slot as usize;
-        if i >= self.flags.len() {
-            let n = i + 1;
-            self.snd_una.resize(n, 0);
-            self.snd_nxt.resize(n, 0);
-            self.probe_end.resize(n, 0);
-            self.probe_t_us.resize(n, 0);
-            self.last_t_us.resize(n, 0);
-            self.srtt_us.resize(n, 0);
-            self.rttvar_us.resize(n, 0);
-            self.last_rwnd.resize(n, 0);
-            self.init_rwnd.resize(n, 0);
-            self.dupacks.resize(n, 0);
-            self.retrans.resize(n, 0);
-            self.stall_strikes.resize(n, 0);
-            self.calm_streak.resize(n, 0);
-            self.flags.resize(n, 0);
+        if i >= self.rows.len() {
+            self.rows.resize(i + 1, LightRow::default());
         } else {
-            self.snd_una[i] = 0;
-            self.snd_nxt[i] = 0;
-            self.probe_end[i] = 0;
-            self.probe_t_us[i] = 0;
-            self.last_t_us[i] = 0;
-            self.srtt_us[i] = 0;
-            self.rttvar_us[i] = 0;
-            self.last_rwnd[i] = 0;
-            self.init_rwnd[i] = 0;
-            self.dupacks[i] = 0;
-            self.retrans[i] = 0;
-            self.stall_strikes[i] = 0;
-            self.calm_streak[i] = 0;
-            self.flags[i] = 0;
+            self.rows[i] = LightRow::default();
         }
     }
 
@@ -217,30 +241,17 @@ impl LightTable {
     /// without this, one historical retransmission burst would re-promote
     /// on the very next packet and thrash the heavy pool.
     pub fn rearm(&mut self, slot: u32) {
-        let i = slot as usize;
-        self.dupacks[i] = 0;
-        self.retrans[i] = 0;
-        self.stall_strikes[i] = 0;
-        self.calm_streak[i] = 0;
-        self.flags[i] &= !flag::ZERO_WND;
+        let r = &mut self.rows[slot as usize];
+        r.dupacks = 0;
+        r.retrans = 0;
+        r.stall_strikes = 0;
+        r.calm_streak = 0;
+        r.flags &= !flag::ZERO_WND;
     }
 
-    fn rto_us(&self, i: usize) -> u32 {
-        if self.flags[i] & flag::HAS_RTT == 0 {
-            return self.initial_rto_us;
-        }
-        let var4 = self.rttvar_us[i].saturating_mul(4).max(self.min_rto_us);
-        self.srtt_us[i].saturating_add(var4).min(self.max_rto_us)
-    }
-
-    /// The light stall threshold, mirroring `Replay::stall_threshold`:
-    /// `min(2·SRTT, RTO)`, or the initial RTO before any RTT sample.
+    #[cfg(test)]
     fn stall_threshold_us(&self, i: usize) -> u64 {
-        if self.flags[i] & flag::HAS_RTT == 0 {
-            return self.initial_rto_us as u64;
-        }
-        let twice = self.srtt_us[i].saturating_mul(2);
-        twice.min(self.rto_us(i)) as u64
+        self.rows[i].stall_threshold_us(self.clamps)
     }
 
     /// Fold one translated record into slot `slot`'s row and report whether
@@ -252,21 +263,22 @@ impl LightTable {
         t_us: u64,
         tier: &TierConfig,
     ) -> Verdict {
-        let i = slot as usize;
+        let clamps = self.clamps;
+        let r = &mut self.rows[slot as usize];
         let mut event = false;
         let mut suspicious = false;
 
         // RTO-scale ACK silence: the previous packet left data in flight
         // and this one arrives after more than the light stall threshold.
-        if self.flags[i] & (flag::ESTABLISHED | flag::HAS_LAST_T)
+        if r.flags & (flag::ESTABLISHED | flag::HAS_LAST_T)
             == (flag::ESTABLISHED | flag::HAS_LAST_T)
-            && self.snd_nxt[i] > self.snd_una[i]
+            && r.snd_nxt > r.snd_una
         {
-            let gap = t_us.saturating_sub(self.last_t_us[i]);
-            if gap > self.stall_threshold_us(i) {
-                self.stall_strikes[i] = self.stall_strikes[i].saturating_add(1);
+            let gap = t_us.saturating_sub(r.last_t_us);
+            if gap > r.stall_threshold_us(clamps) {
+                r.stall_strikes = r.stall_strikes.saturating_add(1);
                 event = true;
-                if u32::from(self.stall_strikes[i]) >= tier.promote_stalls {
+                if u32::from(r.stall_strikes) >= tier.promote_stalls {
                     suspicious = true;
                 }
             }
@@ -274,53 +286,54 @@ impl LightTable {
 
         match rec.dir {
             Direction::Out if rec.has_data() => {
-                if rec.seq < self.snd_nxt[i] {
+                if rec.seq < r.snd_nxt {
                     // Retransmission (mirrors the replay's test). Karn:
                     // an armed probe can no longer yield a clean sample.
-                    self.retrans[i] = self.retrans[i].saturating_add(1);
-                    self.flags[i] &= !flag::PROBE_ARMED;
+                    r.retrans = r.retrans.saturating_add(1);
+                    r.flags &= !flag::PROBE_ARMED;
                     event = true;
-                    if u32::from(self.retrans[i]) >= tier.promote_retrans {
+                    if u32::from(r.retrans) >= tier.promote_retrans {
                         suspicious = true;
                     }
                 } else {
-                    if self.flags[i] & flag::PROBE_ARMED == 0 {
-                        self.flags[i] |= flag::PROBE_ARMED;
-                        self.probe_end[i] = rec.seq_end();
-                        self.probe_t_us[i] = t_us;
+                    if r.flags & flag::PROBE_ARMED == 0 {
+                        r.flags |= flag::PROBE_ARMED;
+                        r.probe_end = rec.seq_end();
+                        r.probe_t_us = t_us;
                     }
-                    self.snd_nxt[i] = rec.seq_end();
+                    r.snd_nxt = rec.seq_end();
                 }
             }
             Direction::In => {
-                if self.flags[i] & flag::INIT_RWND == 0 {
-                    self.flags[i] |= flag::INIT_RWND;
-                    self.init_rwnd[i] = rec.rwnd.min(u32::MAX as u64) as u32;
+                if r.flags & flag::INIT_RWND == 0 {
+                    r.flags |= flag::INIT_RWND;
+                    r.init_rwnd = rec.rwnd.min(u32::MAX as u64) as u32;
                 }
-                self.last_rwnd[i] = rec.rwnd.min(u32::MAX as u64) as u32;
-                if rec.ack > self.snd_una[i] {
-                    self.snd_una[i] = rec.ack;
-                    self.dupacks[i] = 0;
-                    if self.flags[i] & flag::PROBE_ARMED != 0 && rec.ack >= self.probe_end[i] {
-                        self.flags[i] &= !flag::PROBE_ARMED;
-                        self.observe_rtt(i, t_us.saturating_sub(self.probe_t_us[i]));
+                r.last_rwnd = rec.rwnd.min(u32::MAX as u64) as u32;
+                if rec.ack > r.snd_una {
+                    r.snd_una = rec.ack;
+                    r.dupacks = 0;
+                    if r.flags & flag::PROBE_ARMED != 0 && rec.ack >= r.probe_end {
+                        r.flags &= !flag::PROBE_ARMED;
+                        let sample = t_us.saturating_sub(r.probe_t_us);
+                        r.observe_rtt(sample);
                     }
-                } else if rec.ack == self.snd_una[i]
+                } else if rec.ack == r.snd_una
                     && !rec.has_data()
                     && !rec.flags.syn
                     && !rec.flags.fin
                     && !rec.flags.rst
-                    && self.snd_nxt[i] > self.snd_una[i]
+                    && r.snd_nxt > r.snd_una
                 {
-                    self.dupacks[i] = self.dupacks[i].saturating_add(1);
+                    r.dupacks = r.dupacks.saturating_add(1);
                     event = true;
-                    if u32::from(self.dupacks[i]) >= tier.promote_dupacks {
+                    if u32::from(r.dupacks) >= tier.promote_dupacks {
                         suspicious = true;
                     }
                 }
                 if rec.rwnd == 0 && !rec.flags.rst {
                     // Zero-window advertisements promote unconditionally.
-                    self.flags[i] |= flag::ZERO_WND;
+                    r.flags |= flag::ZERO_WND;
                     event = true;
                     suspicious = true;
                 }
@@ -329,32 +342,18 @@ impl LightTable {
         }
 
         if !rec.flags.syn {
-            self.flags[i] |= flag::ESTABLISHED;
+            r.flags |= flag::ESTABLISHED;
         }
-        self.last_t_us[i] = t_us;
-        self.flags[i] |= flag::HAS_LAST_T;
-        self.calm_streak[i] = if event {
+        r.last_t_us = t_us;
+        r.flags |= flag::HAS_LAST_T;
+        r.calm_streak = if event {
             0
         } else {
-            self.calm_streak[i].saturating_add(1)
+            r.calm_streak.saturating_add(1)
         };
         Verdict {
             suspicious,
-            calm_streak: self.calm_streak[i],
-        }
-    }
-
-    fn observe_rtt(&mut self, i: usize, rtt_us: u64) {
-        let rtt = rtt_us.min(u32::MAX as u64) as u32;
-        if self.flags[i] & flag::HAS_RTT == 0 {
-            self.flags[i] |= flag::HAS_RTT;
-            self.srtt_us[i] = rtt;
-            self.rttvar_us[i] = rtt / 2;
-        } else {
-            let srtt = self.srtt_us[i];
-            let err = srtt.abs_diff(rtt);
-            self.rttvar_us[i] = (self.rttvar_us[i] / 4).saturating_mul(3) + err / 4;
-            self.srtt_us[i] = (srtt / 8).saturating_mul(7) + rtt / 8;
+            calm_streak: r.calm_streak,
         }
     }
 
@@ -362,17 +361,17 @@ impl LightTable {
     /// Taken *after* the triggering record updated the row, which is why
     /// the driver does not replay that record into the fresh analyzer.
     pub fn seed(&self, slot: u32) -> MonitorSeed {
-        let i = slot as usize;
+        let r = &self.rows[slot as usize];
         MonitorSeed {
-            srtt_us: self.srtt_us[i],
-            rttvar_us: self.rttvar_us[i],
-            has_rtt: self.flags[i] & flag::HAS_RTT != 0,
-            snd_una: self.snd_una[i],
-            snd_nxt: self.snd_nxt[i],
-            last_rwnd: self.last_rwnd[i] as u64,
-            init_rwnd: (self.flags[i] & flag::INIT_RWND != 0).then_some(self.init_rwnd[i] as u64),
-            established: self.flags[i] & flag::ESTABLISHED != 0,
-            zero_rwnd_seen: self.flags[i] & flag::ZERO_WND != 0,
+            srtt_us: r.srtt_us,
+            rttvar_us: r.rttvar_us,
+            has_rtt: r.flags & flag::HAS_RTT != 0,
+            snd_una: r.snd_una,
+            snd_nxt: r.snd_nxt,
+            last_rwnd: r.last_rwnd as u64,
+            init_rwnd: (r.flags & flag::INIT_RWND != 0).then_some(r.init_rwnd as u64),
+            established: r.flags & flag::ESTABLISHED != 0,
+            zero_rwnd_seen: r.flags & flag::ZERO_WND != 0,
         }
     }
 }
@@ -444,7 +443,7 @@ mod tests {
         assert!(upd(&mut t, &in_ack(13, 1000), &cfg).suspicious);
         // An advancing ACK clears the count.
         assert!(!upd(&mut t, &in_ack(14, 3000), &cfg).suspicious);
-        assert_eq!(t.dupacks[0], 0);
+        assert_eq!(t.rows[0].dupacks, 0);
     }
 
     #[test]
@@ -491,10 +490,10 @@ mod tests {
                 assert_eq!(v.calm_streak, 0, "dupack is an event");
             }
         }
-        assert!(t.dupacks[0] >= 3);
+        assert!(t.rows[0].dupacks >= 3);
         t.rearm(0);
-        assert_eq!(t.dupacks[0], 0);
-        assert_eq!(t.stall_strikes[0], 0);
+        assert_eq!(t.rows[0].dupacks, 0);
+        assert_eq!(t.rows[0].stall_strikes, 0);
         // Fresh evidence is required again after rearm.
         assert!(!upd(&mut t, &in_ack(10, 1000), &cfg).suspicious);
     }
@@ -531,6 +530,6 @@ mod tests {
         assert!(!seed.has_rtt);
         assert_eq!(seed.snd_nxt, 0);
         assert!(!seed.established);
-        assert_eq!(t.calm_streak[0], 0);
+        assert_eq!(t.rows[0].calm_streak, 0);
     }
 }

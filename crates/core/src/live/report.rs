@@ -252,6 +252,15 @@ pub struct LiveSummary {
     /// High-water mark of concurrently heavy flows (bounds analyzer-pool
     /// memory; equals `max_active_flows` under always-heavy mode).
     pub max_heavy_flows: u64,
+    /// Directive batch buffers allocated fresh because the spare ring had
+    /// none to recycle. Telemetry for the zero-allocation claim: bounded
+    /// by warmup (ring depth × shards), never growing in steady state.
+    /// Deliberately *not* serialized — it depends on the batch size, which
+    /// must not perturb report bytes.
+    pub ring_fresh_buffers: u64,
+    /// Directive batch buffers reused from the spare ring (the steady
+    /// state). Not serialized, same reason as `ring_fresh_buffers`.
+    pub ring_recycled_buffers: u64,
     /// Aggregate stall breakdown over every finalized flow.
     pub breakdown: StallBreakdown,
     /// Per-flow analyses in open order — populated only under

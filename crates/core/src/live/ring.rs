@@ -1,0 +1,277 @@
+//! Bounded SPSC rings for the driver→shard directive handoff.
+//!
+//! `std::sync::mpsc::sync_channel` allocates a node per send and takes a
+//! lock on both ends; at millions of packets per second the handoff must
+//! instead recycle a fixed set of batch buffers with no steady-state
+//! allocation. This ring is that handoff, built from `std` only and with
+//! no `unsafe`: a fixed array of slots, each a per-slot flag
+//! ([`AtomicBool`]) plus a tiny `Mutex<Option<T>>` holding the payload.
+//! Exactly one producer and one consumer exist per ring, so each slot
+//! mutex is uncontended except at the instant of handoff — it compiles to
+//! a fetch-and-store, not a syscall.
+//!
+//! Backpressure parks the producer ([`std::thread::park_timeout`]) when
+//! the ring is full and the consumer when it is empty; each wakes the
+//! other after freeing/filling a slot. The timeout is a belt-and-braces
+//! backstop (a lost wakeup degrades to polling at 1 kHz, it never
+//! deadlocks). Dropping the producer closes the ring: the consumer drains
+//! the remaining slots and then sees `None`. Dropping the consumer makes
+//! further pushes fail, which the driver treats as a dead shard.
+//!
+//! Buffer *recycling* is a second ring running the other way (shard →
+//! driver) carrying emptied `Vec`s; both directions use this same type —
+//! the reverse direction just uses the non-blocking [`RingProducer::
+//! try_push`] / [`RingConsumer::try_pop`] so neither side ever waits on a
+//! spare buffer (a miss merely allocates a fresh one, and a counter on the
+//! summary proves misses stop after warmup).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::Thread;
+use std::time::Duration;
+
+/// Park at most this long before re-checking the slot: purely a backstop
+/// against a (theoretically impossible) lost unpark.
+const PARK_BACKSTOP: Duration = Duration::from_millis(1);
+
+struct Slot<T> {
+    full: AtomicBool,
+    val: Mutex<Option<T>>,
+}
+
+struct Shared<T> {
+    slots: Box<[Slot<T>]>,
+    /// Producer dropped: consumer drains what is left, then sees `None`.
+    closed: AtomicBool,
+    /// Consumer dropped: pushes fail immediately.
+    abandoned: AtomicBool,
+    /// Parked producer waiting for a free slot, if any.
+    producer: Mutex<Option<Thread>>,
+    /// Parked consumer waiting for a full slot, if any.
+    consumer: Mutex<Option<Thread>>,
+}
+
+impl<T> Shared<T> {
+    fn wake_consumer(&self) {
+        if let Some(t) = self.consumer.lock().expect("ring lock").take() {
+            t.unpark();
+        }
+    }
+
+    fn wake_producer(&self) {
+        if let Some(t) = self.producer.lock().expect("ring lock").take() {
+            t.unpark();
+        }
+    }
+}
+
+/// The sending half of a bounded SPSC ring (exactly one per ring).
+pub struct RingProducer<T> {
+    shared: Arc<Shared<T>>,
+    /// Next slot to fill (producer-local; slots are claimed in order).
+    head: usize,
+}
+
+/// The receiving half of a bounded SPSC ring (exactly one per ring).
+pub struct RingConsumer<T> {
+    shared: Arc<Shared<T>>,
+    /// Next slot to drain (consumer-local).
+    tail: usize,
+}
+
+/// Returned by [`RingProducer::push`] when the consumer is gone; carries
+/// the rejected value back.
+#[derive(Debug)]
+pub struct RingClosed<T>(pub T);
+
+/// Create a bounded SPSC ring with `depth` slots (minimum 1).
+pub fn ring<T>(depth: usize) -> (RingProducer<T>, RingConsumer<T>) {
+    let slots: Vec<Slot<T>> = (0..depth.max(1))
+        .map(|_| Slot {
+            full: AtomicBool::new(false),
+            val: Mutex::new(None),
+        })
+        .collect();
+    let shared = Arc::new(Shared {
+        slots: slots.into_boxed_slice(),
+        closed: AtomicBool::new(false),
+        abandoned: AtomicBool::new(false),
+        producer: Mutex::new(None),
+        consumer: Mutex::new(None),
+    });
+    (
+        RingProducer {
+            shared: Arc::clone(&shared),
+            head: 0,
+        },
+        RingConsumer { shared, tail: 0 },
+    )
+}
+
+impl<T> RingProducer<T> {
+    fn slot(&self) -> &Slot<T> {
+        &self.shared.slots[self.head]
+    }
+
+    /// Non-blocking push; returns the value back if the ring is full or
+    /// the consumer is gone.
+    pub fn try_push(&mut self, v: T) -> Result<(), T> {
+        if self.shared.abandoned.load(Ordering::Acquire) || self.slot().full.load(Ordering::Acquire)
+        {
+            return Err(v);
+        }
+        *self.slot().val.lock().expect("ring lock") = Some(v);
+        self.slot().full.store(true, Ordering::Release);
+        self.head = (self.head + 1) % self.shared.slots.len();
+        self.shared.wake_consumer();
+        Ok(())
+    }
+
+    /// Push, parking until a slot frees up. Fails only when the consumer
+    /// is gone (returning the value).
+    pub fn push(&mut self, mut v: T) -> Result<(), RingClosed<T>> {
+        loop {
+            match self.try_push(v) {
+                Ok(()) => return Ok(()),
+                Err(back) => v = back,
+            }
+            if self.shared.abandoned.load(Ordering::Acquire) {
+                return Err(RingClosed(v));
+            }
+            // Register, re-check (the consumer may have freed the slot
+            // between the failed try and the registration), then park.
+            *self.shared.producer.lock().expect("ring lock") = Some(std::thread::current());
+            if self.slot().full.load(Ordering::Acquire)
+                && !self.shared.abandoned.load(Ordering::Acquire)
+            {
+                std::thread::park_timeout(PARK_BACKSTOP);
+            }
+            self.shared.producer.lock().expect("ring lock").take();
+        }
+    }
+}
+
+impl<T> Drop for RingProducer<T> {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::Release);
+        self.shared.wake_consumer();
+    }
+}
+
+impl<T> RingConsumer<T> {
+    fn slot(&self) -> &Slot<T> {
+        &self.shared.slots[self.tail]
+    }
+
+    fn take(&mut self) -> T {
+        let v = self
+            .slot()
+            .val
+            .lock()
+            .expect("ring lock")
+            .take()
+            .expect("full slot holds a value");
+        self.slot().full.store(false, Ordering::Release);
+        self.tail = (self.tail + 1) % self.shared.slots.len();
+        self.shared.wake_producer();
+        v
+    }
+
+    /// Non-blocking pop; `None` when the ring is currently empty (which
+    /// says nothing about whether the producer is still alive).
+    pub fn try_pop(&mut self) -> Option<T> {
+        if self.slot().full.load(Ordering::Acquire) {
+            Some(self.take())
+        } else {
+            None
+        }
+    }
+
+    /// Pop, parking until a value arrives. `None` once the producer is
+    /// gone *and* the ring is drained.
+    pub fn pop(&mut self) -> Option<T> {
+        loop {
+            if self.slot().full.load(Ordering::Acquire) {
+                return Some(self.take());
+            }
+            if self.shared.closed.load(Ordering::Acquire) {
+                // Re-check: the producer may have filled the slot after
+                // our load but before closing.
+                if self.slot().full.load(Ordering::Acquire) {
+                    return Some(self.take());
+                }
+                return None;
+            }
+            *self.shared.consumer.lock().expect("ring lock") = Some(std::thread::current());
+            if !self.slot().full.load(Ordering::Acquire)
+                && !self.shared.closed.load(Ordering::Acquire)
+            {
+                std::thread::park_timeout(PARK_BACKSTOP);
+            }
+            self.shared.consumer.lock().expect("ring lock").take();
+        }
+    }
+}
+
+impl<T> Drop for RingConsumer<T> {
+    fn drop(&mut self) {
+        self.shared.abandoned.store(true, Ordering::Release);
+        self.shared.wake_producer();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_drain_on_close() {
+        let (mut tx, mut rx) = ring::<u32>(4);
+        for i in 0..4 {
+            tx.try_push(i).unwrap();
+        }
+        assert!(tx.try_push(99).is_err(), "fifth push must not fit");
+        drop(tx);
+        // Consumer drains the full ring, then sees the close.
+        assert_eq!(rx.pop(), Some(0));
+        assert_eq!(rx.pop(), Some(1));
+        assert_eq!(rx.pop(), Some(2));
+        assert_eq!(rx.pop(), Some(3));
+        assert_eq!(rx.pop(), None);
+        assert_eq!(rx.pop(), None, "close is sticky");
+    }
+
+    #[test]
+    fn backpressure_blocks_then_resumes() {
+        let (mut tx, mut rx) = ring::<u64>(2);
+        let producer = std::thread::spawn(move || {
+            for i in 0..10_000u64 {
+                tx.push(i).expect("consumer alive");
+            }
+        });
+        let mut expect = 0u64;
+        while let Some(v) = rx.pop() {
+            assert_eq!(v, expect);
+            expect += 1;
+        }
+        assert_eq!(expect, 10_000);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn push_fails_when_consumer_gone() {
+        let (mut tx, rx) = ring::<u8>(2);
+        drop(rx);
+        let RingClosed(v) = tx.push(7).unwrap_err();
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn try_pop_is_nonblocking() {
+        let (mut tx, mut rx) = ring::<u8>(2);
+        assert_eq!(rx.try_pop(), None);
+        tx.try_push(1).unwrap();
+        assert_eq!(rx.try_pop(), Some(1));
+        assert_eq!(rx.try_pop(), None);
+    }
+}

@@ -2,27 +2,37 @@
 //!
 //! A shard owns the [`StreamAnalyzer`]s of the flows hashed to it. It never
 //! makes lifecycle decisions — the serial driver decides every open, close
-//! and eviction and streams [`Directive`]s down a per-shard channel, so the
-//! *set* of analyses produced per interval is independent of the shard
-//! count. Analyzers are recycled through a free pool
-//! ([`StreamAnalyzer::finish_reset`]), so a long-running shard reaches a
-//! steady state with zero per-flow allocation.
+//! and eviction and streams [`Directive`]s down a per-shard SPSC ring
+//! ([`super::ring`]) in recycled batch buffers, so the *set* of analyses
+//! produced per interval is independent of both the shard count and the
+//! batch size. Directives address flows by the driver's *slot* index
+//! (dense, bounded by the flow-table cap), so the per-record lookup is an
+//! array index, not a hash probe. Analyzers are recycled through a free
+//! pool ([`StreamAnalyzer::finish_reset`]), and emptied batch buffers are
+//! pushed back to the driver on a reverse ring, so a long-running shard
+//! reaches a steady state with zero per-batch allocation.
 
-use std::collections::HashMap;
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::Sender;
 
 use tcp_trace::record::TraceRecord;
 
+use crate::live::ring::{RingConsumer, RingProducer};
 use crate::live::MonitorSeed;
 use crate::report::StallBreakdown;
 use crate::{AnalyzerConfig, FlowAnalysis};
 
+/// Slot-map sentinel: no analyzer bound to this driver slot.
+const NONE: u32 = u32::MAX;
+
 /// One unit of work for a shard, issued by the driver in stream order.
 #[derive(Debug, Clone)]
 pub enum Directive {
-    /// Start tracking a flow under a driver-assigned unique id.
+    /// Start tracking a flow in the driver's slot `slot`.
     Open {
-        /// Global flow id (monotone across the whole run).
+        /// Driver flow-table slot (dense; recycled after `Close`).
+        slot: u32,
+        /// Global flow id (monotone across the whole run) — identifies the
+        /// flow in collected output; slots are recycled, uids never.
         uid: u64,
         /// Light-tier estimates to adopt as the starting state — `Some`
         /// when this open is a *promotion* partway through the flow,
@@ -31,22 +41,22 @@ pub enum Directive {
     },
     /// Feed one translated record to a tracked flow.
     Rec {
-        /// Target flow.
-        uid: u64,
+        /// Target driver slot.
+        slot: u32,
         /// The ISN-relative record.
         rec: TraceRecord,
     },
     /// Finalize a flow: fold its analysis into the current interval delta.
     Close {
-        /// Target flow.
-        uid: u64,
+        /// Target driver slot.
+        slot: u32,
     },
     /// Demote a flow back to the light tier: fold what the analyzer saw
     /// into the breakdown and recycle it, but do *not* count a
     /// finalization — the flow is still live, just cheaply monitored.
     Demote {
-        /// Target flow.
-        uid: u64,
+        /// Target driver slot.
+        slot: u32,
     },
     /// Interval barrier: report the accumulated delta for sequence `seq`.
     Cut {
@@ -90,85 +100,163 @@ pub struct ShardMsg {
     pub occupancy: usize,
 }
 
+/// The directive-application half of a shard, separated from the ring
+/// transport so the driver can run it *inline* when there is only one
+/// shard — same state machine, no threads, no handoff. Byte-identity of
+/// the reports across the two transports follows from the driver issuing
+/// the exact same directive sequence either way.
+#[derive(Debug)]
+pub struct ShardState {
+    cfg: AnalyzerConfig,
+    collect: bool,
+    /// Driver slot → analyzer-pool index (dense; NONE = not this shard's
+    /// flow or not open). Grows to the driver's slot high-water mark.
+    slot_map: Vec<u32>,
+    pool: Vec<crate::StreamAnalyzer>,
+    /// uid of the flow currently bound to each pool entry.
+    uids: Vec<u64>,
+    free: Vec<u32>,
+    open_count: usize,
+    delta: IntervalDelta,
+    collected: Vec<(u64, FlowAnalysis)>,
+}
+
+impl ShardState {
+    /// An empty shard with no flows bound.
+    pub fn new(cfg: AnalyzerConfig, collect: bool) -> ShardState {
+        ShardState {
+            cfg,
+            collect,
+            slot_map: Vec::new(),
+            pool: Vec::new(),
+            uids: Vec::new(),
+            free: Vec::new(),
+            open_count: 0,
+            delta: IntervalDelta::default(),
+            collected: Vec::new(),
+        }
+    }
+
+    /// Apply one open/record/close/demote directive. Cuts go through
+    /// [`ShardState::cut`] instead (the transport decides how to deliver
+    /// the delta).
+    pub fn apply(&mut self, d: Directive) {
+        match d {
+            Directive::Open { slot, uid, seed } => {
+                let idx = match self.free.pop() {
+                    Some(i) => i,
+                    None => {
+                        self.pool.push(crate::StreamAnalyzer::new(self.cfg));
+                        self.uids.push(0);
+                        (self.pool.len() - 1) as u32
+                    }
+                };
+                match seed {
+                    Some(s) => self.pool[idx as usize].reset_seeded(self.cfg, &s),
+                    None => self.pool[idx as usize].reset_for(self.cfg),
+                }
+                self.uids[idx as usize] = uid;
+                let s = slot as usize;
+                if s >= self.slot_map.len() {
+                    self.slot_map.resize(s + 1, NONE);
+                }
+                debug_assert_eq!(self.slot_map[s], NONE, "slot reused while open");
+                self.slot_map[s] = idx;
+                self.open_count += 1;
+            }
+            Directive::Rec { slot, rec } => self.apply_rec(slot, &rec),
+            Directive::Close { slot } => {
+                let idx = self.slot_map.get(slot as usize).copied().unwrap_or(NONE);
+                if idx != NONE {
+                    self.slot_map[slot as usize] = NONE;
+                    self.open_count -= 1;
+                    let analysis = self.pool[idx as usize].finish_reset();
+                    self.delta.breakdown.add_flow(&analysis);
+                    if self.collect {
+                        self.collected.push((self.uids[idx as usize], analysis));
+                    }
+                    self.free.push(idx);
+                }
+            }
+            Directive::Demote { slot } => {
+                let idx = self.slot_map.get(slot as usize).copied().unwrap_or(NONE);
+                if idx != NONE {
+                    // The heavy-tier episode's stalls are real and already
+                    // reported live; fold them so demotion never loses
+                    // diagnosed intervals. The flow itself stays open
+                    // (driver-side, light tier), so this is not a
+                    // finalization and is never collected.
+                    self.slot_map[slot as usize] = NONE;
+                    self.open_count -= 1;
+                    let analysis = self.pool[idx as usize].finish_reset();
+                    self.delta.breakdown.add_flow(&analysis);
+                    self.free.push(idx);
+                }
+            }
+            Directive::Cut { .. } => debug_assert!(false, "cuts go through ShardState::cut"),
+        }
+    }
+
+    /// Feed one record to the flow in `slot`, if bound here — the
+    /// per-packet form the inline transport calls directly, skipping the
+    /// [`Directive`] construction (and its record copy) entirely.
+    pub fn apply_rec(&mut self, slot: u32, rec: &TraceRecord) {
+        let idx = self.slot_map.get(slot as usize).copied().unwrap_or(NONE);
+        if idx != NONE && self.pool[idx as usize].push(rec).is_some() {
+            self.delta.live_stalls += 1;
+        }
+    }
+
+    /// Interval barrier: take the accumulated delta and report the current
+    /// occupancy.
+    pub fn cut(&mut self) -> (IntervalDelta, usize) {
+        (std::mem::take(&mut self.delta), self.open_count)
+    }
+
+    /// Tear down, yielding the collected per-flow analyses (empty unless
+    /// constructed with `collect`).
+    pub fn into_collected(self) -> Vec<(u64, FlowAnalysis)> {
+        self.collected
+    }
+}
+
 /// Run one shard to completion: consume directive batches until the driver
-/// drops the channel, answering every cut. Returns the finalized per-flow
+/// drops its ring producer, recycling each emptied buffer back on the
+/// `spare` ring and answering every cut. Returns the finalized per-flow
 /// analyses (empty unless `collect` — collection is unbounded memory, for
 /// tests and offline-equivalence checks only).
 pub fn shard_worker(
     shard: usize,
     cfg: AnalyzerConfig,
     collect: bool,
-    rx: Receiver<Vec<Directive>>,
+    mut rx: RingConsumer<Vec<Directive>>,
+    mut spare: RingProducer<Vec<Directive>>,
     tx: Sender<ShardMsg>,
 ) -> Vec<(u64, FlowAnalysis)> {
-    let mut flows: HashMap<u64, usize> = HashMap::new();
-    let mut pool: Vec<crate::StreamAnalyzer> = Vec::new();
-    let mut free: Vec<usize> = Vec::new();
-    let mut delta = IntervalDelta::default();
-    let mut collected = Vec::new();
-
-    while let Ok(batch) = rx.recv() {
-        for d in batch {
-            match d {
-                Directive::Open { uid, seed } => {
-                    let idx = match free.pop() {
-                        Some(i) => i,
-                        None => {
-                            pool.push(crate::StreamAnalyzer::new(cfg));
-                            pool.len() - 1
-                        }
-                    };
-                    match seed {
-                        Some(s) => pool[idx].reset_seeded(cfg, &s),
-                        None => pool[idx].reset_for(cfg),
-                    }
-                    let prev = flows.insert(uid, idx);
-                    debug_assert!(prev.is_none(), "uid reused while open");
+    let mut st = ShardState::new(cfg, collect);
+    while let Some(mut batch) = rx.pop() {
+        for d in batch.drain(..) {
+            if let Directive::Cut { seq } = d {
+                let (delta, occupancy) = st.cut();
+                let msg = ShardMsg {
+                    shard,
+                    seq,
+                    delta,
+                    occupancy,
+                };
+                if tx.send(msg).is_err() {
+                    return st.into_collected(); // driver gone; shut down
                 }
-                Directive::Rec { uid, rec } => {
-                    if let Some(&idx) = flows.get(&uid) {
-                        if pool[idx].push(&rec).is_some() {
-                            delta.live_stalls += 1;
-                        }
-                    }
-                }
-                Directive::Close { uid } => {
-                    if let Some(idx) = flows.remove(&uid) {
-                        let analysis = pool[idx].finish_reset();
-                        delta.breakdown.add_flow(&analysis);
-                        if collect {
-                            collected.push((uid, analysis));
-                        }
-                        free.push(idx);
-                    }
-                }
-                Directive::Demote { uid } => {
-                    if let Some(idx) = flows.remove(&uid) {
-                        // The heavy-tier episode's stalls are real and
-                        // already reported live; fold them so demotion
-                        // never loses diagnosed intervals. The flow itself
-                        // stays open (driver-side, light tier), so this is
-                        // not a finalization and is never collected.
-                        let analysis = pool[idx].finish_reset();
-                        delta.breakdown.add_flow(&analysis);
-                        free.push(idx);
-                    }
-                }
-                Directive::Cut { seq } => {
-                    let msg = ShardMsg {
-                        shard,
-                        seq,
-                        delta: std::mem::take(&mut delta),
-                        occupancy: flows.len(),
-                    };
-                    if tx.send(msg).is_err() {
-                        return collected; // driver gone; shut down
-                    }
-                }
+            } else {
+                st.apply(d);
             }
         }
+        // Hand the emptied buffer back for reuse; if the spare ring is
+        // full the buffer is simply dropped (the driver allocates a
+        // replacement and its fresh-buffer counter shows it).
+        let _ = spare.try_push(batch);
     }
-    // The driver closes every flow before dropping the channel; anything
+    // The driver closes every flow before dropping the ring; anything
     // still open here means an aborted run — drop it silently.
-    collected
+    st.into_collected()
 }

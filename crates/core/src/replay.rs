@@ -134,13 +134,21 @@ pub struct RetransEvent {
     pub kind: RetransKind,
 }
 
-/// Outstanding-segment marks (the analyzer's scoreboard).
+/// Outstanding-segment marks (the analyzer's scoreboard). Carries its own
+/// first-transmission time and retransmission flag so the cumulative-ACK
+/// retire path can take RTT samples from the scoreboard itself — the
+/// per-segment history map is only consulted on the rare paths
+/// (retransmissions, DSACKs, finalization), never per ACK.
 #[derive(Debug, Clone, Copy, Default)]
 struct OutSeg {
     len: u32,
     sacked: bool,
     lost: bool,
     retrans_out: bool,
+    /// Set once the segment is seen retransmitted (Karn: no RTT sample).
+    retx: bool,
+    /// Time of the original transmission.
+    first_tx: SimTime,
 }
 
 /// Sorted flat map of per-segment histories, keyed by start offset.
@@ -273,7 +281,13 @@ impl Outstanding {
     /// `ack`, end above) is kept in place, exactly like the old
     /// `range(..ack)` + filter on the `BTreeMap`.
     fn retire_below(&mut self, ack: u64, mut f: impl FnMut(u64, OutSeg)) {
-        let end = self.head + self.v[self.head..].partition_point(|(s, _)| *s < ack);
+        // Cumulative ACKs retire a short prefix, so a forward scan only
+        // touches cache lines the retire loop reads anyway — where a binary
+        // search probed O(log n) random lines per ACK.
+        let mut end = self.head;
+        while end < self.v.len() && self.v[end].0 < ack {
+            end += 1;
+        }
         let mut kept = 0usize;
         for i in self.head..end {
             let (seq, seg) = self.v[i];
@@ -589,6 +603,8 @@ impl Replay {
                 sacked: false,
                 lost: false,
                 retrans_out: false,
+                retx: false,
+                first_tx: rec.t,
             },
         );
         self.snd_nxt = rec.seq_end();
@@ -690,6 +706,7 @@ impl Replay {
             }
         }
         if let Some(seg) = self.outstanding.get_mut(rec.seq) {
+            seg.retx = true; // Karn's rule: never RTT-sample this segment
             if !seg.lost && !seg.sacked {
                 seg.lost = true;
                 self.lost_est += 1;
@@ -771,8 +788,7 @@ impl Replay {
             let sacked_out = &mut self.sacked_out;
             let lost_est = &mut self.lost_est;
             let retrans_out = &mut self.retrans_out;
-            let hist = &self.hist;
-            self.outstanding.retire_below(rec.ack, |seq, seg| {
+            self.outstanding.retire_below(rec.ack, |_seq, seg| {
                 if seg.sacked {
                     *sacked_out -= 1;
                 }
@@ -782,10 +798,8 @@ impl Replay {
                 if seg.retrans_out {
                     *retrans_out -= 1;
                 }
-                if let Some(h) = hist.get(seq) {
-                    if h.tx_count == 1 {
-                        rtt_sample = Some(rec.t.saturating_since(h.first_tx));
-                    }
+                if !seg.retx {
+                    rtt_sample = Some(rec.t.saturating_since(seg.first_tx));
                 }
             });
             if let Some(s) = rtt_sample {

@@ -121,6 +121,97 @@ fn reports_are_byte_identical_across_shards_even_when_shedding() {
     assert_eq!(rendered[0], rendered[2], "1 vs 4 shards");
 }
 
+/// Batched ingestion must keep the byte-identity invariant along *both*
+/// axes: any batch size × any shard count produces the same JSON and CSV
+/// report stream, with promotion enabled and under `--max-flows`
+/// shedding — the exact configuration where a timing-dependent handoff
+/// would first diverge (interval cuts land mid-batch, sheds reorder
+/// directives, promotions seed analyzers partway through flows).
+#[test]
+fn reports_are_byte_identical_across_batch_sizes_and_shards() {
+    let capture = interleaved_capture();
+    let mut rendered: Vec<(usize, usize, String)> = Vec::new();
+    for batch in [1usize, 256] {
+        for shards in [1usize, 4] {
+            let cfg = LiveConfig {
+                shards,
+                batch,
+                interval: SimDuration::from_millis(500),
+                idle_timeout: Some(SimDuration::from_secs(5)),
+                fin_linger: Some(SimDuration::from_millis(200)),
+                max_flows: 6, // force LRU shedding under ~15 concurrent flows
+                tier: Some(TierConfig {
+                    demote_streak: 32,
+                    ..TierConfig::default()
+                }),
+                ..Default::default()
+            };
+            let mut lines = String::new();
+            let summary = live::run(&capture[..], &cfg, |r| {
+                lines.push_str(&r.to_json().compact());
+                lines.push('\n');
+                lines.push_str(&r.to_csv_row());
+                lines.push('\n');
+            })
+            .expect("live run succeeds");
+            assert!(summary.flows_shed > 0, "cap of 6 must shed some flows");
+            assert!(summary.promotions > 0, "capture must exercise promotion");
+            lines.push_str(&summary.to_json().compact());
+            rendered.push((batch, shards, lines));
+        }
+    }
+    let (b0, s0, baseline) = &rendered[0];
+    for (b, s, lines) in &rendered[1..] {
+        assert_eq!(
+            lines, baseline,
+            "batch {b} × {s} shards diverged from batch {b0} × {s0} shards"
+        );
+    }
+}
+
+/// The steady-state handoff must not allocate: after warmup every batch
+/// buffer the driver sends comes back on the spare ring and is reused.
+/// The summary's recycling counters prove it — fresh allocations are
+/// bounded by warmup (at most spare-ring capacity + in-flight slots per
+/// shard, independent of capture length), while recycles scale with the
+/// number of batches.
+#[test]
+fn steady_state_handoff_recycles_buffers_instead_of_allocating() {
+    let spec = LiveGenSpec {
+        flows_per_service: 20, // 60 flows: enough batches to reach steady state
+        seed: 0xa110c,
+        mean_gap: SimDuration::from_millis(2),
+        threads: 1,
+        ..Default::default()
+    };
+    let mut capture = Vec::new();
+    generate_interleaved(&mut capture, &spec).expect("in-memory generation cannot fail");
+
+    let cfg = LiveConfig {
+        shards: 2,
+        batch: 64, // small batches → many flushes → many recycle round-trips
+        ..Default::default()
+    };
+    let summary = live::run(&capture[..], &cfg, |_| {}).expect("live run succeeds");
+    let flushes = summary.ring_fresh_buffers + summary.ring_recycled_buffers;
+    assert!(flushes > 100, "capture too short to exercise steady state");
+    // Warmup bound: each shard's spare ring holds ring_depth + 2 buffers
+    // and ring_depth more can be in flight on the forward ring.
+    let warmup_cap = (cfg.shards * (2 * cfg.ring_depth + 2)) as u64;
+    assert!(
+        summary.ring_fresh_buffers <= warmup_cap,
+        "fresh allocations ({}) exceed the warmup bound ({warmup_cap}): \
+         the hot path is allocating",
+        summary.ring_fresh_buffers
+    );
+    assert!(
+        summary.ring_recycled_buffers > summary.ring_fresh_buffers * 4,
+        "recycling ({}) should dominate allocation ({}) in steady state",
+        summary.ring_recycled_buffers,
+        summary.ring_fresh_buffers
+    );
+}
+
 /// Two-tier mode must keep the byte-identity invariant: promotion and
 /// demotion decisions live in the serial driver, so the report stream —
 /// including the new `flows_light`/`flows_heavy`/`promotions`/`demotions`

@@ -14,6 +14,8 @@
 //!   workspace root).
 //! * `BENCH_LIVE_FLOWS` — flows per service for the live-path phases
 //!   (default 3334, i.e. ≥ 10k flows total; CI smoke uses a small count).
+//! * `BENCH_LIVE_SHARDS` — shard count for a live child phase (set by the
+//!   parent while sweeping the per-shard-count scaling curve).
 //! * `-- --gate` — regression-gate mode, comparing this run against the
 //!   *committed* JSON's `current` section:
 //!   - single-thread flows/sec must be ≥ 80% of the committed value;
@@ -27,16 +29,23 @@
 //!     can no longer mask a pipeline memory regression;
 //!   - when the capture holds more flows than the cap, the cap must have
 //!     actually shed flows and the high-water mark must respect it;
+//!   - on machines with ≥ 2 cores, the best multi-shard live pkts/s must
+//!     be at least the single-shard pkts/s (the parallel front end must
+//!     not cost throughput);
 //!   - on machines with ≥ 4 cores (and a curve reaching ≥ 4 threads),
 //!     all-thread flows/sec must exceed 1.5× single-thread. Scaling
 //!     gates are skipped — not failed — on smaller machines, so the
 //!     single-core CI runner still gates throughput and memory.
 //!
 //! The emitted file keeps two sections: `baseline_pre_pr` (the tree
-//! before the PR 2 hot-path overhaul, preserved verbatim from the
-//! committed file) and `current` (this run), plus the measured `scaling`
-//! curve and the `live` / `live_1m` streaming-path phases. The ratio of
-//! the sections is the committed speedup.
+//! before the PR 2 hot-path overhaul, preserved from the committed file)
+//! and `current` (this run), plus — on multi-core machines — the measured
+//! thread-`scaling` curve, and the `live` / `live_1m` streaming-path
+//! phases with their per-shard-count `live_scaling` / `live_1m_scaling`
+//! curves. The ratio of the sections is the committed speedup. On a
+//! 1-core box the multi-thread points are oversubscription noise that
+//! reads as a regression, so `flows_per_sec_nt` and the scaling section
+//! are omitted entirely rather than recorded.
 //!
 //! Phase isolation: `peak_rss_bytes` reads `VmHWM`, which is process-wide
 //! and monotone, so phases that must report *their own* memory (the live
@@ -167,6 +176,16 @@ fn live_phase(path: &Path, cfg: &LiveConfig, cap: usize) -> std::io::Result<()> 
     Ok(())
 }
 
+/// Shard count for a live child phase (`BENCH_LIVE_SHARDS`, default 1 —
+/// the inline path, which stays the section baseline for comparability
+/// across machines).
+fn phase_shards() -> usize {
+    std::env::var("BENCH_LIVE_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 /// Child-phase dispatch: generate the shared capture or run one live
 /// pipeline over it, then exit. The capture path always arrives via the
 /// `BENCH_LIVE_CAPTURE` env var set by the parent.
@@ -198,6 +217,7 @@ fn run_child_phase(phase: &str) -> std::io::Result<()> {
         "live" => {
             let cfg = LiveConfig {
                 max_flows: LIVE_CAP,
+                shards: phase_shards(),
                 ..Default::default()
             };
             live_phase(&path, &cfg, LIVE_CAP)
@@ -206,6 +226,7 @@ fn run_child_phase(phase: &str) -> std::io::Result<()> {
             let cfg = LiveConfig {
                 max_flows: LIVE_1M_CAP,
                 tier: Some(TierConfig::default()),
+                shards: phase_shards(),
                 ..Default::default()
             };
             live_phase(&path, &cfg, LIVE_1M_CAP)
@@ -219,12 +240,13 @@ fn run_child_phase(phase: &str) -> std::io::Result<()> {
 /// Re-execute this bench binary as a one-phase child and return its JSON
 /// stdout line. Exits the whole bench on child failure — a phase that
 /// cannot run is a broken bench, not a skippable gate.
-fn spawn_phase(phase: &str, capture: &Path) -> String {
+fn spawn_phase(phase: &str, capture: &Path, shards: usize) -> String {
     let exe = std::env::current_exe().expect("current_exe");
     let out = std::process::Command::new(exe)
         .arg("--bench") // libtest harness arg, ignored by our main
         .env("BENCH_ENGINE_PHASE", phase)
         .env("BENCH_LIVE_CAPTURE", capture)
+        .env("BENCH_LIVE_SHARDS", shards.to_string())
         .output()
         .expect("spawn bench child phase");
     if !out.status.success() {
@@ -279,7 +301,11 @@ fn main() {
     let out = out_path();
     let committed = std::fs::read_to_string(&out).unwrap_or_default();
 
-    let counts = curve(cores, cap);
+    // On a 1-core box every multi-thread (and multi-shard) point is pure
+    // oversubscription noise that reads as a regression, so the curves
+    // and their gates are skipped — not failed — below 2 cores.
+    let multi = cores >= 2;
+    let counts = if multi { curve(cores, cap) } else { vec![1] };
     let mut points: Vec<(usize, f64)> = Vec::new();
     for &t in &counts {
         let fps = measure(&Engine::new(t), scale, 5);
@@ -301,9 +327,28 @@ fn main() {
     // million-flow pipeline. The capture file is shared, the address spaces
     // are not — each phase reports its own peak RSS.
     let capture = std::env::temp_dir().join(format!("tapo_live_bench_{}.pcap", std::process::id()));
-    spawn_phase("gen", &capture);
-    let live = parse_live(&spawn_phase("live", &capture), LIVE_CAP);
-    let live_1m = parse_live(&spawn_phase("live_1m", &capture), LIVE_1M_CAP);
+    spawn_phase("gen", &capture, 1);
+    let live = parse_live(&spawn_phase("live", &capture, 1), LIVE_CAP);
+    let live_1m = parse_live(&spawn_phase("live_1m", &capture, 1), LIVE_1M_CAP);
+    // Per-shard-count scaling sweep. The single-shard (inline) run above
+    // stays the primary `live`/`live_1m` section so committed baselines
+    // compare like-for-like across machines; the extra shard counts only
+    // feed the scaling curves and the multi-shard gate.
+    let shard_counts: Vec<usize> = {
+        let hi = cores.min(8);
+        let mut v: Vec<usize> = [1, 2, 4, hi].into_iter().filter(|&s| s <= hi).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let mut live_curve: Vec<(usize, f64)> = vec![(1, live.packets_per_sec)];
+    let mut live_1m_curve: Vec<(usize, f64)> = vec![(1, live_1m.packets_per_sec)];
+    for &s in shard_counts.iter().filter(|&&s| s > 1) {
+        let pps = parse_live(&spawn_phase("live", &capture, s), LIVE_CAP).packets_per_sec;
+        live_curve.push((s, pps));
+        let pps_1m = parse_live(&spawn_phase("live_1m", &capture, s), LIVE_1M_CAP).packets_per_sec;
+        live_1m_curve.push((s, pps_1m));
+    }
     let _ = std::fs::remove_file(&capture);
     println!(
         "live/packets_per_sec                 {:>12.1} pkts/s  ({} flows, {} pkts, cap {}, shed {}, rss {:.1} MiB)",
@@ -324,6 +369,16 @@ fn main() {
         live_1m.demotions,
         live_1m.peak_rss_bytes as f64 / (1024.0 * 1024.0)
     );
+    for (name, curve) in [("live", &live_curve), ("live_1m", &live_1m_curve)] {
+        let base = curve[0].1.max(1e-12);
+        for &(s, pps) in curve.iter().skip(1) {
+            let label = format!("{name}/packets_per_sec_{s}sh");
+            println!(
+                "{label:<36} {pps:>12.1} pkts/s  (scaling {:.2}x vs 1 shard)",
+                pps / base
+            );
+        }
+    }
 
     let rss = peak_rss_bytes().unwrap_or(0);
     println!(
@@ -480,6 +535,30 @@ fn main() {
         } else {
             println!("gate skipped: scaling gate needs >= 4 cores (have {cores})");
         }
+        // The parallel front end must never cost live throughput: on a
+        // multi-core box the best multi-shard point has to at least match
+        // the single-shard (inline) run.
+        if multi && live_curve.len() >= 2 {
+            let &(best_s, best) = live_curve[1..]
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("curve has a multi-shard point");
+            if best < live.packets_per_sec {
+                eprintln!(
+                    "REGRESSION: best multi-shard live throughput {best:.1} pkts/s \
+                     ({best_s} shards) is below single-shard {:.1} pkts/s",
+                    live.packets_per_sec
+                );
+                failed = true;
+            } else {
+                println!(
+                    "gate ok: {best_s}-shard live {best:.1} pkts/s >= single-shard {:.1} pkts/s",
+                    live.packets_per_sec
+                );
+            }
+        } else {
+            println!("gate skipped: multi-shard live gate needs >= 2 cores (have {cores})");
+        }
         if failed {
             std::process::exit(1);
         }
@@ -487,17 +566,21 @@ fn main() {
 
     // Preserve the pre-PR baseline section from the committed file; a
     // first-ever run seeds it from this run so the speedup starts at 1.0.
-    let section = |f1: f64, fnt: f64, r: u64| {
-        Json::obj([
-            ("flows_per_sec_1t", Json::Num(f1)),
-            ("flows_per_sec_nt", Json::Num(fnt)),
-            ("peak_rss_bytes", Json::Int(r as i64)),
-        ])
+    // Multi-thread fields are simply absent below 2 cores — `section_field`
+    // returns None for a missing field, so every gate reading them skips.
+    let section = |f1: f64, fnt: Option<f64>, r: u64| {
+        let mut fields = vec![("flows_per_sec_1t", Json::Num(f1))];
+        if let Some(fnt) = fnt {
+            fields.push(("flows_per_sec_nt", Json::Num(fnt)));
+        }
+        fields.push(("peak_rss_bytes", Json::Int(r as i64)));
+        Json::obj(fields)
     };
     let base_1t =
         section_field(&committed, "baseline_pre_pr", "flows_per_sec_1t").unwrap_or(fps_1t);
-    let base_nt =
-        section_field(&committed, "baseline_pre_pr", "flows_per_sec_nt").unwrap_or(fps_nt);
+    let base_nt = multi.then(|| {
+        section_field(&committed, "baseline_pre_pr", "flows_per_sec_nt").unwrap_or(fps_nt)
+    });
     let base_rss =
         section_field(&committed, "baseline_pre_pr", "peak_rss_bytes").unwrap_or(rss as f64);
     let scaling = Json::Arr(
@@ -511,7 +594,20 @@ fn main() {
             })
             .collect(),
     );
-    let doc = Json::obj([
+    let shard_curve_json = |curve: &[(usize, f64)]| {
+        Json::Arr(
+            curve
+                .iter()
+                .map(|&(s, pps)| {
+                    Json::obj([
+                        ("shards", Json::Int(s as i64)),
+                        ("packets_per_sec", Json::Num(pps)),
+                    ])
+                })
+                .collect(),
+        )
+    };
+    let mut doc_fields = vec![
         ("schema", Json::Int(2)),
         ("bench", Json::Str("engine".into())),
         ("flows_per_service", Json::Int(flows as i64)),
@@ -522,47 +618,56 @@ fn main() {
             "baseline_pre_pr",
             section(base_1t, base_nt, base_rss as u64),
         ),
-        ("current", section(fps_1t, fps_nt, rss)),
-        ("scaling", scaling),
-        (
-            "live",
-            Json::obj([
-                ("flows", Json::Int(live.flows as i64)),
-                ("packets", Json::Int(live.packets as i64)),
-                ("packets_per_sec", Json::Num(live.packets_per_sec)),
-                ("flows_shed", Json::Int(live.flows_shed as i64)),
-                ("max_active_flows", Json::Int(live.max_active_flows as i64)),
-                ("max_flows_cap", Json::Int(live.cap as i64)),
-                ("batch_size", Json::Int(live.batch_size as i64)),
-                ("wall_secs", Json::Num(live.wall_secs)),
-                ("peak_rss_bytes", Json::Int(live.peak_rss_bytes as i64)),
-            ]),
-        ),
-        (
-            "live_1m",
-            Json::obj([
-                ("flows", Json::Int(live_1m.flows as i64)),
-                ("packets", Json::Int(live_1m.packets as i64)),
-                ("packets_per_sec", Json::Num(live_1m.packets_per_sec)),
-                ("flows_shed", Json::Int(live_1m.flows_shed as i64)),
-                (
-                    "max_active_flows",
-                    Json::Int(live_1m.max_active_flows as i64),
-                ),
-                ("max_flows_cap", Json::Int(live_1m.cap as i64)),
-                ("promotions", Json::Int(live_1m.promotions as i64)),
-                ("demotions", Json::Int(live_1m.demotions as i64)),
-                ("max_heavy_flows", Json::Int(live_1m.max_heavy_flows as i64)),
-                ("batch_size", Json::Int(live_1m.batch_size as i64)),
-                ("wall_secs", Json::Num(live_1m.wall_secs)),
-                ("peak_rss_bytes", Json::Int(live_1m.peak_rss_bytes as i64)),
-            ]),
-        ),
-        (
-            "speedup_1t_vs_pre_pr",
-            Json::Num(fps_1t / base_1t.max(1e-12)),
-        ),
-    ]);
+        ("current", section(fps_1t, multi.then_some(fps_nt), rss)),
+    ];
+    if multi {
+        doc_fields.push(("scaling", scaling));
+    }
+    doc_fields.push((
+        "live",
+        Json::obj([
+            ("flows", Json::Int(live.flows as i64)),
+            ("packets", Json::Int(live.packets as i64)),
+            ("packets_per_sec", Json::Num(live.packets_per_sec)),
+            ("flows_shed", Json::Int(live.flows_shed as i64)),
+            ("max_active_flows", Json::Int(live.max_active_flows as i64)),
+            ("max_flows_cap", Json::Int(live.cap as i64)),
+            ("batch_size", Json::Int(live.batch_size as i64)),
+            ("wall_secs", Json::Num(live.wall_secs)),
+            ("peak_rss_bytes", Json::Int(live.peak_rss_bytes as i64)),
+        ]),
+    ));
+    if multi {
+        doc_fields.push(("live_scaling", shard_curve_json(&live_curve)));
+    }
+    doc_fields.push((
+        "live_1m",
+        Json::obj([
+            ("flows", Json::Int(live_1m.flows as i64)),
+            ("packets", Json::Int(live_1m.packets as i64)),
+            ("packets_per_sec", Json::Num(live_1m.packets_per_sec)),
+            ("flows_shed", Json::Int(live_1m.flows_shed as i64)),
+            (
+                "max_active_flows",
+                Json::Int(live_1m.max_active_flows as i64),
+            ),
+            ("max_flows_cap", Json::Int(live_1m.cap as i64)),
+            ("promotions", Json::Int(live_1m.promotions as i64)),
+            ("demotions", Json::Int(live_1m.demotions as i64)),
+            ("max_heavy_flows", Json::Int(live_1m.max_heavy_flows as i64)),
+            ("batch_size", Json::Int(live_1m.batch_size as i64)),
+            ("wall_secs", Json::Num(live_1m.wall_secs)),
+            ("peak_rss_bytes", Json::Int(live_1m.peak_rss_bytes as i64)),
+        ]),
+    ));
+    if multi {
+        doc_fields.push(("live_1m_scaling", shard_curve_json(&live_1m_curve)));
+    }
+    doc_fields.push((
+        "speedup_1t_vs_pre_pr",
+        Json::Num(fps_1t / base_1t.max(1e-12)),
+    ));
+    let doc = Json::obj(doc_fields);
     let body = format!("{}\n", doc.pretty());
     match std::fs::write(&out, body) {
         Ok(()) => println!("wrote {}", out.display()),

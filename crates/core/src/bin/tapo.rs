@@ -25,16 +25,20 @@
 //! per interval and a final summary:
 //!
 //! ```text
-//! tapo live <capture.pcap|-> [--shards N] [--batch N] [--ring N]
-//!           [--interval MS] [--idle MS] [--linger MS] [--max-flows N]
-//!           [--promote N] [--demote N] [--heavy-max N] [--per-shard]
-//!           [--csv] [--pace X] [--mss BYTES] [--dupthres N]
+//! tapo live <capture.pcap|-> [--shards N] [--cells N] [--batch N]
+//!           [--ring N] [--interval MS] [--idle MS] [--linger MS]
+//!           [--max-flows N] [--promote N] [--demote N] [--heavy-max N]
+//!           [--per-shard] [--csv] [--pace X] [--mss BYTES] [--dupthres N]
 //!
-//!   --shards N      worker shards (default 1; output is byte-identical
-//!                   at any shard count)
+//!   --shards N      worker shards, each owning its slice of the flow
+//!                   space (default: available cores, capped at 8; output
+//!                   is byte-identical at any shard count)
+//!   --cells N       virtual flow cells — the shard-count-independent
+//!                   unit of flow ownership and cap splitting (default 64)
 //!   --batch N       ingestion batch size in packets (default 256; output
 //!                   is byte-identical at any batch size)
-//!   --ring N        driver→shard ring depth in batch buffers (default 8)
+//!   --ring N        driver→shard work-ring depth in batch buffers
+//!                   (default 8)
 //!   --interval MS   reporting interval in capture time   (default 1000)
 //!   --idle MS       idle-flow eviction timeout, 0 = off  (default 60000)
 //!   --linger MS     FIN/RST linger before finalize, 0 = off (default 1000)
@@ -202,9 +206,10 @@ fn main() -> ExitCode {
 }
 
 fn run_live(mut args: impl Iterator<Item = String>) -> ExitCode {
-    const USAGE: &str = "usage: tapo live <capture.pcap|-> [--shards N] [--batch N] [--ring N] \
-         [--interval MS] [--idle MS] [--linger MS] [--max-flows N] [--promote N] [--demote N] \
-         [--heavy-max N] [--per-shard] [--csv] [--pace X] [--mss BYTES] [--dupthres N]";
+    const USAGE: &str = "usage: tapo live <capture.pcap|-> [--shards N] [--cells N] [--batch N] \
+         [--ring N] [--interval MS] [--idle MS] [--linger MS] [--max-flows N] [--promote N] \
+         [--demote N] [--heavy-max N] [--per-shard] [--csv] [--pace X] [--mss BYTES] \
+         [--dupthres N]";
     let mut input: Option<String> = None;
     let mut b = LiveConfig::builder();
     let mut csv = false;
@@ -217,6 +222,10 @@ fn run_live(mut args: impl Iterator<Item = String>) -> ExitCode {
             "--shards" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => b = b.shards(n),
                 None => return fail("--shards requires N"),
+            },
+            "--cells" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => b = b.cells(n),
+                None => return fail("--cells requires N"),
             },
             "--batch" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => b = b.batch(n),

@@ -35,6 +35,8 @@ pub enum LiveConfigError {
     /// `ring_depth` was 0 or above [`MAX_RING_DEPTH`] (carries the bad
     /// value).
     BadRingDepth(usize),
+    /// `cells` was 0 or above [`MAX_CELLS`] (carries the bad value).
+    BadCells(usize),
 }
 
 /// Upper bound on `--batch`: beyond this the staging arrays stop fitting
@@ -42,9 +44,14 @@ pub enum LiveConfigError {
 /// typo rather than a tuning choice.
 pub const MAX_BATCH: usize = 1 << 16;
 
-/// Upper bound on `--ring`: each slot pins a recycled directive buffer of
-/// up to `batch` entries per shard, so absurd depths are a memory typo.
+/// Upper bound on `--ring`: each slot pins a recycled work buffer of up
+/// to `batch` entries per shard, so absurd depths are a memory typo.
 pub const MAX_RING_DEPTH: usize = 1 << 12;
+
+/// Upper bound on `--cells`: each cell costs O(1) quota/LRU bookkeeping
+/// per shard, but a cell count far above any plausible shard count only
+/// fragments the cap quotas into zeros.
+pub const MAX_CELLS: usize = 1 << 12;
 
 impl fmt::Display for LiveConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -66,6 +73,9 @@ impl fmt::Display for LiveConfigError {
             LiveConfigError::BadRingDepth(n) => {
                 write!(f, "--ring must be between 1 and {MAX_RING_DEPTH}, got {n}")
             }
+            LiveConfigError::BadCells(n) => {
+                write!(f, "--cells must be between 1 and {MAX_CELLS}, got {n}")
+            }
         }
     }
 }
@@ -78,6 +88,7 @@ impl std::error::Error for LiveConfigError {}
 #[derive(Debug, Clone)]
 pub struct LiveConfigBuilder {
     shards: usize,
+    cells: usize,
     interval_ms: u64,
     /// 0 = idle eviction off.
     idle_ms: u64,
@@ -97,11 +108,20 @@ pub struct LiveConfigBuilder {
     ring_depth: usize,
 }
 
+/// The CLI-facing shard default: one worker per available core, capped
+/// at 8 (beyond that the single reader thread is the bottleneck anyway).
+/// [`LiveConfig::default`] stays at 1 so library embedders opt into
+/// parallelism explicitly.
+pub fn default_shards() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
 impl Default for LiveConfigBuilder {
     fn default() -> Self {
         let d = LiveConfig::default();
         LiveConfigBuilder {
-            shards: d.shards,
+            shards: default_shards(),
+            cells: d.cells,
             interval_ms: d.interval.as_micros() / 1_000,
             idle_ms: d.idle_timeout.map_or(0, |t| t.as_micros() / 1_000),
             linger_ms: d.fin_linger.map_or(0, |t| t.as_micros() / 1_000),
@@ -126,9 +146,16 @@ impl LiveConfigBuilder {
         Self::default()
     }
 
-    /// Worker shard count (must be ≥ 1).
+    /// Worker shard count (must be ≥ 1; defaults to [`default_shards`]).
     pub fn shards(mut self, n: usize) -> Self {
         self.shards = n;
+        self
+    }
+
+    /// Virtual flow-cell count (1..=[`MAX_CELLS`]) — the shard-count-
+    /// independent unit of flow ownership and cap splitting.
+    pub fn cells(mut self, n: usize) -> Self {
+        self.cells = n;
         self
     }
 
@@ -218,7 +245,7 @@ impl LiveConfigBuilder {
         self
     }
 
-    /// Depth of each driver→shard directive ring in batch buffers
+    /// Depth of each driver→shard work ring in batch buffers
     /// (1..=[`MAX_RING_DEPTH`]).
     pub fn ring_depth(mut self, n: usize) -> Self {
         self.ring_depth = n;
@@ -251,6 +278,9 @@ impl LiveConfigBuilder {
         if self.ring_depth == 0 || self.ring_depth > MAX_RING_DEPTH {
             return Err(LiveConfigError::BadRingDepth(self.ring_depth));
         }
+        if self.cells == 0 || self.cells > MAX_CELLS {
+            return Err(LiveConfigError::BadCells(self.cells));
+        }
         let tier = match self.promote {
             Some(0) => return Err(LiveConfigError::ZeroPromote),
             Some(dupacks) => {
@@ -278,6 +308,7 @@ impl LiveConfigBuilder {
         };
         let mut cfg = LiveConfig {
             shards: self.shards,
+            cells: self.cells,
             interval: SimDuration::from_millis(self.interval_ms),
             idle_timeout: (self.idle_ms > 0).then(|| SimDuration::from_millis(self.idle_ms)),
             fin_linger: (self.linger_ms > 0).then(|| SimDuration::from_millis(self.linger_ms)),
@@ -304,12 +335,43 @@ mod tests {
     fn defaults_round_trip_to_the_default_config() {
         let built = LiveConfigBuilder::new().build().unwrap();
         let d = LiveConfig::default();
-        assert_eq!(built.shards, d.shards);
+        // The builder (the CLI path) defaults shards to the machine's
+        // parallelism; the plain library default stays at 1.
+        assert_eq!(built.shards, default_shards());
+        assert!((1..=8).contains(&built.shards));
+        assert_eq!(d.shards, 1);
+        assert_eq!(built.cells, d.cells);
         assert_eq!(built.interval, d.interval);
         assert_eq!(built.idle_timeout, d.idle_timeout);
         assert_eq!(built.fin_linger, d.fin_linger);
         assert_eq!(built.max_flows, d.max_flows);
         assert!(built.tier.is_none());
+    }
+
+    #[test]
+    fn cells_bounds_are_enforced() {
+        assert_eq!(
+            LiveConfigBuilder::new().cells(0).build().unwrap_err(),
+            LiveConfigError::BadCells(0)
+        );
+        assert_eq!(
+            LiveConfigBuilder::new()
+                .cells(MAX_CELLS + 1)
+                .build()
+                .unwrap_err(),
+            LiveConfigError::BadCells(MAX_CELLS + 1)
+        );
+        let err = LiveConfigBuilder::new().cells(0).build().unwrap_err();
+        assert!(err.to_string().contains("--cells"));
+        let cfg = LiveConfigBuilder::new().cells(MAX_CELLS).build().unwrap();
+        assert_eq!(cfg.cells, MAX_CELLS);
+        // Effective cells clamp to the flow cap so every cell can admit.
+        let capped = LiveConfigBuilder::new()
+            .cells(64)
+            .max_flows(6)
+            .build()
+            .unwrap();
+        assert_eq!(capped.effective_cells(), 6);
     }
 
     #[test]

@@ -1,14 +1,18 @@
-//! FNV-1a hashing for the driver's hot per-packet maps.
+//! FNV-1a hashing for the live pipeline's hot per-packet maps and for
+//! flow-cell placement.
 //!
 //! Every packet costs at least one flow-map probe (two on the miss path:
 //! flow map, then dead map), and `std`'s default SipHash is designed for
 //! HashDoS resistance the live pipeline does not need — the keys are
 //! 4-tuples from a capture the operator already controls, and the map is
 //! bounded by `max_flows` anyway. FNV-1a folds the 12 key bytes in a few
-//! cycles, the same function the sharder ([`super::shard_of`]) already
-//! uses for placement.
+//! cycles, and the same function places flows into virtual cells
+//! ([`cell_of`]), the shard-count-independent unit of ownership the
+//! parallel front end is built on.
 
 use std::hash::{BuildHasherDefault, Hasher};
+
+use tcp_trace::flow::FlowKey;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x100_0000_01b3;
@@ -41,6 +45,30 @@ impl Hasher for FnvHasher {
 /// `HashMap<K, V, FnvState>`.
 pub type FnvState = BuildHasherDefault<FnvHasher>;
 
+/// Stable (hasher-independent) cell placement: FNV-1a over the key bytes,
+/// modulo the cell count. A flow's cell depends only on its 4-tuple and
+/// the (shard-count-independent) cell count, and a shard owns cell `c`
+/// iff `c % shards == shard` — so every cross-flow decision made within
+/// one cell (LRU shed victims, quota denials) is identical at any shard
+/// count.
+pub fn cell_of(key: &FlowKey, ncells: usize) -> usize {
+    let mut h: u64 = FNV_OFFSET;
+    let eat = |h: u64, b: u8| (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    for b in key.server_ip {
+        h = eat(h, b);
+    }
+    for b in key.server_port.to_be_bytes() {
+        h = eat(h, b);
+    }
+    for b in key.client_ip {
+        h = eat(h, b);
+    }
+    for b in key.client_port.to_be_bytes() {
+        h = eat(h, b);
+    }
+    (h % ncells as u64) as usize
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,5 +95,21 @@ mod tests {
         }
         assert_eq!(m.get(&977), Some(&977));
         assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn cell_placement_is_stable_and_spread() {
+        let k = FlowKey::synthetic(123);
+        assert_eq!(cell_of(&k, 64), cell_of(&k, 64));
+        assert_eq!(cell_of(&k, 1), 0);
+        // Distribution sanity: 256 keys over 8 cells leaves none empty.
+        let mut counts = [0usize; 8];
+        for i in 0..256 {
+            counts[cell_of(&FlowKey::synthetic(i), 8)] += 1;
+        }
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "degenerate spread: {counts:?}"
+        );
     }
 }

@@ -1,49 +1,61 @@
-//! Intrusive O(1) LRU list over driver slot indices.
+//! Intrusive O(1) multi-lane LRU over slab slot indices.
 //!
-//! The live driver tracks at most `max_flows` concurrent flows; when the
-//! cap is hit the least-recently-active flow is shed. Flows live in a slab
-//! (`Vec` of slots), so recency is tracked by an intrusive doubly-linked
-//! list over slot indices — no allocation per touch, no hashing, and
-//! `touch`/`remove`/`pop_front` are all O(1).
+//! Each live shard engine caps the flows of every cell it owns with that
+//! cell's deterministic quota; when a cell's quota is hit, the least-
+//! recently-active flow *of that cell* is shed. One [`LruList`] therefore
+//! holds one recency lane per owned cell, all sharing a single `links`
+//! arena indexed by slot (a slot is on at most one lane at a time), so
+//! adding cells costs two `u32`s of head/tail bookkeeping each — not a
+//! second per-slot array. `touch`/`remove`/`pop_front` stay O(1) and
+//! allocation-free on the per-packet path.
 
 const NIL: u32 = u32::MAX - 1;
 
-/// Marks a slot as not on the list at all (its `prev` link). Kept distinct
-/// from `NIL` so membership needs no separate flag array — `touch` on the
+/// Marks a slot as not on any lane (its `prev` link). Kept distinct from
+/// `NIL` so membership needs no separate flag array — `touch` on the
 /// per-packet path stays within the one `links` cache line per slot.
 const UNLINKED: u32 = u32::MAX;
 
-/// Doubly-linked recency list over slab slot indices. Front = least
-/// recently used, back = most recently used.
+#[derive(Debug, Clone, Copy)]
+struct Lane {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+const EMPTY_LANE: Lane = Lane {
+    head: NIL,
+    tail: NIL,
+    len: 0,
+};
+
+/// Doubly-linked recency lanes over slab slot indices. Within a lane,
+/// front = least recently used, back = most recently used.
 #[derive(Debug, Default)]
 pub struct LruList {
     /// Per-slot `(prev, next)` links, `NIL`-terminated; `prev == UNLINKED`
-    /// means the slot is not on the list.
+    /// means the slot is not on any lane.
     links: Vec<(u32, u32)>,
-    head: u32,
-    tail: u32,
-    len: usize,
+    lanes: Vec<Lane>,
 }
 
 impl LruList {
-    /// An empty list.
-    pub fn new() -> Self {
+    /// `lanes` empty recency lanes (one per owned cell).
+    pub fn new(lanes: usize) -> Self {
         LruList {
             links: Vec::new(),
-            head: NIL,
-            tail: NIL,
-            len: 0,
+            lanes: vec![EMPTY_LANE; lanes.max(1)],
         }
     }
 
-    /// Number of linked slots.
-    pub fn len(&self) -> usize {
-        self.len
+    /// Number of slots linked on `lane`.
+    pub fn len(&self, lane: u32) -> usize {
+        self.lanes[lane as usize].len as usize
     }
 
-    /// True if no slot is linked.
+    /// True if no slot is linked on any lane.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.lanes.iter().all(|l| l.len == 0)
     }
 
     fn ensure(&mut self, slot: u32) {
@@ -53,26 +65,27 @@ impl LruList {
         }
     }
 
-    /// Link `slot` at the most-recently-used end. Panics in debug builds if
-    /// the slot is already linked.
-    pub fn push_back(&mut self, slot: u32) {
+    /// Link `slot` at `lane`'s most-recently-used end. Panics in debug
+    /// builds if the slot is already linked.
+    pub fn push_back(&mut self, lane: u32, slot: u32) {
         self.ensure(slot);
         debug_assert!(
             self.links[slot as usize].0 == UNLINKED,
             "slot already linked"
         );
-        self.links[slot as usize] = (self.tail, NIL);
-        if self.tail != NIL {
-            self.links[self.tail as usize].1 = slot;
+        let tail = self.lanes[lane as usize].tail;
+        self.links[slot as usize] = (tail, NIL);
+        if tail != NIL {
+            self.links[tail as usize].1 = slot;
         } else {
-            self.head = slot;
+            self.lanes[lane as usize].head = slot;
         }
-        self.tail = slot;
-        self.len += 1;
+        self.lanes[lane as usize].tail = slot;
+        self.lanes[lane as usize].len += 1;
     }
 
-    /// Unlink `slot` wherever it is. No-op if the slot is not linked.
-    pub fn remove(&mut self, slot: u32) {
+    /// Unlink `slot` from `lane`. No-op if the slot is not linked.
+    pub fn remove(&mut self, lane: u32, slot: u32) {
         if slot as usize >= self.links.len() || self.links[slot as usize].0 == UNLINKED {
             return;
         }
@@ -80,34 +93,34 @@ impl LruList {
         if prev != NIL {
             self.links[prev as usize].1 = next;
         } else {
-            self.head = next;
+            self.lanes[lane as usize].head = next;
         }
         if next != NIL {
             self.links[next as usize].0 = prev;
         } else {
-            self.tail = prev;
+            self.lanes[lane as usize].tail = prev;
         }
         self.links[slot as usize] = (UNLINKED, UNLINKED);
-        self.len -= 1;
+        self.lanes[lane as usize].len -= 1;
     }
 
-    /// Move `slot` to the most-recently-used end.
-    pub fn touch(&mut self, slot: u32) {
-        if self.tail == slot {
+    /// Move `slot` to `lane`'s most-recently-used end.
+    pub fn touch(&mut self, lane: u32, slot: u32) {
+        if self.lanes[lane as usize].tail == slot {
             return; // already most recent
         }
-        self.remove(slot);
-        self.push_back(slot);
+        self.remove(lane, slot);
+        self.push_back(lane, slot);
     }
 
-    /// Unlink and return the least-recently-used slot.
-    pub fn pop_front(&mut self) -> Option<u32> {
-        if self.head == NIL {
+    /// Unlink and return `lane`'s least-recently-used slot.
+    pub fn pop_front(&mut self, lane: u32) -> Option<u32> {
+        let head = self.lanes[lane as usize].head;
+        if head == NIL {
             return None;
         }
-        let slot = self.head;
-        self.remove(slot);
-        Some(slot)
+        self.remove(lane, head);
+        Some(head)
     }
 }
 
@@ -117,42 +130,68 @@ mod tests {
 
     #[test]
     fn evicts_in_recency_order() {
-        let mut lru = LruList::new();
+        let mut lru = LruList::new(1);
         for s in 0..4 {
-            lru.push_back(s);
+            lru.push_back(0, s);
         }
-        lru.touch(0); // order now 1, 2, 3, 0
-        assert_eq!(lru.pop_front(), Some(1));
-        lru.touch(2); // order now 3, 0, 2
-        assert_eq!(lru.pop_front(), Some(3));
-        assert_eq!(lru.pop_front(), Some(0));
-        assert_eq!(lru.pop_front(), Some(2));
-        assert_eq!(lru.pop_front(), None);
+        lru.touch(0, 0); // order now 1, 2, 3, 0
+        assert_eq!(lru.pop_front(0), Some(1));
+        lru.touch(0, 2); // order now 3, 0, 2
+        assert_eq!(lru.pop_front(0), Some(3));
+        assert_eq!(lru.pop_front(0), Some(0));
+        assert_eq!(lru.pop_front(0), Some(2));
+        assert_eq!(lru.pop_front(0), None);
         assert!(lru.is_empty());
     }
 
     #[test]
     fn remove_mid_list_and_reinsert() {
-        let mut lru = LruList::new();
+        let mut lru = LruList::new(1);
         for s in 0..3 {
-            lru.push_back(s);
+            lru.push_back(0, s);
         }
-        lru.remove(1);
-        assert_eq!(lru.len(), 2);
-        lru.remove(1); // double remove is a no-op
-        assert_eq!(lru.len(), 2);
-        lru.push_back(1);
-        assert_eq!(lru.pop_front(), Some(0));
-        assert_eq!(lru.pop_front(), Some(2));
-        assert_eq!(lru.pop_front(), Some(1));
+        lru.remove(0, 1);
+        assert_eq!(lru.len(0), 2);
+        lru.remove(0, 1); // double remove is a no-op
+        assert_eq!(lru.len(0), 2);
+        lru.push_back(0, 1);
+        assert_eq!(lru.pop_front(0), Some(0));
+        assert_eq!(lru.pop_front(0), Some(2));
+        assert_eq!(lru.pop_front(0), Some(1));
     }
 
     #[test]
     fn sparse_slots_grow_lazily() {
-        let mut lru = LruList::new();
-        lru.push_back(100);
-        lru.push_back(3);
-        assert_eq!(lru.pop_front(), Some(100));
-        assert_eq!(lru.pop_front(), Some(3));
+        let mut lru = LruList::new(1);
+        lru.push_back(0, 100);
+        lru.push_back(0, 3);
+        assert_eq!(lru.pop_front(0), Some(100));
+        assert_eq!(lru.pop_front(0), Some(3));
+    }
+
+    #[test]
+    fn lanes_are_independent_over_one_arena() {
+        let mut lru = LruList::new(3);
+        // Interleave slots across lanes; recency is per lane.
+        lru.push_back(0, 0);
+        lru.push_back(1, 1);
+        lru.push_back(0, 2);
+        lru.push_back(2, 3);
+        lru.push_back(1, 4);
+        assert_eq!(lru.len(0), 2);
+        assert_eq!(lru.len(1), 2);
+        assert_eq!(lru.len(2), 1);
+        lru.touch(0, 0); // lane 0 order: 2, 0
+        assert_eq!(lru.pop_front(0), Some(2));
+        assert_eq!(lru.pop_front(1), Some(1));
+        assert_eq!(lru.pop_front(2), Some(3));
+        assert_eq!(lru.pop_front(2), None);
+        assert_eq!(lru.pop_front(0), Some(0));
+        // A freed slot can be relinked on a different lane.
+        lru.push_back(2, 0);
+        assert_eq!(lru.pop_front(0), None);
+        assert_eq!(lru.pop_front(2), Some(0));
+        assert_eq!(lru.pop_front(1), Some(4));
+        assert!(lru.is_empty());
     }
 }

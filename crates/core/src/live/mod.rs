@@ -8,34 +8,45 @@
 //!
 //! # Architecture
 //!
-//! The packet path is *batched end-to-end*. The segmented zero-copy reader
+//! The packet path is *batched end-to-end* and **partitioned by flow
+//! hash**. The segmented zero-copy reader
 //! ([`tcp_trace::pcap::PcapStream::fill_batch`]) decodes up to `batch`
-//! packets per refill into a reusable [`PacketBatch`]; one **serial
-//! driver** walks each batch in capture order and makes *every* lifecycle
-//! decision: flow admission, 4-tuple reuse (a bare SYN on a closed flow
-//! finalizes the old generation and opens a fresh one, matching the
-//! offline [`tcp_trace::flow::FlowTable`]), FIN/RST teardown with a linger
-//! window, idle-timeout eviction through a lazy timer wheel
-//! ([`TimerWheel`]), and LRU shedding ([`LruList`]) at a hard flow-table
-//! cap. The driver also owns per-flow sequence translation
-//! ([`tcp_trace::pcap::SeqTracker`]) and the FNV-keyed flow maps, then
-//! groups directives by each flow's key hash into per-shard staging
-//! buffers, flushed as one handoff per shard per batch down bounded SPSC
-//! rings ([`ring`]) whose batch buffers the shards recycle back — the
-//! steady state allocates nothing. N **worker shards** run the per-flow
-//! [`crate::StreamAnalyzer`]s, addressed by dense driver slot indices.
+//! packets per refill into a reusable [`PacketBatch`]; a thin driver walks
+//! each batch in capture order and only routes: each flow hashes to one of
+//! `cells` **virtual cells** ([`cell_of`]), each cell is owned by exactly
+//! one shard (`cell % shards`), and the packet is staged to its owner's
+//! SPSC ring ([`ring`]) as [`Work`] — one handoff per shard per batch,
+//! with emptied batch buffers recycled back on reverse rings so the
+//! steady state allocates nothing.
+//!
+//! Each shard runs a [`ShardEngine`] owning *everything* for its cells:
+//! flow map, sequence trackers ([`tcp_trace::pcap::SeqTracker`]), light
+//! tier ([`LightTable`]), heavy analyzers ([`crate::StreamAnalyzer`]),
+//! lazy timer wheel ([`TimerWheel`]), per-cell LRU lanes ([`LruList`]),
+//! and dead-key map. All lifecycle decisions — admission, 4-tuple reuse
+//! (a bare SYN on a closed flow finalizes the old generation and opens a
+//! fresh one, matching the offline [`tcp_trace::flow::FlowTable`]),
+//! FIN/RST teardown with a linger window, idle eviction, LRU shedding,
+//! and light↔heavy promotion/demotion — are made locally by the owning
+//! engine, with no cross-shard coordination on the packet path. With
+//! `--shards 1` the one engine runs inline on the driver thread: no
+//! rings, no staging copy, no worker thread.
 //!
 //! # Determinism
 //!
 //! Aggregate output is byte-identical at any shard count *and any batch
-//! size*:
-//! * lifecycle decisions are made serially by the driver, independent of
-//!   shard placement and of how many packets a batch happened to carry;
+//! size* — by construction, not by serialization:
+//! * a flow's cell depends only on its key and the (shard-count-
+//!   independent) cell count, and every cross-flow decision is
+//!   cell-local, so shed victims and quota denials are identical however
+//!   cells are spread over shards;
+//! * the global `max_flows` / heavy caps are split into fixed per-cell
+//!   quotas that sum exactly to the cap ([`shard`] module docs);
 //! * each flow's analysis depends only on its own records (analyzers are
 //!   recycled through exact resets);
-//! * per-interval shard deltas are commutative integer merges
-//!   ([`crate::report::StallBreakdown::merge`]), collected at a cut barrier
-//!   before each report is rendered;
+//! * per-interval sub-reports ([`IntervalDelta`]) are commutative integer
+//!   merges, collected at a [`Work::Cut`] barrier and folded in canonical
+//!   shard order before each report is rendered;
 //! * reader skip counts are recorded per decoded packet
 //!   ([`PacketBatch::skipped_before`]), so interval attribution does not
 //!   shift when the reader decodes ahead of processing.
@@ -44,10 +55,11 @@
 //!
 //! # Memory bound
 //!
-//! With a cap of `max_flows`, driver + shards hold at most that many flow
-//! states (plus recycled free pools); everything else is O(shards) or
-//! O(interval). The load generator in the `workloads` crate feeds the
-//! 10k-flow capture the bench gate uses to assert the bound.
+//! With a cap of `max_flows`, the engines together hold at most that many
+//! flow states (per-cell quotas sum to the cap; plus recycled free
+//! pools); everything else is O(shards) or O(interval). The load
+//! generator in the `workloads` crate feeds the 10k-flow capture the
+//! bench gate uses to assert the bound.
 
 mod config;
 mod fnv;
@@ -58,23 +70,26 @@ pub mod ring;
 mod shard;
 mod wheel;
 
-pub use config::{LiveConfigBuilder, LiveConfigError, MAX_BATCH, MAX_RING_DEPTH};
-pub use fnv::{FnvHasher, FnvState};
+pub use config::{
+    default_shards, LiveConfigBuilder, LiveConfigError, MAX_BATCH, MAX_CELLS, MAX_RING_DEPTH,
+};
+pub use fnv::{cell_of, FnvHasher, FnvState};
 pub use lru::LruList;
 pub use monitor::{FlowMonitor, LightTable, MonitorSeed, TierConfig, Verdict};
 pub use report::{class_slug, retrans_slug, IntervalReport, LiveSummary};
-pub use shard::{shard_worker, Directive, IntervalDelta, ShardMsg, ShardState};
+pub use shard::{
+    shard_worker, EngineParams, EngineTotals, IntervalDelta, ShardEngine, ShardMsg, Work,
+};
 pub use wheel::{TimerEntry, TimerWheel};
 
-use std::collections::{HashMap, VecDeque};
 use std::io::Read;
 use std::sync::mpsc;
 
 use simnet::time::SimDuration;
 use tcp_trace::flow::FlowKey;
-use tcp_trace::pcap::{PacketBatch, PcapError, PcapPacket, PcapStream, SeqTracker};
+use tcp_trace::pcap::{PacketBatch, PcapError, PcapStream};
 
-use crate::AnalyzerConfig;
+use crate::{AnalyzerConfig, FlowAnalysis};
 use ring::{RingConsumer, RingProducer};
 
 /// How the live pipeline runs: sharding, lifecycle timeouts, reporting
@@ -83,8 +98,14 @@ use ring::{RingConsumer, RingProducer};
 pub struct LiveConfig {
     /// Per-flow analyzer parameters.
     pub analyzer: AnalyzerConfig,
-    /// Worker shards (0 is treated as 1). Output is identical at any count.
+    /// Worker shards (0 is treated as 1). Output is identical at any
+    /// count; the builder defaults to `available_parallelism()` capped
+    /// at 8, while `LiveConfig::default()` stays at 1 for library users.
     pub shards: usize,
+    /// Virtual flow cells — the shard-count-independent unit of flow
+    /// ownership and cap splitting (0 is treated as 1; clamped to
+    /// `max_flows` when capped so every cell's flow quota is ≥ 1).
+    pub cells: usize,
     /// Reporting interval (capture time, aligned to multiples of itself).
     pub interval: SimDuration,
     /// Evict flows idle this long; `None` disables idle eviction.
@@ -93,14 +114,16 @@ pub struct LiveConfig {
     /// then still reach the analyzer); `None` keeps closed flows until
     /// idle timeout / EOF, matching the offline reader.
     pub fin_linger: Option<SimDuration>,
-    /// Hard cap on concurrently tracked flows; 0 = unbounded. At the cap,
-    /// the least-recently-active flow is finalized early ("shed").
+    /// Hard cap on concurrently tracked flows; 0 = unbounded. Split into
+    /// per-cell quotas; at a cell's quota, the least-recently-active flow
+    /// *of that cell* is finalized early ("shed").
     pub max_flows: usize,
     /// Keep every finalized [`crate::FlowAnalysis`] in the summary —
     /// unbounded memory, for tests and offline comparison only.
     pub collect_flows: bool,
-    /// Include per-shard occupancy in reports (shard-count-dependent, so
-    /// off by default to keep output byte-identical across shard counts).
+    /// Include per-shard active-flow counts in reports (shard-count-
+    /// dependent, so off by default to keep output byte-identical across
+    /// shard counts).
     pub per_shard_occupancy: bool,
     /// Replay pacing: sleep so capture time advances at `pace` × real time
     /// (1.0 = original timing). `None` = as fast as possible.
@@ -110,24 +133,29 @@ pub struct LiveConfig {
     /// only on suspicion; `None` (the default) analyzes every flow heavy
     /// from the first packet, as before.
     pub tier: Option<TierConfig>,
-    /// Packets decoded (and directives staged) per batch; 0 is treated
-    /// as 1. Output is identical at any batch size.
+    /// Packets decoded (and work staged) per batch; 0 is treated as 1.
+    /// Output is identical at any batch size.
     pub batch: usize,
-    /// Directive-ring depth in batch buffers (backpressure toward the
-    /// driver); 0 is treated as 1.
+    /// Work-ring depth in batch buffers (backpressure toward the driver);
+    /// 0 is treated as 1.
     pub ring_depth: usize,
 }
 
 /// Default packets per batch (one handoff per shard per batch).
 pub const DEFAULT_BATCH: usize = 256;
-/// Default directive-ring depth in batch buffers.
+/// Default work-ring depth in batch buffers.
 pub const DEFAULT_RING_DEPTH: usize = 8;
+/// Default virtual flow cells. Plenty of lanes for up to 8 shards while
+/// keeping per-cell quota splits coarse enough that small `--max-flows`
+/// caps still give most cells a non-zero share.
+pub const DEFAULT_CELLS: usize = 64;
 
 impl Default for LiveConfig {
     fn default() -> Self {
         LiveConfig {
             analyzer: AnalyzerConfig::default(),
             shards: 1,
+            cells: DEFAULT_CELLS,
             interval: SimDuration::from_secs(1),
             idle_timeout: Some(SimDuration::from_secs(60)),
             fin_linger: Some(SimDuration::from_secs(1)),
@@ -148,105 +176,48 @@ impl LiveConfig {
     pub fn builder() -> LiveConfigBuilder {
         LiveConfigBuilder::new()
     }
+
+    /// The cell count the pipeline actually runs with: at least 1, and
+    /// clamped to `max_flows` when capped so every cell's flow quota is
+    /// ≥ 1 (a zero-quota cell could admit nothing at all).
+    pub fn effective_cells(&self) -> usize {
+        let c = self.cells.max(1);
+        if self.max_flows > 0 {
+            c.min(self.max_flows)
+        } else {
+            c
+        }
+    }
 }
 
-/// Why the driver finalized a flow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Reason {
-    /// FIN/RST seen and the linger expired.
-    Teardown,
-    /// FIN/RST seen, then a reopening SYN displaced it (4-tuple reuse).
-    Displaced,
-    /// Idle timeout.
-    Idle,
-    /// LRU-shed at the flow-table cap.
-    Shed,
-    /// Capture ended while the flow was open.
-    Eof,
-}
-
-/// Stragglers on an evicted key are dropped (and counted) for this long
-/// before the key is forgotten and a new packet may reopen it as a flow.
-const DEAD_TTL_US: u64 = 60_000_000;
-
-struct DriverFlow {
-    key: FlowKey,
-    uid: u64,
-    shard: usize,
-    tracker: SeqTracker,
-    closed: bool,
-    /// Which tier this flow currently occupies.
-    monitor: FlowMonitor,
-    /// Authoritative eviction deadline; `u64::MAX` = none.
-    deadline_us: u64,
-    /// Earliest outstanding wheel entry (lazy-timer bookkeeping).
-    wheel_deadline_us: u64,
-}
-
-/// Per-interval driver-side counters (shard counters arrive in deltas).
-#[derive(Debug, Default, Clone, Copy)]
-struct Accum {
-    packets: u64,
-    packets_late: u64,
-    flows_opened: u64,
-    flows_finalized: u64,
-    flows_closed: u64,
-    flows_evicted_idle: u64,
-    flows_shed: u64,
-    promotions: u64,
-    demotions: u64,
-}
-
+/// The routing-and-merging end of the pipeline. All flow state lives in
+/// the per-shard [`ShardEngine`]s; the driver decodes, routes by cell,
+/// issues cut barriers, and folds the per-shard sub-reports in canonical
+/// shard order.
 struct Driver {
     shards_n: usize,
-    max_flows: usize,
-    collect: bool,
     per_shard: bool,
-    idle_us: Option<u64>,
-    linger_us: Option<u64>,
     interval_us: u64,
-    /// `Some` enables two-tier monitoring with these thresholds.
-    tier: Option<TierConfig>,
-    /// Compact per-flow state for every tracked flow (rows indexed by
-    /// slot; only touched when `tier` is on).
-    light: LightTable,
-    /// Flows currently holding a heavy-tier analyzer — a *global* count,
-    /// so the promotion cap is shard-count-independent.
-    heavy_active: usize,
+    /// Effective cell count (see [`LiveConfig::effective_cells`]).
+    ncells: usize,
 
-    slots: Vec<Option<DriverFlow>>,
-    gens: Vec<u32>,
-    free: Vec<u32>,
-    map: HashMap<FlowKey, u32, FnvState>,
-    lru: LruList,
-    wheel: TimerWheel,
-    expired: Vec<TimerEntry>,
-    dead: HashMap<FlowKey, u64, FnvState>,
-    dead_q: VecDeque<(u64, FlowKey)>,
-    /// Expiry of `dead_q`'s front entry (`u64::MAX` when empty): the
-    /// per-packet purge check is a register compare, not a deque probe.
-    dead_next_us: u64,
-    tracker_pool: Vec<SeqTracker>,
-    next_uid: u64,
-    /// uid → key, kept only under `collect` (grows with the stream).
-    uid_keys: Vec<FlowKey>,
+    /// `--shards 1`: the one engine runs inline on the driver thread.
+    inline: Option<ShardEngine>,
 
-    dir_txs: Vec<RingProducer<Vec<Directive>>>,
+    dir_txs: Vec<RingProducer<Vec<Work>>>,
     /// Emptied batch buffers coming back from each shard for reuse.
-    spare_rxs: Vec<RingConsumer<Vec<Directive>>>,
+    spare_rxs: Vec<RingConsumer<Vec<Work>>>,
     /// Per-shard staging buffers, flushed once per packet batch (or when
     /// a staging buffer reaches `batch_cap` mid-batch).
-    staging: Vec<Vec<Directive>>,
+    staging: Vec<Vec<Work>>,
     batch_cap: usize,
-    /// With a single shard there is no one to hand off to: the shard state
-    /// machine runs inline on the driver thread and every directive is
-    /// applied immediately. The directive sequence is identical either
-    /// way, so reports stay byte-identical — but the inline path skips the
-    /// staging copy, the ring traffic and (on small machines) the context
-    /// switches of a worker thread.
-    inline_state: Option<ShardState>,
+    /// Per-shard buffer provenance counters, folded into the summary at
+    /// shutdown in shard order (deterministic aggregation).
+    ring_fresh: Vec<u64>,
+    ring_recycled: Vec<u64>,
+    /// Cut-barrier reply slots, indexed by shard (canonical merge order).
+    msgs: Vec<Option<ShardMsg>>,
 
-    accum: Accum,
     summary: LiveSummary,
     prev_skipped: u64,
     cut_seq: u64,
@@ -255,107 +226,62 @@ struct Driver {
 impl Driver {
     fn new(
         cfg: &LiveConfig,
-        dir_txs: Vec<RingProducer<Vec<Directive>>>,
-        spare_rxs: Vec<RingConsumer<Vec<Directive>>>,
+        ncells: usize,
+        dir_txs: Vec<RingProducer<Vec<Work>>>,
+        spare_rxs: Vec<RingConsumer<Vec<Work>>>,
     ) -> Driver {
         let shards_n = dir_txs.len().max(1);
         let batch_cap = cfg.batch.max(1);
-        let inline_state = dir_txs
+        let inline = dir_txs
             .is_empty()
-            .then(|| ShardState::new(cfg.analyzer, cfg.collect_flows));
+            .then(|| ShardEngine::new(engine_params(cfg, ncells, 1, 0)));
         let staging_n = dir_txs.len();
         Driver {
             shards_n,
-            max_flows: cfg.max_flows,
-            collect: cfg.collect_flows,
             per_shard: cfg.per_shard_occupancy,
-            idle_us: cfg.idle_timeout.map(|d| d.as_micros()),
-            linger_us: cfg.fin_linger.map(|d| d.as_micros()),
             interval_us: cfg.interval.as_micros().max(1),
-            tier: cfg.tier,
-            light: LightTable::new(cfg.analyzer.replay),
-            heavy_active: 0,
-            slots: Vec::new(),
-            gens: Vec::new(),
-            free: Vec::new(),
-            map: HashMap::default(),
-            lru: LruList::new(),
-            wheel: TimerWheel::with_default_geometry(),
-            expired: Vec::new(),
-            dead: HashMap::default(),
-            dead_q: VecDeque::new(),
-            dead_next_us: u64::MAX,
-            tracker_pool: Vec::new(),
-            next_uid: 0,
-            uid_keys: Vec::new(),
+            ncells,
+            inline,
             dir_txs,
             spare_rxs,
             staging: (0..staging_n)
                 .map(|_| Vec::with_capacity(batch_cap))
                 .collect(),
             batch_cap,
-            inline_state,
-            accum: Accum::default(),
+            ring_fresh: vec![0; staging_n],
+            ring_recycled: vec![0; staging_n],
+            msgs: (0..shards_n).map(|_| None).collect(),
             summary: LiveSummary::default(),
             prev_skipped: 0,
             cut_seq: 0,
         }
     }
 
-    fn timers_enabled(&self) -> bool {
-        self.idle_us.is_some() || self.linger_us.is_some()
-    }
-
-    fn deadline_for(&self, closed: bool, now_us: u64) -> u64 {
-        let d = if closed {
-            self.linger_us.or(self.idle_us)
-        } else {
-            self.idle_us
-        };
-        match d {
-            Some(x) => now_us.saturating_add(x),
-            None => u64::MAX,
-        }
-    }
-
-    fn send(&mut self, shard: usize, d: Directive) {
-        if let Some(st) = self.inline_state.as_mut() {
-            st.apply(d);
-            return;
-        }
-        self.staging[shard].push(d);
+    /// Stage one unit of work for `shard`, flushing early if the staging
+    /// buffer fills mid-batch.
+    fn stage(&mut self, shard: usize, w: Work) {
+        self.staging[shard].push(w);
         if self.staging[shard].len() >= self.batch_cap {
             self.flush(shard);
         }
     }
 
-    /// Per-packet record handoff; inline mode feeds the shard state by
-    /// reference instead of building (and copying the record into) a
-    /// [`Directive`].
-    fn send_rec(&mut self, shard: usize, slot: u32, rec: tcp_trace::record::TraceRecord) {
-        if let Some(st) = self.inline_state.as_mut() {
-            st.apply_rec(slot, &rec);
-            return;
-        }
-        self.send(shard, Directive::Rec { slot, rec });
-    }
-
     /// Hand the shard's staging buffer down its ring, replacing it with a
     /// recycled buffer from the shard's spare ring (or, before the pool
-    /// has warmed up, a fresh allocation — counted, so tests can assert
-    /// the steady state recycles).
+    /// has warmed up, a fresh allocation — counted per shard, so tests
+    /// can assert the steady state recycles).
     fn flush(&mut self, shard: usize) {
         if self.staging[shard].is_empty() {
             return;
         }
         let replacement = match self.spare_rxs[shard].try_pop() {
             Some(mut buf) => {
-                self.summary.ring_recycled_buffers += 1;
+                self.ring_recycled[shard] += 1;
                 buf.clear();
                 buf
             }
             None => {
-                self.summary.ring_fresh_buffers += 1;
+                self.ring_fresh[shard] += 1;
                 Vec::with_capacity(self.batch_cap)
             }
         };
@@ -370,327 +296,67 @@ impl Driver {
         }
     }
 
-    /// Set the slot's deadline, scheduling a wheel entry if it moved
-    /// earlier than the earliest outstanding one (lazy timers: pushes to a
-    /// *later* deadline are resolved when the stale entry fires).
-    fn arm(&mut self, slot: u32, deadline_us: u64) {
-        let flow = self.slots[slot as usize].as_mut().expect("occupied");
-        flow.deadline_us = deadline_us;
-        if deadline_us != u64::MAX && deadline_us < flow.wheel_deadline_us {
-            flow.wheel_deadline_us = deadline_us;
-            self.wheel
-                .schedule((deadline_us, slot, self.gens[slot as usize]));
-        }
-    }
-
-    fn admit(&mut self, pkt: &PcapPacket, t_us: u64) {
-        if self.max_flows > 0 && self.map.len() >= self.max_flows {
-            let victim = self.lru.pop_front().expect("cap > 0 implies tracked flows");
-            self.finalize(victim, t_us, Reason::Shed);
-        }
-        let slot = match self.free.pop() {
-            Some(s) => s,
-            None => {
-                self.slots.push(None);
-                self.gens.push(0);
-                (self.slots.len() - 1) as u32
-            }
-        };
-        self.gens[slot as usize] = self.gens[slot as usize].wrapping_add(1);
-        let uid = self.next_uid;
-        self.next_uid += 1;
-        if self.collect {
-            self.uid_keys.push(pkt.key);
-        }
-        let shard = shard_of(&pkt.key, self.shards_n);
-        let mut tracker = self.tracker_pool.pop().unwrap_or_default();
-        tracker.reset();
-        // Two-tier: every flow starts light (no analyzer, no directive);
-        // always-heavy: open the analyzer at the first packet, as before.
-        let monitor = if self.tier.is_some() {
-            self.light.init(slot);
-            FlowMonitor::Light
-        } else {
-            FlowMonitor::Heavy
-        };
-        self.slots[slot as usize] = Some(DriverFlow {
-            key: pkt.key,
-            uid,
-            shard,
-            tracker,
-            closed: false,
-            monitor,
-            deadline_us: u64::MAX,
-            wheel_deadline_us: u64::MAX,
-        });
-        self.map.insert(pkt.key, slot);
-        self.lru.push_back(slot);
-        self.accum.flows_opened += 1;
-        self.summary.max_active_flows = self.summary.max_active_flows.max(self.map.len() as u64);
-        if monitor.is_heavy() {
-            self.heavy_active += 1;
-            self.summary.max_heavy_flows =
-                self.summary.max_heavy_flows.max(self.heavy_active as u64);
-            self.send(
-                shard,
-                Directive::Open {
-                    slot,
-                    uid,
-                    seed: None,
-                },
-            );
-        }
-        self.deliver(slot, pkt, t_us);
-    }
-
-    fn deliver(&mut self, slot: u32, pkt: &PcapPacket, t_us: u64) {
-        let flow = self.slots[slot as usize].as_mut().expect("occupied");
-        let uid = flow.uid;
-        let shard = flow.shard;
-        let rec = flow.tracker.translate(pkt.t, &pkt.raw);
-        if pkt.raw.flags.fin || pkt.raw.flags.rst {
-            flow.closed = true;
-        }
-        let closed = flow.closed;
-        let heavy = flow.monitor.is_heavy();
-        if let Some(rec) = rec {
-            match self.tier {
-                // Always-heavy: the legacy path, zero light-tier overhead.
-                None => self.send_rec(shard, slot, rec),
-                Some(tier) => {
-                    // The light row tracks every flow — heavy ones too, so
-                    // the calm-streak hysteresis has something to read.
-                    let verdict = self.light.update(slot, &rec, t_us, &tier);
-                    if heavy {
-                        self.send_rec(shard, slot, rec);
-                        if tier.demote_streak > 0
-                            && !closed
-                            && !verdict.suspicious
-                            && verdict.calm_streak >= tier.demote_streak
-                        {
-                            self.demote(slot, shard);
-                        }
-                    } else if verdict.suspicious && !closed {
-                        self.promote(slot, uid, shard, &tier);
-                    }
-                }
-            }
-        }
-        let deadline = self.deadline_for(closed, t_us);
-        self.arm(slot, deadline);
-        self.lru.touch(slot);
-    }
-
-    /// Escalate a light flow: snapshot the light row (which already
-    /// reflects the triggering record) and open a seeded analyzer. The
-    /// triggering record is *not* forwarded — its effect lives in the
-    /// seed, and forwarding it too would double-apply it (e.g. new data
-    /// misread as a retransmission against the seeded `snd_nxt`).
-    ///
-    /// Denied when the global heavy cap is full; the heuristics are
-    /// level-triggered, so a still-suspicious flow simply retries on its
-    /// next packet.
-    fn promote(&mut self, slot: u32, uid: u64, shard: usize, tier: &TierConfig) {
-        if tier.heavy_max > 0 && self.heavy_active >= tier.heavy_max {
-            self.summary.promotions_denied += 1;
-            return;
-        }
-        let seed = self.light.seed(slot);
-        self.slots[slot as usize]
-            .as_mut()
-            .expect("occupied")
-            .monitor = FlowMonitor::Heavy;
-        self.heavy_active += 1;
-        self.accum.promotions += 1;
-        self.summary.max_heavy_flows = self.summary.max_heavy_flows.max(self.heavy_active as u64);
-        self.send(
-            shard,
-            Directive::Open {
-                slot,
-                uid,
-                seed: Some(seed),
-            },
-        );
-    }
-
-    /// Hysteresis demotion: the flow stayed calm for the configured
-    /// streak, so recycle its analyzer and fall back to the light row
-    /// (whose counters are re-armed so the next promotion needs fresh
-    /// evidence, not leftovers from the previous episode).
-    fn demote(&mut self, slot: u32, shard: usize) {
-        self.slots[slot as usize]
-            .as_mut()
-            .expect("occupied")
-            .monitor = FlowMonitor::Light;
-        self.heavy_active -= 1;
-        self.accum.demotions += 1;
-        self.light.rearm(slot);
-        self.send(shard, Directive::Demote { slot });
-    }
-
-    fn finalize(&mut self, slot: u32, t_us: u64, reason: Reason) {
-        let mut flow = self.slots[slot as usize].take().expect("occupied");
-        self.map.remove(&flow.key);
-        self.lru.remove(slot);
-        self.free.push(slot);
-        // Only heavy flows have an analyzer to close; a light finalize is
-        // driver-local (its flow contributes nothing to the breakdown —
-        // undiagnosed by design, that is the whole saving).
-        if flow.monitor.is_heavy() {
-            self.heavy_active -= 1;
-            self.send(flow.shard, Directive::Close { slot });
-        }
-        flow.tracker.reset();
-        self.tracker_pool.push(flow.tracker);
-        self.accum.flows_finalized += 1;
-        match reason {
-            Reason::Teardown | Reason::Displaced => self.accum.flows_closed += 1,
-            Reason::Idle => self.accum.flows_evicted_idle += 1,
-            Reason::Shed => self.accum.flows_shed += 1,
-            Reason::Eof => self.summary.flows_eof += 1,
-        }
-        // Remember evicted keys so stragglers don't churn phantom flows.
-        // Not needed at EOF (no more packets) or on displacement (the key
-        // is immediately re-admitted by the reopening SYN).
-        if matches!(reason, Reason::Idle | Reason::Shed | Reason::Teardown) {
-            let expiry = t_us.saturating_add(DEAD_TTL_US);
-            self.dead.insert(flow.key, expiry);
-            self.dead_q.push_back((expiry, flow.key));
-            // Expiries enqueue in nondecreasing order, so the front only
-            // changes when the queue was empty.
-            if self.dead_q.len() == 1 {
-                self.dead_next_us = expiry;
-            }
-        }
-    }
-
-    fn purge_dead(&mut self, now_us: u64) {
-        if now_us < self.dead_next_us {
-            return;
-        }
-        while let Some(&(expiry, key)) = self.dead_q.front() {
-            if expiry > now_us {
-                self.dead_next_us = expiry;
-                return;
-            }
-            self.dead_q.pop_front();
-            // The key may have been re-added with a later expiry.
-            if self.dead.get(&key) == Some(&expiry) {
-                self.dead.remove(&key);
-            }
-        }
-        self.dead_next_us = u64::MAX;
-    }
-
-    fn run_timers(&mut self, now_us: u64) {
-        if !self.timers_enabled() || self.wheel.is_empty() {
-            return;
-        }
-        let mut expired = std::mem::take(&mut self.expired);
-        self.wheel.advance_into(now_us, &mut expired);
-        for (entry_deadline, slot, gen) in expired.drain(..) {
-            let Some(flow) = self.slots[slot as usize].as_mut() else {
-                continue; // slot freed since scheduling
-            };
-            if self.gens[slot as usize] != gen || flow.wheel_deadline_us != entry_deadline {
-                continue; // a different generation, or a superseded entry
-            }
-            flow.wheel_deadline_us = u64::MAX;
-            if flow.deadline_us > now_us {
-                // Activity pushed the true deadline out; re-arm lazily.
-                let d = flow.deadline_us;
-                if d != u64::MAX {
-                    flow.wheel_deadline_us = d;
-                    self.wheel.schedule((d, slot, gen));
-                }
-            } else {
-                let reason = if flow.closed {
-                    Reason::Teardown
-                } else {
-                    Reason::Idle
-                };
-                self.finalize(slot, now_us, reason);
-            }
-        }
-        self.expired = expired;
-    }
-
-    fn process(&mut self, pkt: &PcapPacket, t_us: u64) {
-        // Unconditional (not just when timers fire): sheds and teardowns
-        // insert dead-map entries even with idle/linger timers disabled,
-        // and the bounded-memory guarantee includes the dead map.
-        self.purge_dead(t_us);
-        self.accum.packets += 1;
-        let bare_syn = pkt.raw.flags.syn && !pkt.raw.flags.ack;
-        match self.map.get(&pkt.key).copied() {
-            Some(slot) => {
-                let closed = self.slots[slot as usize].as_ref().expect("occupied").closed;
-                if closed && bare_syn {
-                    // 4-tuple reuse: finalize the dead generation, start
-                    // fresh (mirrors the offline FlowTable rotation).
-                    self.finalize(slot, t_us, Reason::Displaced);
-                    self.admit(pkt, t_us);
-                } else {
-                    self.deliver(slot, pkt, t_us);
-                }
-            }
-            None => match self.dead.get(&pkt.key).copied() {
-                Some(expiry) if expiry > t_us && !bare_syn => {
-                    // Straggler on an evicted flow: drop, count.
-                    self.accum.packets_late += 1;
-                }
-                _ => {
-                    self.dead.remove(&pkt.key);
-                    self.admit(pkt, t_us);
-                }
-            },
-        }
-    }
-
-    /// Interval barrier: flush everything, cut every shard, merge their
-    /// deltas, fold the interval into the summary, and build the report.
+    /// Interval barrier at `now_us` (the trigger packet's capture time):
+    /// cut every engine, merge the sub-reports in canonical shard order,
+    /// fold the interval into the summary, and build the report.
     /// `skipped_cum` is the reader's cumulative skip count *as of the
-    /// packet that triggered this cut* (recorded per packet by the batched
-    /// reader), so attribution is identical at any batch size.
+    /// trigger packet* (recorded per packet by the batched reader), so
+    /// attribution is identical at any batch size.
     fn cut(
         &mut self,
         iv: u64,
         skipped_cum: u64,
+        now_us: u64,
         report_rx: &mpsc::Receiver<ShardMsg>,
     ) -> IntervalReport {
         let seq = self.cut_seq;
         self.cut_seq += 1;
         let mut delta = IntervalDelta::default();
+        let mut active = 0u64;
+        let mut heavy = 0u64;
         let mut occupancy = vec![0usize; self.shards_n];
-        if let Some(st) = self.inline_state.as_mut() {
-            let (d, occ) = st.cut();
+        if let Some(eng) = self.inline.as_mut() {
+            let (d, a, h) = eng.cut(now_us);
             delta = d;
-            occupancy[0] = occ;
+            active = a;
+            heavy = h;
+            occupancy[0] = a as usize;
         } else {
             for shard in 0..self.staging.len() {
-                self.staging[shard].push(Directive::Cut { seq });
+                self.staging[shard].push(Work::Cut { seq, now_us });
                 self.flush(shard);
             }
+            // Replies arrive in whatever order the shards reach the
+            // barrier; park them by shard index, then fold ascending —
+            // the canonical order that keeps every merge deterministic.
             for _ in 0..self.shards_n {
                 let msg = report_rx.recv().expect("shard alive");
                 debug_assert_eq!(msg.seq, seq, "cut barrier out of sync");
-                occupancy[msg.shard] = msg.occupancy;
+                let shard = msg.shard;
+                self.msgs[shard] = Some(msg);
+            }
+            for slot in self.msgs.iter_mut() {
+                let msg = slot.take().expect("one reply per shard");
                 delta.merge(&msg.delta);
+                active += msg.active;
+                heavy += msg.heavy;
+                occupancy[msg.shard] = msg.active as usize;
             }
         }
         let skipped = skipped_cum - self.prev_skipped;
         self.prev_skipped = skipped_cum;
-        let accum = std::mem::take(&mut self.accum);
 
-        self.summary.flows_seen += accum.flows_opened;
-        self.summary.flows_closed += accum.flows_closed;
-        self.summary.flows_evicted_idle += accum.flows_evicted_idle;
-        self.summary.flows_shed += accum.flows_shed;
-        self.summary.flows_finalized += accum.flows_finalized;
-        self.summary.packets += accum.packets;
-        self.summary.packets_late += accum.packets_late;
-        self.summary.promotions += accum.promotions;
-        self.summary.demotions += accum.demotions;
+        self.summary.flows_seen += delta.flows_opened;
+        self.summary.flows_closed += delta.flows_closed;
+        self.summary.flows_evicted_idle += delta.flows_evicted_idle;
+        self.summary.flows_shed += delta.flows_shed;
+        self.summary.flows_eof += delta.flows_eof;
+        self.summary.flows_finalized += delta.flows_finalized;
+        self.summary.packets += delta.packets;
+        self.summary.packets_late += delta.packets_late;
+        self.summary.promotions += delta.promotions;
+        self.summary.demotions += delta.demotions;
+        self.summary.promotions_denied += delta.promotions_denied;
         self.summary.live_stalls += delta.live_stalls;
         self.summary.breakdown.merge(&delta.breakdown);
 
@@ -698,19 +364,19 @@ impl Driver {
             interval: iv,
             start_us: iv * self.interval_us,
             end_us: (iv + 1) * self.interval_us,
-            packets: accum.packets,
+            packets: delta.packets,
             packets_skipped: skipped,
-            packets_late: accum.packets_late,
-            flows_opened: accum.flows_opened,
-            flows_finalized: accum.flows_finalized,
-            flows_closed: accum.flows_closed,
-            flows_evicted_idle: accum.flows_evicted_idle,
-            flows_shed: accum.flows_shed,
-            active_flows: self.map.len() as u64,
-            flows_light: (self.map.len() - self.heavy_active) as u64,
-            flows_heavy: self.heavy_active as u64,
-            promotions: accum.promotions,
-            demotions: accum.demotions,
+            packets_late: delta.packets_late,
+            flows_opened: delta.flows_opened,
+            flows_finalized: delta.flows_finalized,
+            flows_closed: delta.flows_closed,
+            flows_evicted_idle: delta.flows_evicted_idle,
+            flows_shed: delta.flows_shed,
+            active_flows: active,
+            flows_light: active - heavy,
+            flows_heavy: heavy,
+            promotions: delta.promotions,
+            demotions: delta.demotions,
             live_stalls: delta.live_stalls,
             breakdown: delta.breakdown,
             shard_occupancy: self.per_shard.then_some(occupancy),
@@ -718,23 +384,18 @@ impl Driver {
     }
 }
 
-/// Stable (hasher-independent) shard placement: FNV-1a over the key bytes.
-fn shard_of(key: &FlowKey, shards: usize) -> usize {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let eat = |h: u64, b: u8| (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
-    for b in key.server_ip {
-        h = eat(h, b);
+fn engine_params(cfg: &LiveConfig, ncells: usize, shards: usize, shard: usize) -> EngineParams {
+    EngineParams {
+        analyzer: cfg.analyzer,
+        collect: cfg.collect_flows,
+        tier: cfg.tier,
+        idle_us: cfg.idle_timeout.map(|d| d.as_micros()),
+        linger_us: cfg.fin_linger.map(|d| d.as_micros()),
+        ncells,
+        shards,
+        shard,
+        max_flows: cfg.max_flows,
     }
-    for b in key.server_port.to_be_bytes() {
-        h = eat(h, b);
-    }
-    for b in key.client_ip {
-        h = eat(h, b);
-    }
-    for b in key.client_port.to_be_bytes() {
-        h = eat(h, b);
-    }
-    (h % shards as u64) as usize
 }
 
 /// Run the live pipeline over a packet stream until EOF, invoking
@@ -748,6 +409,7 @@ pub fn run<R: Read>(
     let shards_n = cfg.shards.max(1);
     let batch_cap = cfg.batch.max(1);
     let ring_depth = cfg.ring_depth.max(1);
+    let ncells = cfg.effective_cells();
     let mut stream = PcapStream::new(input)?;
     let interval_us = cfg.interval.as_micros().max(1);
 
@@ -761,32 +423,28 @@ pub fn run<R: Read>(
         // parallelism to exploit.
         if shards_n > 1 {
             for shard in 0..shards_n {
-                let (dir_tx, dir_rx) = ring::ring::<Vec<Directive>>(ring_depth);
+                let (dir_tx, dir_rx) = ring::ring::<Vec<Work>>(ring_depth);
                 // The spare ring is slightly deeper than the forward ring
                 // so a shard can always return a buffer even when every
                 // forward slot is full and the driver holds a staging
                 // buffer.
-                let (spare_tx, spare_rx) = ring::ring::<Vec<Directive>>(ring_depth + 2);
+                let (spare_tx, spare_rx) = ring::ring::<Vec<Work>>(ring_depth + 2);
                 dir_txs.push(dir_tx);
                 spare_rxs.push(spare_rx);
                 let rtx = report_tx.clone();
-                let analyzer = cfg.analyzer;
-                let collect = cfg.collect_flows;
-                handles.push(
-                    scope.spawn(move || {
-                        shard_worker(shard, analyzer, collect, dir_rx, spare_tx, rtx)
-                    }),
-                );
+                let params = engine_params(cfg, ncells, shards_n, shard);
+                handles.push(scope.spawn(move || shard_worker(params, dir_rx, spare_tx, rtx)));
             }
         }
         drop(report_tx);
 
-        let mut drv = Driver::new(cfg, dir_txs, spare_rxs);
+        let mut drv = Driver::new(cfg, ncells, dir_txs, spare_rxs);
 
         let mut batch = PacketBatch::new();
         let mut cur_iv: Option<u64> = None;
         let mut next_cut_us = 0u64;
         let mut last_t_us = 0u64;
+        let mut gidx = 0u64;
         let pace = cfg.pace.filter(|&p| p > 0.0);
         let mut pace_origin: Option<(std::time::Instant, u64)> = None;
         while stream.fill_batch(&mut batch, batch_cap)? > 0 {
@@ -804,41 +462,46 @@ pub fn run<R: Read>(
                         std::thread::sleep(target - elapsed);
                     }
                 }
-                // Expire deadlines up to this packet *before* cutting, so
-                // an eviction due in the previous interval lands in its
-                // report.
-                drv.run_timers(t_us);
                 // Dividing only at interval boundaries keeps a 64-bit div
-                // off the per-packet path.
+                // off the per-packet path. Engines expire deadlines up to
+                // the barrier before taking the delta, so an eviction due
+                // in the previous interval lands in its report.
                 if t_us >= next_cut_us {
                     let iv = t_us / interval_us;
                     if let Some(ci) = cur_iv {
-                        let r = drv.cut(ci, batch.skipped_before(j), &report_rx);
+                        let r = drv.cut(ci, batch.skipped_before(j), t_us, &report_rx);
                         drv.summary.intervals += 1;
                         on_report(&r);
                     }
                     cur_iv = Some(iv);
                     next_cut_us = (iv + 1).saturating_mul(interval_us);
                 }
-                drv.process(pkt, t_us);
+                if let Some(eng) = drv.inline.as_mut() {
+                    eng.process(gidx, pkt, t_us);
+                } else {
+                    let shard = cell_of(&pkt.key, drv.ncells) % drv.shards_n;
+                    drv.stage(shard, Work::Pkt { gidx, pkt: *pkt });
+                }
+                gidx += 1;
             }
             drv.flush_all();
         }
 
-        // EOF: finalize everything still tracked, oldest flow first.
-        let mut open: Vec<(u64, u32)> = drv
-            .slots
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|f| (f.uid, i as u32)))
-            .collect();
-        open.sort_unstable();
-        for (_, slot) in open {
-            drv.finalize(slot, last_t_us, Reason::Eof);
+        // EOF: every engine runs its timers to the last packet's time and
+        // finalizes whatever is still open, oldest flow first; then one
+        // final cut drains the deltas.
+        if let Some(eng) = drv.inline.as_mut() {
+            eng.eof(last_t_us);
+        } else {
+            for shard in 0..drv.staging.len() {
+                drv.staging[shard].push(Work::Eof { now_us: last_t_us });
+            }
+            drv.flush_all();
         }
         let final_report = drv.cut(
             cur_iv.unwrap_or(0),
             stream.stats().packets_skipped,
+            last_t_us,
             &report_rx,
         );
         if cur_iv.is_some() {
@@ -846,21 +509,30 @@ pub fn run<R: Read>(
             on_report(&final_report);
         }
 
-        // Shut shards down and collect per-flow analyses (if any).
+        // Shut shards down; collect per-flow analyses (if any) and the
+        // whole-run totals, folding both in shard order.
         drv.dir_txs.clear();
-        let mut flows: Vec<(u64, crate::FlowAnalysis)> = Vec::new();
-        if let Some(st) = drv.inline_state.take() {
-            flows.extend(st.into_collected());
+        let mut flows: Vec<(u64, FlowKey, FlowAnalysis)> = Vec::new();
+        let mut totals = EngineTotals::default();
+        if let Some(eng) = drv.inline.take() {
+            let t = eng.totals();
+            totals.active_hw += t.active_hw;
+            totals.heavy_hw += t.heavy_hw;
+            flows.extend(eng.into_collected());
         }
         for h in handles {
-            flows.extend(h.join().expect("shard panicked"));
+            let (collected, t) = h.join().expect("shard panicked");
+            totals.active_hw += t.active_hw;
+            totals.heavy_hw += t.heavy_hw;
+            flows.extend(collected);
         }
-        flows.sort_by_key(|&(uid, _)| uid);
+        flows.sort_by_key(|&(uid, _, _)| uid);
         let mut summary = drv.summary;
-        summary.flows = flows
-            .into_iter()
-            .map(|(uid, a)| (drv.uid_keys[uid as usize], a))
-            .collect();
+        summary.max_active_flows = totals.active_hw;
+        summary.max_heavy_flows = totals.heavy_hw;
+        summary.ring_fresh_buffers = drv.ring_fresh.iter().sum();
+        summary.ring_recycled_buffers = drv.ring_recycled.iter().sum();
+        summary.flows = flows.into_iter().map(|(_, key, a)| (key, a)).collect();
         let stats = stream.stats();
         summary.packets_skipped = stats.packets_skipped;
         summary.records_truncated = stats.records_truncated;
@@ -969,13 +641,16 @@ mod tests {
     #[test]
     fn cap_sheds_lru_flows_and_counts_them() {
         // 8 overlapping flows, cap of 3: at least 5 finalizations must be
-        // sheds, and the active count never exceeds the cap.
+        // sheds, and the active count never exceeds the cap. One cell
+        // keeps the cap global (exact legacy semantics) rather than split
+        // into per-cell quotas.
         let traces: Vec<FlowTrace> = (0..8)
             .map(|i| flow_trace(FlowKey::synthetic(i), (i as u64) * 5))
             .collect();
         let buf = capture(&traces);
         let cfg = LiveConfig {
             max_flows: 3,
+            cells: 1,
             fin_linger: None,
             idle_timeout: None,
             ..Default::default()
@@ -990,6 +665,42 @@ mod tests {
         assert_eq!(summary.flows_shed, 5);
         assert!(summary.max_active_flows <= 3);
         assert!(max_active <= 3);
+    }
+
+    #[test]
+    fn per_cell_caps_bound_the_total_and_stay_shard_invariant() {
+        // With several cells, the cap is split into quotas that sum to it
+        // exactly: the total tracked flows never exceed the cap, and the
+        // shed/report stream is identical at any shard count.
+        let traces: Vec<FlowTrace> = (0..24)
+            .map(|i| flow_trace(FlowKey::synthetic(i), (i as u64) * 5))
+            .collect();
+        let buf = capture(&traces);
+        let render = |shards: usize| {
+            let cfg = LiveConfig {
+                shards,
+                max_flows: 6,
+                fin_linger: None,
+                idle_timeout: None,
+                ..Default::default()
+            };
+            let mut out = String::new();
+            let mut max_active = 0;
+            let summary = run(&buf[..], &cfg, |r| {
+                max_active = max_active.max(r.active_flows);
+                out.push_str(&r.to_json().compact());
+                out.push('\n');
+            })
+            .unwrap();
+            assert!(summary.max_active_flows <= 6);
+            assert!(max_active <= 6);
+            assert!(summary.flows_shed > 0, "quota splits must shed under load");
+            out.push_str(&summary.to_json().compact());
+            out
+        };
+        let one = render(1);
+        assert_eq!(one, render(2));
+        assert_eq!(one, render(4));
     }
 
     #[test]
@@ -1065,65 +776,6 @@ mod tests {
         assert_eq!(summary.flows[1].0, k);
     }
 
-    fn pkt(key: FlowKey, t_us: u64, flags: SegFlags) -> PcapPacket {
-        PcapPacket {
-            t: SimTime::from_micros(t_us),
-            key,
-            raw: tcp_trace::pcap::RawRecord::new(Direction::In, 0, 0, flags, 1024, 0),
-        }
-    }
-
-    #[test]
-    fn dead_map_is_purged_even_without_timers() {
-        // Sheds insert dead-map entries; with idle/linger disabled the
-        // timer path never runs, so the purge must happen on the packet
-        // path or a long-running daemon leaks one entry per shed key.
-        let (tx, _rx) = ring::ring::<Vec<Directive>>(64);
-        let (_stx, srx) = ring::ring::<Vec<Directive>>(64);
-        let cfg = LiveConfig {
-            idle_timeout: None,
-            fin_linger: None,
-            max_flows: 1,
-            ..Default::default()
-        };
-        let mut drv = Driver::new(&cfg, vec![tx], vec![srx]);
-        assert!(!drv.timers_enabled());
-        for i in 0..5u32 {
-            let t = (i as u64) * 1_000;
-            drv.process(&pkt(FlowKey::synthetic(i), t, SegFlags::SYN), t);
-        }
-        assert_eq!(drv.accum.flows_shed, 4);
-        assert_eq!(drv.dead.len(), 4, "shed keys parked in the dead map");
-        // A packet past the TTL drains every expired entry.
-        let late = 4_000 + DEAD_TTL_US + 1;
-        drv.process(&pkt(FlowKey::synthetic(99), late, SegFlags::SYN), late);
-        assert!(drv.dead.len() <= 1, "expired dead entries purged");
-        assert!(drv.dead_q.len() <= 1);
-    }
-
-    #[test]
-    fn displacing_syn_leaves_no_dead_entry() {
-        // 4-tuple reuse finalizes the old generation, but the key is
-        // immediately re-admitted — it must not be parked in the dead map.
-        let (tx, _rx) = ring::ring::<Vec<Directive>>(64);
-        let (_stx, srx) = ring::ring::<Vec<Directive>>(64);
-        let cfg = LiveConfig::default();
-        let mut drv = Driver::new(&cfg, vec![tx], vec![srx]);
-        let k = FlowKey::synthetic(7);
-        let fin = SegFlags {
-            fin: true,
-            ack: true,
-            ..Default::default()
-        };
-        drv.process(&pkt(k, 0, SegFlags::SYN), 0);
-        drv.process(&pkt(k, 10, fin), 10);
-        drv.process(&pkt(k, 20, SegFlags::SYN), 20); // reuse
-        assert_eq!(drv.accum.flows_opened, 2);
-        assert_eq!(drv.accum.flows_closed, 1);
-        assert!(drv.dead.is_empty(), "displaced key must not be parked");
-        assert!(drv.dead_q.is_empty());
-    }
-
     #[test]
     fn empty_capture_yields_empty_summary() {
         let buf = capture(&[]);
@@ -1153,22 +805,6 @@ mod tests {
             t0.elapsed() < std::time::Duration::from_secs(5),
             "epoch-timestamped capture stalled: {:?}",
             t0.elapsed()
-        );
-    }
-
-    #[test]
-    fn shard_placement_is_stable() {
-        let k = FlowKey::synthetic(123);
-        assert_eq!(shard_of(&k, 4), shard_of(&k, 4));
-        assert_eq!(shard_of(&k, 1), 0);
-        // Distribution sanity: 256 keys over 4 shards leaves none empty.
-        let mut counts = [0usize; 4];
-        for i in 0..256 {
-            counts[shard_of(&FlowKey::synthetic(i), 4)] += 1;
-        }
-        assert!(
-            counts.iter().all(|&c| c > 0),
-            "degenerate spread: {counts:?}"
         );
     }
 }

@@ -10,13 +10,16 @@
 //! to *suspect* trouble — an RFC 6298-style SRTT/RTO estimate from a single
 //! timing probe, last sequence/ack offsets, in-flight bytes, duplicate-ACK /
 //! retransmission / ACK-silence counters — and only suspicious flows are
-//! **promoted** to the heavy tier (a recycled full analyzer on a worker
-//! shard), carrying the light-tier estimates forward as a [`MonitorSeed`].
-//! Flows that go quiet again are **demoted** back with hysteresis.
+//! **promoted** to the heavy tier (a recycled full analyzer from the
+//! owning shard's pool), carrying the light-tier estimates forward as a
+//! [`MonitorSeed`]. Flows that go quiet again are **demoted** back with
+//! hysteresis.
 //!
-//! All decisions here are pure functions of the flow's own packet stream,
-//! so promotion and demotion are driver-serial and the live pipeline's
-//! reports stay byte-identical at any shard count.
+//! Each shard engine owns one [`LightTable`] covering exactly the flows
+//! whose hash cells it owns, and all decisions here are pure functions of
+//! the flow's own packet stream — so promotion and demotion need no
+//! cross-shard coordination and the live pipeline's reports stay
+//! byte-identical at any shard count.
 
 use tcp_trace::record::{Direction, TraceRecord};
 

@@ -3,9 +3,12 @@
 //! Every interval the driver emits one [`IntervalReport`] — a snapshot a
 //! monitoring pipeline can ingest as JSON-lines or CSV without schema
 //! discovery: every field and every cause-class column is always present,
-//! zero when idle. All values are derived from integer counters (durations
-//! in integer microseconds, rates from integer division inputs), so the
-//! rendered bytes are identical at any shard count.
+//! zero when idle. Under the partitioned front end each report is the fold
+//! of per-shard [`IntervalDelta`](super::IntervalDelta) sub-reports merged
+//! in canonical shard order at a cut barrier, and every value is derived
+//! from integer counters (durations in integer microseconds, rates from
+//! integer division inputs), so the rendered bytes are identical at any
+//! shard count.
 
 use simnet::time::SimDuration;
 use tcp_trace::flow::FlowKey;
@@ -240,7 +243,10 @@ pub struct LiveSummary {
     pub intervals: u64,
     /// Provisional stalls surfaced live.
     pub live_stalls: u64,
-    /// High-water mark of concurrently tracked flows.
+    /// Sum of per-cell concurrent high-water marks — a deterministic,
+    /// shard-invariant upper bound on peak concurrency. With `max_flows`
+    /// capped it never exceeds the cap (the per-cell quotas sum to it
+    /// exactly); with one cell it is the exact global high-water mark.
     pub max_active_flows: u64,
     /// Light→heavy escalations over the whole run.
     pub promotions: u64,
@@ -249,17 +255,20 @@ pub struct LiveSummary {
     /// Suspicious flows left light because the heavy pool was at its cap
     /// (they retry on their next suspicious packet).
     pub promotions_denied: u64,
-    /// High-water mark of concurrently heavy flows (bounds analyzer-pool
-    /// memory; equals `max_active_flows` under always-heavy mode).
+    /// Sum of per-cell heavy high-water marks (bounds analyzer-pool
+    /// memory; equals `max_active_flows` under always-heavy mode). Like
+    /// `max_active_flows`, shard-invariant and never above `heavy_max`
+    /// when capped.
     pub max_heavy_flows: u64,
-    /// Directive batch buffers allocated fresh because the spare ring had
-    /// none to recycle. Telemetry for the zero-allocation claim: bounded
-    /// by warmup (ring depth × shards), never growing in steady state.
-    /// Deliberately *not* serialized — it depends on the batch size, which
-    /// must not perturb report bytes.
+    /// Work batch buffers allocated fresh because the spare ring had
+    /// none to recycle, summed over shards in shard order. Telemetry for
+    /// the zero-allocation claim: bounded by warmup (ring depth × shards),
+    /// never growing in steady state. Deliberately *not* serialized — it
+    /// depends on the batch size and shard count, which must not perturb
+    /// report bytes.
     pub ring_fresh_buffers: u64,
-    /// Directive batch buffers reused from the spare ring (the steady
-    /// state). Not serialized, same reason as `ring_fresh_buffers`.
+    /// Work batch buffers reused from the spare ring (the steady state).
+    /// Not serialized, same reason as `ring_fresh_buffers`.
     pub ring_recycled_buffers: u64,
     /// Aggregate stall breakdown over every finalized flow.
     pub breakdown: StallBreakdown,

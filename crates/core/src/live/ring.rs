@@ -1,4 +1,4 @@
-//! Bounded SPSC rings for the driver→shard directive handoff.
+//! Bounded SPSC rings for the driver→shard work handoff.
 //!
 //! `std::sync::mpsc::sync_channel` allocates a node per send and takes a
 //! lock on both ends; at millions of packets per second the handoff must

@@ -8,12 +8,14 @@
 //! migrate into the ring as the cursor approaches.
 //!
 //! Timers are **lazy**: an entry is never cancelled or updated in place.
-//! The driver stamps each flow slot with its authoritative deadline and a
-//! generation counter; when an entry fires, the driver revalidates it
-//! against the slot and either ignores it (stale), reschedules at the true
-//! deadline (pushed back by later activity), or evicts. This keeps the
-//! common per-packet path — deadline pushed further out — allocation- and
-//! search-free.
+//! Each shard engine owns one wheel covering exactly its own flows; it
+//! stamps each flow slot with its authoritative deadline and a generation
+//! counter, and when an entry fires it revalidates against the slot and
+//! either ignores it (stale), reschedules at the true deadline (pushed
+//! back by later activity), or evicts. This keeps the common per-packet
+//! path — deadline pushed further out — allocation- and search-free, and
+//! timers advance only on the owning shard's own packet/cut timeline, so
+//! firing order is deterministic at any shard count.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;

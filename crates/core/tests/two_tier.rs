@@ -142,6 +142,10 @@ fn collect_config(tier: Option<TierConfig>) -> LiveConfig {
         max_flows: 0,
         collect_flows: true,
         tier,
+        // One cell keeps the heavy cap global (exact legacy semantics) so
+        // the handcrafted heavy_max assertions don't depend on which
+        // cells the test keys hash into.
+        cells: 1,
         ..Default::default()
     }
 }

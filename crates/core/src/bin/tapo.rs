@@ -55,6 +55,24 @@
 //!   --csv           CSV reports instead of JSON-lines (summary → stderr)
 //!   --pace X        replay at X× capture time (1.0 = real time)
 //! ```
+//!
+//! The advise mode closes the loop: feed the live mode's JSON-lines
+//! reports back in and get a per-service mitigation recommendation from a
+//! counterfactual replay under all four recovery mechanisms:
+//!
+//! ```text
+//! tapo advise <reports.jsonl|-> [--flows N] [--replicates N] [--seed N]
+//!             [--threads N] [--min-stalled-us N] [--csv]
+//!
+//!   --flows N          simulated flows per replicate      (default 30)
+//!   --replicates N     seeded replicates per service      (default 5)
+//!   --seed N           replay master seed                 (default 1)
+//!   --threads N        worker threads (default: all cores; output is
+//!                      byte-identical at any thread count)
+//!   --min-stalled-us N only advise services with at least this much
+//!                      observed stalled time              (default 1)
+//!   --csv              CSV recommendations instead of JSON-lines
+//! ```
 
 use std::fs::File;
 use std::io::BufReader;
@@ -65,8 +83,8 @@ use tapo::json::Json;
 use tapo::live::{self, LiveConfig};
 use tapo::sink::{CsvSink, JsonLinesSink, ReportSink};
 use tapo::{
-    analyze_flow, AnalyzerConfig, FlowAnalysis, RetransClass, Stall, StallBreakdown, StallCause,
-    StallClass,
+    analyze_flow, AdviseConfig, AnalyzerConfig, FlowAnalysis, RetransClass, Stall, StallBreakdown,
+    StallCause, StallClass,
 };
 use tcp_trace::flow::FlowTrace;
 use tcp_trace::pcap::{PcapReader, PcapStats};
@@ -149,6 +167,10 @@ fn main() -> ExitCode {
         args.next();
         return run_live(args);
     }
+    if args.peek().map(String::as_str) == Some("advise") {
+        args.next();
+        return run_advise(args);
+    }
     let opts = match parse_args(args) {
         Ok(o) => o,
         Err(msg) => {
@@ -201,6 +223,104 @@ fn main() -> ExitCode {
         print_json(&flows, &analyses, &opts, &stats);
     } else {
         print_text(&flows, &analyses, &opts, &stats);
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_advise(mut args: impl Iterator<Item = String>) -> ExitCode {
+    const USAGE: &str = "usage: tapo advise <reports.jsonl|-> [--flows N] [--replicates N] \
+         [--seed N] [--threads N] [--min-stalled-us N] [--csv]";
+    let mut input: Option<String> = None;
+    let mut cfg = AdviseConfig::default();
+    let mut csv = false;
+    let fail = |msg: &str| -> ExitCode {
+        eprintln!("{msg}");
+        ExitCode::from(2)
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--flows" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.flows = n,
+                None => return fail("--flows requires N"),
+            },
+            "--replicates" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.replicates = n,
+                None => return fail("--replicates requires N"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.seed = n,
+                None => return fail("--seed requires N"),
+            },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.threads = n,
+                None => return fail("--threads requires N"),
+            },
+            "--min-stalled-us" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.min_stalled_us = n,
+                None => return fail("--min-stalled-us requires microseconds"),
+            },
+            "--csv" => csv = true,
+            "--help" | "-h" => return fail(USAGE),
+            other if other.starts_with('-') && other != "-" => {
+                return fail(&format!("unknown option {other} (try --help)"));
+            }
+            file => {
+                if input.replace(file.to_string()).is_some() {
+                    return fail("advise takes exactly one report stream (or '-')");
+                }
+            }
+        }
+    }
+    let Some(input) = input else {
+        return fail("no report stream given: tapo advise <reports.jsonl|-> (try --help)");
+    };
+    let parsed = if input == "-" {
+        tapo::advise_from_reports(std::io::stdin().lock(), &cfg)
+    } else {
+        match File::open(&input) {
+            Ok(f) => tapo::advise_from_reports(BufReader::new(f), &cfg),
+            Err(e) => {
+                eprintln!("tapo advise: cannot open {input}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let (obs, advices) = match parsed {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tapo advise: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Recommendations go to stdout through the shared fixed-shape sinks;
+    // the parse/selection accounting goes to stderr so a JSON consumer
+    // sees advice objects only.
+    eprintln!(
+        "tapo advise: {} interval report(s), {} line(s) skipped, {} flow(s) on unmapped ports, \
+         {} service(s) selected",
+        obs.intervals,
+        obs.skipped,
+        obs.unmapped_flows,
+        advices.len()
+    );
+    let stdout = std::io::stdout();
+    let mut sink: Box<dyn ReportSink> = if csv {
+        let mut s = CsvSink::new(stdout.lock());
+        if s.write_header(&tapo::ServiceAdvice::csv_header()).is_err() {
+            return ExitCode::FAILURE;
+        }
+        Box::new(s)
+    } else {
+        Box::new(JsonLinesSink::new(stdout.lock()))
+    };
+    for advice in &advices {
+        if sink.emit(advice).is_err() {
+            return ExitCode::FAILURE;
+        }
+    }
+    if sink.finish().is_err() {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

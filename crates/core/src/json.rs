@@ -1,10 +1,10 @@
-//! A minimal JSON document model and pretty-printer.
+//! A minimal JSON document model, pretty-printer, and parser.
 //!
 //! The workspace builds with no external crates (the registry may be
 //! unreachable), so the machine-readable output of the `tapo` and `repro`
 //! binaries is emitted through this module instead of a serialization
-//! framework. It only *writes* JSON — nothing in the toolchain needs to
-//! parse it back.
+//! framework. [`Json::parse`] reads documents back — `tapo advise`
+//! consumes the live pipeline's own JSON-lines interval reports.
 
 use std::fmt::Write as _;
 
@@ -27,10 +27,90 @@ pub enum Json {
     Obj(Vec<(String, Json)>),
 }
 
+/// Where and why [`Json::parse`] rejected its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// What went wrong, human-readable.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
 impl Json {
     /// Build an object from `(key, value)` pairs.
     pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Parse one JSON document (object, array, or scalar). Trailing
+    /// non-whitespace is an error — JSON-lines input should be split into
+    /// lines first.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup: `Some(&value)` if this is an object with `key`.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// This value as a non-negative integer ([`Json::Int`] only — floats
+    /// are deliberately not truncated).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// This value as a float (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value's object members, if it is an object.
+    pub fn members(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
     }
 
     /// Render with two-space indentation and a trailing newline-free body.
@@ -142,6 +222,229 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Recursive-descent parser over the raw bytes (JSON structure is ASCII;
+/// string contents pass through as validated UTF-8 from the input `&str`).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parser recursion limit — deep enough for any report this toolchain
+/// emits, shallow enough that hostile input cannot overflow the stack.
+const MAX_DEPTH: usize = 128;
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.value_at(0)
+    }
+
+    fn value_at(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // consume `{`
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b'"') {
+                return Err(self.err("expected string key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b':') {
+                return Err(self.err("expected `:`"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            pairs.push((key, self.value_at(depth + 1)?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.pos += 1; // consume `[`
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value_at(depth + 1)?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.pos += 1; // consume opening quote
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Bulk-copy the unescaped run.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            // Safe: `start..pos` stops at ASCII delimiters, so it lies on
+            // char boundaries of the original valid-UTF-8 `&str`.
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos]).expect("input is UTF-8"),
+            );
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        if !float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("malformed number"))
     }
 }
 
@@ -271,5 +574,82 @@ mod tests {
         assert_eq!(Json::from(None::<u64>), Json::Null);
         assert_eq!(Json::from(Some(3u64)), Json::Int(3));
         assert_eq!(Json::from(u64::MAX), Json::Int(i64::MAX));
+    }
+
+    #[test]
+    fn parse_round_trips_the_emitter() {
+        let doc = Json::obj([
+            ("name", Json::from("a\"b\\c\nd — unicode ✓")),
+            ("count", Json::from(42u64)),
+            ("neg", Json::from(-7i64)),
+            ("rate", Json::from(1.5f64)),
+            ("flag", Json::from(true)),
+            ("nothing", Json::Null),
+            ("xs", Json::from(vec![1i64, 2, 3])),
+            (
+                "by_port",
+                Json::obj([("80", Json::obj([("flows", Json::from(3u64))]))]),
+            ),
+        ]);
+        assert_eq!(Json::parse(&doc.compact()).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn parse_accessors() {
+        let v = Json::parse(r#"{"a":{"b":7},"s":"hi","f":2.5}"#).unwrap();
+        assert_eq!(
+            v.get("a").and_then(|a| a.get("b")).and_then(Json::as_u64),
+            Some(7)
+        );
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("hi"));
+        assert_eq!(v.get("f").and_then(Json::as_f64), Some(2.5));
+        assert_eq!(v.get("a").and_then(Json::as_u64), None);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.members().map(|m| m.len()), Some(3));
+    }
+
+    #[test]
+    fn parse_escapes_and_surrogates() {
+        assert_eq!(
+            Json::parse(r#""A\n\té😀""#).unwrap(),
+            Json::Str("A\n\té😀".into())
+        );
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "unpaired surrogate");
+        assert!(Json::parse(r#""\q""#).is_err(), "unknown escape");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":1,}x",
+            "01x",
+            "tru",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "nan",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+        // Deep nesting is bounded, not a stack overflow.
+        let deep = "[".repeat(5000) + &"]".repeat(5000);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn parse_numbers() {
+        assert_eq!(Json::parse("42").unwrap(), Json::Int(42));
+        assert_eq!(Json::parse("-3").unwrap(), Json::Int(-3));
+        assert_eq!(Json::parse("2.5").unwrap(), Json::Num(2.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Num(1000.0));
+        // Beyond i64 falls back to float rather than erroring.
+        assert_eq!(
+            Json::parse("99999999999999999999").unwrap(),
+            Json::Num(1e20)
+        );
     }
 }

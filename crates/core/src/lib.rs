@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod advise;
 pub mod causes;
 pub mod classify;
 pub mod json;
@@ -42,6 +43,10 @@ pub mod stream;
 pub mod summary;
 pub mod validate;
 
+pub use advise::{
+    advise, advise_from_reports, parse_observations, AdviseConfig, AdviseError, MechanismEffect,
+    Observations, ServiceAdvice, ServiceObserved,
+};
 pub use causes::{RetransCause, RetransClass, StallCategory, StallCause, StallClass};
 pub use classify::{ClassifyConfig, Stall};
 pub use live::{

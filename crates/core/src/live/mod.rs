@@ -78,7 +78,8 @@ pub use lru::LruList;
 pub use monitor::{FlowMonitor, LightTable, MonitorSeed, TierConfig, Verdict};
 pub use report::{class_slug, retrans_slug, IntervalReport, LiveSummary};
 pub use shard::{
-    shard_worker, EngineParams, EngineTotals, IntervalDelta, ShardEngine, ShardMsg, Work,
+    merge_by_port, shard_worker, EngineParams, EngineTotals, IntervalDelta, PortDelta, ShardEngine,
+    ShardMsg, Work,
 };
 pub use wheel::{TimerEntry, TimerWheel};
 
@@ -359,6 +360,7 @@ impl Driver {
         self.summary.promotions_denied += delta.promotions_denied;
         self.summary.live_stalls += delta.live_stalls;
         self.summary.breakdown.merge(&delta.breakdown);
+        shard::merge_by_port(&mut self.summary.by_port, &delta.by_port);
 
         IntervalReport {
             interval: iv,
@@ -379,6 +381,7 @@ impl Driver {
             demotions: delta.demotions,
             live_stalls: delta.live_stalls,
             breakdown: delta.breakdown,
+            by_port: delta.by_port,
             shard_occupancy: self.per_shard.then_some(occupancy),
         }
     }

@@ -189,10 +189,18 @@ impl LightRow {
             self.srtt_us = rtt;
             self.rttvar_us = rtt / 2;
         } else {
-            let srtt = self.srtt_us;
-            let err = srtt.abs_diff(rtt);
-            self.rttvar_us = (self.rttvar_us / 4).saturating_mul(3) + err / 4;
-            self.srtt_us = (srtt / 8).saturating_mul(7) + rtt / 8;
+            // RFC 6298 gains in the same rounding order as the heavy
+            // tier's `RttEstimator`: multiply *then* divide. The earlier
+            // `(x/4)*3` / `(x/8)*7` form discards the remainder before
+            // scaling, which biases every update low (up to 6µs on SRTT)
+            // and drifts the light RTO below the heavy one over a flow's
+            // lifetime. 64-bit intermediates: `srtt_us * 7` can overflow
+            // `u32`.
+            let err = self.srtt_us.abs_diff(rtt);
+            let rttvar = (self.rttvar_us as u64 * 3) / 4 + (err / 4) as u64;
+            let srtt = (self.srtt_us as u64 * 7) / 8 + (rtt / 8) as u64;
+            self.rttvar_us = rttvar.min(u32::MAX as u64) as u32;
+            self.srtt_us = srtt.min(u32::MAX as u64) as u32;
         }
     }
 }
@@ -408,6 +416,47 @@ mod tests {
 
     fn upd(t: &mut LightTable, rec: &TraceRecord, cfg: &TierConfig) -> Verdict {
         t.update(0, rec, rec.t.as_micros(), cfg)
+    }
+
+    #[test]
+    fn light_estimator_matches_tcp_reference_exactly() {
+        // Differential pin against the heavy stack's RFC 6298 estimator
+        // (`tcp_sim::rtt::RttEstimator`, Linux `__tcp_set_rto` semantics):
+        // identical samples must yield identical SRTT/RTTVAR/RTO at every
+        // step. Odd microsecond values exercise the integer-rounding order
+        // — `(x/8)*7`-style updates (the pre-fix form) diverge within a
+        // few samples.
+        use simnet::time::SimDuration;
+        let rcfg = ReplayConfig::default();
+        let mut reference = tcp_sim::rtt::RttEstimator::new(tcp_sim::rtt::RttConfig {
+            min_rto: rcfg.min_rto,
+            max_rto: rcfg.max_rto,
+            initial_rto: rcfg.initial_rto,
+        });
+        let clamps = LightTable::new(rcfg).clamps;
+        let mut row = LightRow::default();
+        assert_eq!(row.rto_us(clamps) as u64, reference.rto().as_micros());
+        let mut sample = 100_003u64; // odd on purpose
+        for step in 0..64 {
+            // A jittery walk with spikes — every remainder class gets hit.
+            sample = if step % 7 == 3 {
+                sample * 3 + 11
+            } else {
+                sample / 2 + 40_001 + step * 137
+            };
+            row.observe_rtt(sample);
+            reference.observe(SimDuration::from_micros(sample));
+            assert_eq!(
+                row.srtt_us as u64,
+                reference.srtt().unwrap().as_micros(),
+                "srtt diverged at step {step}"
+            );
+            assert_eq!(
+                row.rto_us(clamps) as u64,
+                reference.rto().as_micros(),
+                "rto diverged at step {step}"
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use simnet::time::SimDuration;
 use tcp_trace::flow::FlowKey;
 
+use super::shard::PortDelta;
 use crate::causes::{RetransClass, StallClass};
 use crate::json::Json;
 use crate::report::StallBreakdown;
@@ -78,6 +79,26 @@ fn breakdown_json(b: &StallBreakdown) -> Json {
     ])
 }
 
+/// Per-server-port slice as a JSON object keyed by port number, in
+/// ascending port order (the list is kept sorted by construction).
+fn by_port_json(by_port: &[(u16, PortDelta)]) -> Json {
+    Json::Obj(
+        by_port
+            .iter()
+            .map(|(port, d)| {
+                (
+                    port.to_string(),
+                    Json::obj([
+                        ("flows", Json::from(d.flows)),
+                        ("stalls", Json::from(d.stalls)),
+                        ("stalled_us", Json::from(d.stalled_us)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
 /// One interval's snapshot of the live pipeline.
 #[derive(Debug, Clone)]
 pub struct IntervalReport {
@@ -119,6 +140,10 @@ pub struct IntervalReport {
     pub live_stalls: u64,
     /// Stall breakdown over the flows finalized in this interval.
     pub breakdown: StallBreakdown,
+    /// Per-server-port slice of the interval (flows finalized and stalls
+    /// diagnosed per port), sorted by port. Shard-count-independent;
+    /// JSON-only (CSV keeps a fixed width).
+    pub by_port: Vec<(u16, PortDelta)>,
     /// Per-shard tracked-flow counts — only with `per_shard_occupancy`
     /// (shard-count-dependent, so off by default to keep reports
     /// byte-identical across `--shards`).
@@ -161,6 +186,7 @@ impl IntervalReport {
             ("demotions", Json::from(self.demotions)),
             ("live_stalls", Json::from(self.live_stalls)),
             ("breakdown", breakdown_json(&self.breakdown)),
+            ("by_port", by_port_json(&self.by_port)),
         ];
         if let Some(occ) = &self.shard_occupancy {
             pairs.push(("shard_occupancy", Json::from(occ.clone())));
@@ -272,6 +298,9 @@ pub struct LiveSummary {
     pub ring_recycled_buffers: u64,
     /// Aggregate stall breakdown over every finalized flow.
     pub breakdown: StallBreakdown,
+    /// Whole-run per-server-port totals, sorted by port (fold of every
+    /// interval's `by_port` slice). JSON-only, like the interval section.
+    pub by_port: Vec<(u16, PortDelta)>,
     /// Per-flow analyses in open order — populated only under
     /// `collect_flows` (unbounded memory; tests and offline comparison).
     pub flows: Vec<(FlowKey, FlowAnalysis)>,
@@ -303,6 +332,7 @@ impl LiveSummary {
             ("promotions_denied", Json::from(self.promotions_denied)),
             ("max_heavy_flows", Json::from(self.max_heavy_flows)),
             ("breakdown", breakdown_json(&self.breakdown)),
+            ("by_port", by_port_json(&self.by_port)),
         ])
     }
 
@@ -402,6 +432,14 @@ mod tests {
             demotions: 0,
             live_stalls: 4,
             breakdown: StallBreakdown::default(),
+            by_port: vec![(
+                80,
+                PortDelta {
+                    flows: 1,
+                    stalls: 2,
+                    stalled_us: 1500,
+                },
+            )],
             shard_occupancy: None,
         }
     }
@@ -427,6 +465,9 @@ mod tests {
         for c in StallClass::ALL {
             assert!(line.contains(class_slug(c)), "missing {c:?}");
         }
+        assert!(
+            line.contains("\"by_port\":{\"80\":{\"flows\":1,\"stalls\":2,\"stalled_us\":1500}}")
+        );
         // Occupancy is absent unless explicitly requested.
         assert!(!line.contains("shard_occupancy"));
     }

@@ -116,6 +116,33 @@ pub struct IntervalDelta {
     /// Stall breakdown over the flows finalized *or demoted* in this
     /// interval.
     pub breakdown: StallBreakdown,
+    /// Per-server-port slice of the interval, sorted by port. Commutative
+    /// keyed merge, so the fold is shard-count-independent like every
+    /// other field.
+    pub by_port: Vec<(u16, PortDelta)>,
+}
+
+/// One server port's share of an interval: flows finalized on it, and the
+/// stalls diagnosed on those (plus demoted-episode) flows. In synthetic
+/// captures the port identifies the service (`tapo advise` keys on it);
+/// in real captures it is whatever the server listens on.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PortDelta {
+    /// Flows finalized with this server port.
+    pub flows: u64,
+    /// Stalls in the analyses folded for this port (heavy flows only —
+    /// light finalizes are undiagnosed by design).
+    pub stalls: u64,
+    /// Total stalled time of those stalls, microseconds.
+    pub stalled_us: u64,
+}
+
+impl PortDelta {
+    fn merge(&mut self, other: &PortDelta) {
+        self.flows += other.flows;
+        self.stalls += other.stalls;
+        self.stalled_us += other.stalled_us;
+    }
 }
 
 impl IntervalDelta {
@@ -134,6 +161,32 @@ impl IntervalDelta {
         self.promotions_denied += other.promotions_denied;
         self.live_stalls += other.live_stalls;
         self.breakdown.merge(&other.breakdown);
+        merge_by_port(&mut self.by_port, &other.by_port);
+    }
+
+    /// The entry for `port`, inserted in sorted position if absent.
+    pub fn port_entry(&mut self, port: u16) -> &mut PortDelta {
+        port_entry(&mut self.by_port, port)
+    }
+}
+
+/// The entry for `port` in a sorted per-port list, inserted if absent.
+fn port_entry(list: &mut Vec<(u16, PortDelta)>, port: u16) -> &mut PortDelta {
+    let idx = match list.binary_search_by_key(&port, |(p, _)| *p) {
+        Ok(i) => i,
+        Err(i) => {
+            list.insert(i, (port, PortDelta::default()));
+            i
+        }
+    };
+    &mut list[idx].1
+}
+
+/// Keyed commutative merge of two sorted per-port lists (the driver also
+/// uses this to fold interval slices into the run summary).
+pub fn merge_by_port(dst: &mut Vec<(u16, PortDelta)>, src: &[(u16, PortDelta)]) {
+    for (port, d) in src {
+        port_entry(dst, *port).merge(d);
     }
 }
 
@@ -506,10 +559,18 @@ impl ShardEngine {
     fn demote(&mut self, slot: u32, lane: u32) {
         let flow = self.slots[slot as usize].as_mut().expect("occupied");
         let idx = flow.heavy_idx;
+        let port = flow.key.server_port;
         debug_assert_ne!(idx, NONE, "demoting a light flow");
         flow.heavy_idx = NONE;
         let analysis = self.pool[idx as usize].finish_reset();
         self.delta.breakdown.add_flow(&analysis);
+        let entry = self.delta.port_entry(port);
+        entry.stalls += analysis.stalls.len() as u64;
+        entry.stalled_us += analysis
+            .stalls
+            .iter()
+            .map(|s| s.duration.as_micros())
+            .sum::<u64>();
         self.pool_free.push(idx);
         self.lane_heavy[lane as usize] -= 1;
         self.heavy_total -= 1;
@@ -529,6 +590,13 @@ impl ShardEngine {
             let idx = flow.heavy_idx;
             let analysis = self.pool[idx as usize].finish_reset();
             self.delta.breakdown.add_flow(&analysis);
+            let entry = self.delta.port_entry(flow.key.server_port);
+            entry.stalls += analysis.stalls.len() as u64;
+            entry.stalled_us += analysis
+                .stalls
+                .iter()
+                .map(|s| s.duration.as_micros())
+                .sum::<u64>();
             if self.collect {
                 self.collected.push((flow.uid, flow.key, analysis));
             }
@@ -539,6 +607,7 @@ impl ShardEngine {
         flow.tracker.reset();
         self.tracker_pool.push(flow.tracker);
         self.delta.flows_finalized += 1;
+        self.delta.port_entry(flow.key.server_port).flows += 1;
         match reason {
             Reason::Teardown | Reason::Displaced => self.delta.flows_closed += 1,
             Reason::Idle => self.delta.flows_evicted_idle += 1,
@@ -778,6 +847,41 @@ mod tests {
     }
 
     #[test]
+    fn cell_quota_partitions_any_cap_exactly() {
+        // Seeded property sweep: for any (total, ncells), the per-cell
+        // quotas must (a) sum to the global cap exactly — no flow of
+        // headroom gained or lost by splitting, at any cell count —
+        // (b) differ by at most one across cells (remainder spread), and
+        // (c) map total == 0 to the unbounded sentinel in every cell.
+        let mut rng = simnet::rng::SimRng::seed(0xce11);
+        let mut cases: Vec<(usize, usize)> = vec![
+            (0, 1),
+            (0, 64),
+            (1, 64),
+            (63, 64),
+            (64, 64),
+            (65, 64),
+            (u32::MAX as usize, 3),
+        ];
+        for _ in 0..200 {
+            let total = (rng.next_u64() % 1_000_000_000) as usize;
+            let ncells = 1 + (rng.next_u64() % 4096) as usize;
+            cases.push((total, ncells));
+        }
+        for (total, ncells) in cases {
+            let quotas: Vec<u32> = (0..ncells).map(|c| cell_quota(total, ncells, c)).collect();
+            if total == 0 {
+                assert!(quotas.iter().all(|&q| q == u32::MAX), "ncells={ncells}");
+                continue;
+            }
+            let sum: u64 = quotas.iter().map(|&q| q as u64).sum();
+            assert_eq!(sum, total as u64, "total={total} ncells={ncells}");
+            let (min, max) = (quotas.iter().min().unwrap(), quotas.iter().max().unwrap());
+            assert!(max - min <= 1, "total={total} ncells={ncells}");
+        }
+    }
+
+    #[test]
     fn dead_map_is_purged_even_without_timers() {
         // Sheds insert dead-map entries; with idle/linger disabled the
         // timer path never runs, so the purge must happen on the packet
@@ -877,6 +981,22 @@ mod tests {
                 promotions_denied: next() % 7,
                 live_stalls: next() % 40,
                 breakdown: StallBreakdown::default(),
+                by_port: (0..next() % 4)
+                    .map(|_| {
+                        (
+                            [80u16, 443, 8080, 8443][(next() % 4) as usize],
+                            PortDelta {
+                                flows: next() % 50,
+                                stalls: next() % 20,
+                                stalled_us: next() % 100_000,
+                            },
+                        )
+                    })
+                    .fold(Vec::new(), |mut acc, (p, d)| {
+                        // Keep the fixture sorted+deduped like real deltas.
+                        port_entry(&mut acc, p).merge(&d);
+                        acc
+                    }),
             })
             .collect();
         let fold = |order: &[usize]| {
@@ -911,6 +1031,7 @@ mod tests {
             assert_eq!(fwd.demotions, d.demotions);
             assert_eq!(fwd.promotions_denied, d.promotions_denied);
             assert_eq!(fwd.live_stalls, d.live_stalls);
+            assert_eq!(fwd.by_port, d.by_port, "keyed per-port merge commutes");
         }
     }
 }

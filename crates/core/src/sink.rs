@@ -101,11 +101,12 @@ impl<W: Write> ReportSink for CsvSink<W> {
     }
 }
 
-/// Quote a CSV cell if (and only if) it needs it — commas or quotes inside
-/// the value. Numeric counter rows never need this; free-text table cells
-/// (the `repro` tables) do.
+/// Quote a CSV cell if (and only if) it needs it — commas, quotes, or line
+/// breaks inside the value (an unquoted embedded newline splits the row in
+/// two for any RFC 4180 reader). Numeric counter rows never need this;
+/// free-text table cells (the `repro` tables) do.
 pub fn csv_escape(cell: &str) -> String {
-    if cell.contains(',') || cell.contains('"') {
+    if cell.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", cell.replace('"', "\"\""))
     } else {
         cell.to_string()
@@ -159,5 +160,15 @@ mod tests {
         assert_eq!(csv_escape("plain"), "plain");
         assert_eq!(csv_escape("a,b"), "\"a,b\"");
         assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn escape_quotes_line_breaks() {
+        // An unquoted newline would split the row; RFC 4180 requires such
+        // cells to be quoted (the break itself is preserved verbatim).
+        assert_eq!(csv_escape("two\nlines"), "\"two\nlines\"");
+        assert_eq!(csv_escape("crlf\r\nrow"), "\"crlf\r\nrow\"");
+        assert_eq!(csv_escape("bare\rcr"), "\"bare\rcr\"");
+        assert_eq!(csv_escape("quote\"and\nbreak"), "\"quote\"\"and\nbreak\"");
     }
 }

@@ -179,7 +179,7 @@ fn main() {
 
     if want("table8") || want("table9") {
         eprintln!(
-            "running mechanism comparison: {} web + {} cloud flows × 3 mechanisms...",
+            "running mechanism comparison: {} web + {} cloud flows × 4 mechanisms...",
             cmp_scale.web_flows, cmp_scale.cloud_flows
         );
         let cmp = mechanism::run_comparison_with(cmp_scale, &engine);
@@ -229,9 +229,14 @@ fn main() {
         eprintln!("running ground-truth validation gate...");
         let report = validate::run_validation(ds_scale.flows_per_service, ds_scale.seed, &engine);
         print_t(validate::validation_table(&report));
-        let violations = validate::floor_violations(&report);
+        let mut violations = validate::floor_violations(&report);
+        eprintln!("running T-RACKs validation (accuracy + paired benefit)...");
+        let tracks =
+            validate::run_tracks_validation(ds_scale.flows_per_service, ds_scale.seed, &engine);
+        print_t(validate::tracks_validation_table(&tracks));
+        violations.extend(validate::tracks_floor_violations(&tracks));
         if violations.is_empty() {
-            eprintln!("validation gate: PASS (all accuracy floors met)");
+            eprintln!("validation gate: PASS (all accuracy and benefit floors met)");
         } else {
             for v in &violations {
                 eprintln!("validation gate FAIL: {v}");

@@ -1,6 +1,6 @@
-//! Tables 8 & 9: the production A/B of native Linux vs TLP vs S-RTO,
-//! reproduced as a *paired* replay — the same sampled flow populations run
-//! under each mechanism with identical seeds.
+//! Tables 8 & 9: the production A/B of native Linux vs TLP vs S-RTO vs
+//! T-RACKs, reproduced as a *paired* replay — the same sampled flow
+//! populations run under each mechanism with identical seeds.
 
 use simnet::time::SimDuration;
 use tcp_sim::recovery::RecoveryMechanism;
@@ -50,7 +50,7 @@ impl ComparisonScale {
 /// One mechanism's corpora for both evaluated services.
 #[derive(Debug)]
 pub struct MechanismRun {
-    /// "Linux" / "TLP" / "S-RTO".
+    /// "Linux" / "TLP" / "S-RTO" / "T-RACKs".
     pub label: &'static str,
     /// Web-search corpus.
     pub web: Corpus,
@@ -63,7 +63,7 @@ pub struct MechanismRun {
 /// The full paired comparison.
 #[derive(Debug)]
 pub struct Comparison {
-    /// Runs in order: Linux, TLP, S-RTO.
+    /// Runs in order: Linux, TLP, S-RTO, T-RACKs.
     pub runs: Vec<MechanismRun>,
 }
 
@@ -73,7 +73,7 @@ pub fn run_comparison(scale: ComparisonScale) -> Comparison {
 }
 
 /// Run the paired comparison on the given engine: identical populations and
-/// per-flow seeds across the three mechanisms (S-RTO uses the paper's
+/// per-flow seeds across the four mechanisms (S-RTO uses the paper's
 /// per-service `T1`). Output is identical at any thread count.
 pub fn run_comparison_with(scale: ComparisonScale, engine: &Engine) -> Comparison {
     // The paper's A/B ran on specific front-end servers, i.e. a relatively
@@ -119,7 +119,7 @@ pub fn run_comparison_with(scale: ComparisonScale, engine: &Engine) -> Compariso
             (spec, path)
         })
         .collect();
-    let mechs: [(&'static str, RecoveryMechanism, RecoveryMechanism); 3] = [
+    let mechs: [(&'static str, RecoveryMechanism, RecoveryMechanism); 4] = [
         (
             "Linux",
             RecoveryMechanism::Native,
@@ -130,6 +130,11 @@ pub fn run_comparison_with(scale: ComparisonScale, engine: &Engine) -> Compariso
             "S-RTO",
             RecoveryMechanism::Srto(Service::WebSearch.srto_config()),
             RecoveryMechanism::Srto(Service::CloudStorage.srto_config()),
+        ),
+        (
+            "T-RACKs",
+            RecoveryMechanism::tracks(),
+            RecoveryMechanism::tracks(),
         ),
     ];
     let runs = mechs

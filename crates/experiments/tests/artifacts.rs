@@ -162,8 +162,9 @@ fn comparison_is_paired_and_complete() {
         cloud_flows: 5,
         seed: 3,
     });
-    assert_eq!(cmp.runs.len(), 3);
+    assert_eq!(cmp.runs.len(), 4);
     assert_eq!(cmp.runs[0].label, "Linux");
+    assert_eq!(cmp.runs[3].label, "T-RACKs");
     // Identical populations: same number of flows and same offered bytes.
     let bytes = |c: &workloads::Corpus| c.flows.iter().map(|f| f.response_bytes).sum::<u64>();
     for run in &cmp.runs[1..] {
@@ -175,7 +176,7 @@ fn comparison_is_paired_and_complete() {
     assert_eq!(t8.rows.len(), 5); // 50/90/95/mean/#(flows)
     let t9 = mechanism::table9(&cmp);
     assert_eq!(t9.rows.len(), 2);
-    assert_eq!(t9.header.len(), 4);
+    assert_eq!(t9.header.len(), 5); // service + all four mechanisms
 }
 
 #[test]

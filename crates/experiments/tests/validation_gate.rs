@@ -116,3 +116,17 @@ fn quick_scale_validation_meets_floors() {
     let violations = validate::floor_violations(&report);
     assert!(violations.is_empty(), "floor violations: {violations:?}");
 }
+
+/// The committed T-RACKs floors (classifier accuracy on T-RACKs traffic
+/// and the paired stall-time benefit) must hold at quick scale — the exact
+/// configuration the CI gate runs.
+#[test]
+fn quick_scale_tracks_validation_meets_floors() {
+    let scale = Scale::quick();
+    let v = validate::run_tracks_validation(scale.flows_per_service, scale.seed, &Engine::auto());
+    let violations = validate::tracks_floor_violations(&v);
+    assert!(
+        violations.is_empty(),
+        "T-RACKs floor violations: {violations:?}"
+    );
+}

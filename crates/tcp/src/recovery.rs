@@ -1,7 +1,7 @@
 //! Loss-recovery mechanism selection: native Linux 2.6.32 behaviour, the
-//! Tail Loss Probe baseline, or the paper's S-RTO.
+//! Tail Loss Probe baseline, the paper's S-RTO, or T-RACKs.
 //!
-//! All three share the same fast-retransmit/RTO machinery in
+//! All four share the same fast-retransmit/RTO machinery in
 //! [`crate::sender::Sender`]; the mechanism only changes *what timer is
 //! armed while data is outstanding* and *what happens when that timer
 //! fires*:
@@ -21,6 +21,16 @@
 //!   `cwnd > T2` and not already in Recovery, enter Recovery, and fall back
 //!   to the native RTO. Active in *any* congestion state, which is what lets
 //!   it repair f-double stalls.
+//! * **T-RACKs** (Ahmed et al., "T-RACKs: A Faster Recovery Mechanism for
+//!   TCP in Data Center Networks") — an ACK-state-driven virtual RACK-style
+//!   timer. Whenever the flow sits in `Open`/`Disorder` holding dup-ACK
+//!   evidence below `dupthres` (a tail loss that will never accumulate
+//!   three dupacks), a short timer `max(mult·SRTT, min_timeout)` is armed;
+//!   on expiry the sender *forces fast-retransmit entry* — the same
+//!   Recovery transition three dupacks would have triggered — instead of
+//!   waiting out the RTO. Unlike TLP it keeps working in `Disorder`, and
+//!   unlike S-RTO it only ever fires on positive dup-ACK evidence, so it
+//!   is never spuriously early on a quiet tail.
 
 use simnet::time::SimDuration;
 
@@ -86,6 +96,41 @@ impl SrtoConfig {
     }
 }
 
+/// T-RACKs parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracksConfig {
+    /// Virtual timer delay as a multiple of the smoothed RTT. The T-RACKs
+    /// paper arms its recovery epoch at roughly one RTT past the most
+    /// recent dup-ACK; 1.5 leaves slack for delayed ACKs without
+    /// approaching the RTO.
+    pub timer_rtt_mult: f64,
+    /// Lower bound on the virtual timer (guards against a tiny SRTT arming
+    /// a sub-millisecond timer that fires before the ACK clock can run).
+    pub min_timeout: SimDuration,
+    /// Dup-ACK evidence required to arm the timer — the threshold
+    /// *bypass*: entry into fast retransmit no longer waits for `dupthres`
+    /// duplicates, only for this (lower) count plus the timer. 1 (the
+    /// default) arms on the very first duplicate.
+    pub dupack_arm: u32,
+    /// The timer only arms while `packets_out ≤` this bound. A flow with a
+    /// large outstanding window generates `dupthres` duplicates on its own
+    /// within one RTT, so forcing entry early only adds spurious
+    /// recoveries; the dupack-starved tails T-RACKs exists for (its
+    /// datacenter incast setting) all sit at small `packets_out`.
+    pub max_packets_out: u32,
+}
+
+impl Default for TracksConfig {
+    fn default() -> Self {
+        TracksConfig {
+            timer_rtt_mult: 1.5,
+            min_timeout: SimDuration::from_millis(10),
+            dupack_arm: 1,
+            max_packets_out: 8,
+        }
+    }
+}
+
 /// Which recovery mechanism the sender runs.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum RecoveryMechanism {
@@ -96,6 +141,8 @@ pub enum RecoveryMechanism {
     Tlp(TlpConfig),
     /// The paper's S-RTO.
     Srto(SrtoConfig),
+    /// T-RACKs: dup-ACK-armed virtual timer forcing fast-retransmit entry.
+    Tracks(TracksConfig),
 }
 
 impl RecoveryMechanism {
@@ -109,13 +156,30 @@ impl RecoveryMechanism {
         RecoveryMechanism::Srto(SrtoConfig::default())
     }
 
-    /// Short human-readable label for reports ("Linux", "TLP", "S-RTO").
+    /// T-RACKs with default parameters.
+    pub fn tracks() -> Self {
+        RecoveryMechanism::Tracks(TracksConfig::default())
+    }
+
+    /// Short human-readable label for reports
+    /// ("Linux", "TLP", "S-RTO", "T-RACKs").
     pub fn label(&self) -> &'static str {
         match self {
             RecoveryMechanism::Native => "Linux",
             RecoveryMechanism::Tlp(_) => "TLP",
             RecoveryMechanism::Srto(_) => "S-RTO",
+            RecoveryMechanism::Tracks(_) => "T-RACKs",
         }
+    }
+
+    /// Every mechanism with its default parameters, in report order.
+    pub fn all_default() -> [RecoveryMechanism; 4] {
+        [
+            RecoveryMechanism::Native,
+            RecoveryMechanism::tlp(),
+            RecoveryMechanism::srto(),
+            RecoveryMechanism::tracks(),
+        ]
     }
 }
 
@@ -128,6 +192,23 @@ mod tests {
         assert_eq!(RecoveryMechanism::Native.label(), "Linux");
         assert_eq!(RecoveryMechanism::tlp().label(), "TLP");
         assert_eq!(RecoveryMechanism::srto().label(), "S-RTO");
+        assert_eq!(RecoveryMechanism::tracks().label(), "T-RACKs");
+        let labels: Vec<_> = RecoveryMechanism::all_default()
+            .iter()
+            .map(|m| m.label())
+            .collect();
+        assert_eq!(labels, ["Linux", "TLP", "S-RTO", "T-RACKs"]);
+    }
+
+    #[test]
+    fn tracks_defaults_bypass_the_dupack_threshold() {
+        let c = TracksConfig::default();
+        assert!(
+            c.dupack_arm < 3,
+            "arming below dupthres is the whole point of the bypass"
+        );
+        assert!(c.timer_rtt_mult > 1.0);
+        assert!(c.min_timeout >= SimDuration::from_millis(1));
     }
 
     #[test]

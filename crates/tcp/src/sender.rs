@@ -153,6 +153,8 @@ pub struct SenderStats {
     pub srto_probes: u64,
     /// TLP probe firings.
     pub tlp_probes: u64,
+    /// T-RACKs virtual-timer firings that forced fast-retransmit entry.
+    pub tracks_forced: u64,
     /// DSACK-reported spurious retransmissions.
     pub spurious_retrans: u64,
     /// Congestion-window undo events.
@@ -166,6 +168,7 @@ pub struct SenderStats {
 enum ProbeKind {
     Tlp,
     Srto,
+    Tracks,
 }
 
 /// The TCP sender for one direction of a connection.
@@ -496,13 +499,30 @@ impl Sender {
         // Timer management: restart on forward progress or a congestion-state
         // change (entering Recovery must cancel a pending TLP probe, leaving
         // Loss must drop the backed-off deadline); otherwise only arm if
-        // nothing is pending.
+        // nothing is pending. T-RACKs additionally re-arms when a dup-ACK
+        // first pushes the evidence over its arming threshold — the state
+        // may not change (Disorder → Disorder) yet the pending native RTO
+        // must be replaced by the short virtual timer.
         if advanced
             || self.ca_state != prior_state
             || (self.rto_deadline.is_none() && self.probe_deadline.is_none())
+            || (is_dup && self.tracks_wants_arm())
         {
             self.arm_timers(now);
         }
+    }
+
+    /// True when the T-RACKs virtual timer should be armed but is not yet
+    /// (dup-ACK evidence crossed the threshold while the native RTO was
+    /// pending).
+    fn tracks_wants_arm(&self) -> bool {
+        let RecoveryMechanism::Tracks(tr) = self.cfg.recovery else {
+            return false;
+        };
+        (self.ca_state == CaState::Open || self.ca_state == CaState::Disorder)
+            && self.dup_count() >= tr.dupack_arm
+            && self.sb.packets_out() <= tr.max_packets_out
+            && self.probe_deadline.is_none()
     }
 
     fn dup_count(&self) -> u32 {
@@ -764,6 +784,25 @@ impl Sender {
                     self.probe_deadline = None;
                 }
             }
+            RecoveryMechanism::Tracks(tr) => {
+                // ACK-state-driven: the virtual timer needs positive
+                // dup-ACK evidence and a flow still short of fast
+                // retransmit (Open/Disorder). Everything else is native.
+                let pre_recovery =
+                    self.ca_state == CaState::Open || self.ca_state == CaState::Disorder;
+                if pre_recovery
+                    && self.dup_count() >= tr.dupack_arm
+                    && self.sb.packets_out() <= tr.max_packets_out
+                {
+                    let srtt = self.rtt.srtt().unwrap_or(rto / 2);
+                    let delay = srtt.mul_f64(tr.timer_rtt_mult).max(tr.min_timeout).min(rto);
+                    self.probe_deadline = Some((now + delay, ProbeKind::Tracks));
+                    self.rto_deadline = None;
+                } else {
+                    self.rto_deadline = Some(self.rto_deadline_from(now));
+                    self.probe_deadline = None;
+                }
+            }
         }
     }
 
@@ -796,6 +835,7 @@ impl Sender {
                 match kind {
                     ProbeKind::Srto => self.trigger_srto(now, out),
                     ProbeKind::Tlp => self.trigger_tlp(now, out),
+                    ProbeKind::Tracks => self.trigger_tracks(now, out),
                 }
             }
         }
@@ -915,6 +955,47 @@ impl Sender {
         }
         // Fall back to the RTO, anchored at the head's transmission time so
         // the probe does not delay an eventual timeout by a full RTO.
+        self.rto_deadline = Some(self.rto_deadline_from_head(now));
+        self.probe_deadline = None;
+    }
+
+    /// T-RACKs virtual timer: the dup-ACK evidence that armed it never
+    /// reached `dupthres`, so force the fast-retransmit entry those missing
+    /// duplicates would have triggered — full `enter_recovery` semantics
+    /// (ssthresh reduction, loss marking, head retransmission via `poll`) —
+    /// then fall back to the head-anchored native RTO.
+    fn trigger_tracks(&mut self, now: SimTime, out: &mut Vec<SendOp>) {
+        let still_armed = match self.cfg.recovery {
+            RecoveryMechanism::Tracks(tr) => {
+                self.dup_count() >= tr.dupack_arm && self.sb.packets_out() <= tr.max_packets_out
+            }
+            _ => unreachable!("tracks timer armed without tracks mechanism"),
+        };
+        let pre_recovery = self.ca_state == CaState::Open || self.ca_state == CaState::Disorder;
+        if self.sb.is_empty() || !pre_recovery || !still_armed {
+            self.arm_timers(now);
+            return;
+        }
+        self.stats.tracks_forced += 1;
+        // Forced fast-retransmit entry, but with head-only loss marking:
+        // the dup-ACK evidence is below `dupthres`, so a full FACK sweep
+        // would turn one suspected hole into a burst of speculative
+        // retransmissions (and on a bursty path, into real drops that only
+        // the RTO can repair — the f-double trap). If more holes are real,
+        // the dupacks that keep arriving in Recovery mark them normally.
+        self.prior_cwnd = self.cwnd;
+        self.prior_ssthresh = self.ssthresh;
+        self.undo_marker = Some(self.sb.snd_una());
+        self.undo_retrans = 0;
+        self.marker_retrans_total = 0;
+        self.ssthresh = self.cc.ssthresh(self.cwnd);
+        self.cc.on_congestion_event(self.cwnd);
+        self.high_seq = self.sb.snd_nxt();
+        self.ca_state = CaState::Recovery;
+        self.rh_ack_cnt = 0;
+        self.stats.fast_recovery_count += 1;
+        self.sb.mark_lost_head();
+        self.poll(now, out);
         self.rto_deadline = Some(self.rto_deadline_from_head(now));
         self.probe_deadline = None;
     }
@@ -1330,6 +1411,148 @@ mod tests {
             gap >= s.rtt().rto(),
             "S-RTO must not re-arm after a native RTO, got {gap}"
         );
+    }
+
+    fn tracks_sender(cfg: crate::recovery::TracksConfig) -> Sender {
+        let mut s = Sender::new(SenderConfig {
+            cc: CcKind::Reno,
+            init_cwnd: 10,
+            recovery: RecoveryMechanism::Tracks(cfg),
+            ..SenderConfig::default()
+        });
+        s.set_peer_rwnd(1 << 20);
+        s
+    }
+
+    #[test]
+    fn tracks_forces_fast_retransmit_before_rto() {
+        let mut s = tracks_sender(Default::default());
+        // Establish an RTT estimate first.
+        send_data(&mut s, ms(0), 1);
+        let mut out = Vec::new();
+        s.on_ack(ms(100), &ack(DEFAULT_MSS as u64, 1 << 20), &mut out);
+        // A window with the head lost: only TWO dupacks ever arrive (tail
+        // loss starves the dupack supply below dupthres = 3), so native
+        // fast retransmit never triggers and the flow would wait out the
+        // full RTO.
+        s.app_write(5 * DEFAULT_MSS as u64);
+        out.clear();
+        s.poll(ms(100), &mut out);
+        let mss = DEFAULT_MSS as u64;
+        let base = mss;
+        for i in 1..=2u64 {
+            s.on_ack(
+                ms(200 + i),
+                &sack_ack(base, 1 << 20, &[(base + mss, base + (1 + i) * mss)]),
+                &mut out,
+            );
+        }
+        assert_eq!(s.ca_state(), CaState::Disorder);
+        // The virtual timer must be armed well before the RTO.
+        let d = s.next_deadline().unwrap();
+        let rto_deadline = ms(202) + s.rtt().rto();
+        assert!(d < rto_deadline, "T-RACKs timer {d} must precede the RTO");
+        out.clear();
+        s.on_tick(d, &mut out);
+        assert_eq!(s.stats().tracks_forced, 1);
+        assert_eq!(s.ca_state(), CaState::Recovery, "forced fast-retransmit");
+        assert_eq!(s.stats().fast_recovery_count, 1);
+        assert!(out
+            .iter()
+            .any(|op| matches!(op, SendOp::Data { seq, retrans: true, .. } if *seq == base)));
+        let head = s.scoreboard().seg_at(base).unwrap();
+        assert!(!head.ever_rto_retrans, "forced entry is not a native RTO");
+    }
+
+    #[test]
+    fn tracks_does_not_arm_without_dupack_evidence() {
+        let mut s = tracks_sender(Default::default());
+        send_data(&mut s, ms(0), 5);
+        // No ACKs at all: a quiet tail arms the native RTO, never the
+        // virtual timer (unlike TLP/S-RTO, T-RACKs needs dup-ACK state).
+        let d = s.next_deadline().unwrap();
+        assert_eq!(
+            d,
+            ms(0) + s.rtt().rto() + SenderConfig::default().timer_granularity
+        );
+        let mut out = Vec::new();
+        s.on_tick(d, &mut out);
+        assert_eq!(s.stats().tracks_forced, 0);
+        assert_eq!(s.stats().rto_count, 1);
+    }
+
+    #[test]
+    fn tracks_arm_threshold_rearm_on_later_dupack() {
+        let mut s = tracks_sender(crate::recovery::TracksConfig {
+            dupack_arm: 2,
+            ..Default::default()
+        });
+        send_data(&mut s, ms(0), 1);
+        let mut out = Vec::new();
+        s.on_ack(ms(100), &ack(DEFAULT_MSS as u64, 1 << 20), &mut out);
+        s.app_write(6 * DEFAULT_MSS as u64);
+        s.poll(ms(100), &mut out);
+        let mss = DEFAULT_MSS as u64;
+        let base = mss;
+        // First dupack: below the arm threshold, native RTO stays armed.
+        s.on_ack(
+            ms(201),
+            &sack_ack(base, 1 << 20, &[(base + mss, base + 2 * mss)]),
+            &mut out,
+        );
+        let rto = s.rtt().rto();
+        assert!(s.next_deadline().unwrap() >= ms(201) + rto);
+        // Second dupack crosses the threshold: the pending RTO must be
+        // replaced by the short virtual timer even though the congestion
+        // state did not change (Disorder → Disorder).
+        s.on_ack(
+            ms(202),
+            &sack_ack(base, 1 << 20, &[(base + mss, base + 3 * mss)]),
+            &mut out,
+        );
+        let d = s.next_deadline().unwrap();
+        assert!(d < ms(202) + rto, "virtual timer {d} must precede the RTO");
+        out.clear();
+        s.on_tick(d, &mut out);
+        assert_eq!(s.stats().tracks_forced, 1);
+    }
+
+    #[test]
+    fn tracks_falls_back_to_native_rto_after_forcing() {
+        let mut s = tracks_sender(Default::default());
+        send_data(&mut s, ms(0), 1);
+        let mut out = Vec::new();
+        s.on_ack(ms(100), &ack(DEFAULT_MSS as u64, 1 << 20), &mut out);
+        s.app_write(5 * DEFAULT_MSS as u64);
+        s.poll(ms(100), &mut out);
+        let mss = DEFAULT_MSS as u64;
+        let base = mss;
+        for i in 1..=2u64 {
+            s.on_ack(
+                ms(200 + i),
+                &sack_ack(base, 1 << 20, &[(base + mss, base + (1 + i) * mss)]),
+                &mut out,
+            );
+        }
+        let d = s.next_deadline().unwrap();
+        out.clear();
+        s.on_tick(d, &mut out);
+        assert_eq!(s.stats().tracks_forced, 1);
+        // The forced retransmission is lost too: in Recovery the virtual
+        // timer must NOT re-arm; only the native RTO repairs it.
+        let d2 = s.next_deadline().unwrap();
+        out.clear();
+        s.on_tick(d2, &mut out);
+        assert_eq!(s.stats().tracks_forced, 1, "no re-fire in Recovery");
+        assert_eq!(s.stats().rto_count, 1);
+        assert!(out.iter().any(|op| matches!(
+            op,
+            SendOp::Data {
+                seq,
+                retrans: true,
+                ..
+            } if *seq == base
+        )));
     }
 
     #[test]

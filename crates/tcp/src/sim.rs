@@ -570,8 +570,8 @@ impl<S: RecordSink> FlowSim<S> {
                             o.events.push(CauseEvent::at(now, CauseKind::RtoFired(ctx)));
                         }
                     }
-                    if post.tlp_probes + post.srto_probes
-                        > pre_stats.tlp_probes + pre_stats.srto_probes
+                    if post.tlp_probes + post.srto_probes + post.tracks_forced
+                        > pre_stats.tlp_probes + pre_stats.srto_probes + pre_stats.tracks_forced
                     {
                         o.events.push(CauseEvent::at(now, CauseKind::ProbeFired));
                     }

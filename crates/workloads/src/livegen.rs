@@ -170,8 +170,11 @@ pub fn generate_interleaved<W: Write>(out: W, spec: &LiveGenSpec) -> io::Result<
                     let mechanism = spec.mechanism.resolve(model.service);
                     let mut out = simulate_flow(&fspec, &path, mechanism, seed);
                     // Unique key per global index; seed-derived keys can
-                    // collide.
-                    out.trace.key = Some(FlowKey::synthetic(g as u32));
+                    // collide. The server port identifies the service so
+                    // per-port live reports attribute flows back to it.
+                    let mut key = FlowKey::synthetic(g as u32);
+                    key.server_port = model.service.server_port();
+                    out.trace.key = Some(key);
                     (out.trace, out.response_bytes)
                 });
             for (i, (trace, bytes)) in batch.into_iter().enumerate() {
@@ -279,5 +282,27 @@ mod tests {
         keys.sort_by_key(|k| (k.client_ip, k.client_port));
         keys.dedup();
         assert_eq!(keys.len(), stats.flows, "keys must be unique");
+    }
+
+    #[test]
+    fn server_ports_identify_services() {
+        let mut buf = Vec::new();
+        let stats = generate_interleaved(&mut buf, &small_spec()).unwrap();
+        let flows = PcapReader::read_all(&buf[..]).unwrap();
+        let mut per_port = std::collections::BTreeMap::new();
+        for f in &flows {
+            let port = f.key.unwrap().server_port;
+            assert!(
+                Service::from_server_port(port).is_some(),
+                "unknown server port {port}"
+            );
+            *per_port.entry(port).or_insert(0usize) += 1;
+        }
+        // Round-robin assignment: every service gets exactly its share,
+        // on its own port.
+        assert_eq!(per_port.len(), SERVICES.len());
+        for (&port, &n) in &per_port {
+            assert_eq!(n, stats.flows / SERVICES.len(), "port {port}");
+        }
     }
 }

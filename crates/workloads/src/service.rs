@@ -57,6 +57,28 @@ impl Service {
             _ => SrtoConfig::cloud_storage(),
         }
     }
+
+    /// The server TCP port this service listens on in synthetic captures:
+    /// web search on 80, software download on 8080, cloud storage on 8443.
+    /// The live pipeline's per-port report section and `tapo advise` use
+    /// the port to attribute flows back to a service.
+    pub fn server_port(&self) -> u16 {
+        match self {
+            Service::CloudStorage => 8443,
+            Service::SoftwareDownload => 8080,
+            Service::WebSearch => 80,
+        }
+    }
+
+    /// Inverse of [`Service::server_port`].
+    pub fn from_server_port(port: u16) -> Option<Service> {
+        match port {
+            8443 => Some(Service::CloudStorage),
+            8080 => Some(Service::SoftwareDownload),
+            80 => Some(Service::WebSearch),
+            _ => None,
+        }
+    }
 }
 
 const MSS: f64 = 1448.0;

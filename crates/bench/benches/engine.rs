@@ -16,6 +16,11 @@
 //!   (default 3334, i.e. ≥ 10k flows total; CI smoke uses a small count).
 //! * `BENCH_LIVE_SHARDS` — shard count for a live child phase (set by the
 //!   parent while sweeping the per-shard-count scaling curve).
+//! * `BENCH_FLEET_DAEMONS` — simulated daemon report streams for the
+//!   fleet aggregation phase (default 8).
+//! * `BENCH_FLEET_INTERVALS` — interval records per daemon stream
+//!   (default 2000; CI smoke uses a smaller count). records/sec is
+//!   normalized, so counts are comparable.
 //! * `-- --gate` — regression-gate mode, comparing this run against the
 //!   *committed* JSON's `current` section:
 //!   - single-thread flows/sec must be ≥ 80% of the committed value;
@@ -32,6 +37,9 @@
 //!   - on machines with ≥ 2 cores, the best multi-shard live pkts/s must
 //!     be at least the single-shard pkts/s (the parallel front end must
 //!     not cost throughput);
+//!   - the fleet phase must aggregate every record it was fed (an
+//!     absolute count check), and its records/sec (≥ 80%) and peak RSS
+//!     (≤ 120%) gate against the committed `fleet` section;
 //!   - on machines with ≥ 4 cores (and a curve reaching ≥ 4 threads),
 //!     all-thread flows/sec must exceed 1.5× single-thread. Scaling
 //!     gates are skipped — not failed — on smaller machines, so the
@@ -63,7 +71,8 @@ use bench_suite::{extract_json_number, peak_rss_bytes, section_field};
 use experiments::{Dataset, Engine, Scale};
 use simnet::time::SimDuration;
 use tapo::json::Json;
-use tapo::live::{self, LiveConfig, TierConfig};
+use tapo::live::{self, DaemonId, LiveConfig, TierConfig};
+use tapo::{aggregate, read_report_files, FleetConfig};
 use workloads::{generate_interleaved, LiveGenSpec};
 
 /// One measured configuration: flows/sec over `repeats` dataset builds
@@ -186,10 +195,133 @@ fn phase_shards() -> usize {
         .unwrap_or(1)
 }
 
-/// Child-phase dispatch: generate the shared capture or run one live
-/// pipeline over it, then exit. The capture path always arrives via the
-/// `BENCH_LIVE_CAPTURE` env var set by the parent.
+/// Simulated daemon streams for the fleet phase (`BENCH_FLEET_DAEMONS`,
+/// default 8 — the issue's "cluster of front ends" floor).
+fn fleet_daemons() -> usize {
+    std::env::var("BENCH_FLEET_DAEMONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
+
+/// Interval records per simulated daemon stream (`BENCH_FLEET_INTERVALS`,
+/// default 2000; CI smoke uses a smaller count).
+fn fleet_intervals() -> usize {
+    std::env::var("BENCH_FLEET_INTERVALS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000)
+}
+
+/// Per-daemon report file path under the parent-chosen prefix.
+fn fleet_stream_path(prefix: &Path, daemon: usize) -> PathBuf {
+    let mut p = prefix.as_os_str().to_os_string();
+    p.push(format!("_d{daemon}.jsonl"));
+    PathBuf::from(p)
+}
+
+/// Write the simulated daemon report streams: one real `tapo live` run
+/// supplies template interval records (sketches on), which are then
+/// stamped with per-daemon ids and tiled along the time axis until every
+/// daemon has its record quota. This keeps the record *content* honest —
+/// real breakdowns, real per-port slices, real sketches — while the
+/// stream length scales independently of capture size.
+fn fleet_gen_phase(prefix: &Path) -> std::io::Result<()> {
+    use std::io::Write;
+    let daemons = fleet_daemons();
+    let per_daemon = fleet_intervals();
+    let spec = LiveGenSpec {
+        flows_per_service: 30,
+        seed: 2015,
+        mean_gap: SimDuration::from_millis(5),
+        ..Default::default()
+    };
+    let mut capture = Vec::new();
+    generate_interleaved(&mut capture, &spec)?;
+    let cfg = LiveConfig {
+        interval: SimDuration::from_millis(250),
+        ..Default::default()
+    };
+    let mut templates = Vec::new();
+    live::run(&capture[..], &cfg, |r| templates.push(r.clone()))
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    if templates.is_empty() {
+        return Err(std::io::Error::other(
+            "capture produced no interval reports",
+        ));
+    }
+    let span = templates.last().expect("non-empty").end_us;
+    let mut records = 0u64;
+    for d in 0..daemons {
+        let id = DaemonId::new(&format!("fe{d}")).expect("bench ids are valid");
+        let mut out = BufWriter::new(File::create(fleet_stream_path(prefix, d))?);
+        for k in 0..per_daemon {
+            let mut rec = templates[k % templates.len()].clone();
+            let shift = (k / templates.len()) as u64 * span;
+            rec.daemon = id;
+            rec.interval = k as u64;
+            rec.start_us += shift;
+            rec.end_us += shift;
+            writeln!(out, "{}", rec.to_json().compact())?;
+            records += 1;
+        }
+        out.into_inner()?.sync_all()?;
+    }
+    let doc = Json::obj([
+        ("daemons", Json::Int(daemons as i64)),
+        ("records", Json::Int(records as i64)),
+    ]);
+    println!("{}", doc.compact());
+    Ok(())
+}
+
+/// Ingest + aggregate the simulated daemon streams once and report fleet
+/// throughput. Runs in a child process so `peak_rss_bytes` sees only the
+/// aggregation pipeline's memory.
+fn fleet_phase(prefix: &Path) -> std::io::Result<()> {
+    let paths: Vec<PathBuf> = (0..fleet_daemons())
+        .map(|d| fleet_stream_path(prefix, d))
+        .collect();
+    let t = Instant::now();
+    let (records, skipped) =
+        read_report_files(&paths, 0).map_err(|e| std::io::Error::other(e.to_string()))?;
+    let out = aggregate(&records, skipped, &FleetConfig::default());
+    let secs = t.elapsed().as_secs_f64();
+    let doc = Json::obj([
+        ("daemons", Json::Int(out.summary.daemons as i64)),
+        ("records", Json::Int(out.summary.records as i64)),
+        ("buckets", Json::Int(out.summary.buckets as i64)),
+        ("alerts", Json::Int(out.summary.alerts as i64)),
+        (
+            "records_per_sec",
+            Json::Num(out.summary.records as f64 / secs.max(1e-12)),
+        ),
+        (
+            "peak_rss_bytes",
+            Json::Int(peak_rss_bytes().unwrap_or(0) as i64),
+        ),
+        ("wall_secs", Json::Num(secs)),
+    ]);
+    println!("{}", doc.compact());
+    Ok(())
+}
+
+/// Child-phase dispatch: generate the shared capture, run one live
+/// pipeline over it, or run a fleet phase, then exit. The capture path
+/// arrives via `BENCH_LIVE_CAPTURE`, the fleet stream prefix via
+/// `BENCH_FLEET_PREFIX` — both set by the parent.
 fn run_child_phase(phase: &str) -> std::io::Result<()> {
+    if phase == "fleet_gen" || phase == "fleet" {
+        let prefix = PathBuf::from(
+            std::env::var_os("BENCH_FLEET_PREFIX")
+                .ok_or_else(|| std::io::Error::other("BENCH_FLEET_PREFIX not set"))?,
+        );
+        return if phase == "fleet_gen" {
+            fleet_gen_phase(&prefix)
+        } else {
+            fleet_phase(&prefix)
+        };
+    }
     let path = PathBuf::from(
         std::env::var_os("BENCH_LIVE_CAPTURE")
             .ok_or_else(|| std::io::Error::other("BENCH_LIVE_CAPTURE not set"))?,
@@ -255,6 +387,50 @@ fn spawn_phase(phase: &str, capture: &Path, shards: usize) -> String {
         std::process::exit(1);
     }
     String::from_utf8(out.stdout).expect("child phase stdout is UTF-8")
+}
+
+/// Like [`spawn_phase`] but for the fleet phases, which take a report
+/// stream prefix instead of a capture path. `BENCH_FLEET_DAEMONS` and
+/// `BENCH_FLEET_INTERVALS` are inherited from the parent's environment.
+fn spawn_fleet(phase: &str, prefix: &Path) -> String {
+    let exe = std::env::current_exe().expect("current_exe");
+    let out = std::process::Command::new(exe)
+        .arg("--bench") // libtest harness arg, ignored by our main
+        .env("BENCH_ENGINE_PHASE", phase)
+        .env("BENCH_FLEET_PREFIX", prefix)
+        .output()
+        .expect("spawn bench child phase");
+    if !out.status.success() {
+        eprintln!("child phase {phase} failed:");
+        eprintln!("{}", String::from_utf8_lossy(&out.stderr));
+        std::process::exit(1);
+    }
+    String::from_utf8(out.stdout).expect("child phase stdout is UTF-8")
+}
+
+/// What the fleet child phase measured.
+struct FleetRun {
+    daemons: u64,
+    records: u64,
+    buckets: u64,
+    alerts: u64,
+    records_per_sec: f64,
+    peak_rss_bytes: u64,
+    wall_secs: f64,
+}
+
+/// Parse the fleet child's JSON line into a [`FleetRun`].
+fn parse_fleet(text: &str) -> FleetRun {
+    let field = |key: &str| extract_json_number(text, key).unwrap_or(0.0);
+    FleetRun {
+        daemons: field("daemons") as u64,
+        records: field("records") as u64,
+        buckets: field("buckets") as u64,
+        alerts: field("alerts") as u64,
+        records_per_sec: field("records_per_sec"),
+        peak_rss_bytes: field("peak_rss_bytes") as u64,
+        wall_secs: field("wall_secs"),
+    }
 }
 
 /// Parse one live child's JSON line into a [`LiveRun`].
@@ -350,6 +526,17 @@ fn main() {
         live_1m_curve.push((s, pps_1m));
     }
     let _ = std::fs::remove_file(&capture);
+    // Fleet phase: N simulated daemon report streams, generated and then
+    // aggregated in their own child processes (the aggregator's RSS must
+    // not include stream generation).
+    let fleet_prefix =
+        std::env::temp_dir().join(format!("tapo_fleet_bench_{}", std::process::id()));
+    let fleet_gen = spawn_fleet("fleet_gen", &fleet_prefix);
+    let fleet_expected = extract_json_number(&fleet_gen, "records").unwrap_or(0.0) as u64;
+    let fleet = parse_fleet(&spawn_fleet("fleet", &fleet_prefix));
+    for d in 0..fleet_daemons() {
+        let _ = std::fs::remove_file(fleet_stream_path(&fleet_prefix, d));
+    }
     println!(
         "live/packets_per_sec                 {:>12.1} pkts/s  ({} flows, {} pkts, cap {}, shed {}, rss {:.1} MiB)",
         live.packets_per_sec,
@@ -379,6 +566,16 @@ fn main() {
             );
         }
     }
+
+    println!(
+        "fleet/records_per_sec                {:>12.1} rec/s  ({} daemons, {} records, {} buckets, {} alerts, rss {:.1} MiB)",
+        fleet.records_per_sec,
+        fleet.daemons,
+        fleet.records,
+        fleet.buckets,
+        fleet.alerts,
+        fleet.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+    );
 
     let rss = peak_rss_bytes().unwrap_or(0);
     println!(
@@ -520,6 +717,71 @@ fn main() {
                 }
             }
             _ => println!("gate skipped: no committed peak RSS to compare against"),
+        }
+        // The fleet aggregate is lossless by construction: every generated
+        // record must land in a bucket. Absolute check, no baseline needed.
+        if fleet.records != fleet_expected || fleet.records == 0 {
+            eprintln!(
+                "REGRESSION: fleet aggregated {} of {} generated records",
+                fleet.records, fleet_expected
+            );
+            failed = true;
+        } else {
+            println!(
+                "gate ok: fleet aggregated all {} records from {} daemons into {} buckets",
+                fleet.records, fleet.daemons, fleet.buckets
+            );
+        }
+        // Throughput is only comparable at the committed scale: a reduced
+        // `BENCH_FLEET_INTERVALS` run is dominated by fixed startup cost,
+        // so rec/s would undershoot the baseline without any regression.
+        let fleet_committed_records = section_field(&committed, "fleet", "records");
+        match section_field(&committed, "fleet", "records_per_sec") {
+            Some(baseline)
+                if baseline > 0.0 && fleet_committed_records != Some(fleet.records as f64) =>
+            {
+                println!(
+                    "gate skipped: fleet run has {} records, committed baseline has {}",
+                    fleet.records,
+                    fleet_committed_records.unwrap_or(0.0)
+                );
+            }
+            Some(baseline) if baseline > 0.0 => {
+                let floor = 0.8 * baseline;
+                if fleet.records_per_sec < floor {
+                    eprintln!(
+                        "REGRESSION: fleet {:.1} rec/s is more than 20% below the \
+                         committed baseline {baseline:.1} rec/s (floor {floor:.1})",
+                        fleet.records_per_sec
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "gate ok: fleet {:.1} rec/s >= 80% of committed {baseline:.1} rec/s",
+                        fleet.records_per_sec
+                    );
+                }
+            }
+            _ => println!("gate skipped: no committed fleet baseline to compare against"),
+        }
+        match section_field(&committed, "fleet", "peak_rss_bytes") {
+            Some(base) if base > 0.0 && fleet.peak_rss_bytes > 0 => {
+                let ceil = 1.2 * base;
+                if fleet.peak_rss_bytes as f64 > ceil {
+                    eprintln!(
+                        "REGRESSION: fleet peak RSS {} bytes is more than 20% above \
+                         the committed {base:.0} bytes (ceiling {ceil:.0})",
+                        fleet.peak_rss_bytes
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "gate ok: fleet peak RSS {} bytes <= 120% of committed {base:.0}",
+                        fleet.peak_rss_bytes
+                    );
+                }
+            }
+            _ => println!("gate skipped: no committed fleet peak RSS to compare against"),
         }
         if cores >= 4 && threads_max >= 4 {
             let need = 1.5 * fps_1t;
@@ -663,6 +925,18 @@ fn main() {
     if multi {
         doc_fields.push(("live_1m_scaling", shard_curve_json(&live_1m_curve)));
     }
+    doc_fields.push((
+        "fleet",
+        Json::obj([
+            ("daemons", Json::Int(fleet.daemons as i64)),
+            ("records", Json::Int(fleet.records as i64)),
+            ("buckets", Json::Int(fleet.buckets as i64)),
+            ("alerts", Json::Int(fleet.alerts as i64)),
+            ("records_per_sec", Json::Num(fleet.records_per_sec)),
+            ("wall_secs", Json::Num(fleet.wall_secs)),
+            ("peak_rss_bytes", Json::Int(fleet.peak_rss_bytes as i64)),
+        ]),
+    ));
     doc_fields.push((
         "speedup_1t_vs_pre_pr",
         Json::Num(fps_1t / base_1t.max(1e-12)),

@@ -30,6 +30,7 @@ use tcp_sim::sim::FlowScratch;
 use workloads::{sample_flow, simulate_flow_into_scratch, Service, ServiceModel};
 
 use crate::json::Json;
+use crate::report::parse::{parse_reports, ParseError};
 use crate::sink::{csv_escape, Record};
 use crate::stream::StreamAnalyzer;
 use crate::AnalyzerConfig;
@@ -80,22 +81,28 @@ pub struct Observations {
     pub skipped: u64,
 }
 
-/// A malformed input line: where it was and what was wrong with it.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct AdviseError {
-    /// 1-based line number in the report stream.
-    pub line: usize,
-    /// What was wrong.
-    pub message: String,
-}
+/// A malformed input line — the shared report-parse error, re-exported
+/// under the advisor's historical name.
+pub type AdviseError = ParseError;
 
-impl std::fmt::Display for AdviseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+/// Fold one parsed interval's `by_port` slice into the per-service rollup.
+pub(crate) fn attribute_ports(
+    obs: &mut Observations,
+    by_port: &[(u16, crate::report::parse::PortCounts)],
+) {
+    for (port, p) in by_port {
+        match Service::from_server_port(*port) {
+            Some(service) => {
+                let slot = Service::ALL.iter().position(|s| *s == service).unwrap();
+                let s = &mut obs.per_service[slot];
+                s.flows += p.flows;
+                s.stalls += p.stalls;
+                s.stalled_us += p.stalled_us;
+            }
+            None => obs.unmapped_flows += p.flows,
+        }
     }
 }
-
-impl std::error::Error for AdviseError {}
 
 /// Parse a `tapo live` JSON-lines report stream and roll its `by_port`
 /// sections up per service.
@@ -104,59 +111,17 @@ impl std::error::Error for AdviseError {}
 /// is itself a merge of the interval deltas, so counting it too would
 /// double every total. Blank lines are ignored; anything that is not a
 /// JSON object is an error (this is how feeding the CSV rendering, or a
-/// pcap, fails fast).
+/// pcap, fails fast). The schema and skip rule live in
+/// [`crate::report::parse`], shared bytewise with `tapo fleet`.
 pub fn parse_observations<R: BufRead>(input: R) -> Result<Observations, AdviseError> {
-    let mut obs = Observations::default();
-    for (lineno, line) in input.lines().enumerate() {
-        let lineno = lineno + 1;
-        let at = |message: String| AdviseError {
-            line: lineno,
-            message,
-        };
-        let line = line.map_err(|e| at(format!("read error: {e}")))?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let v = Json::parse(&line).map_err(|e| at(format!("not a JSON report: {e}")))?;
-        if v.members().is_none() {
-            return Err(at("not a JSON object".into()));
-        }
-        match v.get("kind").and_then(Json::as_str) {
-            Some("interval") => obs.intervals += 1,
-            _ => {
-                obs.skipped += 1;
-                continue;
-            }
-        }
-        let Some(by_port) = v.get("by_port") else {
-            continue; // pre-PR-9 report shape: nothing to attribute
-        };
-        let ports = by_port
-            .members()
-            .ok_or_else(|| at("by_port is not an object".into()))?;
-        for (port, delta) in ports {
-            let port: u16 = port
-                .parse()
-                .map_err(|_| at(format!("bad port key {port:?}")))?;
-            let field = |k: &str| {
-                delta
-                    .get(k)
-                    .and_then(Json::as_u64)
-                    .ok_or_else(|| at(format!("port {port}: missing or non-integer {k:?}")))
-            };
-            let (flows, stalls, stalled_us) =
-                (field("flows")?, field("stalls")?, field("stalled_us")?);
-            match Service::from_server_port(port) {
-                Some(service) => {
-                    let slot = Service::ALL.iter().position(|s| *s == service).unwrap();
-                    let s = &mut obs.per_service[slot];
-                    s.flows += flows;
-                    s.stalls += stalls;
-                    s.stalled_us += stalled_us;
-                }
-                None => obs.unmapped_flows += flows,
-            }
-        }
+    let (intervals, skipped) = parse_reports(input)?;
+    let mut obs = Observations {
+        intervals: intervals.len() as u64,
+        skipped,
+        ..Observations::default()
+    };
+    for rec in &intervals {
+        attribute_ports(&mut obs, &rec.by_port);
     }
     Ok(obs)
 }

@@ -29,6 +29,7 @@
 //!           [--ring N] [--interval MS] [--idle MS] [--linger MS]
 //!           [--max-flows N] [--promote N] [--demote N] [--heavy-max N]
 //!           [--per-shard] [--csv] [--pace X] [--mss BYTES] [--dupthres N]
+//!           [--daemon-id ID] [--sketch on|off]
 //!
 //!   --shards N      worker shards, each owning its slice of the flow
 //!                   space (default: available cores, capped at 8; output
@@ -54,6 +55,11 @@
 //!   --per-shard     include per-shard occupancy in reports
 //!   --csv           CSV reports instead of JSON-lines (summary → stderr)
 //!   --pace X        replay at X× capture time (1.0 = real time)
+//!   --daemon-id ID  stamp every report with this daemon id (1..=40 chars
+//!                   of [A-Za-z0-9._:-]; default: a stable hash of the
+//!                   capture path, or "local" for stdin)
+//!   --sketch on|off mergeable RTT / stall-duration quantile sketches in
+//!                   the JSON reports (default on; fleet mode merges them)
 //! ```
 //!
 //! The advise mode closes the loop: feed the live mode's JSON-lines
@@ -73,6 +79,38 @@
 //!                      observed stalled time              (default 1)
 //!   --csv              CSV recommendations instead of JSON-lines
 //! ```
+//!
+//! The fleet mode aggregates report streams from *many* live daemons into
+//! fleet-wide time buckets, merges their sketches and per-service shares,
+//! and flags stall-share drift — deterministically: the output is
+//! byte-identical regardless of input order, file-vs-stdin ingestion, or
+//! thread count:
+//!
+//! ```text
+//! tapo fleet [reports.jsonl...|-] [--bucket MS] [--threads N] [--csv]
+//!            [--warmup N] [--drift PCT] [--daemon-drift PCT]
+//!            [--min-share-us N] [--advise] [--flows N] [--replicates N]
+//!            [--seed N] [--min-stalled-us N]
+//!
+//!   reports...         one stream per daemon (files or FIFOs), or a
+//!                      single '-' / no argument for a stdin multiplex —
+//!                      records carry daemon ids, so interleaving is fine
+//!   --bucket MS        fleet bucket width in capture time (default 1000)
+//!   --threads N        parse worker threads (default: all cores; output
+//!                      is byte-identical at any thread count)
+//!   --warmup N         buckets that only feed the drift EWMA (default 3)
+//!   --drift PCT        fleet share must exceed its EWMA baseline by this
+//!                      percentage to alert                 (default 50)
+//!   --daemon-drift PCT a daemon's share must exceed the fleet share by
+//!                      this percentage to alert            (default 100)
+//!   --min-share-us N   stall-share noise floor, µs/flow  (default 1000)
+//!   --advise           run the counterfactual advisor on the merged
+//!                      per-service populations (accepts the advise
+//!                      flags: --flows, --replicates, --seed,
+//!                      --min-stalled-us)
+//!   --csv              CSV fleet intervals on stdout (alerts as CSV on
+//!                      stderr, summary/advice as JSON on stderr)
+//! ```
 
 use std::fs::File;
 use std::io::BufReader;
@@ -80,11 +118,11 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tapo::json::Json;
-use tapo::live::{self, LiveConfig};
+use tapo::live::{self, DaemonId, LiveConfig};
 use tapo::sink::{CsvSink, JsonLinesSink, ReportSink};
 use tapo::{
-    analyze_flow, AdviseConfig, AnalyzerConfig, FlowAnalysis, RetransClass, Stall, StallBreakdown,
-    StallCause, StallClass,
+    analyze_flow, AdviseConfig, AnalyzerConfig, FleetAlert, FleetConfig, FleetInterval,
+    FlowAnalysis, RetransClass, Stall, StallBreakdown, StallCause, StallClass,
 };
 use tcp_trace::flow::FlowTrace;
 use tcp_trace::pcap::{PcapReader, PcapStats};
@@ -170,6 +208,10 @@ fn main() -> ExitCode {
     if args.peek().map(String::as_str) == Some("advise") {
         args.next();
         return run_advise(args);
+    }
+    if args.peek().map(String::as_str) == Some("fleet") {
+        args.next();
+        return run_fleet(args);
     }
     let opts = match parse_args(args) {
         Ok(o) => o,
@@ -325,14 +367,162 @@ fn run_advise(mut args: impl Iterator<Item = String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_fleet(mut args: impl Iterator<Item = String>) -> ExitCode {
+    const USAGE: &str = "usage: tapo fleet [reports.jsonl...|-] [--bucket MS] [--threads N] \
+         [--warmup N] [--drift PCT] [--daemon-drift PCT] [--min-share-us N] [--csv] \
+         [--advise] [--flows N] [--replicates N] [--seed N] [--min-stalled-us N]";
+    let mut inputs: Vec<String> = Vec::new();
+    let mut cfg = FleetConfig::default();
+    let mut advise_cfg = AdviseConfig::default();
+    let mut with_advice = false;
+    let mut csv = false;
+    let fail = |msg: &str| -> ExitCode {
+        eprintln!("{msg}");
+        ExitCode::from(2)
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bucket" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(ms) if ms > 0 => cfg.bucket_us = ms * 1_000,
+                _ => return fail("--bucket requires milliseconds (> 0)"),
+            },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => {
+                    cfg.threads = n;
+                    advise_cfg.threads = n;
+                }
+                None => return fail("--threads requires N"),
+            },
+            "--warmup" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.drift.warmup = n,
+                None => return fail("--warmup requires a bucket count"),
+            },
+            "--drift" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(pct) => cfg.drift.drift_pct = pct,
+                None => return fail("--drift requires a percentage"),
+            },
+            "--daemon-drift" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(pct) => cfg.drift.daemon_drift_pct = pct,
+                None => return fail("--daemon-drift requires a percentage"),
+            },
+            "--min-share-us" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.drift.min_share_us = n,
+                None => return fail("--min-share-us requires microseconds"),
+            },
+            "--advise" => with_advice = true,
+            "--flows" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => advise_cfg.flows = n,
+                None => return fail("--flows requires N"),
+            },
+            "--replicates" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => advise_cfg.replicates = n,
+                None => return fail("--replicates requires N"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => advise_cfg.seed = n,
+                None => return fail("--seed requires N"),
+            },
+            "--min-stalled-us" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => advise_cfg.min_stalled_us = n,
+                None => return fail("--min-stalled-us requires microseconds"),
+            },
+            "--csv" => csv = true,
+            "--help" | "-h" => return fail(USAGE),
+            other if other.starts_with('-') && other != "-" => {
+                return fail(&format!("unknown option {other} (try --help)"));
+            }
+            file => inputs.push(file.to_string()),
+        }
+    }
+    if inputs.iter().any(|i| i == "-") && inputs.len() > 1 {
+        return fail("'-' (stdin multiplex) cannot be mixed with files");
+    }
+
+    let parsed = if inputs.is_empty() || inputs[0] == "-" {
+        tapo::read_reports("-", std::io::stdin().lock(), cfg.threads)
+    } else {
+        tapo::read_report_files(&inputs, cfg.threads)
+    };
+    let (records, skipped) = match parsed {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tapo fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let out = tapo::aggregate(&records, skipped, &cfg);
+    let advices = if with_advice {
+        tapo::advise(&out.summary.observations(), &advise_cfg)
+    } else {
+        Vec::new()
+    };
+
+    eprintln!(
+        "tapo fleet: {} record(s) from {} daemon(s), {} bucket(s), {} alert(s), \
+         {} line(s) skipped",
+        out.summary.records, out.summary.daemons, out.summary.buckets, out.summary.alerts, skipped
+    );
+
+    let stdout = std::io::stdout();
+    let ok = if csv {
+        // Stdout stays one clean spreadsheet of fleet intervals; alerts get
+        // their own CSV table on stderr, and the summary (plus advice, if
+        // requested) follows there as JSON-lines.
+        let emit_all = || -> std::io::Result<()> {
+            let mut sink = CsvSink::new(stdout.lock());
+            sink.write_header(&FleetInterval::csv_header())?;
+            for iv in &out.intervals {
+                sink.emit(iv)?;
+            }
+            sink.finish()?;
+            let stderr = std::io::stderr();
+            let mut alert_sink = CsvSink::new(stderr.lock());
+            alert_sink.write_header(&FleetAlert::csv_header())?;
+            for a in &out.alerts {
+                alert_sink.emit(a)?;
+            }
+            alert_sink.finish()?;
+            let mut side = JsonLinesSink::new(stderr.lock());
+            side.emit(&out.summary)?;
+            for advice in &advices {
+                side.emit(advice)?;
+            }
+            side.finish()
+        };
+        emit_all().is_ok()
+    } else {
+        let emit_all = || -> std::io::Result<()> {
+            let mut sink = JsonLinesSink::new(stdout.lock());
+            for iv in &out.intervals {
+                sink.emit(iv)?;
+            }
+            for a in &out.alerts {
+                sink.emit(a)?;
+            }
+            sink.emit(&out.summary)?;
+            for advice in &advices {
+                sink.emit(advice)?;
+            }
+            sink.finish()
+        };
+        emit_all().is_ok()
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn run_live(mut args: impl Iterator<Item = String>) -> ExitCode {
     const USAGE: &str = "usage: tapo live <capture.pcap|-> [--shards N] [--cells N] [--batch N] \
          [--ring N] [--interval MS] [--idle MS] [--linger MS] [--max-flows N] [--promote N] \
          [--demote N] [--heavy-max N] [--per-shard] [--csv] [--pace X] [--mss BYTES] \
-         [--dupthres N]";
+         [--dupthres N] [--daemon-id ID] [--sketch on|off]";
     let mut input: Option<String> = None;
     let mut b = LiveConfig::builder();
     let mut csv = false;
+    let mut daemon_given = false;
     let fail = |msg: &str| -> ExitCode {
         eprintln!("{msg}");
         ExitCode::from(2)
@@ -397,6 +587,18 @@ fn run_live(mut args: impl Iterator<Item = String>) -> ExitCode {
                 Some(n) => b = b.dupthres(n),
                 None => return fail("--dupthres requires N"),
             },
+            "--daemon-id" => match args.next() {
+                Some(id) => {
+                    b = b.daemon_id(id);
+                    daemon_given = true;
+                }
+                None => return fail("--daemon-id requires an id"),
+            },
+            "--sketch" => match args.next().as_deref() {
+                Some("on") => b = b.sketch(true),
+                Some("off") => b = b.sketch(false),
+                _ => return fail("--sketch requires on|off"),
+            },
             "--help" | "-h" => return fail(USAGE),
             other if other.starts_with('-') && other != "-" => {
                 return fail(&format!("unknown option {other} (try --help)"));
@@ -411,6 +613,12 @@ fn run_live(mut args: impl Iterator<Item = String>) -> ExitCode {
     let Some(input) = input else {
         return fail("no capture given: tapo live <capture.pcap|-> (try --help)");
     };
+    // Without an explicit id, a file-fed daemon gets a stable hash of its
+    // capture path — restart-safe and pid-free — while stdin stays the
+    // "local" default (there is no path to hash).
+    if !daemon_given && input != "-" {
+        b = b.daemon_id(DaemonId::derived_from_path(&input).as_str());
+    }
     let cfg = match b.build() {
         Ok(cfg) => cfg,
         Err(e) => return fail(&format!("tapo live: {e}")),

@@ -1,0 +1,270 @@
+//! Longitudinal regression detection over the merged fleet series.
+//!
+//! Two deterministic rules, both in integer microseconds so the emitted
+//! alerts are byte-identical on every platform:
+//!
+//! 1. **Fleet drift** (interval-over-interval): each bucket's fleet-wide
+//!    stall share (stalled µs per finalized flow) is compared against an
+//!    integer EWMA of the *preceding* buckets. The share must exceed the
+//!    baseline by `drift_pct` percent and clear the `min_share_us` noise
+//!    floor, and the first `warmup` buckets only feed the EWMA.
+//! 2. **Daemon drift** (daemon-vs-fleet): within one bucket, a daemon
+//!    whose stall share exceeds the fleet-wide share by
+//!    `daemon_drift_pct` percent is flagged — the "one sick front end"
+//!    signal that a fleet-wide average hides.
+//!
+//! Both rules are *edge-triggered*: an alert fires when a scope crosses
+//! into the drifting state, not on every bucket it stays there, so a
+//! sustained regression is one alert, not a flood.
+
+use std::collections::BTreeMap;
+
+use super::alerts::FleetAlert;
+use super::merge::FleetInterval;
+
+/// Drift-rule knobs. All integer; the defaults flag a 1.5× fleet
+/// regression and a daemon stalling at twice the fleet rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DriftConfig {
+    /// Buckets that only feed the EWMA before fleet alerts may fire.
+    pub warmup: u64,
+    /// Fleet share must exceed the EWMA baseline by this many percent.
+    pub drift_pct: u64,
+    /// A daemon's share must exceed the fleet share by this many percent.
+    pub daemon_drift_pct: u64,
+    /// Shares below this floor (microseconds per flow) never alert.
+    pub min_share_us: u64,
+    /// EWMA weight denominator `D`: `ewma' = ((D-1)·ewma + share) / D`.
+    pub ewma_weight: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            warmup: 3,
+            drift_pct: 50,
+            daemon_drift_pct: 100,
+            min_share_us: 1_000,
+            ewma_weight: 8,
+        }
+    }
+}
+
+/// `value` exceeds `baseline` by more than `pct` percent (exact integer
+/// comparison; u128 so the cross-multiplication cannot overflow).
+fn exceeds_by_pct(value: u64, baseline: u64, pct: u64) -> bool {
+    (value as u128) * 100 > (baseline as u128) * (100 + pct as u128)
+}
+
+/// The stateful drift detector: feed it each [`FleetInterval`] in bucket
+/// order and collect the alerts it emits. Purely a function of the
+/// interval sequence and the config — no clocks, no randomness.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    cfg: DriftConfig,
+    seen: u64,
+    ewma_us: Option<u64>,
+    fleet_over: bool,
+    daemon_over: BTreeMap<String, bool>,
+}
+
+impl DriftDetector {
+    /// A fresh detector with no baseline yet.
+    pub fn new(cfg: DriftConfig) -> Self {
+        DriftDetector {
+            cfg,
+            seen: 0,
+            ewma_us: None,
+            fleet_over: false,
+            daemon_over: BTreeMap::new(),
+        }
+    }
+
+    /// The current EWMA baseline, if any bucket has been observed.
+    pub fn baseline_us(&self) -> Option<u64> {
+        self.ewma_us
+    }
+
+    /// Observe one fleet bucket; returns the alerts it triggers (fleet
+    /// scope first, then drifting daemons in ascending id order).
+    pub fn observe(&mut self, iv: &FleetInterval) -> Vec<FleetAlert> {
+        let mut alerts = Vec::new();
+        let share = iv.stall_share_us();
+
+        // Rule 1: fleet share vs the EWMA of the preceding buckets.
+        let over = match self.ewma_us {
+            Some(baseline)
+                if self.seen >= self.cfg.warmup
+                    && share >= self.cfg.min_share_us
+                    && exceeds_by_pct(share, baseline, self.cfg.drift_pct) =>
+            {
+                if !self.fleet_over {
+                    alerts.push(FleetAlert {
+                        bucket: iv.bucket,
+                        start_us: iv.start_us,
+                        scope: "fleet".into(),
+                        metric: "stall_share_us",
+                        value_us: share,
+                        baseline_us: baseline,
+                        threshold_pct: self.cfg.drift_pct,
+                        flows: iv.flows_finalized,
+                    });
+                }
+                true
+            }
+            _ => false,
+        };
+        self.fleet_over = over;
+        let w = self.cfg.ewma_weight.max(1);
+        self.ewma_us = Some(match self.ewma_us {
+            None => share,
+            Some(e) => (((w - 1) as u128 * e as u128 + share as u128) / w as u128) as u64,
+        });
+        self.seen += 1;
+
+        // Rule 2: each daemon vs the fleet-wide share, same bucket.
+        let mut over_now = BTreeMap::new();
+        for (id, d) in &iv.per_daemon {
+            let dshare = d.stall_share_us();
+            if dshare >= self.cfg.min_share_us
+                && exceeds_by_pct(dshare, share, self.cfg.daemon_drift_pct)
+            {
+                if !self.daemon_over.get(id).copied().unwrap_or(false) {
+                    alerts.push(FleetAlert {
+                        bucket: iv.bucket,
+                        start_us: iv.start_us,
+                        scope: id.clone(),
+                        metric: "stall_share_us",
+                        value_us: dshare,
+                        baseline_us: share,
+                        threshold_pct: self.cfg.daemon_drift_pct,
+                        flows: d.flows_finalized,
+                    });
+                }
+                over_now.insert(id.clone(), true);
+            }
+        }
+        // A daemon absent from this bucket (or back under the line) must
+        // re-cross to alert again.
+        self.daemon_over = over_now;
+        alerts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::merge::DaemonSlice;
+    use super::*;
+
+    fn bucket(b: u64, flows: u64, stalled_us: u64) -> FleetInterval {
+        FleetInterval {
+            bucket: b,
+            start_us: b * 1_000_000,
+            end_us: (b + 1) * 1_000_000,
+            flows_finalized: flows,
+            stalled_us,
+            ..FleetInterval::default()
+        }
+    }
+
+    #[test]
+    fn fleet_drift_fires_after_warmup_and_is_edge_triggered() {
+        let mut det = DriftDetector::new(DriftConfig::default());
+        // Three warmup buckets at a 10ms/flow share: baseline settles.
+        for b in 0..3 {
+            assert!(det.observe(&bucket(b, 10, 100_000)).is_empty(), "b={b}");
+        }
+        // A 3× regression fires exactly once while sustained...
+        let first = det.observe(&bucket(3, 10, 300_000));
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].scope, "fleet");
+        assert_eq!(first[0].value_us, 30_000);
+        assert!(first[0].baseline_us < 30_000);
+        assert!(det.observe(&bucket(4, 10, 300_000)).is_empty(), "sustained");
+        // ...and re-fires only after recovering below the line. The spike
+        // fed the EWMA, so recovery takes a few quiet buckets.
+        for b in 5..9 {
+            assert!(det.observe(&bucket(b, 10, 100_000)).is_empty());
+        }
+        let again = det.observe(&bucket(9, 10, 300_000));
+        assert_eq!(again.len(), 1);
+    }
+
+    #[test]
+    fn warmup_buckets_never_alert() {
+        let cfg = DriftConfig {
+            warmup: 5,
+            ..DriftConfig::default()
+        };
+        let mut det = DriftDetector::new(cfg);
+        det.observe(&bucket(0, 10, 100_000));
+        for b in 1..5 {
+            // Wild swings inside warmup stay silent.
+            assert!(det.observe(&bucket(b, 10, 900_000 * b)).is_empty());
+        }
+    }
+
+    #[test]
+    fn noise_floor_suppresses_tiny_shares() {
+        let cfg = DriftConfig {
+            min_share_us: 1_000,
+            ..DriftConfig::default()
+        };
+        let mut det = DriftDetector::new(cfg);
+        for b in 0..4 {
+            det.observe(&bucket(b, 100, 10_000)); // 100 µs/flow baseline
+        }
+        // 5× the baseline but still under the 1ms floor: no alert.
+        assert!(det.observe(&bucket(4, 100, 50_000)).is_empty());
+    }
+
+    #[test]
+    fn daemon_drift_flags_the_sick_daemon_once() {
+        let mut det = DriftDetector::new(DriftConfig::default());
+        let mut iv = bucket(0, 20, 200_000); // fleet share 10ms/flow
+        iv.per_daemon = vec![
+            (
+                "fe1".into(),
+                DaemonSlice {
+                    flows_finalized: 10,
+                    stalled_us: 10_000, // 1ms/flow: healthy
+                    ..DaemonSlice::default()
+                },
+            ),
+            (
+                "fe2".into(),
+                DaemonSlice {
+                    flows_finalized: 10,
+                    stalled_us: 190_000, // 19ms/flow: nearly 2× fleet — still under 100%+share
+                    ..DaemonSlice::default()
+                },
+            ),
+            (
+                "fe3".into(),
+                DaemonSlice {
+                    flows_finalized: 10,
+                    stalled_us: 300_000, // 30ms/flow: 3× the fleet share
+                    ..DaemonSlice::default()
+                },
+            ),
+        ];
+        let alerts = det.observe(&iv);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].scope, "fe3");
+        assert_eq!(alerts[0].baseline_us, 10_000);
+        assert_eq!(alerts[0].value_us, 30_000);
+        // Same shape next bucket: edge-triggered, no repeat.
+        let mut next = iv.clone();
+        next.bucket = 1;
+        assert!(det.observe(&next).is_empty());
+        // Daemon drops out, then comes back over the line: fires again.
+        let mut quiet = bucket(2, 20, 200_000);
+        quiet.per_daemon = vec![];
+        det.observe(&quiet);
+        let mut back = iv.clone();
+        back.bucket = 3;
+        let alerts = det.observe(&back);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].scope, "fe3");
+    }
+}

@@ -1,0 +1,162 @@
+//! Fleet input: JSON-lines report streams from files, FIFOs, or a stdin
+//! multiplex, parsed in parallel.
+//!
+//! Ingestion is deliberately dumb: records carry their own daemon id, so
+//! *where* a line arrived from (which file, what interleaving) carries no
+//! information and cannot influence the aggregate. Lines are buffered and
+//! parsed with [`par_map`](simnet::par::par_map) — results fold in line
+//! order, and the first malformed line in that order wins as the error —
+//! so the parse is byte-identical at any `--threads`.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+use simnet::par;
+
+use crate::report::parse::{parse_interval_line, ParsedInterval};
+
+/// A malformed fleet input: which stream, which line, what was wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetError {
+    /// The stream the line came from (a path, or `"-"` for stdin).
+    pub source: String,
+    /// 1-based line number within that stream (0 for stream-level errors
+    /// such as a file that cannot be opened).
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.source, self.line, self.message)
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// One parsed line: blank, a skipped non-interval object, or a record.
+enum Line {
+    Blank,
+    Skip,
+    Rec(Box<ParsedInterval>),
+    Bad(String),
+}
+
+/// Read one named report stream: every interval record in line order plus
+/// the count of well-formed non-interval lines skipped.
+///
+/// `threads` caps the parse workers (0 = all available); it cannot change
+/// the result or the error reported.
+pub fn read_reports<R: BufRead>(
+    source: &str,
+    input: R,
+    threads: usize,
+) -> Result<(Vec<ParsedInterval>, u64), FleetError> {
+    let at = |line: usize, message: String| FleetError {
+        source: source.to_string(),
+        line,
+        message,
+    };
+    let mut lines = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        lines.push(line.map_err(|e| at(i + 1, format!("read error: {e}")))?);
+    }
+    let threads = if threads == 0 {
+        par::available_threads()
+    } else {
+        threads
+    };
+    let parsed = par::par_map(lines.len(), threads, |i| {
+        let line: &str = &lines[i];
+        if line.trim().is_empty() {
+            return Line::Blank;
+        }
+        match parse_interval_line(line) {
+            Ok(Some(rec)) => Line::Rec(Box::new(rec)),
+            Ok(None) => Line::Skip,
+            Err(message) => Line::Bad(message),
+        }
+    });
+    let mut records = Vec::new();
+    let mut skipped = 0u64;
+    for (i, item) in parsed.into_iter().enumerate() {
+        match item {
+            Line::Blank => {}
+            Line::Skip => skipped += 1,
+            Line::Rec(rec) => records.push(*rec),
+            Line::Bad(message) => return Err(at(i + 1, message)),
+        }
+    }
+    Ok((records, skipped))
+}
+
+/// Read several report files (one per daemon, or any other split) and
+/// concatenate their records. File order cannot influence the aggregate —
+/// records carry their daemon ids — but errors are attributed to the file
+/// and line they came from.
+pub fn read_report_files<P: AsRef<Path>>(
+    paths: &[P],
+    threads: usize,
+) -> Result<(Vec<ParsedInterval>, u64), FleetError> {
+    let mut records = Vec::new();
+    let mut skipped = 0u64;
+    for path in paths {
+        let name = path.as_ref().display().to_string();
+        let file = File::open(path.as_ref()).map_err(|e| FleetError {
+            source: name.clone(),
+            line: 0,
+            message: format!("open error: {e}"),
+        })?;
+        let (mut recs, skip) = read_reports(&name, BufReader::new(file), threads)?;
+        records.append(&mut recs);
+        skipped += skip;
+    }
+    Ok((records, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_reports_is_thread_count_invariant() {
+        let mut input = String::new();
+        for i in 0..40 {
+            input.push_str(&format!(
+                "{{\"kind\":\"interval\",\"daemon\":\"fe{}\",\"start_us\":{}}}\n",
+                i % 4,
+                i * 250_000
+            ));
+            if i % 7 == 0 {
+                input.push_str("{\"kind\":\"summary\"}\n\n");
+            }
+        }
+        let serial = read_reports("-", input.as_bytes(), 1).unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = read_reports("-", input.as_bytes(), threads).unwrap();
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+        assert_eq!(serial.0.len(), 40);
+        assert_eq!(serial.1, 6);
+    }
+
+    #[test]
+    fn first_bad_line_in_order_wins() {
+        let input = "{\"kind\":\"interval\"}\nbad one\nbad two\n";
+        for threads in [1, 4] {
+            let err = read_reports("stream", input.as_bytes(), threads).unwrap_err();
+            assert_eq!(err.line, 2, "threads={threads}");
+            assert_eq!(err.source, "stream");
+            assert!(err.to_string().starts_with("stream:2: not a JSON report:"));
+        }
+    }
+
+    #[test]
+    fn missing_file_is_a_stream_level_error() {
+        let err = read_report_files(&["/nonexistent/fleet-input.jsonl"], 1).unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.message.starts_with("open error:"));
+    }
+}

@@ -1,0 +1,790 @@
+//! Canonical-order merge: parsed interval records → fleet time buckets.
+//!
+//! Every fold here is either commutative integer addition or a
+//! [`QSketch`] merge (bucket-count vector addition, itself commutative),
+//! and the presentation order is fixed by `BTreeMap` iteration — buckets
+//! ascending, daemon ids ascending, ports ascending. The aggregate is
+//! therefore a pure function of the *multiset* of input records: arrival
+//! interleaving, file boundaries, and parse-thread count cannot perturb a
+//! byte of the output.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use workloads::Service;
+
+use crate::advise::{attribute_ports, Observations};
+use crate::causes::{RetransClass, StallClass};
+use crate::json::Json;
+use crate::live::{class_slug, retrans_slug};
+use crate::report::parse::{ParsedInterval, PortCounts};
+use crate::sink::Record;
+
+use super::alerts::FleetAlert;
+use super::drift::{DriftConfig, DriftDetector};
+use super::sketch::QSketch;
+
+/// Fleet aggregation knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Fleet bucket width in microseconds; a record lands in the bucket
+    /// containing its interval start.
+    pub bucket_us: u64,
+    /// Worker threads for input parsing; 0 = all available. Cannot change
+    /// the output (parse results fold in line order).
+    pub threads: usize,
+    /// Drift-detection rule parameters.
+    pub drift: DriftConfig,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            bucket_us: 1_000_000,
+            threads: 0,
+            drift: DriftConfig::default(),
+        }
+    }
+}
+
+/// One daemon's slice of one fleet bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonSlice {
+    /// Interval records merged into this slice.
+    pub records: u64,
+    /// Packets the daemon processed.
+    pub packets: u64,
+    /// Flows the daemon finalized.
+    pub flows_finalized: u64,
+    /// Stalls the daemon diagnosed.
+    pub stalls: u64,
+    /// Total stalled time, microseconds.
+    pub stalled_us: u64,
+}
+
+impl DaemonSlice {
+    /// Stalled microseconds per finalized flow — the drift metric.
+    pub fn stall_share_us(&self) -> u64 {
+        self.stalled_us / self.flows_finalized.max(1)
+    }
+}
+
+/// One fleet-wide time bucket: the merge of every daemon's interval
+/// records whose start falls inside it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetInterval {
+    /// Bucket index: `start_us / bucket_us`.
+    pub bucket: u64,
+    /// Bucket start (inclusive), capture time in microseconds.
+    pub start_us: u64,
+    /// Bucket end (exclusive), capture time in microseconds.
+    pub end_us: u64,
+    /// Interval records merged.
+    pub records: u64,
+    /// Packets processed fleet-wide.
+    pub packets: u64,
+    /// Flows finalized fleet-wide.
+    pub flows_finalized: u64,
+    /// Stalls diagnosed fleet-wide.
+    pub stalls: u64,
+    /// Total stalled time fleet-wide, microseconds.
+    pub stalled_us: u64,
+    /// Per top-level stall class `(count, microseconds)`, indexed like
+    /// [`StallClass::ALL`].
+    pub by_cause: [(u64, u64); StallClass::ALL.len()],
+    /// Per retransmission subclass, indexed like [`RetransClass::ALL`].
+    pub by_retrans: [(u64, u64); RetransClass::ALL.len()],
+    /// Per-server-port fold, ascending port order.
+    pub by_port: Vec<(u16, PortCounts)>,
+    /// Merged RTT-sample sketch (empty when no input carried sketches).
+    pub rtt_sketch: QSketch,
+    /// Merged stall-duration sketch, same caveat.
+    pub stall_sketch: QSketch,
+    /// Per-daemon slices, ascending daemon-id order.
+    pub per_daemon: Vec<(String, DaemonSlice)>,
+}
+
+impl FleetInterval {
+    /// Distinct daemons contributing to this bucket.
+    pub fn daemons(&self) -> u64 {
+        self.per_daemon.len() as u64
+    }
+
+    /// Fleet-wide stalled microseconds per finalized flow.
+    pub fn stall_share_us(&self) -> u64 {
+        self.stalled_us / self.flows_finalized.max(1)
+    }
+}
+
+/// The live breakdown shape, reassembled from the parsed class arrays so
+/// fleet records read like daemon records.
+fn breakdown_json(
+    stalls: u64,
+    stalled_us: u64,
+    by_cause: &[(u64, u64); StallClass::ALL.len()],
+    by_retrans: &[(u64, u64); RetransClass::ALL.len()],
+) -> Json {
+    let causes = Json::Obj(
+        StallClass::ALL
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                (
+                    class_slug(c).to_string(),
+                    Json::obj([
+                        ("n", Json::from(by_cause[i].0)),
+                        ("us", Json::from(by_cause[i].1)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let retrans = Json::Obj(
+        RetransClass::ALL
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                (
+                    retrans_slug(c).to_string(),
+                    Json::obj([
+                        ("n", Json::from(by_retrans[i].0)),
+                        ("us", Json::from(by_retrans[i].1)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    Json::obj([
+        ("stalls", Json::from(stalls)),
+        ("stalled_us", Json::from(stalled_us)),
+        ("by_cause", causes),
+        ("by_retrans", retrans),
+    ])
+}
+
+fn by_port_json(by_port: &[(u16, PortCounts)]) -> Json {
+    Json::Obj(
+        by_port
+            .iter()
+            .map(|(port, p)| {
+                (
+                    port.to_string(),
+                    Json::obj([
+                        ("flows", Json::from(p.flows)),
+                        ("stalls", Json::from(p.stalls)),
+                        ("stalled_us", Json::from(p.stalled_us)),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Nearest-rank quantile summary of a merged sketch: the fleet record
+/// carries the *answers* (p50/p90/p99), not the sketch itself — the fleet
+/// is the end of the aggregation chain.
+fn quantiles_json(s: &QSketch) -> Json {
+    let q = |p: f64| Json::from(s.quantile(p).unwrap_or(0));
+    Json::obj([
+        ("n", Json::from(s.count())),
+        ("p50_us", q(0.50)),
+        ("p90_us", q(0.90)),
+        ("p99_us", q(0.99)),
+    ])
+}
+
+fn quantile_csv(row: &mut String, s: &QSketch) {
+    let q = |p: f64| s.quantile(p).unwrap_or(0);
+    row.push_str(&format!(
+        ",{},{},{},{}",
+        s.count(),
+        q(0.50),
+        q(0.90),
+        q(0.99)
+    ));
+}
+
+/// Shared tail of the interval/summary CSV headers: per-class columns,
+/// then the two quantile blocks.
+fn csv_header_tail(h: &mut String) {
+    for c in StallClass::ALL {
+        h.push_str(&format!(",{0}_n,{0}_us", class_slug(c)));
+    }
+    h.push_str(",rtt_n,rtt_p50_us,rtt_p90_us,rtt_p99_us");
+    h.push_str(",stall_n,stall_p50_us,stall_p90_us,stall_p99_us");
+}
+
+fn csv_row_tail(
+    row: &mut String,
+    by_cause: &[(u64, u64); StallClass::ALL.len()],
+    rtt: &QSketch,
+    stall: &QSketch,
+) {
+    for (n, us) in by_cause {
+        row.push_str(&format!(",{n},{us}"));
+    }
+    quantile_csv(row, rtt);
+    quantile_csv(row, stall);
+}
+
+impl FleetInterval {
+    /// The fixed CSV header matching [`Record::csv`] for this type.
+    pub fn csv_header() -> String {
+        let mut h = String::from(
+            "bucket,start_us,end_us,daemons,records,packets,\
+             flows_finalized,stalls,stalled_us,stall_share_us",
+        );
+        csv_header_tail(&mut h);
+        h
+    }
+}
+
+impl Record for FleetInterval {
+    fn header(&self) -> String {
+        FleetInterval::csv_header()
+    }
+
+    fn csv(&self) -> String {
+        let mut row = format!(
+            "{},{},{},{},{},{},{},{},{},{}",
+            self.bucket,
+            self.start_us,
+            self.end_us,
+            self.daemons(),
+            self.records,
+            self.packets,
+            self.flows_finalized,
+            self.stalls,
+            self.stalled_us,
+            self.stall_share_us(),
+        );
+        csv_row_tail(
+            &mut row,
+            &self.by_cause,
+            &self.rtt_sketch,
+            &self.stall_sketch,
+        );
+        row
+    }
+
+    fn json(&self) -> Json {
+        let by_daemon = Json::Obj(
+            self.per_daemon
+                .iter()
+                .map(|(id, d)| {
+                    (
+                        id.clone(),
+                        Json::obj([
+                            ("records", Json::from(d.records)),
+                            ("packets", Json::from(d.packets)),
+                            ("flows_finalized", Json::from(d.flows_finalized)),
+                            ("stalls", Json::from(d.stalls)),
+                            ("stalled_us", Json::from(d.stalled_us)),
+                            ("stall_share_us", Json::from(d.stall_share_us())),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("kind", Json::from("fleet_interval")),
+            ("bucket", Json::from(self.bucket)),
+            ("start_us", Json::from(self.start_us)),
+            ("end_us", Json::from(self.end_us)),
+            ("daemons", Json::from(self.daemons())),
+            ("records", Json::from(self.records)),
+            ("packets", Json::from(self.packets)),
+            ("flows_finalized", Json::from(self.flows_finalized)),
+            ("stalls", Json::from(self.stalls)),
+            ("stalled_us", Json::from(self.stalled_us)),
+            ("stall_share_us", Json::from(self.stall_share_us())),
+            (
+                "breakdown",
+                breakdown_json(
+                    self.stalls,
+                    self.stalled_us,
+                    &self.by_cause,
+                    &self.by_retrans,
+                ),
+            ),
+            ("by_port", by_port_json(&self.by_port)),
+            ("by_daemon", by_daemon),
+            (
+                "quantiles",
+                Json::obj([
+                    ("rtt_us", quantiles_json(&self.rtt_sketch)),
+                    ("stall_us", quantiles_json(&self.stall_sketch)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Whole-run fleet totals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetSummary {
+    /// Non-empty fleet buckets emitted.
+    pub buckets: u64,
+    /// Distinct daemons seen across the whole run.
+    pub daemons: u64,
+    /// Interval records merged.
+    pub records: u64,
+    /// Well-formed non-interval lines skipped (summaries).
+    pub skipped: u64,
+    /// Packets processed fleet-wide.
+    pub packets: u64,
+    /// Flows finalized fleet-wide.
+    pub flows_finalized: u64,
+    /// Stalls diagnosed fleet-wide.
+    pub stalls: u64,
+    /// Total stalled time, microseconds.
+    pub stalled_us: u64,
+    /// Drift alerts emitted.
+    pub alerts: u64,
+    /// Per top-level stall class, indexed like [`StallClass::ALL`].
+    pub by_cause: [(u64, u64); StallClass::ALL.len()],
+    /// Per retransmission subclass, indexed like [`RetransClass::ALL`].
+    pub by_retrans: [(u64, u64); RetransClass::ALL.len()],
+    /// Whole-run per-port fold, ascending port order.
+    pub by_port: Vec<(u16, PortCounts)>,
+    /// Whole-run merged RTT sketch.
+    pub rtt_sketch: QSketch,
+    /// Whole-run merged stall-duration sketch.
+    pub stall_sketch: QSketch,
+}
+
+impl FleetSummary {
+    /// The fixed CSV header matching [`Record::csv`] for this type.
+    pub fn csv_header() -> String {
+        let mut h = String::from(
+            "buckets,daemons,records,skipped,packets,\
+             flows_finalized,stalls,stalled_us,alerts",
+        );
+        csv_header_tail(&mut h);
+        h
+    }
+
+    /// The advisor's view of the merged fleet: per-service rollups of the
+    /// whole-run `by_port` fold, ready for
+    /// [`crate::advise::advise`] — the same counterfactual path a single
+    /// daemon's reports feed.
+    pub fn observations(&self) -> Observations {
+        let mut obs = Observations {
+            intervals: self.records,
+            skipped: self.skipped,
+            ..Observations::default()
+        };
+        attribute_ports(&mut obs, &self.by_port);
+        obs
+    }
+}
+
+impl Record for FleetSummary {
+    fn header(&self) -> String {
+        FleetSummary::csv_header()
+    }
+
+    fn csv(&self) -> String {
+        let mut row = format!(
+            "{},{},{},{},{},{},{},{},{}",
+            self.buckets,
+            self.daemons,
+            self.records,
+            self.skipped,
+            self.packets,
+            self.flows_finalized,
+            self.stalls,
+            self.stalled_us,
+            self.alerts,
+        );
+        csv_row_tail(
+            &mut row,
+            &self.by_cause,
+            &self.rtt_sketch,
+            &self.stall_sketch,
+        );
+        row
+    }
+
+    fn json(&self) -> Json {
+        let obs = self.observations();
+        let by_service = Json::Obj(
+            Service::ALL
+                .iter()
+                .zip(&obs.per_service)
+                .map(|(s, o)| {
+                    (
+                        s.label().to_string(),
+                        Json::obj([
+                            ("flows", Json::from(o.flows)),
+                            ("stalls", Json::from(o.stalls)),
+                            ("stalled_us", Json::from(o.stalled_us)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("kind", Json::from("fleet_summary")),
+            ("buckets", Json::from(self.buckets)),
+            ("daemons", Json::from(self.daemons)),
+            ("records", Json::from(self.records)),
+            ("skipped", Json::from(self.skipped)),
+            ("packets", Json::from(self.packets)),
+            ("flows_finalized", Json::from(self.flows_finalized)),
+            ("stalls", Json::from(self.stalls)),
+            ("stalled_us", Json::from(self.stalled_us)),
+            ("alerts", Json::from(self.alerts)),
+            (
+                "breakdown",
+                breakdown_json(
+                    self.stalls,
+                    self.stalled_us,
+                    &self.by_cause,
+                    &self.by_retrans,
+                ),
+            ),
+            ("by_port", by_port_json(&self.by_port)),
+            ("by_service", by_service),
+            ("unmapped_flows", Json::from(obs.unmapped_flows)),
+            (
+                "quantiles",
+                Json::obj([
+                    ("rtt_us", quantiles_json(&self.rtt_sketch)),
+                    ("stall_us", quantiles_json(&self.stall_sketch)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Everything one fleet aggregation produces.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetOutcome {
+    /// Non-empty fleet buckets, ascending.
+    pub intervals: Vec<FleetInterval>,
+    /// Drift alerts, in bucket order (fleet scope before daemon scopes
+    /// within a bucket).
+    pub alerts: Vec<FleetAlert>,
+    /// Whole-run totals.
+    pub summary: FleetSummary,
+}
+
+/// Per-(bucket, daemon) accumulator.
+#[derive(Debug, Default)]
+struct Acc {
+    slice: DaemonSlice,
+    by_cause: [(u64, u64); StallClass::ALL.len()],
+    by_retrans: [(u64, u64); RetransClass::ALL.len()],
+    by_port: BTreeMap<u16, PortCounts>,
+    rtt: QSketch,
+    stall: QSketch,
+}
+
+impl Acc {
+    fn fold(&mut self, rec: &ParsedInterval) {
+        self.slice.records += 1;
+        self.slice.packets += rec.packets;
+        self.slice.flows_finalized += rec.flows_finalized;
+        self.slice.stalls += rec.stalls;
+        self.slice.stalled_us += rec.stalled_us;
+        for (e, o) in self.by_cause.iter_mut().zip(&rec.by_cause) {
+            e.0 += o.0;
+            e.1 += o.1;
+        }
+        for (e, o) in self.by_retrans.iter_mut().zip(&rec.by_retrans) {
+            e.0 += o.0;
+            e.1 += o.1;
+        }
+        for (port, p) in &rec.by_port {
+            let e = self.by_port.entry(*port).or_default();
+            e.flows += p.flows;
+            e.stalls += p.stalls;
+            e.stalled_us += p.stalled_us;
+        }
+        if let Some(s) = &rec.rtt_sketch {
+            self.rtt.merge(s);
+        }
+        if let Some(s) = &rec.stall_sketch {
+            self.stall.merge(s);
+        }
+    }
+}
+
+/// Merge parsed interval records into fleet buckets, run drift detection,
+/// and fold the whole-run summary.
+///
+/// Output is a pure function of the record multiset and `cfg` — see the
+/// module docs for why no input ordering can change a byte of it.
+pub fn aggregate(records: &[ParsedInterval], skipped: u64, cfg: &FleetConfig) -> FleetOutcome {
+    let bucket_us = cfg.bucket_us.max(1);
+    let mut grouped: BTreeMap<u64, BTreeMap<&str, Acc>> = BTreeMap::new();
+    for rec in records {
+        grouped
+            .entry(rec.start_us / bucket_us)
+            .or_default()
+            .entry(rec.daemon.as_str())
+            .or_default()
+            .fold(rec);
+    }
+
+    let mut detector = DriftDetector::new(cfg.drift);
+    let mut intervals = Vec::with_capacity(grouped.len());
+    let mut alerts = Vec::new();
+    let mut all_daemons: BTreeSet<&str> = BTreeSet::new();
+    let mut summary = FleetSummary {
+        records: records.len() as u64,
+        skipped,
+        ..FleetSummary::default()
+    };
+    let mut summary_ports: BTreeMap<u16, PortCounts> = BTreeMap::new();
+
+    for (bucket, daemons) in &grouped {
+        let mut iv = FleetInterval {
+            bucket: *bucket,
+            start_us: bucket * bucket_us,
+            end_us: (bucket + 1) * bucket_us,
+            ..FleetInterval::default()
+        };
+        let mut ports: BTreeMap<u16, PortCounts> = BTreeMap::new();
+        for (id, acc) in daemons {
+            all_daemons.insert(id);
+            iv.records += acc.slice.records;
+            iv.packets += acc.slice.packets;
+            iv.flows_finalized += acc.slice.flows_finalized;
+            iv.stalls += acc.slice.stalls;
+            iv.stalled_us += acc.slice.stalled_us;
+            for (e, o) in iv.by_cause.iter_mut().zip(&acc.by_cause) {
+                e.0 += o.0;
+                e.1 += o.1;
+            }
+            for (e, o) in iv.by_retrans.iter_mut().zip(&acc.by_retrans) {
+                e.0 += o.0;
+                e.1 += o.1;
+            }
+            for (port, p) in &acc.by_port {
+                let e = ports.entry(*port).or_default();
+                e.flows += p.flows;
+                e.stalls += p.stalls;
+                e.stalled_us += p.stalled_us;
+            }
+            iv.rtt_sketch.merge(&acc.rtt);
+            iv.stall_sketch.merge(&acc.stall);
+            iv.per_daemon.push((id.to_string(), acc.slice));
+        }
+        iv.by_port = ports.into_iter().collect();
+
+        summary.packets += iv.packets;
+        summary.flows_finalized += iv.flows_finalized;
+        summary.stalls += iv.stalls;
+        summary.stalled_us += iv.stalled_us;
+        for (e, o) in summary.by_cause.iter_mut().zip(&iv.by_cause) {
+            e.0 += o.0;
+            e.1 += o.1;
+        }
+        for (e, o) in summary.by_retrans.iter_mut().zip(&iv.by_retrans) {
+            e.0 += o.0;
+            e.1 += o.1;
+        }
+        for (port, p) in &iv.by_port {
+            let e = summary_ports.entry(*port).or_default();
+            e.flows += p.flows;
+            e.stalls += p.stalls;
+            e.stalled_us += p.stalled_us;
+        }
+        summary.rtt_sketch.merge(&iv.rtt_sketch);
+        summary.stall_sketch.merge(&iv.stall_sketch);
+
+        alerts.extend(detector.observe(&iv));
+        intervals.push(iv);
+    }
+
+    summary.buckets = intervals.len() as u64;
+    summary.daemons = all_daemons.len() as u64;
+    summary.alerts = alerts.len() as u64;
+    summary.by_port = summary_ports.into_iter().collect();
+
+    FleetOutcome {
+        intervals,
+        alerts,
+        summary,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built record: `daemon` at `start_us` with `flows` finalized,
+    /// `stalled_us` of stall time on port 80, and a stall sketch holding
+    /// one sample of that duration.
+    fn rec(daemon: &str, start_us: u64, flows: u64, stalled_us: u64) -> ParsedInterval {
+        let stalls = u64::from(stalled_us > 0);
+        let mut stall_sketch = QSketch::new();
+        if stalled_us > 0 {
+            stall_sketch.insert(stalled_us);
+        }
+        let mut by_cause = <[(u64, u64); StallClass::ALL.len()]>::default();
+        by_cause[StallClass::Retransmission.index()] = (stalls, stalled_us);
+        ParsedInterval {
+            daemon: daemon.to_string(),
+            interval: start_us / 1_000_000,
+            start_us,
+            end_us: start_us + 1_000_000,
+            packets: 100,
+            flows_finalized: flows,
+            stalls,
+            stalled_us,
+            by_cause,
+            by_port: vec![(
+                80,
+                PortCounts {
+                    flows,
+                    stalls,
+                    stalled_us,
+                },
+            )],
+            rtt_sketch: Some(QSketch::new()),
+            stall_sketch: Some(stall_sketch),
+            ..ParsedInterval::default()
+        }
+    }
+
+    fn render(out: &FleetOutcome) -> String {
+        let mut s = String::new();
+        for iv in &out.intervals {
+            s.push_str(&iv.json().compact());
+            s.push('\n');
+        }
+        for a in &out.alerts {
+            s.push_str(&a.json().compact());
+            s.push('\n');
+        }
+        s.push_str(&out.summary.json().compact());
+        s.push('\n');
+        s
+    }
+
+    #[test]
+    fn aggregate_is_input_order_invariant() {
+        let mut records = Vec::new();
+        for daemon in ["fe1", "fe2", "fe3"] {
+            for b in 0..6u64 {
+                records.push(rec(daemon, b * 1_000_000 + 250_000, 10, 40_000 * (b + 1)));
+            }
+        }
+        let cfg = FleetConfig::default();
+        let sorted = aggregate(&records, 3, &cfg);
+        // Reverse, interleave, rotate: same multiset, different orders.
+        let mut reversed = records.clone();
+        reversed.reverse();
+        let mut rotated = records.clone();
+        rotated.rotate_left(7);
+        for (name, shuffled) in [("reversed", reversed), ("rotated", rotated)] {
+            let other = aggregate(&shuffled, 3, &cfg);
+            assert_eq!(sorted, other, "{name}");
+            assert_eq!(render(&sorted), render(&other), "{name} bytes");
+        }
+    }
+
+    #[test]
+    fn buckets_align_daemons_and_fold_everything() {
+        // Two daemons reporting half-second intervals: both halves of
+        // second 0 land in fleet bucket 0.
+        let records = vec![
+            rec("fe2", 0, 4, 8_000),
+            rec("fe1", 500_000, 6, 0),
+            rec("fe1", 0, 10, 2_000),
+        ];
+        let out = aggregate(&records, 0, &FleetConfig::default());
+        assert_eq!(out.intervals.len(), 1);
+        let iv = &out.intervals[0];
+        assert_eq!(iv.bucket, 0);
+        assert_eq!(iv.daemons(), 2);
+        assert_eq!(iv.records, 3);
+        assert_eq!(iv.flows_finalized, 20);
+        assert_eq!(iv.stalled_us, 10_000);
+        assert_eq!(iv.stall_share_us(), 500);
+        // Canonical daemon order, merged slices.
+        assert_eq!(iv.per_daemon[0].0, "fe1");
+        assert_eq!(iv.per_daemon[0].1.flows_finalized, 16);
+        assert_eq!(iv.per_daemon[1].0, "fe2");
+        assert_eq!(iv.per_daemon[1].1.stalled_us, 8_000);
+        // Port fold and sketch fold follow.
+        assert_eq!(
+            iv.by_port,
+            vec![(
+                80,
+                PortCounts {
+                    flows: 20,
+                    stalls: 2,
+                    stalled_us: 10_000
+                }
+            )]
+        );
+        assert_eq!(iv.stall_sketch.count(), 2);
+        let retr = iv.by_cause[StallClass::Retransmission.index()];
+        assert_eq!(retr, (2, 10_000));
+        // Summary mirrors the single bucket.
+        assert_eq!(out.summary.buckets, 1);
+        assert_eq!(out.summary.daemons, 2);
+        assert_eq!(out.summary.stalled_us, 10_000);
+        assert_eq!(out.summary.stall_sketch.count(), 2);
+    }
+
+    #[test]
+    fn summary_observations_feed_the_advisor() {
+        let records = vec![rec("fe1", 0, 12, 5_000), rec("fe2", 1_000_000, 8, 3_000)];
+        let out = aggregate(&records, 1, &FleetConfig::default());
+        let obs = out.summary.observations();
+        assert_eq!(obs.intervals, 2);
+        assert_eq!(obs.skipped, 1);
+        // Port 80 is web search in the service map.
+        let web = Service::ALL
+            .iter()
+            .position(|s| *s == Service::WebSearch)
+            .unwrap();
+        assert_eq!(obs.per_service[web].flows, 20);
+        assert_eq!(obs.per_service[web].stalled_us, 8_000);
+        assert_eq!(obs.unmapped_flows, 0);
+    }
+
+    #[test]
+    fn record_shapes_are_fixed() {
+        let out = aggregate(&[rec("fe1", 0, 5, 7_000)], 0, &FleetConfig::default());
+        let iv = &out.intervals[0];
+        assert_eq!(iv.header().split(',').count(), iv.csv().split(',').count());
+        let line = iv.json().compact();
+        assert!(line.contains("\"kind\":\"fleet_interval\""));
+        assert!(line.contains("\"by_daemon\":{\"fe1\":{\"records\":1"));
+        assert!(line.contains("\"quantiles\":{\"rtt_us\":{\"n\":0"));
+        assert!(line.contains("\"stall_us\":{\"n\":1,\"p50_us\":"));
+        let s = &out.summary;
+        assert_eq!(s.header().split(',').count(), s.csv().split(',').count());
+        let line = s.json().compact();
+        assert!(line.contains("\"kind\":\"fleet_summary\""));
+        assert!(line.contains("\"by_service\":{"));
+        assert!(line.contains("\"unmapped_flows\":0"));
+    }
+
+    #[test]
+    fn bucket_width_regroups_records() {
+        let records = vec![
+            rec("fe1", 0, 1, 0),
+            rec("fe1", 1_000_000, 1, 0),
+            rec("fe1", 2_000_000, 1, 0),
+        ];
+        let narrow = aggregate(&records, 0, &FleetConfig::default());
+        assert_eq!(narrow.intervals.len(), 3);
+        let wide = aggregate(
+            &records,
+            0,
+            &FleetConfig {
+                bucket_us: 10_000_000,
+                ..FleetConfig::default()
+            },
+        );
+        assert_eq!(wide.intervals.len(), 1);
+        assert_eq!(wide.intervals[0].records, 3);
+        assert_eq!(wide.intervals[0].end_us, 10_000_000);
+    }
+}

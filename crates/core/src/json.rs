@@ -113,6 +113,14 @@ impl Json {
         }
     }
 
+    /// This value's array items, if it is an array.
+    pub fn items(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Render with two-space indentation and a trailing newline-free body.
     pub fn pretty(&self) -> String {
         let mut out = String::new();
@@ -607,6 +615,9 @@ mod tests {
         assert_eq!(v.get("a").and_then(Json::as_u64), None);
         assert_eq!(v.get("missing"), None);
         assert_eq!(v.members().map(|m| m.len()), Some(3));
+        let arr = Json::parse("[1,2,3]").unwrap();
+        assert_eq!(arr.items().map(|i| i.len()), Some(3));
+        assert_eq!(v.items(), None);
     }
 
     #[test]

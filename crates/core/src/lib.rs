@@ -34,6 +34,7 @@
 pub mod advise;
 pub mod causes;
 pub mod classify;
+pub mod fleet;
 pub mod json;
 pub mod live;
 pub mod replay;
@@ -49,13 +50,17 @@ pub use advise::{
 };
 pub use causes::{RetransCause, RetransClass, StallCategory, StallCause, StallClass};
 pub use classify::{ClassifyConfig, Stall};
+pub use fleet::{
+    aggregate, read_report_files, read_reports, DriftConfig, FleetAlert, FleetConfig, FleetError,
+    FleetInterval, FleetOutcome, FleetSummary, QSketch,
+};
 pub use live::{
     FlowMonitor, IntervalReport, LiveConfig, LiveConfigBuilder, LiveConfigError, LiveSummary,
     MonitorSeed, TierConfig,
 };
 pub use replay::{EstCaState, Replay, ReplayConfig, RetransKind, Snapshot};
 pub use report::{CauseStats, Cdf, Share, StallBreakdown};
-pub use sink::{csv_escape, CsvSink, JsonLinesSink, Record, ReportSink};
+pub use sink::{csv_escape, csv_fields, CsvSink, JsonLinesSink, Record, ReportSink};
 pub use stream::StreamAnalyzer;
 pub use summary::FlowSummary;
 pub use validate::{Confusion, ValidationReport};

@@ -8,10 +8,78 @@
 //! in exactly one place.
 
 use std::fmt;
+use std::hash::Hasher;
 
 use simnet::time::SimDuration;
 
 use super::{LiveConfig, TierConfig};
+
+/// Maximum [`DaemonId`] length in bytes.
+pub const MAX_DAEMON_ID: usize = 40;
+
+/// A validated daemon identifier, stamped into every interval and summary
+/// record so fleet aggregation can attribute sources without trusting
+/// file names.
+///
+/// Stored inline (fixed capacity, [`MAX_DAEMON_ID`] bytes) so
+/// [`LiveConfig`] stays `Copy`. Restricted to `[A-Za-z0-9._:-]` — the
+/// id appears verbatim in JSON keys-by-daemon and CSV cells, and the
+/// restricted alphabet means it never needs escaping in either.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DaemonId {
+    len: u8,
+    bytes: [u8; MAX_DAEMON_ID],
+}
+
+impl DaemonId {
+    /// Validate and store an id: 1..=[`MAX_DAEMON_ID`] bytes of
+    /// `[A-Za-z0-9._:-]`.
+    pub fn new(s: &str) -> Result<DaemonId, LiveConfigError> {
+        let ok_char = |c: char| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | ':' | '-');
+        if s.is_empty() || s.len() > MAX_DAEMON_ID || !s.chars().all(ok_char) {
+            return Err(LiveConfigError::BadDaemonId(s.to_string()));
+        }
+        let mut bytes = [0u8; MAX_DAEMON_ID];
+        bytes[..s.len()].copy_from_slice(s.as_bytes());
+        Ok(DaemonId {
+            len: s.len() as u8,
+            bytes,
+        })
+    }
+
+    /// The default pid-free derivation when the operator gives no id:
+    /// `d-` + 16 hex digits of FNV-1a over the capture path. Stable
+    /// across runs of the same input, so reports stay reproducible.
+    pub fn derived_from_path(path: &str) -> DaemonId {
+        let mut h = super::fnv::FnvHasher::default();
+        h.write(path.as_bytes());
+        DaemonId::new(&format!("d-{:016x}", h.finish())).expect("derived id is valid")
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.bytes[..self.len as usize]).expect("validated ASCII")
+    }
+}
+
+impl Default for DaemonId {
+    /// Library embedders that never set an id report as `"local"`.
+    fn default() -> Self {
+        DaemonId::new("local").expect("default id is valid")
+    }
+}
+
+impl fmt::Debug for DaemonId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DaemonId({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for DaemonId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// A rejected [`LiveConfigBuilder`] knob, carrying the offending value.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +105,9 @@ pub enum LiveConfigError {
     BadRingDepth(usize),
     /// `cells` was 0 or above [`MAX_CELLS`] (carries the bad value).
     BadCells(usize),
+    /// `daemon_id` was empty, longer than [`MAX_DAEMON_ID`] bytes, or
+    /// contained a character outside `[A-Za-z0-9._:-]`.
+    BadDaemonId(String),
 }
 
 /// Upper bound on `--batch`: beyond this the staging arrays stop fitting
@@ -76,6 +147,13 @@ impl fmt::Display for LiveConfigError {
             LiveConfigError::BadCells(n) => {
                 write!(f, "--cells must be between 1 and {MAX_CELLS}, got {n}")
             }
+            LiveConfigError::BadDaemonId(s) => {
+                write!(
+                    f,
+                    "--daemon-id must be 1..={MAX_DAEMON_ID} characters of \
+                     [A-Za-z0-9._:-], got {s:?}"
+                )
+            }
         }
     }
 }
@@ -106,6 +184,9 @@ pub struct LiveConfigBuilder {
     heavy_max: Option<usize>,
     batch: usize,
     ring_depth: usize,
+    /// `None` keeps [`DaemonId::default`] (`"local"`).
+    daemon_id: Option<String>,
+    sketch: bool,
 }
 
 /// The CLI-facing shard default: one worker per available core, capped
@@ -136,6 +217,8 @@ impl Default for LiveConfigBuilder {
             heavy_max: None,
             batch: d.batch,
             ring_depth: d.ring_depth,
+            daemon_id: None,
+            sketch: d.sketch,
         }
     }
 }
@@ -252,6 +335,21 @@ impl LiveConfigBuilder {
         self
     }
 
+    /// Daemon identifier stamped into every interval and summary record
+    /// (1..=[`MAX_DAEMON_ID`] characters of `[A-Za-z0-9._:-]`). The CLI
+    /// defaults to [`DaemonId::derived_from_path`] over the capture path.
+    pub fn daemon_id(mut self, id: impl Into<String>) -> Self {
+        self.daemon_id = Some(id.into());
+        self
+    }
+
+    /// Emit mergeable RTT / stall-duration quantile sketches in interval
+    /// and summary reports (default on; `--sketch off` to disable).
+    pub fn sketch(mut self, on: bool) -> Self {
+        self.sketch = on;
+        self
+    }
+
     /// Validate every knob and the cross-field rules; on success the
     /// returned [`LiveConfig`] is coherent by construction.
     pub fn build(self) -> Result<LiveConfig, LiveConfigError> {
@@ -306,8 +404,14 @@ impl LiveConfigBuilder {
                 None
             }
         };
+        let daemon_id = match &self.daemon_id {
+            Some(s) => DaemonId::new(s)?,
+            None => DaemonId::default(),
+        };
         let mut cfg = LiveConfig {
             shards: self.shards,
+            daemon_id,
+            sketch: self.sketch,
             cells: self.cells,
             interval: SimDuration::from_millis(self.interval_ms),
             idle_timeout: (self.idle_ms > 0).then(|| SimDuration::from_millis(self.idle_ms)),
@@ -481,5 +585,48 @@ mod tests {
         assert_eq!(tier.promote_dupacks, 3);
         assert_eq!(tier.demote_streak, 64);
         assert_eq!(tier.heavy_max, 1000);
+    }
+
+    #[test]
+    fn daemon_id_is_validated_and_defaulted() {
+        let d = LiveConfigBuilder::new().build().unwrap();
+        assert_eq!(d.daemon_id.as_str(), "local");
+        assert!(d.sketch, "sketches default on");
+
+        let cfg = LiveConfigBuilder::new()
+            .daemon_id("fe1.pop-a:8080")
+            .sketch(false)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.daemon_id.as_str(), "fe1.pop-a:8080");
+        assert!(!cfg.sketch);
+
+        for bad in ["", "has space", "comma,", "q\"uote", &"x".repeat(41)] {
+            let err = LiveConfigBuilder::new().daemon_id(bad).build().unwrap_err();
+            assert_eq!(err, LiveConfigError::BadDaemonId(bad.to_string()));
+            assert!(err.to_string().contains("--daemon-id"));
+        }
+        let max = "x".repeat(MAX_DAEMON_ID);
+        assert_eq!(
+            LiveConfigBuilder::new()
+                .daemon_id(max.clone())
+                .build()
+                .unwrap()
+                .daemon_id
+                .as_str(),
+            max
+        );
+    }
+
+    #[test]
+    fn derived_daemon_id_is_stable_and_path_sensitive() {
+        let a = DaemonId::derived_from_path("captures/fe1.pcap");
+        let b = DaemonId::derived_from_path("captures/fe1.pcap");
+        let c = DaemonId::derived_from_path("captures/fe2.pcap");
+        assert_eq!(a, b, "same path must derive the same id");
+        assert_ne!(a, c, "different paths must derive different ids");
+        assert!(a.as_str().starts_with("d-"));
+        assert_eq!(a.as_str().len(), 18);
+        assert!(DaemonId::new(a.as_str()).is_ok(), "derived ids validate");
     }
 }

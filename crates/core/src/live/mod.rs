@@ -71,7 +71,8 @@ mod shard;
 mod wheel;
 
 pub use config::{
-    default_shards, LiveConfigBuilder, LiveConfigError, MAX_BATCH, MAX_CELLS, MAX_RING_DEPTH,
+    default_shards, DaemonId, LiveConfigBuilder, LiveConfigError, MAX_BATCH, MAX_CELLS,
+    MAX_DAEMON_ID, MAX_RING_DEPTH,
 };
 pub use fnv::{cell_of, FnvHasher, FnvState};
 pub use lru::LruList;
@@ -90,6 +91,7 @@ use simnet::time::SimDuration;
 use tcp_trace::flow::FlowKey;
 use tcp_trace::pcap::{PacketBatch, PcapError, PcapStream};
 
+use crate::fleet::sketch::QSketch;
 use crate::{AnalyzerConfig, FlowAnalysis};
 use ring::{RingConsumer, RingProducer};
 
@@ -140,6 +142,14 @@ pub struct LiveConfig {
     /// Work-ring depth in batch buffers (backpressure toward the driver);
     /// 0 is treated as 1.
     pub ring_depth: usize,
+    /// Identifier stamped into every interval and summary record so fleet
+    /// aggregation can attribute this daemon's reports.
+    pub daemon_id: DaemonId,
+    /// Carry mergeable RTT / stall-duration quantile sketches in interval
+    /// and summary reports (the distribution payload `tapo fleet` merges).
+    /// Sketch contents are partition-invariant, so reports stay
+    /// byte-identical across shard counts with this on.
+    pub sketch: bool,
 }
 
 /// Default packets per batch (one handoff per shard per batch).
@@ -167,6 +177,8 @@ impl Default for LiveConfig {
             tier: None,
             batch: DEFAULT_BATCH,
             ring_depth: DEFAULT_RING_DEPTH,
+            daemon_id: DaemonId::default(),
+            sketch: true,
         }
     }
 }
@@ -198,6 +210,8 @@ impl LiveConfig {
 struct Driver {
     shards_n: usize,
     per_shard: bool,
+    daemon: DaemonId,
+    sketch: bool,
     interval_us: u64,
     /// Effective cell count (see [`LiveConfig::effective_cells`]).
     ncells: usize,
@@ -237,9 +251,19 @@ impl Driver {
             .is_empty()
             .then(|| ShardEngine::new(engine_params(cfg, ncells, 1, 0)));
         let staging_n = dir_txs.len();
+        let mut summary = LiveSummary {
+            daemon: cfg.daemon_id,
+            ..LiveSummary::default()
+        };
+        if cfg.sketch {
+            summary.rtt_sketch = Some(QSketch::new());
+            summary.stall_sketch = Some(QSketch::new());
+        }
         Driver {
             shards_n,
             per_shard: cfg.per_shard_occupancy,
+            daemon: cfg.daemon_id,
+            sketch: cfg.sketch,
             interval_us: cfg.interval.as_micros().max(1),
             ncells,
             inline,
@@ -252,7 +276,7 @@ impl Driver {
             ring_fresh: vec![0; staging_n],
             ring_recycled: vec![0; staging_n],
             msgs: (0..shards_n).map(|_| None).collect(),
-            summary: LiveSummary::default(),
+            summary,
             prev_skipped: 0,
             cut_seq: 0,
         }
@@ -361,8 +385,15 @@ impl Driver {
         self.summary.live_stalls += delta.live_stalls;
         self.summary.breakdown.merge(&delta.breakdown);
         shard::merge_by_port(&mut self.summary.by_port, &delta.by_port);
+        if let Some(s) = self.summary.rtt_sketch.as_mut() {
+            s.merge(&delta.rtt_sketch);
+        }
+        if let Some(s) = self.summary.stall_sketch.as_mut() {
+            s.merge(&delta.stall_sketch);
+        }
 
         IntervalReport {
+            daemon: self.daemon,
             interval: iv,
             start_us: iv * self.interval_us,
             end_us: (iv + 1) * self.interval_us,
@@ -382,6 +413,8 @@ impl Driver {
             live_stalls: delta.live_stalls,
             breakdown: delta.breakdown,
             by_port: delta.by_port,
+            rtt_sketch: self.sketch.then_some(delta.rtt_sketch),
+            stall_sketch: self.sketch.then_some(delta.stall_sketch),
             shard_occupancy: self.per_shard.then_some(occupancy),
         }
     }
@@ -398,6 +431,7 @@ fn engine_params(cfg: &LiveConfig, ncells: usize, shards: usize, shard: usize) -
         shards,
         shard,
         max_flows: cfg.max_flows,
+        sketch: cfg.sketch,
     }
 }
 

@@ -13,8 +13,10 @@
 use simnet::time::SimDuration;
 use tcp_trace::flow::FlowKey;
 
+use super::config::DaemonId;
 use super::shard::PortDelta;
 use crate::causes::{RetransClass, StallClass};
+use crate::fleet::sketch::QSketch;
 use crate::json::Json;
 use crate::report::StallBreakdown;
 use crate::FlowAnalysis;
@@ -99,9 +101,17 @@ fn by_port_json(by_port: &[(u16, PortDelta)]) -> Json {
     )
 }
 
+/// The `"sketches"` section shared by interval and summary records:
+/// canonical [`QSketch`] wire forms keyed by what they measure.
+fn sketches_json(rtt: &QSketch, stall: &QSketch) -> Json {
+    Json::obj([("rtt_us", rtt.to_json()), ("stall_us", stall.to_json())])
+}
+
 /// One interval's snapshot of the live pipeline.
 #[derive(Debug, Clone)]
 pub struct IntervalReport {
+    /// Which daemon produced this report (fleet-ingestion attribution).
+    pub daemon: DaemonId,
     /// Interval index: `start_us / interval_us` (gaps mean idle intervals,
     /// which are skipped rather than emitted empty).
     pub interval: u64,
@@ -144,6 +154,12 @@ pub struct IntervalReport {
     /// diagnosed per port), sorted by port. Shard-count-independent;
     /// JSON-only (CSV keeps a fixed width).
     pub by_port: Vec<(u16, PortDelta)>,
+    /// RTT-sample sketch over the flows finalized/demoted this interval
+    /// (`Some` when sketches are enabled; JSON-only). Partition-invariant,
+    /// so present sketches do not perturb cross-shard byte identity.
+    pub rtt_sketch: Option<QSketch>,
+    /// Stall-duration sketch, same gating and invariance.
+    pub stall_sketch: Option<QSketch>,
     /// Per-shard tracked-flow counts — only with `per_shard_occupancy`
     /// (shard-count-dependent, so off by default to keep reports
     /// byte-identical across `--shards`).
@@ -167,6 +183,7 @@ impl IntervalReport {
     pub fn to_json(&self) -> Json {
         let mut pairs = vec![
             ("kind", Json::from("interval")),
+            ("daemon", Json::from(self.daemon.as_str())),
             ("interval", Json::from(self.interval)),
             ("start_us", Json::from(self.start_us)),
             ("end_us", Json::from(self.end_us)),
@@ -188,6 +205,9 @@ impl IntervalReport {
             ("breakdown", breakdown_json(&self.breakdown)),
             ("by_port", by_port_json(&self.by_port)),
         ];
+        if let (Some(rtt), Some(stall)) = (&self.rtt_sketch, &self.stall_sketch) {
+            pairs.push(("sketches", sketches_json(rtt, stall)));
+        }
         if let Some(occ) = &self.shard_occupancy {
             pairs.push(("shard_occupancy", Json::from(occ.clone())));
         }
@@ -197,7 +217,7 @@ impl IntervalReport {
     /// The fixed CSV header matching [`IntervalReport::to_csv_row`].
     pub fn csv_header() -> String {
         let mut h = String::from(
-            "interval,start_us,end_us,packets,pkts_per_sec,packets_skipped,\
+            "daemon,interval,start_us,end_us,packets,pkts_per_sec,packets_skipped,\
              packets_late,flows_opened,flows_finalized,flows_closed,\
              flows_evicted_idle,flows_shed,active_flows,flows_light,\
              flows_heavy,promotions,demotions,live_stalls,\
@@ -209,10 +229,14 @@ impl IntervalReport {
         h
     }
 
-    /// One CSV row (shard occupancy is JSON-only; CSV keeps a fixed width).
+    /// One CSV row (shard occupancy and sketches are JSON-only; CSV keeps
+    /// a fixed width). The daemon id's restricted alphabet never needs
+    /// quoting, but it goes through [`crate::sink::csv_escape`] anyway so
+    /// the row stays correct by construction.
     pub fn to_csv_row(&self) -> String {
         let mut row = format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            crate::sink::csv_escape(self.daemon.as_str()),
             self.interval,
             self.start_us,
             self.end_us,
@@ -245,6 +269,8 @@ impl IntervalReport {
 /// Whole-run totals, produced when the capture ends.
 #[derive(Debug, Clone, Default)]
 pub struct LiveSummary {
+    /// Which daemon produced this summary.
+    pub daemon: DaemonId,
     /// Distinct flows opened (key reuse counts each generation).
     pub flows_seen: u64,
     /// Flows finalized (always equals `flows_seen` at EOF).
@@ -301,6 +327,11 @@ pub struct LiveSummary {
     /// Whole-run per-server-port totals, sorted by port (fold of every
     /// interval's `by_port` slice). JSON-only, like the interval section.
     pub by_port: Vec<(u16, PortDelta)>,
+    /// Whole-run RTT-sample sketch (fold of every interval's sketch;
+    /// `Some` when sketches are enabled). JSON-only.
+    pub rtt_sketch: Option<QSketch>,
+    /// Whole-run stall-duration sketch, same gating.
+    pub stall_sketch: Option<QSketch>,
     /// Per-flow analyses in open order — populated only under
     /// `collect_flows` (unbounded memory; tests and offline comparison).
     pub flows: Vec<(FlowKey, FlowAnalysis)>,
@@ -312,8 +343,9 @@ impl LiveSummary {
     /// The summary as a JSON object. Collected per-flow analyses are *not*
     /// serialized; the summary stays shard-count-independent and small.
     pub fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("kind", Json::from("summary")),
+            ("daemon", Json::from(self.daemon.as_str())),
             ("flows_seen", Json::from(self.flows_seen)),
             ("flows_finalized", Json::from(self.flows_finalized)),
             ("flows_closed", Json::from(self.flows_closed)),
@@ -333,13 +365,17 @@ impl LiveSummary {
             ("max_heavy_flows", Json::from(self.max_heavy_flows)),
             ("breakdown", breakdown_json(&self.breakdown)),
             ("by_port", by_port_json(&self.by_port)),
-        ])
+        ];
+        if let (Some(rtt), Some(stall)) = (&self.rtt_sketch, &self.stall_sketch) {
+            pairs.push(("sketches", sketches_json(rtt, stall)));
+        }
+        Json::obj(pairs)
     }
 
     /// The fixed CSV header matching [`LiveSummary::to_csv_row`].
     pub fn csv_header() -> String {
         let mut h = String::from(
-            "flows_seen,flows_finalized,flows_closed,flows_evicted_idle,\
+            "daemon,flows_seen,flows_finalized,flows_closed,flows_evicted_idle,\
              flows_shed,flows_eof,packets,packets_skipped,packets_late,\
              records_truncated,intervals,live_stalls,max_active_flows,\
              promotions,demotions,promotions_denied,max_heavy_flows,\
@@ -355,7 +391,8 @@ impl LiveSummary {
     /// [`LiveSummary::to_json`]).
     pub fn to_csv_row(&self) -> String {
         let mut row = format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            crate::sink::csv_escape(self.daemon.as_str()),
             self.flows_seen,
             self.flows_finalized,
             self.flows_closed,
@@ -414,6 +451,7 @@ mod tests {
 
     fn empty_report() -> IntervalReport {
         IntervalReport {
+            daemon: DaemonId::default(),
             interval: 3,
             start_us: 3_000_000,
             end_us: 4_000_000,
@@ -440,6 +478,8 @@ mod tests {
                     stalled_us: 1500,
                 },
             )],
+            rtt_sketch: None,
+            stall_sketch: None,
             shard_occupancy: None,
         }
     }
@@ -453,14 +493,15 @@ mod tests {
             row.split(',').count(),
             "row and header column counts must match"
         );
-        assert!(header.starts_with("interval,start_us"));
+        assert!(header.starts_with("daemon,interval,start_us"));
+        assert!(row.starts_with("local,3,"));
     }
 
     #[test]
     fn json_shape_is_fixed_and_single_line() {
         let line = empty_report().to_json().compact();
         assert!(!line.contains('\n'));
-        assert!(line.contains("\"kind\":\"interval\""));
+        assert!(line.contains("\"kind\":\"interval\",\"daemon\":\"local\""));
         assert!(line.contains("\"pkts_per_sec\":500"));
         for c in StallClass::ALL {
             assert!(line.contains(class_slug(c)), "missing {c:?}");
@@ -468,8 +509,42 @@ mod tests {
         assert!(
             line.contains("\"by_port\":{\"80\":{\"flows\":1,\"stalls\":2,\"stalled_us\":1500}}")
         );
-        // Occupancy is absent unless explicitly requested.
+        // Occupancy is absent unless explicitly requested, and sketches
+        // are absent when disabled.
         assert!(!line.contains("shard_occupancy"));
+        assert!(!line.contains("sketches"));
+    }
+
+    #[test]
+    fn sketches_serialize_when_enabled() {
+        let mut r = empty_report();
+        let mut rtt = QSketch::new();
+        rtt.insert(30_000);
+        rtt.insert(31_000);
+        let mut stall = QSketch::new();
+        stall.insert(2_000_000);
+        r.rtt_sketch = Some(rtt.clone());
+        r.stall_sketch = Some(stall.clone());
+        let line = r.to_json().compact();
+        let expected = format!(
+            "\"sketches\":{{\"rtt_us\":{},\"stall_us\":{}}}",
+            rtt.to_json().compact(),
+            stall.to_json().compact()
+        );
+        assert!(line.contains(&expected), "missing {expected} in {line}");
+        // The sketch section is JSON-only: CSV width does not change.
+        assert_eq!(
+            r.to_csv_row().split(',').count(),
+            IntervalReport::csv_header().split(',').count()
+        );
+        // Round-trip: the wire form parses back to the same sketches.
+        let doc = Json::parse(&line).unwrap();
+        let s = doc.get("sketches").unwrap();
+        assert_eq!(QSketch::from_json(s.get("rtt_us").unwrap()).unwrap(), rtt);
+        assert_eq!(
+            QSketch::from_json(s.get("stall_us").unwrap()).unwrap(),
+            stall
+        );
     }
 
     #[test]
@@ -479,7 +554,7 @@ mod tests {
             ..Default::default()
         };
         let line = s.to_json().compact();
-        assert!(line.contains("\"kind\":\"summary\""));
+        assert!(line.contains("\"kind\":\"summary\",\"daemon\":\"local\""));
         assert!(line.contains("\"max_heavy_flows\":0"));
         assert!(!line.contains("\"flows\":["));
     }
@@ -489,6 +564,7 @@ mod tests {
         let header = LiveSummary::csv_header();
         let row = LiveSummary::default().to_csv_row();
         assert_eq!(header.split(',').count(), row.split(',').count());
-        assert!(header.starts_with("flows_seen,flows_finalized"));
+        assert!(header.starts_with("daemon,flows_seen,flows_finalized"));
+        assert!(row.starts_with("local,0,"));
     }
 }

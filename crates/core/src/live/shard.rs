@@ -38,6 +38,7 @@ use std::sync::mpsc::Sender;
 use tcp_trace::flow::FlowKey;
 use tcp_trace::pcap::{PcapPacket, SeqTracker};
 
+use crate::fleet::sketch::QSketch;
 use crate::live::lru::LruList;
 use crate::live::monitor::{LightTable, TierConfig};
 use crate::live::ring::{RingConsumer, RingProducer};
@@ -120,6 +121,13 @@ pub struct IntervalDelta {
     /// keyed merge, so the fold is shard-count-independent like every
     /// other field.
     pub by_port: Vec<(u16, PortDelta)>,
+    /// RTT samples (µs) of the flows finalized or demoted this interval.
+    /// [`QSketch`] merges are partition-invariant bucket additions, so
+    /// this field folds as deterministically as the integer counters.
+    pub rtt_sketch: QSketch,
+    /// Stall durations (µs) of the flows finalized or demoted this
+    /// interval, same merge discipline.
+    pub stall_sketch: QSketch,
 }
 
 /// One server port's share of an interval: flows finalized on it, and the
@@ -162,6 +170,8 @@ impl IntervalDelta {
         self.live_stalls += other.live_stalls;
         self.breakdown.merge(&other.breakdown);
         merge_by_port(&mut self.by_port, &other.by_port);
+        self.rtt_sketch.merge(&other.rtt_sketch);
+        self.stall_sketch.merge(&other.stall_sketch);
     }
 
     /// The entry for `port`, inserted in sorted position if absent.
@@ -268,6 +278,9 @@ pub struct EngineParams {
     pub shard: usize,
     /// Global flow cap (0 = unbounded), split into per-cell quotas.
     pub max_flows: usize,
+    /// Feed finalized/demoted analyses into the delta's RTT and
+    /// stall-duration sketches.
+    pub sketch: bool,
 }
 
 struct EngineFlow {
@@ -293,6 +306,7 @@ struct EngineFlow {
 pub struct ShardEngine {
     analyzer_cfg: AnalyzerConfig,
     collect: bool,
+    sketch: bool,
     tier: Option<TierConfig>,
     idle_us: Option<u64>,
     linger_us: Option<u64>,
@@ -354,6 +368,7 @@ impl ShardEngine {
         ShardEngine {
             analyzer_cfg: p.analyzer,
             collect: p.collect,
+            sketch: p.sketch,
             tier: p.tier,
             idle_us: p.idle_us,
             linger_us: p.linger_us,
@@ -382,6 +397,21 @@ impl ShardEngine {
             pool_free: Vec::new(),
             delta: IntervalDelta::default(),
             collected: Vec::new(),
+        }
+    }
+
+    /// Fold a closed analysis's distributions into the interval sketches
+    /// (the same fold discipline as `breakdown.add_flow`, applied on both
+    /// the finalize and demote paths so no diagnosed episode is lost).
+    fn sketch_analysis(&mut self, analysis: &FlowAnalysis) {
+        if !self.sketch {
+            return;
+        }
+        for s in &analysis.stalls {
+            self.delta.stall_sketch.insert(s.duration.as_micros());
+        }
+        for r in &analysis.rtt_samples {
+            self.delta.rtt_sketch.insert(r.as_micros());
         }
     }
 
@@ -564,6 +594,7 @@ impl ShardEngine {
         flow.heavy_idx = NONE;
         let analysis = self.pool[idx as usize].finish_reset();
         self.delta.breakdown.add_flow(&analysis);
+        self.sketch_analysis(&analysis);
         let entry = self.delta.port_entry(port);
         entry.stalls += analysis.stalls.len() as u64;
         entry.stalled_us += analysis
@@ -590,6 +621,7 @@ impl ShardEngine {
             let idx = flow.heavy_idx;
             let analysis = self.pool[idx as usize].finish_reset();
             self.delta.breakdown.add_flow(&analysis);
+            self.sketch_analysis(&analysis);
             let entry = self.delta.port_entry(flow.key.server_port);
             entry.stalls += analysis.stalls.len() as u64;
             entry.stalled_us += analysis
@@ -835,6 +867,7 @@ mod tests {
             shards: 1,
             shard: 0,
             max_flows,
+            sketch: true,
         }
     }
 
@@ -997,6 +1030,8 @@ mod tests {
                         port_entry(&mut acc, p).merge(&d);
                         acc
                     }),
+                rtt_sketch: QSketch::default(),
+                stall_sketch: QSketch::default(),
             })
             .collect();
         let fold = |order: &[usize]| {

@@ -1,0 +1,361 @@
+//! Shared JSON-lines interval-report parser.
+//!
+//! Two consumers read the live pipeline's report streams back in: the
+//! counterfactual advisor (`tapo advise`) and the fleet aggregator
+//! (`tapo fleet`). They must agree on the schema — one parser, one
+//! skip-summary rule — so a record the advisor accepts can never be one
+//! the aggregator rejects. This module is that single implementation:
+//! [`parse_interval_line`] decodes one line, [`parse_reports`] folds a
+//! whole stream with 1-based line attribution for errors.
+//!
+//! The parser is *tolerant* of missing top-level counters (older report
+//! shapes default them to zero, and a record without a daemon id is
+//! attributed to `"unknown"`) but *strict* about anything present: a
+//! malformed `by_port` slice, breakdown section, or sketch is an error,
+//! not a silent zero — that is how feeding the CSV rendering, or a pcap,
+//! fails fast.
+
+use std::io::BufRead;
+
+use crate::causes::{RetransClass, StallClass};
+use crate::fleet::sketch::QSketch;
+use crate::json::Json;
+use crate::live::{class_slug, retrans_slug};
+
+/// A malformed input line: where it was and what was wrong with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the report stream.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One server port's slice of an interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortCounts {
+    /// Flows finalized on this port.
+    pub flows: u64,
+    /// Stalls detected on this port.
+    pub stalls: u64,
+    /// Total stalled time on this port, microseconds.
+    pub stalled_us: u64,
+}
+
+/// One decoded `"kind":"interval"` record.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedInterval {
+    /// Which daemon produced the record (`"unknown"` for pre-fleet shapes).
+    pub daemon: String,
+    /// The daemon's interval index.
+    pub interval: u64,
+    /// Interval start (inclusive), capture time in microseconds.
+    pub start_us: u64,
+    /// Interval end (exclusive), capture time in microseconds.
+    pub end_us: u64,
+    /// Packets processed in the interval.
+    pub packets: u64,
+    /// Flows finalized in the interval.
+    pub flows_finalized: u64,
+    /// Stalls diagnosed on the flows finalized in the interval.
+    pub stalls: u64,
+    /// Total stalled time, microseconds.
+    pub stalled_us: u64,
+    /// Per top-level stall class `(count, microseconds)`, indexed like
+    /// [`StallClass::ALL`].
+    pub by_cause: [(u64, u64); StallClass::ALL.len()],
+    /// Per retransmission subclass `(count, microseconds)`, indexed like
+    /// [`RetransClass::ALL`].
+    pub by_retrans: [(u64, u64); RetransClass::ALL.len()],
+    /// Per-server-port slice, in the record's (ascending) order.
+    pub by_port: Vec<(u16, PortCounts)>,
+    /// The record's RTT-sample sketch, when the daemon emitted sketches.
+    pub rtt_sketch: Option<QSketch>,
+    /// The record's stall-duration sketch, same gating.
+    pub stall_sketch: Option<QSketch>,
+}
+
+/// `(n, us)` cause-stats object under `by_cause` / `by_retrans`.
+fn cause_stats(slug: &str, stats: &Json) -> Result<(u64, u64), String> {
+    let field = |k: &str| {
+        stats
+            .get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("breakdown {slug:?}: missing or non-integer {k:?}"))
+    };
+    Ok((field("n")?, field("us")?))
+}
+
+/// Decode one non-blank report line.
+///
+/// Returns `Ok(Some(..))` for a `"kind":"interval"` object and `Ok(None)`
+/// for any other well-formed object — the end-of-run summary is itself a
+/// merge of the interval deltas, so aggregating it too would double every
+/// total. Anything malformed is `Err(message)` (the caller attributes the
+/// line number).
+pub fn parse_interval_line(line: &str) -> Result<Option<ParsedInterval>, String> {
+    let v = Json::parse(line).map_err(|e| format!("not a JSON report: {e}"))?;
+    if v.members().is_none() {
+        return Err("not a JSON object".into());
+    }
+    if v.get("kind").and_then(Json::as_str) != Some("interval") {
+        return Ok(None);
+    }
+    let num = |k: &str| v.get(k).and_then(Json::as_u64).unwrap_or(0);
+    let mut rec = ParsedInterval {
+        daemon: v
+            .get("daemon")
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string(),
+        interval: num("interval"),
+        start_us: num("start_us"),
+        end_us: num("end_us"),
+        packets: num("packets"),
+        flows_finalized: num("flows_finalized"),
+        ..ParsedInterval::default()
+    };
+    if let Some(b) = v.get("breakdown") {
+        if b.members().is_none() {
+            return Err("breakdown is not an object".into());
+        }
+        let field = |k: &str| {
+            b.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("breakdown: missing or non-integer {k:?}"))
+        };
+        rec.stalls = field("stalls")?;
+        rec.stalled_us = field("stalled_us")?;
+        if let Some(classes) = b.get("by_cause") {
+            let pairs = classes
+                .members()
+                .ok_or_else(|| "breakdown.by_cause is not an object".to_string())?;
+            for (slug, stats) in pairs {
+                // Unknown slugs are skipped, not errors: a newer daemon may
+                // know cause classes this build does not.
+                if let Some(i) = StallClass::ALL.iter().position(|c| class_slug(*c) == slug) {
+                    rec.by_cause[i] = cause_stats(slug, stats)?;
+                }
+            }
+        }
+        if let Some(classes) = b.get("by_retrans") {
+            let pairs = classes
+                .members()
+                .ok_or_else(|| "breakdown.by_retrans is not an object".to_string())?;
+            for (slug, stats) in pairs {
+                if let Some(i) = RetransClass::ALL
+                    .iter()
+                    .position(|c| retrans_slug(*c) == slug)
+                {
+                    rec.by_retrans[i] = cause_stats(slug, stats)?;
+                }
+            }
+        }
+    }
+    if let Some(by_port) = v.get("by_port") {
+        let ports = by_port
+            .members()
+            .ok_or_else(|| "by_port is not an object".to_string())?;
+        for (port, delta) in ports {
+            let port: u16 = port.parse().map_err(|_| format!("bad port key {port:?}"))?;
+            let field = |k: &str| {
+                delta
+                    .get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("port {port}: missing or non-integer {k:?}"))
+            };
+            rec.by_port.push((
+                port,
+                PortCounts {
+                    flows: field("flows")?,
+                    stalls: field("stalls")?,
+                    stalled_us: field("stalled_us")?,
+                },
+            ));
+        }
+    }
+    if let Some(s) = v.get("sketches") {
+        let sketch = |k: &str| {
+            let doc = s.get(k).ok_or_else(|| format!("sketches: missing {k:?}"))?;
+            QSketch::from_json(doc).ok_or_else(|| format!("sketches: malformed {k:?}"))
+        };
+        rec.rtt_sketch = Some(sketch("rtt_us")?);
+        rec.stall_sketch = Some(sketch("stall_us")?);
+    }
+    Ok(Some(rec))
+}
+
+/// Parse a whole report stream: every interval record in input order, plus
+/// the count of well-formed non-interval lines skipped. Blank lines are
+/// ignored.
+pub fn parse_reports<R: BufRead>(input: R) -> Result<(Vec<ParsedInterval>, u64), ParseError> {
+    let mut intervals = Vec::new();
+    let mut skipped = 0u64;
+    for (lineno, line) in input.lines().enumerate() {
+        let lineno = lineno + 1;
+        let at = |message: String| ParseError {
+            line: lineno,
+            message,
+        };
+        let line = line.map_err(|e| at(format!("read error: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_interval_line(&line).map_err(at)? {
+            Some(rec) => intervals.push(rec),
+            None => skipped += 1,
+        }
+    }
+    Ok((intervals, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_interval_defaults_missing_fields() {
+        let rec = parse_interval_line("{\"kind\":\"interval\"}")
+            .unwrap()
+            .unwrap();
+        assert_eq!(rec.daemon, "unknown");
+        assert_eq!(rec.start_us, 0);
+        assert_eq!(rec.stalls, 0);
+        assert!(rec.by_port.is_empty());
+        assert!(rec.rtt_sketch.is_none());
+    }
+
+    #[test]
+    fn full_interval_round_trips_through_live_serialization() {
+        use crate::live::{DaemonId, IntervalReport, LiveSummary};
+        use crate::report::StallBreakdown;
+        let mut rtt = QSketch::new();
+        rtt.insert(30_000);
+        let mut stall = QSketch::new();
+        stall.insert(2_000_000);
+        stall.insert(0);
+        let report = IntervalReport {
+            daemon: DaemonId::new("fe1.pop-a").unwrap(),
+            interval: 2,
+            start_us: 2_000_000,
+            end_us: 3_000_000,
+            packets: 400,
+            packets_skipped: 1,
+            packets_late: 0,
+            flows_opened: 5,
+            flows_finalized: 3,
+            flows_closed: 3,
+            flows_evicted_idle: 0,
+            flows_shed: 0,
+            active_flows: 2,
+            flows_light: 1,
+            flows_heavy: 1,
+            promotions: 0,
+            demotions: 0,
+            live_stalls: 1,
+            breakdown: StallBreakdown::default(),
+            by_port: vec![(
+                80,
+                crate::live::PortDelta {
+                    flows: 3,
+                    stalls: 1,
+                    stalled_us: 2_000_000,
+                },
+            )],
+            rtt_sketch: Some(rtt.clone()),
+            stall_sketch: Some(stall.clone()),
+            shard_occupancy: None,
+        };
+        let rec = parse_interval_line(&report.to_json().compact())
+            .unwrap()
+            .unwrap();
+        assert_eq!(rec.daemon, "fe1.pop-a");
+        assert_eq!(rec.interval, 2);
+        assert_eq!(rec.start_us, 2_000_000);
+        assert_eq!(rec.end_us, 3_000_000);
+        assert_eq!(rec.packets, 400);
+        assert_eq!(rec.flows_finalized, 3);
+        assert_eq!(
+            rec.by_port,
+            vec![(
+                80,
+                PortCounts {
+                    flows: 3,
+                    stalls: 1,
+                    stalled_us: 2_000_000
+                }
+            )]
+        );
+        assert_eq!(rec.rtt_sketch, Some(rtt));
+        assert_eq!(rec.stall_sketch, Some(stall));
+        // And the summary is a skip, exactly like the advisor's rule.
+        let summary = LiveSummary::default().to_json().compact();
+        assert_eq!(parse_interval_line(&summary).unwrap(), None);
+    }
+
+    #[test]
+    fn breakdown_sections_land_in_class_order() {
+        let line = "{\"kind\":\"interval\",\"breakdown\":{\"stalls\":3,\"stalled_us\":900,\
+                    \"by_cause\":{\"client_idle\":{\"n\":1,\"us\":100},\
+                    \"retransmission\":{\"n\":2,\"us\":800},\
+                    \"from_the_future\":{\"n\":9,\"us\":9}},\
+                    \"by_retrans\":{\"tail_retrans\":{\"n\":2,\"us\":800}}}}";
+        let rec = parse_interval_line(line).unwrap().unwrap();
+        assert_eq!(rec.stalls, 3);
+        assert_eq!(rec.stalled_us, 900);
+        let idle = StallClass::ALL
+            .iter()
+            .position(|c| class_slug(*c) == "client_idle")
+            .unwrap();
+        let retr = StallClass::ALL
+            .iter()
+            .position(|c| class_slug(*c) == "retransmission")
+            .unwrap();
+        assert_eq!(rec.by_cause[idle], (1, 100));
+        assert_eq!(rec.by_cause[retr], (2, 800));
+        let tail = RetransClass::ALL
+            .iter()
+            .position(|c| retrans_slug(*c) == "tail_retrans")
+            .unwrap();
+        assert_eq!(rec.by_retrans[tail], (2, 800));
+    }
+
+    #[test]
+    fn malformed_sections_are_errors_not_zeros() {
+        let bad = [
+            "not json",
+            "[1,2,3]",
+            "{\"kind\":\"interval\",\"by_port\":[]}",
+            "{\"kind\":\"interval\",\"by_port\":{\"sixty\":{}}}",
+            "{\"kind\":\"interval\",\"by_port\":{\"80\":{\"flows\":\"x\"}}}",
+            "{\"kind\":\"interval\",\"breakdown\":{\"stalls\":1}}",
+            "{\"kind\":\"interval\",\"breakdown\":{\"stalls\":1,\"stalled_us\":2,\
+             \"by_cause\":{\"client_idle\":{\"n\":1}}}}",
+            "{\"kind\":\"interval\",\"sketches\":{\"rtt_us\":{\"n\":1}}}",
+        ];
+        for line in bad {
+            assert!(parse_interval_line(line).is_err(), "{line}");
+        }
+    }
+
+    #[test]
+    fn parse_reports_attributes_line_numbers() {
+        let input = "{\"kind\":\"interval\"}\n\n{\"kind\":\"summary\"}\nnope\n";
+        let err = parse_reports(input.as_bytes()).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.message.starts_with("not a JSON report:"));
+        assert_eq!(err.to_string(), format!("line 4: {}", err.message));
+        let (recs, skipped) =
+            parse_reports("{\"kind\":\"interval\"}\n{\"kind\":\"summary\"}\n".as_bytes()).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(skipped, 1);
+    }
+}

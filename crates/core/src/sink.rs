@@ -113,6 +113,57 @@ pub fn csv_escape(cell: &str) -> String {
     }
 }
 
+/// Split one CSV row back into its cells — the exact inverse of joining
+/// [`csv_escape`]d cells with commas. Handles quoted cells containing
+/// commas, doubled quotes, and embedded line breaks (pass the full logical
+/// row, which may span physical lines). Returns `None` for rows no
+/// RFC 4180 writer produces: an unterminated quote, text after a closing
+/// quote, or a bare quote inside an unquoted cell.
+pub fn csv_fields(row: &str) -> Option<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cell = String::new();
+    let mut chars = row.chars().peekable();
+    loop {
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            loop {
+                match chars.next() {
+                    None => return None, // unterminated quote
+                    Some('"') if chars.peek() == Some(&'"') => {
+                        chars.next();
+                        cell.push('"');
+                    }
+                    Some('"') => break,
+                    Some(c) => cell.push(c),
+                }
+            }
+            match chars.next() {
+                None => {
+                    fields.push(std::mem::take(&mut cell));
+                    return Some(fields);
+                }
+                Some(',') => fields.push(std::mem::take(&mut cell)),
+                Some(_) => return None, // text after closing quote
+            }
+        } else {
+            loop {
+                match chars.next() {
+                    None => {
+                        fields.push(std::mem::take(&mut cell));
+                        return Some(fields);
+                    }
+                    Some(',') => {
+                        fields.push(std::mem::take(&mut cell));
+                        break;
+                    }
+                    Some('"') => return None, // bare quote in unquoted cell
+                    Some(c) => cell.push(c),
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +211,20 @@ mod tests {
         assert_eq!(csv_escape("plain"), "plain");
         assert_eq!(csv_escape("a,b"), "\"a,b\"");
         assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn fields_invert_escape() {
+        let cells = ["plain", "a,b", "say \"hi\"", "two\nlines", "", "crlf\r\n"];
+        let row: Vec<String> = cells.iter().map(|c| csv_escape(c)).collect();
+        let parsed = csv_fields(&row.join(",")).unwrap();
+        assert_eq!(parsed, cells);
+        // Malformed rows are rejected, not mis-split.
+        assert_eq!(csv_fields("\"unterminated"), None);
+        assert_eq!(csv_fields("\"closed\"junk,b"), None);
+        assert_eq!(csv_fields("bare\"quote"), None);
+        // The empty row is one empty cell, matching `"".split(',')`.
+        assert_eq!(csv_fields("").unwrap(), vec![""]);
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! CSV round-trip property: every row any TAPO sink writes —
+//! `csv_escape`d cells joined with commas — must parse back to the
+//! original fields with [`csv_fields`], and every real record type's row
+//! must carry exactly as many cells as its header promises. Downstream
+//! tooling splits these files; a row that re-parses differently than it
+//! was written is silent data corruption.
+
+use simnet::time::SimDuration;
+use tapo::live::{self, IntervalReport, LiveConfig, LiveSummary};
+use tapo::{aggregate, csv_escape, csv_fields, read_reports, FleetConfig, Record};
+use workloads::{generate_interleaved, LiveGenSpec};
+
+/// Tiny deterministic generator (SplitMix64) for the property rows.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[test]
+fn random_cells_survive_escape_then_parse() {
+    // Alphabet deliberately heavy on the four characters that force
+    // quoting, plus benign filler.
+    const ALPHABET: &[char] = &[
+        ',', '"', '\n', '\r', 'a', 'Z', '0', '.', ' ', ':', '-', '_', 'µ',
+    ];
+    let mut rng = Rng(0xc5f_3015);
+    for round in 0..500 {
+        let n_cells = 1 + (rng.next() % 8) as usize;
+        let cells: Vec<String> = (0..n_cells)
+            .map(|_| {
+                let len = (rng.next() % 12) as usize;
+                (0..len)
+                    .map(|_| ALPHABET[(rng.next() as usize) % ALPHABET.len()])
+                    .collect()
+            })
+            .collect();
+        let row: String = cells
+            .iter()
+            .map(|c| csv_escape(c))
+            .collect::<Vec<_>>()
+            .join(",");
+        let parsed = csv_fields(&row)
+            .unwrap_or_else(|| panic!("round {round}: escaped row failed to parse: {row:?}"));
+        assert_eq!(parsed, cells, "round {round}: row {row:?}");
+    }
+}
+
+/// Rows from one real live run: every interval row and the summary row
+/// must re-parse to exactly the header's cell count.
+#[test]
+fn live_rows_parse_back_to_their_headers() {
+    let spec = LiveGenSpec {
+        flows_per_service: 3,
+        seed: 0xc5f,
+        mean_gap: SimDuration::from_millis(5),
+        threads: 1,
+        ..Default::default()
+    };
+    let mut capture = Vec::new();
+    generate_interleaved(&mut capture, &spec).expect("in-memory generation cannot fail");
+    let cfg = LiveConfig {
+        interval: SimDuration::from_millis(250),
+        ..Default::default()
+    };
+    let mut checked = 0usize;
+    let mut header_cells = None;
+    let summary = live::run(&capture[..], &cfg, |r| {
+        let cells = header_cells.get_or_insert_with(|| {
+            csv_fields(&IntervalReport::csv_header())
+                .expect("header parses")
+                .len()
+        });
+        let row = csv_fields(&r.to_csv_row()).expect("interval row parses");
+        assert_eq!(row.len(), *cells, "interval row width");
+        checked += 1;
+    })
+    .expect("live run succeeds");
+    assert!(checked > 0, "capture must produce interval rows");
+    let header = csv_fields(&LiveSummary::csv_header()).expect("summary header parses");
+    let row = csv_fields(&summary.to_csv_row()).expect("summary row parses");
+    assert_eq!(row.len(), header.len(), "summary row width");
+    assert_eq!(header[0], "daemon");
+    assert_eq!(row[0], "local");
+}
+
+/// Rows from the fleet path (intervals, alerts, summary) and the advisor:
+/// each `Record` implementation's CSV row must re-parse to its header.
+#[test]
+fn fleet_and_advise_rows_parse_back_to_their_headers() {
+    // A stream with a drift spike so the alert row exists too.
+    let mut input = String::new();
+    for bucket in 0u64..8 {
+        for (i, id) in ["fe0", "fe1"].iter().enumerate() {
+            let stalled_us = if bucket == 5 && i == 1 {
+                400_000
+            } else {
+                40_000
+            };
+            input.push_str(&format!(
+                "{{\"kind\":\"interval\",\"daemon\":\"{id}\",\"start_us\":{},\
+                 \"flows_finalized\":8,\
+                 \"breakdown\":{{\"stalls\":1,\"stalled_us\":{stalled_us}}},\
+                 \"by_port\":{{\"80\":{{\"flows\":8,\"stalls\":1,\"stalled_us\":{stalled_us}}}}}}}\n",
+                bucket * 1_000_000,
+            ));
+        }
+    }
+    let (records, skipped) = read_reports("-", input.as_bytes(), 1).expect("parse succeeds");
+    let out = aggregate(&records, skipped, &FleetConfig::default());
+    assert!(!out.intervals.is_empty());
+    assert!(!out.alerts.is_empty(), "spike must raise an alert");
+
+    let mut rows: Vec<(&str, String, String)> = Vec::new();
+    for iv in &out.intervals {
+        rows.push(("fleet_interval", iv.header(), iv.csv()));
+    }
+    for a in &out.alerts {
+        rows.push(("fleet_alert", a.header(), a.csv()));
+    }
+    rows.push(("fleet_summary", out.summary.header(), out.summary.csv()));
+    let advise_cfg = tapo::AdviseConfig {
+        flows: 4,
+        replicates: 2,
+        threads: 1,
+        ..Default::default()
+    };
+    for advice in tapo::advise(&out.summary.observations(), &advise_cfg) {
+        rows.push(("advice", advice.header(), advice.csv()));
+    }
+    assert!(
+        rows.iter().any(|(kind, _, _)| *kind == "advice"),
+        "stalled WebSearch traffic must produce advice rows"
+    );
+
+    for (kind, header, row) in rows {
+        let h = csv_fields(&header).unwrap_or_else(|| panic!("{kind} header: {header:?}"));
+        let r = csv_fields(&row).unwrap_or_else(|| panic!("{kind} row: {row:?}"));
+        assert_eq!(r.len(), h.len(), "{kind} row width: {row:?}");
+    }
+}

@@ -25,7 +25,7 @@ pub mod spec;
 pub use corpus::{
     flow_seed, run_population, sample_flow, sample_population, synthesize_corpus, Corpus,
 };
-pub use livegen::{generate_interleaved, LiveGenSpec, LiveGenStats, LiveMechanism};
+pub use livegen::{daemon_specs, generate_interleaved, LiveGenSpec, LiveGenStats, LiveMechanism};
 pub use service::{Service, ServiceModel};
 pub use spec::{
     flow_key_for_seed, simulate_flow, simulate_flow_into, simulate_flow_into_scratch,

@@ -53,7 +53,7 @@ impl LiveMechanism {
 
 /// What to generate: how many flows per service, how densely they overlap,
 /// and under which recovery mechanism.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LiveGenSpec {
     /// Flows per service (total = 3×this).
     pub flows_per_service: usize,
@@ -99,6 +99,31 @@ const SERVICES: [Service; 3] = [
     Service::SoftwareDownload,
     Service::WebSearch,
 ];
+
+/// SplitMix64 finalizer — mixes a daemon index into the base seed so
+/// per-daemon streams are decorrelated even for adjacent indices.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Stand up an N-daemon fleet fixture from one base spec: daemon `i` is
+/// named `fe{i}` and draws a seed mixed from the base seed and its index,
+/// so the captures are statistically alike (same services, same load
+/// shape) but packet-for-packet independent — exactly what a row of
+/// front-end machines behind one load balancer looks like. Used by the
+/// fleet aggregation tests, the bench's fleet phase, and CI smoke.
+pub fn daemon_specs(base: &LiveGenSpec, daemons: usize) -> Vec<(String, LiveGenSpec)> {
+    (0..daemons)
+        .map(|i| {
+            let mut spec = *base;
+            spec.seed = mix64(base.seed ^ (i as u64).wrapping_mul(0xd6e8_feb8_6659_fd93));
+            (format!("fe{i}"), spec)
+        })
+        .collect()
+}
 
 /// Simulate `3 × flows_per_service` flows (round-robin across the three
 /// services), offset their starts by Poisson arrivals, and write one
@@ -282,6 +307,23 @@ mod tests {
         keys.sort_by_key(|k| (k.client_ip, k.client_port));
         keys.dedup();
         assert_eq!(keys.len(), stats.flows, "keys must be unique");
+    }
+
+    #[test]
+    fn daemon_specs_derive_distinct_deterministic_seeds() {
+        let base = small_spec();
+        let a = daemon_specs(&base, 4);
+        let b = daemon_specs(&base, 4);
+        assert_eq!(a, b, "derivation is a pure function of the base spec");
+        assert_eq!(a.len(), 4);
+        for (i, (id, spec)) in a.iter().enumerate() {
+            assert_eq!(id, &format!("fe{i}"));
+            assert_ne!(spec.seed, base.seed, "fe{i} must not reuse the base seed");
+        }
+        let mut seeds: Vec<u64> = a.iter().map(|(_, s)| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 4, "per-daemon seeds must be distinct");
     }
 
     #[test]
